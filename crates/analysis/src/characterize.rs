@@ -1,0 +1,333 @@
+//! §4 — data characterization: prevalence over time, by ASN, by country,
+//! and client address patterns.
+
+use std::collections::{HashMap, HashSet};
+
+use ipv6_study_netaddr::iid::iid;
+use ipv6_study_netaddr::{EntropyProfile, IidClass};
+use ipv6_study_stats::counter::CountOfCounts;
+use ipv6_study_telemetry::{Asn, Country, DateRange, RequestRecord, SimDate, UserId};
+
+/// One day of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrevalencePoint {
+    /// The day.
+    pub day: SimDate,
+    /// Share of users making ≥1 IPv6 request that day.
+    pub user_share: f64,
+    /// Share of requests over IPv6 that day.
+    pub request_share: f64,
+}
+
+/// Computes Figure 1: daily IPv6 prevalence among users (from the user
+/// random sample) and among requests (from the request random sample).
+pub fn prevalence_series(
+    user_sample: &[RequestRecord],
+    request_sample: &[RequestRecord],
+    range: DateRange,
+) -> Vec<PrevalencePoint> {
+    // Pre-bucket by day to avoid re-scanning per day.
+    let mut users_by_day: HashMap<SimDate, HashMap<UserId, bool>> = HashMap::new();
+    for r in user_sample {
+        let d = r.ts.date();
+        if range.contains(d) {
+            let e = users_by_day.entry(d).or_default().entry(r.user).or_insert(false);
+            *e |= r.is_v6();
+        }
+    }
+    let mut reqs_by_day: HashMap<SimDate, (u64, u64)> = HashMap::new();
+    for r in request_sample {
+        let d = r.ts.date();
+        if range.contains(d) {
+            let e = reqs_by_day.entry(d).or_default();
+            e.0 += 1;
+            if r.is_v6() {
+                e.1 += 1;
+            }
+        }
+    }
+    range
+        .days()
+        .map(|day| {
+            let (u_total, u_v6) = users_by_day
+                .get(&day)
+                .map(|m| (m.len() as u64, m.values().filter(|&&v| v).count() as u64))
+                .unwrap_or((0, 0));
+            let (r_total, r_v6) = reqs_by_day.get(&day).copied().unwrap_or((0, 0));
+            PrevalencePoint {
+                day,
+                user_share: if u_total == 0 { 0.0 } else { u_v6 as f64 / u_total as f64 },
+                request_share: if r_total == 0 { 0.0 } else { r_v6 as f64 / r_total as f64 },
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 1 / Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioRow<K> {
+    /// The key (ASN or country).
+    pub key: K,
+    /// Users observed on the key.
+    pub users: u64,
+    /// Share of those users seen on IPv6.
+    pub ratio: f64,
+}
+
+fn ratio_rows<K: Eq + std::hash::Hash + Ord + Copy>(
+    records: &[RequestRecord],
+    key_of: impl Fn(&RequestRecord) -> K,
+    min_users: u64,
+) -> Vec<RatioRow<K>> {
+    let mut total: HashMap<K, HashSet<UserId>> = HashMap::new();
+    let mut v6: HashMap<K, HashSet<UserId>> = HashMap::new();
+    for r in records {
+        let k = key_of(r);
+        total.entry(k).or_default().insert(r.user);
+        if r.is_v6() {
+            v6.entry(k).or_default().insert(r.user);
+        }
+    }
+    let mut rows: Vec<RatioRow<K>> = total
+        .into_iter()
+        .filter(|(_, users)| users.len() as u64 >= min_users)
+        .map(|(k, users)| {
+            let v6_users = v6.get(&k).map_or(0, |s| s.len() as u64);
+            RatioRow { key: k, users: users.len() as u64, ratio: v6_users as f64 / users.len() as f64 }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.ratio.partial_cmp(&a.ratio).expect("finite ratios").then(a.key.cmp(&b.key))
+    });
+    rows
+}
+
+/// Table 1: ASNs ranked by the share of their users on IPv6, considering
+/// ASNs with at least `min_users` observed users.
+pub fn asn_ratio_table(records: &[RequestRecord], min_users: u64) -> Vec<RatioRow<Asn>> {
+    ratio_rows(records, |r| r.asn, min_users)
+}
+
+/// Share of considered ASNs with zero IPv6 users and with <10% IPv6 users
+/// (§4.2 reports 10.7% and 28.3%).
+pub fn asn_low_v6_shares(rows: &[RatioRow<Asn>]) -> (f64, f64) {
+    if rows.is_empty() {
+        return (0.0, 0.0);
+    }
+    let zero = rows.iter().filter(|r| r.ratio == 0.0).count() as f64;
+    let low = rows.iter().filter(|r| r.ratio < 0.10).count() as f64;
+    (zero / rows.len() as f64, low / rows.len() as f64)
+}
+
+/// Table 2 / Figure 12: countries ranked by IPv6 user share.
+pub fn country_ratio_table(records: &[RequestRecord], min_users: u64) -> Vec<RatioRow<Country>> {
+    ratio_rows(records, |r| r.country, min_users)
+}
+
+/// §4.4 — client IPv6 address patterns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientPatterns {
+    /// IPv6 users observed.
+    pub v6_users: u64,
+    /// Share of IPv6 users seen on a transition protocol (6to4/Teredo).
+    pub transition_share: f64,
+    /// Share of IPv6 users with a MAC-embedded (EUI-64) address.
+    pub mac_embedded_share: f64,
+    /// Among MAC-embedded users with ≥2 IPv6 addresses: share reusing one
+    /// IID across all of them (static MAC).
+    pub iid_reuse_share: f64,
+    /// Mean nybble entropy (bits, max 4) of the observed IIDs — near 4 for
+    /// an RFC 4941-randomized population (Entropy/IP-style measurement).
+    pub iid_entropy_bits: f64,
+}
+
+/// Computes §4.4's statistics from the user random sample.
+pub fn client_patterns(records: &[RequestRecord]) -> ClientPatterns {
+    let mut v6_users: HashSet<UserId> = HashSet::new();
+    let mut transition: HashSet<UserId> = HashSet::new();
+    let mut mac_embedded: HashSet<UserId> = HashSet::new();
+    // For IID reuse: the distinct (address, iid) sets of MAC-embedded users.
+    let mut addrs: HashMap<UserId, HashSet<u128>> = HashMap::new();
+    let mut mac_iids: HashMap<UserId, HashSet<u64>> = HashMap::new();
+
+    for r in records {
+        if let Some(a) = r.ipv6() {
+            v6_users.insert(r.user);
+            addrs.entry(r.user).or_default().insert(u128::from(a));
+            match IidClass::classify(a) {
+                IidClass::Teredo | IidClass::SixToFour => {
+                    transition.insert(r.user);
+                }
+                IidClass::MacEmbedded(_) => {
+                    mac_embedded.insert(r.user);
+                    mac_iids.entry(r.user).or_default().insert(iid(a));
+                }
+                _ => {}
+            }
+        }
+    }
+    let entropy = EntropyProfile::compute(
+        addrs.values().flat_map(|set| set.iter().map(|&raw| raw as u64)),
+    );
+    let multi: Vec<&UserId> = mac_embedded
+        .iter()
+        .filter(|u| addrs.get(u).map_or(0, |s| s.len()) >= 2)
+        .collect();
+    let reused = multi
+        .iter()
+        .filter(|u| {
+            // All of the user's MAC-embedded addresses share one IID, and
+            // every address of theirs is MAC-embedded with that IID.
+            mac_iids.get(**u).map_or(false, |iids| iids.len() == 1)
+                && mac_iids[**u].len() == 1
+        })
+        .count();
+    let n = v6_users.len().max(1) as f64;
+    ClientPatterns {
+        v6_users: v6_users.len() as u64,
+        transition_share: transition.len() as f64 / n,
+        mac_embedded_share: mac_embedded.len() as f64 / n,
+        iid_reuse_share: if multi.is_empty() { 0.0 } else { reused as f64 / multi.len() as f64 },
+        iid_entropy_bits: entropy.map_or(0.0, |e| e.mean_bits()),
+    }
+}
+
+/// Requests per user over a window (diagnostic used when characterizing
+/// dataset volume, §3.1).
+pub fn requests_per_user(records: &[RequestRecord]) -> CountOfCounts<UserId> {
+    let mut c = CountOfCounts::new();
+    for r in records {
+        c.incr(r.user);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: u64, day: SimDate, ip: &str, asn: u32, cc: &str) -> RequestRecord {
+        RequestRecord {
+            ts: day.at(9, 0, 0),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(asn),
+            country: Country::new(cc),
+        }
+    }
+
+    fn d(m: u8, dd: u8) -> SimDate {
+        SimDate::ymd(m, dd)
+    }
+
+    #[test]
+    fn prevalence_counts_users_and_requests() {
+        let day = d(4, 13);
+        let user_sample = vec![
+            rec(1, day, "2001:db8::1", 1, "US"),
+            rec(1, day, "10.0.0.1", 1, "US"), // user 1 is dual-stack
+            rec(2, day, "10.0.0.2", 1, "US"),
+        ];
+        let request_sample = vec![
+            rec(3, day, "2001:db8::9", 1, "US"),
+            rec(4, day, "10.0.0.9", 1, "US"),
+            rec(5, day, "10.0.0.8", 1, "US"),
+            rec(6, day, "10.0.0.7", 1, "US"),
+        ];
+        let pts =
+            prevalence_series(&user_sample, &request_sample, DateRange::single(day));
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].user_share - 0.5).abs() < 1e-12, "1 of 2 users on v6");
+        assert!((pts[0].request_share - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prevalence_handles_empty_days() {
+        let pts = prevalence_series(&[], &[], DateRange::new(d(4, 13), d(4, 14)));
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].user_share, 0.0);
+    }
+
+    #[test]
+    fn asn_table_ranks_by_ratio() {
+        let day = d(4, 13);
+        let mut recs = Vec::new();
+        // ASN 100: 3 users, all on v6. ASN 200: 3 users, one on v6.
+        for u in 0..3 {
+            recs.push(rec(u, day, "2001:db8::1", 100, "US"));
+            recs.push(rec(10 + u, day, "10.0.0.1", 200, "US"));
+        }
+        recs.push(rec(10, day, "2001:db8::5", 200, "US"));
+        let rows = asn_ratio_table(&recs, 3);
+        assert_eq!(rows[0].key, Asn(100));
+        assert!((rows[0].ratio - 1.0).abs() < 1e-12);
+        assert_eq!(rows[1].key, Asn(200));
+        assert!((rows[1].ratio - 1.0 / 3.0).abs() < 1e-12);
+        // min_users filters.
+        let rows_strict = asn_ratio_table(&recs, 4);
+        assert!(rows_strict.is_empty());
+        let (zero, low) = asn_low_v6_shares(&rows);
+        assert_eq!(zero, 0.0);
+        assert_eq!(low, 0.0);
+    }
+
+    #[test]
+    fn country_table_counts_users_once() {
+        let day = d(4, 13);
+        let recs = vec![
+            rec(1, day, "2001:db8::1", 1, "IN"),
+            rec(1, day, "2001:db8::2", 1, "IN"), // same user twice
+            rec(2, day, "10.0.0.1", 1, "IN"),
+            rec(3, day, "10.0.0.2", 1, "US"),
+        ];
+        let rows = country_ratio_table(&recs, 1);
+        let in_row = rows.iter().find(|r| r.key == Country::new("IN")).unwrap();
+        assert_eq!(in_row.users, 2);
+        assert!((in_row.ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn client_patterns_detects_classes() {
+        let day = d(4, 13);
+        let recs = vec![
+            // EUI-64 user with the same IID on two addresses.
+            rec(1, day, "2001:db8:1::211:22ff:fe33:4455", 1, "US"),
+            rec(1, day, "2001:db8:2::211:22ff:fe33:4455", 1, "US"),
+            // Teredo user.
+            rec(2, day, "2001:0:1:2:3:4:5:6", 1, "US"),
+            // Plain privacy-IID users.
+            rec(3, day, "2001:db8::a1b2:c3d4:e5f6:1789", 1, "US"),
+            rec(4, day, "2001:db8::ffff:c3d4:e5f6:2789", 1, "US"),
+        ];
+        let p = client_patterns(&recs);
+        assert_eq!(p.v6_users, 4);
+        assert!((p.transition_share - 0.25).abs() < 1e-12);
+        assert!((p.mac_embedded_share - 0.25).abs() < 1e-12);
+        assert!((p.iid_reuse_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_reuse_detects_randomized_macs() {
+        let day = d(4, 13);
+        // Different MAC-embedded IIDs across addresses: no reuse.
+        let recs = vec![
+            rec(1, day, "2001:db8:1::211:22ff:fe33:4455", 1, "US"),
+            rec(1, day, "2001:db8:2::aa11:22ff:fe33:9999", 1, "US"),
+        ];
+        let p = client_patterns(&recs);
+        assert_eq!(p.iid_reuse_share, 0.0);
+    }
+
+    #[test]
+    fn requests_per_user_tallies() {
+        let day = d(4, 13);
+        let recs = vec![
+            rec(1, day, "10.0.0.1", 1, "US"),
+            rec(1, day, "10.0.0.1", 1, "US"),
+            rec(2, day, "10.0.0.2", 1, "US"),
+        ];
+        let c = requests_per_user(&recs);
+        assert_eq!(c.get(&UserId(1)), 2);
+        assert_eq!(c.total(), 3);
+    }
+}

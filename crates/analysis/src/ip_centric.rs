@@ -1,0 +1,301 @@
+//! §6 — IP-centric behavior: user populations per address and per prefix.
+//!
+//! These analyses answer the collateral-damage question behind IP-level
+//! enforcement: *who else is on this address or prefix?* They consume the
+//! IP random sample (Figures 7–8) and the IPv6 prefix random samples
+//! (Figures 9–10), joined with abuse labels.
+
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+use ipv6_study_netaddr::Ipv6Prefix;
+use ipv6_study_stats::Ecdf;
+use ipv6_study_telemetry::{AbuseLabels, RequestRecord, UserId};
+
+/// Users per address, per protocol (Figure 7).
+#[derive(Debug, Clone)]
+pub struct UsersPerIp {
+    /// Distribution of distinct users over IPv4 addresses.
+    pub v4: Ecdf,
+    /// Distribution over IPv6 addresses.
+    pub v6: Ecdf,
+    /// Raw per-address user counts (for outlier drill-downs).
+    pub counts: HashMap<IpAddr, u64>,
+}
+
+/// Computes users-per-address over `records`.
+pub fn users_per_ip(records: &[RequestRecord]) -> UsersPerIp {
+    let mut users: HashMap<IpAddr, HashSet<UserId>> = HashMap::new();
+    for r in records {
+        users.entry(r.ip).or_default().insert(r.user);
+    }
+    let counts: HashMap<IpAddr, u64> =
+        users.into_iter().map(|(ip, s)| (ip, s.len() as u64)).collect();
+    let split = |want_v6: bool| {
+        Ecdf::from_values(
+            counts
+                .iter()
+                .filter(|(ip, _)| matches!(ip, IpAddr::V6(_)) == want_v6)
+                .map(|(_, &c)| c),
+        )
+    };
+    UsersPerIp { v4: split(false), v6: split(true), counts }
+}
+
+/// Populations on addresses hosting at least one abusive account (Fig 8).
+#[derive(Debug, Clone)]
+pub struct AbusePerIp {
+    /// Abusive accounts per such IPv4 address.
+    pub aa_v4: Ecdf,
+    /// Abusive accounts per such IPv6 address.
+    pub aa_v6: Ecdf,
+    /// Benign users per such IPv4 address.
+    pub benign_v4: Ecdf,
+    /// Benign users per such IPv6 address.
+    pub benign_v6: Ecdf,
+}
+
+impl AbusePerIp {
+    /// Share of abusive-hosting v6 addresses with zero benign users — the
+    /// paper's isolation statistic ("63% of addresses only had abusive
+    /// accounts and no benign users in a day", §6.1.2).
+    pub fn v6_isolated_share(&self) -> f64 {
+        self.benign_v6.fraction_le(0)
+    }
+
+    /// Same for IPv4 (paper: 3.4%).
+    pub fn v4_isolated_share(&self) -> f64 {
+        self.benign_v4.fraction_le(0)
+    }
+}
+
+/// Computes Figure 8 over `records` with the label set.
+pub fn abuse_per_ip(records: &[RequestRecord], labels: &AbuseLabels) -> AbusePerIp {
+    let mut aa: HashMap<IpAddr, HashSet<UserId>> = HashMap::new();
+    let mut benign: HashMap<IpAddr, HashSet<UserId>> = HashMap::new();
+    for r in records {
+        if labels.is_abusive(r.user) {
+            aa.entry(r.ip).or_default().insert(r.user);
+        } else {
+            benign.entry(r.ip).or_default().insert(r.user);
+        }
+    }
+    let mut aa_v4 = Vec::new();
+    let mut aa_v6 = Vec::new();
+    let mut benign_v4 = Vec::new();
+    let mut benign_v6 = Vec::new();
+    for (ip, accounts) in &aa {
+        let benign_count = benign.get(ip).map_or(0, |s| s.len() as u64);
+        if matches!(ip, IpAddr::V6(_)) {
+            aa_v6.push(accounts.len() as u64);
+            benign_v6.push(benign_count);
+        } else {
+            aa_v4.push(accounts.len() as u64);
+            benign_v4.push(benign_count);
+        }
+    }
+    AbusePerIp {
+        aa_v4: Ecdf::from_values(aa_v4),
+        aa_v6: Ecdf::from_values(aa_v6),
+        benign_v4: Ecdf::from_values(benign_v4),
+        benign_v6: Ecdf::from_values(benign_v6),
+    }
+}
+
+/// Users per IPv6 prefix at one length (one curve of Figure 9), plus the
+/// raw counts for outlier analysis.
+#[derive(Debug, Clone)]
+pub struct UsersPerPrefix {
+    /// Prefix length.
+    pub len: u8,
+    /// Distribution of distinct users per prefix.
+    pub ecdf: Ecdf,
+    /// Raw counts.
+    pub counts: HashMap<Ipv6Prefix, u64>,
+}
+
+/// Computes users-per-prefix at `len` over the v6 records in `records`.
+pub fn users_per_prefix(records: &[RequestRecord], len: u8) -> UsersPerPrefix {
+    let mut users: HashMap<Ipv6Prefix, HashSet<UserId>> = HashMap::new();
+    for r in records {
+        if let Some(p) = r.v6_prefix(len) {
+            users.entry(p).or_default().insert(r.user);
+        }
+    }
+    let counts: HashMap<Ipv6Prefix, u64> =
+        users.into_iter().map(|(p, s)| (p, s.len() as u64)).collect();
+    UsersPerPrefix { len, ecdf: Ecdf::from_values(counts.values().copied()), counts }
+}
+
+/// Populations in prefixes hosting abusive accounts (Figure 10) at one
+/// length.
+#[derive(Debug, Clone)]
+pub struct AbusePerPrefix {
+    /// Prefix length.
+    pub len: u8,
+    /// Abusive accounts per prefix-with-abuse.
+    pub aa: Ecdf,
+    /// Benign users per prefix-with-abuse.
+    pub benign: Ecdf,
+}
+
+/// Computes Figure 10 at `len`.
+pub fn abuse_per_prefix(
+    records: &[RequestRecord],
+    labels: &AbuseLabels,
+    len: u8,
+) -> AbusePerPrefix {
+    let mut aa: HashMap<Ipv6Prefix, HashSet<UserId>> = HashMap::new();
+    let mut benign: HashMap<Ipv6Prefix, HashSet<UserId>> = HashMap::new();
+    for r in records {
+        if let Some(p) = r.v6_prefix(len) {
+            if labels.is_abusive(r.user) {
+                aa.entry(p).or_default().insert(r.user);
+            } else {
+                benign.entry(p).or_default().insert(r.user);
+            }
+        }
+    }
+    let mut aa_counts = Vec::new();
+    let mut benign_counts = Vec::new();
+    for (p, accounts) in &aa {
+        aa_counts.push(accounts.len() as u64);
+        benign_counts.push(benign.get(p).map_or(0, |s| s.len() as u64));
+    }
+    AbusePerPrefix {
+        len,
+        aa: Ecdf::from_values(aa_counts),
+        benign: Ecdf::from_values(benign_counts),
+    }
+}
+
+/// IPv4 analogues of the per-prefix views, used as the reference series in
+/// Figures 9 and 10 ("IPv4" curve = users per full IPv4 address).
+pub fn users_per_v4_addr(records: &[RequestRecord]) -> Ecdf {
+    let mut users: HashMap<IpAddr, HashSet<UserId>> = HashMap::new();
+    for r in records {
+        if !r.is_v6() {
+            users.entry(r.ip).or_default().insert(r.user);
+        }
+    }
+    Ecdf::from_values(users.values().map(|s| s.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6_study_telemetry::{AbuseInfo, Asn, Country, SimDate};
+
+    fn rec(user: u64, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: SimDate::ymd(4, 13).at(10, 0, 0),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    fn labels_for(ids: &[u64]) -> AbuseLabels {
+        ids.iter()
+            .map(|&u| {
+                (
+                    UserId(u),
+                    AbuseInfo { created: SimDate::ymd(4, 12), detected: SimDate::ymd(4, 13) },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn users_per_ip_separates_protocols() {
+        let recs = vec![
+            rec(1, "10.0.0.1"),
+            rec(2, "10.0.0.1"),
+            rec(3, "10.0.0.1"),
+            rec(1, "2001:db8::1"),
+            rec(1, "2001:db8::2"),
+            rec(2, "2001:db8::2"),
+        ];
+        let u = users_per_ip(&recs);
+        assert_eq!(u.v4.len(), 1);
+        assert_eq!(u.v4.max(), Some(3));
+        assert_eq!(u.v6.len(), 2);
+        assert_eq!(u.v6.fraction_le(1), 0.5);
+        assert_eq!(u.counts[&"10.0.0.1".parse::<IpAddr>().unwrap()], 3);
+    }
+
+    #[test]
+    fn abuse_per_ip_isolation_statistics() {
+        let labels = labels_for(&[100, 101]);
+        let recs = vec![
+            // v6 address with only an abusive account.
+            rec(100, "2001:db8::a"),
+            // v6 address shared by an abusive account and a benign user.
+            rec(101, "2001:db8::b"),
+            rec(1, "2001:db8::b"),
+            // v4 address with an AA and two benign users.
+            rec(100, "10.0.0.1"),
+            rec(1, "10.0.0.1"),
+            rec(2, "10.0.0.1"),
+            // Purely benign address: must not appear in the AA view.
+            rec(3, "10.0.0.99"),
+        ];
+        let a = abuse_per_ip(&recs, &labels);
+        assert_eq!(a.aa_v6.len(), 2);
+        assert_eq!(a.v6_isolated_share(), 0.5);
+        assert_eq!(a.aa_v4.len(), 1);
+        assert_eq!(a.v4_isolated_share(), 0.0);
+        assert_eq!(a.benign_v4.max(), Some(2));
+    }
+
+    #[test]
+    fn users_per_prefix_aggregates() {
+        let recs = vec![
+            rec(1, "2001:db8:1:1::a"),
+            rec(2, "2001:db8:1:2::b"),
+            rec(3, "2001:db8:2:1::c"),
+        ];
+        let p64 = users_per_prefix(&recs, 64);
+        assert_eq!(p64.ecdf.len(), 3);
+        assert_eq!(p64.ecdf.max(), Some(1));
+        let p48 = users_per_prefix(&recs, 48);
+        assert_eq!(p48.ecdf.len(), 2);
+        assert_eq!(p48.ecdf.max(), Some(2), "users 1,2 share 2001:db8:1::/48");
+        let p32 = users_per_prefix(&recs, 32);
+        assert_eq!(p32.ecdf.max(), Some(3));
+    }
+
+    #[test]
+    fn abuse_per_prefix_counts_cohabitation() {
+        let labels = labels_for(&[100]);
+        let recs = vec![
+            rec(100, "2001:db8:1:1::a"),
+            rec(1, "2001:db8:1:2::b"),
+            rec(2, "2001:db8:1:3::c"),
+            rec(3, "2001:db9::1"), // different /48, no AA
+        ];
+        let a = abuse_per_prefix(&recs, &labels, 48);
+        assert_eq!(a.aa.len(), 1);
+        assert_eq!(a.benign.max(), Some(2));
+        let a64 = abuse_per_prefix(&recs, &labels, 64);
+        assert_eq!(a64.benign.max(), Some(0), "AA is alone in its /64");
+    }
+
+    #[test]
+    fn v4_reference_series() {
+        let recs = vec![rec(1, "10.0.0.1"), rec(2, "10.0.0.1"), rec(1, "2001:db8::1")];
+        let e = users_per_v4_addr(&recs);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.max(), Some(2));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let u = users_per_ip(&[]);
+        assert!(u.v4.is_empty() && u.v6.is_empty());
+        let a = abuse_per_ip(&[], &AbuseLabels::new());
+        assert!(a.aa_v4.is_empty());
+        assert_eq!(a.v6_isolated_share(), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Plottable report types.
+//!
+//! The bench harness and the `repro` binary need one common currency for
+//! "the rows/series the paper reports". A [`FigureReport`] is a set of
+//! labeled series (CDFs or time series); a [`TableReport`] is a header plus
+//! string rows. Both render to aligned plain text and to CSV.
+
+use std::fmt::Write as _;
+
+/// One labeled series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfSeries {
+    /// Legend label, e.g. `"IPv6: 1 Day"`.
+    pub label: String,
+    /// The points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl CdfSeries {
+    /// Builds a series from integer x-values.
+    pub fn from_u64(label: impl Into<String>, pts: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points: pts.into_iter().map(|(x, y)| (x as f64, y)).collect(),
+        }
+    }
+
+    /// The y value at the largest x ≤ `x`, or 0 when the series is empty
+    /// or starts after `x`.
+    pub fn y_at(&self, x: f64) -> f64 {
+        let mut y = 0.0;
+        for &(px, py) in &self.points {
+            if px <= x {
+                y = py;
+            } else {
+                break;
+            }
+        }
+        y
+    }
+}
+
+/// A figure: id, caption, labeled series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureReport {
+    /// Paper artifact id, e.g. `"Figure 2"`.
+    pub id: String,
+    /// Short caption.
+    pub caption: String,
+    /// The series.
+    pub series: Vec<CdfSeries>,
+}
+
+impl FigureReport {
+    /// Creates a figure report.
+    pub fn new(id: impl Into<String>, caption: impl Into<String>) -> Self {
+        Self { id: id.into(), caption: caption.into(), series: Vec::new() }
+    }
+
+    /// Adds a series, builder style.
+    pub fn with(mut self, s: CdfSeries) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// A series by label.
+    pub fn series(&self, label: &str) -> Option<&CdfSeries> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders as CSV: `x,label1,label2,…` over the union of x values.
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        let mut out = String::from("x");
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.label.replace(',', ";"));
+        }
+        out.push('\n');
+        for x in xs {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                let _ = write!(out, ",{:.6}", s.y_at(x));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a compact aligned-text view (series sampled at their own
+    /// points, capped to `max_rows` rows) — what benches print.
+    pub fn to_text(&self, max_rows: usize) -> String {
+        let csv = self.to_csv();
+        let mut lines = csv.lines();
+        let mut out = format!("== {}: {} ==\n", self.id, self.caption);
+        if let Some(h) = lines.next() {
+            out.push_str(&h.replace(',', "\t"));
+            out.push('\n');
+        }
+        let rest: Vec<&str> = lines.collect();
+        let step = (rest.len() / max_rows.max(1)).max(1);
+        for (i, l) in rest.iter().enumerate() {
+            if i % step == 0 || i + 1 == rest.len() {
+                out.push_str(&l.replace(',', "\t"));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// A table: id, headers, string rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableReport {
+    /// Paper artifact id, e.g. `"Table 1"`.
+    pub id: String,
+    /// Short caption.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableReport {
+    /// Creates a table report with the given headers.
+    pub fn new(
+        id: impl Into<String>,
+        caption: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Self {
+            id: id.into(),
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {}: {} ==\n", self.id, self.caption);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_interpolation_is_step_wise() {
+        let s = CdfSeries::from_u64("t", [(1, 0.25), (3, 0.75), (10, 1.0)]);
+        assert_eq!(s.y_at(0.0), 0.0);
+        assert_eq!(s.y_at(1.0), 0.25);
+        assert_eq!(s.y_at(2.9), 0.25);
+        assert_eq!(s.y_at(3.0), 0.75);
+        assert_eq!(s.y_at(99.0), 1.0);
+    }
+
+    #[test]
+    fn figure_csv_unions_x_values() {
+        let f = FigureReport::new("Figure X", "test")
+            .with(CdfSeries::from_u64("a", [(1, 0.5), (2, 1.0)]))
+            .with(CdfSeries::from_u64("b", [(2, 0.4), (4, 1.0)]));
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines.len(), 1 + 3); // x = 1, 2, 4
+        assert!(lines[1].starts_with("1,0.5"));
+        assert!(f.series("a").is_some() && f.series("missing").is_none());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TableReport::new("Table 1", "top ASNs", &["ASN", "Ratio"]);
+        t.push_row(vec!["AS55836".into(), "0.96".into()]);
+        t.push_row(vec!["AS21928".into(), "0.95".into()]);
+        let text = t.to_text();
+        assert!(text.contains("AS55836"));
+        assert!(text.lines().count() == 4);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("ASN,Ratio\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TableReport::new("T", "c", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn text_rendering_caps_rows() {
+        let f = FigureReport::new("F", "big").with(CdfSeries::from_u64(
+            "s",
+            (0..100).map(|i| (i, i as f64 / 100.0)),
+        ));
+        let text = f.to_text(10);
+        assert!(text.lines().count() <= 14, "{}", text.lines().count());
+    }
+}

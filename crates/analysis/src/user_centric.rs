@@ -1,0 +1,390 @@
+//! §5 — user-centric behavior: the spatial and temporal properties of the
+//! addresses a user holds.
+//!
+//! All functions take a pre-windowed record slice (typically the user
+//! random sample over one day or one week) and an account filter so the
+//! same code computes the benign-user figures (2, 4a, 5, 6a) and the
+//! abusive-account figures (3, 4b, 6b).
+
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix};
+use ipv6_study_stats::Ecdf;
+use ipv6_study_telemetry::{RequestRecord, SimDate, UserId};
+
+/// Distinct-address counts per user, per protocol (Figures 2 and 3).
+#[derive(Debug, Clone)]
+pub struct AddrsPerUser {
+    /// Distribution over users observed with ≥1 IPv4 address.
+    pub v4: Ecdf,
+    /// Distribution over users observed with ≥1 IPv6 address.
+    pub v6: Ecdf,
+    /// Per-user v4 counts (for outlier drill-downs).
+    pub v4_counts: HashMap<UserId, u64>,
+    /// Per-user v6 counts.
+    pub v6_counts: HashMap<UserId, u64>,
+}
+
+/// Computes addresses-per-user over `records`, considering only users
+/// accepted by `filter`.
+pub fn addrs_per_user(
+    records: &[RequestRecord],
+    filter: impl Fn(UserId) -> bool,
+) -> AddrsPerUser {
+    let mut v4: HashMap<UserId, HashSet<IpAddr>> = HashMap::new();
+    let mut v6: HashMap<UserId, HashSet<IpAddr>> = HashMap::new();
+    for r in records {
+        if !filter(r.user) {
+            continue;
+        }
+        let m = if r.is_v6() { &mut v6 } else { &mut v4 };
+        m.entry(r.user).or_default().insert(r.ip);
+    }
+    let v4_counts: HashMap<UserId, u64> =
+        v4.into_iter().map(|(u, s)| (u, s.len() as u64)).collect();
+    let v6_counts: HashMap<UserId, u64> =
+        v6.into_iter().map(|(u, s)| (u, s.len() as u64)).collect();
+    AddrsPerUser {
+        v4: Ecdf::from_values(v4_counts.values().copied()),
+        v6: Ecdf::from_values(v6_counts.values().copied()),
+        v4_counts,
+        v6_counts,
+    }
+}
+
+/// One row of Figure 4: at prefix length `len`, the share of users whose
+/// IPv6 addresses span at most 1, 2, 3 distinct prefixes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefixSpanRow {
+    /// Prefix length.
+    pub len: u8,
+    /// Share of users with all addresses in one prefix.
+    pub le1: f64,
+    /// Share with addresses in at most two prefixes.
+    pub le2: f64,
+    /// Share with addresses in at most three prefixes.
+    pub le3: f64,
+}
+
+/// Computes Figure 4 (per-user IPv6 prefix span) for the given lengths.
+/// The population is users with ≥1 IPv6 address passing `filter`.
+pub fn prefixes_per_user(
+    records: &[RequestRecord],
+    lengths: &[u8],
+    filter: impl Fn(UserId) -> bool,
+) -> Vec<PrefixSpanRow> {
+    // Gather each user's distinct v6 addresses once.
+    let mut addrs: HashMap<UserId, HashSet<u128>> = HashMap::new();
+    for r in records {
+        if let Some(a) = r.ipv6() {
+            if filter(r.user) {
+                addrs.entry(r.user).or_default().insert(u128::from(a));
+            }
+        }
+    }
+    lengths
+        .iter()
+        .map(|&len| {
+            let mut le = [0u64; 3];
+            let mut total = 0u64;
+            for set in addrs.values() {
+                total += 1;
+                let distinct: HashSet<u128> = set
+                    .iter()
+                    .map(|&raw| raw & Ipv6Prefix::mask(len))
+                    .collect();
+                let n = distinct.len();
+                if n <= 1 {
+                    le[0] += 1;
+                }
+                if n <= 2 {
+                    le[1] += 1;
+                }
+                if n <= 3 {
+                    le[2] += 1;
+                }
+            }
+            let frac = |c: u64| if total == 0 { 0.0 } else { c as f64 / total as f64 };
+            PrefixSpanRow { len, le1: frac(le[0]), le2: frac(le[1]), le3: frac(le[2]) }
+        })
+        .collect()
+}
+
+/// The per-user distinct-prefix counts at one length (outlier drill-down
+/// for §5.2.3).
+pub fn prefix_counts_per_user(
+    records: &[RequestRecord],
+    len: u8,
+    filter: impl Fn(UserId) -> bool,
+) -> HashMap<UserId, u64> {
+    let mut prefixes: HashMap<UserId, HashSet<u128>> = HashMap::new();
+    for r in records {
+        if let Some(a) = r.ipv6() {
+            if filter(r.user) {
+                prefixes
+                    .entry(r.user)
+                    .or_default()
+                    .insert(u128::from(a) & Ipv6Prefix::mask(len));
+            }
+        }
+    }
+    prefixes.into_iter().map(|(u, s)| (u, s.len() as u64)).collect()
+}
+
+/// Life spans of (user, address) pairs present on a focus day (Figure 5).
+#[derive(Debug, Clone)]
+pub struct LifespanCdfs {
+    /// Days since first observation, across all (user, v4 address) pairs.
+    pub v4_pairs: Ecdf,
+    /// Same for IPv6 pairs.
+    pub v6_pairs: Ecdf,
+    /// Median life span per user, v4.
+    pub v4_user_median: Ecdf,
+    /// Median life span per user, v6.
+    pub v6_user_median: Ecdf,
+}
+
+/// Computes Figure 5. `history` must cover `[focus − lookback, focus]`;
+/// pairs observed on `focus` get a life span equal to days since their
+/// first appearance in the history (0 = first seen on the focus day).
+pub fn address_lifespans(
+    history: &[RequestRecord],
+    focus: SimDate,
+    filter: impl Fn(UserId) -> bool,
+) -> LifespanCdfs {
+    // First-seen date per (user, ip).
+    let mut first: HashMap<(UserId, IpAddr), SimDate> = HashMap::new();
+    let mut on_focus: HashSet<(UserId, IpAddr)> = HashSet::new();
+    for r in history {
+        if !filter(r.user) {
+            continue;
+        }
+        let d = r.ts.date();
+        if d > focus {
+            continue;
+        }
+        let key = (r.user, r.ip);
+        first.entry(key).and_modify(|e| *e = (*e).min(d)).or_insert(d);
+        if d == focus {
+            on_focus.insert(key);
+        }
+    }
+    let mut v4_spans: HashMap<UserId, Vec<u64>> = HashMap::new();
+    let mut v6_spans: HashMap<UserId, Vec<u64>> = HashMap::new();
+    for key in &on_focus {
+        let span = u64::from(focus.days_since(first[key]));
+        let m = if matches!(key.1, IpAddr::V6(_)) { &mut v6_spans } else { &mut v4_spans };
+        m.entry(key.0).or_default().push(span);
+    }
+    let pairs = |m: &HashMap<UserId, Vec<u64>>| {
+        Ecdf::from_values(m.values().flat_map(|v| v.iter().copied()))
+    };
+    let medians = |m: &HashMap<UserId, Vec<u64>>| {
+        Ecdf::from_values(m.values().map(|v| {
+            let mut s = v.clone();
+            s.sort_unstable();
+            s[(s.len() - 1) / 2]
+        }))
+    };
+    LifespanCdfs {
+        v4_pairs: pairs(&v4_spans),
+        v6_pairs: pairs(&v6_spans),
+        v4_user_median: medians(&v4_spans),
+        v6_user_median: medians(&v6_spans),
+    }
+}
+
+/// One row of Figure 6: at a prefix length, the share of (user, prefix)
+/// pairs first observed within the last 1, 2, 3 days.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefixLifespanRow {
+    /// Prefix length.
+    pub len: u8,
+    /// Share of pairs ≤ 1 day old (first seen on the focus day).
+    pub d1: f64,
+    /// Share ≤ 2 days old.
+    pub d2: f64,
+    /// Share ≤ 3 days old.
+    pub d3: f64,
+}
+
+/// Computes Figure 6 for one protocol. `lengths` are prefix lengths valid
+/// for the protocol (≤32 for v4); `want_v6` selects the protocol.
+pub fn prefix_lifespans(
+    history: &[RequestRecord],
+    focus: SimDate,
+    lengths: &[u8],
+    want_v6: bool,
+    filter: impl Fn(UserId) -> bool,
+) -> Vec<PrefixLifespanRow> {
+    lengths
+        .iter()
+        .map(|&len| {
+            let mut first: HashMap<(UserId, u128), SimDate> = HashMap::new();
+            let mut on_focus: HashSet<(UserId, u128)> = HashSet::new();
+            for r in history {
+                if !filter(r.user) || r.is_v6() != want_v6 {
+                    continue;
+                }
+                let d = r.ts.date();
+                if d > focus {
+                    continue;
+                }
+                let bits = match r.ip {
+                    IpAddr::V6(a) => u128::from(a) & Ipv6Prefix::mask(len),
+                    IpAddr::V4(a) => u128::from(u32::from(a) & Ipv4Prefix::mask(len.min(32))),
+                };
+                let key = (r.user, bits);
+                first.entry(key).and_modify(|e| *e = (*e).min(d)).or_insert(d);
+                if d == focus {
+                    on_focus.insert(key);
+                }
+            }
+            let total = on_focus.len() as f64;
+            let mut d = [0u64; 3];
+            for key in &on_focus {
+                let age = focus.days_since(first[key]);
+                if age == 0 {
+                    d[0] += 1;
+                }
+                if age <= 1 {
+                    d[1] += 1;
+                }
+                if age <= 2 {
+                    d[2] += 1;
+                }
+            }
+            let frac = |c: u64| if total == 0.0 { 0.0 } else { c as f64 / total };
+            PrefixLifespanRow { len, d1: frac(d[0]), d2: frac(d[1]), d3: frac(d[2]) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6_study_telemetry::{Asn, Country};
+
+    fn rec(user: u64, day: SimDate, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: day.at(12, 0, 0),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    fn d(m: u8, dd: u8) -> SimDate {
+        SimDate::ymd(m, dd)
+    }
+
+    #[test]
+    fn addrs_per_user_counts_distinct_per_protocol() {
+        let recs = vec![
+            rec(1, d(4, 13), "2001:db8::1"),
+            rec(1, d(4, 13), "2001:db8::1"), // duplicate
+            rec(1, d(4, 13), "2001:db8::2"),
+            rec(1, d(4, 13), "10.0.0.1"),
+            rec(2, d(4, 13), "10.0.0.1"),
+            rec(3, d(4, 13), "10.0.0.9"),
+        ];
+        let a = addrs_per_user(&recs, |_| true);
+        assert_eq!(a.v6_counts[&UserId(1)], 2);
+        assert_eq!(a.v4_counts[&UserId(1)], 1);
+        assert_eq!(a.v6.len(), 1, "only user 1 has v6");
+        assert_eq!(a.v4.len(), 3);
+        // Filtering removes users entirely.
+        let b = addrs_per_user(&recs, |u| u.raw() != 1);
+        assert!(b.v6.is_empty());
+        assert_eq!(b.v4.len(), 2);
+    }
+
+    #[test]
+    fn prefix_span_shows_aggregation_at_64() {
+        // One user with three addresses in the same /64: spans 3 /128s but
+        // one /64.
+        let recs = vec![
+            rec(1, d(4, 13), "2001:db8:1:2::a"),
+            rec(1, d(4, 13), "2001:db8:1:2::b"),
+            rec(1, d(4, 13), "2001:db8:1:2::c"),
+            // And one user spanning two /64s in the same /48.
+            rec(2, d(4, 13), "2001:db8:9:1::a"),
+            rec(2, d(4, 13), "2001:db8:9:2::a"),
+        ];
+        let rows = prefixes_per_user(&recs, &[128, 64, 48], |_| true);
+        let at = |len: u8| rows.iter().find(|r| r.len == len).unwrap();
+        assert!(at(128).le1 < 0.01, "nobody has one /128");
+        assert_eq!(at(64).le1, 0.5, "user 1 collapses at /64");
+        assert_eq!(at(48).le1, 1.0, "both collapse at /48");
+        assert_eq!(at(128).le3, 1.0, "user 1 has exactly 3 addresses");
+    }
+
+    #[test]
+    fn prefix_counts_report_raw_numbers() {
+        let recs = vec![
+            rec(1, d(4, 13), "2001:db8:1:2::a"),
+            rec(1, d(4, 13), "2001:db8:2:2::a"),
+            rec(1, d(4, 13), "2001:db8:3:2::a"),
+        ];
+        let counts = prefix_counts_per_user(&recs, 48, |_| true);
+        assert_eq!(counts[&UserId(1)], 3);
+        let counts32 = prefix_counts_per_user(&recs, 32, |_| true);
+        assert_eq!(counts32[&UserId(1)], 1);
+    }
+
+    #[test]
+    fn lifespans_measure_days_since_first_seen() {
+        let recs = vec![
+            rec(1, d(4, 10), "2001:db8::1"), // seen 9 days before focus
+            rec(1, d(4, 19), "2001:db8::1"),
+            rec(1, d(4, 19), "2001:db8::2"), // new on focus day
+            rec(2, d(4, 1), "10.0.0.1"),
+            rec(2, d(4, 19), "10.0.0.1"), // 18 days
+            rec(3, d(4, 15), "10.0.0.2"), // not present on focus day
+        ];
+        let l = address_lifespans(&recs, d(4, 19), |_| true);
+        // v6 pairs on focus: (1, ::1) age 9, (1, ::2) age 0.
+        assert_eq!(l.v6_pairs.len(), 2);
+        assert_eq!(l.v6_pairs.count_le(0), 1);
+        assert_eq!(l.v6_pairs.max(), Some(9));
+        // v4: only user 2's pair, age 18. User 3's address is absent on
+        // the focus day, so it contributes nothing.
+        assert_eq!(l.v4_pairs.len(), 1);
+        assert_eq!(l.v4_pairs.max(), Some(18));
+        // Per-user medians: user 1 median of {0, 9} -> lower median 0.
+        assert_eq!(l.v6_user_median.len(), 1);
+        assert_eq!(l.v6_user_median.max(), Some(0));
+    }
+
+    #[test]
+    fn prefix_lifespans_aggregate_by_prefix() {
+        // Address rotates daily within one /64: the /128 pair is new on
+        // the focus day, but the /64 pair is 3 days old.
+        let recs = vec![
+            rec(1, d(4, 16), "2001:db8:1:2::a"),
+            rec(1, d(4, 17), "2001:db8:1:2::b"),
+            rec(1, d(4, 18), "2001:db8:1:2::c"),
+            rec(1, d(4, 19), "2001:db8:1:2::d"),
+        ];
+        let rows = prefix_lifespans(&recs, d(4, 19), &[128, 64], true, |_| true);
+        let at = |len: u8| rows.iter().find(|r| r.len == len).unwrap();
+        assert_eq!(at(128).d1, 1.0, "the /128 is brand new");
+        assert_eq!(at(64).d1, 0.0, "the /64 was first seen 3 days ago");
+        assert_eq!(at(64).d3, 0.0);
+        // v4 filter yields nothing here.
+        let v4rows = prefix_lifespans(&recs, d(4, 19), &[24], false, |_| true);
+        assert_eq!(v4rows[0].d1, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let l = address_lifespans(&[], d(4, 19), |_| true);
+        assert!(l.v4_pairs.is_empty() && l.v6_pairs.is_empty());
+        let rows = prefixes_per_user(&[], &[64], |_| true);
+        assert_eq!(rows[0].le1, 0.0);
+        let a = addrs_per_user(&[], |_| true);
+        assert!(a.v4.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Client devices.
+//!
+//! Devices matter to the study in three ways: users with several devices
+//! hold several concurrent IPv6 addresses (§5.1.1); a small minority of
+//! devices embed their MAC in the interface identifier (§4.4); and phones
+//! vs. computers determine which network contexts a device appears in.
+
+use ipv6_study_netaddr::MacAddr;
+use ipv6_study_stats::dist::{bernoulli, uniform_range};
+use ipv6_study_stats::hash::StableHasher;
+use ipv6_study_telemetry::{DeviceId, SimDate};
+
+/// Fraction of users whose device uses EUI-64 (MAC-embedded) IIDs — the
+/// paper observes ~2.5% of IPv6 users (§4.4).
+pub const EUI64_USER_FRACTION: f64 = 0.016;
+/// Among EUI-64 devices, the fraction with a *static* MAC (the paper's 83%
+/// reuse the same IID across addresses; the rest randomize their MAC).
+pub const EUI64_STATIC_FRACTION: f64 = 0.83;
+/// Fraction of devices that are IPv6-capable at all (old OS/CPE excluded).
+pub const DEVICE_V6_CAPABLE: f64 = 0.96;
+/// Fraction of devices still riding an IPv4→IPv6 transition tunnel
+/// (6to4/Teredo). §4.4 observes fewer than 0.01% of IPv6 users on these;
+/// they are a relic, but a platform still sees them.
+pub const TRANSITION_FRACTION: f64 = 0.00008;
+
+/// What kind of device this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// A phone: present in mobile contexts and on home Wi-Fi.
+    Phone,
+    /// A computer (laptop/desktop): home and work contexts.
+    Computer,
+}
+
+/// IPv4→IPv6 transition tunnels (RFC 3056 / RFC 4380).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// 6to4: the IPv6 prefix embeds the public IPv4 address (2002::/16).
+    SixToFour,
+    /// Teredo: tunneled over UDP, addresses in 2001:0::/32.
+    Teredo,
+}
+
+/// How the device forms IPv6 interface identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eui64Mode {
+    /// RFC 4941 privacy (temporary, randomized) IIDs — the default.
+    Privacy,
+    /// Modified EUI-64 with a static MAC: the IID is constant across
+    /// addresses and days.
+    StaticMac,
+    /// Modified EUI-64 with MAC randomization: a fresh MAC (and hence IID)
+    /// per day.
+    RandomizedMac,
+}
+
+/// One device's profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Device id.
+    pub device: DeviceId,
+    /// Phone or computer.
+    pub kind: DeviceKind,
+    /// IID formation mode.
+    pub eui64: Eui64Mode,
+    /// The burned-in MAC (used by [`Eui64Mode::StaticMac`]).
+    pub mac: MacAddr,
+    /// Whether the device speaks IPv6 at all.
+    pub v6_capable: bool,
+    /// The transition tunnel this relic device uses, if any.
+    pub transition: Option<Transition>,
+}
+
+impl DeviceProfile {
+    /// Derives a device procedurally from a seed domain and its id.
+    ///
+    /// `force_phone` pins the first device of every user to a phone so
+    /// mobile contexts always have a device to use.
+    pub fn derive(seed: u64, device: DeviceId, force_phone: bool) -> Self {
+        let mut h = StableHasher::new(0x4445_5649); // "DEVI"
+        h.write_u64(seed).write_u64(device.raw());
+        let base = h.finish();
+
+        let kind = if force_phone || bernoulli(mix(base, 1), 0.55) {
+            DeviceKind::Phone
+        } else {
+            DeviceKind::Computer
+        };
+        let eui64 = if bernoulli(mix(base, 2), EUI64_USER_FRACTION) {
+            if bernoulli(mix(base, 3), EUI64_STATIC_FRACTION) {
+                Eui64Mode::StaticMac
+            } else {
+                Eui64Mode::RandomizedMac
+            }
+        } else {
+            Eui64Mode::Privacy
+        };
+        // A plausible vendor OUI plus hash-derived NIC bytes.
+        let nic = mix(base, 4);
+        let mac = MacAddr::new([
+            0x00,
+            0x1b,
+            0x63,
+            (nic >> 16) as u8,
+            (nic >> 8) as u8,
+            nic as u8,
+        ]);
+        let v6_capable = bernoulli(mix(base, 5), DEVICE_V6_CAPABLE);
+        let transition = if bernoulli(mix(base, 6), TRANSITION_FRACTION) {
+            Some(if bernoulli(mix(base, 7), 0.5) { Transition::SixToFour } else { Transition::Teredo })
+        } else {
+            None
+        };
+        Self { device, kind, eui64, mac, v6_capable, transition }
+    }
+
+    /// The MAC in effect on `day` — fixed for static MACs, re-derived daily
+    /// under MAC randomization (randomized MACs set the locally-
+    /// administered bit, as IEEE 802 requires).
+    pub fn mac_on(&self, day: SimDate) -> MacAddr {
+        match self.eui64 {
+            Eui64Mode::StaticMac | Eui64Mode::Privacy => self.mac,
+            Eui64Mode::RandomizedMac => {
+                let mut h = StableHasher::new(0x4D41_4352); // "MACR"
+                h.write_u64(self.device.raw()).write_u64(u64::from(day.index()));
+                let v = h.finish();
+                let mut m = MacAddr::from_u64(v).0;
+                m[0] = (m[0] | 0x02) & 0xFE; // locally administered, unicast
+                MacAddr::new(m)
+            }
+        }
+    }
+
+    /// The MAC to embed in the IID, when this device embeds one at all.
+    pub fn eui64_mac_on(&self, day: SimDate) -> Option<MacAddr> {
+        match self.eui64 {
+            Eui64Mode::Privacy => None,
+            _ => Some(self.mac_on(day)),
+        }
+    }
+}
+
+#[inline]
+fn mix(base: u64, tag: u64) -> u64 {
+    let mut h = StableHasher::new(base);
+    h.write_u64(tag);
+    h.finish()
+}
+
+/// Number of devices a user owns: 1–3, averaging ≈ 1.6.
+pub fn devices_per_user(h: u64) -> u32 {
+    match uniform_range(h, 10) {
+        0..=4 => 1, // 50%: one device
+        5..=8 => 2, // 40%: two
+        _ => 3,     // 10%: three
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = DeviceProfile::derive(1, DeviceId(7), false);
+        let b = DeviceProfile::derive(1, DeviceId(7), false);
+        assert_eq!(a, b);
+        let c = DeviceProfile::derive(1, DeviceId(8), false);
+        assert!(a.mac != c.mac || a.kind != c.kind || a.device != c.device);
+    }
+
+    #[test]
+    fn force_phone_works() {
+        for i in 0..50 {
+            let d = DeviceProfile::derive(2, DeviceId(i), true);
+            assert_eq!(d.kind, DeviceKind::Phone);
+        }
+    }
+
+    #[test]
+    fn eui64_population_fractions() {
+        let n = 100_000u64;
+        let mut eui = 0;
+        let mut static_mac = 0;
+        for i in 0..n {
+            let d = DeviceProfile::derive(3, DeviceId(i), false);
+            if d.eui64 != Eui64Mode::Privacy {
+                eui += 1;
+                if d.eui64 == Eui64Mode::StaticMac {
+                    static_mac += 1;
+                }
+            }
+        }
+        let frac = eui as f64 / n as f64;
+        assert!((frac - EUI64_USER_FRACTION).abs() < 0.003, "eui64 frac {frac}");
+        let stat = static_mac as f64 / eui as f64;
+        assert!((stat - EUI64_STATIC_FRACTION).abs() < 0.03, "static frac {stat}");
+    }
+
+    #[test]
+    fn static_mac_is_stable_and_randomized_rotates() {
+        let d1 = SimDate::ymd(4, 13);
+        let d2 = SimDate::ymd(4, 14);
+        let s = DeviceProfile {
+            device: DeviceId(1),
+            kind: DeviceKind::Phone,
+            eui64: Eui64Mode::StaticMac,
+            mac: MacAddr::new([0, 1, 2, 3, 4, 5]),
+            v6_capable: true,
+            transition: None,
+        };
+        assert_eq!(s.mac_on(d1), s.mac_on(d2));
+        assert_eq!(s.eui64_mac_on(d1), Some(s.mac));
+
+        let r = DeviceProfile { eui64: Eui64Mode::RandomizedMac, ..s };
+        assert_ne!(r.mac_on(d1), r.mac_on(d2));
+        assert!(r.mac_on(d1).is_locally_administered());
+        assert_eq!(r.mac_on(d1), r.mac_on(d1), "stable within a day");
+
+        let p = DeviceProfile { eui64: Eui64Mode::Privacy, ..s };
+        assert_eq!(p.eui64_mac_on(d1), None);
+    }
+
+    #[test]
+    fn devices_per_user_distribution() {
+        let n = 50_000u64;
+        let mut counts = [0u32; 4];
+        for i in 0..n {
+            let k = devices_per_user(ipv6_study_stats::hash::stable_hash64(5, &i.to_le_bytes()));
+            assert!((1..=3).contains(&k));
+            counts[k as usize] += 1;
+        }
+        assert!(counts[1] > counts[2] && counts[2] > counts[3]);
+        let mean: f64 = (1.0 * f64::from(counts[1])
+            + 2.0 * f64::from(counts[2])
+            + 3.0 * f64::from(counts[3]))
+            / n as f64;
+        assert!((1.4..=1.9).contains(&mean), "mean devices {mean}");
+    }
+}

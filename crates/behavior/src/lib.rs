@@ -1,0 +1,40 @@
+//! User and attacker behavior models.
+//!
+//! This crate turns the static world of `ipv6-study-netmodel` into a request
+//! stream: who is online, on which networks, with which devices, making how
+//! many requests — and, for attackers, which infrastructure their abusive
+//! accounts ride and when the platform detects them.
+//!
+//! - [`device`] — devices: phone/computer, IPv6 capability, and the EUI-64
+//!   addressing minority (§4.4: ~2.5% of users, 83% of those with a static
+//!   MAC, the rest randomizing).
+//! - [`population`] — the benign population: households (the unit of home
+//!   connectivity), members, devices, per-user network portfolio
+//!   (home ISP, mobile carrier, workplace, optional VPN), and activity
+//!   levels. All procedurally derived from the world seed.
+//! - [`schedule`] — the activity model: which network contexts a user
+//!   touches on a given day (weekday / weekend / lockdown aware — the
+//!   machinery behind Figure 1's inflections), and how many requests each
+//!   context carries.
+//! - [`emit`] — materializing a user-day into [`RequestRecord`]s, choosing
+//!   protocol per request (happy-eyeballs preference on dual-stack paths).
+//! - [`abuse`] — attacker campaigns: infrastructure choice (hosting
+//!   servers, residential proxies, mobile device farms), account batches,
+//!   request emission, and the detection process that censors lifetimes
+//!   (§3.3).
+//!
+//! [`RequestRecord`]: ipv6_study_telemetry::RequestRecord
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abuse;
+pub mod device;
+pub mod emit;
+pub mod population;
+pub mod schedule;
+
+pub use abuse::{AbuseSim, CampaignInfra};
+pub use device::{DeviceKind, DeviceProfile, Eui64Mode};
+pub use population::{HouseholdProfile, Population, UserProfile};
+pub use schedule::{ContextKind, DayPlan, SessionCtx};

@@ -1,0 +1,49 @@
+//! Ablation bench: remove one mechanism at a time and print which paper
+//! shapes move (the design-choice attributions of DESIGN.md §5a), then
+//! benchmark a full tiny-study simulation per ablation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ipv6_study_core::{experiments, Ablation, Study, StudyConfig};
+
+fn config(ablation: Ablation) -> StudyConfig {
+    let mut cfg = StudyConfig::tiny();
+    cfg.ablation = ablation;
+    cfg
+}
+
+fn ablations(c: &mut Criterion) {
+    println!("== ablations: which mechanism produces which shape ==");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>14}",
+        "ablation", "v6 newborn", "v6 wk median", "v4 >3 users", "AA day-1 catch"
+    );
+    for ablation in Ablation::ALL {
+        let mut study = Study::run(config(ablation));
+        let fig5 = experiments::fig5_lifespans(&mut study);
+        let fig2 = experiments::fig2_addrs_per_user(&mut study);
+        let fig7 = experiments::fig7_users_per_ip(&mut study);
+        println!(
+            "{:<16} {:>14.3} {:>14.1} {:>14.3} {:>14.3}",
+            ablation.name(),
+            fig5.get_stat("fig5.v6_newborn_share").unwrap_or(f64::NAN),
+            fig2.get_stat("fig2.v6_week_median").unwrap_or(f64::NAN),
+            fig7.get_stat("fig7.v4_day_gt3").unwrap_or(f64::NAN),
+            study.labels.detected_within(0),
+        );
+    }
+
+    c.bench_function("tiny_study_simulation", |b| {
+        b.iter_batched(
+            || config(Ablation::Baseline),
+            |cfg| criterion::black_box(Study::run(cfg)),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablations
+}
+criterion_main!(benches);

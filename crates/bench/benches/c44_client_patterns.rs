@@ -1,0 +1,3 @@
+//! Regenerates Section 4.4 (client address patterns) and benchmarks the analysis pass.
+
+ipv6_study_bench::bench_experiment!(c44_client_patterns, "Section 4.4 (client address patterns)", ipv6_study_core::experiments::c44_client_patterns);

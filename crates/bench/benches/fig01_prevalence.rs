@@ -1,0 +1,3 @@
+//! Regenerates Figure 1 (daily IPv6 prevalence) and benchmarks the analysis pass.
+
+ipv6_study_bench::bench_experiment!(fig01_prevalence, "Figure 1 (daily IPv6 prevalence)", ipv6_study_core::experiments::fig1_prevalence);

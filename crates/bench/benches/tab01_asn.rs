@@ -1,0 +1,3 @@
+//! Regenerates Table 1 (top ASNs by IPv6 ratio) and benchmarks the analysis pass.
+
+ipv6_study_bench::bench_experiment!(tab01_asn, "Table 1 (top ASNs by IPv6 ratio)", ipv6_study_core::experiments::tab1_asns);

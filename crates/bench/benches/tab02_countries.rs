@@ -1,0 +1,3 @@
+//! Regenerates Table 2 + Figure 12 (countries) and benchmarks the analysis pass.
+
+ipv6_study_bench::bench_experiment!(tab02_countries, "Table 2 + Figure 12 (countries)", ipv6_study_core::experiments::tab2_countries);

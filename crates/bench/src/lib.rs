@@ -1,0 +1,56 @@
+//! Shared harness for the per-figure benchmark targets.
+//!
+//! Every bench target regenerates one of the paper's tables or figures:
+//! it prints the measured rows/series once (the reproduction artifact),
+//! then benchmarks the analysis pass itself with Criterion. The simulated
+//! study is built once per process and shared.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use ipv6_study_core::{Study, StudyConfig};
+
+/// The shared study (test scale: fast enough for bench startup, dense
+/// enough for every figure to be populated).
+pub fn study() -> MutexGuard<'static, Study> {
+    static STUDY: OnceLock<Mutex<Study>> = OnceLock::new();
+    STUDY
+        .get_or_init(|| Mutex::new(Study::run(StudyConfig::test_scale())))
+        .lock()
+        .expect("study mutex poisoned")
+}
+
+/// Prints an experiment's artifacts (figures as sampled series, tables as
+/// aligned text, stats as a list) — the paper-facing output of the bench.
+pub fn print_output(id: &str, out: &ipv6_study_core::ExperimentOutput) {
+    println!("================ {id} ================");
+    for t in &out.tables {
+        println!("{}", t.to_text());
+    }
+    for f in &out.figures {
+        println!("{}", f.to_text(12));
+    }
+    for (k, v) in &out.stats {
+        println!("  {k:45} {v:.4}");
+    }
+}
+
+/// Declares a bench target for one experiment function.
+#[macro_export]
+macro_rules! bench_experiment {
+    ($name:ident, $id:literal, $func:path) => {
+        fn $name(c: &mut criterion::Criterion) {
+            let mut study = $crate::study();
+            let out = $func(&mut study);
+            $crate::print_output($id, &out);
+            c.bench_function(concat!(stringify!($name), "_analysis"), |b| {
+                b.iter(|| criterion::black_box($func(&mut study)))
+            });
+        }
+        criterion::criterion_group! {
+            name = benches;
+            config = criterion::Criterion::default().sample_size(10);
+            targets = $name
+        }
+        criterion::criterion_main!(benches);
+    };
+}

@@ -1,0 +1,140 @@
+//! Ablation studies: turn off one mechanism and watch which figures break.
+//!
+//! DESIGN.md attributes each figure's shape to a specific assignment or
+//! behavior mechanism. Ablations make those attributions testable:
+//!
+//! | ablation          | mechanism removed                 | expected effect |
+//! |-------------------|-----------------------------------|-----------------|
+//! | `FrozenIids`      | RFC 4941 privacy rotation         | v6 life spans stretch toward v4's; addresses per user collapse (Figs 2, 5) |
+//! | `NoCgn`           | carrier-grade NAT on mobile IPv4  | v4 users-per-address collapses toward 1; v4 addresses per user shrink (Figs 2, 7) |
+//! | `SlowDetection`   | fast abusive-account takedown     | abusive life spans stretch; day-over-day actioning recall rises (Fig 11) |
+
+use ipv6_study_netmodel::{V4Conf, V4Mode, V6Mode, World};
+
+/// A mechanism toggle applied to a built world / study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ablation {
+    /// The calibrated model as-is.
+    #[default]
+    Baseline,
+    /// Disable RFC 4941 privacy rotation: every device keeps one stable
+    /// IID (as if the world had kept EUI-64-era addressing).
+    FrozenIids,
+    /// Disable CGN: mobile carriers hand out one sticky public IPv4
+    /// address per subscriber household, like home NAT.
+    NoCgn,
+    /// Halve the platform's per-day abusive-account detection probability.
+    SlowDetection,
+}
+
+impl Ablation {
+    /// All ablations, baseline first.
+    pub const ALL: [Ablation; 4] =
+        [Ablation::Baseline, Ablation::FrozenIids, Ablation::NoCgn, Ablation::SlowDetection];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ablation::Baseline => "baseline",
+            Ablation::FrozenIids => "frozen-iids",
+            Ablation::NoCgn => "no-cgn",
+            Ablation::SlowDetection => "slow-detection",
+        }
+    }
+
+    /// Rewrites the world's assignment policies for this ablation.
+    pub fn apply_to_world(self, world: &mut World) {
+        match self {
+            Ablation::Baseline | Ablation::SlowDetection => {}
+            Ablation::FrozenIids => {
+                for net in world.networks_mut() {
+                    if let Some(v6) = net.v6.as_mut() {
+                        if matches!(
+                            v6.mode,
+                            V6Mode::ResidentialPd
+                                | V6Mode::MobilePerDevice
+                                | V6Mode::MobileSector { .. }
+                        ) {
+                            v6.iid_rotations_per_day = 0.0;
+                        }
+                    }
+                }
+            }
+            Ablation::NoCgn => {
+                for net in world.networks_mut() {
+                    if net.v4.mode == V4Mode::Cgn {
+                        let pool = net.v4.pool;
+                        let size = net.v4.pool_size.max(1024);
+                        net.v4 = V4Conf::home(pool, size.min(60_000), 35.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The detection-probability multiplier for the abuse simulation.
+    pub fn detect_scale(self) -> f64 {
+        match self {
+            Ablation::SlowDetection => 0.4,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+    use crate::study::Study;
+
+    fn cfg(ablation: Ablation) -> StudyConfig {
+        let mut cfg = StudyConfig::tiny();
+        cfg.ablation = ablation;
+        cfg
+    }
+
+    #[test]
+    fn frozen_iids_stretch_v6_lifespans_and_cut_address_counts() {
+        let mut base = Study::run(cfg(Ablation::Baseline));
+        let mut frozen = Study::run(cfg(Ablation::FrozenIids));
+        let b = crate::experiments::fig5_lifespans(&mut base);
+        let f = crate::experiments::fig5_lifespans(&mut frozen);
+        let b_new = b.get_stat("fig5.v6_newborn_share").unwrap();
+        let f_new = f.get_stat("fig5.v6_newborn_share").unwrap();
+        assert!(
+            f_new < b_new - 0.2,
+            "without rotation, v6 pairs age: newborn {f_new} vs baseline {b_new}"
+        );
+        let b2 = crate::experiments::fig2_addrs_per_user(&mut base);
+        let f2 = crate::experiments::fig2_addrs_per_user(&mut frozen);
+        assert!(
+            f2.get_stat("fig2.v6_week_median").unwrap()
+                < b2.get_stat("fig2.v6_week_median").unwrap(),
+            "without rotation, users hold fewer weekly v6 addresses"
+        );
+    }
+
+    #[test]
+    fn no_cgn_collapses_v4_sharing() {
+        let mut base = Study::run(cfg(Ablation::Baseline));
+        let mut nocgn = Study::run(cfg(Ablation::NoCgn));
+        let b = crate::experiments::fig7_users_per_ip(&mut base);
+        let n = crate::experiments::fig7_users_per_ip(&mut nocgn);
+        assert!(
+            n.get_stat("fig7.v4_day_gt3").unwrap() < b.get_stat("fig7.v4_day_gt3").unwrap(),
+            "without CGN, heavily shared v4 addresses thin out"
+        );
+    }
+
+    #[test]
+    fn slow_detection_stretches_abusive_lifetimes() {
+        let base = Study::run(cfg(Ablation::Baseline));
+        let slow = Study::run(cfg(Ablation::SlowDetection));
+        let b = base.labels.detected_within(0);
+        let s = slow.labels.detected_within(0);
+        assert!(
+            s < b - 0.15,
+            "slower detection catches fewer accounts on day one: {s} vs {b}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates every table and figure of the study and writes
+//! EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ipv6-study-core --bin repro [-- scale] [output.md]
+//! ```
+//!
+//! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
+//! When an output path is given, the markdown report is written there;
+//! otherwise it goes to `EXPERIMENTS.md` in the current directory.
+
+use std::time::Instant;
+
+use ipv6_study_core::experiments::run_all;
+use ipv6_study_core::report::{render_markdown, render_summary};
+use ipv6_study_core::{Study, StudyConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args.first().map(String::as_str).unwrap_or("default");
+    let output = args.get(1).map(String::as_str).unwrap_or("EXPERIMENTS.md");
+
+    let config = match scale {
+        "tiny" => StudyConfig::tiny(),
+        "test" => StudyConfig::test_scale(),
+        "default" => StudyConfig::default_scale(),
+        "full" => StudyConfig::full_scale(),
+        other => {
+            eprintln!("unknown scale `{other}` (use tiny|test|default|full)");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "running study: {} households, {} campaigns, {}..{}",
+        config.households, config.campaigns, config.full_range.start, config.full_range.end
+    );
+    let t0 = Instant::now();
+    let mut study = Study::run(config);
+    eprintln!(
+        "simulation done in {:.1?}: {} requests offered, {} retained, {} abusive accounts",
+        t0.elapsed(),
+        study.datasets.offered,
+        study.datasets.retained(),
+        study.labels.len()
+    );
+
+    let t1 = Instant::now();
+    let results = run_all(&mut study);
+    eprintln!("analyses done in {:.1?}", t1.elapsed());
+
+    print!("{}", render_summary(&results));
+
+    let md = render_markdown(&results);
+    match std::fs::write(output, &md) {
+        Ok(()) => eprintln!("wrote {output}"),
+        Err(e) => {
+            eprintln!("failed to write {output}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

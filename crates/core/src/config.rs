@@ -1,0 +1,114 @@
+//! Study configuration and scale presets.
+
+use crate::ablation::Ablation;
+use ipv6_study_netaddr::STUDY_PREFIX_LENGTHS;
+use ipv6_study_telemetry::time::{study_end, study_start};
+use ipv6_study_telemetry::{DateRange, SimDate};
+
+/// Configuration for one study run.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Master seed; every address, user and campaign derives from it.
+    pub seed: u64,
+    /// Number of benign households (≈ 2.1 users each).
+    pub households: u64,
+    /// Number of attacker campaigns.
+    pub campaigns: u32,
+    /// Full study window (the paper's Jan 23 – Apr 19 2020).
+    pub full_range: DateRange,
+    /// Dense window: all users simulated (must end at `full_range.end`).
+    pub dense_range: DateRange,
+    /// IPv6 prefix lengths collected by the prefix random samples.
+    pub prefix_lengths: Vec<u8>,
+    /// Mechanism ablation (Baseline for the real model).
+    pub ablation: Ablation,
+}
+
+impl StudyConfig {
+    /// The default scale: large enough that every figure's shape is
+    /// populated, small enough to run in seconds in release mode.
+    pub fn default_scale() -> Self {
+        Self::at_scale(42, 20_000)
+    }
+
+    /// A small scale for integration tests (debug-mode friendly).
+    pub fn test_scale() -> Self {
+        let mut cfg = Self::at_scale(42, 2_500);
+        cfg.dense_range = DateRange::new(SimDate::ymd(4, 12), SimDate::ymd(4, 19));
+        cfg
+    }
+
+    /// A minimal scale for doctests and smoke tests.
+    pub fn tiny() -> Self {
+        let mut cfg = Self::at_scale(42, 400);
+        cfg.full_range = DateRange::new(SimDate::ymd(4, 6), SimDate::ymd(4, 19));
+        cfg.dense_range = DateRange::new(SimDate::ymd(4, 13), SimDate::ymd(4, 19));
+        cfg.campaigns = 20;
+        cfg
+    }
+
+    /// A large scale for the full reproduction run (release mode).
+    pub fn full_scale() -> Self {
+        Self::at_scale(42, 60_000)
+    }
+
+    /// Builds a config at the given household scale with the standard
+    /// windows: panel over the full study range, dense over the last two
+    /// weeks (Apr 6–19), campaigns sized to ~1 per 150 households.
+    pub fn at_scale(seed: u64, households: u64) -> Self {
+        Self {
+            seed,
+            households,
+            campaigns: (households / 25).max(20) as u32,
+            full_range: DateRange::new(study_start(), study_end()),
+            dense_range: DateRange::new(SimDate::ymd(4, 6), SimDate::ymd(4, 19)),
+            prefix_lengths: STUDY_PREFIX_LENGTHS.to_vec(),
+            ablation: Ablation::Baseline,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics when the dense window is not a suffix of the full window.
+    pub fn validate(&self) {
+        assert!(self.households > 0, "need households");
+        assert!(
+            self.dense_range.start >= self.full_range.start
+                && self.dense_range.end == self.full_range.end,
+            "dense window must be a suffix of the full window"
+        );
+        assert!(!self.prefix_lengths.is_empty(), "need at least one prefix length");
+        for &l in &self.prefix_lengths {
+            assert!(l <= 128, "bad prefix length {l}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        StudyConfig::default_scale().validate();
+        StudyConfig::test_scale().validate();
+        StudyConfig::tiny().validate();
+        StudyConfig::full_scale().validate();
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(StudyConfig::tiny().households < StudyConfig::test_scale().households);
+        assert!(StudyConfig::test_scale().households < StudyConfig::default_scale().households);
+        assert!(StudyConfig::default_scale().households < StudyConfig::full_scale().households);
+    }
+
+    #[test]
+    #[should_panic(expected = "suffix")]
+    fn invalid_dense_window_rejected() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.dense_range = DateRange::new(SimDate::ymd(2, 1), SimDate::ymd(2, 5));
+        cfg.validate();
+    }
+}

@@ -1,0 +1,996 @@
+//! The experiment registry: one function per table/figure in the paper.
+//!
+//! Every function takes a completed [`Study`] and returns an
+//! [`ExperimentOutput`] — figures (plottable series), tables, and named
+//! scalar statistics. The scalar statistics are the quantities the paper
+//! quotes in prose (e.g. "95% of IPv6 addresses had a single user"); the
+//! `repro` binary compares them against [`crate::paper`]'s reference values
+//! to build EXPERIMENTS.md.
+
+use std::collections::HashMap;
+
+use ipv6_study_analysis::characterize::{
+    asn_low_v6_shares, asn_ratio_table, client_patterns, country_ratio_table, prevalence_series,
+};
+use ipv6_study_analysis::ip_centric::{
+    abuse_per_ip, abuse_per_prefix, users_per_ip, users_per_prefix, users_per_v4_addr,
+};
+use ipv6_study_analysis::outliers::{
+    heavy_ip_asn_concentration, heavy_prefix_asn_concentration, outlier_user_prevalence_ratio,
+    signature_predictability, tail_stats,
+};
+use ipv6_study_analysis::similarity::most_similar;
+use ipv6_study_analysis::user_centric::{
+    addrs_per_user, address_lifespans, prefix_lifespans, prefixes_per_user,
+};
+use ipv6_study_analysis::{CdfSeries, FigureReport, TableReport};
+use ipv6_study_secapp::actioning::{actioning_roc, operating_points, Granularity};
+use ipv6_study_secapp::blocklist::{evaluate_over_days, Blocklist};
+use ipv6_study_secapp::mlfeatures::{training_set, LogisticModel};
+use ipv6_study_secapp::ratelimit::recommend_threshold;
+use ipv6_study_secapp::signatures::HeavyAddressPredictor;
+use ipv6_study_secapp::threat_exchange::{half_life, value_decay};
+use ipv6_study_stats::Ecdf;
+use ipv6_study_telemetry::time::{focus_day_ip, focus_day_user, focus_week};
+use ipv6_study_telemetry::{DateRange, RequestRecord, SimDate, UserId};
+
+use crate::study::Study;
+
+/// The output of one experiment.
+#[derive(Debug, Default)]
+pub struct ExperimentOutput {
+    /// Figures regenerated.
+    pub figures: Vec<FigureReport>,
+    /// Tables regenerated.
+    pub tables: Vec<TableReport>,
+    /// Named scalar findings, for paper-vs-measured comparison.
+    pub stats: Vec<(String, f64)>,
+}
+
+impl ExperimentOutput {
+    fn stat(&mut self, name: &str, value: f64) {
+        self.stats.push((name.to_string(), value));
+    }
+
+    /// Looks up a scalar statistic by name.
+    pub fn get_stat(&self, name: &str) -> Option<f64> {
+        self.stats.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// Figure 1 — daily IPv6 share of users and of requests.
+pub fn fig1_prevalence(study: &mut Study) -> ExperimentOutput {
+    let range = study.config.full_range;
+    let user = study.datasets.user_sample.in_range(range).to_vec();
+    let req = study.datasets.request_sample.in_range(range).to_vec();
+    let pts = prevalence_series(&user, &req, range);
+    let mut out = ExperimentOutput::default();
+    let fig = FigureReport::new("Figure 1", "daily IPv6 proportion of users and requests")
+        .with(CdfSeries::from_u64(
+            "users",
+            pts.iter().map(|p| (u64::from(p.day.index()), p.user_share)),
+        ))
+        .with(CdfSeries::from_u64(
+            "requests",
+            pts.iter().map(|p| (u64::from(p.day.index()), p.request_share)),
+        ));
+    out.figures.push(fig);
+
+    let mean = |f: &dyn Fn(&ipv6_study_analysis::characterize::PrevalencePoint) -> f64,
+                lo: SimDate,
+                hi: SimDate| {
+        let sel: Vec<f64> =
+            pts.iter().filter(|p| p.day >= lo && p.day <= hi).map(f).collect();
+        sel.iter().sum::<f64>() / sel.len().max(1) as f64
+    };
+    let early_end = range.start + 13;
+    let late_start = range.end - 13;
+    out.stat("fig1.user_share_mean", mean(&|p| p.user_share, range.start, range.end));
+    out.stat("fig1.request_share_mean", mean(&|p| p.request_share, range.start, range.end));
+    out.stat(
+        "fig1.user_share_lockdown_delta",
+        mean(&|p| p.user_share, late_start, range.end)
+            - mean(&|p| p.user_share, range.start, early_end),
+    );
+    out.stat(
+        "fig1.request_share_lockdown_delta",
+        mean(&|p| p.request_share, late_start, range.end)
+            - mean(&|p| p.request_share, range.start, early_end),
+    );
+    // Weekend effect: mean over weekends minus weekdays (pre-lockdown part).
+    let pre = SimDate::ymd(3, 7);
+    let (mut we, mut wd) = (Vec::new(), Vec::new());
+    for p in pts.iter().filter(|p| p.day <= pre) {
+        if p.day.is_weekend() {
+            we.push(p.user_share);
+        } else {
+            wd.push(p.user_share);
+        }
+    }
+    out.stat(
+        "fig1.weekend_user_share_delta",
+        we.iter().sum::<f64>() / we.len().max(1) as f64
+            - wd.iter().sum::<f64>() / wd.len().max(1) as f64,
+    );
+    out
+}
+
+/// Table 1 — top ASNs by IPv6 user ratio (plus §4.2's low-deployment tail).
+pub fn tab1_asns(study: &mut Study) -> ExperimentOutput {
+    let recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+    // The paper requires ≥1k users per ASN, i.e. ~0.04% of its 2.6M
+    // sampled users; scale that floor to our sampled-user count.
+    let distinct_users = ipv6_study_telemetry::RequestStore::distinct_users(&recs).len();
+    let min_users = ((distinct_users as f64) * 0.004).ceil().max(12.0) as u64;
+    let rows = asn_ratio_table(&recs, min_users);
+    let mut out = ExperimentOutput::default();
+    let mut table = TableReport::new(
+        "Table 1",
+        format!("top ASNs by IPv6 user ratio (≥{min_users} sampled users)"),
+        &["Rank", "ASN", "Name", "Kind", "Country", "Users", "Ratio"],
+    );
+    for (i, row) in rows.iter().take(10).enumerate() {
+        let net = study.world.find_by_asn(row.key);
+        table.push_row(vec![
+            (i + 1).to_string(),
+            row.key.to_string(),
+            net.map_or("?".into(), |n| n.name.clone()),
+            net.map_or("?".into(), |n| n.kind.to_string()),
+            net.map_or("?".into(), |n| n.country.to_string()),
+            row.users.to_string(),
+            format!("{:.2}", row.ratio),
+        ]);
+    }
+    out.tables.push(table);
+    let (zero, low) = asn_low_v6_shares(&rows);
+    out.stat("tab1.top_ratio", rows.first().map_or(0.0, |r| r.ratio));
+    out.stat("tab1.rank10_ratio", rows.get(9).map_or(0.0, |r| r.ratio));
+    out.stat("tab1.zero_v6_share", zero);
+    out.stat("tab1.low_v6_share", low);
+    out
+}
+
+/// Table 2 + Figure 12 — top countries by IPv6 user ratio, Jan vs Apr.
+pub fn tab2_countries(study: &mut Study) -> ExperimentOutput {
+    let jan = DateRange::new(SimDate::ymd(1, 23), SimDate::ymd(1, 29));
+    let jan_recs = study.datasets.user_sample.in_range(jan).to_vec();
+    let apr_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+    let distinct_users = ipv6_study_telemetry::RequestStore::distinct_users(&apr_recs).len();
+    let min_users = ((distinct_users as f64) * 0.004).ceil().max(12.0) as u64;
+    let jan_rows = country_ratio_table(&jan_recs, min_users);
+    let apr_rows = country_ratio_table(&apr_recs, min_users);
+
+    let mut out = ExperimentOutput::default();
+    for (label, rows) in [("Jan 23-29", &jan_rows), ("Apr 13-19", &apr_rows)] {
+        let mut table = TableReport::new(
+            "Table 2",
+            format!("top countries by IPv6 user ratio, {label}"),
+            &["Rank", "Country", "Users", "Ratio"],
+        );
+        for (i, row) in rows.iter().take(10).enumerate() {
+            table.push_row(vec![
+                (i + 1).to_string(),
+                row.key.to_string(),
+                row.users.to_string(),
+                format!("{:.3}", row.ratio),
+            ]);
+        }
+        out.tables.push(table);
+    }
+    // Figure 12's choropleth data = the full apr table; emit as CSV table.
+    let mut choro = TableReport::new(
+        "Figure 12",
+        "choropleth data: IPv6 user ratio per country (Apr 13-19)",
+        &["Country", "Users", "Ratio"],
+    );
+    for row in &apr_rows {
+        choro.push_row(vec![
+            row.key.to_string(),
+            row.users.to_string(),
+            format!("{:.3}", row.ratio),
+        ]);
+    }
+    out.tables.push(choro);
+
+    // Statistics use a low user floor so small countries (Germany, Puerto
+    // Rico, Belarus) stay visible at every simulation scale.
+    let jan_all = country_ratio_table(&jan_recs, 5);
+    let apr_all = country_ratio_table(&apr_recs, 5);
+    let ratio_of = |rows: &[ipv6_study_analysis::characterize::RatioRow<_>], code: &str| {
+        rows.iter()
+            .find(|r| r.key == ipv6_study_telemetry::Country::new(code))
+            .map_or(f64::NAN, |r| r.ratio)
+    };
+    out.stat("tab2.in_apr", ratio_of(&apr_all, "IN"));
+    out.stat("tab2.us_apr", ratio_of(&apr_all, "US"));
+    out.stat("tab2.de_jan", ratio_of(&jan_all, "DE"));
+    out.stat("tab2.de_apr", ratio_of(&apr_all, "DE"));
+    out.stat("tab2.de_delta", ratio_of(&apr_all, "DE") - ratio_of(&jan_all, "DE"));
+    out.stat("tab2.by_delta", ratio_of(&apr_all, "BY") - ratio_of(&jan_all, "BY"));
+    out.stat("tab2.pr_delta", ratio_of(&apr_all, "PR") - ratio_of(&jan_all, "PR"));
+    out
+}
+
+/// §4.4 — client IPv6 address patterns.
+pub fn c44_client_patterns(study: &mut Study) -> ExperimentOutput {
+    let recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+    let p = client_patterns(&recs);
+    let mut out = ExperimentOutput::default();
+    out.stat("c44.v6_users", p.v6_users as f64);
+    out.stat("c44.transition_share", p.transition_share);
+    out.stat("c44.mac_embedded_share", p.mac_embedded_share);
+    out.stat("c44.iid_reuse_share", p.iid_reuse_share);
+    out.stat("c44.iid_entropy_bits", p.iid_entropy_bits);
+    out
+}
+
+fn cdf_series(label: &str, e: &Ecdf, max_x: u64) -> CdfSeries {
+    CdfSeries::from_u64(label, (0..=max_x).map(|x| (x, e.fraction_le(x))))
+}
+
+/// Figure 2 — addresses per user (benign), one day and one week.
+pub fn fig2_addrs_per_user(study: &mut Study) -> ExperimentOutput {
+    let day_recs = study.datasets.user_sample.on_day(focus_day_user()).to_vec();
+    let week_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+    let filter = |u: UserId| !study.labels.is_abusive(u);
+    let day = addrs_per_user(&day_recs, filter);
+    let week = addrs_per_user(&week_recs, filter);
+    let mut out = ExperimentOutput::default();
+    out.figures.push(
+        FigureReport::new("Figure 2", "CDFs of addresses per user, 1 day and 7 days")
+            .with(cdf_series("IPv4: 1 Day", &day.v4, 30))
+            .with(cdf_series("IPv6: 1 Day", &day.v6, 30))
+            .with(cdf_series("IPv4: 7 Days", &week.v4, 30))
+            .with(cdf_series("IPv6: 7 Days", &week.v6, 30)),
+    );
+    out.stat("fig2.v4_day_single", day.v4.fraction_le(1));
+    out.stat("fig2.v6_day_single", day.v6.fraction_le(1));
+    out.stat("fig2.v4_day_gt5", day.v4.fraction_gt(5));
+    out.stat("fig2.v6_day_gt5", day.v6.fraction_gt(5));
+    out.stat("fig2.v4_week_median", week.v4.median().unwrap_or(0) as f64);
+    out.stat("fig2.v6_week_median", week.v6.median().unwrap_or(0) as f64);
+    out
+}
+
+/// Figure 3 — addresses per abusive account, one day.
+pub fn fig3_aa_addrs(study: &mut Study) -> ExperimentOutput {
+    let day_recs = study.abuse_store.on_day(focus_day_user()).to_vec();
+    let aa = addrs_per_user(&day_recs, |_| true);
+    let mut out = ExperimentOutput::default();
+    out.figures.push(
+        FigureReport::new("Figure 3", "CDFs of addresses per abusive account, 1 day")
+            .with(cdf_series("IPv6: 1 Day", &aa.v6, 10))
+            .with(cdf_series("IPv4: 1 Day", &aa.v4, 10)),
+    );
+    out.stat("fig3.v4_day_single", aa.v4.fraction_le(1));
+    out.stat("fig3.v6_day_single", aa.v6.fraction_le(1));
+    out.stat("fig3.v4_mean", aa.v4.mean().unwrap_or(0.0));
+    out.stat("fig3.v6_mean", aa.v6.mean().unwrap_or(0.0));
+    out
+}
+
+/// §5.1.3 — outlier users by address count, benign and abusive.
+pub fn o51_user_outliers(study: &mut Study) -> ExperimentOutput {
+    let week_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+    let filter = |u: UserId| !study.labels.is_abusive(u);
+    let week = addrs_per_user(&week_recs, filter);
+    let aa_recs = study.abuse_store.in_range(focus_week()).to_vec();
+    let aa_week = addrs_per_user(&aa_recs, |_| true);
+
+    let thresholds = [100u64, 300, 1000];
+    let v4 = tail_stats(&week.v4_counts, &thresholds);
+    let v6 = tail_stats(&week.v6_counts, &thresholds);
+    let aa4 = tail_stats(&aa_week.v4_counts, &thresholds);
+    let aa6 = tail_stats(&aa_week.v6_counts, &thresholds);
+
+    let mut out = ExperimentOutput::default();
+    let mut t = TableReport::new(
+        "§5.1.3",
+        "outlier users by weekly address count",
+        &["Population", "Total", ">100", ">300", ">1000", "Max"],
+    );
+    for (label, s) in
+        [("users v4", &v4), ("users v6", &v6), ("AA v4", &aa4), ("AA v6", &aa6)]
+    {
+        t.push_row(vec![
+            label.into(),
+            s.total.to_string(),
+            s.above(100).to_string(),
+            s.above(300).to_string(),
+            s.above(1000).to_string(),
+            s.max.to_string(),
+        ]);
+    }
+    out.tables.push(t);
+    out.stat("o51.v4_users_gt300", v4.above(300) as f64);
+    out.stat("o51.v6_users_gt300", v6.above(300) as f64);
+    out.stat("o51.v4_max", v4.max as f64);
+    out.stat("o51.v6_max", v6.max as f64);
+    out.stat("o51.aa_v4_max", aa4.max as f64);
+    out.stat("o51.aa_v6_max", aa6.max as f64);
+    if let Some(r) = outlier_user_prevalence_ratio(&week.v4_counts, &week.v6_counts, 300) {
+        out.stat("o51.v6_to_v4_outlier_prevalence_ratio", r);
+    }
+    out
+}
+
+/// Figure 4 — IPv6 prefixes per user (users and abusive accounts).
+pub fn fig4_prefix_span(study: &mut Study) -> ExperimentOutput {
+    let lengths: Vec<u8> = vec![32, 36, 40, 44, 48, 52, 56, 60, 64, 68, 72, 80, 96, 112, 128];
+    let week_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+    let filter = |u: UserId| !study.labels.is_abusive(u);
+    let users = prefixes_per_user(&week_recs, &lengths, filter);
+    let aa_recs = study.abuse_store.in_range(focus_week()).to_vec();
+    let aas = prefixes_per_user(&aa_recs, &lengths, |_| true);
+
+    let to_fig = |id: &str, caption: &str, rows: &[ipv6_study_analysis::user_centric::PrefixSpanRow]| {
+        FigureReport::new(id, caption)
+            .with(CdfSeries::from_u64("1", rows.iter().map(|r| (u64::from(r.len), r.le1))))
+            .with(CdfSeries::from_u64("<=2", rows.iter().map(|r| (u64::from(r.len), r.le2))))
+            .with(CdfSeries::from_u64("<=3", rows.iter().map(|r| (u64::from(r.len), r.le3))))
+    };
+    let mut out = ExperimentOutput::default();
+    out.figures.push(to_fig("Figure 4a", "% of users whose v6 addresses span <=k prefixes", &users));
+    out.figures.push(to_fig(
+        "Figure 4b",
+        "% of abusive accounts whose v6 addresses span <=k prefixes",
+        &aas,
+    ));
+    let at = |rows: &[ipv6_study_analysis::user_centric::PrefixSpanRow], len: u8| {
+        rows.iter().find(|r| r.len == len).map_or(0.0, |r| r.le1)
+    };
+    out.stat("fig4.users_le1_at128", at(&users, 128));
+    out.stat("fig4.users_le1_at72", at(&users, 72));
+    out.stat("fig4.users_le1_at64", at(&users, 64));
+    out.stat("fig4.users_le1_at48", at(&users, 48));
+    out.stat("fig4.users_le1_at40", at(&users, 40));
+    out.stat("fig4.jump_at_64", at(&users, 64) - at(&users, 68.min(72)));
+    out.stat("fig4.aa_le1_at64", at(&aas, 64));
+    out
+}
+
+/// Figure 5 — (user, address) life spans.
+pub fn fig5_lifespans(study: &mut Study) -> ExperimentOutput {
+    let focus = focus_day_user();
+    let lookback = DateRange::new(focus - 27, focus);
+    let history = study.datasets.user_sample.in_range(lookback).to_vec();
+    let filter = |u: UserId| !study.labels.is_abusive(u);
+    let l = address_lifespans(&history, focus, filter);
+    let mut out = ExperimentOutput::default();
+    out.figures.push(
+        FigureReport::new("Figure 5", "CDFs of address life spans for users (days)")
+            .with(cdf_series("Across v6s", &l.v6_pairs, 27))
+            .with(cdf_series("v6: User med", &l.v6_user_median, 27))
+            .with(cdf_series("Across v4s", &l.v4_pairs, 27))
+            .with(cdf_series("v4: User med", &l.v4_user_median, 27)),
+    );
+    out.stat("fig5.v4_newborn_share", l.v4_pairs.fraction_le(0));
+    out.stat("fig5.v6_newborn_share", l.v6_pairs.fraction_le(0));
+    out.stat("fig5.v4_gt7d_share", l.v4_pairs.fraction_gt(7));
+    out.stat("fig5.v6_gt7d_share", l.v6_pairs.fraction_gt(7));
+    out.stat("fig5.v4_ge27d_share", l.v4_pairs.fraction_gt(26));
+    out.stat("fig5.v6_ge27d_share", l.v6_pairs.fraction_gt(26));
+    out
+}
+
+/// Figure 6 — (user, prefix) life spans across prefix lengths.
+pub fn fig6_prefix_lifespans(study: &mut Study) -> ExperimentOutput {
+    let focus = focus_day_user();
+    let lookback = DateRange::new(focus - 27, focus);
+    let history = study.datasets.user_sample.in_range(lookback).to_vec();
+    let aa_history = study.abuse_store.in_range(lookback).to_vec();
+    let v6_lengths: Vec<u8> = vec![16, 24, 32, 40, 48, 56, 64, 72, 80, 96, 112, 128];
+    let v4_lengths: Vec<u8> = vec![8, 16, 24, 32];
+    let filter = |u: UserId| !study.labels.is_abusive(u);
+
+    let mut out = ExperimentOutput::default();
+    let always = |_: UserId| true;
+    let cases: [(&str, &[RequestRecord], &dyn Fn(UserId) -> bool); 2] = [
+        ("Figure 6a", history.as_slice(), &filter),
+        ("Figure 6b", aa_history.as_slice(), &always),
+    ];
+    for (id, recs, f) in cases {
+        let v6 = prefix_lifespans(recs, focus, &v6_lengths, true, f);
+        let v4 = prefix_lifespans(recs, focus, &v4_lengths, false, f);
+        let fig = FigureReport::new(id, "share of (user, prefix) pairs aged <=1/2/3 days")
+            .with(CdfSeries::from_u64("IPv6: 1d", v6.iter().map(|r| (u64::from(r.len), r.d1))))
+            .with(CdfSeries::from_u64("IPv6: <=2d", v6.iter().map(|r| (u64::from(r.len), r.d2))))
+            .with(CdfSeries::from_u64("IPv6: <=3d", v6.iter().map(|r| (u64::from(r.len), r.d3))))
+            .with(CdfSeries::from_u64("IPv4: 1d", v4.iter().map(|r| (u64::from(r.len), r.d1))))
+            .with(CdfSeries::from_u64("IPv4: <=2d", v4.iter().map(|r| (u64::from(r.len), r.d2))))
+            .with(CdfSeries::from_u64("IPv4: <=3d", v4.iter().map(|r| (u64::from(r.len), r.d3))));
+        if id == "Figure 6a" {
+            let at = |len: u8| v6.iter().find(|r| r.len == len).map_or(0.0, |r| r.d1);
+            out.stat("fig6.v6_new_at128", at(128));
+            out.stat("fig6.v6_new_at64", at(64));
+            out.stat("fig6.v6_new_at48", at(48));
+            out.stat(
+                "fig6.v4_new_at32",
+                v4.iter().find(|r| r.len == 32).map_or(0.0, |r| r.d1),
+            );
+        }
+        out.figures.push(fig);
+    }
+    out
+}
+
+/// Figure 7 — users per address, day and week.
+pub fn fig7_users_per_ip(study: &mut Study) -> ExperimentOutput {
+    let day_recs = study.datasets.ip_sample.on_day(focus_day_ip()).to_vec();
+    let week_recs = study.datasets.ip_sample.in_range(focus_week()).to_vec();
+    let day = users_per_ip(&day_recs);
+    let week = users_per_ip(&week_recs);
+    let mut out = ExperimentOutput::default();
+    out.figures.push(
+        FigureReport::new("Figure 7", "CDFs of users per IP address")
+            .with(cdf_series("IPv6: 1 day", &day.v6, 10))
+            .with(cdf_series("IPv6: 1 week", &week.v6, 10))
+            .with(cdf_series("IPv4: 1 day", &day.v4, 10))
+            .with(cdf_series("IPv4: 1 week", &week.v4, 10)),
+    );
+    out.stat("fig7.v4_day_single", day.v4.fraction_le(1));
+    out.stat("fig7.v6_day_single", day.v6.fraction_le(1));
+    out.stat("fig7.v6_day_le2", day.v6.fraction_le(2));
+    out.stat("fig7.v4_week_single", week.v4.fraction_le(1));
+    out.stat("fig7.v6_week_single", week.v6.fraction_le(1));
+    out.stat("fig7.v4_day_gt3", day.v4.fraction_gt(3));
+    out.stat("fig7.v6_day_gt3", day.v6.fraction_gt(3));
+    out
+}
+
+/// Figure 8 — abusive accounts and benign users per address-with-abuse.
+pub fn fig8_aa_per_ip(study: &mut Study) -> ExperimentOutput {
+    let day_recs = study.datasets.ip_sample.on_day(focus_day_ip()).to_vec();
+    let week_recs = study.datasets.ip_sample.in_range(focus_week()).to_vec();
+    let day = abuse_per_ip(&day_recs, &study.labels);
+    let week = abuse_per_ip(&week_recs, &study.labels);
+    let mut out = ExperimentOutput::default();
+    out.figures.push(
+        FigureReport::new("Figure 8", "populations on addresses with >=1 abusive account")
+            .with(cdf_series("AAs per IPv4: 1 day", &day.aa_v4, 10))
+            .with(cdf_series("AAs per IPv4: 1 week", &week.aa_v4, 10))
+            .with(cdf_series("AAs per IPv6: 1 week", &week.aa_v6, 10))
+            .with(cdf_series("Others per IPv4: 1 day", &day.benign_v4, 10))
+            .with(cdf_series("Others per IPv4: 1 week", &week.benign_v4, 10))
+            .with(cdf_series("Others per IPv6: 1 week", &week.benign_v6, 10)),
+    );
+    out.stat("fig8.v4_single_aa_day", day.aa_v4.fraction_le(1));
+    out.stat("fig8.v6_single_aa", week.aa_v6.fraction_le(1));
+    out.stat("fig8.v6_isolated_day", day.v6_isolated_share());
+    out.stat("fig8.v4_isolated_day", day.v4_isolated_share());
+    out.stat("fig8.v4_gt10_benign_day", day.benign_v4.fraction_gt(10));
+    out.stat("fig8.v6_gt1_benign_day", day.benign_v6.fraction_gt(1));
+    out
+}
+
+/// §6.1.3 — heavy addresses: tails, ASN concentration, predictability.
+pub fn o61_ip_outliers(study: &mut Study) -> ExperimentOutput {
+    let week_recs = study.datasets.ip_sample.in_range(focus_week()).to_vec();
+    let week = users_per_ip(&week_recs);
+    // Thresholds scaled to the simulation: a "heavy" address hosts >X
+    // users; the paper's 1k/200k translate down with population size.
+    // Scale-aware: a "heavy" address hosts more users than ~1/1500th of
+    // the simulated population (the paper's 10K+ of ~2.5B scales likewise).
+    let heavy = (study.approx_users / 1_500).max(8);
+    let mega = heavy * 3;
+    let mut v4_counts = HashMap::new();
+    let mut v6_counts = HashMap::new();
+    for (ip, &c) in &week.counts {
+        if matches!(ip, std::net::IpAddr::V6(_)) {
+            v6_counts.insert(*ip, c);
+        } else {
+            v4_counts.insert(*ip, c);
+        }
+    }
+    let v4 = tail_stats(&v4_counts, &[heavy, mega]);
+    let v6 = tail_stats(&v6_counts, &[heavy, mega]);
+    let conc_v6 = heavy_ip_asn_concentration(&week_recs, &week.counts, heavy, true);
+    let conc_v4 = heavy_ip_asn_concentration(&week_recs, &week.counts, heavy, false);
+    let sig = signature_predictability(&week.counts, heavy);
+
+    let mut out = ExperimentOutput::default();
+    let mut t = TableReport::new(
+        "§6.1.3",
+        "heavy addresses (users/week)",
+        &["Protocol", "Addresses", ">heavy", ">3x heavy", "Max", "ASNs(heavy)", "Top1 ASN share"],
+    );
+    t.push_row(vec![
+        "IPv4".into(),
+        v4.total.to_string(),
+        v4.above(heavy).to_string(),
+        v4.above(mega).to_string(),
+        v4.max.to_string(),
+        conc_v4.asns.to_string(),
+        format!("{:.2}", conc_v4.top1_share),
+    ]);
+    t.push_row(vec![
+        "IPv6".into(),
+        v6.total.to_string(),
+        v6.above(heavy).to_string(),
+        v6.above(mega).to_string(),
+        v6.max.to_string(),
+        conc_v6.asns.to_string(),
+        format!("{:.2}", conc_v6.top1_share),
+    ]);
+    out.tables.push(t);
+    out.stat("o61.v4_max_users", v4.max as f64);
+    out.stat("o61.v6_max_users", v6.max as f64);
+    out.stat("o61.v4_heavy_count", v4.above(heavy) as f64);
+    out.stat("o61.v6_heavy_count", v6.above(heavy) as f64);
+    out.stat("o61.v6_heavy_top1_asn_share", conc_v6.top1_share);
+    out.stat("o61.v4_heavy_asns", conc_v4.asns as f64);
+    out.stat("o61.v6_heavy_asns", conc_v6.asns as f64);
+    out.stat("o61.sig_heavy_share", sig.heavy_signature_share);
+    out.stat("o61.sig_light_share", sig.light_signature_share);
+
+    // Predictor evaluation (the "signatures are feasible" claim).
+    let mut asn_of = HashMap::new();
+    for r in &week_recs {
+        asn_of.entry(r.ip).or_insert(r.asn);
+    }
+    let predictor = HeavyAddressPredictor::learn(&week.counts, &asn_of, heavy);
+    let eval = predictor.evaluate(&week.counts, &asn_of, heavy);
+    out.stat("o61.predictor_precision", eval.precision);
+    out.stat("o61.predictor_recall", eval.recall);
+    out
+}
+
+/// Figure 9 — users per IPv6 prefix across lengths, with the IPv4 curve.
+pub fn fig9_users_per_prefix(study: &mut Study) -> ExperimentOutput {
+    let week = focus_week();
+    let lengths = [128u8, 72, 68, 64, 48, 44];
+    let mut out = ExperimentOutput::default();
+    let mut fig = FigureReport::new("Figure 9", "CDFs of users per IPv6 prefix (1 week)");
+    let mut singles: Vec<(u8, f64)> = Vec::new();
+    let mut candidates: Vec<(u8, Ecdf)> = Vec::new();
+    for len in lengths {
+        let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
+        let upp = users_per_prefix(&recs, len);
+        singles.push((len, upp.ecdf.fraction_le(1)));
+        fig = fig.with(cdf_series(&format!("/{len}"), &upp.ecdf, 10));
+        candidates.push((len, upp.ecdf));
+    }
+    let v4_recs = study.datasets.ip_sample.in_range(week).to_vec();
+    let v4 = users_per_v4_addr(&v4_recs);
+    fig = fig.with(cdf_series("IPv4", &v4, 10));
+    out.figures.push(fig);
+    for (len, s) in &singles {
+        out.stat(&format!("fig9.single_user_at{len}"), *s);
+    }
+    // Which prefix length matches IPv4 best (paper: /48)?
+    let sim = most_similar(&v4, &candidates);
+    out.stat("fig9.v4_best_match_len", f64::from(sim.best_len));
+    out.stat("fig9.v4_best_match_ks", sim.best_distance);
+    out
+}
+
+/// Figure 10 — abusive accounts and benign users per prefix-with-abuse.
+pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
+    let week = focus_week();
+    let mut out = ExperimentOutput::default();
+
+    // (a) abusive accounts per prefix.
+    let lengths_a = [128u8, 64, 60, 56, 52];
+    let mut fig_a = FigureReport::new("Figure 10a", "abusive accounts per prefix (1 week)");
+    let mut aa_candidates: Vec<(u8, Ecdf)> = Vec::new();
+    for len in lengths_a {
+        let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
+        let app = abuse_per_prefix(&recs, &study.labels, len);
+        fig_a = fig_a.with(cdf_series(&format!("/{len}"), &app.aa, 10));
+        aa_candidates.push((len, app.aa));
+    }
+    let v4_recs = study.datasets.ip_sample.in_range(week).to_vec();
+    let v4_view = abuse_per_ip(&v4_recs, &study.labels);
+    fig_a = fig_a.with(cdf_series("IPv4", &v4_view.aa_v4, 10));
+    out.figures.push(fig_a);
+
+    // (b) benign users per prefix containing abuse.
+    let lengths_b = [128u8, 96, 72, 68, 64, 56];
+    let mut fig_b =
+        FigureReport::new("Figure 10b", "benign users per prefix with abusive accounts (1 week)");
+    let mut benign_candidates: Vec<(u8, Ecdf)> = Vec::new();
+    for len in lengths_b {
+        let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
+        let app = abuse_per_prefix(&recs, &study.labels, len);
+        fig_b = fig_b.with(cdf_series(&format!("/{len}"), &app.benign, 10));
+        benign_candidates.push((len, app.benign));
+    }
+    fig_b = fig_b.with(cdf_series("IPv4", &v4_view.benign_v4, 10));
+    out.figures.push(fig_b);
+
+    let single_at = |cands: &[(u8, Ecdf)], len: u8| {
+        cands.iter().find(|(l, _)| *l == len).map_or(0.0, |(_, e)| e.fraction_le(1))
+    };
+    out.stat("fig10.aa_single_at64", single_at(&aa_candidates, 64));
+    out.stat("fig10.aa_single_at56", single_at(&aa_candidates, 56));
+    out.stat(
+        "fig10.benign_le1_at64",
+        benign_candidates
+            .iter()
+            .find(|(l, _)| *l == 64)
+            .map_or(0.0, |(_, e)| e.fraction_le(1)),
+    );
+    // The paper's /56 ≈ IPv4 similarity claims.
+    let sim_aa = most_similar(&v4_view.aa_v4, &aa_candidates);
+    out.stat("fig10.v4_aa_best_match_len", f64::from(sim_aa.best_len));
+    let sim_benign = most_similar(&v4_view.benign_v4, &benign_candidates);
+    out.stat("fig10.v4_benign_best_match_len", f64::from(sim_benign.best_len));
+    out
+}
+
+/// §6.2.3 — heavy prefixes: /112 domination and ASN concentration.
+pub fn o62_prefix_outliers(study: &mut Study) -> ExperimentOutput {
+    // §6.2.3's own method: the interesting prefixes are far too few for
+    // the prefix random sample to hit, so the paper (and we) count *user
+    // sample members per prefix* and extrapolate — a prefix with k sampled
+    // users has k/rate users in expectation.
+    let week = focus_week();
+    let rate = study.user_sample_rate();
+    let heavy_pop = (study.approx_users / 1_500).max(8);
+    // Require a few sampled users on top of the expected-population bar,
+    // to keep noise out at small scales.
+    let heavy_sampled = ((heavy_pop as f64 * rate).ceil() as u64).max(3);
+    let recs = study.datasets.user_sample.in_range(week).to_vec();
+    let mut out = ExperimentOutput::default();
+    let mut per_len = HashMap::new();
+    for len in [112u8, 64, 48] {
+        let upp = users_per_prefix(&recs, len);
+        let stats = tail_stats(&upp.counts, &[heavy_sampled]);
+        out.stat(&format!("o62.heavy_p{len}_count"), stats.above(heavy_sampled) as f64);
+        out.stat(&format!("o62.max_users_p{len}"), stats.max as f64 / rate);
+        per_len.insert(len, upp);
+    }
+    // ASN concentration of heavy /64s (paper: M247 21%, top-4 61%).
+    let upp64 = &per_len[&64];
+    let conc = heavy_prefix_asn_concentration(&recs, &upp64.counts, heavy_sampled);
+    out.stat("o62.heavy_p64_asns", conc.asns as f64);
+    out.stat("o62.heavy_p64_top1_share", conc.top1_share);
+    out.stat("o62.heavy_p64_top4_share", conc.top4_share);
+    // The /112-equals-/64 gateway structure: the top /112's population
+    // should rival the top /64's (the paper's "these /112 dominate").
+    let max112 = per_len[&112].counts.values().copied().max().unwrap_or(0);
+    let max64 = upp64.counts.values().copied().max().unwrap_or(0);
+    out.stat("o62.max112_over_max64", if max64 == 0 { 0.0 } else { max112 as f64 / max64 as f64 });
+    out
+}
+
+/// Figure 11 — the actioning ROC at /128, /64, /56 and IPv4, pooled over
+/// the last three day pairs (the paper repeats per-day analyses over
+/// several days; pooling keeps small-scale runs statistically stable).
+pub fn fig11_roc(study: &mut Study) -> ExperimentOutput {
+    let mut out = ExperimentOutput::default();
+    let mut fig = FigureReport::new("Figure 11", "day-over-day actioning ROC");
+    let thresholds: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+
+    let grans = [
+        Granularity::V6Full,
+        Granularity::V6Prefix(64),
+        Granularity::V6Prefix(56),
+        Granularity::V4Full,
+    ];
+    // Full-population day pairs: the paper's scenario without sampling
+    // noise (abusive units are rare; samples would starve the curves).
+    let last = focus_day_user();
+    let pair_days: Vec<(Vec<RequestRecord>, Vec<RequestRecord>)> = (0..3u16)
+        .map(|k| {
+            (
+                study.pair_store.on_day(last - (k + 1)).to_vec(),
+                study.pair_store.on_day(last - k).to_vec(),
+            )
+        })
+        .collect();
+    for gran in grans {
+        let mut curve = ipv6_study_stats::RocCurve::new();
+        for (n_recs, n1_recs) in &pair_days {
+            let c = actioning_roc(n_recs, n1_recs, &study.labels, gran);
+            curve.extend_from(&c);
+        }
+        let pts = curve.sweep(&thresholds, None);
+        fig = fig.with(CdfSeries {
+            label: gran.label(),
+            points: {
+                let mut p: Vec<(f64, f64)> =
+                    pts.iter().map(|p| (p.fpr, p.tpr)).collect();
+                p.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                p
+            },
+        });
+        let op = operating_points(&curve);
+        let tag = gran.label().replace('/', "p");
+        out.stat(&format!("fig11.{tag}_max_tpr"), op.max_tpr);
+        out.stat(&format!("fig11.{tag}_t0_fpr"), op.t0.1);
+        out.stat(&format!("fig11.{tag}_t10_tpr"), op.t10.0);
+        out.stat(&format!("fig11.{tag}_t10_fpr"), op.t10.1);
+        out.stat(&format!("fig11.{tag}_t100_tpr"), op.t100.0);
+        out.stat(&format!("fig11.{tag}_tpr_at_fpr_1pct"), curve.tpr_at_fpr(0.01, None));
+    }
+    out.figures.push(fig);
+    out
+}
+
+/// §7.2 — defense mechanisms: blocklist decay, threat-exchange half-life,
+/// rate-limit thresholds, and the ML protocol-transfer gap.
+pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
+    let mut out = ExperimentOutput::default();
+    let list_day = SimDate::ymd(4, 13);
+
+    // Blocklist decay at three granularities.
+    for (gran, name) in [
+        (Granularity::V6Full, "v6_addr"),
+        (Granularity::V6Prefix(64), "v6_p64"),
+        (Granularity::V4Full, "v4_addr"),
+    ] {
+        let (store_day, later): (Vec<RequestRecord>, Vec<(SimDate, Vec<RequestRecord>)>) =
+            match gran {
+                Granularity::V6Prefix(len) => (
+                    study.datasets.prefix_sample(len).on_day(list_day).to_vec(),
+                    (1..=6u16)
+                        .map(|k| {
+                            let d = list_day + k;
+                            (d, study.datasets.prefix_sample(len).on_day(d).to_vec())
+                        })
+                        .collect(),
+                ),
+                _ => (
+                    study.datasets.ip_sample.on_day(list_day).to_vec(),
+                    (1..=6u16)
+                        .map(|k| {
+                            let d = list_day + k;
+                            (d, study.datasets.ip_sample.on_day(d).to_vec())
+                        })
+                        .collect(),
+                ),
+            };
+        let bl = Blocklist::from_day(&store_day, &study.labels, gran, 0.5, list_day, 14);
+        let evals = evaluate_over_days(
+            &bl,
+            &study.labels,
+            list_day,
+            later.iter().map(|(d, r)| (*d, r.as_slice())),
+        );
+        if let Some(first) = evals.first() {
+            out.stat(&format!("s72.blocklist_{name}_day1_recall"), first.recall);
+            out.stat(&format!("s72.blocklist_{name}_day1_collateral"), first.collateral);
+        }
+        if let Some(last) = evals.last() {
+            out.stat(&format!("s72.blocklist_{name}_day6_recall"), last.recall);
+        }
+
+        // Threat-exchange decay on the same data.
+        let decay = value_decay(
+            &store_day,
+            &study.labels,
+            gran,
+            later.iter().map(|(d, r)| (d.days_since(list_day), r.as_slice())),
+        );
+        let fig_label = format!("exchange decay: {name}");
+        out.figures.push(
+            FigureReport::new(format!("§7.2 decay {name}"), fig_label).with(CdfSeries::from_u64(
+                "residual recall",
+                decay.iter().map(|p| (u64::from(p.offset), p.residual_recall)),
+            )),
+        );
+        out.stat(
+            &format!("s72.exchange_{name}_half_life"),
+            half_life(&decay).map_or(7.0, f64::from),
+        );
+    }
+
+    // Rate-limit recommendations from users-per-key distributions.
+    let week = focus_week();
+    let day_recs = study.datasets.ip_sample.in_range(week).to_vec();
+    let per_ip = users_per_ip(&day_recs);
+    let per_p64 = {
+        let recs = study.datasets.prefix_sample(64).in_range(week).to_vec();
+        users_per_prefix(&recs, 64).ecdf
+    };
+    let q = 0.999;
+    let per_user_budget = 200;
+    let r_v6 = recommend_threshold(&per_ip.v6, per_user_budget, q);
+    let r_v4 = recommend_threshold(&per_ip.v4, per_user_budget, q);
+    let r_p64 = recommend_threshold(&per_p64, per_user_budget, q);
+    out.stat("s72.ratelimit_v6_addr_budget", r_v6.requests_per_day as f64);
+    out.stat("s72.ratelimit_v4_addr_budget", r_v4.requests_per_day as f64);
+    out.stat("s72.ratelimit_v6_p64_budget", r_p64.requests_per_day as f64);
+    out.stat(
+        "s72.ratelimit_v4_over_v6",
+        r_v4.requests_per_day as f64 / r_v6.requests_per_day.max(1) as f64,
+    );
+
+    // ML transfer: train/test within and across protocols, on the
+    // full-population day pair.
+    let d0 = focus_day_user() - 1;
+    let d1 = focus_day_user();
+    let day = study.pair_store.on_day(d0).to_vec();
+    let next = study.pair_store.on_day(d1).to_vec();
+    let v4_set = training_set(&day, &next, &study.labels, Some(false));
+    let v6_set = training_set(&day, &next, &study.labels, Some(true));
+    if !v4_set.is_empty() && !v6_set.is_empty() {
+        let m_v4 = LogisticModel::train(&v4_set, 200, 0.3);
+        let m_v6 = LogisticModel::train(&v6_set, 200, 0.3);
+        out.stat("s72.ml_v4_on_v4_auc", m_v4.auc(&v4_set));
+        out.stat("s72.ml_v6_on_v6_auc", m_v6.auc(&v6_set));
+        out.stat("s72.ml_v4_on_v6_auc", m_v4.auc(&v6_set));
+    }
+    out
+}
+
+/// §8 (future work) — per-network-type breakdown: the paper's own first
+/// "future work" item, "characterizing IPv6 behavior across different
+/// network types, such as mobile, residential, and enterprise networks".
+/// We have the full world, so we can answer it: per network kind, how many
+/// addresses a user burns in a day, how many users share an address, and
+/// how ephemeral (user, address) pairs are.
+pub fn x81_network_breakdown(study: &mut Study) -> ExperimentOutput {
+    use ipv6_study_netmodel::NetworkKind;
+    let mut out = ExperimentOutput::default();
+    let day_recs = study.datasets.ip_sample.on_day(focus_day_ip()).to_vec();
+    let user_day = study.datasets.user_sample.on_day(focus_day_user()).to_vec();
+    let focus = focus_day_user();
+    let lookback = DateRange::new(focus - 27, focus);
+    let history = study.datasets.user_sample.in_range(lookback).to_vec();
+
+    // ASN → kind map from the world.
+    let kind_of: HashMap<u32, NetworkKind> =
+        study.world.networks().iter().map(|n| (n.asn.0, n.kind)).collect();
+    let mut table = TableReport::new(
+        "§8 breakdown",
+        "per-network-type behavior (IPv6 focus; day = Apr 13/19)",
+        &[
+            "Kind",
+            "v6 users/addr (mean)",
+            "v6 addrs/user (mean)",
+            "v6 newborn pairs",
+            "v4 users/addr (mean)",
+        ],
+    );
+    let labels = &study.labels;
+    for kind in NetworkKind::ALL {
+        let keep = |r: &RequestRecord| kind_of.get(&r.asn.0) == Some(&kind);
+        let ip_recs: Vec<RequestRecord> = day_recs.iter().filter(|r| keep(r)).copied().collect();
+        let us_recs: Vec<RequestRecord> = user_day.iter().filter(|r| keep(r)).copied().collect();
+        let hist: Vec<RequestRecord> = history.iter().filter(|r| keep(r)).copied().collect();
+        let upi = users_per_ip(&ip_recs);
+        let apu = addrs_per_user(&us_recs, |u| !labels.is_abusive(u));
+        let life = address_lifespans(&hist, focus, |u| !labels.is_abusive(u));
+        let tag = kind.to_string();
+        let users_per_addr = upi.v6.mean().unwrap_or(0.0);
+        let addrs_per = apu.v6.mean().unwrap_or(0.0);
+        let newborn = life.v6_pairs.fraction_le(0);
+        let v4_users = upi.v4.mean().unwrap_or(0.0);
+        out.stat(&format!("x81.{tag}_v6_users_per_addr"), users_per_addr);
+        out.stat(&format!("x81.{tag}_v6_addrs_per_user"), addrs_per);
+        out.stat(&format!("x81.{tag}_v6_newborn"), newborn);
+        out.stat(&format!("x81.{tag}_v4_users_per_addr"), v4_users);
+        table.push_row(vec![
+            tag,
+            format!("{users_per_addr:.2}"),
+            format!("{addrs_per:.2}"),
+            format!("{newborn:.2}"),
+            format!("{v4_users:.2}"),
+        ]);
+    }
+    out.tables.push(table);
+    out
+}
+
+/// Appendix A — pandemic before/after comparison: the paper re-runs its
+/// user-centric analyses on pre-pandemic data (e.g. Feb 12–18) and finds
+/// only small shifts — slightly lower IP diversity and slightly longer
+/// life spans during lockdowns, "no data point differs by more than 4%"
+/// (A.5). We regenerate that comparison from the panel data.
+pub fn apx_pandemic_compare(study: &mut Study) -> ExperimentOutput {
+    let mut out = ExperimentOutput::default();
+    let filter = |u: UserId| !study.labels.is_abusive(u);
+
+    // Addresses per user, pre-pandemic week vs focus week (A.3).
+    let pre_week = ipv6_study_telemetry::time::prepandemic_week();
+    let pre_recs = study.datasets.user_sample.in_range(pre_week).to_vec();
+    let apr_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+    let pre = addrs_per_user(&pre_recs, filter);
+    let apr = addrs_per_user(&apr_recs, filter);
+    out.stat("apx.v6_week_mean_feb", pre.v6.mean().unwrap_or(0.0));
+    out.stat("apx.v6_week_mean_apr", apr.v6.mean().unwrap_or(0.0));
+    out.stat("apx.v4_week_mean_feb", pre.v4.mean().unwrap_or(0.0));
+    out.stat("apx.v4_week_mean_apr", apr.v4.mean().unwrap_or(0.0));
+    out.stat(
+        "apx.v6_diversity_delta",
+        apr.v6.mean().unwrap_or(0.0) - pre.v6.mean().unwrap_or(0.0),
+    );
+
+    // Life spans, Feb 18 vs Apr 19 focus days (A.5).
+    let feb_focus = SimDate::ymd(2, 18);
+    let feb_hist = study
+        .datasets
+        .user_sample
+        .in_range(DateRange::new(feb_focus - 26, feb_focus))
+        .to_vec();
+    let feb_life = address_lifespans(&feb_hist, feb_focus, filter);
+    let apr_focus = focus_day_user();
+    let apr_hist = study
+        .datasets
+        .user_sample
+        .in_range(DateRange::new(apr_focus - 26, apr_focus))
+        .to_vec();
+    let apr_life = address_lifespans(&apr_hist, apr_focus, filter);
+    out.stat("apx.v6_newborn_feb", feb_life.v6_pairs.fraction_le(0));
+    out.stat("apx.v6_newborn_apr", apr_life.v6_pairs.fraction_le(0));
+    out.stat("apx.v4_newborn_feb", feb_life.v4_pairs.fraction_le(0));
+    out.stat("apx.v4_newborn_apr", apr_life.v4_pairs.fraction_le(0));
+    out.stat(
+        "apx.max_lifespan_curve_delta",
+        (feb_life.v6_pairs.fraction_le(0) - apr_life.v6_pairs.fraction_le(0))
+            .abs()
+            .max((feb_life.v4_pairs.fraction_le(0) - apr_life.v4_pairs.fraction_le(0)).abs()),
+    );
+    let mut t = TableReport::new(
+        "Appendix A",
+        "pre-pandemic (Feb 12-18) vs pandemic (Apr 13-19) user behavior",
+        &["Metric", "Feb", "Apr"],
+    );
+    t.push_row(vec![
+        "v6 addrs/user/week (mean)".into(),
+        format!("{:.2}", pre.v6.mean().unwrap_or(0.0)),
+        format!("{:.2}", apr.v6.mean().unwrap_or(0.0)),
+    ]);
+    t.push_row(vec![
+        "v4 addrs/user/week (mean)".into(),
+        format!("{:.2}", pre.v4.mean().unwrap_or(0.0)),
+        format!("{:.2}", apr.v4.mean().unwrap_or(0.0)),
+    ]);
+    t.push_row(vec![
+        "v6 newborn pair share".into(),
+        format!("{:.3}", feb_life.v6_pairs.fraction_le(0)),
+        format!("{:.3}", apr_life.v6_pairs.fraction_le(0)),
+    ]);
+    out.tables.push(t);
+    out
+}
+
+/// Runs every experiment in paper order.
+pub fn run_all(study: &mut Study) -> Vec<(&'static str, ExperimentOutput)> {
+    vec![
+        ("F1", fig1_prevalence(study)),
+        ("T1", tab1_asns(study)),
+        ("T2/F12", tab2_countries(study)),
+        ("C4.4", c44_client_patterns(study)),
+        ("F2", fig2_addrs_per_user(study)),
+        ("F3", fig3_aa_addrs(study)),
+        ("O5.1", o51_user_outliers(study)),
+        ("F4", fig4_prefix_span(study)),
+        ("F5", fig5_lifespans(study)),
+        ("F6", fig6_prefix_lifespans(study)),
+        ("F7", fig7_users_per_ip(study)),
+        ("F8", fig8_aa_per_ip(study)),
+        ("O6.1", o61_ip_outliers(study)),
+        ("F9", fig9_users_per_prefix(study)),
+        ("F10", fig10_aa_per_prefix(study)),
+        ("O6.2", o62_prefix_outliers(study)),
+        ("F11", fig11_roc(study)),
+        ("S7.2", s72_defenses(study)),
+        ("X8.1", x81_network_breakdown(study)),
+        ("ApxA", apx_pandemic_compare(study)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+
+    #[test]
+    fn all_experiments_run_on_a_tiny_study() {
+        let mut study = Study::run(StudyConfig::tiny());
+        let all = run_all(&mut study);
+        assert_eq!(all.len(), 20);
+        for (id, out) in &all {
+            assert!(
+                !out.figures.is_empty() || !out.tables.is_empty() || !out.stats.is_empty(),
+                "experiment {id} produced nothing"
+            );
+            for (name, value) in &out.stats {
+                assert!(value.is_finite() || value.is_nan(), "stat {name} is infinite");
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The study pipeline: configuration, simulation driver, experiment
+//! registry, and report rendering.
+//!
+//! This crate ties the workspace together. [`Study::run`] builds the world
+//! (`ipv6-study-netmodel`), generates the population and attacker request
+//! streams (`ipv6-study-behavior`), routes them through the deterministic
+//! samplers into the four dataset families (`ipv6-study-telemetry`), and
+//! exposes everything the analyses need. [`experiments`] then regenerates
+//! every table and figure in the paper from those datasets.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ipv6_study_core::{Study, StudyConfig};
+//!
+//! let study = Study::run(StudyConfig::tiny());
+//! let fig2 = ipv6_study_core::experiments::fig2_addrs_per_user(&mut { study });
+//! assert_eq!(fig2.figures[0].id, "Figure 2");
+//! ```
+//!
+//! # Simulation phases
+//!
+//! The driver runs in two phases for tractability, mirroring what each
+//! dataset actually needs:
+//!
+//! 1. **Panel phase** (study start → day before the dense window): only
+//!    users in the user-sample panel are simulated. This feeds the
+//!    longitudinal analyses — Figure 1's daily series and the 28-day
+//!    life-span lookbacks — which are all computed on the user sample.
+//! 2. **Dense phase** (the dense window, ending Apr 19): every user is
+//!    simulated and offered to all samplers, feeding the IP-centric
+//!    analyses (IP and prefix random samples) and the day-pair actioning
+//!    ROC.
+//!
+//! Abusive accounts are simulated on *all* days and additionally retained
+//! in a complete `abuse_store` (the label join of §3.1 — feasible because
+//! abusive accounts are a small population).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod config;
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod study;
+
+pub use ablation::Ablation;
+pub use config::StudyConfig;
+pub use experiments::ExperimentOutput;
+pub use study::Study;

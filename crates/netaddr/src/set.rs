@@ -1,0 +1,149 @@
+//! Prefix sets: membership of addresses in a collection of CIDR blocks.
+//!
+//! A thin, purpose-named wrapper over [`PrefixTrie`] used wherever the study
+//! treats prefixes as a *set* rather than a map — most prominently the
+//! blocklists of §7.2, where the question is simply "is this client address
+//! covered by any actioned prefix?".
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::prefix::{Ipv4Prefix, Ipv6Prefix};
+use crate::trie::{PrefixTrie, TrieKey};
+
+/// A set of CIDR prefixes with O(address-length) cover queries.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixSet<K: TrieKey> {
+    trie: PrefixTrie<K, ()>,
+}
+
+impl<K: TrieKey> PrefixSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self { trie: PrefixTrie::new() }
+    }
+
+    /// Inserts a prefix; returns true if it was newly added.
+    pub fn insert(&mut self, prefix: K) -> bool {
+        self.trie.insert(prefix, ()).is_none()
+    }
+
+    /// Removes a prefix; returns true if it was present.
+    pub fn remove(&mut self, prefix: &K) -> bool {
+        self.trie.remove(prefix).is_some()
+    }
+
+    /// Exact membership of a prefix (not cover).
+    pub fn contains(&self, prefix: &K) -> bool {
+        self.trie.get(prefix).is_some()
+    }
+
+    /// Whether any member prefix covers the full-length key.
+    pub fn covers_key(&self, addr_key: &K) -> bool {
+        self.trie.covers(addr_key)
+    }
+
+    /// The most specific member prefix covering the full-length key.
+    pub fn longest_cover(&self, addr_key: &K) -> Option<K> {
+        self.trie.longest_match(addr_key).map(|(k, _)| k)
+    }
+
+    /// Number of member prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Iterates the member prefixes in bitwise order.
+    pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
+        self.trie.iter().map(|(k, _)| k)
+    }
+}
+
+impl PrefixSet<Ipv6Prefix> {
+    /// Whether any member prefix covers the IPv6 address.
+    pub fn covers_addr(&self, addr: Ipv6Addr) -> bool {
+        self.covers_key(&Ipv6Prefix::host(addr))
+    }
+}
+
+impl PrefixSet<Ipv4Prefix> {
+    /// Whether any member prefix covers the IPv4 address.
+    pub fn covers_addr(&self, addr: Ipv4Addr) -> bool {
+        self.covers_key(&Ipv4Prefix::host(addr))
+    }
+}
+
+impl<K: TrieKey> FromIterator<K> for PrefixSet<K> {
+    fn from_iter<T: IntoIterator<Item = K>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics() {
+        let mut s: PrefixSet<Ipv6Prefix> = PrefixSet::new();
+        let p: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        assert!(s.insert(p));
+        assert!(!s.insert(p), "second insert is not new");
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&p));
+        assert!(s.remove(&p));
+        assert!(!s.remove(&p));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cover_queries_v6() {
+        let s: PrefixSet<Ipv6Prefix> = ["2001:db8::/32", "2600:380::/28"]
+            .iter()
+            .map(|x| x.parse().unwrap())
+            .collect();
+        assert!(s.covers_addr("2001:db8:1::1".parse().unwrap()));
+        assert!(s.covers_addr("2600:380:ffff::1".parse().unwrap()));
+        assert!(!s.covers_addr("2a00::1".parse().unwrap()));
+        assert_eq!(
+            s.longest_cover(&Ipv6Prefix::host("2001:db8::5".parse().unwrap())),
+            Some("2001:db8::/32".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn cover_queries_v4() {
+        let s: PrefixSet<Ipv4Prefix> =
+            ["10.0.0.0/8", "192.0.2.0/24"].iter().map(|x| x.parse().unwrap()).collect();
+        assert!(s.covers_addr("10.255.0.1".parse().unwrap()));
+        assert!(s.covers_addr("192.0.2.200".parse().unwrap()));
+        assert!(!s.covers_addr("192.0.3.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn exact_membership_is_not_cover() {
+        let mut s: PrefixSet<Ipv6Prefix> = PrefixSet::new();
+        s.insert("2001:db8::/32".parse().unwrap());
+        let narrower: Ipv6Prefix = "2001:db8::/48".parse().unwrap();
+        assert!(!s.contains(&narrower));
+        assert!(s.covers_key(&narrower.parent(32).clone()) || s.covers_key(&narrower));
+    }
+
+    #[test]
+    fn iteration_lists_members() {
+        let s: PrefixSet<Ipv6Prefix> = ["ff00::/8", "::/0", "2001:db8::/32"]
+            .iter()
+            .map(|x| x.parse().unwrap())
+            .collect();
+        let got: Vec<String> = s.iter().map(|p| p.to_string()).collect();
+        assert_eq!(got, vec!["::/0", "2001:db8::/32", "ff00::/8"]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-network address-assignment policies.
+//!
+//! A [`V4Conf`]/[`V6Conf`] pair captures how one network hands out
+//! addresses. The parameters map one-to-one onto the mechanisms the paper
+//! invokes to explain its findings:
+//!
+//! - IPv4 NAT sharing and **CGN cycling** — "abusive accounts are sometimes
+//!   forcibly cycled to new IPv4 addresses over time (even within a day)
+//!   due to IPv4 address contention and NATing" (§5.1.2);
+//! - IPv6 **privacy-extension rotation** — "common methods for IPv6 address
+//!   assignments … provide short-lived addresses (often with daily
+//!   expirations) where new addresses have randomized IIDs" (§5.1.1);
+//! - **prefix delegation** — households aggregate in /64s, and a user's
+//!   addresses aggregate below the routing prefix (§5.2);
+//! - the **gateway** structure behind §6.1.3's mega-populated addresses.
+
+use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix};
+
+/// How a network assigns public IPv4 addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum V4Mode {
+    /// One public address per household (home NAT); everyone in the
+    /// household shares it.
+    HomeNat,
+    /// Carrier-grade NAT: a pool of egress addresses shared by all
+    /// subscribers; a client may be cycled across egresses within a day.
+    Cgn,
+    /// Corporate NAT: one sticky egress per company site.
+    EnterpriseNat,
+    /// Per-session shared egress (VPN/hosting exit nodes).
+    SharedEgress,
+}
+
+/// IPv4 assignment policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct V4Conf {
+    /// The network's public egress pool.
+    pub pool: Ipv4Prefix,
+    /// Number of usable egress addresses (≤ pool size). Small pools on
+    /// large CGNs create the heavily-populated-address tail of §6.1.3.
+    pub pool_size: u32,
+    /// Assignment mode.
+    pub mode: V4Mode,
+    /// Mean days between public-address changes for a subscriber
+    /// (the renewal mean; log-normal across subscribers).
+    pub lease_mean_days: f64,
+    /// Log-normal sigma of the lease period across subscribers.
+    pub lease_sigma: f64,
+    /// CGN only: expected *additional* egress addresses a client is cycled
+    /// through per active day (Poisson).
+    pub intra_day_cycles: f64,
+}
+
+/// How a network assigns IPv6 addresses (when deployed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum V6Mode {
+    /// Residential prefix delegation: household gets a `pd_len` prefix;
+    /// devices form privacy IIDs inside the household /64.
+    ResidentialPd,
+    /// Mobile: each device attach gets a /64 from the carrier space.
+    MobilePerDevice,
+    /// Mobile with sector-shared /64s: devices in the same radio
+    /// sector/gateway share a /64 (common in 464XLAT-era deployments).
+    /// These shared prefixes are what make a large share of observed /64s
+    /// multi-user (Figure 9's 41%-single statistic) without making
+    /// *addresses* multi-user — IIDs stay per-device.
+    MobileSector {
+        /// Number of sectors (each one /64).
+        sectors: u32,
+    },
+    /// Mobile gateway (the §6.1.3 outlier structure): subscribers share a
+    /// handful of /112-style gateway blocks; IIDs are zero except the low
+    /// 16 bits, and each gateway exposes only a few egress addresses, so
+    /// every address carries a large share of the gateway's users.
+    Gateway {
+        /// Number of gateway /112 blocks.
+        gateways: u16,
+        /// Active egress addresses (low-16-bit slots) per gateway.
+        egress_per_gateway: u16,
+    },
+    /// Hosting/VPN: egress addresses inside per-PoP /64s, shared by the
+    /// sessions exiting that PoP.
+    HostingEgress {
+        /// Number of points of presence (each a /64).
+        pops: u16,
+    },
+}
+
+/// IPv6 assignment policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct V6Conf {
+    /// The network's routing prefix (a /32 here; "prefixes shorter than a
+    /// /48 … are likely the global routing prefixes", §5.2.1).
+    pub routing: Ipv6Prefix,
+    /// Assignment mode.
+    pub mode: V6Mode,
+    /// Residential: delegated-prefix length (/56 and /64 are the common
+    /// choices; /60 appears in some deployments).
+    pub pd_len: u8,
+    /// Mean days between delegated-prefix changes for a household.
+    pub pd_mean_days: f64,
+    /// Log-normal sigma of the delegated-prefix period.
+    pub pd_sigma: f64,
+    /// Mobile: mean days a device keeps its /64 across reattaches.
+    pub p64_mean_days: f64,
+    /// Mean extra ephemeral /64s a mobile device picks up per active day
+    /// (network switches, new PDP contexts).
+    pub intra_day_p64: f64,
+    /// Privacy-IID rotations per day (RFC 4941 temporary addresses usually
+    /// rotate daily: 1.0).
+    pub iid_rotations_per_day: f64,
+}
+
+impl V4Conf {
+    /// A typical home-broadband policy: one egress per household, leases
+    /// averaging `lease_mean_days` days.
+    pub fn home(pool: Ipv4Prefix, pool_size: u32, lease_mean_days: f64) -> Self {
+        Self {
+            pool,
+            pool_size,
+            mode: V4Mode::HomeNat,
+            lease_mean_days,
+            lease_sigma: 1.1,
+            intra_day_cycles: 0.0,
+        }
+    }
+
+    /// A carrier CGN: `pool_size` egress addresses, cycling clients
+    /// `cycles` extra times per day.
+    pub fn cgn(pool: Ipv4Prefix, pool_size: u32, cycles: f64) -> Self {
+        Self {
+            pool,
+            pool_size,
+            mode: V4Mode::Cgn,
+            lease_mean_days: 1.0,
+            lease_sigma: 0.5,
+            intra_day_cycles: cycles,
+        }
+    }
+
+    /// A corporate NAT: very sticky, a handful of egresses.
+    pub fn enterprise(pool: Ipv4Prefix, pool_size: u32) -> Self {
+        Self {
+            pool,
+            pool_size,
+            mode: V4Mode::EnterpriseNat,
+            lease_mean_days: 180.0,
+            lease_sigma: 0.3,
+            intra_day_cycles: 0.0,
+        }
+    }
+
+    /// VPN/hosting shared egress.
+    pub fn shared_egress(pool: Ipv4Prefix, pool_size: u32) -> Self {
+        Self {
+            pool,
+            pool_size,
+            mode: V4Mode::SharedEgress,
+            lease_mean_days: 1.0,
+            lease_sigma: 0.5,
+            intra_day_cycles: 0.3,
+        }
+    }
+}
+
+impl V6Conf {
+    /// Residential prefix delegation with privacy IIDs.
+    pub fn residential(routing: Ipv6Prefix, pd_len: u8, pd_mean_days: f64) -> Self {
+        Self {
+            routing,
+            mode: V6Mode::ResidentialPd,
+            pd_len,
+            pd_mean_days,
+            pd_sigma: 0.7,
+            p64_mean_days: 0.0,
+            intra_day_p64: 0.0,
+            iid_rotations_per_day: 1.0,
+        }
+    }
+
+    /// Mobile with sector-shared /64s.
+    pub fn mobile_sector(routing: Ipv6Prefix, sectors: u32) -> Self {
+        Self {
+            routing,
+            mode: V6Mode::MobileSector { sectors },
+            pd_len: 64,
+            pd_mean_days: 0.0,
+            pd_sigma: 0.0,
+            p64_mean_days: 4.0,
+            intra_day_p64: 0.0,
+            iid_rotations_per_day: 1.0,
+        }
+    }
+
+    /// Mobile per-device /64s.
+    pub fn mobile(routing: Ipv6Prefix, p64_mean_days: f64, intra_day_p64: f64) -> Self {
+        Self {
+            routing,
+            mode: V6Mode::MobilePerDevice,
+            pd_len: 64,
+            pd_mean_days: 0.0,
+            pd_sigma: 0.0,
+            p64_mean_days,
+            intra_day_p64,
+            iid_rotations_per_day: 1.0,
+        }
+    }
+
+    /// Gateway-mode mobile (the §6.1.3 outlier carrier).
+    pub fn gateway(routing: Ipv6Prefix, gateways: u16, egress_per_gateway: u16) -> Self {
+        Self {
+            routing,
+            mode: V6Mode::Gateway { gateways, egress_per_gateway },
+            pd_len: 64,
+            pd_mean_days: 0.0,
+            pd_sigma: 0.0,
+            p64_mean_days: 0.0,
+            intra_day_p64: 0.0,
+            iid_rotations_per_day: 0.0,
+        }
+    }
+
+    /// Hosting/VPN egress inside per-PoP /64s.
+    pub fn hosting(routing: Ipv6Prefix, pops: u16) -> Self {
+        Self {
+            routing,
+            mode: V6Mode::HostingEgress { pops },
+            pd_len: 64,
+            pd_mean_days: 0.0,
+            pd_sigma: 0.0,
+            p64_mean_days: 0.0,
+            intra_day_p64: 0.0,
+            iid_rotations_per_day: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4pool() -> Ipv4Prefix {
+        "100.64.0.0/16".parse().unwrap()
+    }
+
+    fn v6routing() -> Ipv6Prefix {
+        "2a00:100::/32".parse().unwrap()
+    }
+
+    #[test]
+    fn constructors_set_modes() {
+        assert_eq!(V4Conf::home(v4pool(), 1000, 30.0).mode, V4Mode::HomeNat);
+        assert_eq!(V4Conf::cgn(v4pool(), 16, 1.5).mode, V4Mode::Cgn);
+        assert_eq!(V4Conf::enterprise(v4pool(), 4).mode, V4Mode::EnterpriseNat);
+        assert_eq!(V4Conf::shared_egress(v4pool(), 64).mode, V4Mode::SharedEgress);
+        assert_eq!(V6Conf::residential(v6routing(), 56, 60.0).mode, V6Mode::ResidentialPd);
+        assert!(matches!(
+            V6Conf::mobile(v6routing(), 3.0, 0.3).mode,
+            V6Mode::MobilePerDevice
+        ));
+        assert!(matches!(
+            V6Conf::gateway(v6routing(), 48, 12).mode,
+            V6Mode::Gateway { gateways: 48, egress_per_gateway: 12 }
+        ));
+        assert!(matches!(
+            V6Conf::hosting(v6routing(), 20).mode,
+            V6Mode::HostingEgress { pops: 20 }
+        ));
+    }
+
+    #[test]
+    fn residential_defaults_rotate_daily() {
+        let c = V6Conf::residential(v6routing(), 56, 60.0);
+        assert_eq!(c.iid_rotations_per_day, 1.0);
+        assert_eq!(c.pd_len, 56);
+    }
+}

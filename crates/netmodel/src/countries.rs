@@ -1,0 +1,204 @@
+//! The country table: platform weights, IPv6 targets, lockdown calendar.
+//!
+//! Each entry carries the *observable* the paper reports — the share of the
+//! country's users seen on IPv6 (Table 2 / Figure 12) in late January and
+//! mid-April 2020 — plus the date the country locked down (Appendix B ties
+//! the April shifts to lockdowns). The world builder inverts these targets
+//! into per-network deployment ratios; see [`solve_deployment`].
+//!
+//! Weights approximate a global platform's user distribution (India-heavy,
+//! then US/Brazil/Indonesia, long tail folded into a rest-of-world bucket).
+
+use ipv6_study_telemetry::{Country, SimDate};
+
+/// Baseline probability that a user has a home-network session on a given
+/// (pre-lockdown, weekday) day. Shared with the behavior crate so the
+/// deployment solver and the activity model agree.
+pub const P_HOME_BASELINE: f64 = 0.75;
+/// Baseline probability of a mobile-network session on such a day.
+pub const P_MOBILE_BASELINE: f64 = 0.70;
+
+/// One country's profile.
+#[derive(Debug, Clone)]
+pub struct CountryProfile {
+    /// ISO code.
+    pub country: Country,
+    /// Share of platform users in this country.
+    pub weight: f64,
+    /// Lockdown start, when the country locked down inside the window.
+    pub lockdown: Option<SimDate>,
+    /// Observed IPv6 user share, week of Jan 23–29 (target).
+    pub v6_jan: f64,
+    /// Observed IPv6 user share, week of Apr 13–19 (target).
+    pub v6_apr: f64,
+    /// Ratio of mobile to residential deployment. >1: mobile leads
+    /// (US/India-style); <1: residential leads (Germany-style, which makes
+    /// lockdowns *raise* the national IPv6 share as users shift home).
+    pub mobile_skew: f64,
+}
+
+impl CountryProfile {
+    fn new(
+        code: &str,
+        weight: f64,
+        lockdown: Option<(u8, u8)>,
+        v6_jan: f64,
+        v6_apr: f64,
+        mobile_skew: f64,
+    ) -> Self {
+        Self {
+            country: Country::new(code),
+            weight,
+            lockdown: lockdown.map(|(m, d)| SimDate::ymd(m, d)),
+            v6_jan,
+            v6_apr,
+            mobile_skew,
+        }
+    }
+}
+
+/// Residential deployment ratio `r` such that, with mobile deployment
+/// `skew·r` (clamped to 0.97) and the baseline session probabilities, the
+/// expected share of users touching IPv6 on a day equals `target`:
+///
+/// ```text
+/// 1 − (1 − P_HOME·r)(1 − P_MOBILE·min(0.97, skew·r)) = target
+/// ```
+///
+/// Solved by bisection; saturates at 1.0 when the target is unreachable.
+pub fn solve_deployment(target: f64, skew: f64) -> f64 {
+    let predicted = |r: f64| -> f64 {
+        let mob = (skew * r).clamp(0.0, 0.97);
+        1.0 - (1.0 - P_HOME_BASELINE * r) * (1.0 - P_MOBILE_BASELINE * mob)
+    };
+    if predicted(1.0) <= target {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if predicted(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// The standard country table. Targets reproduce Table 2's top-10 (India,
+/// US, Belgium, Vietnam, Greece, Taiwan, Brazil, Malaysia, Germany/Portugal,
+/// Finland) and the three country case studies of Appendix A.2: Germany's
+/// +19.4pp (residential-led, lockdown Mar 22), Belarus's steady +15.2pp
+/// deployment push, and Puerto Rico's −15.5pp (mobile-led, lockdown).
+pub fn standard_countries() -> Vec<CountryProfile> {
+    let c = CountryProfile::new;
+    vec![
+        c("IN", 0.140, Some((3, 25)), 0.834, 0.838, 1.25),
+        c("US", 0.090, Some((3, 19)), 0.722, 0.738, 1.25),
+        c("ID", 0.060, Some((4, 10)), 0.060, 0.050, 1.40),
+        c("BR", 0.060, Some((3, 24)), 0.665, 0.629, 1.25),
+        c("MX", 0.040, Some((3, 23)), 0.320, 0.310, 1.30),
+        c("PH", 0.035, Some((3, 15)), 0.140, 0.130, 1.40),
+        c("VN", 0.030, Some((4, 1)), 0.712, 0.707, 1.20),
+        c("TH", 0.025, Some((3, 26)), 0.440, 0.430, 1.30),
+        c("EG", 0.020, Some((3, 25)), 0.050, 0.050, 1.40),
+        c("BD", 0.020, Some((3, 26)), 0.100, 0.090, 1.40),
+        c("PK", 0.020, Some((3, 24)), 0.050, 0.050, 1.40),
+        c("TR", 0.018, Some((3, 21)), 0.100, 0.100, 1.30),
+        c("GB", 0.018, Some((3, 23)), 0.500, 0.490, 1.10),
+        c("NG", 0.015, Some((3, 30)), 0.040, 0.040, 1.40),
+        // Germany: residential-led (Deutsche Telekom), mobile lags badly;
+        // the Jan→Apr ramp plus the lockdown produce the paper's jump.
+        c("DE", 0.015, Some((3, 22)), 0.391, 0.585, 0.45),
+        c("FR", 0.015, Some((3, 17)), 0.310, 0.300, 0.90),
+        c("IT", 0.015, Some((3, 9)), 0.180, 0.170, 1.10),
+        c("CO", 0.015, Some((3, 25)), 0.200, 0.190, 1.30),
+        c("AR", 0.015, Some((3, 20)), 0.300, 0.290, 1.25),
+        c("MY", 0.012, Some((3, 18)), 0.632, 0.610, 1.25),
+        c("SA", 0.010, Some((3, 23)), 0.400, 0.390, 1.30),
+        c("JP", 0.010, Some((4, 7)), 0.400, 0.390, 1.00),
+        c("CA", 0.010, Some((3, 17)), 0.300, 0.290, 1.10),
+        c("RU", 0.010, Some((3, 30)), 0.080, 0.080, 1.20),
+        c("ES", 0.010, Some((3, 14)), 0.050, 0.050, 1.20),
+        c("TW", 0.008, None, 0.680, 0.669, 1.20),
+        c("AU", 0.008, Some((3, 23)), 0.250, 0.240, 1.20),
+        c("PL", 0.008, Some((3, 13)), 0.180, 0.170, 1.20),
+        c("ZA", 0.008, Some((3, 27)), 0.040, 0.040, 1.30),
+        c("VE", 0.008, Some((3, 17)), 0.080, 0.080, 1.20),
+        c("AE", 0.005, Some((3, 26)), 0.300, 0.290, 1.30),
+        c("NL", 0.005, Some((3, 15)), 0.400, 0.390, 1.00),
+        c("KR", 0.005, None, 0.180, 0.170, 1.20),
+        c("GR", 0.004, Some((3, 23)), 0.731, 0.678, 1.20),
+        c("PT", 0.004, Some((3, 19)), 0.551, 0.530, 1.10),
+        c("BE", 0.004, Some((3, 18)), 0.702, 0.712, 1.00),
+        c("FI", 0.002, Some((3, 16)), 0.551, 0.534, 1.10),
+        // Puerto Rico: mobile-led IPv6, so the lockdown *drops* the share.
+        c("PR", 0.004, Some((3, 15)), 0.537, 0.450, 2.40),
+        // Belarus: the 2020 country-wide IPv6 mandate — a steady ramp.
+        c("BY", 0.004, None, 0.150, 0.302, 1.00),
+        c("CN", 0.002, None, 0.030, 0.030, 1.20),
+        // Rest of world.
+        c("ZZ", 0.193, Some((3, 24)), 0.100, 0.100, 1.25),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = standard_countries().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+
+    #[test]
+    fn solver_hits_targets() {
+        for (t, s) in [(0.84, 1.25), (0.39, 0.45), (0.05, 1.4), (0.72, 1.25)] {
+            let r = solve_deployment(t, s);
+            let mob = (s * r).clamp(0.0, 0.97);
+            let got =
+                1.0 - (1.0 - P_HOME_BASELINE * r) * (1.0 - P_MOBILE_BASELINE * mob);
+            assert!((got - t).abs() < 1e-6, "target {t}: got {got}");
+        }
+    }
+
+    #[test]
+    fn solver_saturates_on_impossible_targets() {
+        assert_eq!(solve_deployment(0.999, 1.0), 1.0);
+        assert!(solve_deployment(0.0, 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_countries_have_the_paper_order() {
+        let cs = standard_countries();
+        let get = |code: &str| {
+            cs.iter().find(|c| c.country == Country::new(code)).unwrap().v6_apr
+        };
+        // Table 2 (Apr 13–19): India top, then US.
+        assert!(get("IN") > get("US"));
+        assert!(get("US") > get("BE"));
+        assert!(get("DE") > 0.55, "Germany post-jump");
+        assert!(get("ID") < 0.1, "Indonesia is v4-CGN country");
+    }
+
+    #[test]
+    fn germany_and_belarus_ramp_and_pr_drops() {
+        let cs = standard_countries();
+        let find = |code: &str| cs.iter().find(|c| c.country == Country::new(code)).unwrap();
+        assert!(find("DE").v6_apr - find("DE").v6_jan > 0.15);
+        assert!(find("BY").v6_apr - find("BY").v6_jan > 0.10);
+        assert!(find("PR").v6_jan - find("PR").v6_apr > 0.05);
+        assert!(find("BY").lockdown.is_none());
+    }
+
+    #[test]
+    fn lockdowns_are_inside_the_study_window() {
+        for c in standard_countries() {
+            if let Some(d) = c.lockdown {
+                assert!(d >= SimDate::ymd(3, 1) && d <= SimDate::ymd(4, 15), "{}", c.country);
+            }
+        }
+    }
+}

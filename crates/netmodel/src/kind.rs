@@ -1,0 +1,56 @@
+//! Network kinds.
+//!
+//! Appendix B of the paper explains the weekend and lockdown effects by the
+//! mix of *network types* a user touches: "we start by assuming that users
+//! are on either residential, mobile, or enterprise networks". We add
+//! hosting (VPN egress and attacker infrastructure), which the paper's
+//! outlier analyses surface via ASNs such as M247, OVH and DigitalOcean.
+
+use std::fmt;
+
+/// The four network types in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NetworkKind {
+    /// Home broadband: household NAT on IPv4, delegated prefix on IPv6.
+    Residential,
+    /// Cellular carrier: CGN on IPv4, per-device /64 (or gateway) on IPv6.
+    Mobile,
+    /// Corporate network: large sticky NAT, usually IPv4-only.
+    Enterprise,
+    /// Data-center/VPN provider: shared egress, server ranges.
+    Hosting,
+}
+
+impl NetworkKind {
+    /// All kinds, in a fixed order.
+    pub const ALL: [NetworkKind; 4] = [
+        NetworkKind::Residential,
+        NetworkKind::Mobile,
+        NetworkKind::Enterprise,
+        NetworkKind::Hosting,
+    ];
+}
+
+impl fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetworkKind::Residential => "residential",
+            NetworkKind::Mobile => "mobile",
+            NetworkKind::Enterprise => "enterprise",
+            NetworkKind::Hosting => "hosting",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_order() {
+        assert_eq!(NetworkKind::Mobile.to_string(), "mobile");
+        assert_eq!(NetworkKind::ALL.len(), 4);
+        assert!(NetworkKind::Residential < NetworkKind::Hosting);
+    }
+}

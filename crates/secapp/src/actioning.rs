@@ -1,0 +1,279 @@
+//! The day-over-day actioning simulation (Figure 11).
+//!
+//! §7.1's scenario, implemented literally: *"we count the proportion of
+//! abusive accounts per IP prefix on day n, and consider what would happen
+//! on day n+1 if we actioned on all prefixes with a ratio over some
+//! threshold t."* The decision unit is an address or prefix at a chosen
+//! granularity; the score is day-*n*'s abusive-account share on the unit;
+//! the outcome weights are day-*n+1*'s abusive and benign populations.
+//!
+//! Units that appear only on day *n+1* are never actioned but still count
+//! in both denominators — exactly why the paper's /128 TPR tops out at
+//! 14.3%: attackers mostly arrive on fresh addresses.
+
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix};
+use ipv6_study_stats::roc::RocCurve;
+use ipv6_study_telemetry::{AbuseLabels, RequestRecord, UserId};
+
+/// The decision-unit granularity for actioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// Full IPv6 addresses (the paper's "/128").
+    V6Full,
+    /// IPv6 prefixes of the given length (e.g. 64, 56).
+    V6Prefix(u8),
+    /// Full IPv4 addresses.
+    V4Full,
+}
+
+impl Granularity {
+    /// The unit key for a record, or `None` when the record's protocol
+    /// doesn't match the granularity.
+    fn key(self, r: &RequestRecord) -> Option<u128> {
+        match (self, r.ip) {
+            (Granularity::V6Full, IpAddr::V6(a)) => Some(u128::from(a)),
+            (Granularity::V6Prefix(len), IpAddr::V6(a)) => {
+                Some(u128::from(a) & Ipv6Prefix::mask(len))
+            }
+            (Granularity::V4Full, IpAddr::V4(a)) => {
+                Some(u128::from(u32::from(a) & Ipv4Prefix::mask(32)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Human-readable label matching the paper's legend.
+    pub fn label(self) -> String {
+        match self {
+            Granularity::V6Full => "/128".to_string(),
+            Granularity::V6Prefix(l) => format!("/{l}"),
+            Granularity::V4Full => "IPv4".to_string(),
+        }
+    }
+}
+
+/// Per-unit user tallies for one day.
+#[derive(Debug, Default, Clone)]
+struct UnitDay {
+    abusive: HashSet<UserId>,
+    benign: HashSet<UserId>,
+}
+
+fn tally(
+    records: &[RequestRecord],
+    labels: &AbuseLabels,
+    granularity: Granularity,
+) -> HashMap<u128, UnitDay> {
+    let mut m: HashMap<u128, UnitDay> = HashMap::new();
+    for r in records {
+        if let Some(k) = granularity.key(r) {
+            let e = m.entry(k).or_default();
+            if labels.is_abusive(r.user) {
+                e.abusive.insert(r.user);
+            } else {
+                e.benign.insert(r.user);
+            }
+        }
+    }
+    m
+}
+
+/// Builds the Figure 11 ROC curve for one granularity.
+///
+/// `day_n` and `day_n1` are the request records of the two consecutive
+/// days (full-population or sampled — rates cancel). The returned curve's
+/// FPR denominator is the *entire* day-*n+1* benign population at this
+/// granularity, including users on units never seen on day *n*.
+pub fn actioning_roc(
+    day_n: &[RequestRecord],
+    day_n1: &[RequestRecord],
+    labels: &AbuseLabels,
+    granularity: Granularity,
+) -> RocCurve {
+    let scores = tally(day_n, labels, granularity);
+    let outcomes = tally(day_n1, labels, granularity);
+    let mut curve = RocCurve::new();
+    for (key, outcome) in &outcomes {
+        let score = match scores.get(key) {
+            Some(s) => {
+                let total = s.abusive.len() + s.benign.len();
+                if total == 0 {
+                    -1.0
+                } else {
+                    s.abusive.len() as f64 / total as f64
+                }
+            }
+            // Unseen yesterday: can never be actioned.
+            None => -1.0,
+        };
+        curve.push(score, outcome.abusive.len() as f64, outcome.benign.len() as f64);
+    }
+    curve
+}
+
+/// The paper's three reported operating points (thresholds 0%, 10%, 100%)
+/// plus the maximum attainable TPR, for a granularity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoints {
+    /// TPR/FPR at threshold 0 (action any unit with ≥1 abusive account).
+    pub t0: (f64, f64),
+    /// TPR/FPR at threshold 10%.
+    pub t10: (f64, f64),
+    /// TPR/FPR at threshold 100% (purely abusive units only).
+    pub t100: (f64, f64),
+    /// The maximum TPR over the sweep (attained at threshold → 0⁺).
+    pub max_tpr: f64,
+}
+
+/// Extracts the paper's operating points from a curve.
+pub fn operating_points(curve: &RocCurve) -> OperatingPoints {
+    // Threshold 0 means "any unit with a positive score": abusive ratio
+    // > 0. Use an epsilon above zero so score-0 units (benign-only
+    // yesterday) are not actioned, matching the paper's reading.
+    let at = |t: f64| {
+        let p = curve.point_at(t, None);
+        (p.tpr, p.fpr)
+    };
+    let t0 = at(1e-9);
+    OperatingPoints { t0, t10: at(0.10), t100: at(1.0), max_tpr: t0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6_study_telemetry::{AbuseInfo, Asn, Country, SimDate};
+
+    fn rec(user: u64, day: SimDate, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: day.at(11, 0, 0),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    fn labels_for(ids: &[u64]) -> AbuseLabels {
+        ids.iter()
+            .map(|&u| {
+                (
+                    UserId(u),
+                    AbuseInfo { created: SimDate::ymd(4, 17), detected: SimDate::ymd(4, 19) },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn granularity_keys() {
+        let day = SimDate::ymd(4, 18);
+        let v6 = rec(1, day, "2001:db8:1:2::abcd");
+        let v4 = rec(1, day, "192.0.2.7");
+        assert!(Granularity::V6Full.key(&v6).is_some());
+        assert!(Granularity::V6Full.key(&v4).is_none());
+        assert!(Granularity::V4Full.key(&v4).is_some());
+        assert_eq!(
+            Granularity::V6Prefix(64).key(&v6),
+            Granularity::V6Prefix(64).key(&rec(2, day, "2001:db8:1:2::ffff"))
+        );
+        assert_eq!(Granularity::V6Prefix(56).label(), "/56");
+        assert_eq!(Granularity::V4Full.label(), "IPv4");
+    }
+
+    #[test]
+    fn persistent_attacker_is_caught_fresh_attacker_is_not() {
+        let d1 = SimDate::ymd(4, 18);
+        let d2 = SimDate::ymd(4, 19);
+        let labels = labels_for(&[100, 101]);
+        // Day n: AA 100 on ::a (alone). Day n+1: 100 returns to ::a, but
+        // AA 101 shows up on a fresh address ::b.
+        let day_n = vec![rec(100, d1, "2001:db8::a"), rec(1, d1, "2001:db8::c")];
+        let day_n1 = vec![
+            rec(100, d2, "2001:db8::a"),
+            rec(101, d2, "2001:db8::b"),
+            rec(1, d2, "2001:db8::c"),
+        ];
+        let curve = actioning_roc(&day_n, &day_n1, &labels, Granularity::V6Full);
+        let pts = operating_points(&curve);
+        // Only AA 100 (1 of 2) is caught even at the loosest threshold.
+        assert!((pts.max_tpr - 0.5).abs() < 1e-12);
+        assert_eq!(pts.t0.1, 0.0, "no benign user on the actioned unit");
+        // At threshold 1.0 the purely-abusive ::a still qualifies.
+        assert!((pts.t100.0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_granularity_catches_movers_within_the_prefix() {
+        let d1 = SimDate::ymd(4, 18);
+        let d2 = SimDate::ymd(4, 19);
+        let labels = labels_for(&[100]);
+        // The AA moves to a new address inside the same /64.
+        let day_n = vec![rec(100, d1, "2001:db8:1:2::a")];
+        let day_n1 = vec![rec(100, d2, "2001:db8:1:2::b")];
+        let full = operating_points(&actioning_roc(&day_n, &day_n1, &labels, Granularity::V6Full));
+        let p64 = operating_points(&actioning_roc(
+            &day_n,
+            &day_n1,
+            &labels,
+            Granularity::V6Prefix(64),
+        ));
+        assert_eq!(full.max_tpr, 0.0, "address-level action misses the move");
+        assert!((p64.max_tpr - 1.0).abs() < 1e-12, "/64 action catches it");
+    }
+
+    #[test]
+    fn collateral_damage_shows_up_as_fpr() {
+        let d1 = SimDate::ymd(4, 18);
+        let d2 = SimDate::ymd(4, 19);
+        let labels = labels_for(&[100]);
+        // CGN-like: the abusive account shares the v4 address with many
+        // benign users on both days.
+        let mut day_n = vec![rec(100, d1, "192.0.2.1")];
+        let mut day_n1 = vec![rec(100, d2, "192.0.2.1")];
+        for u in 0..20 {
+            day_n.push(rec(u, d1, "192.0.2.1"));
+            day_n1.push(rec(u, d2, "192.0.2.1"));
+            day_n1.push(rec(50 + u, d2, "192.0.2.9")); // clean address
+        }
+        let curve = actioning_roc(&day_n, &day_n1, &labels, Granularity::V4Full);
+        let pts = operating_points(&curve);
+        assert!((pts.t0.0 - 1.0).abs() < 1e-12);
+        // 20 of 40 benign users are collateral.
+        assert!((pts.t0.1 - 0.5).abs() < 1e-12);
+        // The 10% threshold drops the mixed unit (ratio 1/21 < 10%).
+        assert_eq!(pts.t10.0, 0.0);
+        assert_eq!(pts.t10.1, 0.0);
+    }
+
+    #[test]
+    fn roc_monotone_over_thresholds() {
+        let d1 = SimDate::ymd(4, 18);
+        let d2 = SimDate::ymd(4, 19);
+        let labels = labels_for(&[100, 101, 102]);
+        let day_n = vec![
+            rec(100, d1, "2001:db8::1"),
+            rec(101, d1, "2001:db8::2"),
+            rec(1, d1, "2001:db8::2"),
+            rec(2, d1, "2001:db8::3"),
+        ];
+        let day_n1 = vec![
+            rec(100, d2, "2001:db8::1"),
+            rec(101, d2, "2001:db8::2"),
+            rec(102, d2, "2001:db8::9"),
+            rec(1, d2, "2001:db8::2"),
+            rec(3, d2, "2001:db8::3"),
+        ];
+        let curve = actioning_roc(&day_n, &day_n1, &labels, Granularity::V6Full);
+        let mut prev_tpr = f64::INFINITY;
+        let mut prev_fpr = f64::INFINITY;
+        for i in 0..=10 {
+            let p = curve.point_at(i as f64 / 10.0, None);
+            assert!(p.tpr <= prev_tpr + 1e-12 && p.fpr <= prev_fpr + 1e-12);
+            prev_tpr = p.tpr;
+            prev_fpr = p.fpr;
+        }
+    }
+}

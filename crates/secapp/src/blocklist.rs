@@ -1,0 +1,495 @@
+//! A TTL'd prefix blocklist and its longitudinal evaluation.
+//!
+//! §7.2: IPv6 blocklisting can be aggressive (few users per address) but
+//! must be *short-term* (addresses are ephemeral). [`Blocklist`] is the
+//! enforcement structure — a pair of tries with per-entry expiry — and
+//! [`evaluate_over_days`] is the harness that measures recall and
+//! collateral for a listing policy as the list ages.
+
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix, PrefixTrie};
+use ipv6_study_telemetry::{AbuseLabels, RequestRecord, SimDate, UserId};
+
+use crate::actioning::Granularity;
+
+/// A blocklist over IPv4 addresses and IPv6 prefixes with per-entry TTLs.
+#[derive(Debug, Clone, Default)]
+pub struct Blocklist {
+    v4: PrefixTrie<Ipv4Prefix, SimDate>,
+    v6: PrefixTrie<Ipv6Prefix, SimDate>,
+}
+
+impl Blocklist {
+    /// Creates an empty blocklist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lists an IPv4 address until `expires` (inclusive).
+    pub fn add_v4(&mut self, prefix: Ipv4Prefix, expires: SimDate) {
+        match self.v4.get_mut(&prefix) {
+            Some(e) => *e = (*e).max(expires),
+            None => {
+                self.v4.insert(prefix, expires);
+            }
+        }
+    }
+
+    /// Lists an IPv6 prefix until `expires` (inclusive).
+    pub fn add_v6(&mut self, prefix: Ipv6Prefix, expires: SimDate) {
+        match self.v6.get_mut(&prefix) {
+            Some(e) => *e = (*e).max(expires),
+            None => {
+                self.v6.insert(prefix, expires);
+            }
+        }
+    }
+
+    /// Whether traffic from `ip` is blocked on `day`.
+    ///
+    /// Checks *every* covering entry, not just the most specific one: a
+    /// stale /128 must not shadow a still-live /64 listing.
+    pub fn blocks(&self, ip: IpAddr, day: SimDate) -> bool {
+        match ip {
+            IpAddr::V4(a) => self
+                .v4
+                .covering(&Ipv4Prefix::host(a))
+                .iter()
+                .any(|(_, &exp)| exp >= day),
+            IpAddr::V6(a) => self
+                .v6
+                .covering(&Ipv6Prefix::host(a))
+                .iter()
+                .any(|(_, &exp)| exp >= day),
+        }
+    }
+
+    /// Number of live entries on `day`.
+    pub fn live_entries(&self, day: SimDate) -> usize {
+        self.v4.iter().filter(|(_, &e)| e >= day).count()
+            + self.v6.iter().filter(|(_, &e)| e >= day).count()
+    }
+
+    /// Builds a blocklist from one day's observations: every unit at the
+    /// given granularity whose abusive-account ratio is ≥ `threshold` is
+    /// listed for `ttl_days`.
+    pub fn from_day(
+        records: &[RequestRecord],
+        labels: &AbuseLabels,
+        granularity: Granularity,
+        threshold: f64,
+        listed_on: SimDate,
+        ttl_days: u16,
+    ) -> Self {
+        use std::collections::HashMap;
+        #[derive(Default)]
+        struct Tally {
+            abusive: HashSet<UserId>,
+            benign: HashSet<UserId>,
+        }
+        let mut units: HashMap<u128, Tally> = HashMap::new();
+        for r in records {
+            let key = match (granularity, r.ip) {
+                (Granularity::V6Full, IpAddr::V6(a)) => Some(u128::from(a)),
+                (Granularity::V6Prefix(len), IpAddr::V6(a)) => {
+                    Some(u128::from(a) & Ipv6Prefix::mask(len))
+                }
+                (Granularity::V4Full, IpAddr::V4(a)) => Some(u128::from(u32::from(a))),
+                _ => None,
+            };
+            if let Some(k) = key {
+                let e = units.entry(k).or_default();
+                if labels.is_abusive(r.user) {
+                    e.abusive.insert(r.user);
+                } else {
+                    e.benign.insert(r.user);
+                }
+            }
+        }
+        let mut bl = Self::new();
+        let expires = SimDate::from_index((listed_on.index() + ttl_days).min(365));
+        for (key, t) in units {
+            let total = t.abusive.len() + t.benign.len();
+            if total == 0 || t.abusive.is_empty() {
+                continue;
+            }
+            let ratio = t.abusive.len() as f64 / total as f64;
+            if ratio >= threshold {
+                match granularity {
+                    Granularity::V6Full => bl.add_v6(Ipv6Prefix::from_bits(key, 128), expires),
+                    Granularity::V6Prefix(len) => {
+                        bl.add_v6(Ipv6Prefix::from_bits(key, len), expires)
+                    }
+                    Granularity::V4Full => {
+                        bl.add_v4(Ipv4Prefix::from_bits(key as u32, 32), expires)
+                    }
+                }
+            }
+        }
+        bl
+    }
+}
+
+/// One day of a blocklist evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlocklistDayEval {
+    /// Day offset from listing day (1 = next day).
+    pub offset: u16,
+    /// Share of that day's abusive accounts blocked (recall).
+    pub recall: f64,
+    /// Share of that day's benign users blocked (collateral).
+    pub collateral: f64,
+}
+
+/// Evaluates a blocklist against subsequent days' traffic.
+///
+/// `days` yields `(day, records)` pairs strictly after the listing day.
+pub fn evaluate_over_days<'a>(
+    blocklist: &Blocklist,
+    labels: &AbuseLabels,
+    listed_on: SimDate,
+    days: impl IntoIterator<Item = (SimDate, &'a [RequestRecord])>,
+) -> Vec<BlocklistDayEval> {
+    days.into_iter()
+        .map(|(day, records)| {
+            let mut abusive_all: HashSet<UserId> = HashSet::new();
+            let mut abusive_hit: HashSet<UserId> = HashSet::new();
+            let mut benign_all: HashSet<UserId> = HashSet::new();
+            let mut benign_hit: HashSet<UserId> = HashSet::new();
+            for r in records {
+                let blocked = blocklist.blocks(r.ip, day);
+                if labels.is_abusive(r.user) {
+                    abusive_all.insert(r.user);
+                    if blocked {
+                        abusive_hit.insert(r.user);
+                    }
+                } else {
+                    benign_all.insert(r.user);
+                    if blocked {
+                        benign_hit.insert(r.user);
+                    }
+                }
+            }
+            let frac = |hit: usize, all: usize| if all == 0 { 0.0 } else { hit as f64 / all as f64 };
+            BlocklistDayEval {
+                offset: day.days_since(listed_on),
+                recall: frac(abusive_hit.len(), abusive_all.len()),
+                collateral: frac(benign_hit.len(), benign_all.len()),
+            }
+        })
+        .collect()
+}
+
+/// A size-bounded blocklist: when full, the entry with the nearest expiry
+/// is evicted first (deployments cap list sizes in routers/edge nodes;
+/// §7.2's "IPv6 blocklisting can be aggressive" only works if the list
+/// doesn't blow past hardware limits — IPv6's ephemerality means entries
+/// age out fast, so a bounded list loses little recall).
+#[derive(Debug, Clone)]
+pub struct BoundedBlocklist {
+    inner: Blocklist,
+    capacity: usize,
+    /// Live v6 entries with expiries, kept for eviction decisions.
+    v6_entries: Vec<(Ipv6Prefix, SimDate)>,
+    v4_entries: Vec<(Ipv4Prefix, SimDate)>,
+}
+
+impl BoundedBlocklist {
+    /// Creates a bounded blocklist.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { inner: Blocklist::new(), capacity, v6_entries: Vec::new(), v4_entries: Vec::new() }
+    }
+
+    fn evict_if_full(&mut self, now: SimDate) {
+        while self.v6_entries.len() + self.v4_entries.len() >= self.capacity {
+            // Drop already-expired entries first, then the nearest expiry.
+            self.v6_entries.retain(|&(_, e)| e >= now);
+            self.v4_entries.retain(|&(_, e)| e >= now);
+            if self.v6_entries.len() + self.v4_entries.len() < self.capacity {
+                break;
+            }
+            let v6_min = self.v6_entries.iter().map(|&(_, e)| e).min();
+            let v4_min = self.v4_entries.iter().map(|&(_, e)| e).min();
+            match (v6_min, v4_min) {
+                (Some(a), Some(b)) if a <= b => self.evict_v6(a),
+                (Some(_), Some(b)) => self.evict_v4(b),
+                (Some(a), None) => self.evict_v6(a),
+                (None, Some(b)) => self.evict_v4(b),
+                (None, None) => break,
+            }
+        }
+    }
+
+    fn evict_v6(&mut self, expiry: SimDate) {
+        if let Some(pos) = self.v6_entries.iter().position(|&(_, e)| e == expiry) {
+            let (p, _) = self.v6_entries.swap_remove(pos);
+            self.inner.v6.remove(&p);
+        }
+    }
+
+    fn evict_v4(&mut self, expiry: SimDate) {
+        if let Some(pos) = self.v4_entries.iter().position(|&(_, e)| e == expiry) {
+            let (p, _) = self.v4_entries.swap_remove(pos);
+            self.inner.v4.remove(&p);
+        }
+    }
+
+    /// Lists an IPv6 prefix, evicting the nearest-expiry entry when full.
+    pub fn add_v6(&mut self, prefix: Ipv6Prefix, expires: SimDate, now: SimDate) {
+        self.evict_if_full(now);
+        self.inner.add_v6(prefix, expires);
+        self.v6_entries.push((prefix, expires));
+    }
+
+    /// Lists an IPv4 prefix, evicting when full.
+    pub fn add_v4(&mut self, prefix: Ipv4Prefix, expires: SimDate, now: SimDate) {
+        self.evict_if_full(now);
+        self.inner.add_v4(prefix, expires);
+        self.v4_entries.push((prefix, expires));
+    }
+
+    /// Whether traffic from `ip` is blocked on `day`.
+    pub fn blocks(&self, ip: IpAddr, day: SimDate) -> bool {
+        self.inner.blocks(ip, day)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self, day: SimDate) -> usize {
+        self.inner.live_entries(day)
+    }
+
+    /// True when no live entries remain.
+    pub fn is_empty(&self, day: SimDate) -> bool {
+        self.len(day) == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6_study_telemetry::{AbuseInfo, Asn, Country};
+
+    fn rec(user: u64, day: SimDate, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: day.at(10, 0, 0),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    fn labels_for(ids: &[u64]) -> AbuseLabels {
+        ids.iter()
+            .map(|&u| {
+                (
+                    UserId(u),
+                    AbuseInfo { created: SimDate::ymd(4, 10), detected: SimDate::ymd(4, 19) },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bounded_list_evicts_nearest_expiry() {
+        let now = SimDate::ymd(4, 13);
+        let mut bl = BoundedBlocklist::new(2);
+        let p1: Ipv6Prefix = "2001:db8:1::/64".parse().unwrap();
+        let p2: Ipv6Prefix = "2001:db8:2::/64".parse().unwrap();
+        let p3: Ipv6Prefix = "2001:db8:3::/64".parse().unwrap();
+        bl.add_v6(p1, SimDate::ymd(4, 14), now); // expires soonest
+        bl.add_v6(p2, SimDate::ymd(4, 20), now);
+        bl.add_v6(p3, SimDate::ymd(4, 18), now); // evicts p1
+        assert!(!bl.blocks("2001:db8:1::1".parse().unwrap(), now), "p1 evicted");
+        assert!(bl.blocks("2001:db8:2::1".parse().unwrap(), now));
+        assert!(bl.blocks("2001:db8:3::1".parse().unwrap(), now));
+        assert!(bl.len(now) <= bl.capacity());
+    }
+
+    #[test]
+    fn bounded_list_prefers_dropping_expired() {
+        let mut bl = BoundedBlocklist::new(2);
+        let day1 = SimDate::ymd(4, 13);
+        let p1: Ipv4Prefix = "192.0.2.1/32".parse().unwrap();
+        let p2: Ipv4Prefix = "192.0.2.2/32".parse().unwrap();
+        bl.add_v4(p1, SimDate::ymd(4, 13), day1); // will expire
+        bl.add_v4(p2, SimDate::ymd(4, 30), day1);
+        // Two days later, p1 is expired: adding p3 must drop p1, not p2.
+        let day3 = SimDate::ymd(4, 15);
+        let p3: Ipv4Prefix = "192.0.2.3/32".parse().unwrap();
+        bl.add_v4(p3, SimDate::ymd(4, 30), day3);
+        assert!(bl.blocks("192.0.2.2".parse().unwrap(), day3), "long-lived entry survives");
+        assert!(bl.blocks("192.0.2.3".parse().unwrap(), day3));
+        assert!(!bl.is_empty(day3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn bounded_list_rejects_zero_capacity() {
+        BoundedBlocklist::new(0);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut bl = Blocklist::new();
+        bl.add_v6("2001:db8::/64".parse().unwrap(), SimDate::ymd(4, 15));
+        let inside: IpAddr = "2001:db8::1".parse().unwrap();
+        assert!(bl.blocks(inside, SimDate::ymd(4, 14)));
+        assert!(bl.blocks(inside, SimDate::ymd(4, 15)));
+        assert!(!bl.blocks(inside, SimDate::ymd(4, 16)), "expired");
+        assert!(!bl.blocks("2001:db9::1".parse().unwrap(), SimDate::ymd(4, 14)));
+        assert_eq!(bl.live_entries(SimDate::ymd(4, 15)), 1);
+        assert_eq!(bl.live_entries(SimDate::ymd(4, 16)), 0);
+    }
+
+    #[test]
+    fn re_adding_extends_expiry() {
+        let mut bl = Blocklist::new();
+        let p: Ipv6Prefix = "2001:db8::/64".parse().unwrap();
+        bl.add_v6(p, SimDate::ymd(4, 14));
+        bl.add_v6(p, SimDate::ymd(4, 18));
+        bl.add_v6(p, SimDate::ymd(4, 12)); // shorter must not shrink
+        assert!(bl.blocks("2001:db8::1".parse().unwrap(), SimDate::ymd(4, 17)));
+    }
+
+    #[test]
+    fn v4_blocking() {
+        let mut bl = Blocklist::new();
+        bl.add_v4("192.0.2.7/32".parse().unwrap(), SimDate::ymd(4, 20));
+        assert!(bl.blocks("192.0.2.7".parse().unwrap(), SimDate::ymd(4, 15)));
+        assert!(!bl.blocks("192.0.2.8".parse().unwrap(), SimDate::ymd(4, 15)));
+    }
+
+    #[test]
+    fn from_day_respects_threshold() {
+        let d = SimDate::ymd(4, 18);
+        let labels = labels_for(&[100]);
+        let records = vec![
+            rec(100, d, "2001:db8::a"), // purely abusive address
+            rec(100, d, "2001:db8::b"),
+            rec(1, d, "2001:db8::b"), // mixed (ratio 0.5)
+            rec(2, d, "2001:db8::c"), // purely benign
+        ];
+        let strict =
+            Blocklist::from_day(&records, &labels, Granularity::V6Full, 1.0, d, 7);
+        assert!(strict.blocks("2001:db8::a".parse().unwrap(), d + 1));
+        assert!(!strict.blocks("2001:db8::b".parse().unwrap(), d + 1));
+        assert!(!strict.blocks("2001:db8::c".parse().unwrap(), d + 1));
+        let loose = Blocklist::from_day(&records, &labels, Granularity::V6Full, 0.3, d, 7);
+        assert!(loose.blocks("2001:db8::b".parse().unwrap(), d + 1));
+        assert!(!loose.blocks("2001:db8::c".parse().unwrap(), d + 1), "benign-only never listed");
+    }
+
+    mod model_based {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A naive reference blocklist: a plain list of (prefix, expiry).
+        #[derive(Default)]
+        struct NaiveList {
+            v6: Vec<(Ipv6Prefix, SimDate)>,
+        }
+
+        impl NaiveList {
+            fn add(&mut self, p: Ipv6Prefix, e: SimDate) {
+                self.v6.push((p, e));
+            }
+            fn blocks(&self, ip: IpAddr, day: SimDate) -> bool {
+                let IpAddr::V6(a) = ip else { return false };
+                self.v6.iter().any(|&(p, e)| p.contains_addr(a) && e >= day)
+            }
+        }
+
+        proptest! {
+            /// The trie-backed blocklist agrees with the naive model on
+            /// arbitrary add/query sequences (same-prefix re-adds keep the
+            /// max expiry in both).
+            #[test]
+            fn trie_blocklist_matches_naive_model(
+                adds in proptest::collection::vec(
+                    (any::<u64>(), 40u8..=128, 100u16..140), 1..40),
+                probes in proptest::collection::vec((any::<u64>(), 90u16..150), 40)
+            ) {
+                let mut fast = Blocklist::new();
+                let mut naive = NaiveList::default();
+                for (bits, len, exp_idx) in adds {
+                    // Spread prefixes over a narrow space to force overlap.
+                    let raw = (0x2001_0db8u128 << 96) | u128::from(bits);
+                    let p = Ipv6Prefix::from_bits(raw, len);
+                    let e = SimDate::from_index(exp_idx);
+                    fast.add_v6(p, e);
+                    naive.add(p, e);
+                }
+                for (bits, day_idx) in probes {
+                    let addr = IpAddr::V6(std::net::Ipv6Addr::from(
+                        (0x2001_0db8u128 << 96) | u128::from(bits),
+                    ));
+                    let day = SimDate::from_index(day_idx);
+                    prop_assert_eq!(fast.blocks(addr, day), naive.blocks(addr, day));
+                }
+            }
+
+            /// A bounded blocklist never exceeds its capacity and anything
+            /// it blocks, the unbounded list would block too (eviction only
+            /// loses entries, never invents them).
+            #[test]
+            fn bounded_is_a_subset_of_unbounded(
+                adds in proptest::collection::vec((any::<u64>(), 100u16..140), 1..60),
+                cap in 1usize..8,
+                probes in proptest::collection::vec((any::<u64>(), 90u16..150), 30)
+            ) {
+                let now = SimDate::from_index(95);
+                let mut bounded = BoundedBlocklist::new(cap);
+                let mut full = Blocklist::new();
+                for (bits, exp_idx) in adds {
+                    let raw = (0x2001_0db8u128 << 96) | u128::from(bits);
+                    let p = Ipv6Prefix::from_bits(raw, 128);
+                    let e = SimDate::from_index(exp_idx);
+                    bounded.add_v6(p, e, now);
+                    full.add_v6(p, e);
+                }
+                prop_assert!(bounded.len(now) <= cap + 1, "len {} cap {}", bounded.len(now), cap);
+                for (bits, day_idx) in probes {
+                    let addr = IpAddr::V6(std::net::Ipv6Addr::from(
+                        (0x2001_0db8u128 << 96) | u128::from(bits),
+                    ));
+                    let day = SimDate::from_index(day_idx);
+                    if bounded.blocks(addr, day) {
+                        prop_assert!(full.blocks(addr, day));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_measures_recall_and_collateral() {
+        let d = SimDate::ymd(4, 18);
+        let labels = labels_for(&[100, 101]);
+        let day_n = vec![rec(100, d, "2001:db8::a")];
+        let bl = Blocklist::from_day(&day_n, &labels, Granularity::V6Full, 0.5, d, 7);
+        // Next day: AA 100 returns to the same address; AA 101 is fresh;
+        // one benign user on a clean address.
+        let next = vec![
+            rec(100, d + 1, "2001:db8::a"),
+            rec(101, d + 1, "2001:db8::ffff"),
+            rec(1, d + 1, "2001:db8::c"),
+        ];
+        let evals = evaluate_over_days(&bl, &labels, d, [(d + 1, next.as_slice())]);
+        assert_eq!(evals.len(), 1);
+        assert_eq!(evals[0].offset, 1);
+        assert!((evals[0].recall - 0.5).abs() < 1e-12);
+        assert_eq!(evals[0].collateral, 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-prefix rate limiting.
+//!
+//! §7.2: IPv4 thresholds must be liberal because users-per-address varies
+//! wildly; IPv6 thresholds "can be set more tightly … by assuming a small
+//! number of legitimate users per IPv6 address or prefix". This module
+//! provides:
+//!
+//! - [`recommend_threshold`] — turn a users-per-key distribution plus a
+//!   per-user request budget into a keyed rate limit that throttles at most
+//!   a target share of keys;
+//! - [`RateLimiter`] — a token-bucket enforcement engine keyed by address
+//!   or prefix, for end-to-end tests and examples.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use ipv6_study_netaddr::Ipv6Prefix;
+use ipv6_study_stats::Ecdf;
+use ipv6_study_telemetry::Timestamp;
+
+/// A recommended per-key rate limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdRecommendation {
+    /// The users-per-key value at the protected quantile.
+    pub users_at_quantile: u64,
+    /// Requests per day to allow per key.
+    pub requests_per_day: u64,
+    /// The share of keys whose daily legitimate volume stays under the
+    /// limit by construction (the quantile).
+    pub protected_share: f64,
+}
+
+/// Recommends a per-key daily request limit: enough for the users-per-key
+/// distribution's `quantile` (e.g. 0.999) times a per-user budget.
+pub fn recommend_threshold(
+    users_per_key: &Ecdf,
+    per_user_daily_requests: u64,
+    quantile: f64,
+) -> ThresholdRecommendation {
+    let users = users_per_key.quantile(quantile).unwrap_or(1).max(1);
+    ThresholdRecommendation {
+        users_at_quantile: users,
+        requests_per_day: users * per_user_daily_requests,
+        protected_share: quantile,
+    }
+}
+
+/// The enforcement key for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitKey {
+    /// Full-address keying.
+    Addr(IpAddr),
+    /// IPv6-prefix keying (IPv4 stays full-address).
+    V6Prefix(u128, u8),
+}
+
+/// How a limiter keys requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyPolicy {
+    /// Key on the full source address.
+    FullAddress,
+    /// Key IPv6 on a prefix of the given length, IPv4 on the full address.
+    V6PrefixLen(u8),
+}
+
+impl KeyPolicy {
+    fn key(self, ip: IpAddr) -> LimitKey {
+        match (self, ip) {
+            (KeyPolicy::V6PrefixLen(len), IpAddr::V6(a)) => {
+                LimitKey::V6Prefix(u128::from(a) & Ipv6Prefix::mask(len), len)
+            }
+            _ => LimitKey::Addr(ip),
+        }
+    }
+}
+
+/// A token-bucket rate limiter keyed by address or prefix.
+///
+/// Buckets hold `burst` tokens and refill at `rate_per_sec`. This is the
+/// classic long-term-rate + burst shape; the §7.2 recommendation maps a
+/// daily budget onto `rate_per_sec = budget / 86_400` with a burst of a
+/// few minutes' worth.
+#[derive(Debug)]
+pub struct RateLimiter {
+    policy: KeyPolicy,
+    rate_per_sec: f64,
+    burst: f64,
+    buckets: HashMap<LimitKey, (f64, Timestamp)>, // (tokens, last update)
+}
+
+impl RateLimiter {
+    /// Creates a limiter.
+    ///
+    /// # Panics
+    /// Panics on non-positive rate or burst.
+    pub fn new(policy: KeyPolicy, rate_per_sec: f64, burst: f64) -> Self {
+        assert!(rate_per_sec > 0.0 && burst >= 1.0, "invalid limiter parameters");
+        Self { policy, rate_per_sec, burst, buckets: HashMap::new() }
+    }
+
+    /// Processes one request; returns true when allowed.
+    pub fn allow(&mut self, ip: IpAddr, now: Timestamp) -> bool {
+        let key = self.policy.key(ip);
+        let (tokens, last) = self
+            .buckets
+            .entry(key)
+            .or_insert((self.burst, now));
+        let elapsed = now.secs().saturating_sub(last.secs()) as f64;
+        *tokens = (*tokens + elapsed * self.rate_per_sec).min(self.burst);
+        *last = now;
+        if *tokens >= 1.0 {
+            *tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of tracked keys.
+    pub fn tracked_keys(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6_study_telemetry::SimDate;
+
+    #[test]
+    fn recommendation_scales_with_distribution() {
+        // IPv6-like: almost every address has one user.
+        let v6 = Ecdf::from_values(std::iter::repeat(1u64).take(999).chain([3]));
+        let r6 = recommend_threshold(&v6, 100, 0.999);
+        assert_eq!(r6.users_at_quantile, 1);
+        assert_eq!(r6.requests_per_day, 100);
+        // IPv4-like: heavy tail of shared addresses.
+        let v4 = Ecdf::from_values((0..1000u64).map(|i| if i < 700 { 2 } else { 50 }));
+        let r4 = recommend_threshold(&v4, 100, 0.999);
+        assert!(r4.requests_per_day >= 5_000, "v4 needs a liberal limit");
+        assert!(r4.requests_per_day > 10 * r6.requests_per_day);
+    }
+
+    #[test]
+    fn empty_distribution_recommends_minimum() {
+        let e = Ecdf::from_values(std::iter::empty());
+        let r = recommend_threshold(&e, 50, 0.999);
+        assert_eq!(r.users_at_quantile, 1);
+        assert_eq!(r.requests_per_day, 50);
+    }
+
+    #[test]
+    fn token_bucket_throttles_and_refills() {
+        let mut rl = RateLimiter::new(KeyPolicy::FullAddress, 1.0, 3.0);
+        let ip: IpAddr = "2001:db8::1".parse().unwrap();
+        let t0 = SimDate::ymd(4, 13).at(12, 0, 0);
+        assert!(rl.allow(ip, t0));
+        assert!(rl.allow(ip, t0));
+        assert!(rl.allow(ip, t0));
+        assert!(!rl.allow(ip, t0), "burst exhausted");
+        // Two seconds later, two tokens refilled.
+        let t2 = SimDate::ymd(4, 13).at(12, 0, 2);
+        assert!(rl.allow(ip, t2));
+        assert!(rl.allow(ip, t2));
+        assert!(!rl.allow(ip, t2));
+        // Other keys are independent.
+        assert!(rl.allow("2001:db8::2".parse().unwrap(), t2));
+        assert_eq!(rl.tracked_keys(), 2);
+    }
+
+    #[test]
+    fn prefix_keying_shares_a_bucket_across_the_64() {
+        let mut rl = RateLimiter::new(KeyPolicy::V6PrefixLen(64), 0.001, 2.0);
+        let t = SimDate::ymd(4, 13).at(12, 0, 0);
+        let a: IpAddr = "2001:db8:1:2::a".parse().unwrap();
+        let b: IpAddr = "2001:db8:1:2::b".parse().unwrap();
+        let other: IpAddr = "2001:db8:1:3::a".parse().unwrap();
+        assert!(rl.allow(a, t));
+        assert!(rl.allow(b, t));
+        assert!(!rl.allow(a, t), "same /64 bucket");
+        assert!(rl.allow(other, t), "different /64");
+        // IPv4 under the same policy keys per address.
+        let v4a: IpAddr = "192.0.2.1".parse().unwrap();
+        assert!(rl.allow(v4a, t));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid limiter")]
+    fn bad_parameters_rejected() {
+        RateLimiter::new(KeyPolicy::FullAddress, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Threat-intelligence value decay.
+//!
+//! §7.2: *"the value of intelligence on suspicious IPv6 addresses degrades
+//! quickly."* We quantify that: share today's abusive units (addresses or
+//! prefixes) as an indicator list, then measure what fraction of each
+//! subsequent day's abusive accounts the list still catches. The decay
+//! curve is the product a threat exchange actually delivers to consumers.
+
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+use ipv6_study_netaddr::Ipv6Prefix;
+use ipv6_study_telemetry::{AbuseLabels, RequestRecord, UserId};
+
+use crate::actioning::Granularity;
+
+/// One day of an indicator list's residual value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayPoint {
+    /// Days since the list was shared (0 = same day).
+    pub offset: u16,
+    /// Share of that day's abusive accounts appearing on listed units.
+    pub residual_recall: f64,
+    /// Share of that day's benign users appearing on listed units
+    /// (consumer collateral if they act blindly on the feed).
+    pub collateral: f64,
+}
+
+fn unit_key(granularity: Granularity, ip: IpAddr) -> Option<u128> {
+    match (granularity, ip) {
+        (Granularity::V6Full, IpAddr::V6(a)) => Some(u128::from(a)),
+        (Granularity::V6Prefix(len), IpAddr::V6(a)) => Some(u128::from(a) & Ipv6Prefix::mask(len)),
+        (Granularity::V4Full, IpAddr::V4(a)) => Some(u128::from(u32::from(a))),
+        _ => None,
+    }
+}
+
+/// Builds the indicator list from `day0` (every unit hosting an abusive
+/// account) and evaluates its residual value on each of `later_days`.
+pub fn value_decay<'a>(
+    day0: &[RequestRecord],
+    labels: &AbuseLabels,
+    granularity: Granularity,
+    later_days: impl IntoIterator<Item = (u16, &'a [RequestRecord])>,
+) -> Vec<DecayPoint> {
+    let mut listed: HashSet<u128> = HashSet::new();
+    for r in day0 {
+        if labels.is_abusive(r.user) {
+            if let Some(k) = unit_key(granularity, r.ip) {
+                listed.insert(k);
+            }
+        }
+    }
+    later_days
+        .into_iter()
+        .map(|(offset, records)| {
+            let mut aa_all: HashSet<UserId> = HashSet::new();
+            let mut aa_hit: HashSet<UserId> = HashSet::new();
+            let mut benign_all: HashSet<UserId> = HashSet::new();
+            let mut benign_hit: HashSet<UserId> = HashSet::new();
+            for r in records {
+                let hit = unit_key(granularity, r.ip).is_some_and(|k| listed.contains(&k));
+                if labels.is_abusive(r.user) {
+                    aa_all.insert(r.user);
+                    if hit {
+                        aa_hit.insert(r.user);
+                    }
+                } else if unit_key(granularity, r.ip).is_some() {
+                    benign_all.insert(r.user);
+                    if hit {
+                        benign_hit.insert(r.user);
+                    }
+                }
+            }
+            let frac = |h: usize, a: usize| if a == 0 { 0.0 } else { h as f64 / a as f64 };
+            DecayPoint {
+                offset,
+                residual_recall: frac(aa_hit.len(), aa_all.len()),
+                collateral: frac(benign_hit.len(), benign_all.len()),
+            }
+        })
+        .collect()
+}
+
+/// Summarizes a decay curve as its half-life: the first offset at which
+/// residual recall drops below half the day-0 (or first-point) value.
+/// Returns `None` when recall never halves within the curve.
+pub fn half_life(points: &[DecayPoint]) -> Option<u16> {
+    let base = points.first()?.residual_recall;
+    if base == 0.0 {
+        return Some(0);
+    }
+    points.iter().find(|p| p.residual_recall < base / 2.0).map(|p| p.offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6_study_telemetry::{AbuseInfo, Asn, Country, SimDate};
+
+    fn rec(user: u64, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: SimDate::ymd(4, 15).at(10, 0, 0),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    fn labels_for(ids: &[u64]) -> AbuseLabels {
+        ids.iter()
+            .map(|&u| {
+                (
+                    UserId(u),
+                    AbuseInfo { created: SimDate::ymd(4, 10), detected: SimDate::ymd(4, 19) },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decay_measures_residual_recall() {
+        let labels = labels_for(&[100, 101, 102]);
+        let day0 = vec![rec(100, "2001:db8::a"), rec(101, "2001:db8::b")];
+        // Day 1: 100 persists on a listed address, 102 is fresh.
+        let day1 = vec![rec(100, "2001:db8::a"), rec(102, "2001:db8::c9")];
+        // Day 2: all attackers moved.
+        let day2 = vec![rec(101, "2001:db8::e1")];
+        let pts = value_decay(
+            &day0,
+            &labels,
+            Granularity::V6Full,
+            [(1u16, day1.as_slice()), (2, day2.as_slice())],
+        );
+        assert!((pts[0].residual_recall - 0.5).abs() < 1e-12);
+        assert_eq!(pts[1].residual_recall, 0.0);
+        assert_eq!(half_life(&pts), Some(2));
+    }
+
+    #[test]
+    fn collateral_counts_benign_on_listed_units() {
+        let labels = labels_for(&[100]);
+        let day0 = vec![rec(100, "192.0.2.1")];
+        let day1 = vec![rec(1, "192.0.2.1"), rec(2, "192.0.2.2")];
+        let pts = value_decay(&day0, &labels, Granularity::V4Full, [(1u16, day1.as_slice())]);
+        assert!((pts[0].collateral - 0.5).abs() < 1e-12);
+        assert_eq!(pts[0].residual_recall, 0.0, "no abusive accounts that day");
+    }
+
+    #[test]
+    fn prefix_lists_decay_slower() {
+        let labels = labels_for(&[100]);
+        let day0 = vec![rec(100, "2001:db8:1:2::a")];
+        // Attacker rotates within the /64.
+        let day1 = vec![rec(100, "2001:db8:1:2::b")];
+        let full = value_decay(&day0, &labels, Granularity::V6Full, [(1u16, day1.as_slice())]);
+        let p64 =
+            value_decay(&day0, &labels, Granularity::V6Prefix(64), [(1u16, day1.as_slice())]);
+        assert_eq!(full[0].residual_recall, 0.0);
+        assert!((p64[0].residual_recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_life_edge_cases() {
+        assert_eq!(half_life(&[]), None);
+        let flat = vec![
+            DecayPoint { offset: 1, residual_recall: 0.4, collateral: 0.0 },
+            DecayPoint { offset: 2, residual_recall: 0.35, collateral: 0.0 },
+        ];
+        assert_eq!(half_life(&flat), None);
+        let zero = vec![DecayPoint { offset: 1, residual_recall: 0.0, collateral: 0.0 }];
+        assert_eq!(half_life(&zero), Some(0));
+    }
+}

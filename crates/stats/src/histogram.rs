@@ -1,0 +1,187 @@
+//! Linear and logarithmic histograms for heavy-tailed count data.
+//!
+//! Users-per-address spans six orders of magnitude (one user on a typical
+//! IPv6 address, ~10⁶ behind the largest IPv4 CGNs), so outlier analyses bin
+//! logarithmically ([`Log2Histogram`]); per-day series such as Figure 1 use
+//! fixed-width bins ([`Histogram`]).
+
+/// A fixed-width histogram over `f64` samples in `[lo, hi)`.
+///
+/// Samples below `lo` land in the first bin; samples at or above `hi` land
+/// in the last bin (saturating, never dropped), so totals always reconcile.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` equal-width bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid bounds");
+        Self { lo, hi, bins: vec![0; n] }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        let idx = self.bin_index(x);
+        self.bins[idx] += 1;
+    }
+
+    fn bin_index(&self, x: f64) -> usize {
+        if !x.is_finite() || x < self.lo {
+            return 0;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let i = ((x - self.lo) / w) as usize;
+        i.min(self.bins.len() - 1)
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin_midpoint, count)` pairs — a plottable series.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+/// A base-2 logarithmic histogram over `u64` counts.
+///
+/// Bin `i` covers `[2^i, 2^(i+1))`; bin 0 additionally holds the value 0 and
+/// 1 (i.e. everything below 2). With 64 bins it covers the full `u64` range.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    bins: [u64; 64],
+    max_seen: u64,
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { bins: [0; 64], max_seen: 0, total: 0 }
+    }
+
+    /// Records one count observation.
+    pub fn record(&mut self, x: u64) {
+        let idx = if x < 2 { 0 } else { 63 - x.leading_zeros() as usize };
+        self.bins[idx] += 1;
+        self.max_seen = self.max_seen.max(x);
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation recorded.
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Number of observations at or above `threshold`, computed exactly for
+    /// power-of-two thresholds and conservatively (over the containing bin)
+    /// otherwise.
+    pub fn count_ge_pow2(&self, pow: u32) -> u64 {
+        self.bins[pow.min(63) as usize..].iter().sum()
+    }
+
+    /// Non-empty `(bin_lower_bound, count)` pairs, ascending — tail tables
+    /// like "addresses with ≥2^k users" fall straight out of this.
+    pub fn series(&self) -> Vec<(u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_histogram_bins_and_saturation() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(10.0); // saturates into last bin
+        h.record(-5.0); // clamps into first bin
+        h.record(f64::NAN); // clamps into first bin, never dropped
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bins()[0], 3);
+        assert_eq!(h.bins()[9], 2);
+    }
+
+    #[test]
+    fn linear_histogram_series_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let s = h.series();
+        assert_eq!(s.len(), 4);
+        assert!((s[0].0 - 0.5).abs() < 1e-12);
+        assert!((s[3].0 - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn log2_bin_boundaries() {
+        let mut h = Log2Histogram::new();
+        for x in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.max(), u64::MAX);
+        // bin 0: {0,1}, bin 1: {2,3}, bin 2: {4,7}, bin 3: {8}, bin 9: {1023}
+        let s = h.series();
+        assert_eq!(s[0], (0, 2));
+        assert_eq!(s[1], (2, 2));
+        assert_eq!(s[2], (4, 2));
+        assert_eq!(s[3], (8, 1));
+        assert!(s.contains(&(512, 1)));
+        assert!(s.contains(&(1024, 1)));
+    }
+
+    #[test]
+    fn log2_tail_counts() {
+        let mut h = Log2Histogram::new();
+        for x in [1u64, 10, 100, 1000, 10_000, 100_000] {
+            h.record(x);
+        }
+        // ≥ 2^10 = 1024: 10_000 and 100_000.
+        assert_eq!(h.count_ge_pow2(10), 2);
+        assert_eq!(h.count_ge_pow2(0), 6);
+        assert_eq!(h.count_ge_pow2(63), 0);
+    }
+}

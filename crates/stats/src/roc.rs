@@ -1,0 +1,233 @@
+//! Receiver Operating Characteristic curves.
+//!
+//! Section 7.1 of the paper evaluates IP-actioning policies as a binary
+//! decision sweep: for every prefix observed on day *n* with abusive-account
+//! ratio ≥ *t*, action it; measure on day *n+1* the true-positive rate (share
+//! of abusive accounts caught) and false-positive rate (share of benign users
+//! collaterally hit), then sweep *t* from 0% to 100% to trace Figure 11.
+//!
+//! This module provides the generic machinery: a [`RocCurve`] built from
+//! per-decision-unit `(score, positives_hit, negatives_hit)` triples, where a
+//! unit (an address or a prefix) is actioned whenever `score >= threshold`.
+
+/// One operating point on a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold that produces this point (units actioned when
+    /// `score >= threshold`).
+    pub threshold: f64,
+    /// True-positive rate in `[0, 1]`.
+    pub tpr: f64,
+    /// False-positive rate in `[0, 1]`.
+    pub fpr: f64,
+}
+
+/// A ROC curve over weighted decision units.
+///
+/// Each unit carries a `score` (here: the abusive-account ratio on day *n*),
+/// a positive weight (abusive accounts on the unit on day *n+1*) and a
+/// negative weight (benign users on day *n+1*). Unlike the textbook
+/// per-example ROC, weights let one unit contribute thousands of users —
+/// matching how a single blocked CGN address harms everyone behind it.
+#[derive(Debug, Clone, Default)]
+pub struct RocCurve {
+    /// `(score, positive_weight, negative_weight)` per decision unit.
+    units: Vec<(f64, f64, f64)>,
+}
+
+impl RocCurve {
+    /// Creates an empty curve builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one decision unit.
+    pub fn push(&mut self, score: f64, positive_weight: f64, negative_weight: f64) {
+        debug_assert!(score.is_finite() && positive_weight >= 0.0 && negative_weight >= 0.0);
+        self.units.push((score, positive_weight, negative_weight));
+    }
+
+    /// Pools another curve's decision units into this one (e.g. the same
+    /// experiment repeated over several day pairs).
+    pub fn extend_from(&mut self, other: &RocCurve) {
+        self.units.extend_from_slice(&other.units);
+    }
+
+    /// Total positive weight across all units (the day-*n+1* abusive mass).
+    pub fn total_positive(&self) -> f64 {
+        self.units.iter().map(|u| u.1).sum()
+    }
+
+    /// Total negative weight across all units.
+    pub fn total_negative(&self) -> f64 {
+        self.units.iter().map(|u| u.2).sum()
+    }
+
+    /// Evaluates the operating point at a single threshold.
+    ///
+    /// `total_negative_override` supports the paper's setting where the FPR
+    /// denominator is the *entire* benign population (including users on
+    /// never-observed units), not just users on scored units. Pass `None` to
+    /// use the in-curve total.
+    pub fn point_at(&self, threshold: f64, total_negative_override: Option<f64>) -> RocPoint {
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        for &(score, pos, neg) in &self.units {
+            if score >= threshold {
+                tp += pos;
+                fp += neg;
+            }
+        }
+        let tot_p = self.total_positive();
+        let tot_n = total_negative_override.unwrap_or_else(|| self.total_negative());
+        RocPoint {
+            threshold,
+            tpr: if tot_p > 0.0 { tp / tot_p } else { 0.0 },
+            fpr: if tot_n > 0.0 { fp / tot_n } else { 0.0 },
+        }
+    }
+
+    /// Sweeps the given thresholds (descending TPR as threshold rises) into a
+    /// plottable curve.
+    pub fn sweep(&self, thresholds: &[f64], total_negative_override: Option<f64>) -> Vec<RocPoint> {
+        thresholds
+            .iter()
+            .map(|&t| self.point_at(t, total_negative_override))
+            .collect()
+    }
+
+    /// The TPR attained at the largest threshold whose FPR does not exceed
+    /// `max_fpr` — "recall at a tolerable false-positive budget", the paper's
+    /// preferred comparison ("for FPR values below 1%, IPv4's ROC curve is
+    /// consistently below those of IPv6…"). Scans a fine threshold grid.
+    pub fn tpr_at_fpr(&self, max_fpr: f64, total_negative_override: Option<f64>) -> f64 {
+        let mut best = 0.0f64;
+        for i in 0..=1000 {
+            let t = i as f64 / 1000.0;
+            let p = self.point_at(t, total_negative_override);
+            if p.fpr <= max_fpr {
+                best = best.max(p.tpr);
+            }
+        }
+        best
+    }
+
+    /// Area under the curve via trapezoidal integration over a fine
+    /// threshold grid. A scalar summary for regression tests and ablations.
+    pub fn auc(&self, total_negative_override: Option<f64>) -> f64 {
+        let mut pts: Vec<RocPoint> = (0..=1000)
+            .map(|i| self.point_at(i as f64 / 1000.0, total_negative_override))
+            .collect();
+        pts.sort_by(|a, b| a.fpr.partial_cmp(&b.fpr).expect("finite rates"));
+        let mut auc = 0.0;
+        // Anchor the curve at (0,0) and (max_fpr, max_tpr) ... integrate the
+        // observed envelope only; actioning curves need not reach (1,1).
+        let mut prev = RocPoint { threshold: f64::NAN, tpr: 0.0, fpr: 0.0 };
+        for p in pts {
+            auc += (p.fpr - prev.fpr) * (p.tpr + prev.tpr) / 2.0;
+            prev = p;
+        }
+        auc
+    }
+
+    /// Number of decision units recorded.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True when no units were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_curve() -> RocCurve {
+        let mut c = RocCurve::new();
+        // unit: score, abusive next day, benign next day
+        c.push(1.0, 10.0, 0.0); // purely abusive yesterday, clean hit
+        c.push(0.5, 5.0, 5.0); // mixed
+        c.push(0.1, 1.0, 100.0); // heavily benign
+        c
+    }
+
+    #[test]
+    fn threshold_zero_actions_everything() {
+        let c = sample_curve();
+        let p = c.point_at(0.0, None);
+        assert!((p.tpr - 1.0).abs() < 1e-12);
+        assert!((p.fpr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_one_actions_only_pure_units() {
+        let c = sample_curve();
+        let p = c.point_at(1.0, None);
+        assert!((p.tpr - 10.0 / 16.0).abs() < 1e-12);
+        assert!((p.fpr - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fpr_denominator_override() {
+        let c = sample_curve();
+        // Pretend the full benign population is 10x the in-curve negatives.
+        let p = c.point_at(0.0, Some(1050.0));
+        assert!((p.fpr - 105.0 / 1050.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tpr_at_fpr_budget() {
+        let c = sample_curve();
+        // With zero FPR budget, only the pure unit may be actioned.
+        assert!((c.tpr_at_fpr(0.0, None) - 10.0 / 16.0).abs() < 1e-12);
+        // With unlimited budget the whole mass is reachable.
+        assert!((c.tpr_at_fpr(1.0, None) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_curve_is_safe() {
+        let c = RocCurve::new();
+        let p = c.point_at(0.5, None);
+        assert_eq!(p.tpr, 0.0);
+        assert_eq!(p.fpr, 0.0);
+        assert_eq!(c.auc(None), 0.0);
+        assert!(c.is_empty());
+    }
+
+    proptest! {
+        /// Raising the threshold can only shrink the actioned set, so both
+        /// rates are monotone non-increasing in the threshold.
+        #[test]
+        fn rates_monotone_in_threshold(
+            units in proptest::collection::vec((0.0f64..=1.0, 0.0f64..50.0, 0.0f64..50.0), 1..50)
+        ) {
+            let mut c = RocCurve::new();
+            for (s, p, n) in units {
+                c.push(s, p, n);
+            }
+            let mut prev = c.point_at(0.0, None);
+            for i in 1..=20 {
+                let cur = c.point_at(i as f64 / 20.0, None);
+                prop_assert!(cur.tpr <= prev.tpr + 1e-12);
+                prop_assert!(cur.fpr <= prev.fpr + 1e-12);
+                prev = cur;
+            }
+        }
+
+        #[test]
+        fn auc_is_a_probability(
+            units in proptest::collection::vec((0.0f64..=1.0, 0.0f64..50.0, 0.0f64..50.0), 1..50)
+        ) {
+            let mut c = RocCurve::new();
+            for (s, p, n) in units {
+                c.push(s, p, n);
+            }
+            let auc = c.auc(None);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&auc));
+        }
+    }
+}

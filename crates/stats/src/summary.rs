@@ -1,0 +1,150 @@
+//! Scalar summaries of `f64` samples.
+//!
+//! A small, exact (store-everything) summary type used for report tables and
+//! calibration assertions. Simulation scales here are bounded (≤ a few
+//! million samples per summary), so exactness beats sketching.
+
+/// Collects samples and answers mean / quantile / extrema queries.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Non-finite samples are rejected with a panic in
+    /// debug builds and silently dropped in release builds — a NaN in a
+    /// report is always a bug upstream.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample");
+        if x.is_finite() {
+            self.samples.push(x);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> Option<f64> {
+        let m = self.mean()?;
+        Some(self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Lower empirical quantile (nearest-rank).
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Median sample.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, x| {
+            Some(acc.map_or(x, |a: f64| a.min(x)))
+        })
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, x| {
+            Some(acc.map_or(x, |a: f64| a.max(x)))
+        })
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.len(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.stddev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(s.median(), Some(4.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s: Summary = (1..=10).map(|x| x as f64).collect();
+        assert_eq!(s.quantile(0.1), Some(1.0));
+        assert_eq!(s.quantile(0.5), Some(5.0));
+        assert_eq!(s.quantile(0.91), Some(10.0));
+        assert_eq!(s.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.variance(), None);
+    }
+
+    #[test]
+    fn interleaved_record_and_quantile() {
+        let mut s = Summary::new();
+        s.record(5.0);
+        assert_eq!(s.median(), Some(5.0));
+        s.record(1.0);
+        s.record(9.0);
+        assert_eq!(s.median(), Some(5.0));
+        s.record(0.0);
+        assert_eq!(s.quantile(0.25), Some(0.0));
+    }
+}

@@ -1,0 +1,248 @@
+//! CSV import/export for request stores and abuse labels.
+//!
+//! §3.3 of the paper: *"we aim to … explain our methodology in enough
+//! detail for it to be reproduced on data from another vantage point on the
+//! internet."* These readers/writers are that bridge: export simulated
+//! datasets for external tooling, or load another platform's telemetry
+//! (five columns: timestamp, user id, source IP, ASN, country) and run
+//! every analysis in this workspace on it unchanged.
+//!
+//! The format is deliberately minimal: a header line, then one record per
+//! line, RFC-4180-style but with no quoting needed (no field can contain a
+//! comma).
+
+use std::fmt::Write as _;
+use std::net::IpAddr;
+
+use crate::ids::{Asn, Country, UserId};
+use crate::labels::{AbuseInfo, AbuseLabels};
+use crate::record::RequestRecord;
+use crate::store::RequestStore;
+use crate::time::{SimDate, Timestamp};
+
+/// Error from parsing a CSV dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(line: usize, msg: impl Into<String>) -> CsvError {
+    CsvError { line, msg: msg.into() }
+}
+
+/// Header of the request CSV format.
+pub const REQUEST_HEADER: &str = "ts_secs,user_id,ip,asn,country";
+
+/// Serializes records to CSV (the five §3.1 telemetry fields).
+pub fn requests_to_csv(records: &[RequestRecord]) -> String {
+    let mut out = String::with_capacity(32 * (records.len() + 1));
+    out.push_str(REQUEST_HEADER);
+    out.push('\n');
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.ts.secs(),
+            r.user.raw(),
+            r.ip,
+            r.asn.0,
+            r.country
+        );
+    }
+    out
+}
+
+/// Parses a request CSV back into a store.
+pub fn requests_from_csv(csv: &str) -> Result<RequestStore, CsvError> {
+    let mut lines = csv.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == REQUEST_HEADER => {}
+        Some((_, h)) => return Err(err(1, format!("bad header: {h:?}"))),
+        None => return Err(err(1, "empty input")),
+    }
+    let mut store = RequestStore::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut field = |name: &str| {
+            parts.next().ok_or_else(|| err(lineno, format!("missing field {name}")))
+        };
+        let ts: u32 = field("ts_secs")?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad ts: {e}")))?;
+        let user: u64 = field("user_id")?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad user id: {e}")))?;
+        let ip: IpAddr = field("ip")?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad ip: {e}")))?;
+        let asn: u32 = field("asn")?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad asn: {e}")))?;
+        let cc = field("country")?;
+        if cc.len() != 2 || !cc.bytes().all(|b| b.is_ascii_uppercase()) {
+            return Err(err(lineno, format!("bad country code {cc:?}")));
+        }
+        if parts.next().is_some() {
+            return Err(err(lineno, "too many fields"));
+        }
+        store.push(RequestRecord {
+            ts: Timestamp::from_secs(ts),
+            user: UserId(user),
+            ip,
+            asn: Asn(asn),
+            country: Country::new(cc),
+        });
+    }
+    Ok(store)
+}
+
+/// Header of the labels CSV format.
+pub const LABELS_HEADER: &str = "user_id,created_day,detected_day";
+
+/// Serializes abuse labels to CSV (days as indices since Jan 1 2020).
+pub fn labels_to_csv(labels: &AbuseLabels) -> String {
+    let mut rows: Vec<(u64, u16, u16)> = labels
+        .iter()
+        .map(|(u, i)| (u.raw(), i.created.index(), i.detected.index()))
+        .collect();
+    rows.sort_unstable();
+    let mut out = String::from(LABELS_HEADER);
+    out.push('\n');
+    for (u, c, d) in rows {
+        let _ = writeln!(out, "{u},{c},{d}");
+    }
+    out
+}
+
+/// Parses a labels CSV.
+pub fn labels_from_csv(csv: &str) -> Result<AbuseLabels, CsvError> {
+    let mut lines = csv.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == LABELS_HEADER => {}
+        Some((_, h)) => return Err(err(1, format!("bad header: {h:?}"))),
+        None => return Err(err(1, "empty input")),
+    }
+    let mut labels = AbuseLabels::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(err(lineno, format!("expected 3 fields, got {}", fields.len())));
+        }
+        let user: u64 =
+            fields[0].parse().map_err(|e| err(lineno, format!("bad user id: {e}")))?;
+        let created: u16 =
+            fields[1].parse().map_err(|e| err(lineno, format!("bad created day: {e}")))?;
+        let detected: u16 =
+            fields[2].parse().map_err(|e| err(lineno, format!("bad detected day: {e}")))?;
+        if created >= 366 || detected >= 366 {
+            return Err(err(lineno, "day index out of 2020"));
+        }
+        if detected < created {
+            return Err(err(lineno, "detected before created"));
+        }
+        labels.insert(
+            UserId(user),
+            AbuseInfo {
+                created: SimDate::from_index(created),
+                detected: SimDate::from_index(detected),
+            },
+        );
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: u64, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: SimDate::ymd(4, 13).at(10, 30, 5),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(20057),
+            country: Country::new("US"),
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let records = vec![rec(1, "2001:db8::1"), rec(2, "192.0.2.7")];
+        let csv = requests_to_csv(&records);
+        let mut store = requests_from_csv(&csv).unwrap();
+        assert_eq!(store.len(), 2);
+        let back = store.all();
+        assert_eq!(back[0], records[0]);
+        assert_eq!(back[1], records[1]);
+    }
+
+    #[test]
+    fn request_csv_rejects_malformed_input() {
+        assert!(requests_from_csv("").is_err());
+        assert!(requests_from_csv("wrong,header\n").is_err());
+        let base = format!("{REQUEST_HEADER}\n");
+        assert!(requests_from_csv(&format!("{base}notanumber,1,::1,1,US")).is_err());
+        assert!(requests_from_csv(&format!("{base}1,1,not-an-ip,1,US")).is_err());
+        assert!(requests_from_csv(&format!("{base}1,1,::1,1,usa")).is_err());
+        assert!(requests_from_csv(&format!("{base}1,1,::1,1,US,extra")).is_err());
+        assert!(requests_from_csv(&format!("{base}1,1,::1,1")).is_err());
+        // Error carries the line number.
+        let e = requests_from_csv(&format!("{base}\n\nbad")).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = format!("{REQUEST_HEADER}\n\n{},1,::1,7,DE\n\n", 86_400);
+        let mut store = requests_from_csv(&csv).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.all()[0].country, Country::new("DE"));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let mut labels = AbuseLabels::new();
+        labels.insert(
+            UserId(10),
+            AbuseInfo { created: SimDate::ymd(4, 10), detected: SimDate::ymd(4, 12) },
+        );
+        labels.insert(
+            UserId(7),
+            AbuseInfo { created: SimDate::ymd(3, 1), detected: SimDate::ymd(3, 1) },
+        );
+        let csv = labels_to_csv(&labels);
+        let back = labels_from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(UserId(10)).unwrap().detected, SimDate::ymd(4, 12));
+        // Output is sorted by user id for determinism.
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[1].starts_with("7,"));
+    }
+
+    #[test]
+    fn labels_csv_rejects_inconsistencies() {
+        let base = format!("{LABELS_HEADER}\n");
+        assert!(labels_from_csv(&format!("{base}1,50,40")).is_err(), "detected < created");
+        assert!(labels_from_csv(&format!("{base}1,400,401")).is_err(), "beyond 2020");
+        assert!(labels_from_csv(&format!("{base}1,2")).is_err(), "missing field");
+    }
+}

@@ -1,0 +1,117 @@
+//! Entity identifiers shared across the workspace.
+//!
+//! Plain newtypes over integers: cheap to copy, hashable, and — critically —
+//! hashable *stably* for the deterministic samplers (each id exposes its raw
+//! value for [`ipv6_study_stats::hash`]).
+
+use std::fmt;
+
+/// A platform user account id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+impl UserId {
+    /// Raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A client device belonging to a user (phone, laptop, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u64);
+
+impl DeviceId {
+    /// Raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A household: the unit behind one home connection (one NAT'd IPv4
+/// address, one delegated IPv6 prefix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HouseholdId(pub u64);
+
+impl HouseholdId {
+    /// Raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// An autonomous system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// An ISO 3166-1 alpha-2 country code, stored as two ASCII bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Country(pub [u8; 2]);
+
+impl Country {
+    /// Builds from a two-letter code.
+    ///
+    /// # Panics
+    /// Panics unless `code` is exactly two ASCII uppercase letters.
+    pub const fn new(code: &str) -> Self {
+        let b = code.as_bytes();
+        assert!(b.len() == 2, "country code must be two letters");
+        assert!(b[0].is_ascii_uppercase() && b[1].is_ascii_uppercase());
+        Self([b[0], b[1]])
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("constructed from ASCII")
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UserId(42).to_string(), "u42");
+        assert_eq!(Asn(20057).to_string(), "AS20057");
+        assert_eq!(Country::new("US").to_string(), "US");
+        assert_eq!(Country::new("IN").as_str(), "IN");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(UserId(1));
+        s.insert(UserId(1));
+        s.insert(UserId(2));
+        assert_eq!(s.len(), 2);
+        assert!(UserId(1) < UserId(2));
+        assert_eq!(DeviceId(9).raw(), 9);
+        assert_eq!(HouseholdId(3).raw(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_country_code() {
+        Country::new("usa");
+    }
+}

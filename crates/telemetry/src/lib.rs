@@ -1,0 +1,46 @@
+//! Telemetry-platform substrate for the IPv6 user-level study.
+//!
+//! The paper's methodology (§3.1) observes *authenticated HTTP requests* at
+//! a large online platform and builds four dataset types by deterministic
+//! attribute sampling. This crate is that platform's data layer, rebuilt
+//! from scratch:
+//!
+//! - [`time`] — the study's calendar: [`time::SimDate`] /
+//!   [`time::Timestamp`] over 2020, with weekday and
+//!   study-window constants (Jan 23 – Apr 19; the Apr 13–19 focus week).
+//! - [`ids`] — entity identifiers shared across the workspace: users,
+//!   devices, households, ASNs, countries.
+//! - [`record`] — the request telemetry schema: timestamp, user id, source
+//!   IP, ASN, country — exactly the five fields the paper collects.
+//! - [`sampler`] — the four deterministic samplers: request random sample,
+//!   user random sample, IP random sample, and per-length IPv6 prefix
+//!   random samples.
+//! - [`store`] — an in-memory request store with time-range and group-by
+//!   helpers.
+//! - [`labels`] — the abusive-account label dataset with creation/detection
+//!   dates (the paper's labels are lifetime-censored by detection; ours
+//!   record both dates so analyses can reproduce that censoring).
+//! - [`dataset`] — [`dataset::StudyDatasets`]: routes a
+//!   simulated request stream into all sampled datasets in one pass.
+//! - [`csv`] — import/export, so these analyses can run over another
+//!   vantage point's telemetry (the replication path of §3.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod ids;
+pub mod labels;
+pub mod record;
+pub mod sampler;
+pub mod store;
+pub mod time;
+
+pub use dataset::StudyDatasets;
+pub use ids::{Asn, Country, DeviceId, HouseholdId, UserId};
+pub use labels::{AbuseInfo, AbuseLabels};
+pub use record::RequestRecord;
+pub use sampler::Samplers;
+pub use store::RequestStore;
+pub use time::{DateRange, SimDate, Timestamp};

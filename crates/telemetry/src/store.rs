@@ -1,0 +1,165 @@
+//! In-memory request store with time-range and group-by helpers.
+//!
+//! A store holds one dataset's records (one of the four sampled datasets of
+//! §3.1). Records arrive roughly time-ordered from the simulation driver;
+//! the store sorts lazily on first query and then serves date-range slices
+//! by binary search. Group-by helpers build the (entity → observations)
+//! maps that every analysis starts from.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use crate::record::RequestRecord;
+use crate::time::{DateRange, SimDate};
+use crate::UserId;
+
+/// A sorted collection of request records.
+#[derive(Debug, Clone, Default)]
+pub struct RequestStore {
+    records: Vec<RequestRecord>,
+    sorted: bool,
+}
+
+impl RequestStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, rec: RequestRecord) {
+        self.records.push(rec);
+        self.sorted = false;
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Sorts records by timestamp (stable w.r.t. equal timestamps). Called
+    /// automatically by queries; exposed for explicit pre-sorting.
+    pub fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.records.sort_by_key(|r| r.ts);
+            self.sorted = true;
+        }
+    }
+
+    /// All records, time-ordered.
+    pub fn all(&mut self) -> &[RequestRecord] {
+        self.ensure_sorted();
+        &self.records
+    }
+
+    /// The records whose timestamps fall inside `range` (inclusive days).
+    pub fn in_range(&mut self, range: DateRange) -> &[RequestRecord] {
+        self.ensure_sorted();
+        let (lo_ts, hi_ts) = range.ts_bounds();
+        let lo = self.records.partition_point(|r| r.ts < lo_ts);
+        let hi = self.records.partition_point(|r| r.ts <= hi_ts);
+        &self.records[lo..hi]
+    }
+
+    /// The records on one day.
+    pub fn on_day(&mut self, day: SimDate) -> &[RequestRecord] {
+        self.in_range(DateRange::single(day))
+    }
+
+    /// Groups a record slice by user.
+    pub fn group_by_user(records: &[RequestRecord]) -> HashMap<UserId, Vec<&RequestRecord>> {
+        let mut m: HashMap<UserId, Vec<&RequestRecord>> = HashMap::new();
+        for r in records {
+            m.entry(r.user).or_default().push(r);
+        }
+        m
+    }
+
+    /// Groups a record slice by source address.
+    pub fn group_by_ip(records: &[RequestRecord]) -> HashMap<IpAddr, Vec<&RequestRecord>> {
+        let mut m: HashMap<IpAddr, Vec<&RequestRecord>> = HashMap::new();
+        for r in records {
+            m.entry(r.ip).or_default().push(r);
+        }
+        m
+    }
+
+    /// The distinct users appearing in a record slice.
+    pub fn distinct_users(records: &[RequestRecord]) -> Vec<UserId> {
+        let mut v: Vec<UserId> = records.iter().map(|r| r.user).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Asn, Country};
+
+    fn rec(user: u64, day: SimDate, hour: u8, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: day.at(hour, 0, 0),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    #[test]
+    fn range_queries_slice_correctly() {
+        let mut s = RequestStore::new();
+        // Insert out of order on purpose.
+        s.push(rec(1, SimDate::ymd(4, 15), 8, "2001:db8::1"));
+        s.push(rec(2, SimDate::ymd(4, 13), 9, "2001:db8::2"));
+        s.push(rec(3, SimDate::ymd(4, 19), 23, "2001:db8::3"));
+        s.push(rec(4, SimDate::ymd(4, 12), 23, "2001:db8::4"));
+        s.push(rec(5, SimDate::ymd(4, 20), 0, "2001:db8::5"));
+
+        assert_eq!(s.len(), 5);
+        let week = s.in_range(crate::time::focus_week());
+        assert_eq!(week.len(), 3);
+        assert!(week.windows(2).all(|w| w[0].ts <= w[1].ts));
+
+        let day = s.on_day(SimDate::ymd(4, 13));
+        assert_eq!(day.len(), 1);
+        assert_eq!(day[0].user, UserId(2));
+
+        let empty = s.on_day(SimDate::ymd(1, 1));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn inclusive_bounds_at_midnight() {
+        let mut s = RequestStore::new();
+        s.push(rec(1, SimDate::ymd(4, 13), 0, "2001:db8::1")); // first second
+        s.push(rec(2, SimDate::ymd(4, 19), 23, "2001:db8::2")); // last day
+        assert_eq!(s.in_range(crate::time::focus_week()).len(), 2);
+    }
+
+    #[test]
+    fn grouping_helpers() {
+        let mut s = RequestStore::new();
+        s.push(rec(1, SimDate::ymd(4, 13), 1, "2001:db8::1"));
+        s.push(rec(1, SimDate::ymd(4, 13), 2, "2001:db8::9"));
+        s.push(rec(2, SimDate::ymd(4, 13), 3, "2001:db8::1"));
+        let recs = s.all().to_vec();
+
+        let by_user = RequestStore::group_by_user(&recs);
+        assert_eq!(by_user.len(), 2);
+        assert_eq!(by_user[&UserId(1)].len(), 2);
+
+        let by_ip = RequestStore::group_by_ip(&recs);
+        assert_eq!(by_ip.len(), 2);
+        assert_eq!(by_ip[&"2001:db8::1".parse::<IpAddr>().unwrap()].len(), 2);
+
+        assert_eq!(RequestStore::distinct_users(&recs), vec![UserId(1), UserId(2)]);
+    }
+}

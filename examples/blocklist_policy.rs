@@ -1,0 +1,75 @@
+//! Blocklist policy design: sweep granularity × threshold × TTL, then print
+//! a recommendation in the spirit of §7.2.
+//!
+//! ```text
+//! cargo run --release --example blocklist_policy
+//! ```
+
+use ipv6_user_study::secapp::actioning::{actioning_roc, operating_points, Granularity};
+use ipv6_user_study::secapp::blocklist::{evaluate_over_days, Blocklist};
+use ipv6_user_study::telemetry::time::focus_day_user;
+use ipv6_user_study::telemetry::SimDate;
+use ipv6_user_study::{Study, StudyConfig};
+
+fn main() {
+    let mut study = Study::run(StudyConfig::test_scale());
+    let day_n = focus_day_user() - 1;
+    let day_n1 = focus_day_user();
+    let n = study.pair_store.on_day(day_n).to_vec();
+    let n1 = study.pair_store.on_day(day_n1).to_vec();
+
+    println!("== day-over-day actioning ROC (operating points) ==");
+    println!("{:>6} {:>8} {:>9} {:>9} {:>9}", "unit", "thresh", "TPR", "FPR", "TPR@1%FPR");
+    let grans = [
+        Granularity::V6Full,
+        Granularity::V6Prefix(64),
+        Granularity::V6Prefix(56),
+        Granularity::V4Full,
+    ];
+    for gran in grans {
+        let curve = actioning_roc(&n, &n1, &study.labels, gran);
+        let pts = operating_points(&curve);
+        for (label, (tpr, fpr)) in
+            [("0%", pts.t0), ("10%", pts.t10), ("100%", pts.t100)]
+        {
+            println!(
+                "{:>6} {:>8} {:>8.1}% {:>8.3}% {:>8.1}%",
+                gran.label(),
+                label,
+                100.0 * tpr,
+                100.0 * fpr,
+                100.0 * curve.tpr_at_fpr(0.01, None)
+            );
+        }
+    }
+
+    // Longitudinal: how fast does a one-day blocklist decay?
+    println!("\n== blocklist decay (threshold 50%, TTL 14d, listed Apr 13) ==");
+    let list_day = SimDate::ymd(4, 13);
+    let listing = study.datasets.ip_sample.on_day(list_day).to_vec();
+    for (gran, name) in [
+        (Granularity::V6Full, "IPv6 /128"),
+        (Granularity::V6Prefix(64), "IPv6 /64"),
+        (Granularity::V4Full, "IPv4"),
+    ] {
+        let bl = Blocklist::from_day(&listing, &study.labels, gran, 0.5, list_day, 14);
+        let later: Vec<(SimDate, Vec<_>)> = (1..=6u16)
+            .map(|k| (list_day + k, study.datasets.ip_sample.on_day(list_day + k).to_vec()))
+            .collect();
+        let evals = evaluate_over_days(
+            &bl,
+            &study.labels,
+            list_day,
+            later.iter().map(|(d, r)| (*d, r.as_slice())),
+        );
+        let series: Vec<String> =
+            evals.iter().map(|e| format!("d+{}: {:.0}%", e.offset, 100.0 * e.recall)).collect();
+        println!("{name:>10} ({} entries): {}", bl.live_entries(list_day + 1), series.join("  "));
+    }
+
+    println!(
+        "\nRecommendation (mirrors §7.2): action IPv6 at the /64 granularity for recall\n\
+         or the full address for near-zero collateral; refresh lists daily — IPv6\n\
+         indicators go stale much faster than IPv4 ones."
+    );
+}

@@ -1,0 +1,73 @@
+//! Rate-limit tuning: derive per-key daily budgets from the measured
+//! users-per-address/prefix distributions (§7.2), then demonstrate the
+//! resulting token-bucket enforcement.
+//!
+//! ```text
+//! cargo run --release --example rate_limit_tuning
+//! ```
+
+use ipv6_user_study::analysis::ip_centric::{users_per_ip, users_per_prefix};
+use ipv6_user_study::secapp::ratelimit::{recommend_threshold, KeyPolicy, RateLimiter};
+use ipv6_user_study::telemetry::time::focus_week;
+use ipv6_user_study::{Study, StudyConfig};
+
+fn main() {
+    let mut study = Study::run(StudyConfig::test_scale());
+    let week = focus_week();
+
+    let ip_recs = study.datasets.ip_sample.in_range(week).to_vec();
+    let per_ip = users_per_ip(&ip_recs);
+    let p64 = {
+        let recs = study.datasets.prefix_sample(64).in_range(week).to_vec();
+        users_per_prefix(&recs, 64).ecdf
+    };
+    let p48 = {
+        let recs = study.datasets.prefix_sample(48).in_range(week).to_vec();
+        users_per_prefix(&recs, 48).ecdf
+    };
+
+    const PER_USER: u64 = 200; // daily request budget per legitimate user
+    const Q: f64 = 0.999; // protect 99.9% of keys from throttling
+
+    println!("== recommended per-key daily budgets (protecting p{:.1} of keys) ==", Q * 100.0);
+    println!("{:>12} {:>16} {:>16}", "key", "users@quantile", "requests/day");
+    for (name, ecdf) in [
+        ("IPv6 /128", &per_ip.v6),
+        ("IPv6 /64", &p64),
+        ("IPv6 /48", &p48),
+        ("IPv4 addr", &per_ip.v4),
+    ] {
+        let r = recommend_threshold(ecdf, PER_USER, Q);
+        println!("{:>12} {:>16} {:>16}", name, r.users_at_quantile, r.requests_per_day);
+    }
+    let v6 = recommend_threshold(&per_ip.v6, PER_USER, Q);
+    let v4 = recommend_threshold(&per_ip.v4, PER_USER, Q);
+    println!(
+        "\nIPv4 needs a {}x more liberal limit than IPv6 — §7.2's \"thresholds can be\n\
+         set more tightly\" finding. IPv6 /48 budgets resemble IPv4 address budgets,\n\
+         so existing IPv4 rate-limit logic can translate to /48 keying.",
+        (v4.requests_per_day as f64 / v6.requests_per_day.max(1) as f64).round()
+    );
+
+    // Enforcement demo: a v6-keyed limiter built from the recommendation.
+    let rate = v6.requests_per_day as f64 / 86_400.0;
+    let mut limiter = RateLimiter::new(KeyPolicy::V6PrefixLen(64), rate, 60.0);
+    let mut allowed = 0u64;
+    let mut throttled = 0u64;
+    let day = ipv6_user_study::telemetry::time::focus_day_ip();
+    let recs = study.datasets.ip_sample.on_day(day).to_vec();
+    for r in &recs {
+        if limiter.allow(r.ip, r.ts) {
+            allowed += 1;
+        } else {
+            throttled += 1;
+        }
+    }
+    println!(
+        "\nenforcement on {day}: {} keys tracked, {} allowed, {} throttled ({:.3}%)",
+        limiter.tracked_keys(),
+        allowed,
+        throttled,
+        100.0 * throttled as f64 / (allowed + throttled).max(1) as f64
+    );
+}

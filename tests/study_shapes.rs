@@ -1,0 +1,296 @@
+//! End-to-end integration tests: run one shared study at test scale and
+//! assert the paper's *qualitative findings* — orderings, inversions,
+//! crossovers — hold in the reproduction.
+//!
+//! These are the acceptance criteria from DESIGN.md §4: absolute platform
+//! numbers are out of reach without Facebook's telemetry, but who wins, by
+//! roughly what factor, and where the knees sit must match.
+
+use std::sync::{Mutex, OnceLock};
+
+use ipv6_user_study::experiments::{self, ExperimentOutput};
+use ipv6_user_study::{Study, StudyConfig};
+
+/// One shared study run for the whole test binary (simulation dominates
+/// runtime; every test reads the same deterministic datasets).
+fn study() -> &'static Mutex<Study> {
+    static STUDY: OnceLock<Mutex<Study>> = OnceLock::new();
+    STUDY.get_or_init(|| Mutex::new(Study::run(StudyConfig::test_scale())))
+}
+
+fn run(f: impl FnOnce(&mut Study) -> ExperimentOutput) -> ExperimentOutput {
+    let mut guard = study().lock().expect("study mutex");
+    f(&mut guard)
+}
+
+fn stat(out: &ExperimentOutput, key: &str) -> f64 {
+    out.get_stat(key).unwrap_or_else(|| panic!("missing stat {key}"))
+}
+
+#[test]
+fn fig1_prevalence_band_and_scissors() {
+    let out = run(experiments::fig1_prevalence);
+    let users = stat(&out, "fig1.user_share_mean");
+    let reqs = stat(&out, "fig1.request_share_mean");
+    // Paper: 34–36% of users, 22–25% of requests (we allow simulator slack).
+    assert!((0.28..=0.46).contains(&users), "user share {users}");
+    assert!((0.16..=0.33).contains(&reqs), "request share {reqs}");
+    assert!(users > reqs, "user share must exceed request share");
+    // The lockdown scissors: users down, requests up.
+    assert!(stat(&out, "fig1.user_share_lockdown_delta") < 0.005);
+    assert!(stat(&out, "fig1.request_share_lockdown_delta") > -0.005);
+}
+
+#[test]
+fn tab1_top_asns_are_ipv6_heavy() {
+    let out = run(experiments::tab1_asns);
+    assert!(stat(&out, "tab1.top_ratio") > 0.85, "top ASN should be >85% IPv6");
+    // §4.2: a tail of ASNs has little or no IPv6.
+    assert!(stat(&out, "tab1.low_v6_share") > stat(&out, "tab1.zero_v6_share"));
+}
+
+#[test]
+fn tab2_country_stories() {
+    let out = run(experiments::tab2_countries);
+    // India leads (Table 2).
+    assert!(stat(&out, "tab2.in_apr") > 0.70);
+    assert!(stat(&out, "tab2.in_apr") > stat(&out, "tab2.us_apr") - 0.08, "IN near the top");
+    // Germany jumps (deployment ramp + lockdown), Appendix A.2.
+    assert!(stat(&out, "tab2.de_delta") > 0.05, "Germany should rise");
+}
+
+#[test]
+fn c44_client_address_patterns() {
+    let out = run(experiments::c44_client_patterns);
+    // Transition protocols are essentially dead (<0.01% in the paper).
+    assert!(stat(&out, "c44.transition_share") < 0.005);
+    // EUI-64 users are a small minority (~2.5%)…
+    let mac = stat(&out, "c44.mac_embedded_share");
+    assert!((0.003..=0.06).contains(&mac), "mac-embedded share {mac}");
+    // …and most of them reuse one IID (static MACs, 83% in the paper).
+    assert!(stat(&out, "c44.iid_reuse_share") > 0.6);
+}
+
+#[test]
+fn fig2_users_hold_more_v6_than_v4_addresses() {
+    let out = run(experiments::fig2_addrs_per_user);
+    assert!(
+        stat(&out, "fig2.v6_week_median") >= stat(&out, "fig2.v4_week_median"),
+        "weekly v6 addresses should exceed v4 (paper: 9 vs 6)"
+    );
+    // Singles exist but are a minority over a week for v6 users.
+    assert!(stat(&out, "fig2.v6_day_single") < 0.75);
+}
+
+#[test]
+fn fig3_abusive_inversion() {
+    let out = run(experiments::fig3_aa_addrs);
+    // Attackers hold FEWER v6 than v4 addresses — opposite of benign users.
+    assert!(
+        stat(&out, "fig3.v6_mean") <= stat(&out, "fig3.v4_mean"),
+        "abusive accounts: v6 {} should not exceed v4 {}",
+        stat(&out, "fig3.v6_mean"),
+        stat(&out, "fig3.v4_mean")
+    );
+    assert!(stat(&out, "fig3.v6_day_single") >= stat(&out, "fig3.v4_day_single"));
+}
+
+#[test]
+fn o51_outlier_users_are_v4_heavy() {
+    let out = run(experiments::o51_user_outliers);
+    assert!(
+        stat(&out, "o51.v4_max") > stat(&out, "o51.v6_max"),
+        "the most extreme user holds more v4 ({}) than v6 ({}) addresses",
+        stat(&out, "o51.v4_max"),
+        stat(&out, "o51.v6_max")
+    );
+    // Abusive outliers likewise (paper: 11.0K v4 vs none over 1K v6).
+    assert!(stat(&out, "o51.aa_v4_max") > stat(&out, "o51.aa_v6_max"));
+}
+
+#[test]
+fn fig4_prefix_aggregation_knees() {
+    let out = run(experiments::fig4_prefix_span);
+    let at128 = stat(&out, "fig4.users_le1_at128");
+    let at72 = stat(&out, "fig4.users_le1_at72");
+    let at64 = stat(&out, "fig4.users_le1_at64");
+    let at48 = stat(&out, "fig4.users_le1_at48");
+    let at40 = stat(&out, "fig4.users_le1_at40");
+    // Longer-than-/64 prefixes behave like full addresses…
+    assert!((at72 - at128).abs() < 0.12, "/72 ≈ /128: {at72} vs {at128}");
+    // …then a large jump at /64 (the SLAAC aggregation knee)…
+    assert!(at64 > at72 + 0.15, "modal shift at /64: {at64} vs {at72}");
+    // …and further aggregation below /48 (routing prefixes).
+    assert!(at40 >= at48, "sub-/48 aggregation: {at40} vs {at48}");
+}
+
+#[test]
+fn fig5_v6_addresses_are_ephemeral() {
+    let out = run(experiments::fig5_lifespans);
+    let v6_new = stat(&out, "fig5.v6_newborn_share");
+    let v4_new = stat(&out, "fig5.v4_newborn_share");
+    assert!(v6_new > v4_new + 0.2, "v6 pairs far younger: {v6_new} vs {v4_new}");
+    assert!(v6_new > 0.8, "most v6 pairs first seen that day (paper 84%)");
+    // Old pairs are an IPv4 phenomenon (paper: 22% vs 1.2% past a week).
+    assert!(stat(&out, "fig5.v4_gt7d_share") > 5.0 * stat(&out, "fig5.v6_gt7d_share"));
+    assert!(stat(&out, "fig5.v4_ge27d_share") > stat(&out, "fig5.v6_ge27d_share"));
+}
+
+#[test]
+fn fig6_prefixes_outlive_addresses() {
+    let out = run(experiments::fig6_prefix_lifespans);
+    let new128 = stat(&out, "fig6.v6_new_at128");
+    let new64 = stat(&out, "fig6.v6_new_at64");
+    assert!(
+        new64 < new128 - 0.3,
+        "users persist in /64s far longer than on addresses: {new64} vs {new128}"
+    );
+    // IPv4 address lifespans sit between v6 /128 and v6 /64 (Fig 6a's
+    // "IPv4 most similar to the IPv6 /64" up to simulator slack).
+    let v4 = stat(&out, "fig6.v4_new_at32");
+    assert!(v4 < new128, "IPv4 addresses live longer than v6 addresses");
+}
+
+#[test]
+fn fig7_v6_addresses_are_sparsely_populated() {
+    let out = run(experiments::fig7_users_per_ip);
+    let v6_single = stat(&out, "fig7.v6_day_single");
+    let v4_single = stat(&out, "fig7.v4_day_single");
+    assert!(v6_single > 0.85, "≈95% of v6 addresses single-user, got {v6_single}");
+    assert!(v4_single < 0.6, "only a minority of v4 addresses single-user, got {v4_single}");
+    assert!(stat(&out, "fig7.v6_day_le2") > 0.95, "paper: >99% of v6 ≤ 2 users");
+    // Over a week, v4 sharing grows; v6 barely moves.
+    assert!(stat(&out, "fig7.v4_week_single") < v4_single + 1e-9);
+    assert!((stat(&out, "fig7.v6_week_single") - v6_single).abs() < 0.05);
+    // The >3-users tail is an IPv4 phenomenon (29.3% vs <0.2%).
+    assert!(stat(&out, "fig7.v4_day_gt3") > 20.0 * stat(&out, "fig7.v6_day_gt3").max(1e-4));
+}
+
+#[test]
+fn fig8_abusive_isolation_on_v6() {
+    let out = run(experiments::fig8_aa_per_ip);
+    // Most addresses with abuse host exactly one abusive account.
+    assert!(stat(&out, "fig8.v4_single_aa_day") > 0.5);
+    assert!(stat(&out, "fig8.v6_single_aa") > 0.5);
+    // v6 abusive addresses are isolated; v4 ones share with benign users.
+    assert!(
+        stat(&out, "fig8.v6_isolated_day") > stat(&out, "fig8.v4_isolated_day") + 0.2,
+        "v6 isolation {} vs v4 {}",
+        stat(&out, "fig8.v6_isolated_day"),
+        stat(&out, "fig8.v4_isolated_day")
+    );
+}
+
+#[test]
+fn o61_heavy_addresses_are_v4_prevalent_v6_predictable() {
+    let out = run(experiments::o61_ip_outliers);
+    assert!(
+        stat(&out, "o61.v4_max_users") > 3.0 * stat(&out, "o61.v6_max_users"),
+        "v4 mega-addresses dwarf v6 ones (paper: 830K vs 71K)"
+    );
+    assert!(stat(&out, "o61.v4_heavy_count") > stat(&out, "o61.v6_heavy_count"));
+    // Heavy v6 addresses concentrate in few ASNs and carry the signature.
+    if stat(&out, "o61.v6_heavy_count") > 0.0 {
+        assert!(stat(&out, "o61.v6_heavy_top1_asn_share") > 0.5);
+        assert!(
+            stat(&out, "o61.sig_heavy_share") > stat(&out, "o61.sig_light_share") + 0.5,
+            "the gateway signature separates heavy from light addresses"
+        );
+        assert!(stat(&out, "o61.predictor_recall") > 0.7);
+    }
+    assert!(stat(&out, "o61.v4_heavy_asns") >= stat(&out, "o61.v6_heavy_asns"));
+}
+
+#[test]
+fn fig9_users_aggregate_in_64s_and_below_48() {
+    let out = run(experiments::fig9_users_per_prefix);
+    let s128 = stat(&out, "fig9.single_user_at128");
+    let s68 = stat(&out, "fig9.single_user_at68");
+    let s64 = stat(&out, "fig9.single_user_at64");
+    let s44 = stat(&out, "fig9.single_user_at44");
+    assert!(s128 > 0.9, "addresses are single-user");
+    assert!(s64 < s68 - 0.08, "the largest shift is at /64 (paper: 73% → 41%)");
+    assert!(s44 < s64, "further aggregation below /48");
+    // IPv4 behaves like a short prefix, not like a v6 address.
+    assert!(stat(&out, "fig9.v4_best_match_len") <= 64.0);
+}
+
+#[test]
+fn fig10_abusive_aggregation_at_56() {
+    let out = run(experiments::fig10_aa_per_prefix);
+    // Abusive accounts aggregate by /56 (hosting customers), and the
+    // closest IPv4 analogue is a short prefix.
+    assert!(stat(&out, "fig10.v4_aa_best_match_len") <= 64.0);
+    assert!(stat(&out, "fig10.aa_single_at56") <= stat(&out, "fig10.aa_single_at64") + 0.05);
+}
+
+#[test]
+fn o62_gateway_112s_dominate_heavy_prefixes() {
+    let out = run(experiments::o62_prefix_outliers);
+    // The top /112 rivals the top /64 — gateway blocks ARE both.
+    assert!(
+        stat(&out, "o62.max112_over_max64") > 0.75,
+        "mega-/112s should dominate: ratio {}",
+        stat(&out, "o62.max112_over_max64")
+    );
+    if stat(&out, "o62.heavy_p64_count") > 0.0 {
+        assert!(stat(&out, "o62.heavy_p64_top4_share") > 0.5, "heavy /64s are concentrated");
+    }
+}
+
+#[test]
+fn fig11_actioning_tradeoffs() {
+    let out = run(experiments::fig11_roc);
+    let v6_full = stat(&out, "fig11.p128_max_tpr");
+    let v6_64 = stat(&out, "fig11.p64_max_tpr");
+    let v4 = stat(&out, "fig11.IPv4_max_tpr");
+    // /64 actioning catches more than full-address actioning (attackers
+    // move within prefixes), and IPv4 catches the most (infrastructure
+    // persistence) at massive FPR cost.
+    assert!(v6_64 >= v6_full, "/64 recall {v6_64} vs /128 {v6_full}");
+    assert!(v4 > v6_full, "IPv4 max recall should exceed /128's");
+    assert!(
+        stat(&out, "fig11.IPv4_t0_fpr") > 2.0 * stat(&out, "fig11.p64_t0_fpr").max(1e-4),
+        "IPv4 collateral dwarfs v6 collateral: {} vs {}",
+        stat(&out, "fig11.IPv4_t0_fpr"),
+        stat(&out, "fig11.p64_t0_fpr")
+    );
+    // At a low FPR budget, v6 actioning is competitive or better.
+    assert!(
+        stat(&out, "fig11.p64_tpr_at_fpr_1pct") + 0.05
+            >= stat(&out, "fig11.IPv4_tpr_at_fpr_1pct"),
+        "at 1% FPR, /64 actioning holds its own"
+    );
+}
+
+#[test]
+fn s72_defense_implications() {
+    let out = run(experiments::s72_defenses);
+    // Rate limits: IPv4 needs far more liberal budgets.
+    assert!(
+        stat(&out, "s72.ratelimit_v4_over_v6") > 3.0,
+        "v4/v6 budget ratio {}",
+        stat(&out, "s72.ratelimit_v4_over_v6")
+    );
+    // Threat intel on v6 addresses decays at least as fast as on /64s.
+    assert!(
+        stat(&out, "s72.exchange_v6_addr_half_life")
+            <= stat(&out, "s72.exchange_v6_p64_half_life") + 1e-9
+    );
+    // ML: a v6-trained model beats a v4-trained model on v6 units.
+    if let (Some(v6v6), Some(v4v6)) =
+        (out.get_stat("s72.ml_v6_on_v6_auc"), out.get_stat("s72.ml_v4_on_v6_auc"))
+    {
+        assert!(v6v6 + 1e-9 >= v4v6, "protocol-specific training wins: {v6v6} vs {v4v6}");
+    }
+}
+
+#[test]
+fn study_is_deterministic_across_runs() {
+    // Independent of the shared study: two tiny runs must agree exactly.
+    let a = Study::run(StudyConfig::tiny());
+    let b = Study::run(StudyConfig::tiny());
+    assert_eq!(a.datasets.offered, b.datasets.offered);
+    assert_eq!(a.datasets.user_sample.len(), b.datasets.user_sample.len());
+    assert_eq!(a.labels.len(), b.labels.len());
+}
