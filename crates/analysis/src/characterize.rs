@@ -31,7 +31,11 @@ pub fn prevalence_series(
     for r in user_sample {
         let d = r.ts.date();
         if range.contains(d) {
-            let e = users_by_day.entry(d).or_default().entry(r.user).or_insert(false);
+            let e = users_by_day
+                .entry(d)
+                .or_default()
+                .entry(r.user)
+                .or_insert(false);
             *e |= r.is_v6();
         }
     }
@@ -56,8 +60,16 @@ pub fn prevalence_series(
             let (r_total, r_v6) = reqs_by_day.get(&day).copied().unwrap_or((0, 0));
             PrevalencePoint {
                 day,
-                user_share: if u_total == 0 { 0.0 } else { u_v6 as f64 / u_total as f64 },
-                request_share: if r_total == 0 { 0.0 } else { r_v6 as f64 / r_total as f64 },
+                user_share: if u_total == 0 {
+                    0.0
+                } else {
+                    u_v6 as f64 / u_total as f64
+                },
+                request_share: if r_total == 0 {
+                    0.0
+                } else {
+                    r_v6 as f64 / r_total as f64
+                },
             }
         })
         .collect()
@@ -93,11 +105,18 @@ fn ratio_rows<K: Eq + std::hash::Hash + Ord + Copy>(
         .filter(|(_, users)| users.len() as u64 >= min_users)
         .map(|(k, users)| {
             let v6_users = v6.get(&k).map_or(0, |s| s.len() as u64);
-            RatioRow { key: k, users: users.len() as u64, ratio: v6_users as f64 / users.len() as f64 }
+            RatioRow {
+                key: k,
+                users: users.len() as u64,
+                ratio: v6_users as f64 / users.len() as f64,
+            }
         })
         .collect();
     rows.sort_by(|a, b| {
-        b.ratio.partial_cmp(&a.ratio).expect("finite ratios").then(a.key.cmp(&b.key))
+        b.ratio
+            .partial_cmp(&a.ratio)
+            .expect("finite ratios")
+            .then(a.key.cmp(&b.key))
     });
     rows
 }
@@ -167,7 +186,9 @@ pub fn client_patterns(records: &[RequestRecord]) -> ClientPatterns {
         }
     }
     let entropy = EntropyProfile::compute(
-        addrs.values().flat_map(|set| set.iter().map(|&raw| raw as u64)),
+        addrs
+            .values()
+            .flat_map(|set| set.iter().map(|&raw| raw as u64)),
     );
     let multi: Vec<&UserId> = mac_embedded
         .iter()
@@ -178,8 +199,7 @@ pub fn client_patterns(records: &[RequestRecord]) -> ClientPatterns {
         .filter(|u| {
             // All of the user's MAC-embedded addresses share one IID, and
             // every address of theirs is MAC-embedded with that IID.
-            mac_iids.get(**u).map_or(false, |iids| iids.len() == 1)
-                && mac_iids[**u].len() == 1
+            mac_iids.get(**u).is_some_and(|iids| iids.len() == 1) && mac_iids[**u].len() == 1
         })
         .count();
     let n = v6_users.len().max(1) as f64;
@@ -187,7 +207,11 @@ pub fn client_patterns(records: &[RequestRecord]) -> ClientPatterns {
         v6_users: v6_users.len() as u64,
         transition_share: transition.len() as f64 / n,
         mac_embedded_share: mac_embedded.len() as f64 / n,
-        iid_reuse_share: if multi.is_empty() { 0.0 } else { reused as f64 / multi.len() as f64 },
+        iid_reuse_share: if multi.is_empty() {
+            0.0
+        } else {
+            reused as f64 / multi.len() as f64
+        },
         iid_entropy_bits: entropy.map_or(0.0, |e| e.mean_bits()),
     }
 }
@@ -234,10 +258,12 @@ mod tests {
             rec(5, day, "10.0.0.8", 1, "US"),
             rec(6, day, "10.0.0.7", 1, "US"),
         ];
-        let pts =
-            prevalence_series(&user_sample, &request_sample, DateRange::single(day));
+        let pts = prevalence_series(&user_sample, &request_sample, DateRange::single(day));
         assert_eq!(pts.len(), 1);
-        assert!((pts[0].user_share - 0.5).abs() < 1e-12, "1 of 2 users on v6");
+        assert!(
+            (pts[0].user_share - 0.5).abs() < 1e-12,
+            "1 of 2 users on v6"
+        );
         assert!((pts[0].request_share - 0.25).abs() < 1e-12);
     }
 

@@ -29,8 +29,10 @@ pub fn users_per_ip(records: &[RequestRecord]) -> UsersPerIp {
     for r in records {
         users.entry(r.ip).or_default().insert(r.user);
     }
-    let counts: HashMap<IpAddr, u64> =
-        users.into_iter().map(|(ip, s)| (ip, s.len() as u64)).collect();
+    let counts: HashMap<IpAddr, u64> = users
+        .into_iter()
+        .map(|(ip, s)| (ip, s.len() as u64))
+        .collect();
     let split = |want_v6: bool| {
         Ecdf::from_values(
             counts
@@ -39,7 +41,11 @@ pub fn users_per_ip(records: &[RequestRecord]) -> UsersPerIp {
                 .map(|(_, &c)| c),
         )
     };
-    UsersPerIp { v4: split(false), v6: split(true), counts }
+    UsersPerIp {
+        v4: split(false),
+        v6: split(true),
+        counts,
+    }
 }
 
 /// Populations on addresses hosting at least one abusive account (Fig 8).
@@ -122,9 +128,15 @@ pub fn users_per_prefix(records: &[RequestRecord], len: u8) -> UsersPerPrefix {
             users.entry(p).or_default().insert(r.user);
         }
     }
-    let counts: HashMap<Ipv6Prefix, u64> =
-        users.into_iter().map(|(p, s)| (p, s.len() as u64)).collect();
-    UsersPerPrefix { len, ecdf: Ecdf::from_values(counts.values().copied()), counts }
+    let counts: HashMap<Ipv6Prefix, u64> = users
+        .into_iter()
+        .map(|(p, s)| (p, s.len() as u64))
+        .collect();
+    UsersPerPrefix {
+        len,
+        ecdf: Ecdf::from_values(counts.values().copied()),
+        counts,
+    }
 }
 
 /// Populations in prefixes hosting abusive accounts (Figure 10) at one
@@ -201,7 +213,10 @@ mod tests {
             .map(|&u| {
                 (
                     UserId(u),
-                    AbuseInfo { created: SimDate::ymd(4, 12), detected: SimDate::ymd(4, 13) },
+                    AbuseInfo {
+                        created: SimDate::ymd(4, 12),
+                        detected: SimDate::ymd(4, 13),
+                    },
                 )
             })
             .collect()
@@ -284,7 +299,11 @@ mod tests {
 
     #[test]
     fn v4_reference_series() {
-        let recs = vec![rec(1, "10.0.0.1"), rec(2, "10.0.0.1"), rec(1, "2001:db8::1")];
+        let recs = vec![
+            rec(1, "10.0.0.1"),
+            rec(2, "10.0.0.1"),
+            rec(1, "2001:db8::1"),
+        ];
         let e = users_per_v4_addr(&recs);
         assert_eq!(e.len(), 1);
         assert_eq!(e.max(), Some(2));

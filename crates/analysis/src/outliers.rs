@@ -67,7 +67,12 @@ pub fn outlier_user_prevalence_ratio(
 ) -> Option<f64> {
     let v4_out = v4_counts.values().filter(|&&c| c > threshold).count() as u64;
     let v6_out = v6_counts.values().filter(|&&c| c > threshold).count() as u64;
-    prevalence_ratio(v6_out, v6_counts.len() as u64, v4_out, v4_counts.len() as u64)
+    prevalence_ratio(
+        v6_out,
+        v6_counts.len() as u64,
+        v4_out,
+        v4_counts.len() as u64,
+    )
 }
 
 /// ASN concentration of heavy entities (addresses or prefixes): which ASNs
@@ -108,8 +113,11 @@ pub fn heavy_ip_asn_concentration(
             }
         }
     }
-    let ranked: Vec<(Asn, u64)> =
-        topk.ranked(usize::MAX).into_iter().map(|(a, c)| (Asn(a), c)).collect();
+    let ranked: Vec<(Asn, u64)> = topk
+        .ranked(usize::MAX)
+        .into_iter()
+        .map(|(a, c)| (Asn(a), c))
+        .collect();
     AsnConcentration {
         asns: topk.num_keys(),
         top1_share: topk.concentration(1),
@@ -139,8 +147,11 @@ pub fn heavy_prefix_asn_concentration(
             }
         }
     }
-    let ranked: Vec<(Asn, u64)> =
-        topk.ranked(usize::MAX).into_iter().map(|(a, c)| (Asn(a), c)).collect();
+    let ranked: Vec<(Asn, u64)> = topk
+        .ranked(usize::MAX)
+        .into_iter()
+        .map(|(a, c)| (Asn(a), c))
+        .collect();
     AsnConcentration {
         asns: topk.num_keys(),
         top1_share: topk.concentration(1),
@@ -171,7 +182,11 @@ pub fn signature_predictability(
     for (ip, &c) in counts {
         if let IpAddr::V6(a) = ip {
             let sig = IidClass::classify(*a).is_gateway_signature();
-            let slot = if c > threshold { &mut heavy } else { &mut light };
+            let slot = if c > threshold {
+                &mut heavy
+            } else {
+                &mut light
+            };
             slot.1 += 1;
             if sig {
                 slot.0 += 1;
@@ -223,10 +238,12 @@ mod tests {
     #[test]
     fn prevalence_ratio_matches_paper_shape() {
         // 100 v4 users, 10 outliers; 100 v6 users, 1 outlier → ratio 0.1.
-        let v4: HashMap<UserId, u64> =
-            (0..100).map(|u| (UserId(u), if u < 10 { 2000 } else { 3 })).collect();
-        let v6: HashMap<UserId, u64> =
-            (0..100).map(|u| (UserId(u + 1000), if u == 0 { 2000 } else { 3 })).collect();
+        let v4: HashMap<UserId, u64> = (0..100)
+            .map(|u| (UserId(u), if u < 10 { 2000 } else { 3 }))
+            .collect();
+        let v6: HashMap<UserId, u64> = (0..100)
+            .map(|u| (UserId(u + 1000), if u == 0 { 2000 } else { 3 }))
+            .collect();
         let r = outlier_user_prevalence_ratio(&v4, &v6, 1000).unwrap();
         assert!((r - 0.1).abs() < 1e-12);
     }
@@ -257,14 +274,15 @@ mod tests {
 
     #[test]
     fn prefix_concentration() {
-        let records = vec![rec(1, "2001:db8:1::1", 9009), rec(2, "2001:db8:2::1", 20057)];
-        let counts: HashMap<Ipv6Prefix, u64> = [
-            ("2001:db8:1::/48", 20_000u64),
-            ("2001:db8:2::/48", 15_000),
-        ]
-        .into_iter()
-        .map(|(s, c)| (s.parse().unwrap(), c))
-        .collect();
+        let records = vec![
+            rec(1, "2001:db8:1::1", 9009),
+            rec(2, "2001:db8:2::1", 20057),
+        ];
+        let counts: HashMap<Ipv6Prefix, u64> =
+            [("2001:db8:1::/48", 20_000u64), ("2001:db8:2::/48", 15_000)]
+                .into_iter()
+                .map(|(s, c)| (s.parse().unwrap(), c))
+                .collect();
         let c = heavy_prefix_asn_concentration(&records, &counts, 10_000);
         assert_eq!(c.asns, 2);
         assert!((c.top1_share - 0.5).abs() < 1e-12);

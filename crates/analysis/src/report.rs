@@ -54,7 +54,11 @@ pub struct FigureReport {
 impl FigureReport {
     /// Creates a figure report.
     pub fn new(id: impl Into<String>, caption: impl Into<String>) -> Self {
-        Self { id: id.into(), caption: caption.into(), series: Vec::new() }
+        Self {
+            id: id.into(),
+            caption: caption.into(),
+            series: Vec::new(),
+        }
     }
 
     /// Adds a series, builder style.
@@ -70,7 +74,11 @@ impl FigureReport {
 
     /// Renders as CSV: `x,label1,label2,…` over the union of x values.
     pub fn to_csv(&self) -> String {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
         xs.dedup();
         let mut out = String::from("x");
@@ -125,11 +133,7 @@ pub struct TableReport {
 
 impl TableReport {
     /// Creates a table report with the given headers.
-    pub fn new(
-        id: impl Into<String>,
-        caption: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, caption: impl Into<String>, headers: &[&str]) -> Self {
         Self {
             id: id.into(),
             caption: caption.into(),

@@ -36,9 +36,17 @@ pub fn most_similar(reference: &Ecdf, candidates: &[(u8, Ecdf)]) -> SimilarityRe
     let (best_len, best_distance) = distances
         .iter()
         .copied()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances").then(a.0.cmp(&b.0)))
+        .min_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        })
         .expect("non-empty");
-    SimilarityResult { distances, best_len, best_distance }
+    SimilarityResult {
+        distances,
+        best_len,
+        best_distance,
+    }
 }
 
 /// Scalar similarity between two step series sampled on a shared grid

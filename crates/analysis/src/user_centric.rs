@@ -28,10 +28,7 @@ pub struct AddrsPerUser {
 
 /// Computes addresses-per-user over `records`, considering only users
 /// accepted by `filter`.
-pub fn addrs_per_user(
-    records: &[RequestRecord],
-    filter: impl Fn(UserId) -> bool,
-) -> AddrsPerUser {
+pub fn addrs_per_user(records: &[RequestRecord], filter: impl Fn(UserId) -> bool) -> AddrsPerUser {
     let mut v4: HashMap<UserId, HashSet<IpAddr>> = HashMap::new();
     let mut v6: HashMap<UserId, HashSet<IpAddr>> = HashMap::new();
     for r in records {
@@ -90,10 +87,8 @@ pub fn prefixes_per_user(
             let mut total = 0u64;
             for set in addrs.values() {
                 total += 1;
-                let distinct: HashSet<u128> = set
-                    .iter()
-                    .map(|&raw| raw & Ipv6Prefix::mask(len))
-                    .collect();
+                let distinct: HashSet<u128> =
+                    set.iter().map(|&raw| raw & Ipv6Prefix::mask(len)).collect();
                 let n = distinct.len();
                 if n <= 1 {
                     le[0] += 1;
@@ -105,8 +100,19 @@ pub fn prefixes_per_user(
                     le[2] += 1;
                 }
             }
-            let frac = |c: u64| if total == 0 { 0.0 } else { c as f64 / total as f64 };
-            PrefixSpanRow { len, le1: frac(le[0]), le2: frac(le[1]), le3: frac(le[2]) }
+            let frac = |c: u64| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                }
+            };
+            PrefixSpanRow {
+                len,
+                le1: frac(le[0]),
+                le2: frac(le[1]),
+                le3: frac(le[2]),
+            }
         })
         .collect()
 }
@@ -129,7 +135,10 @@ pub fn prefix_counts_per_user(
             }
         }
     }
-    prefixes.into_iter().map(|(u, s)| (u, s.len() as u64)).collect()
+    prefixes
+        .into_iter()
+        .map(|(u, s)| (u, s.len() as u64))
+        .collect()
 }
 
 /// Life spans of (user, address) pairs present on a focus day (Figure 5).
@@ -165,7 +174,10 @@ pub fn address_lifespans(
             continue;
         }
         let key = (r.user, r.ip);
-        first.entry(key).and_modify(|e| *e = (*e).min(d)).or_insert(d);
+        first
+            .entry(key)
+            .and_modify(|e| *e = (*e).min(d))
+            .or_insert(d);
         if d == focus {
             on_focus.insert(key);
         }
@@ -174,7 +186,11 @@ pub fn address_lifespans(
     let mut v6_spans: HashMap<UserId, Vec<u64>> = HashMap::new();
     for key in &on_focus {
         let span = u64::from(focus.days_since(first[key]));
-        let m = if matches!(key.1, IpAddr::V6(_)) { &mut v6_spans } else { &mut v4_spans };
+        let m = if matches!(key.1, IpAddr::V6(_)) {
+            &mut v6_spans
+        } else {
+            &mut v4_spans
+        };
         m.entry(key.0).or_default().push(span);
     }
     let pairs = |m: &HashMap<UserId, Vec<u64>>| {
@@ -236,7 +252,10 @@ pub fn prefix_lifespans(
                     IpAddr::V4(a) => u128::from(u32::from(a) & Ipv4Prefix::mask(len.min(32))),
                 };
                 let key = (r.user, bits);
-                first.entry(key).and_modify(|e| *e = (*e).min(d)).or_insert(d);
+                first
+                    .entry(key)
+                    .and_modify(|e| *e = (*e).min(d))
+                    .or_insert(d);
                 if d == focus {
                     on_focus.insert(key);
                 }
@@ -256,7 +275,12 @@ pub fn prefix_lifespans(
                 }
             }
             let frac = |c: u64| if total == 0.0 { 0.0 } else { c as f64 / total };
-            PrefixLifespanRow { len, d1: frac(d[0]), d2: frac(d[1]), d3: frac(d[2]) }
+            PrefixLifespanRow {
+                len,
+                d1: frac(d[0]),
+                d2: frac(d[1]),
+                d3: frac(d[2]),
+            }
         })
         .collect()
 }

@@ -26,7 +26,7 @@ use ipv6_study_netmodel::{AttachKeys, NetworkId, World};
 use ipv6_study_stats::dist::{bernoulli, geometric, lognormal, poisson, uniform_range};
 use ipv6_study_stats::hash::StableHasher;
 use ipv6_study_telemetry::{
-    AbuseInfo, AbuseLabels, DateRange, RequestRecord, SimDate, UserId,
+    AbuseInfo, AbuseLabels, DateRange, RequestRecord, RequestSink, SimDate, UserId,
 };
 
 use crate::population::{Population, MAX_MEMBERS};
@@ -111,13 +111,23 @@ impl<'w> AbuseSim<'w> {
         window: DateRange,
     ) -> Self {
         assert!(households > 0);
-        Self { world, seed, campaigns, households, window, detect_scale: 1.0 }
+        Self {
+            world,
+            seed,
+            campaigns,
+            households,
+            window,
+            detect_scale: 1.0,
+        }
     }
 
     /// Scales detection speed (0 < scale ≤ 1; e.g. 0.5 halves the per-day
     /// catch probability — the "slower defender" ablation).
     pub fn with_detect_scale(mut self, scale: f64) -> Self {
-        assert!(scale > 0.0 && scale <= 1.0, "detect scale must be in (0, 1]");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "detect scale must be in (0, 1]"
+        );
         self.detect_scale = scale;
         self
     }
@@ -176,7 +186,14 @@ impl<'w> AbuseSim<'w> {
         let start = self.window.start + uniform_range(base, span) as u16;
         let creation_window = 1 + uniform_range(self.h(10, u64::from(c), 0), 10) as u16;
         let accounts = lognormal(self.h(11, u64::from(c), 0), 3.3, 0.6).clamp(3.0, 1_500.0) as u32;
-        Campaign { id: c, infra, start, creation_window, accounts, evasive }
+        Campaign {
+            id: c,
+            infra,
+            start,
+            creation_window,
+            accounts,
+            evasive,
+        }
     }
 
     /// Creation and detection dates for one account.
@@ -186,10 +203,17 @@ impl<'w> AbuseSim<'w> {
         let created_idx = (u32::from(camp.start.index()) + u32::from(offset)).min(365);
         let created = SimDate::from_index(created_idx as u16);
         let p = self.detect_scale
-            * if camp.evasive { DETECT_P_EVASIVE } else { DETECT_P_ORDINARY };
+            * if camp.evasive {
+                DETECT_P_EVASIVE
+            } else {
+                DETECT_P_ORDINARY
+            };
         let extra_days = geometric(self.h(13, key, 0), p).min(27) as u16;
         let detected_idx = (u32::from(created.index()) + u32::from(extra_days)).min(365);
-        AbuseInfo { created, detected: SimDate::from_index(detected_idx as u16) }
+        AbuseInfo {
+            created,
+            detected: SimDate::from_index(detected_idx as u16),
+        }
     }
 
     /// The full label dataset (the platform's abusive-account snapshot).
@@ -205,14 +229,29 @@ impl<'w> AbuseSim<'w> {
     }
 
     /// Emits every abusive request on `day`.
-    pub fn emit_day(&self, pop: &Population<'_>, day: SimDate, out: &mut impl FnMut(RequestRecord)) {
-        for c in 0..self.campaigns {
+    pub fn emit_day(&self, pop: &Population<'_>, day: SimDate, out: &mut dyn RequestSink) {
+        self.emit_day_campaigns(pop, day, 0..self.campaigns, out);
+    }
+
+    /// Emits `day`'s abusive requests for a contiguous campaign range —
+    /// the shard unit of the parallel driver. Campaigns are independent of
+    /// each other, so covering `0..num_campaigns()` with disjoint ranges in
+    /// ascending order reproduces [`AbuseSim::emit_day`] exactly.
+    pub fn emit_day_campaigns(
+        &self,
+        pop: &Population<'_>,
+        day: SimDate,
+        campaigns: std::ops::Range<u32>,
+        out: &mut dyn RequestSink,
+    ) {
+        debug_assert!(campaigns.end <= self.campaigns);
+        for c in campaigns {
             let camp = self.campaign(c);
             // Quick reject: campaign can't be active outside
             // [start, start + window + max lifespan].
-            let horizon = u32::from(camp.start.index())
-                + u32::from(camp.creation_window)
-                + if camp.evasive { 28 } else { 28 };
+            // Both arms of the evasion branch cap extra lifetime at 28
+            // days (geometric(..).min(27) + 1), so the horizon is uniform.
+            let horizon = u32::from(camp.start.index()) + u32::from(camp.creation_window) + 28;
             if day < camp.start || u32::from(day.index()) > horizon {
                 continue;
             }
@@ -232,7 +271,7 @@ impl<'w> AbuseSim<'w> {
         camp: &Campaign,
         seq: u32,
         day: SimDate,
-        out: &mut impl FnMut(RequestRecord),
+        out: &mut dyn RequestSink,
     ) {
         fn dates_created(sim: &AbuseSim<'_>, camp: &Campaign, seq: u32) -> u16 {
             sim.account_dates(camp, seq).created.index()
@@ -311,7 +350,11 @@ impl<'w> AbuseSim<'w> {
                     // One farm = one locale: all phones behind the same
                     // regional CGN gateway.
                     let farm_key = ABUSE_ID_BASE | u64::from(camp.id);
-                    let keys = AttachKeys { user: dev_key, device: dev_key, household: farm_key };
+                    let keys = AttachKeys {
+                        user: dev_key,
+                        device: dev_key,
+                        household: farm_key,
+                    };
                     let v6ok = network.subscriber_has_v6(dev_key, day);
                     let over_v6 = v6ok && bernoulli(self.h(25, key, jd), 0.30);
                     let ip = if over_v6 {
@@ -334,7 +377,13 @@ impl<'w> AbuseSim<'w> {
             let hour = uniform_range(self.h(27, key, jd), 24) as u8;
             let min = uniform_range(self.h(28, key, jd), 60) as u8;
             let sec = uniform_range(self.h(29, key, jd), 60) as u8;
-            out(RequestRecord { ts: day.at(hour, min, sec), user: account, ip, asn, country });
+            out.accept(RequestRecord {
+                ts: day.at(hour, min, sec),
+                user: account,
+                ip,
+                asn,
+                country,
+            });
         }
     }
 }
@@ -343,6 +392,7 @@ impl<'w> AbuseSim<'w> {
 mod tests {
     use super::*;
     use ipv6_study_telemetry::time::focus_week;
+    use ipv6_study_telemetry::FnSink;
 
     fn setup() -> World {
         World::standard(13)
@@ -381,7 +431,7 @@ mod tests {
         let labels = sim.labels();
         for day in focus_week().days() {
             let mut recs = Vec::new();
-            sim.emit_day(&pop, day, &mut |r| recs.push(r));
+            sim.emit_day(&pop, day, &mut FnSink(|r| recs.push(r)));
             for r in recs {
                 let info = labels.get(r.user).expect("emitted account is labeled");
                 assert!(day >= info.created && day <= info.detected);
@@ -395,20 +445,33 @@ mod tests {
         let w = setup();
         let pop = Population::new(&w, 2, 5_000);
         let sim = AbuseSim::new(&w, 1, 120, 5_000, window());
-        let mut v4_addrs_per_account: std::collections::HashMap<UserId, std::collections::HashSet<std::net::IpAddr>> =
-            Default::default();
-        let mut v6_addrs_per_account: std::collections::HashMap<UserId, std::collections::HashSet<std::net::IpAddr>> =
-            Default::default();
+        let mut v4_addrs_per_account: std::collections::HashMap<
+            UserId,
+            std::collections::HashSet<std::net::IpAddr>,
+        > = Default::default();
+        let mut v6_addrs_per_account: std::collections::HashMap<
+            UserId,
+            std::collections::HashSet<std::net::IpAddr>,
+        > = Default::default();
         for day in window().days() {
-            sim.emit_day(&pop, day, &mut |r| {
-                let m = if r.is_v6() { &mut v6_addrs_per_account } else { &mut v4_addrs_per_account };
-                m.entry(r.user).or_default().insert(r.ip);
-            });
+            sim.emit_day(
+                &pop,
+                day,
+                &mut FnSink(|r: RequestRecord| {
+                    let m = if r.is_v6() {
+                        &mut v6_addrs_per_account
+                    } else {
+                        &mut v4_addrs_per_account
+                    };
+                    m.entry(r.user).or_default().insert(r.ip);
+                }),
+            );
         }
         assert!(!v4_addrs_per_account.is_empty() && !v6_addrs_per_account.is_empty());
-        let mean = |m: &std::collections::HashMap<UserId, std::collections::HashSet<std::net::IpAddr>>| {
-            m.values().map(|s| s.len() as f64).sum::<f64>() / m.len() as f64
-        };
+        let mean = |m: &std::collections::HashMap<
+            UserId,
+            std::collections::HashSet<std::net::IpAddr>,
+        >| { m.values().map(|s| s.len() as f64).sum::<f64>() / m.len() as f64 };
         // The inversion: abusive accounts hold more v4 than v6 addresses.
         assert!(
             mean(&v4_addrs_per_account) > mean(&v6_addrs_per_account),
@@ -433,11 +496,15 @@ mod tests {
         let mut p64s = std::collections::HashSet::new();
         for day in window().days() {
             let mut recs = Vec::new();
-            sim.emit_day(&pop, day, &mut |r| {
-                if r.user.raw() >> 16 == (ABUSE_ID_BASE >> 16) | u64::from(camp.id) {
-                    recs.push(r);
-                }
-            });
+            sim.emit_day(
+                &pop,
+                day,
+                &mut FnSink(|r: RequestRecord| {
+                    if r.user.raw() >> 16 == (ABUSE_ID_BASE >> 16) | u64::from(camp.id) {
+                        recs.push(r);
+                    }
+                }),
+            );
             for r in recs {
                 if let Some(a) = r.ipv6() {
                     p56s.insert(Ipv6Prefix::containing(a, 56));
@@ -446,8 +513,29 @@ mod tests {
             }
         }
         assert!(!p64s.is_empty(), "campaign used v6");
-        assert!(p56s.len() <= 2, "servers share the customer /56: {}", p56s.len());
+        assert!(
+            p56s.len() <= 2,
+            "servers share the customer /56: {}",
+            p56s.len()
+        );
         assert!(p64s.len() >= p56s.len(), "servers spread across /64s");
+    }
+
+    #[test]
+    fn campaign_ranges_cover_emit_day_exactly() {
+        let w = setup();
+        let pop = Population::new(&w, 2, 1_000);
+        let sim = AbuseSim::new(&w, 7, 24, 1_000, window());
+        let day = SimDate::ymd(4, 15);
+        let mut whole = Vec::new();
+        sim.emit_day(&pop, day, &mut FnSink(|r| whole.push(r)));
+        let mut sharded = Vec::new();
+        for lo in (0..24).step_by(7) {
+            let hi = (lo + 7).min(24);
+            sim.emit_day_campaigns(&pop, day, lo..hi, &mut FnSink(|r| sharded.push(r)));
+        }
+        assert_eq!(whole, sharded);
+        assert!(!whole.is_empty(), "mid-window day has abusive traffic");
     }
 
     #[test]

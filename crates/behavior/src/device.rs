@@ -107,11 +107,22 @@ impl DeviceProfile {
         ]);
         let v6_capable = bernoulli(mix(base, 5), DEVICE_V6_CAPABLE);
         let transition = if bernoulli(mix(base, 6), TRANSITION_FRACTION) {
-            Some(if bernoulli(mix(base, 7), 0.5) { Transition::SixToFour } else { Transition::Teredo })
+            Some(if bernoulli(mix(base, 7), 0.5) {
+                Transition::SixToFour
+            } else {
+                Transition::Teredo
+            })
         } else {
             None
         };
-        Self { device, kind, eui64, mac, v6_capable, transition }
+        Self {
+            device,
+            kind,
+            eui64,
+            mac,
+            v6_capable,
+            transition,
+        }
     }
 
     /// The MAC in effect on `day` — fixed for static MACs, re-derived daily
@@ -122,7 +133,8 @@ impl DeviceProfile {
             Eui64Mode::StaticMac | Eui64Mode::Privacy => self.mac,
             Eui64Mode::RandomizedMac => {
                 let mut h = StableHasher::new(0x4D41_4352); // "MACR"
-                h.write_u64(self.device.raw()).write_u64(u64::from(day.index()));
+                h.write_u64(self.device.raw())
+                    .write_u64(u64::from(day.index()));
                 let v = h.finish();
                 let mut m = MacAddr::from_u64(v).0;
                 m[0] = (m[0] | 0x02) & 0xFE; // locally administered, unicast
@@ -192,9 +204,15 @@ mod tests {
             }
         }
         let frac = eui as f64 / n as f64;
-        assert!((frac - EUI64_USER_FRACTION).abs() < 0.003, "eui64 frac {frac}");
+        assert!(
+            (frac - EUI64_USER_FRACTION).abs() < 0.003,
+            "eui64 frac {frac}"
+        );
         let stat = static_mac as f64 / eui as f64;
-        assert!((stat - EUI64_STATIC_FRACTION).abs() < 0.03, "static frac {stat}");
+        assert!(
+            (stat - EUI64_STATIC_FRACTION).abs() < 0.03,
+            "static frac {stat}"
+        );
     }
 
     #[test]
@@ -212,12 +230,18 @@ mod tests {
         assert_eq!(s.mac_on(d1), s.mac_on(d2));
         assert_eq!(s.eui64_mac_on(d1), Some(s.mac));
 
-        let r = DeviceProfile { eui64: Eui64Mode::RandomizedMac, ..s };
+        let r = DeviceProfile {
+            eui64: Eui64Mode::RandomizedMac,
+            ..s
+        };
         assert_ne!(r.mac_on(d1), r.mac_on(d2));
         assert!(r.mac_on(d1).is_locally_administered());
         assert_eq!(r.mac_on(d1), r.mac_on(d1), "stable within a day");
 
-        let p = DeviceProfile { eui64: Eui64Mode::Privacy, ..s };
+        let p = DeviceProfile {
+            eui64: Eui64Mode::Privacy,
+            ..s
+        };
         assert_eq!(p.eui64_mac_on(d1), None);
     }
 
@@ -231,10 +255,9 @@ mod tests {
             counts[k as usize] += 1;
         }
         assert!(counts[1] > counts[2] && counts[2] > counts[3]);
-        let mean: f64 = (1.0 * f64::from(counts[1])
-            + 2.0 * f64::from(counts[2])
-            + 3.0 * f64::from(counts[3]))
-            / n as f64;
+        let mean: f64 =
+            (1.0 * f64::from(counts[1]) + 2.0 * f64::from(counts[2]) + 3.0 * f64::from(counts[3]))
+                / n as f64;
         assert!((1.4..=1.9).contains(&mean), "mean devices {mean}");
     }
 }

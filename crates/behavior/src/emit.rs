@@ -11,7 +11,7 @@ use crate::device::Transition;
 use ipv6_study_netmodel::{AttachKeys, World};
 use ipv6_study_stats::dist::{bernoulli, poisson, uniform_range};
 use ipv6_study_stats::hash::StableHasher;
-use ipv6_study_telemetry::{RequestRecord, SimDate};
+use ipv6_study_telemetry::{RequestRecord, RequestSink, SimDate};
 
 use crate::population::UserProfile;
 use crate::schedule::{ContextKind, DayPlan, SessionCtx};
@@ -19,13 +19,13 @@ use crate::schedule::{ContextKind, DayPlan, SessionCtx};
 /// Probability a dual-stack request goes over IPv6.
 pub const HAPPY_EYEBALLS_V6: f64 = 0.70;
 
-/// Emits every request of `plan` as [`RequestRecord`]s through `out`.
+/// Emits every request of `plan` as [`RequestRecord`]s into `out`.
 pub fn emit_user_day(
     world: &World,
     profile: &UserProfile,
     day: SimDate,
     plan: &DayPlan,
-    out: &mut impl FnMut(RequestRecord),
+    out: &mut dyn RequestSink,
 ) {
     for ctx in &plan.contexts {
         emit_context(world, profile, day, ctx, out);
@@ -37,7 +37,7 @@ fn emit_context(
     profile: &UserProfile,
     day: SimDate,
     ctx: &SessionCtx,
-    out: &mut impl FnMut(RequestRecord),
+    out: &mut dyn RequestSink,
 ) {
     let net = world.network(ctx.net);
     let device = &profile.devices[ctx.device_idx];
@@ -76,8 +76,7 @@ fn emit_context(
     let v4_churn = profile.churn_factor;
     let v6_churn = 1.0 + (profile.churn_factor - 1.0) * 0.25;
     let v4_cycles = poisson(h(1, 0, 0), net.v4_intra_day_cycles() * v4_churn).min(5_000) as u32;
-    let v6_attaches =
-        poisson(h(2, 0, 0), net.v6_intra_day_attaches() * v6_churn).min(5_000) as u32;
+    let v6_attaches = poisson(h(2, 0, 0), net.v6_intra_day_attaches() * v6_churn).min(5_000) as u32;
     // Extra temporary-IID rotations within the day (RFC 4941 lifetimes are
     // ~daily but interface resets mint fresh temporaries): heavier on
     // mobile. This is the main source of >5-addresses-per-day users
@@ -137,7 +136,7 @@ fn emit_context(
         let min = uniform_range(h(7, jj, 0), 60) as u8;
         let sec = uniform_range(h(8, jj, 0), 60) as u8;
 
-        out(RequestRecord {
+        out.accept(RequestRecord {
             ts: day.at(hour, min, sec),
             user: profile.user,
             ip,
@@ -166,13 +165,18 @@ mod tests {
     use crate::population::Population;
     use crate::schedule::day_plan;
     use ipv6_study_netmodel::World;
-    use ipv6_study_telemetry::UserId;
+    use ipv6_study_telemetry::{FnSink, UserId};
 
-    fn collect_day(world: &World, pop: &Population, uid: UserId, day: SimDate) -> Vec<RequestRecord> {
+    fn collect_day(
+        world: &World,
+        pop: &Population,
+        uid: UserId,
+        day: SimDate,
+    ) -> Vec<RequestRecord> {
         let prof = pop.user(uid);
         let plan = day_plan(world, &prof, day);
         let mut v = Vec::new();
-        emit_user_day(world, &prof, day, &plan, &mut |r| v.push(r));
+        emit_user_day(world, &prof, day, &plan, &mut FnSink(|r| v.push(r)));
         v
     }
 
@@ -259,8 +263,14 @@ mod tests {
         let user_share = f64::from(users_v6) / f64::from(users_any);
         let req_share = req_v6 as f64 / req_total as f64;
         // Paper: 34–36% of users, 22–25% of requests. Allow simulator slack.
-        assert!((0.28..=0.44).contains(&user_share), "user share {user_share}");
-        assert!((0.17..=0.32).contains(&req_share), "request share {req_share}");
+        assert!(
+            (0.28..=0.44).contains(&user_share),
+            "user share {user_share}"
+        );
+        assert!(
+            (0.17..=0.32).contains(&req_share),
+            "request share {req_share}"
+        );
         assert!(user_share > req_share, "user share exceeds request share");
     }
 
@@ -282,7 +292,7 @@ mod tests {
                 let nets: std::collections::HashSet<_> =
                     plan.contexts.iter().map(|c| w.network(c.net).asn).collect();
                 let mut recs = Vec::new();
-                emit_user_day(&w, &user, day, &plan, &mut |r| recs.push(r));
+                emit_user_day(&w, &user, day, &plan, &mut FnSink(|r| recs.push(r)));
                 for r in recs {
                     assert!(nets.contains(&r.asn), "record ASN from planned networks");
                 }
@@ -311,18 +321,33 @@ mod tests {
                     for d in 0..7u16 {
                         let day = SimDate::ymd(4, 13) + d;
                         let plan = crate::schedule::day_plan(&w, &u, day);
-                        emit_user_day(&w, &u, day, &plan, &mut |r| {
-                            if r.is_v6() { v6.insert(r.ip); } else { v4.insert(r.ip); }
-                        });
+                        emit_user_day(
+                            &w,
+                            &u,
+                            day,
+                            &plan,
+                            &mut FnSink(|r: RequestRecord| {
+                                if r.is_v6() {
+                                    v6.insert(r.ip);
+                                } else {
+                                    v4.insert(r.ip);
+                                }
+                            }),
+                        );
                     }
                     churner_v4_max = churner_v4_max.max(v4.len());
                     churner_v6_max = churner_v6_max.max(v6.len());
-                    if found >= 12 { break 'outer; }
+                    if found >= 12 {
+                        break 'outer;
+                    }
                 }
             }
         }
         assert!(found >= 5, "expected several churners, found {found}");
-        assert!(churner_v4_max > 40, "churner v4 tail too small: {churner_v4_max}");
+        assert!(
+            churner_v4_max > 40,
+            "churner v4 tail too small: {churner_v4_max}"
+        );
         assert!(
             churner_v4_max > churner_v6_max,
             "v4 outliers must exceed v6: {churner_v4_max} vs {churner_v6_max}"

@@ -77,7 +77,9 @@ pub struct UserProfile {
 impl UserProfile {
     /// The devices usable in a mobile context (phones).
     pub fn phones(&self) -> impl Iterator<Item = &DeviceProfile> {
-        self.devices.iter().filter(|d| d.kind == crate::device::DeviceKind::Phone)
+        self.devices
+            .iter()
+            .filter(|d| d.kind == crate::device::DeviceKind::Phone)
     }
 }
 
@@ -93,7 +95,11 @@ impl<'w> Population<'w> {
     /// Creates a population of `households` homes over the given world.
     pub fn new(world: &'w World, seed: u64, households: u64) -> Self {
         assert!(households > 0, "population needs at least one household");
-        Self { world, seed, households }
+        Self {
+            world,
+            seed,
+            households,
+        }
     }
 
     /// The world this population lives in.
@@ -131,7 +137,12 @@ impl<'w> Population<'w> {
             55..=79 => 3,
             _ => 4,
         };
-        HouseholdProfile { household: HouseholdId(hh), country_idx, home_net, members }
+        HouseholdProfile {
+            household: HouseholdId(hh),
+            country_idx,
+            home_net,
+            members,
+        }
     }
 
     /// The user ids of a household's members.
@@ -155,19 +166,17 @@ impl<'w> Population<'w> {
             .then(|| self.world.pick_enterprise(hh.country_idx, self.h(7, u, 0)));
         // ~3000 companies per country's enterprise network.
         let company = uniform_range(self.h(8, u, 0), 3_000);
-        let vpn_net =
-            bernoulli(self.h(9, u, 0), VPN_USERS).then(|| self.world.pick_hosting(self.h(10, u, 0)));
+        let vpn_net = bernoulli(self.h(9, u, 0), VPN_USERS)
+            .then(|| self.world.pick_hosting(self.h(10, u, 0)));
         let n_dev = devices_per_user(self.h(11, u, 0));
         let devices = (0..n_dev)
-            .map(|d| {
-                DeviceProfile::derive(self.seed, DeviceId(u * 4 + u64::from(d)), d == 0)
-            })
+            .map(|d| DeviceProfile::derive(self.seed, DeviceId(u * 4 + u64::from(d)), d == 0))
             .collect();
         // Log-normal activity, median 1, long right tail.
         let mut activity = lognormal(self.h(12, u, 0), 0.0, 0.6).clamp(0.05, 20.0);
         let churn_factor = match uniform_range(self.h(13, u, 0), 10_000) {
-            0..=7 => 250.0,    // extreme churner
-            8..=59 => 30.0,    // heavy churner
+            0..=7 => 250.0, // extreme churner
+            8..=59 => 30.0, // heavy churner
             _ => 1.0,
         };
         // Churners are also hyperactive: thousands of addresses are only
@@ -190,8 +199,7 @@ impl<'w> Population<'w> {
             }
         };
         let mobile_net = mobile_net.or_else(|| {
-            (churn_factor > 1.0)
-                .then(|| self.world.pick_mobile(hh.country_idx, self.h(15, u, 0)))
+            (churn_factor > 1.0).then(|| self.world.pick_mobile(hh.country_idx, self.h(15, u, 0)))
         });
         UserProfile {
             user,
@@ -211,7 +219,9 @@ impl<'w> Population<'w> {
     pub fn iter_users(&self) -> impl Iterator<Item = UserProfile> + '_ {
         (0..self.households).flat_map(move |hh| {
             let profile = self.household(hh);
-            self.member_ids(&profile).map(|uid| self.user(uid)).collect::<Vec<_>>()
+            self.member_ids(&profile)
+                .map(|uid| self.user(uid))
+                .collect::<Vec<_>>()
         })
     }
 }
@@ -235,7 +245,10 @@ mod tests {
             assert_eq!(a, b);
             assert!((1..=4).contains(&a.members));
             assert_eq!(w.network(a.home_net).kind, NetworkKind::Residential);
-            assert_eq!(w.network(a.home_net).country, w.country(a.country_idx).country);
+            assert_eq!(
+                w.network(a.home_net).country,
+                w.country(a.country_idx).country
+            );
         }
     }
 

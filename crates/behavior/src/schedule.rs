@@ -74,19 +74,35 @@ struct Mix {
 
 fn mix_for(day_is_weekend: bool, locked_down: bool) -> Mix {
     match (locked_down, day_is_weekend) {
-        (false, false) => Mix { home: 0.72, mobile: 0.74, work: 0.55 },
+        (false, false) => Mix {
+            home: 0.72,
+            mobile: 0.74,
+            work: 0.55,
+        },
         // Weekends: slightly more home Wi-Fi, notably less cellular (no
         // commute) — users whose only IPv6 path is mobile drop out of the
         // IPv6 user count (the paper's weekend dip, §4.1 — small but
         // consistent).
-        (false, true) => Mix { home: 0.76, mobile: 0.62, work: 0.06 },
+        (false, true) => Mix {
+            home: 0.76,
+            mobile: 0.62,
+            work: 0.06,
+        },
         // Lockdowns: everyone is home on Wi-Fi; cellular usage drops hard
         // (the 2020 Wi-Fi offload), and offices close. Losing the mobile
         // path costs more IPv6 users than the extra home time adds, while
         // killing the (v4-heavy) office traffic lifts the IPv6 share of
         // *requests* — Figure 1's scissors.
-        (true, false) => Mix { home: 0.90, mobile: 0.55, work: 0.07 },
-        (true, true) => Mix { home: 0.91, mobile: 0.50, work: 0.02 },
+        (true, false) => Mix {
+            home: 0.90,
+            mobile: 0.55,
+            work: 0.07,
+        },
+        (true, true) => Mix {
+            home: 0.91,
+            mobile: 0.50,
+            work: 0.02,
+        },
     }
 }
 
@@ -111,7 +127,7 @@ pub fn day_plan(world: &World, profile: &UserProfile, day: SimDate) -> DayPlan {
     }
 
     let country = world.country(profile.household.country_idx);
-    let locked = country.lockdown.map_or(false, |ld| day >= ld);
+    let locked = country.lockdown.is_some_and(|ld| day >= ld);
     let mix = mix_for(day.is_weekend(), locked);
     let mut contexts = Vec::new();
 
@@ -119,7 +135,11 @@ pub fn day_plan(world: &World, profile: &UserProfile, day: SimDate) -> DayPlan {
     // evening (few users are work-only), which matters for the weekend
     // and lockdown effects on the IPv6 user share.
     let works_today = profile.work_net.is_some() && bernoulli(h(6, 0), mix.work);
-    let home_prob = if works_today { mix.home.max(0.88) } else { mix.home };
+    let home_prob = if works_today {
+        mix.home.max(0.88)
+    } else {
+        mix.home
+    };
 
     // Home: each device present independently.
     if bernoulli(h(1, 0), home_prob) {
@@ -131,7 +151,11 @@ pub fn day_plan(world: &World, profile: &UserProfile, day: SimDate) -> DayPlan {
             if bernoulli(h(2, i as u64), p) {
                 let requests = draw_requests(h(3, i as u64), REQ_HOME * profile.activity);
                 if requests > 0 {
-                    let (lo, hi) = if locked || day.is_weekend() { (9, 23) } else { (17, 23) };
+                    let (lo, hi) = if locked || day.is_weekend() {
+                        (9, 23)
+                    } else {
+                        (17, 23)
+                    };
                     contexts.push(SessionCtx {
                         net: profile.household.home_net,
                         kind: ContextKind::Home,
@@ -176,7 +200,14 @@ pub fn day_plan(world: &World, profile: &UserProfile, day: SimDate) -> DayPlan {
                 .position(|d| d.kind == crate::device::DeviceKind::Computer);
             // Users without a computer use their phone on office Wi-Fi.
             let idx = comp.unwrap_or(0);
-            if bernoulli(h(7, 0), if comp.is_some() { P_COMPUTER_AT_WORK } else { 0.5 }) {
+            if bernoulli(
+                h(7, 0),
+                if comp.is_some() {
+                    P_COMPUTER_AT_WORK
+                } else {
+                    0.5
+                },
+            ) {
                 let requests = draw_requests(h(8, 0), REQ_WORK * profile.activity);
                 if requests > 0 {
                     contexts.push(SessionCtx {
@@ -236,7 +267,9 @@ mod tests {
         (0..n)
             .flat_map(|hh| {
                 let prof = pop.household(hh);
-                pop.member_ids(&prof).map(|u| pop.user(u)).collect::<Vec<_>>()
+                pop.member_ids(&prof)
+                    .map(|u| pop.user(u))
+                    .collect::<Vec<_>>()
             })
             .map(|u| day_plan(world, &u, day))
             .collect()
@@ -262,13 +295,21 @@ mod tests {
         // Per-user presence tiers average ~0.6, and presence/request draws
         // trim further: the observed daily-active share lands near 50%.
         let active = plans.iter().filter(|p| !p.contexts.is_empty()).count() as f64;
-        assert!((0.40..=0.62).contains(&(active / total)), "active {}", active / total);
+        assert!(
+            (0.40..=0.62).contains(&(active / total)),
+            "active {}",
+            active / total
+        );
         let with_work = plans
             .iter()
             .filter(|p| p.contexts.iter().any(|c| c.kind == ContextKind::Work))
             .count() as f64;
         // ~35% employed × 55% office × 85% presence × ~55% active ≈ 0.09.
-        assert!((0.04..=0.14).contains(&(with_work / total)), "work {}", with_work / total);
+        assert!(
+            (0.04..=0.14).contains(&(with_work / total)),
+            "work {}",
+            with_work / total
+        );
     }
 
     #[test]
@@ -285,7 +326,10 @@ mod tests {
         };
         let wk = count_work(weekday);
         let we = count_work(weekend);
-        assert!(we * 4 < wk, "weekend work {we} should be well below weekday {wk}");
+        assert!(
+            we * 4 < wk,
+            "weekend work {we} should be well below weekday {wk}"
+        );
     }
 
     #[test]
@@ -326,7 +370,11 @@ mod tests {
             let prof = pop.household(hh);
             for uid in pop.member_ids(&prof) {
                 let u = pop.user(uid);
-                let reqs: u32 = day_plan(&w, &u, day).contexts.iter().map(|c| c.requests).sum();
+                let reqs: u32 = day_plan(&w, &u, day)
+                    .contexts
+                    .iter()
+                    .map(|c| c.requests)
+                    .sum();
                 if u.activity < 0.7 {
                     lo += u64::from(reqs);
                     lo_n += 1;

@@ -2,7 +2,6 @@
 //! shapes move (the design-choice attributions of DESIGN.md §5a), then
 //! benchmark a full tiny-study simulation per ablation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ipv6_study_core::{experiments, Ablation, Study, StudyConfig};
 
 fn config(ablation: Ablation) -> StudyConfig {
@@ -11,14 +10,14 @@ fn config(ablation: Ablation) -> StudyConfig {
     cfg
 }
 
-fn ablations(c: &mut Criterion) {
+fn main() {
     println!("== ablations: which mechanism produces which shape ==");
     println!(
         "{:<16} {:>14} {:>14} {:>14} {:>14}",
         "ablation", "v6 newborn", "v6 wk median", "v4 >3 users", "AA day-1 catch"
     );
     for ablation in Ablation::ALL {
-        let mut study = Study::run(config(ablation));
+        let mut study = Study::run(config(ablation)).expect("valid preset");
         let fig5 = experiments::fig5_lifespans(&mut study);
         let fig2 = experiments::fig2_addrs_per_user(&mut study);
         let fig7 = experiments::fig7_users_per_ip(&mut study);
@@ -32,18 +31,7 @@ fn ablations(c: &mut Criterion) {
         );
     }
 
-    c.bench_function("tiny_study_simulation", |b| {
-        b.iter_batched(
-            || config(Ablation::Baseline),
-            |cfg| criterion::black_box(Study::run(cfg)),
-            BatchSize::PerIteration,
-        )
+    ipv6_study_bench::time_fn("tiny_study_simulation", 10, || {
+        Study::run(config(Ablation::Baseline)).expect("valid preset")
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = ablations
-}
-criterion_main!(benches);

@@ -1,3 +1,7 @@
 //! Regenerates Section 4.4 (client address patterns) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(c44_client_patterns, "Section 4.4 (client address patterns)", ipv6_study_core::experiments::c44_client_patterns);
+ipv6_study_bench::bench_experiment!(
+    c44_client_patterns,
+    "Section 4.4 (client address patterns)",
+    ipv6_study_core::experiments::c44_client_patterns
+);

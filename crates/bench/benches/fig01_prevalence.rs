@@ -1,3 +1,7 @@
 //! Regenerates Figure 1 (daily IPv6 prevalence) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig01_prevalence, "Figure 1 (daily IPv6 prevalence)", ipv6_study_core::experiments::fig1_prevalence);
+ipv6_study_bench::bench_experiment!(
+    fig01_prevalence,
+    "Figure 1 (daily IPv6 prevalence)",
+    ipv6_study_core::experiments::fig1_prevalence
+);

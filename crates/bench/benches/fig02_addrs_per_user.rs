@@ -1,3 +1,7 @@
 //! Regenerates Figure 2 (addresses per user) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig02_addrs_per_user, "Figure 2 (addresses per user)", ipv6_study_core::experiments::fig2_addrs_per_user);
+ipv6_study_bench::bench_experiment!(
+    fig02_addrs_per_user,
+    "Figure 2 (addresses per user)",
+    ipv6_study_core::experiments::fig2_addrs_per_user
+);

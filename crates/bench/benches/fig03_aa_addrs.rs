@@ -1,3 +1,7 @@
 //! Regenerates Figure 3 (addresses per abusive account) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig03_aa_addrs, "Figure 3 (addresses per abusive account)", ipv6_study_core::experiments::fig3_aa_addrs);
+ipv6_study_bench::bench_experiment!(
+    fig03_aa_addrs,
+    "Figure 3 (addresses per abusive account)",
+    ipv6_study_core::experiments::fig3_aa_addrs
+);

@@ -1,3 +1,7 @@
 //! Regenerates Figure 4 (prefixes per user) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig04_prefix_span, "Figure 4 (prefixes per user)", ipv6_study_core::experiments::fig4_prefix_span);
+ipv6_study_bench::bench_experiment!(
+    fig04_prefix_span,
+    "Figure 4 (prefixes per user)",
+    ipv6_study_core::experiments::fig4_prefix_span
+);

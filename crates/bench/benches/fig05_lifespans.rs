@@ -1,3 +1,7 @@
 //! Regenerates Figure 5 (address life spans) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig05_lifespans, "Figure 5 (address life spans)", ipv6_study_core::experiments::fig5_lifespans);
+ipv6_study_bench::bench_experiment!(
+    fig05_lifespans,
+    "Figure 5 (address life spans)",
+    ipv6_study_core::experiments::fig5_lifespans
+);

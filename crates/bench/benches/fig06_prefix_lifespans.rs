@@ -1,3 +1,7 @@
 //! Regenerates Figure 6 (prefix life spans) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig06_prefix_lifespans, "Figure 6 (prefix life spans)", ipv6_study_core::experiments::fig6_prefix_lifespans);
+ipv6_study_bench::bench_experiment!(
+    fig06_prefix_lifespans,
+    "Figure 6 (prefix life spans)",
+    ipv6_study_core::experiments::fig6_prefix_lifespans
+);

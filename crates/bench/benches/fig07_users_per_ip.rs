@@ -1,3 +1,7 @@
 //! Regenerates Figure 7 (users per address) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig07_users_per_ip, "Figure 7 (users per address)", ipv6_study_core::experiments::fig7_users_per_ip);
+ipv6_study_bench::bench_experiment!(
+    fig07_users_per_ip,
+    "Figure 7 (users per address)",
+    ipv6_study_core::experiments::fig7_users_per_ip
+);

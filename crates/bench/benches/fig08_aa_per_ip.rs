@@ -1,3 +1,7 @@
 //! Regenerates Figure 8 (abuse per address) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig08_aa_per_ip, "Figure 8 (abuse per address)", ipv6_study_core::experiments::fig8_aa_per_ip);
+ipv6_study_bench::bench_experiment!(
+    fig08_aa_per_ip,
+    "Figure 8 (abuse per address)",
+    ipv6_study_core::experiments::fig8_aa_per_ip
+);

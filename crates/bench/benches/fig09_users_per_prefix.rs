@@ -1,3 +1,7 @@
 //! Regenerates Figure 9 (users per prefix) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig09_users_per_prefix, "Figure 9 (users per prefix)", ipv6_study_core::experiments::fig9_users_per_prefix);
+ipv6_study_bench::bench_experiment!(
+    fig09_users_per_prefix,
+    "Figure 9 (users per prefix)",
+    ipv6_study_core::experiments::fig9_users_per_prefix
+);

@@ -1,3 +1,7 @@
 //! Regenerates Figure 10 (abuse per prefix) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig10_aa_per_prefix, "Figure 10 (abuse per prefix)", ipv6_study_core::experiments::fig10_aa_per_prefix);
+ipv6_study_bench::bench_experiment!(
+    fig10_aa_per_prefix,
+    "Figure 10 (abuse per prefix)",
+    ipv6_study_core::experiments::fig10_aa_per_prefix
+);

@@ -1,3 +1,7 @@
 //! Regenerates Figure 11 (actioning ROC) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(fig11_roc, "Figure 11 (actioning ROC)", ipv6_study_core::experiments::fig11_roc);
+ipv6_study_bench::bench_experiment!(
+    fig11_roc,
+    "Figure 11 (actioning ROC)",
+    ipv6_study_core::experiments::fig11_roc
+);

@@ -1,3 +1,7 @@
 //! Regenerates Section 5.1.3 (outlier users) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(o51_user_outliers, "Section 5.1.3 (outlier users)", ipv6_study_core::experiments::o51_user_outliers);
+ipv6_study_bench::bench_experiment!(
+    o51_user_outliers,
+    "Section 5.1.3 (outlier users)",
+    ipv6_study_core::experiments::o51_user_outliers
+);

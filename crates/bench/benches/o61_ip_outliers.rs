@@ -1,3 +1,7 @@
 //! Regenerates Section 6.1.3 (heavy addresses) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(o61_ip_outliers, "Section 6.1.3 (heavy addresses)", ipv6_study_core::experiments::o61_ip_outliers);
+ipv6_study_bench::bench_experiment!(
+    o61_ip_outliers,
+    "Section 6.1.3 (heavy addresses)",
+    ipv6_study_core::experiments::o61_ip_outliers
+);

@@ -1,3 +1,7 @@
 //! Regenerates Section 6.2.3 (heavy prefixes) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(o62_prefix_outliers, "Section 6.2.3 (heavy prefixes)", ipv6_study_core::experiments::o62_prefix_outliers);
+ipv6_study_bench::bench_experiment!(
+    o62_prefix_outliers,
+    "Section 6.2.3 (heavy prefixes)",
+    ipv6_study_core::experiments::o62_prefix_outliers
+);

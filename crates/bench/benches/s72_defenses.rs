@@ -1,3 +1,7 @@
 //! Regenerates Section 7.2 (defense mechanisms) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(s72_defenses, "Section 7.2 (defense mechanisms)", ipv6_study_core::experiments::s72_defenses);
+ipv6_study_bench::bench_experiment!(
+    s72_defenses,
+    "Section 7.2 (defense mechanisms)",
+    ipv6_study_core::experiments::s72_defenses
+);

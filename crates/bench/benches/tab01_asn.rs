@@ -1,3 +1,7 @@
 //! Regenerates Table 1 (top ASNs by IPv6 ratio) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(tab01_asn, "Table 1 (top ASNs by IPv6 ratio)", ipv6_study_core::experiments::tab1_asns);
+ipv6_study_bench::bench_experiment!(
+    tab01_asn,
+    "Table 1 (top ASNs by IPv6 ratio)",
+    ipv6_study_core::experiments::tab1_asns
+);

@@ -1,3 +1,7 @@
 //! Regenerates Table 2 + Figure 12 (countries) and benchmarks the analysis pass.
 
-ipv6_study_bench::bench_experiment!(tab02_countries, "Table 2 + Figure 12 (countries)", ipv6_study_core::experiments::tab2_countries);
+ipv6_study_bench::bench_experiment!(
+    tab02_countries,
+    "Table 2 + Figure 12 (countries)",
+    ipv6_study_core::experiments::tab2_countries
+);

@@ -2,10 +2,13 @@
 //!
 //! Every bench target regenerates one of the paper's tables or figures:
 //! it prints the measured rows/series once (the reproduction artifact),
-//! then benchmarks the analysis pass itself with Criterion. The simulated
-//! study is built once per process and shared.
+//! then times the analysis pass itself with a small std-only loop
+//! (`std::time::Instant`; no external benchmark framework so the
+//! workspace builds fully offline). The simulated study is built once
+//! per process and shared.
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 use ipv6_study_core::{Study, StudyConfig};
 
@@ -14,7 +17,7 @@ use ipv6_study_core::{Study, StudyConfig};
 pub fn study() -> MutexGuard<'static, Study> {
     static STUDY: OnceLock<Mutex<Study>> = OnceLock::new();
     STUDY
-        .get_or_init(|| Mutex::new(Study::run(StudyConfig::test_scale())))
+        .get_or_init(|| Mutex::new(Study::run(StudyConfig::test_scale()).expect("valid preset")))
         .lock()
         .expect("study mutex poisoned")
 }
@@ -34,23 +37,49 @@ pub fn print_output(id: &str, out: &ipv6_study_core::ExperimentOutput) {
     }
 }
 
+/// Times `f` over `samples` iterations (after one warm-up call) and prints
+/// a one-line min/mean/max summary. Returns the mean in seconds.
+pub fn time_fn<R>(name: &str, samples: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f()); // warm-up
+    let mut times = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / f64::from(samples);
+    println!(
+        "bench {name:40} min {:>9} mean {:>9} max {:>9}",
+        fmt_s(min),
+        fmt_s(mean),
+        fmt_s(max)
+    );
+    mean
+}
+
+fn fmt_s(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.1}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
 /// Declares a bench target for one experiment function.
 #[macro_export]
 macro_rules! bench_experiment {
     ($name:ident, $id:literal, $func:path) => {
-        fn $name(c: &mut criterion::Criterion) {
+        fn main() {
             let mut study = $crate::study();
             let out = $func(&mut study);
             $crate::print_output($id, &out);
-            c.bench_function(concat!(stringify!($name), "_analysis"), |b| {
-                b.iter(|| criterion::black_box($func(&mut study)))
+            $crate::time_fn(concat!(stringify!($name), "_analysis"), 10, || {
+                $func(&mut study)
             });
         }
-        criterion::criterion_group! {
-            name = benches;
-            config = criterion::Criterion::default().sample_size(10);
-            targets = $name
-        }
-        criterion::criterion_main!(benches);
     };
 }

@@ -29,8 +29,12 @@ pub enum Ablation {
 
 impl Ablation {
     /// All ablations, baseline first.
-    pub const ALL: [Ablation; 4] =
-        [Ablation::Baseline, Ablation::FrozenIids, Ablation::NoCgn, Ablation::SlowDetection];
+    pub const ALL: [Ablation; 4] = [
+        Ablation::Baseline,
+        Ablation::FrozenIids,
+        Ablation::NoCgn,
+        Ablation::SlowDetection,
+    ];
 
     /// Short name for reports.
     pub fn name(self) -> &'static str {
@@ -95,8 +99,8 @@ mod tests {
 
     #[test]
     fn frozen_iids_stretch_v6_lifespans_and_cut_address_counts() {
-        let mut base = Study::run(cfg(Ablation::Baseline));
-        let mut frozen = Study::run(cfg(Ablation::FrozenIids));
+        let mut base = Study::run(cfg(Ablation::Baseline)).unwrap();
+        let mut frozen = Study::run(cfg(Ablation::FrozenIids)).unwrap();
         let b = crate::experiments::fig5_lifespans(&mut base);
         let f = crate::experiments::fig5_lifespans(&mut frozen);
         let b_new = b.get_stat("fig5.v6_newborn_share").unwrap();
@@ -116,8 +120,8 @@ mod tests {
 
     #[test]
     fn no_cgn_collapses_v4_sharing() {
-        let mut base = Study::run(cfg(Ablation::Baseline));
-        let mut nocgn = Study::run(cfg(Ablation::NoCgn));
+        let mut base = Study::run(cfg(Ablation::Baseline)).unwrap();
+        let mut nocgn = Study::run(cfg(Ablation::NoCgn)).unwrap();
         let b = crate::experiments::fig7_users_per_ip(&mut base);
         let n = crate::experiments::fig7_users_per_ip(&mut nocgn);
         assert!(
@@ -128,8 +132,8 @@ mod tests {
 
     #[test]
     fn slow_detection_stretches_abusive_lifetimes() {
-        let base = Study::run(cfg(Ablation::Baseline));
-        let slow = Study::run(cfg(Ablation::SlowDetection));
+        let base = Study::run(cfg(Ablation::Baseline)).unwrap();
+        let slow = Study::run(cfg(Ablation::SlowDetection)).unwrap();
         let b = base.labels.detected_within(0);
         let s = slow.labels.detected_within(0);
         assert!(

@@ -4,12 +4,15 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p ipv6-study-core --bin repro [-- scale] [output.md]
+//! cargo run --release -p ipv6-study-core --bin repro -- \
+//!     [scale] [output.md] [--threads N|auto]
 //! ```
 //!
 //! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
 //! When an output path is given, the markdown report is written there;
 //! otherwise it goes to `EXPERIMENTS.md` in the current directory.
+//! `--threads N` runs the sharded simulation driver on N workers
+//! (`auto` = all available cores); output is byte-identical at any N.
 
 use std::time::Instant;
 
@@ -17,31 +20,77 @@ use ipv6_study_core::experiments::run_all;
 use ipv6_study_core::report::{render_markdown, render_summary};
 use ipv6_study_core::{Study, StudyConfig};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = args.first().map(String::as_str).unwrap_or("default");
-    let output = args.get(1).map(String::as_str).unwrap_or("EXPERIMENTS.md");
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: repro [tiny|test|default|full] [output.md] [--threads N|auto]");
+    std::process::exit(2);
+}
 
-    let config = match scale {
+fn parse_threads(arg: &str) -> usize {
+    if arg == "auto" {
+        return std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+    }
+    match arg.parse() {
+        Ok(n) => n,
+        Err(_) => usage_exit(&format!("bad thread count `{arg}`")),
+    }
+}
+
+fn main() {
+    let mut scale = None;
+    let mut output = None;
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let Some(v) = args.next() else {
+                usage_exit("--threads needs a value")
+            };
+            threads = parse_threads(&v);
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = parse_threads(v);
+        } else if scale.is_none() {
+            scale = Some(arg);
+        } else if output.is_none() {
+            output = Some(arg);
+        } else {
+            usage_exit(&format!("unexpected argument `{arg}`"));
+        }
+    }
+    let scale = scale.unwrap_or_else(|| "default".into());
+    let output = output.unwrap_or_else(|| "EXPERIMENTS.md".into());
+
+    let mut config = match scale.as_str() {
         "tiny" => StudyConfig::tiny(),
         "test" => StudyConfig::test_scale(),
         "default" => StudyConfig::default_scale(),
         "full" => StudyConfig::full_scale(),
-        other => {
-            eprintln!("unknown scale `{other}` (use tiny|test|default|full)");
+        other => usage_exit(&format!(
+            "unknown scale `{other}` (use tiny|test|default|full)"
+        )),
+    };
+    config.threads = threads;
+
+    eprintln!(
+        "running study: {} households, {} campaigns, {}..{}, {} thread(s)",
+        config.households,
+        config.campaigns,
+        config.full_range.start,
+        config.full_range.end,
+        config.threads
+    );
+    let mut study = match Study::run(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
             std::process::exit(2);
         }
     };
-
+    eprint!("{}", study.metrics.render());
     eprintln!(
-        "running study: {} households, {} campaigns, {}..{}",
-        config.households, config.campaigns, config.full_range.start, config.full_range.end
-    );
-    let t0 = Instant::now();
-    let mut study = Study::run(config);
-    eprintln!(
-        "simulation done in {:.1?}: {} requests offered, {} retained, {} abusive accounts",
-        t0.elapsed(),
+        "simulation done: {} requests offered, {} retained, {} abusive accounts",
         study.datasets.offered,
         study.datasets.retained(),
         study.labels.len()
@@ -54,7 +103,7 @@ fn main() {
     print!("{}", render_summary(&results));
 
     let md = render_markdown(&results);
-    match std::fs::write(output, &md) {
+    match std::fs::write(&output, &md) {
         Ok(()) => eprintln!("wrote {output}"),
         Err(e) => {
             eprintln!("failed to write {output}: {e}");

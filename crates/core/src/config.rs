@@ -1,9 +1,58 @@
-//! Study configuration and scale presets.
+//! Study configuration, validation errors, scale presets, and the
+//! builder-style entry point.
+
+use std::fmt;
 
 use crate::ablation::Ablation;
+use crate::study::Study;
 use ipv6_study_netaddr::STUDY_PREFIX_LENGTHS;
 use ipv6_study_telemetry::time::{study_end, study_start};
 use ipv6_study_telemetry::{DateRange, SimDate};
+
+/// Why a [`StudyConfig`] cannot be run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `households` is zero: there is no population to simulate.
+    NoHouseholds,
+    /// The dense window must end exactly where the full window ends and
+    /// start no earlier than it (the dense phase is the *suffix* of the
+    /// study; see the crate-level phase description).
+    DenseWindowNotSuffix {
+        /// The offending dense window.
+        dense: DateRange,
+        /// The full study window it must suffix.
+        full: DateRange,
+    },
+    /// `prefix_lengths` is empty: at least one prefix sample is required.
+    NoPrefixLengths,
+    /// A prefix length exceeds 128 bits.
+    PrefixLengthTooLong(u8),
+    /// `threads` is zero: the driver needs at least one worker.
+    ZeroThreads,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoHouseholds => write!(f, "households must be at least 1"),
+            ConfigError::DenseWindowNotSuffix { dense, full } => write!(
+                f,
+                "dense window {}..{} must be a suffix of the full window {}..{}",
+                dense.start, dense.end, full.start, full.end
+            ),
+            ConfigError::NoPrefixLengths => {
+                write!(f, "at least one prefix length must be collected")
+            }
+            ConfigError::PrefixLengthTooLong(l) => {
+                write!(f, "prefix length /{l} exceeds 128 bits")
+            }
+            ConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration for one study run.
 #[derive(Debug, Clone)]
@@ -22,6 +71,10 @@ pub struct StudyConfig {
     pub prefix_lengths: Vec<u8>,
     /// Mechanism ablation (Baseline for the real model).
     pub ablation: Ablation,
+    /// Worker threads for the sharded simulation driver. The emitted
+    /// datasets are byte-identical at any thread count; this knob only
+    /// trades wall-clock for cores.
+    pub threads: usize,
 }
 
 impl StudyConfig {
@@ -54,7 +107,7 @@ impl StudyConfig {
 
     /// Builds a config at the given household scale with the standard
     /// windows: panel over the full study range, dense over the last two
-    /// weeks (Apr 6–19), campaigns sized to ~1 per 150 households.
+    /// weeks (Apr 6–19), campaigns sized to ~1 per 25 households.
     pub fn at_scale(seed: u64, households: u64) -> Self {
         Self {
             seed,
@@ -64,24 +117,144 @@ impl StudyConfig {
             dense_range: DateRange::new(SimDate::ymd(4, 6), SimDate::ymd(4, 19)),
             prefix_lengths: STUDY_PREFIX_LENGTHS.to_vec(),
             ablation: Ablation::Baseline,
+            threads: 1,
         }
     }
 
-    /// Validates internal consistency.
-    ///
-    /// # Panics
-    /// Panics when the dense window is not a suffix of the full window.
-    pub fn validate(&self) {
-        assert!(self.households > 0, "need households");
-        assert!(
-            self.dense_range.start >= self.full_range.start
-                && self.dense_range.end == self.full_range.end,
-            "dense window must be a suffix of the full window"
-        );
-        assert!(!self.prefix_lengths.is_empty(), "need at least one prefix length");
-        for &l in &self.prefix_lengths {
-            assert!(l <= 128, "bad prefix length {l}");
+    /// Validates internal consistency, reporting the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.households == 0 {
+            return Err(ConfigError::NoHouseholds);
         }
+        if self.dense_range.start < self.full_range.start
+            || self.dense_range.end != self.full_range.end
+        {
+            return Err(ConfigError::DenseWindowNotSuffix {
+                dense: self.dense_range,
+                full: self.full_range,
+            });
+        }
+        if self.prefix_lengths.is_empty() {
+            return Err(ConfigError::NoPrefixLengths);
+        }
+        for &l in &self.prefix_lengths {
+            if l > 128 {
+                return Err(ConfigError::PrefixLengthTooLong(l));
+            }
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(())
+    }
+}
+
+/// Fluent construction of a [`Study`].
+///
+/// Starts from [`StudyConfig::default_scale`] (or a preset via
+/// [`StudyBuilder::tiny`] / [`StudyBuilder::test_scale`] /
+/// [`StudyBuilder::full_scale`]), overrides individual knobs, and
+/// validates once at [`StudyBuilder::run`] (or [`StudyBuilder::build`]):
+///
+/// ```
+/// use ipv6_study_core::Study;
+///
+/// let study = Study::builder().tiny().seed(7).threads(2).run().unwrap();
+/// assert_eq!(study.config.seed, 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StudyBuilder {
+    config: StudyConfig,
+}
+
+impl Default for StudyBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StudyBuilder {
+    /// A builder at the default scale.
+    pub fn new() -> Self {
+        Self {
+            config: StudyConfig::default_scale(),
+        }
+    }
+
+    /// Switches to the [`StudyConfig::tiny`] preset (keeping the current
+    /// seed, thread count, and ablation).
+    pub fn tiny(self) -> Self {
+        self.preset(StudyConfig::tiny())
+    }
+
+    /// Switches to the [`StudyConfig::test_scale`] preset (keeping the
+    /// current seed, thread count, and ablation).
+    pub fn test_scale(self) -> Self {
+        self.preset(StudyConfig::test_scale())
+    }
+
+    /// Switches to the [`StudyConfig::full_scale`] preset (keeping the
+    /// current seed, thread count, and ablation).
+    pub fn full_scale(self) -> Self {
+        self.preset(StudyConfig::full_scale())
+    }
+
+    fn preset(self, mut cfg: StudyConfig) -> Self {
+        cfg.seed = self.config.seed;
+        cfg.threads = self.config.threads;
+        cfg.ablation = self.config.ablation;
+        Self { config: cfg }
+    }
+
+    /// Sets the household count and rescales the campaign count with it
+    /// (~1 per 25 households); call [`StudyBuilder::campaigns`] afterwards
+    /// to pin an exact campaign count.
+    pub fn households(mut self, households: u64) -> Self {
+        self.config.households = households;
+        self.config.campaigns = (households / 25).max(20) as u32;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (results are identical at any count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the attacker campaign count.
+    pub fn campaigns(mut self, campaigns: u32) -> Self {
+        self.config.campaigns = campaigns;
+        self
+    }
+
+    /// Sets the mechanism ablation.
+    pub fn ablation(mut self, ablation: Ablation) -> Self {
+        self.config.ablation = ablation;
+        self
+    }
+
+    /// Sets the collected prefix-sample lengths.
+    pub fn prefix_lengths(mut self, lengths: &[u8]) -> Self {
+        self.config.prefix_lengths = lengths.to_vec();
+        self
+    }
+
+    /// Validates and returns the configuration without running it.
+    pub fn build(self) -> Result<StudyConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+
+    /// Validates and runs the study.
+    pub fn run(self) -> Result<Study, ConfigError> {
+        Study::run(self.build()?)
     }
 }
 
@@ -91,10 +264,10 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        StudyConfig::default_scale().validate();
-        StudyConfig::test_scale().validate();
-        StudyConfig::tiny().validate();
-        StudyConfig::full_scale().validate();
+        StudyConfig::default_scale().validate().unwrap();
+        StudyConfig::test_scale().validate().unwrap();
+        StudyConfig::tiny().validate().unwrap();
+        StudyConfig::full_scale().validate().unwrap();
     }
 
     #[test]
@@ -105,10 +278,75 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "suffix")]
     fn invalid_dense_window_rejected() {
         let mut cfg = StudyConfig::tiny();
         cfg.dense_range = DateRange::new(SimDate::ymd(2, 1), SimDate::ymd(2, 5));
-        cfg.validate();
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::DenseWindowNotSuffix { .. })
+        ));
+    }
+
+    #[test]
+    fn each_constraint_has_its_own_error() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.households = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoHouseholds));
+
+        let mut cfg = StudyConfig::tiny();
+        cfg.prefix_lengths.clear();
+        assert_eq!(cfg.validate(), Err(ConfigError::NoPrefixLengths));
+
+        let mut cfg = StudyConfig::tiny();
+        cfg.prefix_lengths.push(129);
+        assert_eq!(cfg.validate(), Err(ConfigError::PrefixLengthTooLong(129)));
+
+        let mut cfg = StudyConfig::tiny();
+        cfg.threads = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroThreads));
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.dense_range = DateRange::new(SimDate::ymd(2, 1), SimDate::ymd(2, 5));
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.contains("suffix"), "{msg}");
+        assert!(ConfigError::ZeroThreads.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn builder_overrides_compose_with_presets() {
+        let cfg = StudyBuilder::new()
+            .seed(99)
+            .threads(4)
+            .tiny()
+            .build()
+            .unwrap();
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.households, StudyConfig::tiny().households);
+
+        let cfg = StudyBuilder::new().households(1_000).build().unwrap();
+        assert_eq!(cfg.households, 1_000);
+        assert_eq!(cfg.campaigns, 40);
+
+        let cfg = StudyBuilder::new()
+            .households(1_000)
+            .campaigns(7)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.campaigns, 7);
+    }
+
+    #[test]
+    fn builder_surfaces_validation_errors() {
+        assert_eq!(StudyBuilder::new().households(0).build().unwrap_err(), {
+            ConfigError::NoHouseholds
+        });
+        assert_eq!(
+            StudyBuilder::new().threads(0).build().unwrap_err(),
+            ConfigError::ZeroThreads
+        );
     }
 }

@@ -1,0 +1,415 @@
+//! The deterministic sharded simulation driver.
+//!
+//! The simulation is embarrassingly parallel in two dimensions: benign
+//! households never interact (each household's requests are a pure
+//! function of the seed and its index), and attacker campaigns never
+//! interact. The driver exploits this by partitioning the run into
+//! **shards** — contiguous household ranges plus contiguous campaign
+//! ranges — and simulating each shard's *entire* study window into
+//! shard-local accumulators on a pool of worker threads.
+//!
+//! # Determinism
+//!
+//! Output must be byte-identical at any thread count, so nothing about
+//! the partition may depend on the thread count:
+//!
+//! 1. the shard plan is a function of the *config only* (household and
+//!    campaign counts), never of `threads`;
+//! 2. workers claim shard indices from an atomic counter — claiming
+//!    order is racy, but each shard's output is entirely local;
+//! 3. the merge walks shards in plan order, so the merged insertion
+//!    order ("shard-major": benign shards ascending, then campaign
+//!    shards ascending) is a constant of the config.
+//!
+//! [`RequestStore`] sorts records by timestamp with a *stable* sort, so
+//! equal-timestamp ties resolve by that insertion order — identical in
+//! every run. A `threads = 1` run executes the same plan on one worker
+//! and produces the same bytes.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ipv6_study_behavior::abuse::AbuseSim;
+use ipv6_study_behavior::emit::emit_user_day;
+use ipv6_study_behavior::population::Population;
+use ipv6_study_behavior::schedule::day_plan;
+use ipv6_study_netmodel::World;
+use ipv6_study_telemetry::{
+    RequestRecord, RequestSink, RequestStore, Samplers, SimDate, StudyDatasets,
+};
+
+use crate::config::StudyConfig;
+
+/// Target number of benign shards (the plan clamps so small runs still
+/// get meaningfully sized shards).
+const TARGET_BENIGN_SHARDS: u64 = 64;
+/// Minimum households per benign shard.
+const MIN_HOUSEHOLDS_PER_SHARD: u64 = 64;
+/// Target number of abuse shards.
+const TARGET_ABUSE_SHARDS: u32 = 16;
+/// Minimum campaigns per abuse shard.
+const MIN_CAMPAIGNS_PER_SHARD: u32 = 4;
+
+/// One unit of schedulable work.
+#[derive(Debug, Clone)]
+enum ShardWork {
+    /// Simulate a contiguous household range over the whole window.
+    Benign(Range<u64>),
+    /// Simulate a contiguous campaign range over the whole window.
+    Abuse(Range<u32>),
+}
+
+/// Everything one shard produced.
+struct ShardOutput {
+    datasets: StudyDatasets,
+    abuse_store: RequestStore,
+    pair_store: RequestStore,
+    records: u64,
+    wall: Duration,
+}
+
+/// Timing and throughput for one shard.
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Human-readable shard description, e.g. `benign hh 0..312`.
+    pub label: String,
+    /// Records emitted by this shard (before sampling).
+    pub records: u64,
+    /// Wall-clock the shard's simulation took on its worker.
+    pub wall: Duration,
+}
+
+impl ShardMetrics {
+    /// Emission throughput in records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.records as f64 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Per-phase timing for a completed run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Per-shard timings, in plan (= merge) order.
+    pub shards: Vec<ShardMetrics>,
+    /// Wall-clock of the parallel simulation phase.
+    pub sim_wall: Duration,
+    /// Wall-clock of the in-order merge phase.
+    pub merge_wall: Duration,
+    /// Wall-clock of the whole [`crate::Study::run`], set by the caller.
+    pub total_wall: Duration,
+}
+
+impl RunMetrics {
+    /// Total records emitted across all shards.
+    pub fn total_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.records).sum()
+    }
+
+    /// Aggregate simulation throughput in records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        let s = self.sim_wall.as_secs_f64();
+        if s > 0.0 {
+            self.total_records() as f64 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Renders the run report: one header line, one line per shard, and
+    /// the phase totals.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "simulation: {} thread(s), {} shards, {} records in {:.2?} ({:.0} rec/s)",
+            self.threads,
+            self.shards.len(),
+            self.total_records(),
+            self.sim_wall,
+            self.records_per_sec(),
+        );
+        for (i, s) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  shard {i:3} {:<24} {:>9} records  {:>9.2?}  {:>10.0} rec/s",
+                s.label,
+                s.records,
+                s.wall,
+                s.records_per_sec(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "merge: {:.2?}; total: {:.2?}",
+            self.merge_wall, self.total_wall
+        );
+        out
+    }
+}
+
+/// The driver's result: merged datasets, stores, and metrics.
+pub(crate) struct DriverOutput {
+    pub datasets: StudyDatasets,
+    pub abuse_store: RequestStore,
+    pub pair_store: RequestStore,
+    pub metrics: RunMetrics,
+}
+
+/// Routes one shard's emissions: every record is offered to the
+/// shard-local datasets; abusive records are additionally retained
+/// wholesale, and records in the pair window wholesale too — the same
+/// per-record order the original serial driver used.
+struct ShardSink<'a> {
+    datasets: &'a mut StudyDatasets,
+    abuse: Option<&'a mut RequestStore>,
+    pair: Option<&'a mut RequestStore>,
+    records: &'a mut u64,
+}
+
+impl RequestSink for ShardSink<'_> {
+    fn accept(&mut self, rec: RequestRecord) {
+        *self.records += 1;
+        if let Some(abuse) = self.abuse.as_deref_mut() {
+            abuse.push(rec);
+        }
+        self.datasets.offer(rec);
+        if let Some(pair) = self.pair.as_deref_mut() {
+            pair.push(rec);
+        }
+    }
+}
+
+/// Builds the shard plan. Depends only on the config (see the module
+/// docs); benign shards come first, campaign shards after.
+fn plan_shards(config: &StudyConfig) -> Vec<ShardWork> {
+    let mut plan = Vec::new();
+    let hh_size = (config.households / TARGET_BENIGN_SHARDS).max(MIN_HOUSEHOLDS_PER_SHARD);
+    let mut lo = 0u64;
+    while lo < config.households {
+        let hi = (lo + hh_size).min(config.households);
+        plan.push(ShardWork::Benign(lo..hi));
+        lo = hi;
+    }
+    let c_size = (config.campaigns / TARGET_ABUSE_SHARDS).max(MIN_CAMPAIGNS_PER_SHARD);
+    let mut lo = 0u32;
+    while lo < config.campaigns {
+        let hi = (lo + c_size).min(config.campaigns);
+        plan.push(ShardWork::Abuse(lo..hi));
+        lo = hi;
+    }
+    plan
+}
+
+fn run_shard(
+    work: &ShardWork,
+    config: &StudyConfig,
+    world: &World,
+    pop: &Population<'_>,
+    abuse: &AbuseSim<'_>,
+    samplers: &Samplers,
+    pair_start: SimDate,
+) -> ShardOutput {
+    let t0 = Instant::now();
+    let mut datasets = StudyDatasets::with_prefix_lengths(samplers.clone(), &config.prefix_lengths);
+    let mut abuse_store = RequestStore::new();
+    let mut pair_store = RequestStore::new();
+    let mut records = 0u64;
+
+    for day in config.full_range.days() {
+        let dense = config.dense_range.contains(day);
+        let in_pair = day >= pair_start;
+        match work {
+            ShardWork::Benign(households) => {
+                for hh in households.clone() {
+                    let hprof = pop.household(hh);
+                    for uid in pop.member_ids(&hprof) {
+                        // Panel phase: only user-sample panel members.
+                        if !dense && !samplers.user_sampled(uid) {
+                            continue;
+                        }
+                        let profile = pop.user(uid);
+                        let plan = day_plan(world, &profile, day);
+                        if plan.contexts.is_empty() {
+                            continue;
+                        }
+                        let mut sink = ShardSink {
+                            datasets: &mut datasets,
+                            abuse: None,
+                            pair: in_pair.then_some(&mut pair_store),
+                            records: &mut records,
+                        };
+                        emit_user_day(world, &profile, day, &plan, &mut sink);
+                    }
+                }
+            }
+            ShardWork::Abuse(campaigns) => {
+                let mut sink = ShardSink {
+                    datasets: &mut datasets,
+                    abuse: Some(&mut abuse_store),
+                    pair: in_pair.then_some(&mut pair_store),
+                    records: &mut records,
+                };
+                abuse.emit_day_campaigns(pop, day, campaigns.clone(), &mut sink);
+            }
+        }
+    }
+
+    ShardOutput {
+        datasets,
+        abuse_store,
+        pair_store,
+        records,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Runs the sharded simulation and merges shard outputs in plan order.
+pub(crate) fn execute(
+    config: &StudyConfig,
+    world: &World,
+    pop: &Population<'_>,
+    abuse: &AbuseSim<'_>,
+    samplers: &Samplers,
+) -> DriverOutput {
+    // Figure 11's full-population day pairs: the last four days.
+    let pair_start = config.full_range.end - 3;
+    let plan = plan_shards(config);
+    let workers = config.threads.min(plan.len()).max(1);
+
+    let t0 = Instant::now();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ShardOutput>>> = plan.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(work) = plan.get(i) else { break };
+                let out = run_shard(work, config, world, pop, abuse, samplers, pair_start);
+                *slots[i].lock().expect("shard slot poisoned") = Some(out);
+            });
+        }
+    });
+    let sim_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut datasets = StudyDatasets::with_prefix_lengths(samplers.clone(), &config.prefix_lengths);
+    let mut abuse_store = RequestStore::new();
+    let mut pair_store = RequestStore::new();
+    let mut shards = Vec::with_capacity(plan.len());
+    for (work, slot) in plan.iter().zip(slots) {
+        let out = slot
+            .into_inner()
+            .expect("shard slot poisoned")
+            .expect("every shard completed before scope exit");
+        let label = match work {
+            ShardWork::Benign(r) => format!("benign hh {}..{}", r.start, r.end),
+            ShardWork::Abuse(r) => format!("abuse camp {}..{}", r.start, r.end),
+        };
+        shards.push(ShardMetrics {
+            label,
+            records: out.records,
+            wall: out.wall,
+        });
+        datasets.merge(out.datasets);
+        abuse_store.extend_from(out.abuse_store);
+        pair_store.extend_from(out.pair_store);
+    }
+    let merge_wall = t1.elapsed();
+
+    DriverOutput {
+        datasets,
+        abuse_store,
+        pair_store,
+        metrics: RunMetrics {
+            threads: workers,
+            shards,
+            sim_wall,
+            merge_wall,
+            total_wall: Duration::ZERO,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plan_depends_on_config_not_threads() {
+        let mut a = StudyConfig::tiny();
+        let mut b = StudyConfig::tiny();
+        a.threads = 1;
+        b.threads = 8;
+        let pa: Vec<String> = plan_shards(&a).iter().map(|w| format!("{w:?}")).collect();
+        let pb: Vec<String> = plan_shards(&b).iter().map(|w| format!("{w:?}")).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn shard_plan_covers_everything_once() {
+        for cfg in [
+            StudyConfig::tiny(),
+            StudyConfig::test_scale(),
+            StudyConfig::default_scale(),
+        ] {
+            let plan = plan_shards(&cfg);
+            let mut next_hh = 0u64;
+            let mut next_camp = 0u32;
+            for work in &plan {
+                match work {
+                    ShardWork::Benign(r) => {
+                        assert_eq!(r.start, next_hh, "household shards contiguous");
+                        assert!(r.end > r.start);
+                        next_hh = r.end;
+                    }
+                    ShardWork::Abuse(r) => {
+                        assert_eq!(r.start, next_camp, "campaign shards contiguous");
+                        assert!(r.end > r.start);
+                        next_camp = r.end;
+                    }
+                }
+            }
+            assert_eq!(next_hh, cfg.households);
+            assert_eq!(next_camp, cfg.campaigns);
+            // Benign shards strictly precede abuse shards in merge order.
+            let first_abuse = plan
+                .iter()
+                .position(|w| matches!(w, ShardWork::Abuse(_)))
+                .expect("abuse shards exist");
+            assert!(plan[..first_abuse]
+                .iter()
+                .all(|w| matches!(w, ShardWork::Benign(_))));
+        }
+    }
+
+    #[test]
+    fn metrics_render_mentions_every_phase() {
+        let m = RunMetrics {
+            threads: 2,
+            shards: vec![ShardMetrics {
+                label: "benign hh 0..64".into(),
+                records: 1000,
+                wall: Duration::from_millis(10),
+            }],
+            sim_wall: Duration::from_millis(12),
+            merge_wall: Duration::from_millis(1),
+            total_wall: Duration::from_millis(20),
+        };
+        let text = m.render();
+        assert!(text.contains("2 thread(s)"));
+        assert!(text.contains("benign hh 0..64"));
+        assert!(text.contains("merge:"));
+        assert_eq!(m.total_records(), 1000);
+        assert!(m.records_per_sec() > 0.0);
+    }
+}

@@ -21,7 +21,7 @@ use ipv6_study_analysis::outliers::{
 };
 use ipv6_study_analysis::similarity::most_similar;
 use ipv6_study_analysis::user_centric::{
-    addrs_per_user, address_lifespans, prefix_lifespans, prefixes_per_user,
+    address_lifespans, addrs_per_user, prefix_lifespans, prefixes_per_user,
 };
 use ipv6_study_analysis::{CdfSeries, FigureReport, TableReport};
 use ipv6_study_secapp::actioning::{actioning_roc, operating_points, Granularity};
@@ -72,21 +72,31 @@ pub fn fig1_prevalence(study: &mut Study) -> ExperimentOutput {
         ))
         .with(CdfSeries::from_u64(
             "requests",
-            pts.iter().map(|p| (u64::from(p.day.index()), p.request_share)),
+            pts.iter()
+                .map(|p| (u64::from(p.day.index()), p.request_share)),
         ));
     out.figures.push(fig);
 
     let mean = |f: &dyn Fn(&ipv6_study_analysis::characterize::PrevalencePoint) -> f64,
                 lo: SimDate,
                 hi: SimDate| {
-        let sel: Vec<f64> =
-            pts.iter().filter(|p| p.day >= lo && p.day <= hi).map(f).collect();
+        let sel: Vec<f64> = pts
+            .iter()
+            .filter(|p| p.day >= lo && p.day <= hi)
+            .map(f)
+            .collect();
         sel.iter().sum::<f64>() / sel.len().max(1) as f64
     };
     let early_end = range.start + 13;
     let late_start = range.end - 13;
-    out.stat("fig1.user_share_mean", mean(&|p| p.user_share, range.start, range.end));
-    out.stat("fig1.request_share_mean", mean(&|p| p.request_share, range.start, range.end));
+    out.stat(
+        "fig1.user_share_mean",
+        mean(&|p| p.user_share, range.start, range.end),
+    );
+    out.stat(
+        "fig1.request_share_mean",
+        mean(&|p| p.request_share, range.start, range.end),
+    );
     out.stat(
         "fig1.user_share_lockdown_delta",
         mean(&|p| p.user_share, late_start, range.end)
@@ -205,9 +215,18 @@ pub fn tab2_countries(study: &mut Study) -> ExperimentOutput {
     out.stat("tab2.us_apr", ratio_of(&apr_all, "US"));
     out.stat("tab2.de_jan", ratio_of(&jan_all, "DE"));
     out.stat("tab2.de_apr", ratio_of(&apr_all, "DE"));
-    out.stat("tab2.de_delta", ratio_of(&apr_all, "DE") - ratio_of(&jan_all, "DE"));
-    out.stat("tab2.by_delta", ratio_of(&apr_all, "BY") - ratio_of(&jan_all, "BY"));
-    out.stat("tab2.pr_delta", ratio_of(&apr_all, "PR") - ratio_of(&jan_all, "PR"));
+    out.stat(
+        "tab2.de_delta",
+        ratio_of(&apr_all, "DE") - ratio_of(&jan_all, "DE"),
+    );
+    out.stat(
+        "tab2.by_delta",
+        ratio_of(&apr_all, "BY") - ratio_of(&jan_all, "BY"),
+    );
+    out.stat(
+        "tab2.pr_delta",
+        ratio_of(&apr_all, "PR") - ratio_of(&jan_all, "PR"),
+    );
     out
 }
 
@@ -289,9 +308,12 @@ pub fn o51_user_outliers(study: &mut Study) -> ExperimentOutput {
         "outlier users by weekly address count",
         &["Population", "Total", ">100", ">300", ">1000", "Max"],
     );
-    for (label, s) in
-        [("users v4", &v4), ("users v6", &v6), ("AA v4", &aa4), ("AA v6", &aa6)]
-    {
+    for (label, s) in [
+        ("users v4", &v4),
+        ("users v6", &v6),
+        ("AA v4", &aa4),
+        ("AA v6", &aa6),
+    ] {
         t.push_row(vec![
             label.into(),
             s.total.to_string(),
@@ -323,14 +345,28 @@ pub fn fig4_prefix_span(study: &mut Study) -> ExperimentOutput {
     let aa_recs = study.abuse_store.in_range(focus_week()).to_vec();
     let aas = prefixes_per_user(&aa_recs, &lengths, |_| true);
 
-    let to_fig = |id: &str, caption: &str, rows: &[ipv6_study_analysis::user_centric::PrefixSpanRow]| {
-        FigureReport::new(id, caption)
-            .with(CdfSeries::from_u64("1", rows.iter().map(|r| (u64::from(r.len), r.le1))))
-            .with(CdfSeries::from_u64("<=2", rows.iter().map(|r| (u64::from(r.len), r.le2))))
-            .with(CdfSeries::from_u64("<=3", rows.iter().map(|r| (u64::from(r.len), r.le3))))
-    };
+    let to_fig =
+        |id: &str, caption: &str, rows: &[ipv6_study_analysis::user_centric::PrefixSpanRow]| {
+            FigureReport::new(id, caption)
+                .with(CdfSeries::from_u64(
+                    "1",
+                    rows.iter().map(|r| (u64::from(r.len), r.le1)),
+                ))
+                .with(CdfSeries::from_u64(
+                    "<=2",
+                    rows.iter().map(|r| (u64::from(r.len), r.le2)),
+                ))
+                .with(CdfSeries::from_u64(
+                    "<=3",
+                    rows.iter().map(|r| (u64::from(r.len), r.le3)),
+                ))
+        };
     let mut out = ExperimentOutput::default();
-    out.figures.push(to_fig("Figure 4a", "% of users whose v6 addresses span <=k prefixes", &users));
+    out.figures.push(to_fig(
+        "Figure 4a",
+        "% of users whose v6 addresses span <=k prefixes",
+        &users,
+    ));
     out.figures.push(to_fig(
         "Figure 4b",
         "% of abusive accounts whose v6 addresses span <=k prefixes",
@@ -344,7 +380,7 @@ pub fn fig4_prefix_span(study: &mut Study) -> ExperimentOutput {
     out.stat("fig4.users_le1_at64", at(&users, 64));
     out.stat("fig4.users_le1_at48", at(&users, 48));
     out.stat("fig4.users_le1_at40", at(&users, 40));
-    out.stat("fig4.jump_at_64", at(&users, 64) - at(&users, 68.min(72)));
+    out.stat("fig4.jump_at_64", at(&users, 64) - at(&users, 68));
     out.stat("fig4.aa_le1_at64", at(&aas, 64));
     out
 }
@@ -385,7 +421,8 @@ pub fn fig6_prefix_lifespans(study: &mut Study) -> ExperimentOutput {
 
     let mut out = ExperimentOutput::default();
     let always = |_: UserId| true;
-    let cases: [(&str, &[RequestRecord], &dyn Fn(UserId) -> bool); 2] = [
+    type Case<'a> = (&'a str, &'a [RequestRecord], &'a dyn Fn(UserId) -> bool);
+    let cases: [Case; 2] = [
         ("Figure 6a", history.as_slice(), &filter),
         ("Figure 6b", aa_history.as_slice(), &always),
     ];
@@ -393,12 +430,30 @@ pub fn fig6_prefix_lifespans(study: &mut Study) -> ExperimentOutput {
         let v6 = prefix_lifespans(recs, focus, &v6_lengths, true, f);
         let v4 = prefix_lifespans(recs, focus, &v4_lengths, false, f);
         let fig = FigureReport::new(id, "share of (user, prefix) pairs aged <=1/2/3 days")
-            .with(CdfSeries::from_u64("IPv6: 1d", v6.iter().map(|r| (u64::from(r.len), r.d1))))
-            .with(CdfSeries::from_u64("IPv6: <=2d", v6.iter().map(|r| (u64::from(r.len), r.d2))))
-            .with(CdfSeries::from_u64("IPv6: <=3d", v6.iter().map(|r| (u64::from(r.len), r.d3))))
-            .with(CdfSeries::from_u64("IPv4: 1d", v4.iter().map(|r| (u64::from(r.len), r.d1))))
-            .with(CdfSeries::from_u64("IPv4: <=2d", v4.iter().map(|r| (u64::from(r.len), r.d2))))
-            .with(CdfSeries::from_u64("IPv4: <=3d", v4.iter().map(|r| (u64::from(r.len), r.d3))));
+            .with(CdfSeries::from_u64(
+                "IPv6: 1d",
+                v6.iter().map(|r| (u64::from(r.len), r.d1)),
+            ))
+            .with(CdfSeries::from_u64(
+                "IPv6: <=2d",
+                v6.iter().map(|r| (u64::from(r.len), r.d2)),
+            ))
+            .with(CdfSeries::from_u64(
+                "IPv6: <=3d",
+                v6.iter().map(|r| (u64::from(r.len), r.d3)),
+            ))
+            .with(CdfSeries::from_u64(
+                "IPv4: 1d",
+                v4.iter().map(|r| (u64::from(r.len), r.d1)),
+            ))
+            .with(CdfSeries::from_u64(
+                "IPv4: <=2d",
+                v4.iter().map(|r| (u64::from(r.len), r.d2)),
+            ))
+            .with(CdfSeries::from_u64(
+                "IPv4: <=3d",
+                v4.iter().map(|r| (u64::from(r.len), r.d3)),
+            ));
         if id == "Figure 6a" {
             let at = |len: u8| v6.iter().find(|r| r.len == len).map_or(0.0, |r| r.d1);
             out.stat("fig6.v6_new_at128", at(128));
@@ -446,13 +501,16 @@ pub fn fig8_aa_per_ip(study: &mut Study) -> ExperimentOutput {
     let week = abuse_per_ip(&week_recs, &study.labels);
     let mut out = ExperimentOutput::default();
     out.figures.push(
-        FigureReport::new("Figure 8", "populations on addresses with >=1 abusive account")
-            .with(cdf_series("AAs per IPv4: 1 day", &day.aa_v4, 10))
-            .with(cdf_series("AAs per IPv4: 1 week", &week.aa_v4, 10))
-            .with(cdf_series("AAs per IPv6: 1 week", &week.aa_v6, 10))
-            .with(cdf_series("Others per IPv4: 1 day", &day.benign_v4, 10))
-            .with(cdf_series("Others per IPv4: 1 week", &week.benign_v4, 10))
-            .with(cdf_series("Others per IPv6: 1 week", &week.benign_v6, 10)),
+        FigureReport::new(
+            "Figure 8",
+            "populations on addresses with >=1 abusive account",
+        )
+        .with(cdf_series("AAs per IPv4: 1 day", &day.aa_v4, 10))
+        .with(cdf_series("AAs per IPv4: 1 week", &week.aa_v4, 10))
+        .with(cdf_series("AAs per IPv6: 1 week", &week.aa_v6, 10))
+        .with(cdf_series("Others per IPv4: 1 day", &day.benign_v4, 10))
+        .with(cdf_series("Others per IPv4: 1 week", &week.benign_v4, 10))
+        .with(cdf_series("Others per IPv6: 1 week", &week.benign_v6, 10)),
     );
     out.stat("fig8.v4_single_aa_day", day.aa_v4.fraction_le(1));
     out.stat("fig8.v6_single_aa", week.aa_v6.fraction_le(1));
@@ -492,7 +550,15 @@ pub fn o61_ip_outliers(study: &mut Study) -> ExperimentOutput {
     let mut t = TableReport::new(
         "§6.1.3",
         "heavy addresses (users/week)",
-        &["Protocol", "Addresses", ">heavy", ">3x heavy", "Max", "ASNs(heavy)", "Top1 ASN share"],
+        &[
+            "Protocol",
+            "Addresses",
+            ">heavy",
+            ">3x heavy",
+            "Max",
+            "ASNs(heavy)",
+            "Top1 ASN share",
+        ],
     );
     t.push_row(vec![
         "IPv4".into(),
@@ -586,8 +652,10 @@ pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
 
     // (b) benign users per prefix containing abuse.
     let lengths_b = [128u8, 96, 72, 68, 64, 56];
-    let mut fig_b =
-        FigureReport::new("Figure 10b", "benign users per prefix with abusive accounts (1 week)");
+    let mut fig_b = FigureReport::new(
+        "Figure 10b",
+        "benign users per prefix with abusive accounts (1 week)",
+    );
     let mut benign_candidates: Vec<(u8, Ecdf)> = Vec::new();
     for len in lengths_b {
         let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
@@ -599,7 +667,10 @@ pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
     out.figures.push(fig_b);
 
     let single_at = |cands: &[(u8, Ecdf)], len: u8| {
-        cands.iter().find(|(l, _)| *l == len).map_or(0.0, |(_, e)| e.fraction_le(1))
+        cands
+            .iter()
+            .find(|(l, _)| *l == len)
+            .map_or(0.0, |(_, e)| e.fraction_le(1))
     };
     out.stat("fig10.aa_single_at64", single_at(&aa_candidates, 64));
     out.stat("fig10.aa_single_at56", single_at(&aa_candidates, 56));
@@ -614,7 +685,10 @@ pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
     let sim_aa = most_similar(&v4_view.aa_v4, &aa_candidates);
     out.stat("fig10.v4_aa_best_match_len", f64::from(sim_aa.best_len));
     let sim_benign = most_similar(&v4_view.benign_v4, &benign_candidates);
-    out.stat("fig10.v4_benign_best_match_len", f64::from(sim_benign.best_len));
+    out.stat(
+        "fig10.v4_benign_best_match_len",
+        f64::from(sim_benign.best_len),
+    );
     out
 }
 
@@ -636,7 +710,10 @@ pub fn o62_prefix_outliers(study: &mut Study) -> ExperimentOutput {
     for len in [112u8, 64, 48] {
         let upp = users_per_prefix(&recs, len);
         let stats = tail_stats(&upp.counts, &[heavy_sampled]);
-        out.stat(&format!("o62.heavy_p{len}_count"), stats.above(heavy_sampled) as f64);
+        out.stat(
+            &format!("o62.heavy_p{len}_count"),
+            stats.above(heavy_sampled) as f64,
+        );
         out.stat(&format!("o62.max_users_p{len}"), stats.max as f64 / rate);
         per_len.insert(len, upp);
     }
@@ -650,7 +727,14 @@ pub fn o62_prefix_outliers(study: &mut Study) -> ExperimentOutput {
     // should rival the top /64's (the paper's "these /112 dominate").
     let max112 = per_len[&112].counts.values().copied().max().unwrap_or(0);
     let max64 = upp64.counts.values().copied().max().unwrap_or(0);
-    out.stat("o62.max112_over_max64", if max64 == 0 { 0.0 } else { max112 as f64 / max64 as f64 });
+    out.stat(
+        "o62.max112_over_max64",
+        if max64 == 0 {
+            0.0
+        } else {
+            max112 as f64 / max64 as f64
+        },
+    );
     out
 }
 
@@ -689,8 +773,7 @@ pub fn fig11_roc(study: &mut Study) -> ExperimentOutput {
         fig = fig.with(CdfSeries {
             label: gran.label(),
             points: {
-                let mut p: Vec<(f64, f64)> =
-                    pts.iter().map(|p| (p.fpr, p.tpr)).collect();
+                let mut p: Vec<(f64, f64)> = pts.iter().map(|p| (p.fpr, p.tpr)).collect();
                 p.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
                 p
             },
@@ -702,7 +785,10 @@ pub fn fig11_roc(study: &mut Study) -> ExperimentOutput {
         out.stat(&format!("fig11.{tag}_t10_tpr"), op.t10.0);
         out.stat(&format!("fig11.{tag}_t10_fpr"), op.t10.1);
         out.stat(&format!("fig11.{tag}_t100_tpr"), op.t100.0);
-        out.stat(&format!("fig11.{tag}_tpr_at_fpr_1pct"), curve.tpr_at_fpr(0.01, None));
+        out.stat(
+            &format!("fig11.{tag}_tpr_at_fpr_1pct"),
+            curve.tpr_at_fpr(0.01, None),
+        );
     }
     out.figures.push(fig);
     out
@@ -750,7 +836,10 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
         );
         if let Some(first) = evals.first() {
             out.stat(&format!("s72.blocklist_{name}_day1_recall"), first.recall);
-            out.stat(&format!("s72.blocklist_{name}_day1_collateral"), first.collateral);
+            out.stat(
+                &format!("s72.blocklist_{name}_day1_collateral"),
+                first.collateral,
+            );
         }
         if let Some(last) = evals.last() {
             out.stat(&format!("s72.blocklist_{name}_day6_recall"), last.recall);
@@ -761,13 +850,17 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
             &store_day,
             &study.labels,
             gran,
-            later.iter().map(|(d, r)| (d.days_since(list_day), r.as_slice())),
+            later
+                .iter()
+                .map(|(d, r)| (d.days_since(list_day), r.as_slice())),
         );
         let fig_label = format!("exchange decay: {name}");
         out.figures.push(
             FigureReport::new(format!("§7.2 decay {name}"), fig_label).with(CdfSeries::from_u64(
                 "residual recall",
-                decay.iter().map(|p| (u64::from(p.offset), p.residual_recall)),
+                decay
+                    .iter()
+                    .map(|p| (u64::from(p.offset), p.residual_recall)),
             )),
         );
         out.stat(
@@ -831,8 +924,12 @@ pub fn x81_network_breakdown(study: &mut Study) -> ExperimentOutput {
     let history = study.datasets.user_sample.in_range(lookback).to_vec();
 
     // ASN → kind map from the world.
-    let kind_of: HashMap<u32, NetworkKind> =
-        study.world.networks().iter().map(|n| (n.asn.0, n.kind)).collect();
+    let kind_of: HashMap<u32, NetworkKind> = study
+        .world
+        .networks()
+        .iter()
+        .map(|n| (n.asn.0, n.kind))
+        .collect();
     let mut table = TableReport::new(
         "§8 breakdown",
         "per-network-type behavior (IPv6 focus; day = Apr 13/19)",
@@ -980,7 +1077,7 @@ mod tests {
 
     #[test]
     fn all_experiments_run_on_a_tiny_study() {
-        let mut study = Study::run(StudyConfig::tiny());
+        let mut study = Study::run(StudyConfig::tiny()).unwrap();
         let all = run_all(&mut study);
         assert_eq!(all.len(), 20);
         for (id, out) in &all {
@@ -989,7 +1086,10 @@ mod tests {
                 "experiment {id} produced nothing"
             );
             for (name, value) in &out.stats {
-                assert!(value.is_finite() || value.is_nan(), "stat {name} is infinite");
+                assert!(
+                    value.is_finite() || value.is_nan(),
+                    "stat {name} is infinite"
+                );
             }
         }
     }

@@ -11,9 +11,9 @@
 //! # Quickstart
 //!
 //! ```
-//! use ipv6_study_core::{Study, StudyConfig};
+//! use ipv6_study_core::Study;
 //!
-//! let study = Study::run(StudyConfig::tiny());
+//! let study = Study::builder().tiny().run().unwrap();
 //! let fig2 = ipv6_study_core::experiments::fig2_addrs_per_user(&mut { study });
 //! assert_eq!(fig2.figures[0].id, "Figure 2");
 //! ```
@@ -41,12 +41,14 @@
 
 pub mod ablation;
 pub mod config;
+pub mod driver;
 pub mod experiments;
 pub mod paper;
 pub mod report;
 pub mod study;
 
 pub use ablation::Ablation;
-pub use config::StudyConfig;
+pub use config::{ConfigError, StudyBuilder, StudyConfig};
+pub use driver::{RunMetrics, ShardMetrics};
 pub use experiments::ExperimentOutput;
 pub use study::Study;

@@ -20,69 +20,321 @@ pub struct PaperRef {
 /// All reference values, in paper order.
 pub fn references() -> &'static [PaperRef] {
     &[
-        PaperRef { key: "fig1.user_share_mean", paper: "34–36% of users on IPv6 daily", criterion: "within ~0.28–0.44" },
-        PaperRef { key: "fig1.request_share_mean", paper: "22–25% of requests over IPv6", criterion: "below user share; ~0.17–0.32" },
-        PaperRef { key: "fig1.user_share_lockdown_delta", paper: "user share drops after mid-March", criterion: "negative" },
-        PaperRef { key: "fig1.request_share_lockdown_delta", paper: "request share rises after mid-March", criterion: "positive" },
-        PaperRef { key: "fig1.weekend_user_share_delta", paper: "user share dips slightly on weekends", criterion: "negative, small" },
-        PaperRef { key: "tab1.top_ratio", paper: "Reliance Jio at 0.96", criterion: "top ASN ratio ≥ 0.9" },
-        PaperRef { key: "tab1.rank10_ratio", paper: "rank-10 ASN at 0.82", criterion: "≥ 0.6" },
-        PaperRef { key: "tab1.zero_v6_share", paper: "10.7% of ASNs have no IPv6 users", criterion: "nonzero minority" },
-        PaperRef { key: "tab1.low_v6_share", paper: "28.3% of ASNs under 10% IPv6", criterion: "larger than zero-share" },
-        PaperRef { key: "tab2.in_apr", paper: "India 83.8%", criterion: "top country, ≥ 0.7" },
-        PaperRef { key: "tab2.de_delta", paper: "Germany +19.4pp Jan→Apr", criterion: "strongly positive" },
-        PaperRef { key: "tab2.by_delta", paper: "Belarus +15.2pp", criterion: "positive" },
-        PaperRef { key: "tab2.pr_delta", paper: "Puerto Rico −15.5pp", criterion: "negative" },
-        PaperRef { key: "c44.transition_share", paper: "<0.01% of IPv6 users on 6to4/Teredo", criterion: "≈ 0" },
-        PaperRef { key: "c44.mac_embedded_share", paper: "~2.5% of IPv6 users EUI-64", criterion: "~0.01–0.05" },
-        PaperRef { key: "c44.iid_reuse_share", paper: "83% of multi-address EUI-64 users reuse one IID", criterion: "~0.7–0.95" },
-        PaperRef { key: "c44.iid_entropy_bits", paper: "most clients likely use randomized IIDs", criterion: "near 4 bits/nybble" },
-        PaperRef { key: "fig2.v6_day_single", paper: "32% of IPv6 users have one address/day", criterion: "v6 < v4 single share" },
-        PaperRef { key: "fig2.v4_day_single", paper: "37% of IPv4 users have one address/day", criterion: "~0.25–0.55" },
-        PaperRef { key: "fig2.v4_week_median", paper: "median 6 IPv4 addresses/week", criterion: "below v6 median" },
-        PaperRef { key: "fig2.v6_week_median", paper: "median 9 IPv6 addresses/week", criterion: "above v4 median" },
-        PaperRef { key: "fig3.v4_day_single", paper: "majority of AAs use 1 address (v4)", criterion: "> 0.5" },
-        PaperRef { key: "fig3.v6_day_single", paper: "majority of AAs use 1 address (v6), more than v4", criterion: "≥ v4 share (inversion)" },
-        PaperRef { key: "o51.v4_max", paper: "max 6.9K IPv4 addresses/user/week", criterion: "v4 max ≫ v6 max" },
-        PaperRef { key: "o51.v6_to_v4_outlier_prevalence_ratio", paper: "IPv6 outlier prevalence 1/12 of IPv4", criterion: "well below 1" },
-        PaperRef { key: "fig4.users_le1_at64", paper: "large jump in single-prefix share at /64", criterion: "≫ share at /72+" },
-        PaperRef { key: "fig4.users_le1_at40", paper: "further aggregation below /48", criterion: "> share at /48" },
-        PaperRef { key: "fig5.v6_newborn_share", paper: "84% of (user, v6) pairs first seen that day", criterion: "> v4 share (~0.66)" },
-        PaperRef { key: "fig5.v4_gt7d_share", paper: "22% of v4 pairs older than a week", criterion: "≫ v6 share (1.2%)" },
-        PaperRef { key: "fig5.v4_ge27d_share", paper: "10.7% of v4 pairs ≥ 28 days", criterion: "≫ v6 share (0.23%)" },
-        PaperRef { key: "fig6.v6_new_at64", paper: "v6 /64 pairs much longer-lived than /128", criterion: "new-share well below /128's" },
-        PaperRef { key: "fig6.v4_new_at32", paper: "IPv4 address lifespans most like v6 /64", criterion: "between v6 /128 and /48 shares" },
-        PaperRef { key: "fig7.v4_day_single", paper: "a third of IPv4 addresses single-user/day", criterion: "~0.2–0.55" },
-        PaperRef { key: "fig7.v6_day_single", paper: "95% of IPv6 addresses single-user/day", criterion: "≥ 0.85" },
-        PaperRef { key: "fig7.v6_day_le2", paper: ">99% of IPv6 addresses ≤2 users", criterion: "≥ 0.95" },
-        PaperRef { key: "fig7.v4_week_single", paper: "v4 single-user share falls to 23% over a week", criterion: "below day share" },
-        PaperRef { key: "fig7.v6_day_gt3", paper: "<0.2% of v6 addresses >3 users vs 29.3% for v4", criterion: "orders below v4" },
-        PaperRef { key: "fig8.v4_single_aa_day", paper: "73% of v4 AA-addresses host one AA", criterion: "> 0.5" },
-        PaperRef { key: "fig8.v6_single_aa", paper: "~95% of v6 AA-addresses host one AA", criterion: "≥ v4 share" },
-        PaperRef { key: "fig8.v6_isolated_day", paper: "63% of v6 AA-addresses have no benign users", criterion: "≫ v4 share (3.4%)" },
-        PaperRef { key: "fig8.v4_gt10_benign_day", paper: "72.9% of v4 AA-addresses have >10 benign users", criterion: "large; ≫ v6" },
-        PaperRef { key: "o61.v4_max_users", paper: "830K users on one IPv4 address", criterion: "v4 max ≫ v6 max (~12×)" },
-        PaperRef { key: "o61.v6_heavy_top1_asn_share", paper: "96% of heavy v6 addresses in one ASN", criterion: "≥ 0.5" },
-        PaperRef { key: "o61.v4_heavy_asns", paper: "1568 ASNs with heavy v4 addresses", criterion: "≫ v6 heavy ASN count" },
-        PaperRef { key: "o61.sig_heavy_share", paper: "heavy v6 addresses carry the low-16-bit IID signature", criterion: "≈ 1, light share ≈ 0" },
-        PaperRef { key: "o61.predictor_precision", paper: "signatures for heavy addresses are feasible", criterion: "precision and recall high" },
-        PaperRef { key: "fig9.single_user_at128", paper: "95% of addresses single-user", criterion: "decreasing in shorter prefixes" },
-        PaperRef { key: "fig9.single_user_at64", paper: "41% of /64s single-user", criterion: "well below /68 share (73%)" },
-        PaperRef { key: "fig9.v4_best_match_len", paper: "IPv4 most similar to /48 overall", criterion: "a short prefix (≤ /56)" },
-        PaperRef { key: "fig10.v4_aa_best_match_len", paper: "IPv4 AA-population most similar to /56", criterion: "around /56–/52" },
-        PaperRef { key: "fig10.benign_le1_at64", paper: "19% of AA-/64s have ≤1 benign user", criterion: "below overall /64 single share" },
-        PaperRef { key: "o62.max_users_p112", paper: "a /112 with 2.3M users; 39 /112s over 1M", criterion: "p112 max ≈ p64 max (gateway)" },
-        PaperRef { key: "o62.heavy_p64_top4_share", paper: "top-4 ASNs hold 61% of heavy /64s", criterion: "concentrated (≥ 0.5)" },
-        PaperRef { key: "fig11.p128_max_tpr", paper: "TPR at most 14.3% on full v6 addresses", criterion: "well below /64's max TPR" },
-        PaperRef { key: "fig11.p64_max_tpr", paper: "21.2% TPR at 0% threshold on /64", criterion: "> /128 max TPR" },
-        PaperRef { key: "fig11.IPv4_max_tpr", paper: "65.8% TPR at 0% threshold on IPv4", criterion: "well above /128 and /64; ≈ /56 (±35%)" },
-        PaperRef { key: "fig11.IPv4_t0_fpr", paper: "27.1% FPR at 0% threshold on IPv4", criterion: "far above v6 FPRs" },
-        PaperRef { key: "fig11.p64_tpr_at_fpr_1pct", paper: "at low FPR, v6 actioning beats IPv4", criterion: "≥ IPv4's TPR at 1% FPR" },
-        PaperRef { key: "s72.exchange_v6_addr_half_life", paper: "v6 address intel degrades quickly", criterion: "≤ /64's half-life" },
-        PaperRef { key: "s72.ratelimit_v4_over_v6", paper: "v4 needs liberal thresholds; v6 tight", criterion: "≫ 1" },
-        PaperRef { key: "s72.ml_v4_on_v6_auc", paper: "models should treat protocols distinctly", criterion: "≤ v6-trained AUC on v6" },
-        PaperRef { key: "apx.v6_diversity_delta", paper: "IP diversity slightly lower during the pandemic (A.3)", criterion: "small (|Δ| ≲ 1 address)" },
-        PaperRef { key: "apx.max_lifespan_curve_delta", paper: "no life-span data point differs by more than 4% (A.5)", criterion: "≲ 0.1" },
+        PaperRef {
+            key: "fig1.user_share_mean",
+            paper: "34–36% of users on IPv6 daily",
+            criterion: "within ~0.28–0.44",
+        },
+        PaperRef {
+            key: "fig1.request_share_mean",
+            paper: "22–25% of requests over IPv6",
+            criterion: "below user share; ~0.17–0.32",
+        },
+        PaperRef {
+            key: "fig1.user_share_lockdown_delta",
+            paper: "user share drops after mid-March",
+            criterion: "negative",
+        },
+        PaperRef {
+            key: "fig1.request_share_lockdown_delta",
+            paper: "request share rises after mid-March",
+            criterion: "positive",
+        },
+        PaperRef {
+            key: "fig1.weekend_user_share_delta",
+            paper: "user share dips slightly on weekends",
+            criterion: "negative, small",
+        },
+        PaperRef {
+            key: "tab1.top_ratio",
+            paper: "Reliance Jio at 0.96",
+            criterion: "top ASN ratio ≥ 0.9",
+        },
+        PaperRef {
+            key: "tab1.rank10_ratio",
+            paper: "rank-10 ASN at 0.82",
+            criterion: "≥ 0.6",
+        },
+        PaperRef {
+            key: "tab1.zero_v6_share",
+            paper: "10.7% of ASNs have no IPv6 users",
+            criterion: "nonzero minority",
+        },
+        PaperRef {
+            key: "tab1.low_v6_share",
+            paper: "28.3% of ASNs under 10% IPv6",
+            criterion: "larger than zero-share",
+        },
+        PaperRef {
+            key: "tab2.in_apr",
+            paper: "India 83.8%",
+            criterion: "top country, ≥ 0.7",
+        },
+        PaperRef {
+            key: "tab2.de_delta",
+            paper: "Germany +19.4pp Jan→Apr",
+            criterion: "strongly positive",
+        },
+        PaperRef {
+            key: "tab2.by_delta",
+            paper: "Belarus +15.2pp",
+            criterion: "positive",
+        },
+        PaperRef {
+            key: "tab2.pr_delta",
+            paper: "Puerto Rico −15.5pp",
+            criterion: "negative",
+        },
+        PaperRef {
+            key: "c44.transition_share",
+            paper: "<0.01% of IPv6 users on 6to4/Teredo",
+            criterion: "≈ 0",
+        },
+        PaperRef {
+            key: "c44.mac_embedded_share",
+            paper: "~2.5% of IPv6 users EUI-64",
+            criterion: "~0.01–0.05",
+        },
+        PaperRef {
+            key: "c44.iid_reuse_share",
+            paper: "83% of multi-address EUI-64 users reuse one IID",
+            criterion: "~0.7–0.95",
+        },
+        PaperRef {
+            key: "c44.iid_entropy_bits",
+            paper: "most clients likely use randomized IIDs",
+            criterion: "near 4 bits/nybble",
+        },
+        PaperRef {
+            key: "fig2.v6_day_single",
+            paper: "32% of IPv6 users have one address/day",
+            criterion: "v6 < v4 single share",
+        },
+        PaperRef {
+            key: "fig2.v4_day_single",
+            paper: "37% of IPv4 users have one address/day",
+            criterion: "~0.25–0.55",
+        },
+        PaperRef {
+            key: "fig2.v4_week_median",
+            paper: "median 6 IPv4 addresses/week",
+            criterion: "below v6 median",
+        },
+        PaperRef {
+            key: "fig2.v6_week_median",
+            paper: "median 9 IPv6 addresses/week",
+            criterion: "above v4 median",
+        },
+        PaperRef {
+            key: "fig3.v4_day_single",
+            paper: "majority of AAs use 1 address (v4)",
+            criterion: "> 0.5",
+        },
+        PaperRef {
+            key: "fig3.v6_day_single",
+            paper: "majority of AAs use 1 address (v6), more than v4",
+            criterion: "≥ v4 share (inversion)",
+        },
+        PaperRef {
+            key: "o51.v4_max",
+            paper: "max 6.9K IPv4 addresses/user/week",
+            criterion: "v4 max ≫ v6 max",
+        },
+        PaperRef {
+            key: "o51.v6_to_v4_outlier_prevalence_ratio",
+            paper: "IPv6 outlier prevalence 1/12 of IPv4",
+            criterion: "well below 1",
+        },
+        PaperRef {
+            key: "fig4.users_le1_at64",
+            paper: "large jump in single-prefix share at /64",
+            criterion: "≫ share at /72+",
+        },
+        PaperRef {
+            key: "fig4.users_le1_at40",
+            paper: "further aggregation below /48",
+            criterion: "> share at /48",
+        },
+        PaperRef {
+            key: "fig5.v6_newborn_share",
+            paper: "84% of (user, v6) pairs first seen that day",
+            criterion: "> v4 share (~0.66)",
+        },
+        PaperRef {
+            key: "fig5.v4_gt7d_share",
+            paper: "22% of v4 pairs older than a week",
+            criterion: "≫ v6 share (1.2%)",
+        },
+        PaperRef {
+            key: "fig5.v4_ge27d_share",
+            paper: "10.7% of v4 pairs ≥ 28 days",
+            criterion: "≫ v6 share (0.23%)",
+        },
+        PaperRef {
+            key: "fig6.v6_new_at64",
+            paper: "v6 /64 pairs much longer-lived than /128",
+            criterion: "new-share well below /128's",
+        },
+        PaperRef {
+            key: "fig6.v4_new_at32",
+            paper: "IPv4 address lifespans most like v6 /64",
+            criterion: "between v6 /128 and /48 shares",
+        },
+        PaperRef {
+            key: "fig7.v4_day_single",
+            paper: "a third of IPv4 addresses single-user/day",
+            criterion: "~0.2–0.55",
+        },
+        PaperRef {
+            key: "fig7.v6_day_single",
+            paper: "95% of IPv6 addresses single-user/day",
+            criterion: "≥ 0.85",
+        },
+        PaperRef {
+            key: "fig7.v6_day_le2",
+            paper: ">99% of IPv6 addresses ≤2 users",
+            criterion: "≥ 0.95",
+        },
+        PaperRef {
+            key: "fig7.v4_week_single",
+            paper: "v4 single-user share falls to 23% over a week",
+            criterion: "below day share",
+        },
+        PaperRef {
+            key: "fig7.v6_day_gt3",
+            paper: "<0.2% of v6 addresses >3 users vs 29.3% for v4",
+            criterion: "orders below v4",
+        },
+        PaperRef {
+            key: "fig8.v4_single_aa_day",
+            paper: "73% of v4 AA-addresses host one AA",
+            criterion: "> 0.5",
+        },
+        PaperRef {
+            key: "fig8.v6_single_aa",
+            paper: "~95% of v6 AA-addresses host one AA",
+            criterion: "≥ v4 share",
+        },
+        PaperRef {
+            key: "fig8.v6_isolated_day",
+            paper: "63% of v6 AA-addresses have no benign users",
+            criterion: "≫ v4 share (3.4%)",
+        },
+        PaperRef {
+            key: "fig8.v4_gt10_benign_day",
+            paper: "72.9% of v4 AA-addresses have >10 benign users",
+            criterion: "large; ≫ v6",
+        },
+        PaperRef {
+            key: "o61.v4_max_users",
+            paper: "830K users on one IPv4 address",
+            criterion: "v4 max ≫ v6 max (~12×)",
+        },
+        PaperRef {
+            key: "o61.v6_heavy_top1_asn_share",
+            paper: "96% of heavy v6 addresses in one ASN",
+            criterion: "≥ 0.5",
+        },
+        PaperRef {
+            key: "o61.v4_heavy_asns",
+            paper: "1568 ASNs with heavy v4 addresses",
+            criterion: "≫ v6 heavy ASN count",
+        },
+        PaperRef {
+            key: "o61.sig_heavy_share",
+            paper: "heavy v6 addresses carry the low-16-bit IID signature",
+            criterion: "≈ 1, light share ≈ 0",
+        },
+        PaperRef {
+            key: "o61.predictor_precision",
+            paper: "signatures for heavy addresses are feasible",
+            criterion: "precision and recall high",
+        },
+        PaperRef {
+            key: "fig9.single_user_at128",
+            paper: "95% of addresses single-user",
+            criterion: "decreasing in shorter prefixes",
+        },
+        PaperRef {
+            key: "fig9.single_user_at64",
+            paper: "41% of /64s single-user",
+            criterion: "well below /68 share (73%)",
+        },
+        PaperRef {
+            key: "fig9.v4_best_match_len",
+            paper: "IPv4 most similar to /48 overall",
+            criterion: "a short prefix (≤ /56)",
+        },
+        PaperRef {
+            key: "fig10.v4_aa_best_match_len",
+            paper: "IPv4 AA-population most similar to /56",
+            criterion: "around /56–/52",
+        },
+        PaperRef {
+            key: "fig10.benign_le1_at64",
+            paper: "19% of AA-/64s have ≤1 benign user",
+            criterion: "below overall /64 single share",
+        },
+        PaperRef {
+            key: "o62.max_users_p112",
+            paper: "a /112 with 2.3M users; 39 /112s over 1M",
+            criterion: "p112 max ≈ p64 max (gateway)",
+        },
+        PaperRef {
+            key: "o62.heavy_p64_top4_share",
+            paper: "top-4 ASNs hold 61% of heavy /64s",
+            criterion: "concentrated (≥ 0.5)",
+        },
+        PaperRef {
+            key: "fig11.p128_max_tpr",
+            paper: "TPR at most 14.3% on full v6 addresses",
+            criterion: "well below /64's max TPR",
+        },
+        PaperRef {
+            key: "fig11.p64_max_tpr",
+            paper: "21.2% TPR at 0% threshold on /64",
+            criterion: "> /128 max TPR",
+        },
+        PaperRef {
+            key: "fig11.IPv4_max_tpr",
+            paper: "65.8% TPR at 0% threshold on IPv4",
+            criterion: "well above /128 and /64; ≈ /56 (±35%)",
+        },
+        PaperRef {
+            key: "fig11.IPv4_t0_fpr",
+            paper: "27.1% FPR at 0% threshold on IPv4",
+            criterion: "far above v6 FPRs",
+        },
+        PaperRef {
+            key: "fig11.p64_tpr_at_fpr_1pct",
+            paper: "at low FPR, v6 actioning beats IPv4",
+            criterion: "≥ IPv4's TPR at 1% FPR",
+        },
+        PaperRef {
+            key: "s72.exchange_v6_addr_half_life",
+            paper: "v6 address intel degrades quickly",
+            criterion: "≤ /64's half-life",
+        },
+        PaperRef {
+            key: "s72.ratelimit_v4_over_v6",
+            paper: "v4 needs liberal thresholds; v6 tight",
+            criterion: "≫ 1",
+        },
+        PaperRef {
+            key: "s72.ml_v4_on_v6_auc",
+            paper: "models should treat protocols distinctly",
+            criterion: "≤ v6-trained AUC on v6",
+        },
+        PaperRef {
+            key: "apx.v6_diversity_delta",
+            paper: "IP diversity slightly lower during the pandemic (A.3)",
+            criterion: "small (|Δ| ≲ 1 address)",
+        },
+        PaperRef {
+            key: "apx.max_lifespan_curve_delta",
+            paper: "no life-span data point differs by more than 4% (A.5)",
+            criterion: "≲ 0.1",
+        },
     ]
 }
 

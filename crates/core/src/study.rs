@@ -1,13 +1,15 @@
-//! The simulation driver.
+//! The simulation entry point: world + population + attacker setup, then
+//! the sharded driver (see [`crate::driver`]).
+
+use std::time::Instant;
 
 use ipv6_study_behavior::abuse::AbuseSim;
-use ipv6_study_behavior::emit::emit_user_day;
 use ipv6_study_behavior::population::Population;
-use ipv6_study_behavior::schedule::day_plan;
 use ipv6_study_netmodel::World;
 use ipv6_study_telemetry::{AbuseLabels, DateRange, RequestStore, Samplers, StudyDatasets};
 
-use crate::config::StudyConfig;
+use crate::config::{ConfigError, StudyBuilder, StudyConfig};
+use crate::driver::{self, RunMetrics};
 
 /// A completed study run: the world, the sampled datasets, the complete
 /// abusive-request store, and the labels.
@@ -31,19 +33,29 @@ pub struct Study {
     pub labels: AbuseLabels,
     /// Expected user count (for extrapolation scales).
     pub approx_users: u64,
+    /// Per-phase wall-clock and per-shard throughput of this run.
+    pub metrics: RunMetrics,
 }
 
 impl Study {
+    /// Starts a fluent configuration; finish with
+    /// [`StudyBuilder::run`].
+    pub fn builder() -> StudyBuilder {
+        StudyBuilder::new()
+    }
+
     /// Runs the full simulation described by `config`.
-    pub fn run(config: StudyConfig) -> Self {
-        config.validate();
+    ///
+    /// Results are byte-identical for a given config at any
+    /// `config.threads` value; see [`crate::driver`] for how.
+    pub fn run(config: StudyConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let total = Instant::now();
         let mut world = World::sized(config.seed, config.households);
         config.ablation.apply_to_world(&mut world);
         let pop = Population::new(&world, config.seed ^ 0x504F_5055, config.households);
         let approx_users = pop.approx_users();
         let samplers = Samplers::scaled_for(approx_users);
-        let mut datasets =
-            StudyDatasets::with_prefix_lengths(samplers.clone(), &config.prefix_lengths);
 
         // Attackers operate over the whole window (their creation dates
         // are spread across it).
@@ -57,44 +69,21 @@ impl Study {
         )
         .with_detect_scale(config.ablation.detect_scale());
         let labels = abuse.labels();
-        let mut abuse_store = RequestStore::new();
-        let mut pair_store = RequestStore::new();
-        let pair_start = config.full_range.end - 3;
 
-        for day in config.full_range.days() {
-            let dense = config.dense_range.contains(day);
-            let in_pair = day >= pair_start;
-            for hh in 0..config.households {
-                let hprof = pop.household(hh);
-                for uid in pop.member_ids(&hprof) {
-                    // Panel phase: only user-sample panel members.
-                    if !dense && !samplers.user_sampled(uid) {
-                        continue;
-                    }
-                    let profile = pop.user(uid);
-                    let plan = day_plan(&world, &profile, day);
-                    if plan.contexts.is_empty() {
-                        continue;
-                    }
-                    emit_user_day(&world, &profile, day, &plan, &mut |rec| {
-                        datasets.offer(rec);
-                        if in_pair {
-                            pair_store.push(rec);
-                        }
-                    });
-                }
-            }
-            abuse.emit_day(&pop, day, &mut |rec| {
-                abuse_store.push(rec);
-                datasets.offer(rec);
-                if in_pair {
-                    pair_store.push(rec);
-                }
-            });
-        }
+        let out = driver::execute(&config, &world, &pop, &abuse, &samplers);
 
-        drop(pop);
-        Self { config, world, datasets, abuse_store, pair_store, labels, approx_users }
+        let mut metrics = out.metrics;
+        metrics.total_wall = total.elapsed();
+        Ok(Self {
+            config,
+            world,
+            datasets: out.datasets,
+            abuse_store: out.abuse_store,
+            pair_store: out.pair_store,
+            labels,
+            approx_users,
+            metrics,
+        })
     }
 
     /// The user-sample inclusion rate used by this run (for extrapolation).
@@ -111,8 +100,12 @@ mod tests {
 
     #[test]
     fn tiny_study_produces_all_datasets() {
-        let mut study = Study::run(StudyConfig::tiny());
-        assert!(study.datasets.offered > 10_000, "offered {}", study.datasets.offered);
+        let mut study = Study::run(StudyConfig::tiny()).unwrap();
+        assert!(
+            study.datasets.offered > 10_000,
+            "offered {}",
+            study.datasets.offered
+        );
         assert!(!study.datasets.user_sample.is_empty());
         assert!(!study.datasets.ip_sample.is_empty());
         assert!(!study.datasets.request_sample.is_empty());
@@ -124,13 +117,24 @@ mod tests {
         // Prefix samples exist for the configured lengths.
         assert!(!study.datasets.prefix_sample(64).is_empty());
         // The pair store holds full-population traffic for the last two days.
-        assert!(study.pair_store.len() > 3 * study.datasets.ip_sample.on_day(ipv6_study_telemetry::time::focus_day_user()).len());
+        assert!(
+            study.pair_store.len()
+                > 3 * study
+                    .datasets
+                    .ip_sample
+                    .on_day(ipv6_study_telemetry::time::focus_day_user())
+                    .len()
+        );
+        // Metrics cover the whole run.
+        assert_eq!(study.metrics.total_records(), study.datasets.offered);
+        assert!(!study.metrics.shards.is_empty());
+        assert!(study.metrics.total_wall >= study.metrics.sim_wall);
     }
 
     #[test]
     fn runs_are_reproducible() {
-        let a = Study::run(StudyConfig::tiny());
-        let b = Study::run(StudyConfig::tiny());
+        let a = Study::run(StudyConfig::tiny()).unwrap();
+        let b = Study::run(StudyConfig::tiny()).unwrap();
         assert_eq!(a.datasets.offered, b.datasets.offered);
         assert_eq!(a.datasets.user_sample.len(), b.datasets.user_sample.len());
         assert_eq!(a.abuse_store.len(), b.abuse_store.len());
@@ -139,9 +143,16 @@ mod tests {
 
     #[test]
     fn abusive_traffic_is_labeled() {
-        let mut study = Study::run(StudyConfig::tiny());
+        let mut study = Study::run(StudyConfig::tiny()).unwrap();
         for rec in study.abuse_store.all() {
             assert!(study.labels.is_abusive(rec.user));
         }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_not_panicked() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.households = 0;
+        assert_eq!(Study::run(cfg).unwrap_err(), ConfigError::NoHouseholds);
     }
 }

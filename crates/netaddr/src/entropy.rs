@@ -26,18 +26,18 @@ impl EntropyProfile {
         let mut n = 0u64;
         for iid in iids {
             n += 1;
-            for pos in 0..16 {
+            for (pos, row) in counts.iter_mut().enumerate() {
                 let nybble = ((iid >> (60 - 4 * pos)) & 0xF) as usize;
-                counts[pos][nybble] += 1;
+                row[nybble] += 1;
             }
         }
         if n == 0 {
             return None;
         }
         let mut bits = [0.0f64; 16];
-        for pos in 0..16 {
+        for (pos, row) in counts.iter().enumerate() {
             let mut h = 0.0;
-            for &c in &counts[pos] {
+            for &c in row {
                 if c > 0 {
                     let p = c as f64 / n as f64;
                     h -= p * p.log2();
@@ -82,8 +82,8 @@ mod tests {
 
     #[test]
     fn constant_iids_have_zero_entropy() {
-        let p = EntropyProfile::compute(std::iter::repeat(0xDEAD_BEEF_0000_0001).take(100))
-            .unwrap();
+        let p =
+            EntropyProfile::compute(std::iter::repeat(0xDEAD_BEEF_0000_0001).take(100)).unwrap();
         assert_eq!(p.samples, 100);
         assert!(p.mean_bits() < 1e-12);
         assert!(!p.looks_randomized());
@@ -91,10 +91,8 @@ mod tests {
 
     #[test]
     fn random_iids_have_high_entropy_everywhere() {
-        let p = EntropyProfile::compute(
-            (0..5000u64).map(|i| stable_hash64(7, &i.to_le_bytes())),
-        )
-        .unwrap();
+        let p = EntropyProfile::compute((0..5000u64).map(|i| stable_hash64(7, &i.to_le_bytes())))
+            .unwrap();
         assert!(p.mean_bits() > 3.8, "mean {}", p.mean_bits());
         assert!(p.looks_randomized());
         for (i, &b) in p.bits.iter().enumerate() {
@@ -136,10 +134,8 @@ mod tests {
     fn small_samples_use_the_entropy_cap() {
         // 4 random samples can show at most 2 bits/nybble; the randomized
         // heuristic must not reject them for that.
-        let p = EntropyProfile::compute(
-            (0..4u64).map(|i| stable_hash64(11, &i.to_le_bytes())),
-        )
-        .unwrap();
+        let p = EntropyProfile::compute((0..4u64).map(|i| stable_hash64(11, &i.to_le_bytes())))
+            .unwrap();
         assert!(p.looks_randomized(), "mean {} of cap 2", p.mean_bits());
     }
 }

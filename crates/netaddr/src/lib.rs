@@ -60,5 +60,6 @@ pub use trie::PrefixTrie;
 /// The IPv6 prefix lengths sampled by the study's "IPv6 prefix random
 /// sample" dataset (§3.1), longest to shortest, plus /128 (the full address)
 /// which several figures plot as a reference series.
-pub const STUDY_PREFIX_LENGTHS: [u8; 16] =
-    [128, 112, 96, 80, 76, 72, 68, 64, 60, 56, 52, 48, 44, 40, 36, 32];
+pub const STUDY_PREFIX_LENGTHS: [u8; 16] = [
+    128, 112, 96, 80, 76, 72, 68, 64, 60, 56, 52, 48, 44, 40, 36, 32,
+];

@@ -80,6 +80,7 @@ macro_rules! define_prefix {
 
             /// Prefix length in bits.
             #[inline]
+            #[allow(clippy::len_without_is_empty)] // bit length, not a container
             pub fn len(&self) -> u8 {
                 self.len
             }
@@ -197,17 +198,22 @@ impl Ipv4Prefix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ipv6_study_stats::testgen::TestGen;
 
     #[test]
     fn canonical_masking() {
         let a: Ipv6Addr = "2001:db8:aaaa:bbbb:cccc:dddd:eeee:ffff".parse().unwrap();
         let p = Ipv6Prefix::containing(a, 64);
         assert_eq!(p.to_string(), "2001:db8:aaaa:bbbb::/64");
-        assert_eq!(p.network(), "2001:db8:aaaa:bbbb::".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(
+            p.network(),
+            "2001:db8:aaaa:bbbb::".parse::<Ipv6Addr>().unwrap()
+        );
         assert_eq!(
             p.last_addr(),
-            "2001:db8:aaaa:bbbb:ffff:ffff:ffff:ffff".parse::<Ipv6Addr>().unwrap()
+            "2001:db8:aaaa:bbbb:ffff:ffff:ffff:ffff"
+                .parse::<Ipv6Addr>()
+                .unwrap()
         );
         // Two addresses in the same /64 yield the same (hashable) key.
         let b: Ipv6Addr = "2001:db8:aaaa:bbbb:1:2:3:4".parse().unwrap();
@@ -291,59 +297,76 @@ mod tests {
         assert_eq!(p.size(), 256.0);
     }
 
-    proptest! {
-        #[test]
-        fn containing_always_contains(bits in any::<u128>(), len in 0u8..=128) {
-            let addr = Ipv6Addr::from(bits);
+    #[test]
+    fn containing_always_contains() {
+        let mut g = TestGen::new(0x5046_5801);
+        for _ in 0..1024 {
+            let addr = Ipv6Addr::from(g.next_u128());
+            let len = g.range_u8(0, 128);
             let p = Ipv6Prefix::containing(addr, len);
-            prop_assert!(p.contains_addr(addr));
-            prop_assert_eq!(p.len(), len);
+            assert!(p.contains_addr(addr));
+            assert_eq!(p.len(), len);
             // Canonical: rebuilding from the network address is identity.
-            prop_assert_eq!(Ipv6Prefix::containing(p.network(), len), p);
+            assert_eq!(Ipv6Prefix::containing(p.network(), len), p);
         }
+    }
 
-        #[test]
-        fn parent_contains_child(bits in any::<u128>(), len in 0u8..=128, shorten in 0u8..=128) {
-            let child = Ipv6Prefix::from_bits(bits, len);
-            let plen = shorten.min(len);
+    #[test]
+    fn parent_contains_child() {
+        let mut g = TestGen::new(0x5046_5802);
+        for _ in 0..1024 {
+            let len = g.range_u8(0, 128);
+            let child = Ipv6Prefix::from_bits(g.next_u128(), len);
+            let plen = g.range_u8(0, 128).min(len);
             let parent = child.parent(plen);
-            prop_assert!(parent.contains(&child));
-            prop_assert!(parent.contains_addr(child.network()));
+            assert!(parent.contains(&child));
+            assert!(parent.contains_addr(child.network()));
         }
+    }
 
-        #[test]
-        fn containment_is_transitive(bits in any::<u128>(), l1 in 0u8..=128, l2 in 0u8..=128, l3 in 0u8..=128) {
-            let mut lens = [l1, l2, l3];
+    #[test]
+    fn containment_is_transitive() {
+        let mut g = TestGen::new(0x5046_5803);
+        for _ in 0..1024 {
+            let mut lens = [g.range_u8(0, 128), g.range_u8(0, 128), g.range_u8(0, 128)];
             lens.sort_unstable();
-            let c = Ipv6Prefix::from_bits(bits, lens[2]);
+            let c = Ipv6Prefix::from_bits(g.next_u128(), lens[2]);
             let b = c.parent(lens[1]);
             let a = b.parent(lens[0]);
-            prop_assert!(a.contains(&b) && b.contains(&c) && a.contains(&c));
+            assert!(a.contains(&b) && b.contains(&c) && a.contains(&c));
         }
+    }
 
-        #[test]
-        fn display_parse_round_trip(bits in any::<u128>(), len in 0u8..=128) {
-            let p = Ipv6Prefix::from_bits(bits, len);
+    #[test]
+    fn display_parse_round_trip() {
+        let mut g = TestGen::new(0x5046_5804);
+        for _ in 0..512 {
+            let p = Ipv6Prefix::from_bits(g.next_u128(), g.range_u8(0, 128));
             let back: Ipv6Prefix = p.to_string().parse().unwrap();
-            prop_assert_eq!(back, p);
+            assert_eq!(back, p);
         }
+    }
 
-        #[test]
-        fn v4_display_parse_round_trip(bits in any::<u32>(), len in 0u8..=32) {
-            let p = Ipv4Prefix::from_bits(bits, len);
+    #[test]
+    fn v4_display_parse_round_trip() {
+        let mut g = TestGen::new(0x5046_5805);
+        for _ in 0..512 {
+            let p = Ipv4Prefix::from_bits(g.next_u64() as u32, g.range_u8(0, 32));
             let back: Ipv4Prefix = p.to_string().parse().unwrap();
-            prop_assert_eq!(back, p);
+            assert_eq!(back, p);
         }
+    }
 
-        #[test]
-        fn common_prefix_len_is_symmetric_and_bounded(
-            a in any::<u128>(), b in any::<u128>(), la in 0u8..=128, lb in 0u8..=128
-        ) {
-            let pa = Ipv6Prefix::from_bits(a, la);
-            let pb = Ipv6Prefix::from_bits(b, lb);
+    #[test]
+    fn common_prefix_len_is_symmetric_and_bounded() {
+        let mut g = TestGen::new(0x5046_5806);
+        for _ in 0..1024 {
+            let (la, lb) = (g.range_u8(0, 128), g.range_u8(0, 128));
+            let pa = Ipv6Prefix::from_bits(g.next_u128(), la);
+            let pb = Ipv6Prefix::from_bits(g.next_u128(), lb);
             let c = pa.common_prefix_len(&pb);
-            prop_assert_eq!(c, pb.common_prefix_len(&pa));
-            prop_assert!(c <= la.min(lb));
+            assert_eq!(c, pb.common_prefix_len(&pa));
+            assert!(c <= la.min(lb));
         }
     }
 }

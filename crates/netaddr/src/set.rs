@@ -19,7 +19,9 @@ pub struct PrefixSet<K: TrieKey> {
 impl<K: TrieKey> PrefixSet<K> {
     /// Creates an empty set.
     pub fn new() -> Self {
-        Self { trie: PrefixTrie::new() }
+        Self {
+            trie: PrefixTrie::new(),
+        }
     }
 
     /// Inserts a prefix; returns true if it was newly added.
@@ -121,8 +123,10 @@ mod tests {
 
     #[test]
     fn cover_queries_v4() {
-        let s: PrefixSet<Ipv4Prefix> =
-            ["10.0.0.0/8", "192.0.2.0/24"].iter().map(|x| x.parse().unwrap()).collect();
+        let s: PrefixSet<Ipv4Prefix> = ["10.0.0.0/8", "192.0.2.0/24"]
+            .iter()
+            .map(|x| x.parse().unwrap())
+            .collect();
         assert!(s.covers_addr("10.255.0.1".parse().unwrap()));
         assert!(s.covers_addr("192.0.2.200".parse().unwrap()));
         assert!(!s.covers_addr("192.0.3.1".parse().unwrap()));

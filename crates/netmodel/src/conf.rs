@@ -210,7 +210,10 @@ impl V6Conf {
     pub fn gateway(routing: Ipv6Prefix, gateways: u16, egress_per_gateway: u16) -> Self {
         Self {
             routing,
-            mode: V6Mode::Gateway { gateways, egress_per_gateway },
+            mode: V6Mode::Gateway {
+                gateways,
+                egress_per_gateway,
+            },
             pd_len: 64,
             pd_mean_days: 0.0,
             pd_sigma: 0.0,
@@ -252,15 +255,24 @@ mod tests {
         assert_eq!(V4Conf::home(v4pool(), 1000, 30.0).mode, V4Mode::HomeNat);
         assert_eq!(V4Conf::cgn(v4pool(), 16, 1.5).mode, V4Mode::Cgn);
         assert_eq!(V4Conf::enterprise(v4pool(), 4).mode, V4Mode::EnterpriseNat);
-        assert_eq!(V4Conf::shared_egress(v4pool(), 64).mode, V4Mode::SharedEgress);
-        assert_eq!(V6Conf::residential(v6routing(), 56, 60.0).mode, V6Mode::ResidentialPd);
+        assert_eq!(
+            V4Conf::shared_egress(v4pool(), 64).mode,
+            V4Mode::SharedEgress
+        );
+        assert_eq!(
+            V6Conf::residential(v6routing(), 56, 60.0).mode,
+            V6Mode::ResidentialPd
+        );
         assert!(matches!(
             V6Conf::mobile(v6routing(), 3.0, 0.3).mode,
             V6Mode::MobilePerDevice
         ));
         assert!(matches!(
             V6Conf::gateway(v6routing(), 48, 12).mode,
-            V6Mode::Gateway { gateways: 48, egress_per_gateway: 12 }
+            V6Mode::Gateway {
+                gateways: 48,
+                egress_per_gateway: 12
+            }
         ));
         assert!(matches!(
             V6Conf::hosting(v6routing(), 20).mode,

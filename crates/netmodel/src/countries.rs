@@ -158,8 +158,7 @@ mod tests {
         for (t, s) in [(0.84, 1.25), (0.39, 0.45), (0.05, 1.4), (0.72, 1.25)] {
             let r = solve_deployment(t, s);
             let mob = (s * r).clamp(0.0, 0.97);
-            let got =
-                1.0 - (1.0 - P_HOME_BASELINE * r) * (1.0 - P_MOBILE_BASELINE * mob);
+            let got = 1.0 - (1.0 - P_HOME_BASELINE * r) * (1.0 - P_MOBILE_BASELINE * mob);
             assert!((got - t).abs() < 1e-6, "target {t}: got {got}");
         }
     }
@@ -174,7 +173,10 @@ mod tests {
     fn top_countries_have_the_paper_order() {
         let cs = standard_countries();
         let get = |code: &str| {
-            cs.iter().find(|c| c.country == Country::new(code)).unwrap().v6_apr
+            cs.iter()
+                .find(|c| c.country == Country::new(code))
+                .unwrap()
+                .v6_apr
         };
         // Table 2 (Apr 13–19): India top, then US.
         assert!(get("IN") > get("US"));
@@ -197,7 +199,11 @@ mod tests {
     fn lockdowns_are_inside_the_study_window() {
         for c in standard_countries() {
             if let Some(d) = c.lockdown {
-                assert!(d >= SimDate::ymd(3, 1) && d <= SimDate::ymd(4, 15), "{}", c.country);
+                assert!(
+                    d >= SimDate::ymd(3, 1) && d <= SimDate::ymd(4, 15),
+                    "{}",
+                    c.country
+                );
             }
         }
     }

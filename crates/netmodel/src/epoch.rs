@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn epochs_advance_by_period() {
-        let r = Renewal { period: 7, phase: 3 };
+        let r = Renewal {
+            period: 7,
+            phase: 3,
+        };
         let d0 = SimDate::from_index(0);
         assert_eq!(r.epoch(d0), 0);
         // Epoch boundary at day index 4 (4 + 3 = 7).
@@ -88,7 +91,10 @@ mod tests {
 
     #[test]
     fn age_and_start_are_consistent() {
-        let r = Renewal { period: 5, phase: 2 };
+        let r = Renewal {
+            period: 5,
+            phase: 2,
+        };
         for idx in 0..200u16 {
             let d = SimDate::from_index(idx);
             let age = r.age_on(d);
@@ -98,7 +104,10 @@ mod tests {
             // Age equals the distance to the epoch start, except when the
             // epoch started before day 0 (then start clamps to 0).
             if u32::from(d.index()) >= age {
-                assert_eq!(u32::from(d.days_since(start)), age.min(u32::from(d.index())));
+                assert_eq!(
+                    u32::from(d.days_since(start)),
+                    age.min(u32::from(d.index()))
+                );
             }
         }
     }

@@ -250,14 +250,8 @@ impl Network {
                     self.v4.lease_sigma,
                 );
                 let epoch = r.epoch(day);
-                let h = self.draw(
-                    0x7634_4358,
-                    keys.device,
-                    u64::from(epoch),
-                    u64::from(cycle),
-                );
-                let within =
-                    self.v4_pool_zipf.as_ref().expect("CGN has zipf").sample(h) as u64;
+                let h = self.draw(0x7634_4358, keys.device, u64::from(epoch), u64::from(cycle));
+                let within = self.v4_pool_zipf.as_ref().expect("CGN has zipf").sample(h) as u64;
                 (region * CGN_REGION_SIZE as u64 + within) as u32
             }
             V4Mode::SharedEgress => {
@@ -267,7 +261,10 @@ impl Network {
                     u64::from(day.index()),
                     u64::from(cycle),
                 );
-                self.v4_pool_zipf.as_ref().expect("shared egress has zipf").sample(h) as u32
+                self.v4_pool_zipf
+                    .as_ref()
+                    .expect("shared egress has zipf")
+                    .sample(h) as u32
             }
         };
         self.pick_v4(idx)
@@ -321,11 +318,8 @@ impl Network {
                 // /64s from extra attaches.
                 let region_hash = self.seed(0x7636_5247, keys.device);
                 let idx = if attach == 0 {
-                    let r = Renewal::derive(
-                        self.seed(0x7636_3634, keys.device),
-                        v6.p64_mean_days,
-                        0.6,
-                    );
+                    let r =
+                        Renewal::derive(self.seed(0x7636_3634, keys.device), v6.p64_mean_days, 0.6);
                     let epoch = r.epoch(day);
                     regional_p64_index(
                         region_hash,
@@ -334,7 +328,12 @@ impl Network {
                 } else {
                     regional_p64_index(
                         region_hash,
-                        self.draw(0x7636_3645, keys.device, u64::from(day.index()), u64::from(attach)),
+                        self.draw(
+                            0x7636_3645,
+                            keys.device,
+                            u64::from(day.index()),
+                            u64::from(attach),
+                        ),
                     )
                 };
                 Ipv6Prefix::from_bits(routing_bits | (u128::from(idx) << 64), 64)
@@ -395,7 +394,10 @@ impl Network {
         let v6 = self.v6.as_ref()?;
         let p64 = self.v6_network64(keys, day, attach)?;
         let iid: u64 = match v6.mode {
-            V6Mode::Gateway { gateways, egress_per_gateway } => {
+            V6Mode::Gateway {
+                gateways,
+                egress_per_gateway,
+            } => {
                 // Zero except the low 16 bits: the §6.1.3 signature. Each
                 // gateway exposes only `egress_per_gateway` active slots,
                 // so its users pile onto a few addresses — the mechanism
@@ -415,7 +417,12 @@ impl Network {
                 // per PoP /64, "multiple servers sharing the same long
                 // prefix" (§5.2.1).
                 uniform_range(
-                    self.draw(0x7636_484C, keys.user, u64::from(day.index()), u64::from(attach)),
+                    self.draw(
+                        0x7636_484C,
+                        keys.user,
+                        u64::from(day.index()),
+                        u64::from(attach),
+                    ),
                     4096,
                 ) + 1
             }
@@ -431,7 +438,10 @@ impl Network {
                     let (epoch, slots) = if v6.iid_rotations_per_day <= 0.0 {
                         (0u64, 0u64)
                     } else {
-                        (u64::from(day.index()), (u64::from(attach) << 32) | u64::from(iid_slot))
+                        (
+                            u64::from(day.index()),
+                            (u64::from(attach) << 32) | u64::from(iid_slot),
+                        )
                     };
                     let h = self.draw(0x7636_4949, keys.device, epoch, slots);
                     // A random 64-bit IID is never the low16 signature in
@@ -464,8 +474,10 @@ impl Network {
 
     /// A rented server's stable IPv4 address on a hosting network.
     pub fn v4_server_address(&self, customer: u64, server: u64) -> Ipv4Addr {
-        let idx =
-            uniform_range(self.draw(0x7634_5343, customer, server, 0), u64::from(self.v4.pool_size));
+        let idx = uniform_range(
+            self.draw(0x7634_5343, customer, server, 0),
+            u64::from(self.v4.pool_size),
+        );
         self.pick_v4(idx as u32)
     }
 
@@ -518,12 +530,20 @@ mod tests {
         mk(
             NetworkKind::Residential,
             V4Conf::home("11.0.0.0/16".parse().unwrap(), 40_000, 30.0),
-            Some(V6Conf::residential("2a00:100::/32".parse().unwrap(), 56, 60.0)),
+            Some(V6Conf::residential(
+                "2a00:100::/32".parse().unwrap(),
+                56,
+                60.0,
+            )),
         )
     }
 
     fn keys(u: u64) -> AttachKeys {
-        AttachKeys { user: u, device: u * 10, household: u / 2 }
+        AttachKeys {
+            user: u,
+            device: u * 10,
+            household: u / 2,
+        }
     }
 
     fn day(m: u8, d: u8) -> SimDate {
@@ -551,7 +571,11 @@ mod tests {
         for idx in 0..360u16 {
             addrs.insert(n.v4_address(&keys(42), SimDate::from_index(idx), 0));
         }
-        assert!(addrs.len() >= 2, "expected lease churn, got {}", addrs.len());
+        assert!(
+            addrs.len() >= 2,
+            "expected lease churn, got {}",
+            addrs.len()
+        );
         assert!(addrs.len() <= 40, "too much churn: {}", addrs.len());
     }
 
@@ -580,10 +604,7 @@ mod tests {
         // But both stay in the same /64 while the delegation persists
         // (60-day mean; these two days are adjacent so usually same epoch
         // — assert same /48 at least, which survives any epoch roll).
-        assert_eq!(
-            Ipv6Prefix::containing(a, 32),
-            Ipv6Prefix::containing(b, 32)
-        );
+        assert_eq!(Ipv6Prefix::containing(a, 32), Ipv6Prefix::containing(b, 32));
     }
 
     #[test]
@@ -633,7 +654,11 @@ mod tests {
             );
             blocks.insert(Ipv6Prefix::containing(a, 64));
         }
-        assert!(blocks.len() <= 4, "at most `gateways` blocks, got {}", blocks.len());
+        assert!(
+            blocks.len() <= 4,
+            "at most `gateways` blocks, got {}",
+            blocks.len()
+        );
         // The /112 containing the address equals the /64 zero-extended:
         let a = n.v6_address(&keys(1), d, 0, 0, None).unwrap();
         let p112 = Ipv6Prefix::containing(a, 112);
@@ -691,7 +716,11 @@ mod tests {
             v6_base_ratio: 0.10,
             v6_ramp_per_day: 0.002,
             v4: V4Conf::home("11.1.0.0/16".parse().unwrap(), 10_000, 30.0),
-            v6: Some(V6Conf::residential("2a00:300::/32".parse().unwrap(), 64, 90.0)),
+            v6: Some(V6Conf::residential(
+                "2a00:300::/32".parse().unwrap(),
+                64,
+                90.0,
+            )),
         };
         spec.weight = 1.0;
         let n = Network::new(NetworkId(1), spec);

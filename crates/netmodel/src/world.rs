@@ -133,21 +133,156 @@ struct NamedNet {
 }
 
 const NAMED: &[NamedNet] = &[
-    NamedNet { code: "IN", kind: NetworkKind::Mobile, asn: 55836, name: "Reliance Jio", weight: 0.55, v6: Some(0.96), gateway: false, mega_cgn: false },
-    NamedNet { code: "IN", kind: NetworkKind::Mobile, asn: 38266, name: "Vodafone India", weight: 0.25, v6: Some(0.45), gateway: false, mega_cgn: true },
-    NamedNet { code: "US", kind: NetworkKind::Mobile, asn: 21928, name: "T-Mobile US", weight: 0.28, v6: Some(0.95), gateway: false, mega_cgn: false },
-    NamedNet { code: "US", kind: NetworkKind::Mobile, asn: 22394, name: "Verizon Wireless", weight: 0.25, v6: Some(0.86), gateway: false, mega_cgn: false },
-    NamedNet { code: "US", kind: NetworkKind::Mobile, asn: 10507, name: "Sprint PCS", weight: 0.12, v6: Some(0.86), gateway: false, mega_cgn: false },
-    NamedNet { code: "US", kind: NetworkKind::Mobile, asn: 20057, name: "AT&T Mobility", weight: 0.30, v6: Some(0.88), gateway: true, mega_cgn: false },
-    NamedNet { code: "US", kind: NetworkKind::Residential, asn: 7922, name: "Comcast", weight: 0.40, v6: Some(0.82), gateway: false, mega_cgn: false },
-    NamedNet { code: "GB", kind: NetworkKind::Residential, asn: 5607, name: "Sky Broadband", weight: 0.35, v6: Some(0.95), gateway: false, mega_cgn: false },
-    NamedNet { code: "TH", kind: NetworkKind::Mobile, asn: 131445, name: "Advanced Wireless Network", weight: 0.45, v6: Some(0.88), gateway: false, mega_cgn: false },
-    NamedNet { code: "DE", kind: NetworkKind::Residential, asn: 3320, name: "Deutsche Telekom", weight: 0.45, v6: Some(0.83), gateway: false, mega_cgn: false },
-    NamedNet { code: "BR", kind: NetworkKind::Residential, asn: 26599, name: "Telefonica Brasil", weight: 0.35, v6: Some(0.84), gateway: false, mega_cgn: false },
-    NamedNet { code: "BR", kind: NetworkKind::Mobile, asn: 26615, name: "TIM Brasil", weight: 0.30, v6: Some(0.82), gateway: false, mega_cgn: false },
-    NamedNet { code: "ID", kind: NetworkKind::Mobile, asn: 23693, name: "Telkomsel", weight: 0.45, v6: Some(0.04), gateway: false, mega_cgn: true },
-    NamedNet { code: "ID", kind: NetworkKind::Mobile, asn: 24203, name: "Axiata XL", weight: 0.30, v6: Some(0.05), gateway: false, mega_cgn: true },
-    NamedNet { code: "ID", kind: NetworkKind::Mobile, asn: 4761, name: "Indosat", weight: 0.25, v6: Some(0.05), gateway: false, mega_cgn: true },
+    NamedNet {
+        code: "IN",
+        kind: NetworkKind::Mobile,
+        asn: 55836,
+        name: "Reliance Jio",
+        weight: 0.55,
+        v6: Some(0.96),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "IN",
+        kind: NetworkKind::Mobile,
+        asn: 38266,
+        name: "Vodafone India",
+        weight: 0.25,
+        v6: Some(0.45),
+        gateway: false,
+        mega_cgn: true,
+    },
+    NamedNet {
+        code: "US",
+        kind: NetworkKind::Mobile,
+        asn: 21928,
+        name: "T-Mobile US",
+        weight: 0.28,
+        v6: Some(0.95),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "US",
+        kind: NetworkKind::Mobile,
+        asn: 22394,
+        name: "Verizon Wireless",
+        weight: 0.25,
+        v6: Some(0.86),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "US",
+        kind: NetworkKind::Mobile,
+        asn: 10507,
+        name: "Sprint PCS",
+        weight: 0.12,
+        v6: Some(0.86),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "US",
+        kind: NetworkKind::Mobile,
+        asn: 20057,
+        name: "AT&T Mobility",
+        weight: 0.30,
+        v6: Some(0.88),
+        gateway: true,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "US",
+        kind: NetworkKind::Residential,
+        asn: 7922,
+        name: "Comcast",
+        weight: 0.40,
+        v6: Some(0.82),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "GB",
+        kind: NetworkKind::Residential,
+        asn: 5607,
+        name: "Sky Broadband",
+        weight: 0.35,
+        v6: Some(0.95),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "TH",
+        kind: NetworkKind::Mobile,
+        asn: 131445,
+        name: "Advanced Wireless Network",
+        weight: 0.45,
+        v6: Some(0.88),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "DE",
+        kind: NetworkKind::Residential,
+        asn: 3320,
+        name: "Deutsche Telekom",
+        weight: 0.45,
+        v6: Some(0.83),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "BR",
+        kind: NetworkKind::Residential,
+        asn: 26599,
+        name: "Telefonica Brasil",
+        weight: 0.35,
+        v6: Some(0.84),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "BR",
+        kind: NetworkKind::Mobile,
+        asn: 26615,
+        name: "TIM Brasil",
+        weight: 0.30,
+        v6: Some(0.82),
+        gateway: false,
+        mega_cgn: false,
+    },
+    NamedNet {
+        code: "ID",
+        kind: NetworkKind::Mobile,
+        asn: 23693,
+        name: "Telkomsel",
+        weight: 0.45,
+        v6: Some(0.04),
+        gateway: false,
+        mega_cgn: true,
+    },
+    NamedNet {
+        code: "ID",
+        kind: NetworkKind::Mobile,
+        asn: 24203,
+        name: "Axiata XL",
+        weight: 0.30,
+        v6: Some(0.05),
+        gateway: false,
+        mega_cgn: true,
+    },
+    NamedNet {
+        code: "ID",
+        kind: NetworkKind::Mobile,
+        asn: 4761,
+        name: "Indosat",
+        weight: 0.25,
+        v6: Some(0.05),
+        gateway: false,
+        mega_cgn: true,
+    },
 ];
 
 /// Hosting/VPN providers (global).
@@ -171,7 +306,9 @@ impl World {
     /// across simulation scales.
     pub fn sized(seed: u64, design_households: u64) -> Self {
         let countries = standard_countries();
-        let mut b = Builder { networks: Vec::new() };
+        let mut b = Builder {
+            networks: Vec::new(),
+        };
         let mut residential = Vec::new();
         let mut mobile = Vec::new();
         let mut enterprise = Vec::new();
@@ -219,10 +356,13 @@ impl World {
             }
             let remaining: f64 = 1.0 - res_weights.iter().sum::<f64>();
             // Spread multipliers keep the weighted mean at the solved ratio.
-            for (i, (mult, w, pd_len, pd_days)) in
-                [(1.25, 0.45, 56u8, 75.0), (1.0, 0.35, 60, 40.0), (0.5, 0.20, 64, 20.0)]
-                    .iter()
-                    .enumerate()
+            for (i, (mult, w, pd_len, pd_days)) in [
+                (1.25, 0.45, 56u8, 75.0),
+                (1.0, 0.35, 60, 40.0),
+                (0.5, 0.20, 64, 20.0),
+            ]
+            .iter()
+            .enumerate()
             {
                 let ratio = (res_base * mult).clamp(0.0, 0.97);
                 let weight = remaining * w;
@@ -508,8 +648,11 @@ mod tests {
             hits[w.pick_country(h)] += 1;
         }
         // India carries ~14%.
-        let in_idx =
-            w.countries().iter().position(|c| c.country == Country::new("IN")).unwrap();
+        let in_idx = w
+            .countries()
+            .iter()
+            .position(|c| c.country == Country::new("IN"))
+            .unwrap();
         let got = f64::from(hits[in_idx]) / n as f64;
         assert!((got - 0.14).abs() < 0.01, "IN share {got}");
     }

@@ -109,7 +109,11 @@ pub fn actioning_roc(
             // Unseen yesterday: can never be actioned.
             None => -1.0,
         };
-        curve.push(score, outcome.abusive.len() as f64, outcome.benign.len() as f64);
+        curve.push(
+            score,
+            outcome.abusive.len() as f64,
+            outcome.benign.len() as f64,
+        );
     }
     curve
 }
@@ -138,7 +142,12 @@ pub fn operating_points(curve: &RocCurve) -> OperatingPoints {
         (p.tpr, p.fpr)
     };
     let t0 = at(1e-9);
-    OperatingPoints { t0, t10: at(0.10), t100: at(1.0), max_tpr: t0.0 }
+    OperatingPoints {
+        t0,
+        t10: at(0.10),
+        t100: at(1.0),
+        max_tpr: t0.0,
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +170,10 @@ mod tests {
             .map(|&u| {
                 (
                     UserId(u),
-                    AbuseInfo { created: SimDate::ymd(4, 17), detected: SimDate::ymd(4, 19) },
+                    AbuseInfo {
+                        created: SimDate::ymd(4, 17),
+                        detected: SimDate::ymd(4, 19),
+                    },
                 )
             })
             .collect()
@@ -213,7 +225,12 @@ mod tests {
         // The AA moves to a new address inside the same /64.
         let day_n = vec![rec(100, d1, "2001:db8:1:2::a")];
         let day_n1 = vec![rec(100, d2, "2001:db8:1:2::b")];
-        let full = operating_points(&actioning_roc(&day_n, &day_n1, &labels, Granularity::V6Full));
+        let full = operating_points(&actioning_roc(
+            &day_n,
+            &day_n1,
+            &labels,
+            Granularity::V6Full,
+        ));
         let p64 = operating_points(&actioning_roc(
             &day_n,
             &day_n1,

@@ -172,7 +172,13 @@ pub fn evaluate_over_days<'a>(
                     }
                 }
             }
-            let frac = |hit: usize, all: usize| if all == 0 { 0.0 } else { hit as f64 / all as f64 };
+            let frac = |hit: usize, all: usize| {
+                if all == 0 {
+                    0.0
+                } else {
+                    hit as f64 / all as f64
+                }
+            };
             BlocklistDayEval {
                 offset: day.days_since(listed_on),
                 recall: frac(abusive_hit.len(), abusive_all.len()),
@@ -203,7 +209,12 @@ impl BoundedBlocklist {
     /// Panics when `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { inner: Blocklist::new(), capacity, v6_entries: Vec::new(), v4_entries: Vec::new() }
+        Self {
+            inner: Blocklist::new(),
+            capacity,
+            v6_entries: Vec::new(),
+            v4_entries: Vec::new(),
+        }
     }
 
     fn evict_if_full(&mut self, now: SimDate) {
@@ -295,7 +306,10 @@ mod tests {
             .map(|&u| {
                 (
                     UserId(u),
-                    AbuseInfo { created: SimDate::ymd(4, 10), detected: SimDate::ymd(4, 19) },
+                    AbuseInfo {
+                        created: SimDate::ymd(4, 10),
+                        detected: SimDate::ymd(4, 19),
+                    },
                 )
             })
             .collect()
@@ -311,7 +325,10 @@ mod tests {
         bl.add_v6(p1, SimDate::ymd(4, 14), now); // expires soonest
         bl.add_v6(p2, SimDate::ymd(4, 20), now);
         bl.add_v6(p3, SimDate::ymd(4, 18), now); // evicts p1
-        assert!(!bl.blocks("2001:db8:1::1".parse().unwrap(), now), "p1 evicted");
+        assert!(
+            !bl.blocks("2001:db8:1::1".parse().unwrap(), now),
+            "p1 evicted"
+        );
         assert!(bl.blocks("2001:db8:2::1".parse().unwrap(), now));
         assert!(bl.blocks("2001:db8:3::1".parse().unwrap(), now));
         assert!(bl.len(now) <= bl.capacity());
@@ -329,7 +346,10 @@ mod tests {
         let day3 = SimDate::ymd(4, 15);
         let p3: Ipv4Prefix = "192.0.2.3/32".parse().unwrap();
         bl.add_v4(p3, SimDate::ymd(4, 30), day3);
-        assert!(bl.blocks("192.0.2.2".parse().unwrap(), day3), "long-lived entry survives");
+        assert!(
+            bl.blocks("192.0.2.2".parse().unwrap(), day3),
+            "long-lived entry survives"
+        );
         assert!(bl.blocks("192.0.2.3".parse().unwrap(), day3));
         assert!(!bl.is_empty(day3));
     }
@@ -381,19 +401,21 @@ mod tests {
             rec(1, d, "2001:db8::b"), // mixed (ratio 0.5)
             rec(2, d, "2001:db8::c"), // purely benign
         ];
-        let strict =
-            Blocklist::from_day(&records, &labels, Granularity::V6Full, 1.0, d, 7);
+        let strict = Blocklist::from_day(&records, &labels, Granularity::V6Full, 1.0, d, 7);
         assert!(strict.blocks("2001:db8::a".parse().unwrap(), d + 1));
         assert!(!strict.blocks("2001:db8::b".parse().unwrap(), d + 1));
         assert!(!strict.blocks("2001:db8::c".parse().unwrap(), d + 1));
         let loose = Blocklist::from_day(&records, &labels, Granularity::V6Full, 0.3, d, 7);
         assert!(loose.blocks("2001:db8::b".parse().unwrap(), d + 1));
-        assert!(!loose.blocks("2001:db8::c".parse().unwrap(), d + 1), "benign-only never listed");
+        assert!(
+            !loose.blocks("2001:db8::c".parse().unwrap(), d + 1),
+            "benign-only never listed"
+        );
     }
 
     mod model_based {
         use super::*;
-        use proptest::prelude::*;
+        use ipv6_study_stats::testgen::TestGen;
 
         /// A naive reference blocklist: a plain list of (prefix, expiry).
         #[derive(Default)]
@@ -411,62 +433,64 @@ mod tests {
             }
         }
 
-        proptest! {
-            /// The trie-backed blocklist agrees with the naive model on
-            /// arbitrary add/query sequences (same-prefix re-adds keep the
-            /// max expiry in both).
-            #[test]
-            fn trie_blocklist_matches_naive_model(
-                adds in proptest::collection::vec(
-                    (any::<u64>(), 40u8..=128, 100u16..140), 1..40),
-                probes in proptest::collection::vec((any::<u64>(), 90u16..150), 40)
-            ) {
+        /// The trie-backed blocklist agrees with the naive model on
+        /// arbitrary add/query sequences (same-prefix re-adds keep the
+        /// max expiry in both).
+        #[test]
+        fn trie_blocklist_matches_naive_model() {
+            let mut g = TestGen::new(0x424C_4B01);
+            for _ in 0..128 {
                 let mut fast = Blocklist::new();
                 let mut naive = NaiveList::default();
-                for (bits, len, exp_idx) in adds {
+                for _ in 0..g.range_u64(1, 39) {
                     // Spread prefixes over a narrow space to force overlap.
-                    let raw = (0x2001_0db8u128 << 96) | u128::from(bits);
-                    let p = Ipv6Prefix::from_bits(raw, len);
-                    let e = SimDate::from_index(exp_idx);
+                    let raw = (0x2001_0db8u128 << 96) | u128::from(g.next_u64());
+                    let p = Ipv6Prefix::from_bits(raw, g.range_u8(40, 128));
+                    let e = SimDate::from_index(g.range_u64(100, 139) as u16);
                     fast.add_v6(p, e);
                     naive.add(p, e);
                 }
-                for (bits, day_idx) in probes {
+                for _ in 0..40 {
                     let addr = IpAddr::V6(std::net::Ipv6Addr::from(
-                        (0x2001_0db8u128 << 96) | u128::from(bits),
+                        (0x2001_0db8u128 << 96) | u128::from(g.next_u64()),
                     ));
-                    let day = SimDate::from_index(day_idx);
-                    prop_assert_eq!(fast.blocks(addr, day), naive.blocks(addr, day));
+                    let day = SimDate::from_index(g.range_u64(90, 149) as u16);
+                    assert_eq!(fast.blocks(addr, day), naive.blocks(addr, day));
                 }
             }
+        }
 
-            /// A bounded blocklist never exceeds its capacity and anything
-            /// it blocks, the unbounded list would block too (eviction only
-            /// loses entries, never invents them).
-            #[test]
-            fn bounded_is_a_subset_of_unbounded(
-                adds in proptest::collection::vec((any::<u64>(), 100u16..140), 1..60),
-                cap in 1usize..8,
-                probes in proptest::collection::vec((any::<u64>(), 90u16..150), 30)
-            ) {
+        /// A bounded blocklist never exceeds its capacity and anything
+        /// it blocks, the unbounded list would block too (eviction only
+        /// loses entries, never invents them).
+        #[test]
+        fn bounded_is_a_subset_of_unbounded() {
+            let mut g = TestGen::new(0x424C_4B02);
+            for _ in 0..128 {
                 let now = SimDate::from_index(95);
+                let cap = g.range_u64(1, 7) as usize;
                 let mut bounded = BoundedBlocklist::new(cap);
                 let mut full = Blocklist::new();
-                for (bits, exp_idx) in adds {
-                    let raw = (0x2001_0db8u128 << 96) | u128::from(bits);
+                for _ in 0..g.range_u64(1, 59) {
+                    let raw = (0x2001_0db8u128 << 96) | u128::from(g.next_u64());
                     let p = Ipv6Prefix::from_bits(raw, 128);
-                    let e = SimDate::from_index(exp_idx);
+                    let e = SimDate::from_index(g.range_u64(100, 139) as u16);
                     bounded.add_v6(p, e, now);
                     full.add_v6(p, e);
                 }
-                prop_assert!(bounded.len(now) <= cap + 1, "len {} cap {}", bounded.len(now), cap);
-                for (bits, day_idx) in probes {
+                assert!(
+                    bounded.len(now) <= cap + 1,
+                    "len {} cap {}",
+                    bounded.len(now),
+                    cap
+                );
+                for _ in 0..30 {
                     let addr = IpAddr::V6(std::net::Ipv6Addr::from(
-                        (0x2001_0db8u128 << 96) | u128::from(bits),
+                        (0x2001_0db8u128 << 96) | u128::from(g.next_u64()),
                     ));
-                    let day = SimDate::from_index(day_idx);
+                    let day = SimDate::from_index(g.range_u64(90, 149) as u16);
                     if bounded.blocks(addr, day) {
-                        prop_assert!(full.blocks(addr, day));
+                        assert!(full.blocks(addr, day));
                     }
                 }
             }

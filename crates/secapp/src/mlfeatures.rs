@@ -59,9 +59,11 @@ pub fn extract_features(records: &[RequestRecord]) -> HashMap<IpAddr, FeatureVec
     }
     let mut acc: HashMap<IpAddr, Acc> = HashMap::new();
     for r in records {
-        let e = acc
-            .entry(r.ip)
-            .or_insert_with(|| Acc { users: HashSet::new(), requests: 0, night: 0 });
+        let e = acc.entry(r.ip).or_insert_with(|| Acc {
+            users: HashSet::new(),
+            requests: 0,
+            night: 0,
+        });
         e.users.insert(r.user);
         e.requests += 1;
         if r.ts.hour() < 6 {
@@ -96,10 +98,7 @@ pub fn extract_features(records: &[RequestRecord]) -> HashMap<IpAddr, FeatureVec
 
 /// Builds next-day labels: an address is positive when it hosts at least
 /// one abusive account on `next_day`'s records.
-pub fn next_day_labels(
-    next_day: &[RequestRecord],
-    labels: &AbuseLabels,
-) -> HashSet<IpAddr> {
+pub fn next_day_labels(next_day: &[RequestRecord], labels: &AbuseLabels) -> HashSet<IpAddr> {
     next_day
         .iter()
         .filter(|r| labels.is_abusive(r.user))
@@ -126,7 +125,10 @@ impl LogisticModel {
         let mut w = [0.0f64; 7];
         let mut b = 0.0f64;
         if data.is_empty() {
-            return Self { weights: w, bias: b };
+            return Self {
+                weights: w,
+                bias: b,
+            };
         }
         let pos = data.iter().filter(|(_, y)| *y).count().max(1) as f64;
         let neg = (data.len() as f64 - pos).max(1.0);
@@ -152,14 +154,22 @@ impl LogisticModel {
             }
             b -= lr * gb / n;
         }
-        Self { weights: w, bias: b }
+        Self {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// The predicted probability that the unit hosts abuse tomorrow.
     pub fn predict(&self, fv: &FeatureVector) -> f64 {
         let x = fv.as_array();
-        let z: f64 =
-            self.bias + self.weights.iter().zip(x.iter()).map(|(w, xi)| w * xi).sum::<f64>();
+        let z: f64 = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x.iter())
+                .map(|(w, xi)| w * xi)
+                .sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 
@@ -306,7 +316,10 @@ mod tests {
     fn training_set_filters_by_protocol() {
         let labels: AbuseLabels = [(
             UserId(100),
-            AbuseInfo { created: SimDate::ymd(4, 17), detected: SimDate::ymd(4, 19) },
+            AbuseInfo {
+                created: SimDate::ymd(4, 17),
+                detected: SimDate::ymd(4, 19),
+            },
         )]
         .into_iter()
         .collect();

@@ -94,17 +94,22 @@ impl RateLimiter {
     /// # Panics
     /// Panics on non-positive rate or burst.
     pub fn new(policy: KeyPolicy, rate_per_sec: f64, burst: f64) -> Self {
-        assert!(rate_per_sec > 0.0 && burst >= 1.0, "invalid limiter parameters");
-        Self { policy, rate_per_sec, burst, buckets: HashMap::new() }
+        assert!(
+            rate_per_sec > 0.0 && burst >= 1.0,
+            "invalid limiter parameters"
+        );
+        Self {
+            policy,
+            rate_per_sec,
+            burst,
+            buckets: HashMap::new(),
+        }
     }
 
     /// Processes one request; returns true when allowed.
     pub fn allow(&mut self, ip: IpAddr, now: Timestamp) -> bool {
         let key = self.policy.key(ip);
-        let (tokens, last) = self
-            .buckets
-            .entry(key)
-            .or_insert((self.burst, now));
+        let (tokens, last) = self.buckets.entry(key).or_insert((self.burst, now));
         let elapsed = now.secs().saturating_sub(last.secs()) as f64;
         *tokens = (*tokens + elapsed * self.rate_per_sec).min(self.burst);
         *last = now;

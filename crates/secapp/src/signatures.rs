@@ -30,7 +30,9 @@ impl HeavyAddressPredictor {
     /// Creates a predictor that additionally whitelists known gateway ASNs
     /// (any address there with the signature predicts heavy).
     pub fn with_gateway_asns(asns: impl IntoIterator<Item = Asn>) -> Self {
-        Self { gateway_asns: asns.into_iter().collect() }
+        Self {
+            gateway_asns: asns.into_iter().collect(),
+        }
     }
 
     /// Learns gateway ASNs from observed heavy addresses: any ASN where
@@ -112,8 +114,16 @@ impl HeavyAddressPredictor {
             }
         }
         PredictorEval {
-            precision: if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 },
-            recall: if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 },
+            precision: if tp + fp == 0 {
+                1.0
+            } else {
+                tp as f64 / (tp + fp) as f64
+            },
+            recall: if tp + fn_ == 0 {
+                1.0
+            } else {
+                tp as f64 / (tp + fn_) as f64
+            },
             predicted: tp + fp,
             heavy: tp + fn_,
         }

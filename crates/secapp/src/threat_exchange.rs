@@ -90,7 +90,10 @@ pub fn half_life(points: &[DecayPoint]) -> Option<u16> {
     if base == 0.0 {
         return Some(0);
     }
-    points.iter().find(|p| p.residual_recall < base / 2.0).map(|p| p.offset)
+    points
+        .iter()
+        .find(|p| p.residual_recall < base / 2.0)
+        .map(|p| p.offset)
 }
 
 #[cfg(test)]
@@ -113,7 +116,10 @@ mod tests {
             .map(|&u| {
                 (
                     UserId(u),
-                    AbuseInfo { created: SimDate::ymd(4, 10), detected: SimDate::ymd(4, 19) },
+                    AbuseInfo {
+                        created: SimDate::ymd(4, 10),
+                        detected: SimDate::ymd(4, 19),
+                    },
                 )
             })
             .collect()
@@ -143,7 +149,12 @@ mod tests {
         let labels = labels_for(&[100]);
         let day0 = vec![rec(100, "192.0.2.1")];
         let day1 = vec![rec(1, "192.0.2.1"), rec(2, "192.0.2.2")];
-        let pts = value_decay(&day0, &labels, Granularity::V4Full, [(1u16, day1.as_slice())]);
+        let pts = value_decay(
+            &day0,
+            &labels,
+            Granularity::V4Full,
+            [(1u16, day1.as_slice())],
+        );
         assert!((pts[0].collateral - 0.5).abs() < 1e-12);
         assert_eq!(pts[0].residual_recall, 0.0, "no abusive accounts that day");
     }
@@ -154,9 +165,18 @@ mod tests {
         let day0 = vec![rec(100, "2001:db8:1:2::a")];
         // Attacker rotates within the /64.
         let day1 = vec![rec(100, "2001:db8:1:2::b")];
-        let full = value_decay(&day0, &labels, Granularity::V6Full, [(1u16, day1.as_slice())]);
-        let p64 =
-            value_decay(&day0, &labels, Granularity::V6Prefix(64), [(1u16, day1.as_slice())]);
+        let full = value_decay(
+            &day0,
+            &labels,
+            Granularity::V6Full,
+            [(1u16, day1.as_slice())],
+        );
+        let p64 = value_decay(
+            &day0,
+            &labels,
+            Granularity::V6Prefix(64),
+            [(1u16, day1.as_slice())],
+        );
         assert_eq!(full[0].residual_recall, 0.0);
         assert!((p64[0].residual_recall - 1.0).abs() < 1e-12);
     }
@@ -165,11 +185,23 @@ mod tests {
     fn half_life_edge_cases() {
         assert_eq!(half_life(&[]), None);
         let flat = vec![
-            DecayPoint { offset: 1, residual_recall: 0.4, collateral: 0.0 },
-            DecayPoint { offset: 2, residual_recall: 0.35, collateral: 0.0 },
+            DecayPoint {
+                offset: 1,
+                residual_recall: 0.4,
+                collateral: 0.0,
+            },
+            DecayPoint {
+                offset: 2,
+                residual_recall: 0.35,
+                collateral: 0.0,
+            },
         ];
         assert_eq!(half_life(&flat), None);
-        let zero = vec![DecayPoint { offset: 1, residual_recall: 0.0, collateral: 0.0 }];
+        let zero = vec![DecayPoint {
+            offset: 1,
+            residual_recall: 0.0,
+            collateral: 0.0,
+        }];
         assert_eq!(half_life(&zero), Some(0));
     }
 }

@@ -25,7 +25,9 @@ pub struct CountOfCounts<K: Eq + Hash> {
 impl<K: Eq + Hash> CountOfCounts<K> {
     /// Creates an empty tally.
     pub fn new() -> Self {
-        Self { counts: HashMap::new() }
+        Self {
+            counts: HashMap::new(),
+        }
     }
 
     /// Adds `n` to the tally for `key`.
@@ -122,7 +124,9 @@ pub struct TopK<K: Eq + Hash + Ord + Clone> {
 impl<K: Eq + Hash + Ord + Clone> TopK<K> {
     /// Creates an empty tracker.
     pub fn new() -> Self {
-        Self { counts: CountOfCounts::new() }
+        Self {
+            counts: CountOfCounts::new(),
+        }
     }
 
     /// Adds `n` to `key`'s tally.
@@ -132,7 +136,11 @@ impl<K: Eq + Hash + Ord + Clone> TopK<K> {
 
     /// Returns the top `n` `(key, count)` pairs, count-descending.
     pub fn ranked(&self, n: usize) -> Vec<(K, u64)> {
-        self.counts.top_n(n).into_iter().map(|(k, c)| (k.clone(), c)).collect()
+        self.counts
+            .top_n(n)
+            .into_iter()
+            .map(|(k, c)| (k.clone(), c))
+            .collect()
     }
 
     /// Fraction of the total tally captured by the top `n` keys — used for

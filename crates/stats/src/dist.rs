@@ -81,6 +81,7 @@ pub fn exponential(h: u64, rate: f64) -> f64 {
 
 /// Standard normal variate via the inverse-CDF (Acklam's rational
 /// approximation, |ε| < 1.15e-9 — far below simulation noise).
+#[allow(clippy::excessive_precision)] // coefficients kept exactly as published
 pub fn normal01(h: u64) -> f64 {
     let p = uniform01(h).clamp(1e-15, 1.0 - 1e-15);
     // Coefficients for the central and tail regions.
@@ -154,7 +155,10 @@ impl WeightedIndex {
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be finite and non-negative"
+            );
             acc += w;
             cumulative.push(acc);
         }
@@ -166,7 +170,9 @@ impl WeightedIndex {
     pub fn sample(&self, h: u64) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let target = uniform01(h) * total;
-        self.cumulative.partition_point(|&c| c <= target).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= target)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Number of weights.
@@ -196,7 +202,9 @@ impl Zipf {
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf needs at least one rank");
         let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
-        Self { index: WeightedIndex::new(&weights) }
+        Self {
+            index: WeightedIndex::new(&weights),
+        }
     }
 
     /// Samples a rank in `[0, n)`.
@@ -260,8 +268,11 @@ mod tests {
         let lambda = 3.5;
         let samples: Vec<u64> = hashes(n).map(|h| poisson(h, lambda)).collect();
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 0.05, "mean {mean}");
         assert!((var - lambda).abs() < 0.15, "var {var}");
         assert_eq!(poisson(7, 0.0), 0);

@@ -157,11 +157,14 @@ impl Ecdf {
     /// Iterates over `(value, count)` pairs in increasing value order.
     pub fn iter_counts(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         let mut prev = 0u64;
-        self.values.iter().zip(self.cum.iter()).map(move |(&v, &c)| {
-            let count = c - prev;
-            prev = c;
-            (v, count)
-        })
+        self.values
+            .iter()
+            .zip(self.cum.iter())
+            .map(move |(&v, &c)| {
+                let count = c - prev;
+                prev = c;
+                (v, count)
+            })
     }
 
     /// The Kolmogorov–Smirnov statistic `sup_x |F_a(x) − F_b(x)|` between two
@@ -183,7 +186,7 @@ impl Ecdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testgen::TestGen;
 
     #[test]
     fn basic_queries() {
@@ -241,33 +244,47 @@ mod tests {
         assert!(a.ks_distance(&b) > 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn cdf_is_monotone(mut vals in proptest::collection::vec(0u64..1000, 1..200)) {
-            let e = Ecdf::from_values(vals.drain(..));
+    #[test]
+    fn cdf_is_monotone() {
+        let mut g = TestGen::new(0x4543_4401);
+        for _ in 0..64 {
+            let len = g.range_u64(1, 199) as usize;
+            let vals = g.vec_of(len, |g| g.below(1000));
+            let e = Ecdf::from_values(vals);
             let mut prev = 0.0;
             for x in 0..1000 {
                 let f = e.fraction_le(x);
-                prop_assert!(f >= prev);
-                prop_assert!((0.0..=1.0).contains(&f));
+                assert!(f >= prev);
+                assert!((0.0..=1.0).contains(&f));
                 prev = f;
             }
-            prop_assert!((e.fraction_le(1000) - 1.0).abs() < 1e-12);
+            assert!((e.fraction_le(1000) - 1.0).abs() < 1e-12);
         }
+    }
 
-        #[test]
-        fn count_le_plus_count_gt_is_total(vals in proptest::collection::vec(0u64..100, 0..100), x in 0u64..120) {
+    #[test]
+    fn count_le_plus_count_gt_is_total() {
+        let mut g = TestGen::new(0x4543_4402);
+        for _ in 0..256 {
+            let len = g.below(100) as usize;
+            let vals = g.vec_of(len, |g| g.below(100));
+            let x = g.below(120);
             let e = Ecdf::from_values(vals);
-            prop_assert_eq!(e.count_le(x) + e.count_gt(x), e.len());
+            assert_eq!(e.count_le(x) + e.count_gt(x), e.len());
         }
+    }
 
-        #[test]
-        fn median_is_between_min_and_max(vals in proptest::collection::vec(0u64..10_000, 1..100)) {
+    #[test]
+    fn median_is_between_min_and_max() {
+        let mut g = TestGen::new(0x4543_4403);
+        for _ in 0..256 {
+            let len = g.range_u64(1, 99) as usize;
+            let vals = g.vec_of(len, |g| g.below(10_000));
             let e = Ecdf::from_values(vals);
             let m = e.median().unwrap();
-            prop_assert!(e.min().unwrap() <= m && m <= e.max().unwrap());
+            assert!(e.min().unwrap() <= m && m <= e.max().unwrap());
             // At least half the mass is ≤ the median.
-            prop_assert!(e.fraction_le(m) >= 0.5);
+            assert!(e.fraction_le(m) >= 0.5);
         }
     }
 }

@@ -58,13 +58,19 @@ pub fn stable_hash64(seed: u64, data: &[u8]) -> u64 {
     while rest.len() >= 8 {
         let k1 = round(0, read_u64(&rest[0..8]));
         h ^= k1;
-        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         rest = &rest[8..];
     }
     if rest.len() >= 4 {
         let k = u64::from(read_u32(&rest[0..4]));
         h ^= k.wrapping_mul(PRIME64_1);
-        h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
         rest = &rest[4..];
     }
     for &byte in rest {
@@ -122,7 +128,10 @@ impl StableHasher {
     /// Distinct samplers must use distinct seeds so that, e.g., the user
     /// sample and the IP sample are statistically independent.
     pub fn new(seed: u64) -> Self {
-        Self { seed, buf: Vec::with_capacity(24) }
+        Self {
+            seed,
+            buf: Vec::with_capacity(24),
+        }
     }
 
     /// Appends a `u64` field.
@@ -180,23 +189,79 @@ mod tests {
         assert_eq!(stable_hash64(0, b""), 0xEF46DB3751D8E999);
     }
 
-    /// Cross-validates our from-scratch implementation against the
-    /// independently developed `twox-hash` crate (dev-dependency only) over
-    /// every length class — empty, tail-only (<8, <4), word-tail, and the
-    /// 32-byte four-lane stripe path — and over multiple seeds.
+    /// Published xxHash64 vectors for short ASCII inputs at seed 0 (widely
+    /// reproduced from the reference implementation's sanity checks).
     #[test]
-    fn xxhash64_matches_reference_implementation() {
+    fn xxhash64_ascii_vectors() {
+        assert_eq!(stable_hash64(0, b"a"), 0xd24ec4f1a98c6e5b);
+        assert_eq!(stable_hash64(0, b"abc"), 0x44bc2cf5ad770999);
+    }
+
+    /// Frozen golden vectors over every length class — empty, tail-only
+    /// (<8, <4), word-tail, and the 32-byte four-lane stripe path — and over
+    /// multiple seeds. These were cross-validated against the reference
+    /// xxHash64 once and are now pinned: the sampled datasets depend on
+    /// these exact values, so they must never change.
+    #[test]
+    fn xxhash64_matches_frozen_vectors() {
         let data: Vec<u8> = (0u8..=255).cycle().take(300).collect();
-        for seed in [0u64, 1, 0x9E3779B185EBCA87, u64::MAX] {
-            for len in [0usize, 1, 3, 4, 7, 8, 13, 16, 31, 32, 33, 63, 64, 100, 255, 300] {
-                let input = &data[..len];
-                let expect = twox_hash::XxHash64::oneshot(seed, input);
-                assert_eq!(
-                    stable_hash64(seed, input),
-                    expect,
-                    "mismatch at seed={seed} len={len}"
-                );
-            }
+        #[rustfmt::skip]
+        let goldens: &[(u64, usize, u64)] = &[
+            (0x0, 0, 0xef46db3751d8e999), (0x0, 1, 0xe934a84adb052768),
+            (0x0, 3, 0xe5c7bb4533bc65dd), (0x0, 4, 0xffced8604453cc1e),
+            (0x0, 7, 0x14cc643f630c72d2), (0x0, 8, 0x884a173614b81b8d),
+            (0x0, 13, 0x13d17c4c779723a8), (0x0, 16, 0x44b6ef2fb84169f7),
+            (0x0, 31, 0xc346d2b59b4d8ee1), (0x0, 32, 0xcbf59c5116ff32b4),
+            (0x0, 33, 0x0c535d1acafb8ead), (0x0, 63, 0xe26aa9e2a95f8e4f),
+            (0x0, 64, 0xf7c67301db6713f0), (0x0, 100, 0x6ac1e58032166597),
+            (0x0, 255, 0x0f7d97507caad693), (0x0, 300, 0x4f1d6de0165b155a),
+            (0x1, 0, 0xd5afba1336a3be4b), (0x1, 1, 0x771917c7f6ee2451),
+            (0x1, 3, 0xa2168d89c582b451), (0x1, 4, 0x94506f8c7e5870a9),
+            (0x1, 7, 0xaf4c5311c47c77b7), (0x1, 8, 0x9d2b7c7354fe4e23),
+            (0x1, 13, 0xa8aa733c5ea6e3bb), (0x1, 16, 0xdd4230f47b0d28c1),
+            (0x1, 31, 0xf031031d65977dfc), (0x1, 32, 0xd74e6766ce9dba94),
+            (0x1, 33, 0xa371825f4210fe99), (0x1, 63, 0x5264ec0719e10595),
+            (0x1, 64, 0x3ce5bdf7575926c0), (0x1, 100, 0x3d19a3a2098a7023),
+            (0x1, 255, 0xec6164aa2e454f2b), (0x1, 300, 0xda1c9a4bf865135d),
+            (0x9e3779b185ebca87, 0, 0x6ec6d05f61c7e7a7),
+            (0x9e3779b185ebca87, 1, 0x60508b0ced72c717),
+            (0x9e3779b185ebca87, 3, 0xa1552d556a299b24),
+            (0x9e3779b185ebca87, 4, 0xd485946465317d49),
+            (0x9e3779b185ebca87, 7, 0x0ff0ba621eec7a4e),
+            (0x9e3779b185ebca87, 8, 0x5eb050a7cb134cae),
+            (0x9e3779b185ebca87, 13, 0xed7609f72d314b2e),
+            (0x9e3779b185ebca87, 16, 0xc633a2fb67580003),
+            (0x9e3779b185ebca87, 31, 0xa3c5ec38a60b7ea1),
+            (0x9e3779b185ebca87, 32, 0xbfb3e4ef6096c49c),
+            (0x9e3779b185ebca87, 33, 0x702e2aa8b96740bd),
+            (0x9e3779b185ebca87, 63, 0xb83be1f91b39104d),
+            (0x9e3779b185ebca87, 64, 0x2006c268b7d34f54),
+            (0x9e3779b185ebca87, 100, 0x00278bda0ee3f586),
+            (0x9e3779b185ebca87, 255, 0x26d3f88ab2d2ce34),
+            (0x9e3779b185ebca87, 300, 0x8ef4dbc1bd6f1daf),
+            (0xffffffffffffffff, 0, 0x298f4c84b24f5380),
+            (0xffffffffffffffff, 1, 0x8ba3328805e37c90),
+            (0xffffffffffffffff, 3, 0x2766da80af982d5d),
+            (0xffffffffffffffff, 4, 0x50ee1d0d77c6ca04),
+            (0xffffffffffffffff, 7, 0x53899ea28b7375fc),
+            (0xffffffffffffffff, 8, 0x367a57c649c7a5ac),
+            (0xffffffffffffffff, 13, 0xdf16ce003b750916),
+            (0xffffffffffffffff, 16, 0xb261c2ef4316cc29),
+            (0xffffffffffffffff, 31, 0x208e0384ffffdb7a),
+            (0xffffffffffffffff, 32, 0x35220dfdb7d4d7c9),
+            (0xffffffffffffffff, 33, 0x5677d5193d356c20),
+            (0xffffffffffffffff, 63, 0xc57c35bc58c8fe4a),
+            (0xffffffffffffffff, 64, 0x79e8b8230306e25c),
+            (0xffffffffffffffff, 100, 0x09a991a091c9f6d7),
+            (0xffffffffffffffff, 255, 0xeee590888bb50713),
+            (0xffffffffffffffff, 300, 0x1dc987251be347da),
+        ];
+        for &(seed, len, expect) in goldens {
+            assert_eq!(
+                stable_hash64(seed, &data[..len]),
+                expect,
+                "mismatch at seed={seed} len={len}"
+            );
         }
     }
 

@@ -23,8 +23,15 @@ impl Histogram {
     /// Panics if `n == 0` or `lo >= hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64, n: usize) -> Self {
         assert!(n > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid bounds");
-        Self { lo, hi, bins: vec![0; n] }
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid bounds"
+        );
+        Self {
+            lo,
+            hi,
+            bins: vec![0; n],
+        }
     }
 
     /// Records one sample.
@@ -83,12 +90,20 @@ impl Default for Log2Histogram {
 impl Log2Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { bins: [0; 64], max_seen: 0, total: 0 }
+        Self {
+            bins: [0; 64],
+            max_seen: 0,
+            total: 0,
+        }
     }
 
     /// Records one count observation.
     pub fn record(&mut self, x: u64) {
-        let idx = if x < 2 { 0 } else { 63 - x.leading_zeros() as usize };
+        let idx = if x < 2 {
+            0
+        } else {
+            63 - x.leading_zeros() as usize
+        };
         self.bins[idx] += 1;
         self.max_seen = self.max_seen.max(x);
         self.total += 1;

@@ -44,6 +44,7 @@ pub mod hash;
 pub mod histogram;
 pub mod roc;
 pub mod summary;
+pub mod testgen;
 
 pub use counter::{CountOfCounts, TopK};
 pub use ecdf::Ecdf;
@@ -52,3 +53,4 @@ pub use hash::{stable_hash64, StableHasher};
 pub use histogram::{Histogram, Log2Histogram};
 pub use roc::{RocCurve, RocPoint};
 pub use summary::Summary;
+pub use testgen::TestGen;

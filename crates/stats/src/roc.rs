@@ -122,7 +122,11 @@ impl RocCurve {
         let mut auc = 0.0;
         // Anchor the curve at (0,0) and (max_fpr, max_tpr) ... integrate the
         // observed envelope only; actioning curves need not reach (1,1).
-        let mut prev = RocPoint { threshold: f64::NAN, tpr: 0.0, fpr: 0.0 };
+        let mut prev = RocPoint {
+            threshold: f64::NAN,
+            tpr: 0.0,
+            fpr: 0.0,
+        };
         for p in pts {
             auc += (p.fpr - prev.fpr) * (p.tpr + prev.tpr) / 2.0;
             prev = p;
@@ -144,7 +148,7 @@ impl RocCurve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testgen::TestGen;
 
     fn sample_curve() -> RocCurve {
         let mut c = RocCurve::new();
@@ -198,36 +202,43 @@ mod tests {
         assert!(c.is_empty());
     }
 
-    proptest! {
-        /// Raising the threshold can only shrink the actioned set, so both
-        /// rates are monotone non-increasing in the threshold.
-        #[test]
-        fn rates_monotone_in_threshold(
-            units in proptest::collection::vec((0.0f64..=1.0, 0.0f64..50.0, 0.0f64..50.0), 1..50)
-        ) {
-            let mut c = RocCurve::new();
-            for (s, p, n) in units {
-                c.push(s, p, n);
-            }
+    /// A pseudo-random curve with 1–49 units of bounded mass.
+    fn random_curve(g: &mut TestGen) -> RocCurve {
+        let mut c = RocCurve::new();
+        for _ in 0..g.range_u64(1, 49) {
+            c.push(
+                g.range_f64(0.0, 1.0),
+                g.range_f64(0.0, 50.0),
+                g.range_f64(0.0, 50.0),
+            );
+        }
+        c
+    }
+
+    /// Raising the threshold can only shrink the actioned set, so both
+    /// rates are monotone non-increasing in the threshold.
+    #[test]
+    fn rates_monotone_in_threshold() {
+        let mut g = TestGen::new(0x524F_43_01);
+        for _ in 0..256 {
+            let c = random_curve(&mut g);
             let mut prev = c.point_at(0.0, None);
             for i in 1..=20 {
                 let cur = c.point_at(i as f64 / 20.0, None);
-                prop_assert!(cur.tpr <= prev.tpr + 1e-12);
-                prop_assert!(cur.fpr <= prev.fpr + 1e-12);
+                assert!(cur.tpr <= prev.tpr + 1e-12);
+                assert!(cur.fpr <= prev.fpr + 1e-12);
                 prev = cur;
             }
         }
+    }
 
-        #[test]
-        fn auc_is_a_probability(
-            units in proptest::collection::vec((0.0f64..=1.0, 0.0f64..50.0, 0.0f64..50.0), 1..50)
-        ) {
-            let mut c = RocCurve::new();
-            for (s, p, n) in units {
-                c.push(s, p, n);
-            }
+    #[test]
+    fn auc_is_a_probability() {
+        let mut g = TestGen::new(0x524F_43_02);
+        for _ in 0..256 {
+            let c = random_curve(&mut g);
             let auc = c.auc(None);
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&auc));
+            assert!((0.0..=1.0 + 1e-9).contains(&auc));
         }
     }
 }

@@ -50,7 +50,9 @@ impl Summary {
     /// Population variance.
     pub fn variance(&self) -> Option<f64> {
         let m = self.mean()?;
-        Some(self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.samples.len() as f64)
+        Some(
+            self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.samples.len() as f64,
+        )
     }
 
     /// Population standard deviation.
@@ -80,16 +82,18 @@ impl Summary {
 
     /// Smallest sample.
     pub fn min(&self) -> Option<f64> {
-        self.samples.iter().copied().fold(None, |acc, x| {
-            Some(acc.map_or(x, |a: f64| a.min(x)))
-        })
+        self.samples
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
     }
 
     /// Largest sample.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().fold(None, |acc, x| {
-            Some(acc.map_or(x, |a: f64| a.max(x)))
-        })
+        self.samples
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
 }
 
@@ -109,7 +113,9 @@ mod tests {
 
     #[test]
     fn basic_statistics() {
-        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.len(), 8);
         assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
         assert!((s.stddev().unwrap() - 2.0).abs() < 1e-12);

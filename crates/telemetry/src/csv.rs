@@ -38,7 +38,10 @@ impl std::fmt::Display for CsvError {
 impl std::error::Error for CsvError {}
 
 fn err(line: usize, msg: impl Into<String>) -> CsvError {
-    CsvError { line, msg: msg.into() }
+    CsvError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Header of the request CSV format.
@@ -79,7 +82,9 @@ pub fn requests_from_csv(csv: &str) -> Result<RequestStore, CsvError> {
         }
         let mut parts = line.split(',');
         let mut field = |name: &str| {
-            parts.next().ok_or_else(|| err(lineno, format!("missing field {name}")))
+            parts
+                .next()
+                .ok_or_else(|| err(lineno, format!("missing field {name}")))
         };
         let ts: u32 = field("ts_secs")?
             .parse()
@@ -145,14 +150,20 @@ pub fn labels_from_csv(csv: &str) -> Result<AbuseLabels, CsvError> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 3 {
-            return Err(err(lineno, format!("expected 3 fields, got {}", fields.len())));
+            return Err(err(
+                lineno,
+                format!("expected 3 fields, got {}", fields.len()),
+            ));
         }
-        let user: u64 =
-            fields[0].parse().map_err(|e| err(lineno, format!("bad user id: {e}")))?;
-        let created: u16 =
-            fields[1].parse().map_err(|e| err(lineno, format!("bad created day: {e}")))?;
-        let detected: u16 =
-            fields[2].parse().map_err(|e| err(lineno, format!("bad detected day: {e}")))?;
+        let user: u64 = fields[0]
+            .parse()
+            .map_err(|e| err(lineno, format!("bad user id: {e}")))?;
+        let created: u16 = fields[1]
+            .parse()
+            .map_err(|e| err(lineno, format!("bad created day: {e}")))?;
+        let detected: u16 = fields[2]
+            .parse()
+            .map_err(|e| err(lineno, format!("bad detected day: {e}")))?;
         if created >= 366 || detected >= 366 {
             return Err(err(lineno, "day index out of 2020"));
         }
@@ -223,11 +234,17 @@ mod tests {
         let mut labels = AbuseLabels::new();
         labels.insert(
             UserId(10),
-            AbuseInfo { created: SimDate::ymd(4, 10), detected: SimDate::ymd(4, 12) },
+            AbuseInfo {
+                created: SimDate::ymd(4, 10),
+                detected: SimDate::ymd(4, 12),
+            },
         );
         labels.insert(
             UserId(7),
-            AbuseInfo { created: SimDate::ymd(3, 1), detected: SimDate::ymd(3, 1) },
+            AbuseInfo {
+                created: SimDate::ymd(3, 1),
+                detected: SimDate::ymd(3, 1),
+            },
         );
         let csv = labels_to_csv(&labels);
         let back = labels_from_csv(&csv).unwrap();
@@ -241,8 +258,17 @@ mod tests {
     #[test]
     fn labels_csv_rejects_inconsistencies() {
         let base = format!("{LABELS_HEADER}\n");
-        assert!(labels_from_csv(&format!("{base}1,50,40")).is_err(), "detected < created");
-        assert!(labels_from_csv(&format!("{base}1,400,401")).is_err(), "beyond 2020");
-        assert!(labels_from_csv(&format!("{base}1,2")).is_err(), "missing field");
+        assert!(
+            labels_from_csv(&format!("{base}1,50,40")).is_err(),
+            "detected < created"
+        );
+        assert!(
+            labels_from_csv(&format!("{base}1,400,401")).is_err(),
+            "beyond 2020"
+        );
+        assert!(
+            labels_from_csv(&format!("{base}1,2")).is_err(),
+            "missing field"
+        );
     }
 }

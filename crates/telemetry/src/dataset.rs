@@ -83,6 +83,47 @@ impl StudyDatasets {
         }
     }
 
+    /// Absorbs another dataset collection produced under the *same* sampler
+    /// configuration and prefix-length set — the merge half of the sharded
+    /// simulation driver. Each store's records are appended after `self`'s
+    /// in `other`'s internal order, so merging shard outputs in shard-index
+    /// order reproduces the serial emission order exactly (the stores'
+    /// stable timestamp sort preserves that tie order).
+    ///
+    /// # Panics
+    /// Panics when the sampler configurations differ or the prefix-length
+    /// sets differ: such datasets were sampled from different populations
+    /// and merging them would be statistically meaningless.
+    pub fn merge(&mut self, other: StudyDatasets) {
+        assert!(
+            self.samplers.same_config(&other.samplers),
+            "cannot merge datasets sampled under different configurations"
+        );
+        assert_eq!(
+            {
+                let mut k: Vec<u8> = self.prefix_samples.keys().copied().collect();
+                k.sort_unstable();
+                k
+            },
+            {
+                let mut k: Vec<u8> = other.prefix_samples.keys().copied().collect();
+                k.sort_unstable();
+                k
+            },
+            "cannot merge datasets with different prefix-length sets"
+        );
+        self.request_sample.extend_from(other.request_sample);
+        self.user_sample.extend_from(other.user_sample);
+        self.ip_sample.extend_from(other.ip_sample);
+        for (len, store) in other.prefix_samples {
+            self.prefix_samples
+                .get_mut(&len)
+                .expect("key sets verified equal above")
+                .extend_from(store);
+        }
+        self.offered += other.offered;
+    }
+
     /// The prefix sample for a given length.
     ///
     /// # Panics
@@ -120,7 +161,12 @@ mod tests {
 
     #[test]
     fn full_rate_retains_everything() {
-        let s = Samplers { request_rate: 1.0, user_rate: 1.0, ip_rate: 1.0, prefix_rate: 1.0 };
+        let s = Samplers {
+            request_rate: 1.0,
+            user_rate: 1.0,
+            ip_rate: 1.0,
+            prefix_rate: 1.0,
+        };
         let mut d = StudyDatasets::with_prefix_lengths(s, &[64, 48]);
         d.offer(rec(1, "2001:db8::1", 0));
         d.offer(rec(2, "192.0.2.1", 1));
@@ -135,18 +181,29 @@ mod tests {
 
     #[test]
     fn user_sample_keeps_all_requests_of_sampled_users() {
-        let s = Samplers { request_rate: 0.0001, user_rate: 0.05, ip_rate: 0.0001, prefix_rate: 0.0 };
+        let s = Samplers {
+            request_rate: 0.0001,
+            user_rate: 0.05,
+            ip_rate: 0.0001,
+            prefix_rate: 0.0,
+        };
         let mut d = StudyDatasets::with_prefix_lengths(s.clone(), &[]);
         // Find a sampled user.
-        let sampled_user =
-            (0..10_000).find(|&u| s.user_sampled(UserId(u))).expect("some user sampled");
+        let sampled_user = (0..10_000)
+            .find(|&u| s.user_sampled(UserId(u)))
+            .expect("some user sampled");
         for i in 0..50 {
             d.offer(rec(sampled_user, "2001:db8::1", i));
         }
-        assert_eq!(d.user_sample.len(), 50, "every request of a sampled user is kept");
+        assert_eq!(
+            d.user_sample.len(),
+            50,
+            "every request of a sampled user is kept"
+        );
         // And an unsampled user contributes nothing.
-        let unsampled =
-            (0..10_000).find(|&u| !s.user_sampled(UserId(u))).expect("some user unsampled");
+        let unsampled = (0..10_000)
+            .find(|&u| !s.user_sampled(UserId(u)))
+            .expect("some user unsampled");
         d.offer(rec(unsampled, "2001:db8::2", 99));
         assert_eq!(d.user_sample.len(), 50);
     }
@@ -160,8 +217,85 @@ mod tests {
     }
 
     #[test]
+    fn merge_equals_serial_offering() {
+        let s = Samplers {
+            request_rate: 0.5,
+            user_rate: 0.5,
+            ip_rate: 0.5,
+            prefix_rate: 0.5,
+        };
+        let records: Vec<RequestRecord> = (0..200)
+            .map(|i| {
+                rec(
+                    i,
+                    if i % 3 == 0 {
+                        "192.0.2.7"
+                    } else {
+                        "2001:db8::1"
+                    },
+                    i as u32,
+                )
+            })
+            .collect();
+
+        let mut serial = StudyDatasets::with_prefix_lengths(s.clone(), &[64, 48]);
+        for r in &records {
+            serial.offer(*r);
+        }
+
+        let mut left = StudyDatasets::with_prefix_lengths(s.clone(), &[64, 48]);
+        let mut right = StudyDatasets::with_prefix_lengths(s, &[64, 48]);
+        for r in &records[..120] {
+            left.offer(*r);
+        }
+        for r in &records[120..] {
+            right.offer(*r);
+        }
+        left.merge(right);
+
+        assert_eq!(left.offered, serial.offered);
+        assert_eq!(left.request_sample.all(), serial.request_sample.all());
+        assert_eq!(left.user_sample.all(), serial.user_sample.all());
+        assert_eq!(left.ip_sample.all(), serial.ip_sample.all());
+        assert_eq!(left.prefix_sample(64).all(), serial.prefix_sample(64).all());
+        assert_eq!(left.prefix_sample(48).all(), serial.prefix_sample(48).all());
+    }
+
+    #[test]
+    #[should_panic(expected = "different configurations")]
+    fn merge_rejects_mismatched_samplers() {
+        let a = Samplers {
+            request_rate: 0.5,
+            user_rate: 0.5,
+            ip_rate: 0.5,
+            prefix_rate: 0.5,
+        };
+        let b = Samplers {
+            request_rate: 0.25,
+            ..a.clone()
+        };
+        let mut da = StudyDatasets::with_prefix_lengths(a, &[]);
+        let db = StudyDatasets::with_prefix_lengths(b, &[]);
+        da.merge(db);
+    }
+
+    #[test]
+    #[should_panic(expected = "different prefix-length sets")]
+    fn merge_rejects_mismatched_prefix_lengths() {
+        let s = Samplers::paper();
+        let mut da = StudyDatasets::with_prefix_lengths(s.clone(), &[64]);
+        let db = StudyDatasets::with_prefix_lengths(s, &[64, 48]);
+        da.merge(db);
+    }
+
+    #[test]
     fn retained_is_consistent() {
-        let s = Samplers { request_rate: 1.0, user_rate: 1.0, ip_rate: 1.0, prefix_rate: 1.0 };
+        let s = Samplers {
+            request_rate: 1.0,
+            user_rate: 1.0,
+            ip_rate: 1.0,
+            prefix_rate: 1.0,
+        };
         let mut d = StudyDatasets::with_prefix_lengths(s, &[64]);
         d.offer(rec(1, "2001:db8::1", 0));
         assert_eq!(d.retained(), 4); // request + user + ip + one prefix store

@@ -113,11 +113,17 @@ mod tests {
         let mut l = AbuseLabels::new();
         l.insert(
             UserId(1),
-            AbuseInfo { created: SimDate::ymd(4, 10), detected: SimDate::ymd(4, 10) },
+            AbuseInfo {
+                created: SimDate::ymd(4, 10),
+                detected: SimDate::ymd(4, 10),
+            },
         );
         l.insert(
             UserId(2),
-            AbuseInfo { created: SimDate::ymd(4, 10), detected: SimDate::ymd(4, 15) },
+            AbuseInfo {
+                created: SimDate::ymd(4, 10),
+                detected: SimDate::ymd(4, 15),
+            },
         );
         assert!(l.is_abusive(UserId(1)));
         assert!(!l.is_abusive(UserId(3)));
@@ -132,11 +138,17 @@ mod tests {
         let mut l = AbuseLabels::new();
         l.insert(
             UserId(1),
-            AbuseInfo { created: SimDate::ymd(4, 12), detected: SimDate::ymd(4, 14) },
+            AbuseInfo {
+                created: SimDate::ymd(4, 12),
+                detected: SimDate::ymd(4, 14),
+            },
         );
         l.insert(
             UserId(1),
-            AbuseInfo { created: SimDate::ymd(4, 10), detected: SimDate::ymd(4, 16) },
+            AbuseInfo {
+                created: SimDate::ymd(4, 10),
+                detected: SimDate::ymd(4, 16),
+            },
         );
         let i = l.get(UserId(1)).unwrap();
         assert_eq!(i.created, SimDate::ymd(4, 10));

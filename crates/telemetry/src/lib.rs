@@ -17,6 +17,8 @@
 //!   random samples.
 //! - [`store`] — an in-memory request store with time-range and group-by
 //!   helpers.
+//! - [`sink`] — the [`sink::RequestSink`] consumer trait that simulator
+//!   crates emit into, with tee/closure/counting combinators.
 //! - [`labels`] — the abusive-account label dataset with creation/detection
 //!   dates (the paper's labels are lifetime-censored by detection; ours
 //!   record both dates so analyses can reproduce that censoring).
@@ -34,6 +36,7 @@ pub mod ids;
 pub mod labels;
 pub mod record;
 pub mod sampler;
+pub mod sink;
 pub mod store;
 pub mod time;
 
@@ -42,5 +45,6 @@ pub use ids::{Asn, Country, DeviceId, HouseholdId, UserId};
 pub use labels::{AbuseInfo, AbuseLabels};
 pub use record::RequestRecord;
 pub use sampler::Samplers;
+pub use sink::{CountingSink, FnSink, RequestSink, Tee};
 pub use store::RequestStore;
 pub use time::{DateRange, SimDate, Timestamp};

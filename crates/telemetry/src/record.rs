@@ -125,7 +125,10 @@ mod tests {
         let v6 = ip_key("::c000:201".parse().unwrap());
         assert_ne!(v4, v6);
         // Distinct v4s get distinct keys.
-        assert_ne!(ip_key("10.0.0.1".parse().unwrap()), ip_key("10.0.0.2".parse().unwrap()));
+        assert_ne!(
+            ip_key("10.0.0.1".parse().unwrap()),
+            ip_key("10.0.0.2".parse().unwrap())
+        );
     }
 
     #[test]

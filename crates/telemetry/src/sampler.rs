@@ -48,7 +48,12 @@ pub struct Samplers {
 impl Samplers {
     /// The paper's configuration: 0.1% samples throughout.
     pub fn paper() -> Self {
-        Self { request_rate: 0.001, user_rate: 0.001, ip_rate: 0.001, prefix_rate: 0.001 }
+        Self {
+            request_rate: 0.001,
+            user_rate: 0.001,
+            ip_rate: 0.001,
+            prefix_rate: 0.001,
+        }
     }
 
     /// A scaled configuration for simulations with `population` users,
@@ -69,6 +74,18 @@ impl Samplers {
             ip_rate: user_rate,
             prefix_rate: user_rate,
         }
+    }
+
+    /// Whether two sampler configurations make identical decisions — i.e.
+    /// every rate is bit-equal. Merging datasets sampled under different
+    /// configurations would silently mix incompatible inclusion
+    /// probabilities, so [`crate::dataset::StudyDatasets::merge`] requires
+    /// this to hold.
+    pub fn same_config(&self, other: &Samplers) -> bool {
+        self.request_rate.to_bits() == other.request_rate.to_bits()
+            && self.user_rate.to_bits() == other.user_rate.to_bits()
+            && self.ip_rate.to_bits() == other.ip_rate.to_bits()
+            && self.prefix_rate.to_bits() == other.prefix_rate.to_bits()
     }
 
     /// Whether a user belongs to the user random sample.
@@ -126,9 +143,7 @@ mod tests {
 
     fn rec(user: u64, ip: &str, secs_offset: u32) -> RequestRecord {
         RequestRecord {
-            ts: crate::time::Timestamp::from_secs(
-                SimDate::ymd(4, 13).start().secs() + secs_offset,
-            ),
+            ts: crate::time::Timestamp::from_secs(SimDate::ymd(4, 13).start().secs() + secs_offset),
             user: UserId(user),
             ip: ip.parse::<IpAddr>().unwrap(),
             asn: Asn(64496),
@@ -138,7 +153,12 @@ mod tests {
 
     #[test]
     fn user_sampling_is_per_user_and_stable_over_time() {
-        let s = Samplers { request_rate: 0.5, user_rate: 0.5, ip_rate: 0.5, prefix_rate: 0.5 };
+        let s = Samplers {
+            request_rate: 0.5,
+            user_rate: 0.5,
+            ip_rate: 0.5,
+            prefix_rate: 0.5,
+        };
         for u in 0..200 {
             let a = s.user_sampled(UserId(u));
             let b = s.user_sampled(UserId(u));
@@ -148,7 +168,12 @@ mod tests {
 
     #[test]
     fn ip_sampling_keys_on_address_only() {
-        let s = Samplers { request_rate: 1.0, user_rate: 1.0, ip_rate: 0.5, prefix_rate: 1.0 };
+        let s = Samplers {
+            request_rate: 1.0,
+            user_rate: 1.0,
+            ip_rate: 0.5,
+            prefix_rate: 1.0,
+        };
         let r1 = rec(1, "2001:db8::1", 0);
         let r2 = rec(999, "2001:db8::1", 5000); // same IP, different user/time
         assert_eq!(s.ip_sampled(&r1), s.ip_sampled(&r2));
@@ -156,7 +181,12 @@ mod tests {
 
     #[test]
     fn request_sampling_depends_on_tuple() {
-        let s = Samplers { request_rate: 0.5, user_rate: 1.0, ip_rate: 1.0, prefix_rate: 1.0 };
+        let s = Samplers {
+            request_rate: 0.5,
+            user_rate: 1.0,
+            ip_rate: 1.0,
+            prefix_rate: 1.0,
+        };
         let base = rec(1, "2001:db8::1", 0);
         // Deterministic for the identical record.
         assert_eq!(s.request_sampled(&base), s.request_sampled(&base));
@@ -169,15 +199,21 @@ mod tests {
 
     #[test]
     fn prefix_sampling_is_independent_across_lengths() {
-        let s = Samplers { request_rate: 1.0, user_rate: 1.0, ip_rate: 1.0, prefix_rate: 0.5 };
+        let s = Samplers {
+            request_rate: 1.0,
+            user_rate: 1.0,
+            ip_rate: 1.0,
+            prefix_rate: 0.5,
+        };
         let addr: std::net::Ipv6Addr = "2001:db8:1:2:3:4:5:6".parse().unwrap();
         // The /64 decision should not force the /48 decision: across many
         // prefixes, the joint rate should look like product, not identity.
         let mut agree = 0;
         let n = 4000;
         for i in 0..n {
-            let a: std::net::Ipv6Addr =
-                format!("2001:db8:{}:{}::1", i / 256, i % 256).parse().unwrap();
+            let a: std::net::Ipv6Addr = format!("2001:db8:{}:{}::1", i / 256, i % 256)
+                .parse()
+                .unwrap();
             let p64 = Ipv6Prefix::containing(a, 64);
             let p48 = Ipv6Prefix::containing(a, 48);
             if s.prefix_sampled(p64) == s.prefix_sampled(p48) {
@@ -185,7 +221,10 @@ mod tests {
             }
         }
         let frac = agree as f64 / n as f64;
-        assert!((frac - 0.5).abs() < 0.05, "decisions should be independent, agree={frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "decisions should be independent, agree={frac}"
+        );
         let _ = addr;
     }
 
@@ -194,7 +233,10 @@ mod tests {
         let small = Samplers::scaled_for(10_000);
         assert!(small.user_rate <= 1.0 && small.user_rate >= 0.1);
         let large = Samplers::scaled_for(100_000_000);
-        assert!((large.user_rate - 0.001).abs() < 1e-9, "floors at the paper's 0.1%");
+        assert!(
+            (large.user_rate - 0.001).abs() < 1e-9,
+            "floors at the paper's 0.1%"
+        );
         let paper = Samplers::paper();
         assert_eq!(paper.user_rate, 0.001);
     }

@@ -1,0 +1,181 @@
+//! The request-consumer abstraction between simulators and datasets.
+//!
+//! Emitters (the behavior and abuse simulators) produce a stream of
+//! [`RequestRecord`]s; what happens to each record — sampling into the
+//! study datasets, wholesale retention in a [`RequestStore`], forking to
+//! several consumers — is the caller's business. [`RequestSink`] is that
+//! seam: emitters take `&mut dyn RequestSink`, and this module provides
+//! the standard implementations plus combinators:
+//!
+//! - [`StudyDatasets`] — routes each record through the deterministic
+//!   samplers (the production path),
+//! - [`RequestStore`] — keeps everything (useful for bounded windows like
+//!   the pair-week store, and in tests),
+//! - [`Tee`] — duplicates the stream to two sinks,
+//! - [`FnSink`] — adapts a closure (tests and one-off probes),
+//! - [`CountingSink`] — wraps a sink and counts records passing through
+//!   (the driver's per-shard throughput metric).
+
+use crate::dataset::StudyDatasets;
+use crate::record::RequestRecord;
+use crate::store::RequestStore;
+
+/// A consumer of simulated platform requests.
+///
+/// Object-safe on purpose: emitters take `&mut dyn RequestSink` so the
+/// simulation crates compile once regardless of where records end up.
+pub trait RequestSink {
+    /// Accepts one request record.
+    fn accept(&mut self, rec: RequestRecord);
+}
+
+impl RequestSink for StudyDatasets {
+    fn accept(&mut self, rec: RequestRecord) {
+        self.offer(rec);
+    }
+}
+
+impl RequestSink for RequestStore {
+    fn accept(&mut self, rec: RequestRecord) {
+        self.push(rec);
+    }
+}
+
+/// Forwarding through a mutable reference, so `&mut dyn RequestSink` can
+/// itself be handed to an emitter.
+impl RequestSink for &mut dyn RequestSink {
+    fn accept(&mut self, rec: RequestRecord) {
+        (**self).accept(rec);
+    }
+}
+
+/// Duplicates every record to two sinks, in order: first `a`, then `b`.
+pub struct Tee<'a> {
+    a: &'a mut dyn RequestSink,
+    b: &'a mut dyn RequestSink,
+}
+
+impl<'a> Tee<'a> {
+    /// Creates a tee over two sinks.
+    pub fn new(a: &'a mut dyn RequestSink, b: &'a mut dyn RequestSink) -> Self {
+        Self { a, b }
+    }
+}
+
+impl RequestSink for Tee<'_> {
+    fn accept(&mut self, rec: RequestRecord) {
+        self.a.accept(rec);
+        self.b.accept(rec);
+    }
+}
+
+/// Adapts a closure into a sink.
+///
+/// A blanket `impl<F: FnMut(..)> RequestSink for F` would collide with the
+/// concrete impls above under coherence rules, so closures are wrapped
+/// explicitly: `&mut FnSink(|rec| ...)`.
+pub struct FnSink<F: FnMut(RequestRecord)>(pub F);
+
+impl<F: FnMut(RequestRecord)> RequestSink for FnSink<F> {
+    fn accept(&mut self, rec: RequestRecord) {
+        (self.0)(rec);
+    }
+}
+
+/// Wraps a sink and counts the records passing through it.
+pub struct CountingSink<'a> {
+    inner: &'a mut dyn RequestSink,
+    count: u64,
+}
+
+impl<'a> CountingSink<'a> {
+    /// Creates a counting wrapper around `inner`.
+    pub fn new(inner: &'a mut dyn RequestSink) -> Self {
+        Self { inner, count: 0 }
+    }
+
+    /// Records seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl RequestSink for CountingSink<'_> {
+    fn accept(&mut self, rec: RequestRecord) {
+        self.count += 1;
+        self.inner.accept(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Asn, Country, UserId};
+    use crate::sampler::Samplers;
+    use crate::time::SimDate;
+
+    fn rec(user: u64, sec: u32) -> RequestRecord {
+        RequestRecord {
+            ts: crate::time::Timestamp::from_secs(SimDate::ymd(4, 13).start().secs() + sec),
+            user: UserId(user),
+            ip: "2001:db8::1".parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    #[test]
+    fn store_sink_keeps_everything() {
+        let mut store = RequestStore::new();
+        let sink: &mut dyn RequestSink = &mut store;
+        sink.accept(rec(1, 0));
+        sink.accept(rec(2, 1));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn dataset_sink_routes_through_offer() {
+        let s = Samplers {
+            request_rate: 1.0,
+            user_rate: 1.0,
+            ip_rate: 1.0,
+            prefix_rate: 0.0,
+        };
+        let mut d = StudyDatasets::with_prefix_lengths(s, &[]);
+        let sink: &mut dyn RequestSink = &mut d;
+        sink.accept(rec(7, 0));
+        assert_eq!(d.offered, 1);
+        assert_eq!(d.request_sample.len(), 1);
+    }
+
+    #[test]
+    fn tee_duplicates_in_order() {
+        let mut a = RequestStore::new();
+        let mut b = RequestStore::new();
+        let mut tee = Tee::new(&mut a, &mut b);
+        tee.accept(rec(1, 0));
+        tee.accept(rec(2, 1));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn fn_sink_adapts_closures() {
+        let mut seen = Vec::new();
+        let mut sink = FnSink(|r: RequestRecord| seen.push(r.user));
+        sink.accept(rec(3, 0));
+        sink.accept(rec(4, 1));
+        assert_eq!(seen, vec![UserId(3), UserId(4)]);
+    }
+
+    #[test]
+    fn counting_sink_counts_and_forwards() {
+        let mut store = RequestStore::new();
+        let mut counter = CountingSink::new(&mut store);
+        for i in 0..5 {
+            counter.accept(rec(i, i as u32));
+        }
+        assert_eq!(counter.count(), 5);
+        assert_eq!(store.len(), 5);
+    }
+}

@@ -32,6 +32,23 @@ impl RequestStore {
         self.sorted = false;
     }
 
+    /// Absorbs all records of `other`, preserving `other`'s internal order
+    /// after `self`'s own records. Used by the sharded driver to merge
+    /// shard-local stores in shard-index order, which keeps the stable
+    /// timestamp sort (and therefore every downstream slice) byte-identical
+    /// to a serial run.
+    pub fn extend_from(&mut self, other: RequestStore) {
+        if self.records.is_empty() {
+            *self = other;
+            return;
+        }
+        if other.records.is_empty() {
+            return;
+        }
+        self.records.extend(other.records);
+        self.sorted = false;
+    }
+
     /// Number of records held.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -145,6 +162,47 @@ mod tests {
     }
 
     #[test]
+    fn extend_from_appends_preserving_order() {
+        let a1 = rec(1, SimDate::ymd(4, 13), 10, "2001:db8::1");
+        let a2 = rec(2, SimDate::ymd(4, 13), 10, "2001:db8::2"); // equal ts on purpose
+        let b1 = rec(3, SimDate::ymd(4, 13), 10, "2001:db8::3");
+
+        // Serial: push a1, a2, b1 into one store.
+        let mut serial = RequestStore::new();
+        serial.push(a1);
+        serial.push(a2);
+        serial.push(b1);
+
+        // Sharded: two stores merged in shard order.
+        let mut left = RequestStore::new();
+        left.push(a1);
+        left.push(a2);
+        let mut right = RequestStore::new();
+        right.push(b1);
+        let mut merged = RequestStore::new();
+        merged.extend_from(left);
+        merged.extend_from(right);
+
+        // The stable sort must leave both in the same tie order.
+        assert_eq!(serial.all(), merged.all());
+    }
+
+    #[test]
+    fn extend_from_into_empty_is_a_move() {
+        let mut src = RequestStore::new();
+        src.push(rec(1, SimDate::ymd(4, 13), 1, "2001:db8::1"));
+        src.ensure_sorted();
+        let mut dst = RequestStore::new();
+        dst.extend_from(src);
+        assert_eq!(dst.len(), 1);
+        // Moving a sorted store keeps it sorted (no re-sort needed).
+        assert!(dst.sorted);
+        dst.extend_from(RequestStore::new());
+        assert_eq!(dst.len(), 1);
+        assert!(dst.sorted);
+    }
+
+    #[test]
     fn grouping_helpers() {
         let mut s = RequestStore::new();
         s.push(rec(1, SimDate::ymd(4, 13), 1, "2001:db8::1"));
@@ -160,6 +218,9 @@ mod tests {
         assert_eq!(by_ip.len(), 2);
         assert_eq!(by_ip[&"2001:db8::1".parse::<IpAddr>().unwrap()].len(), 2);
 
-        assert_eq!(RequestStore::distinct_users(&recs), vec![UserId(1), UserId(2)]);
+        assert_eq!(
+            RequestStore::distinct_users(&recs),
+            vec![UserId(1), UserId(2)]
+        );
     }
 }

@@ -39,7 +39,10 @@ impl SimDate {
     /// Panics on out-of-range month/day.
     pub fn ymd(month: u8, day: u8) -> Self {
         assert!((1..=12).contains(&month), "month out of range");
-        assert!(day >= 1 && day <= MONTH_DAYS[(month - 1) as usize], "day out of range");
+        assert!(
+            day >= 1 && day <= MONTH_DAYS[(month - 1) as usize],
+            "day out of range"
+        );
         Self(CUM_DAYS[(month - 1) as usize] + u16::from(day) - 1)
     }
 
@@ -59,7 +62,10 @@ impl SimDate {
 
     /// Month (1–12).
     pub fn month(self) -> u8 {
-        (CUM_DAYS.iter().position(|&c| c > self.0).expect("index < 366")) as u8
+        (CUM_DAYS
+            .iter()
+            .position(|&c| c > self.0)
+            .expect("index < 366")) as u8
     }
 
     /// Day of month (1-based).
@@ -158,7 +164,14 @@ impl fmt::Display for Timestamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let d = self.date();
         let rem = self.0 % 86_400;
-        write!(f, "{}T{:02}:{:02}:{:02}", d, rem / 3600, (rem % 3600) / 60, rem % 60)
+        write!(
+            f,
+            "{}T{:02}:{:02}:{:02}",
+            d,
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        )
     }
 }
 
@@ -183,7 +196,10 @@ impl DateRange {
 
     /// A single-day range.
     pub fn single(day: SimDate) -> Self {
-        Self { start: day, end: day }
+        Self {
+            start: day,
+            end: day,
+        }
     }
 
     /// Whether `d` lies inside the range.
@@ -203,7 +219,10 @@ impl DateRange {
 
     /// Timestamp bounds `[start_of_first_day, end_of_last_day]`.
     pub fn ts_bounds(&self) -> (Timestamp, Timestamp) {
-        (self.start.start(), Timestamp::from_secs((u32::from(self.end.index()) + 1) * 86_400 - 1))
+        (
+            self.start.start(),
+            Timestamp::from_secs((u32::from(self.end.index()) + 1) * 86_400 - 1),
+        )
     }
 }
 
@@ -290,7 +309,11 @@ mod tests {
         assert_eq!(SimDate::ymd(4, 13) + 6, d);
         assert_eq!(d.days_since(SimDate::ymd(4, 13)), 6);
         assert_eq!(SimDate::ymd(4, 13).days_since(d), 0, "saturates");
-        assert_eq!(SimDate::ymd(1, 3) - 10, SimDate::ymd(1, 1), "saturates at epoch");
+        assert_eq!(
+            SimDate::ymd(1, 3) - 10,
+            SimDate::ymd(1, 1),
+            "saturates at epoch"
+        );
     }
 
     #[test]

@@ -11,10 +11,10 @@ use ipv6_user_study::analysis::ip_centric::users_per_ip;
 use ipv6_user_study::secapp::mlfeatures::{training_set, LogisticModel};
 use ipv6_user_study::secapp::signatures::HeavyAddressPredictor;
 use ipv6_user_study::telemetry::time::{focus_day_user, focus_week};
-use ipv6_user_study::{Study, StudyConfig};
+use ipv6_user_study::Study;
 
 fn main() {
-    let mut study = Study::run(StudyConfig::test_scale());
+    let mut study = Study::builder().test_scale().run().expect("valid preset");
 
     // 1. Exempt-list the predictable mega-addresses (gateway signature),
     //    so blocklists and limiters can skip them (the paper's advice:
@@ -32,7 +32,11 @@ fn main() {
     println!("== heavy-address predictor (structural signature + learned ASNs) ==");
     println!(
         "gateway ASNs learned: {:?}",
-        predictor.gateway_asns().iter().map(|a| a.0).collect::<Vec<_>>()
+        predictor
+            .gateway_asns()
+            .iter()
+            .map(|a| a.0)
+            .collect::<Vec<_>>()
     );
     println!(
         "precision {:.2}, recall {:.2} over {} heavy / {} predicted addresses",

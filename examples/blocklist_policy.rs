@@ -9,17 +9,20 @@ use ipv6_user_study::secapp::actioning::{actioning_roc, operating_points, Granul
 use ipv6_user_study::secapp::blocklist::{evaluate_over_days, Blocklist};
 use ipv6_user_study::telemetry::time::focus_day_user;
 use ipv6_user_study::telemetry::SimDate;
-use ipv6_user_study::{Study, StudyConfig};
+use ipv6_user_study::Study;
 
 fn main() {
-    let mut study = Study::run(StudyConfig::test_scale());
+    let mut study = Study::builder().test_scale().run().expect("valid preset");
     let day_n = focus_day_user() - 1;
     let day_n1 = focus_day_user();
     let n = study.pair_store.on_day(day_n).to_vec();
     let n1 = study.pair_store.on_day(day_n1).to_vec();
 
     println!("== day-over-day actioning ROC (operating points) ==");
-    println!("{:>6} {:>8} {:>9} {:>9} {:>9}", "unit", "thresh", "TPR", "FPR", "TPR@1%FPR");
+    println!(
+        "{:>6} {:>8} {:>9} {:>9} {:>9}",
+        "unit", "thresh", "TPR", "FPR", "TPR@1%FPR"
+    );
     let grans = [
         Granularity::V6Full,
         Granularity::V6Prefix(64),
@@ -29,9 +32,7 @@ fn main() {
     for gran in grans {
         let curve = actioning_roc(&n, &n1, &study.labels, gran);
         let pts = operating_points(&curve);
-        for (label, (tpr, fpr)) in
-            [("0%", pts.t0), ("10%", pts.t10), ("100%", pts.t100)]
-        {
+        for (label, (tpr, fpr)) in [("0%", pts.t0), ("10%", pts.t10), ("100%", pts.t100)] {
             println!(
                 "{:>6} {:>8} {:>8.1}% {:>8.3}% {:>8.1}%",
                 gran.label(),
@@ -54,7 +55,12 @@ fn main() {
     ] {
         let bl = Blocklist::from_day(&listing, &study.labels, gran, 0.5, list_day, 14);
         let later: Vec<(SimDate, Vec<_>)> = (1..=6u16)
-            .map(|k| (list_day + k, study.datasets.ip_sample.on_day(list_day + k).to_vec()))
+            .map(|k| {
+                (
+                    list_day + k,
+                    study.datasets.ip_sample.on_day(list_day + k).to_vec(),
+                )
+            })
             .collect();
         let evals = evaluate_over_days(
             &bl,
@@ -62,9 +68,15 @@ fn main() {
             list_day,
             later.iter().map(|(d, r)| (*d, r.as_slice())),
         );
-        let series: Vec<String> =
-            evals.iter().map(|e| format!("d+{}: {:.0}%", e.offset, 100.0 * e.recall)).collect();
-        println!("{name:>10} ({} entries): {}", bl.live_entries(list_day + 1), series.join("  "));
+        let series: Vec<String> = evals
+            .iter()
+            .map(|e| format!("d+{}: {:.0}%", e.offset, 100.0 * e.recall))
+            .collect();
+        println!(
+            "{name:>10} ({} entries): {}",
+            bl.live_entries(list_day + 1),
+            series.join("  ")
+        );
     }
 
     println!(

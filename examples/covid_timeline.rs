@@ -8,7 +8,7 @@
 
 use ipv6_user_study::analysis::characterize::prevalence_series;
 use ipv6_user_study::telemetry::SimDate;
-use ipv6_user_study::{Study, StudyConfig};
+use ipv6_user_study::Study;
 
 fn bar(share: f64, lo: f64, hi: f64, width: usize) -> String {
     let frac = ((share - lo) / (hi - lo)).clamp(0.0, 1.0);
@@ -17,14 +17,18 @@ fn bar(share: f64, lo: f64, hi: f64, width: usize) -> String {
 }
 
 fn main() {
-    let mut study = Study::run(StudyConfig::test_scale());
+    let mut study = Study::builder().test_scale().run().expect("valid preset");
     let range = study.config.full_range;
     let user = study.datasets.user_sample.in_range(range).to_vec();
     let req = study.datasets.request_sample.in_range(range).to_vec();
     let pts = prevalence_series(&user, &req, range);
 
     let (ulo, uhi) = (0.30, 0.46);
-    println!("daily IPv6 share of users (bars span {:.0}%..{:.0}%)", ulo * 100.0, uhi * 100.0);
+    println!(
+        "daily IPv6 share of users (bars span {:.0}%..{:.0}%)",
+        ulo * 100.0,
+        uhi * 100.0
+    );
     for p in &pts {
         let marks = format!(
             "{}{}",
@@ -43,10 +47,11 @@ fn main() {
 
     let first_two_weeks: Vec<&_> = pts.iter().take(14).collect();
     let last_two_weeks: Vec<&_> = pts.iter().rev().take(14).collect();
-    let mean = |v: &[&ipv6_user_study::analysis::characterize::PrevalencePoint],
-                f: fn(&ipv6_user_study::analysis::characterize::PrevalencePoint) -> f64| {
-        v.iter().map(|p| f(p)).sum::<f64>() / v.len() as f64
-    };
+    let mean =
+        |v: &[&ipv6_user_study::analysis::characterize::PrevalencePoint],
+         f: fn(&ipv6_user_study::analysis::characterize::PrevalencePoint) -> f64| {
+            v.iter().map(|p| f(p)).sum::<f64>() / v.len() as f64
+        };
     println!(
         "\nJan vs Apr means — users: {:.1}% → {:.1}%   requests: {:.1}% → {:.1}%",
         100.0 * mean(&first_two_weeks, |p| p.user_share),

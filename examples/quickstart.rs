@@ -6,18 +6,18 @@
 //! ```
 
 use ipv6_user_study::experiments;
-use ipv6_user_study::{Study, StudyConfig};
+use ipv6_user_study::Study;
 
 fn main() {
     // A scaled-down platform: ~5k households (~12k users), attacker
     // campaigns included, simulated over the paper's Jan 23 – Apr 19 2020
     // window with deterministic sampling.
-    let config = StudyConfig::test_scale();
+    let config = Study::builder().test_scale().build().expect("valid preset");
     println!(
         "simulating {} households, {} campaigns, {} .. {}",
         config.households, config.campaigns, config.full_range.start, config.full_range.end
     );
-    let mut study = Study::run(config);
+    let mut study = Study::run(config).expect("validated above");
     println!(
         "platform saw {} requests; samples retained {}; {} labeled abusive accounts\n",
         study.datasets.offered,

@@ -9,10 +9,10 @@
 use ipv6_user_study::analysis::ip_centric::{users_per_ip, users_per_prefix};
 use ipv6_user_study::secapp::ratelimit::{recommend_threshold, KeyPolicy, RateLimiter};
 use ipv6_user_study::telemetry::time::focus_week;
-use ipv6_user_study::{Study, StudyConfig};
+use ipv6_user_study::Study;
 
 fn main() {
-    let mut study = Study::run(StudyConfig::test_scale());
+    let mut study = Study::builder().test_scale().run().expect("valid preset");
     let week = focus_week();
 
     let ip_recs = study.datasets.ip_sample.in_range(week).to_vec();
@@ -29,8 +29,14 @@ fn main() {
     const PER_USER: u64 = 200; // daily request budget per legitimate user
     const Q: f64 = 0.999; // protect 99.9% of keys from throttling
 
-    println!("== recommended per-key daily budgets (protecting p{:.1} of keys) ==", Q * 100.0);
-    println!("{:>12} {:>16} {:>16}", "key", "users@quantile", "requests/day");
+    println!(
+        "== recommended per-key daily budgets (protecting p{:.1} of keys) ==",
+        Q * 100.0
+    );
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "key", "users@quantile", "requests/day"
+    );
     for (name, ecdf) in [
         ("IPv6 /128", &per_ip.v6),
         ("IPv6 /64", &p64),
@@ -38,7 +44,10 @@ fn main() {
         ("IPv4 addr", &per_ip.v4),
     ] {
         let r = recommend_threshold(ecdf, PER_USER, Q);
-        println!("{:>12} {:>16} {:>16}", name, r.users_at_quantile, r.requests_per_day);
+        println!(
+            "{:>12} {:>16} {:>16}",
+            name, r.users_at_quantile, r.requests_per_day
+        );
     }
     let v6 = recommend_threshold(&per_ip.v6, PER_USER, Q);
     let v4 = recommend_threshold(&per_ip.v4, PER_USER, Q);

@@ -13,11 +13,11 @@
 //! ## Quickstart
 //!
 //! ```
-//! use ipv6_user_study::{Study, StudyConfig};
+//! use ipv6_user_study::Study;
 //! use ipv6_user_study::experiments;
 //!
 //! // Simulate a small platform and regenerate Figure 7.
-//! let mut study = Study::run(StudyConfig::tiny());
+//! let mut study = Study::builder().tiny().run().unwrap();
 //! let fig7 = experiments::fig7_users_per_ip(&mut study);
 //! let v6_single = fig7.get_stat("fig7.v6_day_single").unwrap();
 //! let v4_single = fig7.get_stat("fig7.v4_day_single").unwrap();
@@ -27,7 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use ipv6_study_core::{experiments, paper, report, Study, StudyConfig};
+pub use ipv6_study_core::{
+    experiments, paper, report, ConfigError, RunMetrics, ShardMetrics, Study, StudyBuilder,
+    StudyConfig,
+};
 
 /// Statistical substrate: ECDFs, ROC curves, hashing, extrapolation.
 pub use ipv6_study_core::experiments::ExperimentOutput;

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ipv6_study_analysis-f6df7295434f361c.d: crates/analysis/src/lib.rs crates/analysis/src/characterize.rs crates/analysis/src/ip_centric.rs crates/analysis/src/outliers.rs crates/analysis/src/report.rs crates/analysis/src/similarity.rs crates/analysis/src/user_centric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_study_analysis-f6df7295434f361c.rmeta: crates/analysis/src/lib.rs crates/analysis/src/characterize.rs crates/analysis/src/ip_centric.rs crates/analysis/src/outliers.rs crates/analysis/src/report.rs crates/analysis/src/similarity.rs crates/analysis/src/user_centric.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/characterize.rs:
+crates/analysis/src/ip_centric.rs:
+crates/analysis/src/outliers.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/similarity.rs:
+crates/analysis/src/user_centric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ipv6_study_behavior-56b70051972057de.d: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+/root/repo/target/debug/deps/ipv6_study_behavior-56b70051972057de: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+crates/behavior/src/lib.rs:
+crates/behavior/src/abuse.rs:
+crates/behavior/src/device.rs:
+crates/behavior/src/emit.rs:
+crates/behavior/src/population.rs:
+crates/behavior/src/schedule.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ipv6_study_behavior-83af27b9b7db9fb4.d: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+/root/repo/target/debug/deps/libipv6_study_behavior-83af27b9b7db9fb4.rlib: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+/root/repo/target/debug/deps/libipv6_study_behavior-83af27b9b7db9fb4.rmeta: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+crates/behavior/src/lib.rs:
+crates/behavior/src/abuse.rs:
+crates/behavior/src/device.rs:
+crates/behavior/src/emit.rs:
+crates/behavior/src/population.rs:
+crates/behavior/src/schedule.rs:

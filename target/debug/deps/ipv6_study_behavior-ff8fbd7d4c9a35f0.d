@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ipv6_study_behavior-ff8fbd7d4c9a35f0.d: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_study_behavior-ff8fbd7d4c9a35f0.rmeta: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs Cargo.toml
+
+crates/behavior/src/lib.rs:
+crates/behavior/src/abuse.rs:
+crates/behavior/src/device.rs:
+crates/behavior/src/emit.rs:
+crates/behavior/src/population.rs:
+crates/behavior/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

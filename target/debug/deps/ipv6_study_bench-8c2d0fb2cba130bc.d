@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipv6_study_bench-8c2d0fb2cba130bc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ipv6_study_bench-8c2d0fb2cba130bc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

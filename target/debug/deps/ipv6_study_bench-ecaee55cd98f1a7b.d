@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipv6_study_bench-ecaee55cd98f1a7b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipv6_study_bench-ecaee55cd98f1a7b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipv6_study_bench-ecaee55cd98f1a7b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ipv6_study_core-536c5495fd59ecd1.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/experiments.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_study_core-536c5495fd59ecd1.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/experiments.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/study.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/experiments.rs:
+crates/core/src/paper.rs:
+crates/core/src/report.rs:
+crates/core/src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ipv6_study_netaddr-10e4ba54f552df6d.d: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+/root/repo/target/debug/deps/libipv6_study_netaddr-10e4ba54f552df6d.rlib: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+/root/repo/target/debug/deps/libipv6_study_netaddr-10e4ba54f552df6d.rmeta: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+crates/netaddr/src/lib.rs:
+crates/netaddr/src/aggregate.rs:
+crates/netaddr/src/entropy.rs:
+crates/netaddr/src/iid.rs:
+crates/netaddr/src/mac.rs:
+crates/netaddr/src/prefix.rs:
+crates/netaddr/src/set.rs:
+crates/netaddr/src/trie.rs:

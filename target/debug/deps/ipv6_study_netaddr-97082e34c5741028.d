@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ipv6_study_netaddr-97082e34c5741028.d: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+/root/repo/target/debug/deps/ipv6_study_netaddr-97082e34c5741028: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+crates/netaddr/src/lib.rs:
+crates/netaddr/src/aggregate.rs:
+crates/netaddr/src/entropy.rs:
+crates/netaddr/src/iid.rs:
+crates/netaddr/src/mac.rs:
+crates/netaddr/src/prefix.rs:
+crates/netaddr/src/set.rs:
+crates/netaddr/src/trie.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ipv6_study_netaddr-e02062c5c134af15.d: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_study_netaddr-e02062c5c134af15.rmeta: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs Cargo.toml
+
+crates/netaddr/src/lib.rs:
+crates/netaddr/src/aggregate.rs:
+crates/netaddr/src/entropy.rs:
+crates/netaddr/src/iid.rs:
+crates/netaddr/src/mac.rs:
+crates/netaddr/src/prefix.rs:
+crates/netaddr/src/set.rs:
+crates/netaddr/src/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

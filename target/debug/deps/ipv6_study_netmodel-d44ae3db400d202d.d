@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ipv6_study_netmodel-d44ae3db400d202d.d: crates/netmodel/src/lib.rs crates/netmodel/src/conf.rs crates/netmodel/src/countries.rs crates/netmodel/src/epoch.rs crates/netmodel/src/kind.rs crates/netmodel/src/network.rs crates/netmodel/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_study_netmodel-d44ae3db400d202d.rmeta: crates/netmodel/src/lib.rs crates/netmodel/src/conf.rs crates/netmodel/src/countries.rs crates/netmodel/src/epoch.rs crates/netmodel/src/kind.rs crates/netmodel/src/network.rs crates/netmodel/src/world.rs Cargo.toml
+
+crates/netmodel/src/lib.rs:
+crates/netmodel/src/conf.rs:
+crates/netmodel/src/countries.rs:
+crates/netmodel/src/epoch.rs:
+crates/netmodel/src/kind.rs:
+crates/netmodel/src/network.rs:
+crates/netmodel/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ipv6_study_secapp-d2764541c57c9b05.d: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_study_secapp-d2764541c57c9b05.rmeta: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs Cargo.toml
+
+crates/secapp/src/lib.rs:
+crates/secapp/src/actioning.rs:
+crates/secapp/src/blocklist.rs:
+crates/secapp/src/mlfeatures.rs:
+crates/secapp/src/ratelimit.rs:
+crates/secapp/src/signatures.rs:
+crates/secapp/src/threat_exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ipv6_study_secapp-f91acf3f47ee740c.d: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+/root/repo/target/debug/deps/libipv6_study_secapp-f91acf3f47ee740c.rlib: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+/root/repo/target/debug/deps/libipv6_study_secapp-f91acf3f47ee740c.rmeta: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+crates/secapp/src/lib.rs:
+crates/secapp/src/actioning.rs:
+crates/secapp/src/blocklist.rs:
+crates/secapp/src/mlfeatures.rs:
+crates/secapp/src/ratelimit.rs:
+crates/secapp/src/signatures.rs:
+crates/secapp/src/threat_exchange.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ipv6_study_stats-3379f8da27e208aa.d: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/extrapolate.rs crates/stats/src/hash.rs crates/stats/src/histogram.rs crates/stats/src/roc.rs crates/stats/src/summary.rs crates/stats/src/testgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_study_stats-3379f8da27e208aa.rmeta: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/extrapolate.rs crates/stats/src/hash.rs crates/stats/src/histogram.rs crates/stats/src/roc.rs crates/stats/src/summary.rs crates/stats/src/testgen.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/counter.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/extrapolate.rs:
+crates/stats/src/hash.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/roc.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/testgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ipv6_study_telemetry-a2846ccf61a6b6b9.d: crates/telemetry/src/lib.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/ids.rs crates/telemetry/src/labels.rs crates/telemetry/src/record.rs crates/telemetry/src/sampler.rs crates/telemetry/src/sink.rs crates/telemetry/src/store.rs crates/telemetry/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_study_telemetry-a2846ccf61a6b6b9.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/ids.rs crates/telemetry/src/labels.rs crates/telemetry/src/record.rs crates/telemetry/src/sampler.rs crates/telemetry/src/sink.rs crates/telemetry/src/store.rs crates/telemetry/src/time.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/ids.rs:
+crates/telemetry/src/labels.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/sampler.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/store.rs:
+crates/telemetry/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

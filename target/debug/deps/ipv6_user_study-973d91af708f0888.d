@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipv6_user_study-973d91af708f0888.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_user_study-973d91af708f0888.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ipv6_user_study-ce22d618914e73ed.d: src/lib.rs
+
+/root/repo/target/debug/deps/libipv6_user_study-ce22d618914e73ed.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libipv6_user_study-ce22d618914e73ed.rmeta: src/lib.rs
+
+src/lib.rs:

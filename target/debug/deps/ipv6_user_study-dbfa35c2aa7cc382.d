@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipv6_user_study-dbfa35c2aa7cc382.d: src/lib.rs
+
+/root/repo/target/debug/deps/ipv6_user_study-dbfa35c2aa7cc382: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_equivalence-0b32c512c98836fd.d: tests/parallel_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_equivalence-0b32c512c98836fd.rmeta: tests/parallel_equivalence.rs Cargo.toml
+
+tests/parallel_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

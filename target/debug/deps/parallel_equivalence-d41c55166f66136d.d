@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-d41c55166f66136d.d: tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-d41c55166f66136d: tests/parallel_equivalence.rs
+
+tests/parallel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4c0cec098160c9db.d: crates/core/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4c0cec098160c9db: crates/core/src/bin/repro.rs
+
+crates/core/src/bin/repro.rs:

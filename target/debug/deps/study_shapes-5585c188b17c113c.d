@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/study_shapes-5585c188b17c113c.d: tests/study_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstudy_shapes-5585c188b17c113c.rmeta: tests/study_shapes.rs Cargo.toml
+
+tests/study_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

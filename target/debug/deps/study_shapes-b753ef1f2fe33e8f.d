@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/study_shapes-b753ef1f2fe33e8f.d: tests/study_shapes.rs
+
+/root/repo/target/debug/deps/study_shapes-b753ef1f2fe33e8f: tests/study_shapes.rs
+
+tests/study_shapes.rs:

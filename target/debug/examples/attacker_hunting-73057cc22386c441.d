@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attacker_hunting-73057cc22386c441.d: examples/attacker_hunting.rs
+
+/root/repo/target/debug/examples/attacker_hunting-73057cc22386c441: examples/attacker_hunting.rs
+
+examples/attacker_hunting.rs:

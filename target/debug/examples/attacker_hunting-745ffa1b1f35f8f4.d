@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attacker_hunting-745ffa1b1f35f8f4.d: examples/attacker_hunting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattacker_hunting-745ffa1b1f35f8f4.rmeta: examples/attacker_hunting.rs Cargo.toml
+
+examples/attacker_hunting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blocklist_policy-68e208a8fd9c3cd3.d: examples/blocklist_policy.rs
+
+/root/repo/target/debug/examples/blocklist_policy-68e208a8fd9c3cd3: examples/blocklist_policy.rs
+
+examples/blocklist_policy.rs:

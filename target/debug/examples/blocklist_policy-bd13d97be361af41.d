@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blocklist_policy-bd13d97be361af41.d: examples/blocklist_policy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblocklist_policy-bd13d97be361af41.rmeta: examples/blocklist_policy.rs Cargo.toml
+
+examples/blocklist_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/covid_timeline-31fb5939b368dac2.d: examples/covid_timeline.rs
+
+/root/repo/target/debug/examples/covid_timeline-31fb5939b368dac2: examples/covid_timeline.rs
+
+examples/covid_timeline.rs:

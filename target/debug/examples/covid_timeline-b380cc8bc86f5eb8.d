@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/covid_timeline-b380cc8bc86f5eb8.d: examples/covid_timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcovid_timeline-b380cc8bc86f5eb8.rmeta: examples/covid_timeline.rs Cargo.toml
+
+examples/covid_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

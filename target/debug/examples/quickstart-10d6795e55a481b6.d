@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-10d6795e55a481b6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-10d6795e55a481b6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rate_limit_tuning-12ec13b7f34bcb55.d: examples/rate_limit_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/librate_limit_tuning-12ec13b7f34bcb55.rmeta: examples/rate_limit_tuning.rs Cargo.toml
+
+examples/rate_limit_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

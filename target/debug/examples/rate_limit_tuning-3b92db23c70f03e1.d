@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rate_limit_tuning-3b92db23c70f03e1.d: examples/rate_limit_tuning.rs
+
+/root/repo/target/debug/examples/rate_limit_tuning-3b92db23c70f03e1: examples/rate_limit_tuning.rs
+
+examples/rate_limit_tuning.rs:

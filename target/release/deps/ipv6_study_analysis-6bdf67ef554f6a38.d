@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ipv6_study_analysis-6bdf67ef554f6a38.d: crates/analysis/src/lib.rs crates/analysis/src/characterize.rs crates/analysis/src/ip_centric.rs crates/analysis/src/outliers.rs crates/analysis/src/report.rs crates/analysis/src/similarity.rs crates/analysis/src/user_centric.rs
+
+/root/repo/target/release/deps/libipv6_study_analysis-6bdf67ef554f6a38.rlib: crates/analysis/src/lib.rs crates/analysis/src/characterize.rs crates/analysis/src/ip_centric.rs crates/analysis/src/outliers.rs crates/analysis/src/report.rs crates/analysis/src/similarity.rs crates/analysis/src/user_centric.rs
+
+/root/repo/target/release/deps/libipv6_study_analysis-6bdf67ef554f6a38.rmeta: crates/analysis/src/lib.rs crates/analysis/src/characterize.rs crates/analysis/src/ip_centric.rs crates/analysis/src/outliers.rs crates/analysis/src/report.rs crates/analysis/src/similarity.rs crates/analysis/src/user_centric.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/characterize.rs:
+crates/analysis/src/ip_centric.rs:
+crates/analysis/src/outliers.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/similarity.rs:
+crates/analysis/src/user_centric.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ipv6_study_behavior-f552a400e6fc333e.d: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+/root/repo/target/release/deps/libipv6_study_behavior-f552a400e6fc333e.rlib: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+/root/repo/target/release/deps/libipv6_study_behavior-f552a400e6fc333e.rmeta: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+crates/behavior/src/lib.rs:
+crates/behavior/src/abuse.rs:
+crates/behavior/src/device.rs:
+crates/behavior/src/emit.rs:
+crates/behavior/src/population.rs:
+crates/behavior/src/schedule.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ipv6_study_core-a3ee89bb3900e327.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/experiments.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libipv6_study_core-a3ee89bb3900e327.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/experiments.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libipv6_study_core-a3ee89bb3900e327.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/experiments.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/experiments.rs:
+crates/core/src/paper.rs:
+crates/core/src/report.rs:
+crates/core/src/study.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ipv6_study_netaddr-4efd1b8bf7c3a748.d: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+/root/repo/target/release/deps/libipv6_study_netaddr-4efd1b8bf7c3a748.rlib: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+/root/repo/target/release/deps/libipv6_study_netaddr-4efd1b8bf7c3a748.rmeta: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+crates/netaddr/src/lib.rs:
+crates/netaddr/src/aggregate.rs:
+crates/netaddr/src/entropy.rs:
+crates/netaddr/src/iid.rs:
+crates/netaddr/src/mac.rs:
+crates/netaddr/src/prefix.rs:
+crates/netaddr/src/set.rs:
+crates/netaddr/src/trie.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ipv6_study_netmodel-f50847d6ad859132.d: crates/netmodel/src/lib.rs crates/netmodel/src/conf.rs crates/netmodel/src/countries.rs crates/netmodel/src/epoch.rs crates/netmodel/src/kind.rs crates/netmodel/src/network.rs crates/netmodel/src/world.rs
+
+/root/repo/target/release/deps/libipv6_study_netmodel-f50847d6ad859132.rlib: crates/netmodel/src/lib.rs crates/netmodel/src/conf.rs crates/netmodel/src/countries.rs crates/netmodel/src/epoch.rs crates/netmodel/src/kind.rs crates/netmodel/src/network.rs crates/netmodel/src/world.rs
+
+/root/repo/target/release/deps/libipv6_study_netmodel-f50847d6ad859132.rmeta: crates/netmodel/src/lib.rs crates/netmodel/src/conf.rs crates/netmodel/src/countries.rs crates/netmodel/src/epoch.rs crates/netmodel/src/kind.rs crates/netmodel/src/network.rs crates/netmodel/src/world.rs
+
+crates/netmodel/src/lib.rs:
+crates/netmodel/src/conf.rs:
+crates/netmodel/src/countries.rs:
+crates/netmodel/src/epoch.rs:
+crates/netmodel/src/kind.rs:
+crates/netmodel/src/network.rs:
+crates/netmodel/src/world.rs:

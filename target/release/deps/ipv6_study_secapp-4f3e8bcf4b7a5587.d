@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ipv6_study_secapp-4f3e8bcf4b7a5587.d: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+/root/repo/target/release/deps/libipv6_study_secapp-4f3e8bcf4b7a5587.rlib: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+/root/repo/target/release/deps/libipv6_study_secapp-4f3e8bcf4b7a5587.rmeta: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+crates/secapp/src/lib.rs:
+crates/secapp/src/actioning.rs:
+crates/secapp/src/blocklist.rs:
+crates/secapp/src/mlfeatures.rs:
+crates/secapp/src/ratelimit.rs:
+crates/secapp/src/signatures.rs:
+crates/secapp/src/threat_exchange.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ipv6_study_stats-94c7ada9144451f6.d: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/extrapolate.rs crates/stats/src/hash.rs crates/stats/src/histogram.rs crates/stats/src/roc.rs crates/stats/src/summary.rs crates/stats/src/testgen.rs
+
+/root/repo/target/release/deps/libipv6_study_stats-94c7ada9144451f6.rlib: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/extrapolate.rs crates/stats/src/hash.rs crates/stats/src/histogram.rs crates/stats/src/roc.rs crates/stats/src/summary.rs crates/stats/src/testgen.rs
+
+/root/repo/target/release/deps/libipv6_study_stats-94c7ada9144451f6.rmeta: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/extrapolate.rs crates/stats/src/hash.rs crates/stats/src/histogram.rs crates/stats/src/roc.rs crates/stats/src/summary.rs crates/stats/src/testgen.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/counter.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/extrapolate.rs:
+crates/stats/src/hash.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/roc.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/testgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ipv6_user_study-6b01b4802f3efc67.d: src/lib.rs
+
+/root/repo/target/release/deps/ipv6_user_study-6b01b4802f3efc67: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ipv6_user_study-ad688b8641fd57d0.d: src/lib.rs
+
+/root/repo/target/release/deps/libipv6_user_study-ad688b8641fd57d0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libipv6_user_study-ad688b8641fd57d0.rmeta: src/lib.rs
+
+src/lib.rs:

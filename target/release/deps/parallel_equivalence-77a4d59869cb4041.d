@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_equivalence-77a4d59869cb4041.d: tests/parallel_equivalence.rs
+
+/root/repo/target/release/deps/parallel_equivalence-77a4d59869cb4041: tests/parallel_equivalence.rs
+
+tests/parallel_equivalence.rs:

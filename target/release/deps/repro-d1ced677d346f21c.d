@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-d1ced677d346f21c.d: crates/core/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-d1ced677d346f21c: crates/core/src/bin/repro.rs
+
+crates/core/src/bin/repro.rs:

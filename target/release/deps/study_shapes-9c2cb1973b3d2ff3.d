@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/study_shapes-9c2cb1973b3d2ff3.d: tests/study_shapes.rs
+
+/root/repo/target/release/deps/study_shapes-9c2cb1973b3d2ff3: tests/study_shapes.rs
+
+tests/study_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/attacker_hunting-0577b7aecd20bf5a.d: examples/attacker_hunting.rs
+
+/root/repo/target/release/examples/attacker_hunting-0577b7aecd20bf5a: examples/attacker_hunting.rs
+
+examples/attacker_hunting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/blocklist_policy-eca0b27efa7aa1ac.d: examples/blocklist_policy.rs
+
+/root/repo/target/release/examples/blocklist_policy-eca0b27efa7aa1ac: examples/blocklist_policy.rs
+
+examples/blocklist_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/covid_timeline-afe529874f30acd1.d: examples/covid_timeline.rs
+
+/root/repo/target/release/examples/covid_timeline-afe529874f30acd1: examples/covid_timeline.rs
+
+examples/covid_timeline.rs:

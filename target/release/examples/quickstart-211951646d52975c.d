@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-211951646d52975c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-211951646d52975c: examples/quickstart.rs
+
+examples/quickstart.rs:

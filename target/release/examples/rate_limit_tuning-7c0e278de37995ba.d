@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rate_limit_tuning-7c0e278de37995ba.d: examples/rate_limit_tuning.rs
+
+/root/repo/target/release/examples/rate_limit_tuning-7c0e278de37995ba: examples/rate_limit_tuning.rs
+
+examples/rate_limit_tuning.rs:

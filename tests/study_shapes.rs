@@ -15,7 +15,7 @@ use ipv6_user_study::{Study, StudyConfig};
 /// runtime; every test reads the same deterministic datasets).
 fn study() -> &'static Mutex<Study> {
     static STUDY: OnceLock<Mutex<Study>> = OnceLock::new();
-    STUDY.get_or_init(|| Mutex::new(Study::run(StudyConfig::test_scale())))
+    STUDY.get_or_init(|| Mutex::new(Study::run(StudyConfig::test_scale()).expect("valid preset")))
 }
 
 fn run(f: impl FnOnce(&mut Study) -> ExperimentOutput) -> ExperimentOutput {
@@ -24,7 +24,8 @@ fn run(f: impl FnOnce(&mut Study) -> ExperimentOutput) -> ExperimentOutput {
 }
 
 fn stat(out: &ExperimentOutput, key: &str) -> f64 {
-    out.get_stat(key).unwrap_or_else(|| panic!("missing stat {key}"))
+    out.get_stat(key)
+        .unwrap_or_else(|| panic!("missing stat {key}"))
 }
 
 #[test]
@@ -44,7 +45,10 @@ fn fig1_prevalence_band_and_scissors() {
 #[test]
 fn tab1_top_asns_are_ipv6_heavy() {
     let out = run(experiments::tab1_asns);
-    assert!(stat(&out, "tab1.top_ratio") > 0.85, "top ASN should be >85% IPv6");
+    assert!(
+        stat(&out, "tab1.top_ratio") > 0.85,
+        "top ASN should be >85% IPv6"
+    );
     // §4.2: a tail of ASNs has little or no IPv6.
     assert!(stat(&out, "tab1.low_v6_share") > stat(&out, "tab1.zero_v6_share"));
 }
@@ -54,7 +58,10 @@ fn tab2_country_stories() {
     let out = run(experiments::tab2_countries);
     // India leads (Table 2).
     assert!(stat(&out, "tab2.in_apr") > 0.70);
-    assert!(stat(&out, "tab2.in_apr") > stat(&out, "tab2.us_apr") - 0.08, "IN near the top");
+    assert!(
+        stat(&out, "tab2.in_apr") > stat(&out, "tab2.us_apr") - 0.08,
+        "IN near the top"
+    );
     // Germany jumps (deployment ramp + lockdown), Appendix A.2.
     assert!(stat(&out, "tab2.de_delta") > 0.05, "Germany should rise");
 }
@@ -129,8 +136,14 @@ fn fig5_v6_addresses_are_ephemeral() {
     let out = run(experiments::fig5_lifespans);
     let v6_new = stat(&out, "fig5.v6_newborn_share");
     let v4_new = stat(&out, "fig5.v4_newborn_share");
-    assert!(v6_new > v4_new + 0.2, "v6 pairs far younger: {v6_new} vs {v4_new}");
-    assert!(v6_new > 0.8, "most v6 pairs first seen that day (paper 84%)");
+    assert!(
+        v6_new > v4_new + 0.2,
+        "v6 pairs far younger: {v6_new} vs {v4_new}"
+    );
+    assert!(
+        v6_new > 0.8,
+        "most v6 pairs first seen that day (paper 84%)"
+    );
     // Old pairs are an IPv4 phenomenon (paper: 22% vs 1.2% past a week).
     assert!(stat(&out, "fig5.v4_gt7d_share") > 5.0 * stat(&out, "fig5.v6_gt7d_share"));
     assert!(stat(&out, "fig5.v4_ge27d_share") > stat(&out, "fig5.v6_ge27d_share"));
@@ -156,9 +169,18 @@ fn fig7_v6_addresses_are_sparsely_populated() {
     let out = run(experiments::fig7_users_per_ip);
     let v6_single = stat(&out, "fig7.v6_day_single");
     let v4_single = stat(&out, "fig7.v4_day_single");
-    assert!(v6_single > 0.85, "≈95% of v6 addresses single-user, got {v6_single}");
-    assert!(v4_single < 0.6, "only a minority of v4 addresses single-user, got {v4_single}");
-    assert!(stat(&out, "fig7.v6_day_le2") > 0.95, "paper: >99% of v6 ≤ 2 users");
+    assert!(
+        v6_single > 0.85,
+        "≈95% of v6 addresses single-user, got {v6_single}"
+    );
+    assert!(
+        v4_single < 0.6,
+        "only a minority of v4 addresses single-user, got {v4_single}"
+    );
+    assert!(
+        stat(&out, "fig7.v6_day_le2") > 0.95,
+        "paper: >99% of v6 ≤ 2 users"
+    );
     // Over a week, v4 sharing grows; v6 barely moves.
     assert!(stat(&out, "fig7.v4_week_single") < v4_single + 1e-9);
     assert!((stat(&out, "fig7.v6_week_single") - v6_single).abs() < 0.05);
@@ -209,7 +231,10 @@ fn fig9_users_aggregate_in_64s_and_below_48() {
     let s64 = stat(&out, "fig9.single_user_at64");
     let s44 = stat(&out, "fig9.single_user_at44");
     assert!(s128 > 0.9, "addresses are single-user");
-    assert!(s64 < s68 - 0.08, "the largest shift is at /64 (paper: 73% → 41%)");
+    assert!(
+        s64 < s68 - 0.08,
+        "the largest shift is at /64 (paper: 73% → 41%)"
+    );
     assert!(s44 < s64, "further aggregation below /48");
     // IPv4 behaves like a short prefix, not like a v6 address.
     assert!(stat(&out, "fig9.v4_best_match_len") <= 64.0);
@@ -234,7 +259,10 @@ fn o62_gateway_112s_dominate_heavy_prefixes() {
         stat(&out, "o62.max112_over_max64")
     );
     if stat(&out, "o62.heavy_p64_count") > 0.0 {
-        assert!(stat(&out, "o62.heavy_p64_top4_share") > 0.5, "heavy /64s are concentrated");
+        assert!(
+            stat(&out, "o62.heavy_p64_top4_share") > 0.5,
+            "heavy /64s are concentrated"
+        );
     }
 }
 
@@ -257,8 +285,7 @@ fn fig11_actioning_tradeoffs() {
     );
     // At a low FPR budget, v6 actioning is competitive or better.
     assert!(
-        stat(&out, "fig11.p64_tpr_at_fpr_1pct") + 0.05
-            >= stat(&out, "fig11.IPv4_tpr_at_fpr_1pct"),
+        stat(&out, "fig11.p64_tpr_at_fpr_1pct") + 0.05 >= stat(&out, "fig11.IPv4_tpr_at_fpr_1pct"),
         "at 1% FPR, /64 actioning holds its own"
     );
 }
@@ -278,18 +305,22 @@ fn s72_defense_implications() {
             <= stat(&out, "s72.exchange_v6_p64_half_life") + 1e-9
     );
     // ML: a v6-trained model beats a v4-trained model on v6 units.
-    if let (Some(v6v6), Some(v4v6)) =
-        (out.get_stat("s72.ml_v6_on_v6_auc"), out.get_stat("s72.ml_v4_on_v6_auc"))
-    {
-        assert!(v6v6 + 1e-9 >= v4v6, "protocol-specific training wins: {v6v6} vs {v4v6}");
+    if let (Some(v6v6), Some(v4v6)) = (
+        out.get_stat("s72.ml_v6_on_v6_auc"),
+        out.get_stat("s72.ml_v4_on_v6_auc"),
+    ) {
+        assert!(
+            v6v6 + 1e-9 >= v4v6,
+            "protocol-specific training wins: {v6v6} vs {v4v6}"
+        );
     }
 }
 
 #[test]
 fn study_is_deterministic_across_runs() {
     // Independent of the shared study: two tiny runs must agree exactly.
-    let a = Study::run(StudyConfig::tiny());
-    let b = Study::run(StudyConfig::tiny());
+    let a = Study::run(StudyConfig::tiny()).unwrap();
+    let b = Study::run(StudyConfig::tiny()).unwrap();
     assert_eq!(a.datasets.offered, b.datasets.offered);
     assert_eq!(a.datasets.user_sample.len(), b.datasets.user_sample.len());
     assert_eq!(a.labels.len(), b.labels.len());
