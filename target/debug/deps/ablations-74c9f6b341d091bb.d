@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-74c9f6b341d091bb.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-74c9f6b341d091bb.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

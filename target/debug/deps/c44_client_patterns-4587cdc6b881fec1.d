@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c44_client_patterns-4587cdc6b881fec1.d: crates/bench/benches/c44_client_patterns.rs
+
+/root/repo/target/debug/deps/libc44_client_patterns-4587cdc6b881fec1.rmeta: crates/bench/benches/c44_client_patterns.rs
+
+crates/bench/benches/c44_client_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_prevalence-b198d5b35c4829ec.d: crates/bench/benches/fig01_prevalence.rs
+
+/root/repo/target/debug/deps/libfig01_prevalence-b198d5b35c4829ec.rmeta: crates/bench/benches/fig01_prevalence.rs
+
+crates/bench/benches/fig01_prevalence.rs:

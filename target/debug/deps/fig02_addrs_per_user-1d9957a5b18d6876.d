@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_addrs_per_user-1d9957a5b18d6876.d: crates/bench/benches/fig02_addrs_per_user.rs
+
+/root/repo/target/debug/deps/libfig02_addrs_per_user-1d9957a5b18d6876.rmeta: crates/bench/benches/fig02_addrs_per_user.rs
+
+crates/bench/benches/fig02_addrs_per_user.rs:

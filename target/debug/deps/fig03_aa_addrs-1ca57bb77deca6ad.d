@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_aa_addrs-1ca57bb77deca6ad.d: crates/bench/benches/fig03_aa_addrs.rs
+
+/root/repo/target/debug/deps/libfig03_aa_addrs-1ca57bb77deca6ad.rmeta: crates/bench/benches/fig03_aa_addrs.rs
+
+crates/bench/benches/fig03_aa_addrs.rs:

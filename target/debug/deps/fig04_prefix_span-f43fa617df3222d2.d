@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_prefix_span-f43fa617df3222d2.d: crates/bench/benches/fig04_prefix_span.rs
+
+/root/repo/target/debug/deps/libfig04_prefix_span-f43fa617df3222d2.rmeta: crates/bench/benches/fig04_prefix_span.rs
+
+crates/bench/benches/fig04_prefix_span.rs:

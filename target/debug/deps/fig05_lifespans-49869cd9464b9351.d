@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_lifespans-49869cd9464b9351.d: crates/bench/benches/fig05_lifespans.rs
+
+/root/repo/target/debug/deps/libfig05_lifespans-49869cd9464b9351.rmeta: crates/bench/benches/fig05_lifespans.rs
+
+crates/bench/benches/fig05_lifespans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_prefix_lifespans-e95d3eba9f71e8b4.d: crates/bench/benches/fig06_prefix_lifespans.rs
+
+/root/repo/target/debug/deps/libfig06_prefix_lifespans-e95d3eba9f71e8b4.rmeta: crates/bench/benches/fig06_prefix_lifespans.rs
+
+crates/bench/benches/fig06_prefix_lifespans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_users_per_ip-1a9f82c09c68dbda.d: crates/bench/benches/fig07_users_per_ip.rs
+
+/root/repo/target/debug/deps/libfig07_users_per_ip-1a9f82c09c68dbda.rmeta: crates/bench/benches/fig07_users_per_ip.rs
+
+crates/bench/benches/fig07_users_per_ip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_aa_per_ip-2a7dee71c47d0f70.d: crates/bench/benches/fig08_aa_per_ip.rs
+
+/root/repo/target/debug/deps/libfig08_aa_per_ip-2a7dee71c47d0f70.rmeta: crates/bench/benches/fig08_aa_per_ip.rs
+
+crates/bench/benches/fig08_aa_per_ip.rs:

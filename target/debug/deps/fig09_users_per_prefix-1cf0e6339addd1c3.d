@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_users_per_prefix-1cf0e6339addd1c3.d: crates/bench/benches/fig09_users_per_prefix.rs
+
+/root/repo/target/debug/deps/libfig09_users_per_prefix-1cf0e6339addd1c3.rmeta: crates/bench/benches/fig09_users_per_prefix.rs
+
+crates/bench/benches/fig09_users_per_prefix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_aa_per_prefix-7cb0173a1dfe1169.d: crates/bench/benches/fig10_aa_per_prefix.rs
+
+/root/repo/target/debug/deps/libfig10_aa_per_prefix-7cb0173a1dfe1169.rmeta: crates/bench/benches/fig10_aa_per_prefix.rs
+
+crates/bench/benches/fig10_aa_per_prefix.rs:

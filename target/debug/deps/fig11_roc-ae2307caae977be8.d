@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_roc-ae2307caae977be8.d: crates/bench/benches/fig11_roc.rs
+
+/root/repo/target/debug/deps/libfig11_roc-ae2307caae977be8.rmeta: crates/bench/benches/fig11_roc.rs
+
+crates/bench/benches/fig11_roc.rs:

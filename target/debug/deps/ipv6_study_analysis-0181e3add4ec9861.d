@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ipv6_study_analysis-0181e3add4ec9861.d: crates/analysis/src/lib.rs crates/analysis/src/characterize.rs crates/analysis/src/ip_centric.rs crates/analysis/src/outliers.rs crates/analysis/src/report.rs crates/analysis/src/similarity.rs crates/analysis/src/user_centric.rs
+
+/root/repo/target/debug/deps/libipv6_study_analysis-0181e3add4ec9861.rmeta: crates/analysis/src/lib.rs crates/analysis/src/characterize.rs crates/analysis/src/ip_centric.rs crates/analysis/src/outliers.rs crates/analysis/src/report.rs crates/analysis/src/similarity.rs crates/analysis/src/user_centric.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/characterize.rs:
+crates/analysis/src/ip_centric.rs:
+crates/analysis/src/outliers.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/similarity.rs:
+crates/analysis/src/user_centric.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ipv6_study_behavior-0f5c7a8930f29e05.d: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+/root/repo/target/debug/deps/libipv6_study_behavior-0f5c7a8930f29e05.rmeta: crates/behavior/src/lib.rs crates/behavior/src/abuse.rs crates/behavior/src/device.rs crates/behavior/src/emit.rs crates/behavior/src/population.rs crates/behavior/src/schedule.rs
+
+crates/behavior/src/lib.rs:
+crates/behavior/src/abuse.rs:
+crates/behavior/src/device.rs:
+crates/behavior/src/emit.rs:
+crates/behavior/src/population.rs:
+crates/behavior/src/schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipv6_study_bench-37f86802ef554eb2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipv6_study_bench-37f86802ef554eb2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

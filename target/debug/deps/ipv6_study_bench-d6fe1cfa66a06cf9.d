@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipv6_study_bench-d6fe1cfa66a06cf9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libipv6_study_bench-d6fe1cfa66a06cf9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

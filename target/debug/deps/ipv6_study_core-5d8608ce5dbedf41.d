@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ipv6_study_core-5d8608ce5dbedf41.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/experiments.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libipv6_study_core-5d8608ce5dbedf41.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/experiments.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/experiments.rs:
+crates/core/src/paper.rs:
+crates/core/src/report.rs:
+crates/core/src/study.rs:

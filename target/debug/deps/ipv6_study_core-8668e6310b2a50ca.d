@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ipv6_study_core-8668e6310b2a50ca.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/experiments.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libipv6_study_core-8668e6310b2a50ca.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/experiments.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/experiments.rs:
+crates/core/src/paper.rs:
+crates/core/src/report.rs:
+crates/core/src/study.rs:

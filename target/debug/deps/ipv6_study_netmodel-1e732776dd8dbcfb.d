@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ipv6_study_netmodel-1e732776dd8dbcfb.d: crates/netmodel/src/lib.rs crates/netmodel/src/conf.rs crates/netmodel/src/countries.rs crates/netmodel/src/epoch.rs crates/netmodel/src/kind.rs crates/netmodel/src/network.rs crates/netmodel/src/world.rs
+
+/root/repo/target/debug/deps/libipv6_study_netmodel-1e732776dd8dbcfb.rmeta: crates/netmodel/src/lib.rs crates/netmodel/src/conf.rs crates/netmodel/src/countries.rs crates/netmodel/src/epoch.rs crates/netmodel/src/kind.rs crates/netmodel/src/network.rs crates/netmodel/src/world.rs
+
+crates/netmodel/src/lib.rs:
+crates/netmodel/src/conf.rs:
+crates/netmodel/src/countries.rs:
+crates/netmodel/src/epoch.rs:
+crates/netmodel/src/kind.rs:
+crates/netmodel/src/network.rs:
+crates/netmodel/src/world.rs:

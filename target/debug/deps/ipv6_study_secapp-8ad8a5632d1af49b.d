@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ipv6_study_secapp-8ad8a5632d1af49b.d: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+/root/repo/target/debug/deps/libipv6_study_secapp-8ad8a5632d1af49b.rmeta: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+crates/secapp/src/lib.rs:
+crates/secapp/src/actioning.rs:
+crates/secapp/src/blocklist.rs:
+crates/secapp/src/mlfeatures.rs:
+crates/secapp/src/ratelimit.rs:
+crates/secapp/src/signatures.rs:
+crates/secapp/src/threat_exchange.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ipv6_study_stats-d7eeb48bc713eae1.d: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/extrapolate.rs crates/stats/src/hash.rs crates/stats/src/histogram.rs crates/stats/src/roc.rs crates/stats/src/summary.rs crates/stats/src/testgen.rs
+
+/root/repo/target/debug/deps/libipv6_study_stats-d7eeb48bc713eae1.rmeta: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/extrapolate.rs crates/stats/src/hash.rs crates/stats/src/histogram.rs crates/stats/src/roc.rs crates/stats/src/summary.rs crates/stats/src/testgen.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/counter.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/extrapolate.rs:
+crates/stats/src/hash.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/roc.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/testgen.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ipv6_study_telemetry-a62b0d85ab2f2a8d.d: crates/telemetry/src/lib.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/ids.rs crates/telemetry/src/labels.rs crates/telemetry/src/record.rs crates/telemetry/src/sampler.rs crates/telemetry/src/sink.rs crates/telemetry/src/store.rs crates/telemetry/src/time.rs
+
+/root/repo/target/debug/deps/libipv6_study_telemetry-a62b0d85ab2f2a8d.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/ids.rs crates/telemetry/src/labels.rs crates/telemetry/src/record.rs crates/telemetry/src/sampler.rs crates/telemetry/src/sink.rs crates/telemetry/src/store.rs crates/telemetry/src/time.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/ids.rs:
+crates/telemetry/src/labels.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/sampler.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/store.rs:
+crates/telemetry/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipv6_user_study-00af1b5646c9ad13.d: src/lib.rs
+
+/root/repo/target/debug/deps/libipv6_user_study-00af1b5646c9ad13.rmeta: src/lib.rs
+
+src/lib.rs:

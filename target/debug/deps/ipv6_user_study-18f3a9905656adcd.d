@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipv6_user_study-18f3a9905656adcd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libipv6_user_study-18f3a9905656adcd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/o51_user_outliers-b29c1012237c9f64.d: crates/bench/benches/o51_user_outliers.rs
+
+/root/repo/target/debug/deps/libo51_user_outliers-b29c1012237c9f64.rmeta: crates/bench/benches/o51_user_outliers.rs
+
+crates/bench/benches/o51_user_outliers.rs:

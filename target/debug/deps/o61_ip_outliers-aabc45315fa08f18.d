@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/o61_ip_outliers-aabc45315fa08f18.d: crates/bench/benches/o61_ip_outliers.rs
+
+/root/repo/target/debug/deps/libo61_ip_outliers-aabc45315fa08f18.rmeta: crates/bench/benches/o61_ip_outliers.rs
+
+crates/bench/benches/o61_ip_outliers.rs:

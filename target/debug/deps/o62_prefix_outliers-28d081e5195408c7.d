@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/o62_prefix_outliers-28d081e5195408c7.d: crates/bench/benches/o62_prefix_outliers.rs
+
+/root/repo/target/debug/deps/libo62_prefix_outliers-28d081e5195408c7.rmeta: crates/bench/benches/o62_prefix_outliers.rs
+
+crates/bench/benches/o62_prefix_outliers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-8f8ca07ca037b03e.d: tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/libparallel_equivalence-8f8ca07ca037b03e.rmeta: tests/parallel_equivalence.rs
+
+tests/parallel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f2ff060e3d3e33ef.d: crates/core/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-f2ff060e3d3e33ef.rmeta: crates/core/src/bin/repro.rs
+
+crates/core/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f64d0bb7eb3777ba.d: crates/core/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-f64d0bb7eb3777ba.rmeta: crates/core/src/bin/repro.rs
+
+crates/core/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/s72_defenses-8e6e44abdcd675b2.d: crates/bench/benches/s72_defenses.rs
+
+/root/repo/target/debug/deps/libs72_defenses-8e6e44abdcd675b2.rmeta: crates/bench/benches/s72_defenses.rs
+
+crates/bench/benches/s72_defenses.rs:

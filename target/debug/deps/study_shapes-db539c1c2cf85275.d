@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/study_shapes-db539c1c2cf85275.d: tests/study_shapes.rs
+
+/root/repo/target/debug/deps/libstudy_shapes-db539c1c2cf85275.rmeta: tests/study_shapes.rs
+
+tests/study_shapes.rs:

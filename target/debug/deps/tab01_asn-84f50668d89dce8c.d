@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_asn-84f50668d89dce8c.d: crates/bench/benches/tab01_asn.rs
+
+/root/repo/target/debug/deps/libtab01_asn-84f50668d89dce8c.rmeta: crates/bench/benches/tab01_asn.rs
+
+crates/bench/benches/tab01_asn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02_countries-a27349b7605f7372.d: crates/bench/benches/tab02_countries.rs
+
+/root/repo/target/debug/deps/libtab02_countries-a27349b7605f7372.rmeta: crates/bench/benches/tab02_countries.rs
+
+crates/bench/benches/tab02_countries.rs:

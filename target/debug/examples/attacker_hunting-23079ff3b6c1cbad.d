@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attacker_hunting-23079ff3b6c1cbad.d: examples/attacker_hunting.rs
+
+/root/repo/target/debug/examples/libattacker_hunting-23079ff3b6c1cbad.rmeta: examples/attacker_hunting.rs
+
+examples/attacker_hunting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blocklist_policy-6faf0c8e236925a1.d: examples/blocklist_policy.rs
+
+/root/repo/target/debug/examples/libblocklist_policy-6faf0c8e236925a1.rmeta: examples/blocklist_policy.rs
+
+examples/blocklist_policy.rs:

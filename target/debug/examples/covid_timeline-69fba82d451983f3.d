@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/covid_timeline-69fba82d451983f3.d: examples/covid_timeline.rs
+
+/root/repo/target/debug/examples/libcovid_timeline-69fba82d451983f3.rmeta: examples/covid_timeline.rs
+
+examples/covid_timeline.rs:

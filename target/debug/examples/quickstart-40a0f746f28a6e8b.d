@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-40a0f746f28a6e8b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-40a0f746f28a6e8b.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rate_limit_tuning-ff926eb40f5fc0f5.d: examples/rate_limit_tuning.rs
+
+/root/repo/target/debug/examples/librate_limit_tuning-ff926eb40f5fc0f5.rmeta: examples/rate_limit_tuning.rs
+
+examples/rate_limit_tuning.rs:

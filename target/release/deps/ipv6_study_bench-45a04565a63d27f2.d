@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ipv6_study_bench-45a04565a63d27f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libipv6_study_bench-45a04565a63d27f2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libipv6_study_bench-45a04565a63d27f2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ipv6_study_bench-50abc00c137a4590.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/ipv6_study_bench-50abc00c137a4590: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ipv6_study_netaddr-8196cdf9d8b3069a.d: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+/root/repo/target/release/deps/ipv6_study_netaddr-8196cdf9d8b3069a: crates/netaddr/src/lib.rs crates/netaddr/src/aggregate.rs crates/netaddr/src/entropy.rs crates/netaddr/src/iid.rs crates/netaddr/src/mac.rs crates/netaddr/src/prefix.rs crates/netaddr/src/set.rs crates/netaddr/src/trie.rs
+
+crates/netaddr/src/lib.rs:
+crates/netaddr/src/aggregate.rs:
+crates/netaddr/src/entropy.rs:
+crates/netaddr/src/iid.rs:
+crates/netaddr/src/mac.rs:
+crates/netaddr/src/prefix.rs:
+crates/netaddr/src/set.rs:
+crates/netaddr/src/trie.rs:

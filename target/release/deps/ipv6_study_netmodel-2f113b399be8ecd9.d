@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ipv6_study_netmodel-2f113b399be8ecd9.d: crates/netmodel/src/lib.rs crates/netmodel/src/conf.rs crates/netmodel/src/countries.rs crates/netmodel/src/epoch.rs crates/netmodel/src/kind.rs crates/netmodel/src/network.rs crates/netmodel/src/world.rs
+
+/root/repo/target/release/deps/ipv6_study_netmodel-2f113b399be8ecd9: crates/netmodel/src/lib.rs crates/netmodel/src/conf.rs crates/netmodel/src/countries.rs crates/netmodel/src/epoch.rs crates/netmodel/src/kind.rs crates/netmodel/src/network.rs crates/netmodel/src/world.rs
+
+crates/netmodel/src/lib.rs:
+crates/netmodel/src/conf.rs:
+crates/netmodel/src/countries.rs:
+crates/netmodel/src/epoch.rs:
+crates/netmodel/src/kind.rs:
+crates/netmodel/src/network.rs:
+crates/netmodel/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ipv6_study_secapp-7f74813075827358.d: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+/root/repo/target/release/deps/ipv6_study_secapp-7f74813075827358: crates/secapp/src/lib.rs crates/secapp/src/actioning.rs crates/secapp/src/blocklist.rs crates/secapp/src/mlfeatures.rs crates/secapp/src/ratelimit.rs crates/secapp/src/signatures.rs crates/secapp/src/threat_exchange.rs
+
+crates/secapp/src/lib.rs:
+crates/secapp/src/actioning.rs:
+crates/secapp/src/blocklist.rs:
+crates/secapp/src/mlfeatures.rs:
+crates/secapp/src/ratelimit.rs:
+crates/secapp/src/signatures.rs:
+crates/secapp/src/threat_exchange.rs:

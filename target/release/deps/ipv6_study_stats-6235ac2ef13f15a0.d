@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ipv6_study_stats-6235ac2ef13f15a0.d: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/extrapolate.rs crates/stats/src/hash.rs crates/stats/src/histogram.rs crates/stats/src/roc.rs crates/stats/src/summary.rs crates/stats/src/testgen.rs
+
+/root/repo/target/release/deps/ipv6_study_stats-6235ac2ef13f15a0: crates/stats/src/lib.rs crates/stats/src/counter.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/extrapolate.rs crates/stats/src/hash.rs crates/stats/src/histogram.rs crates/stats/src/roc.rs crates/stats/src/summary.rs crates/stats/src/testgen.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/counter.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/extrapolate.rs:
+crates/stats/src/hash.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/roc.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/testgen.rs:

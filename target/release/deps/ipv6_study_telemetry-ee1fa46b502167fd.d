@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ipv6_study_telemetry-ee1fa46b502167fd.d: crates/telemetry/src/lib.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/ids.rs crates/telemetry/src/labels.rs crates/telemetry/src/record.rs crates/telemetry/src/sampler.rs crates/telemetry/src/sink.rs crates/telemetry/src/store.rs crates/telemetry/src/time.rs
+
+/root/repo/target/release/deps/ipv6_study_telemetry-ee1fa46b502167fd: crates/telemetry/src/lib.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/ids.rs crates/telemetry/src/labels.rs crates/telemetry/src/record.rs crates/telemetry/src/sampler.rs crates/telemetry/src/sink.rs crates/telemetry/src/store.rs crates/telemetry/src/time.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/ids.rs:
+crates/telemetry/src/labels.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/sampler.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/store.rs:
+crates/telemetry/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-4be7d3881551d92e.d: crates/core/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-4be7d3881551d92e: crates/core/src/bin/repro.rs
+
+crates/core/src/bin/repro.rs:
