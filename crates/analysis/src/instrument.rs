@@ -1,0 +1,41 @@
+//! Timing wrapper for analysis passes.
+//!
+//! Every figure/table regeneration reports two things to the run's
+//! observability layer: how long the pass took and how many records it
+//! read. [`timed_figure`] measures both around an arbitrary closure and
+//! hands back the obs-layer [`FigureStat`], so the experiment registry
+//! can append it to the run's `RunReport` without owning any timing
+//! logic itself.
+
+use std::time::Instant;
+
+use ipv6_study_obs::FigureStat;
+
+/// Runs one analysis pass, measuring its wall clock.
+///
+/// `id` is the experiment identifier (e.g. `"F2"`); `input_records` is
+/// the pass's input cardinality, reported by the closure alongside its
+/// result (the pass itself knows which dataset slices it read).
+pub fn timed_figure<T>(id: &str, f: impl FnOnce() -> (T, u64)) -> (T, FigureStat) {
+    let t0 = Instant::now();
+    let (value, input_records) = f();
+    let stat = FigureStat {
+        id: id.to_string(),
+        wall: t0.elapsed(),
+        input_records,
+    };
+    (value, stat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_value_and_cardinality() {
+        let (value, stat) = timed_figure("F9", || ("result", 321));
+        assert_eq!(value, "result");
+        assert_eq!(stat.id, "F9");
+        assert_eq!(stat.input_records, 321);
+    }
+}

@@ -19,6 +19,8 @@
 //!   /56s (Figure 10) depending on the lens.
 //! - [`report`] — plottable series/table types shared by the bench harness
 //!   and the `repro` binary.
+//! - [`instrument`] — the timing wrapper that reports each pass's wall
+//!   clock and input cardinality to the observability layer.
 //!
 //! Analyses take plain `&[RequestRecord]` slices (pre-windowed by
 //! [`RequestStore`](ipv6_study_telemetry::RequestStore)) plus, where
@@ -29,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod characterize;
+pub mod instrument;
 pub mod ip_centric;
 pub mod outliers;
 pub mod report;
 pub mod similarity;
 pub mod user_centric;
 
+pub use instrument::timed_figure;
 pub use report::{CdfSeries, FigureReport, TableReport};

@@ -1,0 +1,96 @@
+//! Instrumented benchmark entry point: runs a full study plus every
+//! analysis pass and writes the run's observability report as
+//! `BENCH_run.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ipv6-study-core --bin bench_run -- \
+//!     [scale] [--threads N|auto] [--out PATH]
+//! ```
+//!
+//! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
+//! The JSON schema is documented in DESIGN.md and pinned by the
+//! `tests/run_report.rs` golden test; timing values vary run to run, the
+//! field set does not.
+
+use ipv6_study_core::experiments::run_all;
+use ipv6_study_core::{Study, StudyConfig};
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: bench_run [tiny|test|default|full] [--threads N|auto] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn parse_threads(arg: &str) -> usize {
+    if arg == "auto" {
+        return std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+    }
+    match arg.parse() {
+        Ok(n) => n,
+        Err(_) => usage_exit(&format!("bad thread count `{arg}`")),
+    }
+}
+
+fn main() {
+    let mut scale = None;
+    let mut out_path = None;
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let Some(v) = args.next() else {
+                usage_exit("--threads needs a value")
+            };
+            threads = parse_threads(&v);
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = parse_threads(v);
+        } else if arg == "--out" {
+            let Some(v) = args.next() else {
+                usage_exit("--out needs a value")
+            };
+            out_path = Some(v);
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out_path = Some(v.to_string());
+        } else if scale.is_none() {
+            scale = Some(arg);
+        } else {
+            usage_exit(&format!("unexpected argument `{arg}`"));
+        }
+    }
+    let scale = scale.unwrap_or_else(|| "default".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_run.json".into());
+
+    let mut config = match scale.as_str() {
+        "tiny" => StudyConfig::tiny(),
+        "test" => StudyConfig::test_scale(),
+        "default" => StudyConfig::default_scale(),
+        "full" => StudyConfig::full_scale(),
+        other => usage_exit(&format!(
+            "unknown scale `{other}` (use tiny|test|default|full)"
+        )),
+    };
+    config.threads = threads;
+    config.instrument = true;
+
+    let mut study = match Study::run(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    let _results = run_all(&mut study);
+    eprint!("{}", study.report.render());
+
+    match std::fs::write(&out_path, study.report.to_json_string()) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -110,4 +110,12 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // The observability report rides along with every repro run.
+    if study.report.enabled {
+        match std::fs::write("BENCH_run.json", study.report.to_json_string()) {
+            Ok(()) => eprintln!("wrote BENCH_run.json"),
+            Err(e) => eprintln!("failed to write BENCH_run.json: {e}"),
+        }
+    }
 }

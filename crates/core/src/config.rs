@@ -75,6 +75,13 @@ pub struct StudyConfig {
     /// datasets are byte-identical at any thread count; this knob only
     /// trades wall-clock for cores.
     pub threads: usize,
+    /// Whether to collect the observability [`RunReport`] (phase timers,
+    /// per-shard/per-figure stats). Instrumentation is passive — it never
+    /// feeds back into the simulation — so toggling it cannot change the
+    /// emitted datasets (covered by a determinism test).
+    ///
+    /// [`RunReport`]: ipv6_study_obs::RunReport
+    pub instrument: bool,
 }
 
 impl StudyConfig {
@@ -118,6 +125,7 @@ impl StudyConfig {
             prefix_lengths: STUDY_PREFIX_LENGTHS.to_vec(),
             ablation: Ablation::Baseline,
             threads: 1,
+            instrument: true,
         }
     }
 
@@ -204,6 +212,7 @@ impl StudyBuilder {
         cfg.seed = self.config.seed;
         cfg.threads = self.config.threads;
         cfg.ablation = self.config.ablation;
+        cfg.instrument = self.config.instrument;
         Self { config: cfg }
     }
 
@@ -225,6 +234,14 @@ impl StudyBuilder {
     /// Sets the worker-thread count (results are identical at any count).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Enables or disables observability instrumentation (identical
+    /// datasets either way; only the run's [`ipv6_study_obs::RunReport`]
+    /// is affected).
+    pub fn instrument(mut self, instrument: bool) -> Self {
+        self.config.instrument = instrument;
         self
     }
 

@@ -36,6 +36,8 @@ use ipv6_study_behavior::emit::emit_user_day;
 use ipv6_study_behavior::population::Population;
 use ipv6_study_behavior::schedule::day_plan;
 use ipv6_study_netmodel::World;
+use ipv6_study_obs::report::rate_per_sec;
+use ipv6_study_obs::timer::{time_phase, PhaseStat};
 use ipv6_study_telemetry::{
     RequestRecord, RequestSink, RequestStore, Samplers, SimDate, StudyDatasets,
 };
@@ -82,14 +84,11 @@ pub struct ShardMetrics {
 }
 
 impl ShardMetrics {
-    /// Emission throughput in records per second.
+    /// Emission throughput in records per second. A shard whose wall
+    /// clock rounds to zero has no measurable rate and reports `0.0`
+    /// (never `f64::INFINITY`, which JSON cannot represent).
     pub fn records_per_sec(&self) -> f64 {
-        let s = self.wall.as_secs_f64();
-        if s > 0.0 {
-            self.records as f64 / s
-        } else {
-            f64::INFINITY
-        }
+        rate_per_sec(self.records, self.wall)
     }
 }
 
@@ -100,10 +99,14 @@ pub struct RunMetrics {
     pub threads: usize,
     /// Per-shard timings, in plan (= merge) order.
     pub shards: Vec<ShardMetrics>,
+    /// Wall-clock of the shard-planning phase.
+    pub plan_wall: Duration,
     /// Wall-clock of the parallel simulation phase.
     pub sim_wall: Duration,
     /// Wall-clock of the in-order merge phase.
     pub merge_wall: Duration,
+    /// Wall-clock of the final timestamp sort of the merged stores.
+    pub sort_wall: Duration,
     /// Wall-clock of the whole [`crate::Study::run`], set by the caller.
     pub total_wall: Duration,
 }
@@ -114,14 +117,28 @@ impl RunMetrics {
         self.shards.iter().map(|s| s.records).sum()
     }
 
-    /// Aggregate simulation throughput in records per second.
+    /// Aggregate simulation throughput in records per second (`0.0`
+    /// when the sim phase's wall clock rounds to zero — JSON has no
+    /// `Infinity`).
     pub fn records_per_sec(&self) -> f64 {
-        let s = self.sim_wall.as_secs_f64();
-        if s > 0.0 {
-            self.total_records() as f64 / s
-        } else {
-            f64::INFINITY
-        }
+        rate_per_sec(self.total_records(), self.sim_wall)
+    }
+
+    /// The driver phases in execution order, as obs phase stats.
+    pub fn phases(&self) -> Vec<PhaseStat> {
+        [
+            ("plan", self.plan_wall),
+            ("sim", self.sim_wall),
+            ("merge", self.merge_wall),
+            ("sort", self.sort_wall),
+            ("total", self.total_wall),
+        ]
+        .into_iter()
+        .map(|(name, wall)| PhaseStat {
+            name: name.to_string(),
+            wall,
+        })
+        .collect()
     }
 
     /// Renders the run report: one header line, one line per shard, and
@@ -150,8 +167,8 @@ impl RunMetrics {
         }
         let _ = writeln!(
             out,
-            "merge: {:.2?}; total: {:.2?}",
-            self.merge_wall, self.total_wall
+            "plan: {:.2?}; merge: {:.2?}; sort: {:.2?}; total: {:.2?}",
+            self.plan_wall, self.merge_wall, self.sort_wall, self.total_wall
         );
         out
     }
@@ -283,7 +300,8 @@ pub(crate) fn execute(
 ) -> DriverOutput {
     // Figure 11's full-population day pairs: the last four days.
     let pair_start = config.full_range.end - 3;
-    let plan = plan_shards(config);
+    let mut phases: Vec<PhaseStat> = Vec::new();
+    let plan = time_phase(&mut phases, "plan", || plan_shards(config));
     let workers = config.threads.min(plan.len()).max(1);
 
     let t0 = Instant::now();
@@ -326,6 +344,15 @@ pub(crate) fn execute(
     }
     let merge_wall = t1.elapsed();
 
+    // Sort phase: the merged stores sort lazily on first query; doing it
+    // here makes the cost a measured driver phase instead of a surprise
+    // inside the first analysis.
+    let t2 = Instant::now();
+    datasets.ensure_sorted();
+    abuse_store.ensure_sorted();
+    pair_store.ensure_sorted();
+    let sort_wall = t2.elapsed();
+
     DriverOutput {
         datasets,
         abuse_store,
@@ -333,8 +360,13 @@ pub(crate) fn execute(
         metrics: RunMetrics {
             threads: workers,
             shards,
+            plan_wall: phases
+                .iter()
+                .find(|p| p.name == "plan")
+                .map_or(Duration::ZERO, |p| p.wall),
             sim_wall,
             merge_wall,
+            sort_wall,
             total_wall: Duration::ZERO,
         },
     }
@@ -401,15 +433,46 @@ mod tests {
                 records: 1000,
                 wall: Duration::from_millis(10),
             }],
+            plan_wall: Duration::from_micros(5),
             sim_wall: Duration::from_millis(12),
             merge_wall: Duration::from_millis(1),
+            sort_wall: Duration::from_millis(2),
             total_wall: Duration::from_millis(20),
         };
         let text = m.render();
         assert!(text.contains("2 thread(s)"));
         assert!(text.contains("benign hh 0..64"));
+        assert!(text.contains("plan:"));
         assert!(text.contains("merge:"));
+        assert!(text.contains("sort:"));
         assert_eq!(m.total_records(), 1000);
         assert!(m.records_per_sec() > 0.0);
+        let phases: Vec<String> = m.phases().into_iter().map(|p| p.name).collect();
+        assert_eq!(phases, ["plan", "sim", "merge", "sort", "total"]);
+    }
+
+    #[test]
+    fn zero_duration_throughput_is_zero_not_infinite() {
+        // A shard fast enough to round to a zero wall clock must report a
+        // zero rate: f64::INFINITY has no JSON representation and would
+        // poison the exported metrics.
+        let s = ShardMetrics {
+            label: "benign hh 0..64".into(),
+            records: 1000,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(s.records_per_sec(), 0.0);
+
+        let m = RunMetrics {
+            threads: 1,
+            shards: vec![s],
+            plan_wall: Duration::ZERO,
+            sim_wall: Duration::ZERO,
+            merge_wall: Duration::ZERO,
+            sort_wall: Duration::ZERO,
+            total_wall: Duration::ZERO,
+        };
+        assert_eq!(m.records_per_sec(), 0.0);
+        assert!(m.records_per_sec().is_finite());
     }
 }

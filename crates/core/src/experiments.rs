@@ -24,7 +24,8 @@ use ipv6_study_analysis::user_centric::{
     address_lifespans, addrs_per_user, prefix_lifespans, prefixes_per_user,
 };
 use ipv6_study_analysis::{CdfSeries, FigureReport, TableReport};
-use ipv6_study_secapp::actioning::{actioning_roc, operating_points, Granularity};
+use ipv6_study_obs::ActioningStat;
+use ipv6_study_secapp::actioning::{actioning_roc_timed, operating_points, Granularity};
 use ipv6_study_secapp::blocklist::{evaluate_over_days, Blocklist};
 use ipv6_study_secapp::mlfeatures::{training_set, LogisticModel};
 use ipv6_study_secapp::ratelimit::recommend_threshold;
@@ -45,11 +46,19 @@ pub struct ExperimentOutput {
     pub tables: Vec<TableReport>,
     /// Named scalar findings, for paper-vs-measured comparison.
     pub stats: Vec<(String, f64)>,
+    /// Input cardinality: how many records this experiment read across
+    /// its dataset slices (reported to the observability layer).
+    pub input_records: u64,
 }
 
 impl ExperimentOutput {
     fn stat(&mut self, name: &str, value: f64) {
         self.stats.push((name.to_string(), value));
+    }
+
+    /// Accumulates input cardinality (call once per dataset slice read).
+    fn record_input(&mut self, records: usize) {
+        self.input_records += records as u64;
     }
 
     /// Looks up a scalar statistic by name.
@@ -65,6 +74,7 @@ pub fn fig1_prevalence(study: &mut Study) -> ExperimentOutput {
     let req = study.datasets.request_sample.in_range(range).to_vec();
     let pts = prevalence_series(&user, &req, range);
     let mut out = ExperimentOutput::default();
+    out.record_input(user.len() + req.len());
     let fig = FigureReport::new("Figure 1", "daily IPv6 proportion of users and requests")
         .with(CdfSeries::from_u64(
             "users",
@@ -134,6 +144,7 @@ pub fn tab1_asns(study: &mut Study) -> ExperimentOutput {
     let min_users = ((distinct_users as f64) * 0.004).ceil().max(12.0) as u64;
     let rows = asn_ratio_table(&recs, min_users);
     let mut out = ExperimentOutput::default();
+    out.record_input(recs.len());
     let mut table = TableReport::new(
         "Table 1",
         format!("top ASNs by IPv6 user ratio (≥{min_users} sampled users)"),
@@ -171,6 +182,7 @@ pub fn tab2_countries(study: &mut Study) -> ExperimentOutput {
     let apr_rows = country_ratio_table(&apr_recs, min_users);
 
     let mut out = ExperimentOutput::default();
+    out.record_input(jan_recs.len() + apr_recs.len());
     for (label, rows) in [("Jan 23-29", &jan_rows), ("Apr 13-19", &apr_rows)] {
         let mut table = TableReport::new(
             "Table 2",
@@ -235,6 +247,7 @@ pub fn c44_client_patterns(study: &mut Study) -> ExperimentOutput {
     let recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
     let p = client_patterns(&recs);
     let mut out = ExperimentOutput::default();
+    out.record_input(recs.len());
     out.stat("c44.v6_users", p.v6_users as f64);
     out.stat("c44.transition_share", p.transition_share);
     out.stat("c44.mac_embedded_share", p.mac_embedded_share);
@@ -255,6 +268,7 @@ pub fn fig2_addrs_per_user(study: &mut Study) -> ExperimentOutput {
     let day = addrs_per_user(&day_recs, filter);
     let week = addrs_per_user(&week_recs, filter);
     let mut out = ExperimentOutput::default();
+    out.record_input(day_recs.len() + week_recs.len());
     out.figures.push(
         FigureReport::new("Figure 2", "CDFs of addresses per user, 1 day and 7 days")
             .with(cdf_series("IPv4: 1 Day", &day.v4, 30))
@@ -276,6 +290,7 @@ pub fn fig3_aa_addrs(study: &mut Study) -> ExperimentOutput {
     let day_recs = study.abuse_store.on_day(focus_day_user()).to_vec();
     let aa = addrs_per_user(&day_recs, |_| true);
     let mut out = ExperimentOutput::default();
+    out.record_input(day_recs.len());
     out.figures.push(
         FigureReport::new("Figure 3", "CDFs of addresses per abusive account, 1 day")
             .with(cdf_series("IPv6: 1 Day", &aa.v6, 10))
@@ -303,6 +318,7 @@ pub fn o51_user_outliers(study: &mut Study) -> ExperimentOutput {
     let aa6 = tail_stats(&aa_week.v6_counts, &thresholds);
 
     let mut out = ExperimentOutput::default();
+    out.record_input(week_recs.len() + aa_recs.len());
     let mut t = TableReport::new(
         "§5.1.3",
         "outlier users by weekly address count",
@@ -362,6 +378,7 @@ pub fn fig4_prefix_span(study: &mut Study) -> ExperimentOutput {
                 ))
         };
     let mut out = ExperimentOutput::default();
+    out.record_input(week_recs.len() + aa_recs.len());
     out.figures.push(to_fig(
         "Figure 4a",
         "% of users whose v6 addresses span <=k prefixes",
@@ -393,6 +410,7 @@ pub fn fig5_lifespans(study: &mut Study) -> ExperimentOutput {
     let filter = |u: UserId| !study.labels.is_abusive(u);
     let l = address_lifespans(&history, focus, filter);
     let mut out = ExperimentOutput::default();
+    out.record_input(history.len());
     out.figures.push(
         FigureReport::new("Figure 5", "CDFs of address life spans for users (days)")
             .with(cdf_series("Across v6s", &l.v6_pairs, 27))
@@ -420,6 +438,7 @@ pub fn fig6_prefix_lifespans(study: &mut Study) -> ExperimentOutput {
     let filter = |u: UserId| !study.labels.is_abusive(u);
 
     let mut out = ExperimentOutput::default();
+    out.record_input(history.len() + aa_history.len());
     let always = |_: UserId| true;
     type Case<'a> = (&'a str, &'a [RequestRecord], &'a dyn Fn(UserId) -> bool);
     let cases: [Case; 2] = [
@@ -476,6 +495,7 @@ pub fn fig7_users_per_ip(study: &mut Study) -> ExperimentOutput {
     let day = users_per_ip(&day_recs);
     let week = users_per_ip(&week_recs);
     let mut out = ExperimentOutput::default();
+    out.record_input(day_recs.len() + week_recs.len());
     out.figures.push(
         FigureReport::new("Figure 7", "CDFs of users per IP address")
             .with(cdf_series("IPv6: 1 day", &day.v6, 10))
@@ -500,6 +520,7 @@ pub fn fig8_aa_per_ip(study: &mut Study) -> ExperimentOutput {
     let day = abuse_per_ip(&day_recs, &study.labels);
     let week = abuse_per_ip(&week_recs, &study.labels);
     let mut out = ExperimentOutput::default();
+    out.record_input(day_recs.len() + week_recs.len());
     out.figures.push(
         FigureReport::new(
             "Figure 8",
@@ -547,6 +568,7 @@ pub fn o61_ip_outliers(study: &mut Study) -> ExperimentOutput {
     let sig = signature_predictability(&week.counts, heavy);
 
     let mut out = ExperimentOutput::default();
+    out.record_input(week_recs.len());
     let mut t = TableReport::new(
         "§6.1.3",
         "heavy addresses (users/week)",
@@ -611,12 +633,14 @@ pub fn fig9_users_per_prefix(study: &mut Study) -> ExperimentOutput {
     let mut candidates: Vec<(u8, Ecdf)> = Vec::new();
     for len in lengths {
         let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
+        out.record_input(recs.len());
         let upp = users_per_prefix(&recs, len);
         singles.push((len, upp.ecdf.fraction_le(1)));
         fig = fig.with(cdf_series(&format!("/{len}"), &upp.ecdf, 10));
         candidates.push((len, upp.ecdf));
     }
     let v4_recs = study.datasets.ip_sample.in_range(week).to_vec();
+    out.record_input(v4_recs.len());
     let v4 = users_per_v4_addr(&v4_recs);
     fig = fig.with(cdf_series("IPv4", &v4, 10));
     out.figures.push(fig);
@@ -641,11 +665,13 @@ pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
     let mut aa_candidates: Vec<(u8, Ecdf)> = Vec::new();
     for len in lengths_a {
         let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
+        out.record_input(recs.len());
         let app = abuse_per_prefix(&recs, &study.labels, len);
         fig_a = fig_a.with(cdf_series(&format!("/{len}"), &app.aa, 10));
         aa_candidates.push((len, app.aa));
     }
     let v4_recs = study.datasets.ip_sample.in_range(week).to_vec();
+    out.record_input(v4_recs.len());
     let v4_view = abuse_per_ip(&v4_recs, &study.labels);
     fig_a = fig_a.with(cdf_series("IPv4", &v4_view.aa_v4, 10));
     out.figures.push(fig_a);
@@ -659,6 +685,7 @@ pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
     let mut benign_candidates: Vec<(u8, Ecdf)> = Vec::new();
     for len in lengths_b {
         let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
+        out.record_input(recs.len());
         let app = abuse_per_prefix(&recs, &study.labels, len);
         fig_b = fig_b.with(cdf_series(&format!("/{len}"), &app.benign, 10));
         benign_candidates.push((len, app.benign));
@@ -706,6 +733,7 @@ pub fn o62_prefix_outliers(study: &mut Study) -> ExperimentOutput {
     let heavy_sampled = ((heavy_pop as f64 * rate).ceil() as u64).max(3);
     let recs = study.datasets.user_sample.in_range(week).to_vec();
     let mut out = ExperimentOutput::default();
+    out.record_input(recs.len());
     let mut per_len = HashMap::new();
     for len in [112u8, 64, 48] {
         let upp = users_per_prefix(&recs, len);
@@ -763,11 +791,30 @@ pub fn fig11_roc(study: &mut Study) -> ExperimentOutput {
             )
         })
         .collect();
+    for (n_recs, n1_recs) in &pair_days {
+        out.record_input(n_recs.len() + n1_recs.len());
+    }
     for gran in grans {
         let mut curve = ipv6_study_stats::RocCurve::new();
+        let mut gran_stat = ActioningStat {
+            granularity: gran.label(),
+            wall: std::time::Duration::ZERO,
+            units_scored: 0,
+            units_evaluated: 0,
+        };
         for (n_recs, n1_recs) in &pair_days {
-            let c = actioning_roc(n_recs, n1_recs, &study.labels, gran);
+            let (c, stat) = actioning_roc_timed(n_recs, n1_recs, &study.labels, gran);
             curve.extend_from(&c);
+            gran_stat.wall += stat.wall;
+            gran_stat.units_scored += stat.units_scored;
+            gran_stat.units_evaluated += stat.units_evaluated;
+        }
+        if study.config.instrument {
+            study
+                .report
+                .registry
+                .record_duration("actioning.roc_wall", gran_stat.wall);
+            study.report.actioning.push(gran_stat);
         }
         let pts = curve.sweep(&thresholds, None);
         fig = fig.with(CdfSeries {
@@ -827,6 +874,7 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
                         .collect(),
                 ),
             };
+        out.record_input(store_day.len() + later.iter().map(|(_, r)| r.len()).sum::<usize>());
         let bl = Blocklist::from_day(&store_day, &study.labels, gran, 0.5, list_day, 14);
         let evals = evaluate_over_days(
             &bl,
@@ -872,9 +920,11 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
     // Rate-limit recommendations from users-per-key distributions.
     let week = focus_week();
     let day_recs = study.datasets.ip_sample.in_range(week).to_vec();
+    out.record_input(day_recs.len());
     let per_ip = users_per_ip(&day_recs);
     let per_p64 = {
         let recs = study.datasets.prefix_sample(64).in_range(week).to_vec();
+        out.record_input(recs.len());
         users_per_prefix(&recs, 64).ecdf
     };
     let q = 0.999;
@@ -896,6 +946,7 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
     let d1 = focus_day_user();
     let day = study.pair_store.on_day(d0).to_vec();
     let next = study.pair_store.on_day(d1).to_vec();
+    out.record_input(day.len() + next.len());
     let v4_set = training_set(&day, &next, &study.labels, Some(false));
     let v6_set = training_set(&day, &next, &study.labels, Some(true));
     if !v4_set.is_empty() && !v6_set.is_empty() {
@@ -922,6 +973,7 @@ pub fn x81_network_breakdown(study: &mut Study) -> ExperimentOutput {
     let focus = focus_day_user();
     let lookback = DateRange::new(focus - 27, focus);
     let history = study.datasets.user_sample.in_range(lookback).to_vec();
+    out.record_input(day_recs.len() + user_day.len() + history.len());
 
     // ASN → kind map from the world.
     let kind_of: HashMap<u32, NetworkKind> = study
@@ -984,6 +1036,7 @@ pub fn apx_pandemic_compare(study: &mut Study) -> ExperimentOutput {
     let pre_week = ipv6_study_telemetry::time::prepandemic_week();
     let pre_recs = study.datasets.user_sample.in_range(pre_week).to_vec();
     let apr_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+    out.record_input(pre_recs.len() + apr_recs.len());
     let pre = addrs_per_user(&pre_recs, filter);
     let apr = addrs_per_user(&apr_recs, filter);
     out.stat("apx.v6_week_mean_feb", pre.v6.mean().unwrap_or(0.0));
@@ -1009,6 +1062,7 @@ pub fn apx_pandemic_compare(study: &mut Study) -> ExperimentOutput {
         .user_sample
         .in_range(DateRange::new(apr_focus - 26, apr_focus))
         .to_vec();
+    out.record_input(feb_hist.len() + apr_hist.len());
     let apr_life = address_lifespans(&apr_hist, apr_focus, filter);
     out.stat("apx.v6_newborn_feb", feb_life.v6_pairs.fraction_le(0));
     out.stat("apx.v6_newborn_apr", apr_life.v6_pairs.fraction_le(0));
@@ -1044,30 +1098,57 @@ pub fn apx_pandemic_compare(study: &mut Study) -> ExperimentOutput {
     out
 }
 
+/// One experiment: paper-artifact id plus its registry function.
+type Experiment = (&'static str, fn(&mut Study) -> ExperimentOutput);
+
+/// Every experiment in paper order.
+const EXPERIMENTS: [Experiment; 20] = [
+    ("F1", fig1_prevalence),
+    ("T1", tab1_asns),
+    ("T2/F12", tab2_countries),
+    ("C4.4", c44_client_patterns),
+    ("F2", fig2_addrs_per_user),
+    ("F3", fig3_aa_addrs),
+    ("O5.1", o51_user_outliers),
+    ("F4", fig4_prefix_span),
+    ("F5", fig5_lifespans),
+    ("F6", fig6_prefix_lifespans),
+    ("F7", fig7_users_per_ip),
+    ("F8", fig8_aa_per_ip),
+    ("O6.1", o61_ip_outliers),
+    ("F9", fig9_users_per_prefix),
+    ("F10", fig10_aa_per_prefix),
+    ("O6.2", o62_prefix_outliers),
+    ("F11", fig11_roc),
+    ("S7.2", s72_defenses),
+    ("X8.1", x81_network_breakdown),
+    ("ApxA", apx_pandemic_compare),
+];
+
 /// Runs every experiment in paper order.
+///
+/// When the study was run with `config.instrument`, each pass's wall
+/// clock and input cardinality land in `study.report.figures` (plus an
+/// `analysis.figure_wall` histogram in the registry), extending the
+/// driver-phase report that [`Study::run`] started.
 pub fn run_all(study: &mut Study) -> Vec<(&'static str, ExperimentOutput)> {
-    vec![
-        ("F1", fig1_prevalence(study)),
-        ("T1", tab1_asns(study)),
-        ("T2/F12", tab2_countries(study)),
-        ("C4.4", c44_client_patterns(study)),
-        ("F2", fig2_addrs_per_user(study)),
-        ("F3", fig3_aa_addrs(study)),
-        ("O5.1", o51_user_outliers(study)),
-        ("F4", fig4_prefix_span(study)),
-        ("F5", fig5_lifespans(study)),
-        ("F6", fig6_prefix_lifespans(study)),
-        ("F7", fig7_users_per_ip(study)),
-        ("F8", fig8_aa_per_ip(study)),
-        ("O6.1", o61_ip_outliers(study)),
-        ("F9", fig9_users_per_prefix(study)),
-        ("F10", fig10_aa_per_prefix(study)),
-        ("O6.2", o62_prefix_outliers(study)),
-        ("F11", fig11_roc(study)),
-        ("S7.2", s72_defenses(study)),
-        ("X8.1", x81_network_breakdown(study)),
-        ("ApxA", apx_pandemic_compare(study)),
-    ]
+    let mut results = Vec::with_capacity(EXPERIMENTS.len());
+    for (id, func) in EXPERIMENTS {
+        let (out, stat) = ipv6_study_analysis::timed_figure(id, || {
+            let out = func(study);
+            let inputs = out.input_records;
+            (out, inputs)
+        });
+        if study.config.instrument {
+            study
+                .report
+                .registry
+                .record_duration("analysis.figure_wall", stat.wall);
+            study.report.figures.push(stat);
+        }
+        results.push((id, out));
+    }
+    results
 }
 
 #[cfg(test)]
@@ -1092,5 +1173,21 @@ mod tests {
                 );
             }
         }
+        // Instrumentation: one FigureStat per experiment, at least one
+        // with nonzero input cardinality, plus per-granularity actioning.
+        assert_eq!(study.report.figures.len(), 20);
+        assert!(study.report.figures.iter().any(|f| f.input_records > 0));
+        assert_eq!(study.report.actioning.len(), 4);
+    }
+
+    #[test]
+    fn uninstrumented_run_collects_no_figure_stats() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.instrument = false;
+        let mut study = Study::run(cfg).unwrap();
+        let all = run_all(&mut study);
+        assert_eq!(all.len(), 20);
+        assert!(study.report.figures.is_empty());
+        assert!(study.report.actioning.is_empty());
     }
 }

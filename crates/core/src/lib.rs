@@ -51,4 +51,5 @@ pub use ablation::Ablation;
 pub use config::{ConfigError, StudyBuilder, StudyConfig};
 pub use driver::{RunMetrics, ShardMetrics};
 pub use experiments::ExperimentOutput;
+pub use ipv6_study_obs::RunReport;
 pub use study::Study;

@@ -6,6 +6,7 @@ use std::time::Instant;
 use ipv6_study_behavior::abuse::AbuseSim;
 use ipv6_study_behavior::population::Population;
 use ipv6_study_netmodel::World;
+use ipv6_study_obs::{Json, RunReport, ShardStat};
 use ipv6_study_telemetry::{AbuseLabels, DateRange, RequestStore, Samplers, StudyDatasets};
 
 use crate::config::{ConfigError, StudyBuilder, StudyConfig};
@@ -35,6 +36,11 @@ pub struct Study {
     pub approx_users: u64,
     /// Per-phase wall-clock and per-shard throughput of this run.
     pub metrics: RunMetrics,
+    /// The observability aggregate: driver phases and shards at first,
+    /// extended with per-figure and actioning timings as the analyses
+    /// run. Serialized to `BENCH_run.json` by `repro` and `bench_run`.
+    /// Empty (but schema-complete) when `config.instrument` is off.
+    pub report: RunReport,
 }
 
 impl Study {
@@ -74,6 +80,7 @@ impl Study {
 
         let mut metrics = out.metrics;
         metrics.total_wall = total.elapsed();
+        let report = build_report(&config, &metrics, approx_users, out.datasets.retained());
         Ok(Self {
             config,
             world,
@@ -83,6 +90,7 @@ impl Study {
             labels,
             approx_users,
             metrics,
+            report,
         })
     }
 
@@ -90,6 +98,67 @@ impl Study {
     pub fn user_sample_rate(&self) -> f64 {
         self.datasets.samplers.user_rate
     }
+}
+
+/// Converts the driver's [`RunMetrics`] into the run's [`RunReport`]:
+/// phase walls, per-shard stats, a config echo, and registry aggregates.
+/// Returns an empty (disabled) report when instrumentation is off.
+fn build_report(
+    config: &StudyConfig,
+    metrics: &RunMetrics,
+    approx_users: u64,
+    retained: u64,
+) -> RunReport {
+    let mut report = RunReport::new(config.instrument);
+    if !config.instrument {
+        return report;
+    }
+    report.threads = metrics.threads as u64;
+    report.set_config("seed", Json::UInt(config.seed));
+    report.set_config("households", Json::UInt(config.households));
+    report.set_config("campaigns", Json::UInt(u64::from(config.campaigns)));
+    report.set_config("threads", Json::UInt(config.threads as u64));
+    report.set_config(
+        "full_range",
+        Json::str(format!(
+            "{}..{}",
+            config.full_range.start, config.full_range.end
+        )),
+    );
+    report.set_config(
+        "dense_range",
+        Json::str(format!(
+            "{}..{}",
+            config.dense_range.start, config.dense_range.end
+        )),
+    );
+    report.phases = metrics.phases();
+    report.shards = metrics
+        .shards
+        .iter()
+        .map(|s| ShardStat {
+            label: s.label.clone(),
+            records: s.records,
+            wall: s.wall,
+        })
+        .collect();
+    for s in &report.shards {
+        report.registry.record_duration("sim.shard_wall", s.wall);
+    }
+    report
+        .registry
+        .inc("sim.records_total", metrics.total_records());
+    report
+        .registry
+        .inc("sim.shards", metrics.shards.len() as u64);
+    report.registry.inc("sim.records_retained", retained);
+    report
+        .registry
+        .set_gauge("sim.approx_users", approx_users as f64);
+    report
+        .registry
+        .set_gauge("sim.records_per_sec", metrics.records_per_sec());
+    report
 }
 
 #[cfg(test)]

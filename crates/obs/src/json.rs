@@ -1,0 +1,294 @@
+//! A minimal JSON value and serializer.
+//!
+//! The workspace builds with no external dependencies, so the run report
+//! carries its own serializer. Object keys keep insertion order (a `Vec`
+//! of pairs, not a map), which makes the rendered output deterministic
+//! and diff-friendly. Non-finite floats serialize as `null`: JSON has no
+//! `Infinity`/`NaN`, and a report that emits them silently poisons every
+//! downstream parser.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (rendered without a decimal point).
+    UInt(u64),
+    /// A finite float. Construct through [`Json::num`], which maps
+    /// non-finite inputs to [`Json::Null`].
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A number value; non-finite inputs become `null` so the rendered
+    /// document never contains `Infinity` or `NaN`.
+    pub fn num(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(v)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object, builder-style.
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object.
+    pub fn with(mut self, key: &str, value: Json) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Sets a field on an object (appending; keys are not deduplicated —
+    /// callers control the schema).
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object.
+    pub fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+    }
+
+    /// Looks up a field of an object (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders human-readable JSON with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(v) => {
+                // Constructors guarantee finiteness, but render defensively:
+                // a hand-built Json::Num(NaN) still must not poison output.
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// The set of field paths in this document, sorted and deduplicated —
+    /// the document's *schema*. Array elements all contribute under a
+    /// `[]` segment, so the path set is independent of array lengths and
+    /// of every leaf value. Used by the golden report test, which pins
+    /// the schema while ignoring timing values.
+    pub fn schema_paths(&self) -> Vec<String> {
+        let mut paths = Vec::new();
+        self.collect_paths("$", &mut paths);
+        paths.sort();
+        paths.dedup();
+        paths
+    }
+
+    fn collect_paths(&self, prefix: &str, paths: &mut Vec<String>) {
+        match self {
+            Json::Arr(items) => {
+                for item in items {
+                    item.collect_paths(&format!("{prefix}[]"), paths);
+                }
+                if items.is_empty() {
+                    paths.push(format!("{prefix}[]"));
+                }
+            }
+            Json::Obj(fields) => {
+                for (k, v) in fields {
+                    v.collect_paths(&format!("{prefix}.{k}"), paths);
+                }
+                if fields.is_empty() {
+                    paths.push(prefix.to_string());
+                }
+            }
+            _ => paths.push(prefix.to_string()),
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::UInt(42).render(), "42");
+        assert_eq!(Json::num(2.5).render(), "2.5");
+        assert_eq!(Json::str("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::num(f64::INFINITY), Json::Null);
+        assert_eq!(Json::num(f64::NEG_INFINITY), Json::Null);
+        assert_eq!(Json::num(f64::NAN), Json::Null);
+        // Even a hand-built Num renders defensively.
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\te\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let j = Json::obj()
+            .with("z", Json::UInt(1))
+            .with("a", Json::Arr(vec![Json::UInt(2), Json::num(0.5)]));
+        assert_eq!(j.render(), "{\"z\":1,\"a\":[2,0.5]}");
+        assert_eq!(j.get("z"), Some(&Json::UInt(1)));
+        assert!(j.get("missing").is_none());
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let j = Json::obj().with("a", Json::Arr(vec![Json::UInt(1)]));
+        assert_eq!(j.render_pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    fn schema_paths_ignore_values_and_array_lengths() {
+        let a = Json::obj().with(
+            "shards",
+            Json::Arr(vec![
+                Json::obj()
+                    .with("label", Json::str("x"))
+                    .with("n", Json::UInt(1)),
+                Json::obj()
+                    .with("label", Json::str("y"))
+                    .with("n", Json::UInt(9)),
+            ]),
+        );
+        let b = Json::obj().with(
+            "shards",
+            Json::Arr(vec![Json::obj()
+                .with("label", Json::str("z"))
+                .with("n", Json::UInt(7))]),
+        );
+        assert_eq!(a.schema_paths(), b.schema_paths());
+        assert_eq!(
+            a.schema_paths(),
+            vec!["$.shards[].label".to_string(), "$.shards[].n".to_string()]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn set_on_non_object_panics() {
+        Json::UInt(1).with("a", Json::Null);
+    }
+}

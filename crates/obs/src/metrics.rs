@@ -1,0 +1,295 @@
+//! The metrics registry: counters, gauges, and duration histograms.
+//!
+//! Names are free-form dotted strings (`sim.records_total`); the registry
+//! stores them in `BTreeMap`s so iteration — and therefore serialized
+//! output — is deterministic. All types are plain owned values mutated
+//! through `&mut`: the pipeline's hot paths are single-writer per shard,
+//! so no atomics or locks are needed (and none of their cost is paid).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A monotonic event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds to the counter, saturating at `u64::MAX` (a counter that
+    /// wraps silently would corrupt every rate derived from it).
+    pub fn add(&mut self, by: u64) {
+        self.0 = self.0.saturating_add(by);
+    }
+
+    /// The current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge(f64);
+
+impl Gauge {
+    /// Sets the gauge. Non-finite values are stored as `0.0` — the JSON
+    /// export has no representation for them and a poisoned gauge must
+    /// not poison the report.
+    pub fn set(&mut self, v: f64) {
+        self.0 = if v.is_finite() { v } else { 0.0 };
+    }
+
+    /// The current value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// Number of log-scale histogram buckets: bucket `i` counts durations
+/// `< 1µs << i`, so 32 buckets cover up to ~71 minutes, with a final
+/// overflow bucket above that.
+const HISTO_BUCKETS: usize = 32;
+
+/// A duration histogram with fixed log-scale (power-of-two microsecond)
+/// buckets.
+///
+/// Fixed buckets mean recording is O(1) with no allocation — cheap enough
+/// for per-shard and per-figure hot paths — and bucket boundaries are
+/// identical across runs, so exported histograms are directly comparable
+/// between PRs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationHisto {
+    buckets: [u64; HISTO_BUCKETS + 1],
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+impl Default for DurationHisto {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTO_BUCKETS + 1],
+            count: 0,
+            total: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+}
+
+impl DurationHisto {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: Duration) {
+        let micros = d.as_micros();
+        let idx = (u128::BITS - micros.leading_zeros()) as usize; // 0 for 0µs
+        self.buckets[idx.min(HISTO_BUCKETS)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(d);
+        self.max = self.max.max(d);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// `(upper_bound_seconds, count)` for each non-empty bucket; the
+    /// overflow bucket reports an upper bound of `None`.
+    pub fn nonzero_buckets(&self) -> Vec<(Option<f64>, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let bound = if i >= HISTO_BUCKETS {
+                    None
+                } else {
+                    // Bucket i counts durations < 2^i µs (bucket 0: exactly 0).
+                    Some((1u64 << i) as f64 * 1e-6)
+                };
+                (bound, c)
+            })
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("count", Json::UInt(self.count))
+            .with("total_secs", Json::num(self.total.as_secs_f64()))
+            .with("max_secs", Json::num(self.max.as_secs_f64()))
+            .with(
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(le, c)| {
+                            Json::obj()
+                                .with("le_secs", le.map_or(Json::Null, Json::num))
+                                .with("count", Json::UInt(c))
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// A named collection of counters, gauges, and duration histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histos: BTreeMap<String, DurationHisto>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter (creating it at zero on first use).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        self.counters.entry(name.to_string()).or_default().add(by);
+    }
+
+    /// The value of a counter (zero when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or_default().get()
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.entry(name.to_string()).or_default().set(v);
+    }
+
+    /// The value of a gauge (zero when never set).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or_default().get()
+    }
+
+    /// Records a duration observation into a named histogram.
+    pub fn record_duration(&mut self, name: &str, d: Duration) {
+        self.histos.entry(name.to_string()).or_default().record(d);
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&DurationHisto> {
+        self.histos.get(name)
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histos.is_empty()
+    }
+
+    /// Serializes the registry (name order, hence output, is stable).
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, c) in &self.counters {
+            counters.set(name, Json::UInt(c.get()));
+        }
+        let mut gauges = Json::obj();
+        for (name, g) in &self.gauges {
+            gauges.set(name, Json::num(g.get()));
+        }
+        let mut histos = Json::obj();
+        for (name, h) in &self.histos {
+            histos.set(name, h.to_json());
+        }
+        Json::obj()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", histos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_saturating() {
+        let mut r = Registry::new();
+        r.inc("a.b", 2);
+        r.inc("a.b", 3);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        let mut c = Counter::default();
+        c.add(u64::MAX);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_sanitize_non_finite() {
+        let mut r = Registry::new();
+        r.set_gauge("g", 1.5);
+        assert_eq!(r.gauge("g"), 1.5);
+        r.set_gauge("g", f64::INFINITY);
+        assert_eq!(r.gauge("g"), 0.0);
+        r.set_gauge("g", f64::NAN);
+        assert_eq!(r.gauge("g"), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        let mut h = DurationHisto::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_micros(1)); // < 2µs bucket
+        h.record(Duration::from_micros(3)); // < 4µs bucket
+        h.record(Duration::from_millis(5)); // < 8192µs bucket
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), Duration::from_millis(5));
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 4);
+        // Every bucket bound is a power-of-two number of microseconds.
+        for (bound, count) in &buckets {
+            assert_eq!(*count, 1);
+            if let Some(b) = bound {
+                let micros = b * 1e6;
+                assert_eq!(micros, micros.round());
+                assert_eq!((micros as u64).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_has_no_bound() {
+        let mut h = DurationHisto::new();
+        h.record(Duration::from_secs(100_000)); // > 71 min: overflow
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(None, 1)]);
+        assert!(h.to_json().render().contains("\"le_secs\":null"));
+    }
+
+    #[test]
+    fn registry_json_is_deterministic() {
+        let mut r = Registry::new();
+        r.inc("z", 1);
+        r.inc("a", 2);
+        r.set_gauge("m", 0.25);
+        r.record_duration("d", Duration::from_micros(10));
+        let a = r.to_json().render();
+        let b = r.to_json().render();
+        assert_eq!(a, b);
+        // BTreeMap ordering: "a" before "z".
+        assert!(a.find("\"a\":2").unwrap() < a.find("\"z\":1").unwrap());
+        assert!(!r.is_empty());
+        assert!(Registry::new().is_empty());
+    }
+}

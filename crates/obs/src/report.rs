@@ -1,0 +1,378 @@
+//! [`RunReport`] — everything a completed run measured, in one value.
+//!
+//! The report is the unit of the repo's perf trajectory: the `repro` and
+//! `bench_run` binaries serialize it to `BENCH_run.json`, and each PR's
+//! numbers are compared against the previous ones. The JSON schema is
+//! pinned by a golden test (field *presence* is asserted; timing values
+//! are free to vary), so a PR that drops a section breaks visibly.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::metrics::Registry;
+use crate::timer::PhaseStat;
+
+/// Schema version of the serialized report; bump on breaking changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Throughput over a wall-clock window, `0.0` for an empty window.
+///
+/// A shard (or phase) whose wall clock rounds to zero has no measurable
+/// rate; returning `0.0` instead of `f64::INFINITY` keeps every derived
+/// value JSON-representable.
+pub fn rate_per_sec(items: u64, wall: Duration) -> f64 {
+    let s = wall.as_secs_f64();
+    if s > 0.0 {
+        items as f64 / s
+    } else {
+        0.0
+    }
+}
+
+/// Timing and throughput of one simulation shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Human-readable shard description, e.g. `benign hh 0..312`.
+    pub label: String,
+    /// Records emitted by the shard (before sampling).
+    pub records: u64,
+    /// Wall clock the shard took on its worker.
+    pub wall: Duration,
+}
+
+impl ShardStat {
+    /// Emission throughput in records per second (`0.0` when the wall
+    /// clock rounds to zero).
+    pub fn records_per_sec(&self) -> f64 {
+        rate_per_sec(self.records, self.wall)
+    }
+}
+
+/// Timing of one analysis pass (one figure/table of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigureStat {
+    /// Experiment id, e.g. `"F2"`.
+    pub id: String,
+    /// Wall clock of the whole pass.
+    pub wall: Duration,
+    /// Input cardinality: records the pass read across its dataset
+    /// slices.
+    pub input_records: u64,
+}
+
+/// Timing of one actioning-ROC evaluation (one Figure 11 granularity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActioningStat {
+    /// Granularity label, e.g. `"/64"`.
+    pub granularity: String,
+    /// Wall clock of tallying and curve construction.
+    pub wall: Duration,
+    /// Decision units scored on day *n*.
+    pub units_scored: u64,
+    /// Decision units evaluated on day *n+1*.
+    pub units_evaluated: u64,
+}
+
+/// The aggregated observability output of one study run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Whether instrumentation was enabled; a disabled report stays
+    /// empty (and serializes with the same schema, all sections bare).
+    pub enabled: bool,
+    /// Run configuration echo (seed, scale, threads, …), set by the
+    /// driver's caller.
+    pub config: Vec<(String, Json)>,
+    /// Worker threads the simulation used.
+    pub threads: u64,
+    /// Pipeline phases in execution order (`plan`, `sim`, `merge`,
+    /// `sort`, then analysis/total entries appended by later stages).
+    pub phases: Vec<PhaseStat>,
+    /// Per-shard simulation stats, in plan (= merge) order.
+    pub shards: Vec<ShardStat>,
+    /// Per-figure analysis stats, in experiment order.
+    pub figures: Vec<FigureStat>,
+    /// Per-granularity actioning stats (Figure 11).
+    pub actioning: Vec<ActioningStat>,
+    /// Free-form counters/gauges/histograms recorded along the way.
+    pub registry: Registry,
+}
+
+impl RunReport {
+    /// An empty report; `enabled` gates whether later stages record into
+    /// it.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            ..Self::default()
+        }
+    }
+
+    /// Adds a config echo entry.
+    pub fn set_config(&mut self, key: &str, value: Json) {
+        self.config.push((key.to_string(), value));
+    }
+
+    /// Wall clock of a phase by name (first match).
+    pub fn phase_wall(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|p| p.name == name).map(|p| p.wall)
+    }
+
+    /// Total records emitted across all shards.
+    pub fn total_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.records).sum()
+    }
+
+    /// Aggregate simulation throughput (records per second over the
+    /// `sim` phase; `0.0` when unmeasured).
+    pub fn records_per_sec(&self) -> f64 {
+        rate_per_sec(
+            self.total_records(),
+            self.phase_wall("sim").unwrap_or(Duration::ZERO),
+        )
+    }
+
+    /// Total analysis wall clock across figures.
+    pub fn analysis_wall(&self) -> Duration {
+        self.figures.iter().map(|f| f.wall).sum()
+    }
+
+    /// Serializes the report. Every number is finite by construction —
+    /// non-finite values would render as `null`, never as `Infinity` or
+    /// `NaN`.
+    pub fn to_json(&self) -> Json {
+        let mut config = Json::obj();
+        for (k, v) in &self.config {
+            config.set(k, v.clone());
+        }
+        let mut phases = Json::obj();
+        for p in &self.phases {
+            phases.set(&p.name, Json::num(p.wall.as_secs_f64()));
+        }
+        let shards = Json::Arr(
+            self.shards
+                .iter()
+                .map(|s| {
+                    Json::obj()
+                        .with("label", Json::str(&*s.label))
+                        .with("records", Json::UInt(s.records))
+                        .with("wall_secs", Json::num(s.wall.as_secs_f64()))
+                        .with("records_per_sec", Json::num(s.records_per_sec()))
+                })
+                .collect(),
+        );
+        let figures = Json::Arr(
+            self.figures
+                .iter()
+                .map(|f| {
+                    Json::obj()
+                        .with("id", Json::str(&*f.id))
+                        .with("wall_secs", Json::num(f.wall.as_secs_f64()))
+                        .with("input_records", Json::UInt(f.input_records))
+                })
+                .collect(),
+        );
+        let actioning = Json::Arr(
+            self.actioning
+                .iter()
+                .map(|a| {
+                    Json::obj()
+                        .with("granularity", Json::str(&*a.granularity))
+                        .with("wall_secs", Json::num(a.wall.as_secs_f64()))
+                        .with("units_scored", Json::UInt(a.units_scored))
+                        .with("units_evaluated", Json::UInt(a.units_evaluated))
+                })
+                .collect(),
+        );
+        Json::obj()
+            .with("schema_version", Json::UInt(SCHEMA_VERSION))
+            .with("enabled", Json::Bool(self.enabled))
+            .with("config", config)
+            .with(
+                "sim",
+                Json::obj()
+                    .with("threads", Json::UInt(self.threads))
+                    .with("phases", phases)
+                    .with("shards", shards)
+                    .with("total_records", Json::UInt(self.total_records()))
+                    .with("records_per_sec", Json::num(self.records_per_sec())),
+            )
+            .with(
+                "analysis",
+                Json::obj().with("figures", figures).with(
+                    "total_wall_secs",
+                    Json::num(self.analysis_wall().as_secs_f64()),
+                ),
+            )
+            .with("actioning", actioning)
+            .with("metrics", self.registry.to_json())
+    }
+
+    /// The pretty-printed JSON document written to `BENCH_run.json`.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// A compact human-readable summary (phases, throughput, slowest
+    /// figures).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "run report: {} thread(s);", self.threads);
+        for p in &self.phases {
+            let _ = write!(out, " {} {:.2?}", p.name, p.wall);
+        }
+        let _ = writeln!(
+            out,
+            "; {} records ({:.0} rec/s), {} shards",
+            self.total_records(),
+            self.records_per_sec(),
+            self.shards.len()
+        );
+        if !self.figures.is_empty() {
+            let mut by_wall: Vec<&FigureStat> = self.figures.iter().collect();
+            by_wall.sort_by_key(|f| std::cmp::Reverse(f.wall));
+            let _ = writeln!(
+                out,
+                "analysis: {} passes in {:.2?}; slowest:",
+                self.figures.len(),
+                self.analysis_wall()
+            );
+            for f in by_wall.iter().take(5) {
+                let _ = writeln!(
+                    out,
+                    "  {:10} {:>10.2?}  {:>10} input records",
+                    f.id, f.wall, f.input_records
+                );
+            }
+        }
+        for a in &self.actioning {
+            let _ = writeln!(
+                out,
+                "actioning {:6} {:>10.2?}  {} -> {} units",
+                a.granularity, a.wall, a.units_scored, a.units_evaluated
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut r = RunReport::new(true);
+        r.threads = 2;
+        r.set_config("seed", Json::UInt(42));
+        r.phases = vec![
+            PhaseStat {
+                name: "plan".into(),
+                wall: Duration::from_micros(3),
+            },
+            PhaseStat {
+                name: "sim".into(),
+                wall: Duration::from_millis(80),
+            },
+            PhaseStat {
+                name: "merge".into(),
+                wall: Duration::from_millis(4),
+            },
+            PhaseStat {
+                name: "sort".into(),
+                wall: Duration::from_millis(2),
+            },
+        ];
+        r.shards.push(ShardStat {
+            label: "benign hh 0..64".into(),
+            records: 4000,
+            wall: Duration::from_millis(40),
+        });
+        r.shards.push(ShardStat {
+            label: "abuse camp 0..4".into(),
+            records: 1000,
+            wall: Duration::from_millis(10),
+        });
+        r.figures.push(FigureStat {
+            id: "F2".into(),
+            wall: Duration::from_millis(7),
+            input_records: 1234,
+        });
+        r.actioning.push(ActioningStat {
+            granularity: "/64".into(),
+            wall: Duration::from_millis(1),
+            units_scored: 10,
+            units_evaluated: 12,
+        });
+        r.registry.inc("sim.records_total", 5000);
+        r
+    }
+
+    #[test]
+    fn zero_duration_rates_are_zero_not_infinite() {
+        assert_eq!(rate_per_sec(1000, Duration::ZERO), 0.0);
+        let s = ShardStat {
+            label: "benign hh 0..1".into(),
+            records: 1000,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(s.records_per_sec(), 0.0);
+        let mut r = RunReport::new(true);
+        r.shards.push(s);
+        assert_eq!(r.records_per_sec(), 0.0, "no sim phase recorded");
+        assert!(!r.to_json().render().contains("null"));
+    }
+
+    #[test]
+    fn totals_and_lookups() {
+        let r = sample();
+        assert_eq!(r.total_records(), 5000);
+        assert_eq!(r.phase_wall("sim"), Some(Duration::from_millis(80)));
+        assert_eq!(r.phase_wall("nope"), None);
+        assert!((r.records_per_sec() - 5000.0 / 0.080).abs() < 1e-6);
+        assert_eq!(r.analysis_wall(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn json_has_every_section_and_no_specials() {
+        let text = sample().to_json_string();
+        for key in [
+            "\"schema_version\"",
+            "\"config\"",
+            "\"sim\"",
+            "\"plan\"",
+            "\"merge\"",
+            "\"sort\"",
+            "\"shards\"",
+            "\"records_per_sec\"",
+            "\"analysis\"",
+            "\"input_records\"",
+            "\"actioning\"",
+            "\"units_scored\"",
+            "\"metrics\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        assert!(!text.contains("Infinity"));
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn disabled_report_serializes_with_the_same_top_level_schema() {
+        let on = sample().to_json();
+        let off = RunReport::new(false).to_json();
+        let tops = |j: &Json| match j {
+            Json::Obj(fields) => fields.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            _ => panic!("report is an object"),
+        };
+        assert_eq!(tops(&on), tops(&off));
+    }
+
+    #[test]
+    fn render_mentions_phases_and_slowest_figures() {
+        let text = sample().render();
+        assert!(text.contains("plan"));
+        assert!(text.contains("sort"));
+        assert!(text.contains("F2"));
+        assert!(text.contains("/64"));
+    }
+}

@@ -1,0 +1,91 @@
+//! RAII phase timers.
+//!
+//! A phase is one named step of a run (`plan`, `sim`, `merge`, `sort`,
+//! …). The guard records its wall clock into a `Vec<PhaseStat>` on drop,
+//! so every exit path of a phase — including early returns and `?` — is
+//! timed without explicit stop calls.
+
+use std::time::{Duration, Instant};
+
+/// One completed phase: name and wall clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name, e.g. `"sim"`.
+    pub name: String,
+    /// Wall clock the phase took.
+    pub wall: Duration,
+}
+
+/// An RAII guard that appends a [`PhaseStat`] to its sink on drop.
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    sink: &'a mut Vec<PhaseStat>,
+    name: &'static str,
+    t0: Instant,
+}
+
+impl<'a> PhaseGuard<'a> {
+    /// Starts timing a phase; the measurement lands in `sink` when the
+    /// guard drops.
+    pub fn start(sink: &'a mut Vec<PhaseStat>, name: &'static str) -> Self {
+        Self {
+            sink,
+            name,
+            t0: Instant::now(),
+        }
+    }
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.sink.push(PhaseStat {
+            name: self.name.to_string(),
+            wall: self.t0.elapsed(),
+        });
+    }
+}
+
+/// Runs `f` as a named phase, recording its wall clock into `sink`.
+pub fn time_phase<R>(sink: &mut Vec<PhaseStat>, name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _guard = PhaseGuard::start(sink, name);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let mut phases = Vec::new();
+        {
+            let _g = PhaseGuard::start(&mut phases, "plan");
+        }
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].name, "plan");
+    }
+
+    #[test]
+    fn time_phase_returns_the_closure_value() {
+        let mut phases = Vec::new();
+        let v = time_phase(&mut phases, "sim", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(phases[0].name, "sim");
+    }
+
+    #[test]
+    fn early_exit_paths_are_still_timed() {
+        fn fallible(sink: &mut Vec<PhaseStat>, fail: bool) -> Result<(), ()> {
+            let _g = PhaseGuard::start(sink, "merge");
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        }
+        let mut phases = Vec::new();
+        let _ = fallible(&mut phases, true);
+        let _ = fallible(&mut phases, false);
+        assert_eq!(phases.len(), 2);
+        assert!(phases.iter().all(|p| p.name == "merge"));
+    }
+}

@@ -13,8 +13,10 @@
 
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
+use std::time::Instant;
 
 use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix};
+use ipv6_study_obs::ActioningStat;
 use ipv6_study_stats::roc::RocCurve;
 use ipv6_study_telemetry::{AbuseLabels, RequestRecord, UserId};
 
@@ -93,6 +95,20 @@ pub fn actioning_roc(
     labels: &AbuseLabels,
     granularity: Granularity,
 ) -> RocCurve {
+    actioning_roc_timed(day_n, day_n1, labels, granularity).0
+}
+
+/// [`actioning_roc`] plus an observability record: wall clock of the
+/// tally-and-curve pass and the decision-unit cardinalities on both days.
+/// The timing is passive — the returned curve is identical to the
+/// untimed call's.
+pub fn actioning_roc_timed(
+    day_n: &[RequestRecord],
+    day_n1: &[RequestRecord],
+    labels: &AbuseLabels,
+    granularity: Granularity,
+) -> (RocCurve, ActioningStat) {
+    let t0 = Instant::now();
     let scores = tally(day_n, labels, granularity);
     let outcomes = tally(day_n1, labels, granularity);
     let mut curve = RocCurve::new();
@@ -115,7 +131,13 @@ pub fn actioning_roc(
             outcome.benign.len() as f64,
         );
     }
-    curve
+    let stat = ActioningStat {
+        granularity: granularity.label(),
+        wall: t0.elapsed(),
+        units_scored: scores.len() as u64,
+        units_evaluated: outcomes.len() as u64,
+    };
+    (curve, stat)
 }
 
 /// The paper's three reported operating points (thresholds 0%, 10%, 100%)
@@ -263,6 +285,29 @@ mod tests {
         // The 10% threshold drops the mixed unit (ratio 1/21 < 10%).
         assert_eq!(pts.t10.0, 0.0);
         assert_eq!(pts.t10.1, 0.0);
+    }
+
+    #[test]
+    fn timed_roc_matches_untimed_and_counts_units() {
+        let d1 = SimDate::ymd(4, 18);
+        let d2 = SimDate::ymd(4, 19);
+        let labels = labels_for(&[100]);
+        let day_n = vec![rec(100, d1, "2001:db8::a"), rec(1, d1, "2001:db8::c")];
+        let day_n1 = vec![
+            rec(100, d2, "2001:db8::a"),
+            rec(2, d2, "2001:db8::d"),
+            rec(1, d2, "2001:db8::c"),
+        ];
+        let plain = actioning_roc(&day_n, &day_n1, &labels, Granularity::V6Full);
+        let (timed, stat) = actioning_roc_timed(&day_n, &day_n1, &labels, Granularity::V6Full);
+        for i in 0..=10 {
+            let t = i as f64 / 10.0;
+            let (a, b) = (plain.point_at(t, None), timed.point_at(t, None));
+            assert_eq!((a.tpr, a.fpr), (b.tpr, b.fpr), "t={t}");
+        }
+        assert_eq!(stat.granularity, "/128");
+        assert_eq!(stat.units_scored, 2);
+        assert_eq!(stat.units_evaluated, 3);
     }
 
     #[test]

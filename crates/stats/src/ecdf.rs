@@ -52,11 +52,12 @@ impl Ecdf {
         let mut cum = Vec::new();
         let mut total = 0u64;
         for (val, count) in v {
+            total = total
+                .checked_add(count)
+                .expect("Ecdf::from_counts: total observation count overflows u64");
             if values.last() == Some(&val) {
-                total += count;
                 *cum.last_mut().expect("non-empty when last matches") = total;
             } else {
-                total += count;
                 values.push(val);
                 cum.push(total);
             }
@@ -187,6 +188,12 @@ impl Ecdf {
 mod tests {
     use super::*;
     use crate::testgen::TestGen;
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn from_counts_panics_on_total_overflow() {
+        let _ = Ecdf::from_counts([(1, u64::MAX), (2, 1)]);
+    }
 
     #[test]
     fn basic_queries() {

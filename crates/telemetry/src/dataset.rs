@@ -124,6 +124,18 @@ impl StudyDatasets {
         self.offered += other.offered;
     }
 
+    /// Sorts every retained store by timestamp now, instead of lazily on
+    /// first query — lets the simulation driver account the sort cost as
+    /// its own measured phase.
+    pub fn ensure_sorted(&mut self) {
+        self.request_sample.ensure_sorted();
+        self.user_sample.ensure_sorted();
+        self.ip_sample.ensure_sorted();
+        for store in self.prefix_samples.values_mut() {
+            store.ensure_sorted();
+        }
+    }
+
     /// The prefix sample for a given length.
     ///
     /// # Panics

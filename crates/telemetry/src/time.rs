@@ -92,8 +92,15 @@ impl SimDate {
     }
 
     /// The timestamp at `hh:mm:ss` on this date.
+    ///
+    /// Panics on an out-of-range time component, in release builds too:
+    /// a wrapped timestamp would silently land the record on the wrong
+    /// day and corrupt every downstream daily slice.
     pub fn at(self, hour: u8, min: u8, sec: u8) -> Timestamp {
-        debug_assert!(hour < 24 && min < 60 && sec < 60);
+        assert!(
+            hour < 24 && min < 60 && sec < 60,
+            "SimDate::at: invalid time {hour:02}:{min:02}:{sec:02}"
+        );
         Timestamp(
             u32::from(self.0) * 86_400
                 + u32::from(hour) * 3_600
@@ -266,6 +273,18 @@ pub fn prepandemic_week() -> DateRange {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn at_rejects_out_of_range_components_in_release_too() {
+        let _ = SimDate::ymd(4, 19).at(24, 0, 0);
+    }
+
+    #[test]
+    fn at_accepts_the_last_second_of_the_day() {
+        let ts = SimDate::ymd(1, 1).at(23, 59, 59);
+        assert_eq!(ts.0, 86_399);
+    }
 
     #[test]
     fn known_dates() {

@@ -28,8 +28,8 @@
 #![warn(missing_docs)]
 
 pub use ipv6_study_core::{
-    experiments, paper, report, ConfigError, RunMetrics, ShardMetrics, Study, StudyBuilder,
-    StudyConfig,
+    experiments, paper, report, ConfigError, RunMetrics, RunReport, ShardMetrics, Study,
+    StudyBuilder, StudyConfig,
 };
 
 /// Statistical substrate: ECDFs, ROC curves, hashing, extrapolation.
@@ -41,6 +41,7 @@ pub use ipv6_study_analysis as analysis;
 pub use ipv6_study_behavior as behavior;
 pub use ipv6_study_netaddr as netaddr;
 pub use ipv6_study_netmodel as netmodel;
+pub use ipv6_study_obs as obs;
 pub use ipv6_study_secapp as secapp;
 pub use ipv6_study_stats as stats;
 pub use ipv6_study_telemetry as telemetry;

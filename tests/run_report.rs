@@ -1,0 +1,144 @@
+//! The observability layer's two contracts:
+//!
+//! 1. **Schema stability** — a fixed-seed study produces a
+//!    `BENCH_run.json` whose *field set* is pinned (timing values are
+//!    free to vary run to run, the paths are not), and the document
+//!    never contains `Infinity` or `NaN`.
+//! 2. **Passivity** — instrumentation cannot perturb the simulation:
+//!    runs with instrumentation on and off yield byte-identical
+//!    datasets.
+
+use ipv6_user_study::experiments::run_all;
+use ipv6_user_study::stats::hash::StableHasher;
+use ipv6_user_study::telemetry::RequestRecord;
+use ipv6_user_study::{Study, StudyConfig};
+
+fn instrumented_tiny_run() -> Study {
+    let mut cfg = StudyConfig::tiny();
+    cfg.instrument = true;
+    let mut study = Study::run(cfg).expect("tiny preset is valid");
+    let _ = run_all(&mut study);
+    study
+}
+
+/// Every field the acceptance contract requires in `BENCH_run.json`.
+const REQUIRED_PATHS: &[&str] = &[
+    "$.schema_version",
+    "$.enabled",
+    "$.config.seed",
+    "$.config.households",
+    "$.config.threads",
+    "$.sim.threads",
+    "$.sim.phases.plan",
+    "$.sim.phases.sim",
+    "$.sim.phases.merge",
+    "$.sim.phases.sort",
+    "$.sim.phases.total",
+    "$.sim.shards[].label",
+    "$.sim.shards[].records",
+    "$.sim.shards[].wall_secs",
+    "$.sim.shards[].records_per_sec",
+    "$.sim.total_records",
+    "$.sim.records_per_sec",
+    "$.analysis.figures[].id",
+    "$.analysis.figures[].wall_secs",
+    "$.analysis.figures[].input_records",
+    "$.analysis.total_wall_secs",
+    "$.actioning[].granularity",
+    "$.actioning[].wall_secs",
+    "$.actioning[].units_scored",
+    "$.actioning[].units_evaluated",
+    "$.metrics.counters.sim.records_total",
+    "$.metrics.gauges.sim.records_per_sec",
+    "$.metrics.histograms.analysis.figure_wall.count",
+    "$.metrics.histograms.sim.shard_wall.count",
+];
+
+#[test]
+fn bench_report_schema_is_stable_and_finite() {
+    let study = instrumented_tiny_run();
+    let json = study.report.to_json();
+    let paths = json.schema_paths();
+    for required in REQUIRED_PATHS {
+        assert!(
+            paths.iter().any(|p| p == required),
+            "missing {required} in schema: {paths:#?}"
+        );
+    }
+
+    // Values vary run to run; the field set must not.
+    let again = instrumented_tiny_run();
+    assert_eq!(
+        paths,
+        again.report.to_json().schema_paths(),
+        "report schema differs between identical runs"
+    );
+
+    // The acceptance contract: no Infinity/NaN anywhere in the document.
+    let text = study.report.to_json_string();
+    assert!(!text.contains("Infinity"), "report contains Infinity");
+    assert!(!text.contains("NaN"), "report contains NaN");
+}
+
+#[test]
+fn report_covers_every_experiment_and_all_sim_records() {
+    let study = instrumented_tiny_run();
+    assert_eq!(study.report.figures.len(), 20, "one stat per experiment");
+    assert!(study.report.figures.iter().any(|f| f.input_records > 0));
+    assert_eq!(study.report.actioning.len(), 4, "one stat per granularity");
+    assert_eq!(
+        study.report.total_records(),
+        study.metrics.total_records(),
+        "shard stats must account for every simulated record"
+    );
+    assert!(study.report.phase_wall("sim").is_some());
+}
+
+/// Order-sensitive digest of a record sequence.
+fn digest(records: &[RequestRecord]) -> u64 {
+    let mut h = StableHasher::new(0x4f42_5331); // "OBS1"
+    for r in records {
+        h.write_u64(u64::from(r.ts.secs()))
+            .write_u64(r.user.raw())
+            .write_u64(r.ip_key())
+            .write_u64(u64::from(r.asn.0));
+    }
+    h.finish()
+}
+
+#[test]
+fn instrumentation_leaves_datasets_byte_identical() {
+    let run = |instrument: bool| {
+        let mut cfg = StudyConfig::tiny();
+        cfg.instrument = instrument;
+        Study::run(cfg).expect("tiny preset is valid")
+    };
+    let mut on = run(true);
+    let mut off = run(false);
+    assert!(on.report.enabled);
+    assert!(!off.report.enabled);
+
+    assert_eq!(on.datasets.offered, off.datasets.offered);
+    assert_eq!(
+        on.datasets.user_sample.all(),
+        off.datasets.user_sample.all()
+    );
+    assert_eq!(
+        digest(on.datasets.request_sample.all()),
+        digest(off.datasets.request_sample.all())
+    );
+    assert_eq!(
+        digest(on.datasets.ip_sample.all()),
+        digest(off.datasets.ip_sample.all())
+    );
+    assert_eq!(digest(on.abuse_store.all()), digest(off.abuse_store.all()));
+    assert_eq!(digest(on.pair_store.all()), digest(off.pair_store.all()));
+    let lengths = on.config.prefix_lengths.clone();
+    for &l in &lengths {
+        assert_eq!(
+            digest(on.datasets.prefix_sample(l).all()),
+            digest(off.datasets.prefix_sample(l).all()),
+            "prefix /{l} digest"
+        );
+    }
+}
