@@ -15,7 +15,7 @@
 //! field set does not.
 
 use ipv6_study_core::experiments::run_all;
-use ipv6_study_core::{Study, StudyConfig};
+use ipv6_study_core::{Study, StudyConfig, StudyError};
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -78,11 +78,19 @@ fn main() {
 
     let mut study = match Study::run(config) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("invalid configuration: {e}");
+        Err(e @ StudyError::Config(_)) => {
+            eprintln!("{e}");
             std::process::exit(2);
         }
+        Err(StudyError::ShardsFailed(report)) => {
+            eprint!("{}", report.render());
+            eprintln!("run failed: shard failures exceeded the failure policy");
+            std::process::exit(1);
+        }
     };
+    if !study.faults.is_clean() {
+        eprint!("{}", study.faults.render());
+    }
     let _results = run_all(&mut study);
     eprint!("{}", study.report.render());
 

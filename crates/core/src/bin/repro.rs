@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use ipv6_study_core::experiments::run_all;
 use ipv6_study_core::report::{render_markdown, render_summary};
-use ipv6_study_core::{Study, StudyConfig};
+use ipv6_study_core::{Study, StudyConfig, StudyError};
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -83,12 +83,20 @@ fn main() {
     );
     let mut study = match Study::run(config) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("invalid configuration: {e}");
+        Err(e @ StudyError::Config(_)) => {
+            eprintln!("{e}");
             std::process::exit(2);
+        }
+        Err(StudyError::ShardsFailed(report)) => {
+            eprint!("{}", report.render());
+            eprintln!("run failed: shard failures exceeded the failure policy");
+            std::process::exit(1);
         }
     };
     eprint!("{}", study.metrics.render());
+    if !study.faults.is_clean() {
+        eprint!("{}", study.faults.render());
+    }
     eprintln!(
         "simulation done: {} requests offered, {} retained, {} abusive accounts",
         study.datasets.offered,
@@ -115,7 +123,10 @@ fn main() {
     if study.report.enabled {
         match std::fs::write("BENCH_run.json", study.report.to_json_string()) {
             Ok(()) => eprintln!("wrote BENCH_run.json"),
-            Err(e) => eprintln!("failed to write BENCH_run.json: {e}"),
+            Err(e) => {
+                eprintln!("failed to write BENCH_run.json: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

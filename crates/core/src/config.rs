@@ -4,13 +4,14 @@
 use std::fmt;
 
 use crate::ablation::Ablation;
+use crate::faults::{FailurePolicy, FaultInjector, StudyOutcome};
 use crate::study::Study;
 use ipv6_study_netaddr::STUDY_PREFIX_LENGTHS;
 use ipv6_study_telemetry::time::{study_end, study_start};
 use ipv6_study_telemetry::{DateRange, SimDate};
 
 /// Why a [`StudyConfig`] cannot be run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ConfigError {
     /// `households` is zero: there is no population to simulate.
@@ -30,6 +31,14 @@ pub enum ConfigError {
     PrefixLengthTooLong(u8),
     /// `threads` is zero: the driver needs at least one worker.
     ZeroThreads,
+    /// `max_shard_retries` exceeds the sanity cap: a deterministic shard
+    /// that failed dozens of times will not succeed on attempt 100.
+    TooManyRetries(u32),
+    /// The fault injector's `panic_rate` is outside `[0, 1]` (or NaN).
+    FaultRateOutOfRange(f64),
+    /// The world's network portfolio cannot be materialized from this
+    /// configuration (an address-assignment invariant would be violated).
+    Network(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -48,9 +57,25 @@ impl fmt::Display for ConfigError {
                 write!(f, "prefix length /{l} exceeds 128 bits")
             }
             ConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
+            ConfigError::TooManyRetries(n) => {
+                write!(
+                    f,
+                    "max_shard_retries {n} exceeds the cap of {MAX_SHARD_RETRIES_CAP}"
+                )
+            }
+            ConfigError::FaultRateOutOfRange(r) => {
+                write!(f, "fault panic_rate {r} must be within [0, 1]")
+            }
+            ConfigError::Network(msg) => write!(f, "network portfolio invalid: {msg}"),
         }
     }
 }
+
+/// Upper bound on `max_shard_retries`. Shards are pure functions of the
+/// config, so only transient environmental (or injected) faults can be
+/// retried away; a budget beyond this is a misconfiguration, not
+/// resilience.
+pub const MAX_SHARD_RETRIES_CAP: u32 = 64;
 
 impl std::error::Error for ConfigError {}
 
@@ -82,6 +107,18 @@ pub struct StudyConfig {
     ///
     /// [`RunReport`]: ipv6_study_obs::RunReport
     pub instrument: bool,
+    /// What the driver does when a shard worker panics (default:
+    /// [`FailurePolicy::Abort`]). See [`crate::faults`] for the
+    /// isolation/retry/degradation semantics.
+    pub failure_policy: FailurePolicy,
+    /// Extra attempts a failed shard gets under [`FailurePolicy::Retry`]
+    /// or [`FailurePolicy::Degrade`] before it counts as exhausted.
+    /// Retries reproduce the exact bytes of a clean attempt (shards are
+    /// pure functions of the config), so the determinism guarantee holds.
+    pub max_shard_retries: u32,
+    /// Deterministic fault-injection harness, off (`None`) by default.
+    /// Only test and chaos configurations set this.
+    pub faults: Option<FaultInjector>,
 }
 
 impl StudyConfig {
@@ -126,6 +163,9 @@ impl StudyConfig {
             ablation: Ablation::Baseline,
             threads: 1,
             instrument: true,
+            failure_policy: FailurePolicy::Abort,
+            max_shard_retries: 2,
+            faults: None,
         }
     }
 
@@ -154,6 +194,17 @@ impl StudyConfig {
         if self.threads == 0 {
             return Err(ConfigError::ZeroThreads);
         }
+        if self.max_shard_retries > MAX_SHARD_RETRIES_CAP {
+            return Err(ConfigError::TooManyRetries(self.max_shard_retries));
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
+        // Prove the network portfolio materializes: every world invariant
+        // (pool sizes, deployment ratios) is checked here, so a violation
+        // surfaces as a `ConfigError` instead of a panic mid-run.
+        ipv6_study_netmodel::World::try_sized(self.seed, self.households)
+            .map_err(|e| ConfigError::Network(e.to_string()))?;
         Ok(())
     }
 }
@@ -213,6 +264,9 @@ impl StudyBuilder {
         cfg.threads = self.config.threads;
         cfg.ablation = self.config.ablation;
         cfg.instrument = self.config.instrument;
+        cfg.failure_policy = self.config.failure_policy;
+        cfg.max_shard_retries = self.config.max_shard_retries;
+        cfg.faults = self.config.faults;
         Self { config: cfg }
     }
 
@@ -263,6 +317,27 @@ impl StudyBuilder {
         self
     }
 
+    /// Sets the shard-failure policy (see [`crate::faults`]).
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.config.failure_policy = policy;
+        self
+    }
+
+    /// Sets the retry budget for failed shards (only consulted under
+    /// [`FailurePolicy::Retry`] and [`FailurePolicy::Degrade`]).
+    pub fn max_shard_retries(mut self, retries: u32) -> Self {
+        self.config.max_shard_retries = retries;
+        self
+    }
+
+    /// Installs a deterministic fault injector (chaos testing only; the
+    /// datasets of a run whose injected faults are all retried away are
+    /// byte-identical to a fault-free run).
+    pub fn fault_injector(mut self, faults: FaultInjector) -> Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
     /// Validates and returns the configuration without running it.
     pub fn build(self) -> Result<StudyConfig, ConfigError> {
         self.config.validate()?;
@@ -270,7 +345,7 @@ impl StudyBuilder {
     }
 
     /// Validates and runs the study.
-    pub fn run(self) -> Result<Study, ConfigError> {
+    pub fn run(self) -> StudyOutcome {
         Study::run(self.build()?)
     }
 }

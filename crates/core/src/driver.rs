@@ -15,8 +15,8 @@
 //!
 //! 1. the shard plan is a function of the *config only* (household and
 //!    campaign counts), never of `threads`;
-//! 2. workers claim shard indices from an atomic counter — claiming
-//!    order is racy, but each shard's output is entirely local;
+//! 2. workers claim shard indices from a shared queue — claiming order
+//!    is racy, but each shard's output is entirely local;
 //! 3. the merge walks shards in plan order, so the merged insertion
 //!    order ("shard-major": benign shards ascending, then campaign
 //!    shards ascending) is a constant of the config.
@@ -25,10 +25,24 @@
 //! equal-timestamp ties resolve by that insertion order — identical in
 //! every run. A `threads = 1` run executes the same plan on one worker
 //! and produces the same bytes.
+//!
+//! # Fault tolerance
+//!
+//! Every shard attempt runs behind `std::panic::catch_unwind`, so a
+//! panicking shard unwinds into a captured payload instead of poisoning
+//! the merge mutex or killing sibling workers; its half-filled local
+//! buffers are dropped with the unwind. Failed shards are re-enqueued up
+//! to `max_shard_retries` extra attempts (a retry of a pure function
+//! reproduces the exact bytes, so determinism survives), and what
+//! happens after exhaustion is the [`FailurePolicy`]'s call: `Abort` and
+//! `Retry` fail the run with a [`FaultReport`], `Degrade` drops the
+//! shard and completes on the survivors. See [`crate::faults`].
 
+use std::collections::BTreeMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use ipv6_study_behavior::abuse::AbuseSim;
@@ -43,6 +57,7 @@ use ipv6_study_telemetry::{
 };
 
 use crate::config::StudyConfig;
+use crate::faults::{FailurePolicy, FaultDecision, FaultReport, ShardFailure};
 
 /// Target number of benign shards (the plan clamps so small runs still
 /// get meaningfully sized shards).
@@ -61,6 +76,14 @@ enum ShardWork {
     Benign(Range<u64>),
     /// Simulate a contiguous campaign range over the whole window.
     Abuse(Range<u32>),
+}
+
+/// Human-readable shard description, e.g. `benign hh 0..312`.
+fn shard_label(work: &ShardWork) -> String {
+    match work {
+        ShardWork::Benign(r) => format!("benign hh {}..{}", r.start, r.end),
+        ShardWork::Abuse(r) => format!("abuse camp {}..{}", r.start, r.end),
+    }
 }
 
 /// Everything one shard produced.
@@ -97,7 +120,10 @@ impl ShardMetrics {
 pub struct RunMetrics {
     /// Worker threads the run used.
     pub threads: usize,
-    /// Per-shard timings, in plan (= merge) order.
+    /// Per-shard timings of the shards that made it into the merge, in
+    /// plan (= merge) order. Shards dropped under
+    /// [`FailurePolicy::Degrade`] appear in the run's [`FaultReport`]
+    /// instead.
     pub shards: Vec<ShardMetrics>,
     /// Wall-clock of the shard-planning phase.
     pub plan_wall: Duration,
@@ -112,7 +138,7 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
-    /// Total records emitted across all shards.
+    /// Total records emitted across all merged shards.
     pub fn total_records(&self) -> u64 {
         self.shards.iter().map(|s| s.records).sum()
     }
@@ -174,12 +200,14 @@ impl RunMetrics {
     }
 }
 
-/// The driver's result: merged datasets, stores, and metrics.
+/// The driver's result: merged datasets, stores, metrics, and the fault
+/// report (clean on a run with no shard failures).
 pub(crate) struct DriverOutput {
     pub datasets: StudyDatasets,
     pub abuse_store: RequestStore,
     pub pair_store: RequestStore,
     pub metrics: RunMetrics,
+    pub faults: FaultReport,
 }
 
 /// Routes one shard's emissions: every record is offered to the
@@ -227,6 +255,14 @@ fn plan_shards(config: &StudyConfig) -> Vec<ShardWork> {
     plan
 }
 
+/// Simulates one shard attempt.
+///
+/// `progress` is updated with the running record count at every day
+/// boundary; when the attempt panics (injected or real), the caller reads
+/// it to learn how much work the unwind discarded. `fault` is the
+/// injector's decision for this attempt — [`FaultDecision::default`]
+/// when injection is off.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     work: &ShardWork,
     config: &StudyConfig,
@@ -235,14 +271,25 @@ fn run_shard(
     abuse: &AbuseSim<'_>,
     samplers: &Samplers,
     pair_start: SimDate,
+    shard: usize,
+    attempt: u32,
+    fault: FaultDecision,
+    progress: &AtomicU64,
 ) -> ShardOutput {
     let t0 = Instant::now();
     let mut datasets = StudyDatasets::with_prefix_lengths(samplers.clone(), &config.prefix_lengths);
     let mut abuse_store = RequestStore::new();
     let mut pair_store = RequestStore::new();
     let mut records = 0u64;
+    let mut days_done = 0u16;
 
     for day in config.full_range.days() {
+        if fault.panic_after_days == Some(days_done) {
+            // The injected failure: mid-shard, with partially filled
+            // local buffers on the stack — exactly what a real panic in
+            // the emitters would leave behind for the unwind to discard.
+            panic!("injected fault: shard {shard} attempt {attempt} after {days_done} day(s)");
+        }
         let dense = config.dense_range.contains(day);
         let in_pair = day >= pair_start;
         match work {
@@ -279,6 +326,8 @@ fn run_shard(
                 abuse.emit_day_campaigns(pop, day, campaigns.clone(), &mut sink);
             }
         }
+        days_done += 1;
+        progress.store(records, Ordering::Relaxed);
     }
 
     ShardOutput {
@@ -290,51 +339,236 @@ fn run_shard(
     }
 }
 
+/// The shared work queue: a cursor over fresh shards, a retry queue for
+/// failed ones, and the run-level completion/abort state.
+///
+/// Claim order is racy by design — it cannot affect output, because every
+/// shard's result lands in its own plan-indexed slot and the merge walks
+/// slots in plan order.
+struct WorkQueue {
+    /// Cursor over not-yet-claimed plan indices.
+    next: AtomicUsize,
+    /// Number of plan entries.
+    total: usize,
+    /// Failed shards awaiting another attempt, as `(shard, attempt)`.
+    retries: Mutex<Vec<(usize, u32)>>,
+    /// Shards not yet resolved (succeeded or permanently failed).
+    outstanding: AtomicUsize,
+    /// Set when the failure policy decides the run is lost; workers stop
+    /// claiming and drain out.
+    aborted: AtomicBool,
+}
+
+impl WorkQueue {
+    fn new(total: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            total,
+            retries: Mutex::new(Vec::new()),
+            outstanding: AtomicUsize::new(total),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Claims a retry if one is queued, else the next fresh shard.
+    fn claim(&self) -> Option<(usize, u32)> {
+        // Poison recovery is sound here (and on every mutex below): a
+        // panicking shard unwinds *outside* any lock — all shard state is
+        // attempt-local — so a poisoned mutex can only mean some holder
+        // panicked between lock and unlock of these tiny critical
+        // sections, which touch plain Vec/BTreeMap state that every
+        // operation leaves consistent.
+        if let Some(job) = self
+            .retries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+        {
+            return Some(job);
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some((i, 0))
+    }
+
+    /// Re-enqueues a failed shard for another attempt.
+    fn requeue(&self, shard: usize, attempt: u32) {
+        self.retries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((shard, attempt));
+    }
+
+    /// Marks one shard resolved (merged output or permanent failure).
+    fn resolve(&self) {
+        self.outstanding.fetch_sub(1, Ordering::Release);
+    }
+
+    /// True when every shard is resolved.
+    fn done(&self) -> bool {
+        self.outstanding.load(Ordering::Acquire) == 0
+    }
+
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs the sharded simulation and merges shard outputs in plan order.
+///
+/// Returns `Err` with the fault report when shard failures exceed what
+/// `config.failure_policy` tolerates; otherwise the output's `faults`
+/// field records any recovered (or, under `Degrade`, dropped) shards.
 pub(crate) fn execute(
     config: &StudyConfig,
     world: &World,
     pop: &Population<'_>,
     abuse: &AbuseSim<'_>,
     samplers: &Samplers,
-) -> DriverOutput {
+) -> Result<DriverOutput, FaultReport> {
     // Figure 11's full-population day pairs: the last four days.
     let pair_start = config.full_range.end - 3;
     let mut phases: Vec<PhaseStat> = Vec::new();
     let plan = time_phase(&mut phases, "plan", || plan_shards(config));
     let workers = config.threads.min(plan.len()).max(1);
+    let policy = config.failure_policy;
+    // Abort never retries: the first failure already decides the run.
+    let max_retries = match policy {
+        FailurePolicy::Abort => 0,
+        FailurePolicy::Retry | FailurePolicy::Degrade => config.max_shard_retries,
+    };
+    let injector = config.faults.as_ref();
 
     let t0 = Instant::now();
-    let next = AtomicUsize::new(0);
+    let queue = WorkQueue::new(plan.len());
     let slots: Vec<Mutex<Option<ShardOutput>>> = plan.iter().map(|_| Mutex::new(None)).collect();
+    let failures: Mutex<BTreeMap<usize, ShardFailure>> = Mutex::new(BTreeMap::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(work) = plan.get(i) else { break };
-                let out = run_shard(work, config, world, pop, abuse, samplers, pair_start);
-                *slots[i].lock().expect("shard slot poisoned") = Some(out);
+                if queue.is_aborted() {
+                    break;
+                }
+                let Some((i, attempt)) = queue.claim() else {
+                    if queue.done() {
+                        break;
+                    }
+                    // All remaining work is in flight on other workers
+                    // (and may yet be re-enqueued); stay available.
+                    std::thread::yield_now();
+                    continue;
+                };
+                let work = &plan[i];
+                let fault = injector.map_or_else(FaultDecision::default, |f| {
+                    f.decide(config.seed, i, attempt)
+                });
+                if !fault.delay.is_zero() {
+                    std::thread::sleep(fault.delay);
+                }
+                let progress = AtomicU64::new(0);
+                // AssertUnwindSafe: on Err every value the closure touched
+                // mutably (the shard-local accumulators) is dropped by the
+                // unwind; the shared inputs are `&`-borrows.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_shard(
+                        work, config, world, pop, abuse, samplers, pair_start, i, attempt, fault,
+                        &progress,
+                    )
+                }));
+                match result {
+                    Ok(out) => {
+                        if attempt > 0 {
+                            // A recovered retry: count the successful
+                            // attempt so `attempts` = first try + retries.
+                            failures
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .entry(i)
+                                .and_modify(|f| f.attempts = attempt + 1);
+                        }
+                        // See WorkQueue::claim for why poison recovery is
+                        // sound: failed shards' buffers are discarded with
+                        // the unwind, never written through this mutex.
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                        queue.resolve();
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload);
+                        let exhausted = attempt >= max_retries;
+                        {
+                            let mut failed =
+                                failures.lock().unwrap_or_else(PoisonError::into_inner);
+                            let entry = failed.entry(i).or_insert_with(|| ShardFailure {
+                                shard: i,
+                                label: shard_label(work),
+                                attempts: 0,
+                                panic_msg: String::new(),
+                                dropped: false,
+                                records_lost: 0,
+                            });
+                            entry.attempts = attempt + 1;
+                            entry.panic_msg = msg;
+                            entry.records_lost = progress.load(Ordering::Relaxed);
+                            if exhausted && policy == FailurePolicy::Degrade {
+                                entry.dropped = true;
+                            }
+                        }
+                        if !exhausted {
+                            queue.requeue(i, attempt + 1);
+                        } else {
+                            queue.resolve();
+                            if policy != FailurePolicy::Degrade {
+                                queue.abort();
+                            }
+                        }
+                    }
+                }
             });
         }
     });
     let sim_wall = t0.elapsed();
+
+    let failures: Vec<ShardFailure> = failures
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_values()
+        .collect();
+    let faults = FaultReport { policy, failures };
+    if queue.is_aborted() {
+        return Err(faults);
+    }
 
     let t1 = Instant::now();
     let mut datasets = StudyDatasets::with_prefix_lengths(samplers.clone(), &config.prefix_lengths);
     let mut abuse_store = RequestStore::new();
     let mut pair_store = RequestStore::new();
     let mut shards = Vec::with_capacity(plan.len());
-    for (work, slot) in plan.iter().zip(slots) {
-        let out = slot
-            .into_inner()
-            .expect("shard slot poisoned")
-            .expect("every shard completed before scope exit");
-        let label = match work {
-            ShardWork::Benign(r) => format!("benign hh {}..{}", r.start, r.end),
-            ShardWork::Abuse(r) => format!("abuse camp {}..{}", r.start, r.end),
+    for (i, (work, slot)) in plan.iter().zip(slots).enumerate() {
+        // Poison recovery (see WorkQueue::claim); an empty slot is a shard
+        // dropped under Degrade — it must be in the fault report.
+        let Some(out) = slot.into_inner().unwrap_or_else(PoisonError::into_inner) else {
+            debug_assert!(
+                faults.dropped().any(|f| f.shard == i),
+                "unfilled slot {i} without a dropped-shard record"
+            );
+            continue;
         };
         shards.push(ShardMetrics {
-            label,
+            label: shard_label(work),
             records: out.records,
             wall: out.wall,
         });
@@ -353,7 +587,7 @@ pub(crate) fn execute(
     pair_store.ensure_sorted();
     let sort_wall = t2.elapsed();
 
-    DriverOutput {
+    Ok(DriverOutput {
         datasets,
         abuse_store,
         pair_store,
@@ -369,7 +603,8 @@ pub(crate) fn execute(
             sort_wall,
             total_wall: Duration::ZERO,
         },
-    }
+        faults,
+    })
 }
 
 #[cfg(test)]
@@ -422,6 +657,35 @@ mod tests {
                 .iter()
                 .all(|w| matches!(w, ShardWork::Benign(_))));
         }
+    }
+
+    #[test]
+    fn work_queue_retries_before_fresh_claims_and_terminates() {
+        let q = WorkQueue::new(3);
+        assert_eq!(q.claim(), Some((0, 0)));
+        q.requeue(0, 1);
+        assert_eq!(q.claim(), Some((0, 1)), "retries take priority");
+        assert_eq!(q.claim(), Some((1, 0)));
+        assert_eq!(q.claim(), Some((2, 0)));
+        assert_eq!(q.claim(), None);
+        assert!(!q.done(), "claimed but unresolved shards keep the run open");
+        q.resolve();
+        q.resolve();
+        q.resolve();
+        assert!(q.done());
+        assert!(!q.is_aborted());
+        q.abort();
+        assert!(q.is_aborted());
+    }
+
+    #[test]
+    fn panic_payloads_are_stringified() {
+        let p = catch_unwind(|| panic!("static message")).unwrap_err();
+        assert_eq!(panic_message(p), "static message");
+        let p = catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p), "formatted 7");
+        let p = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p), "non-string panic payload");
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! Fault tolerance for the sharded driver: failure policies, the fault
+//! report, and a seeded fault-injection harness.
+//!
+//! The driver (see [`crate::driver`]) isolates every shard attempt behind
+//! `std::panic::catch_unwind`, so a panicking shard never poisons the
+//! merge mutex or kills sibling workers. What happens *next* is governed
+//! by the [`FailurePolicy`]:
+//!
+//! - [`FailurePolicy::Abort`] — any shard failure fails the run (after
+//!   in-flight shards finish their current attempt). This is the default:
+//!   a deterministic simulation that panics has hit a bug, and retrying a
+//!   pure function of `(seed, shard)` would reproduce the same panic.
+//! - [`FailurePolicy::Retry`] — failed shards are re-enqueued up to
+//!   `max_shard_retries` extra attempts; a shard that exhausts its
+//!   retries fails the run. Because each shard is a pure function of the
+//!   config, a successful retry produces the *exact bytes* the first
+//!   attempt would have, so the byte-identical-at-any-thread-count
+//!   guarantee survives transient (environmental or injected) faults.
+//! - [`FailurePolicy::Degrade`] — shards that exhaust their retries are
+//!   dropped; the run completes on the surviving shards and the
+//!   [`FaultReport`] records exactly what was lost.
+//!
+//! Every failure path is testable in CI through the [`FaultInjector`]: a
+//! deterministic harness that panics or delays chosen shard attempts,
+//! keyed off `(seed, shard index, attempt)` through the workspace's
+//! stable hash — no wall-clock or OS randomness anywhere, so a chaos test
+//! reproduces bit-for-bit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use ipv6_study_stats::dist::uniform01;
+use ipv6_study_stats::hash::StableHasher;
+
+use crate::config::ConfigError;
+
+/// What the driver does when a shard attempt panics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Fail the run on the first shard failure (the default).
+    #[default]
+    Abort,
+    /// Re-enqueue failed shards up to `max_shard_retries` extra attempts;
+    /// fail the run if any shard exhausts them.
+    Retry,
+    /// Retry like [`FailurePolicy::Retry`], but drop shards that exhaust
+    /// their retries and complete the run on the survivors.
+    Degrade,
+}
+
+impl FailurePolicy {
+    /// Stable lowercase name, used in reports and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailurePolicy::Abort => "abort",
+            FailurePolicy::Retry => "retry",
+            FailurePolicy::Degrade => "degrade",
+        }
+    }
+
+    /// Parses a policy name as written by [`FailurePolicy::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "abort" => Some(FailurePolicy::Abort),
+            "retry" => Some(FailurePolicy::Retry),
+            "degrade" => Some(FailurePolicy::Degrade),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FailurePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A scripted fault for one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardFault {
+    /// The first `fail_attempts` attempts of the shard panic
+    /// (`u32::MAX` = every attempt, for unrecoverable-shard tests).
+    pub fail_attempts: u32,
+    /// Delay injected before each attempt's simulation, in microseconds.
+    /// Delays reorder *scheduling* (which worker finishes when) without
+    /// touching output bytes — exactly the nondeterminism the merge must
+    /// be immune to.
+    pub delay_micros: u64,
+    /// How many simulated days a panicking attempt completes before it
+    /// panics. Nonzero values leave partially filled shard-local buffers
+    /// behind, proving the unwind discards them cleanly.
+    pub panic_after_days: u16,
+}
+
+/// The injector's decision for one `(shard, attempt)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Sleep this long before starting the attempt.
+    pub delay: Duration,
+    /// `Some(n)`: panic after simulating `n` days (0 = before any work).
+    pub panic_after_days: Option<u16>,
+}
+
+/// Deterministic fault-injection harness (off by default: the
+/// `StudyConfig::faults` field is `None`).
+///
+/// Faults come in two flavors, both pure functions of
+/// `(seed, shard, attempt)`:
+///
+/// - **scripted** — [`FaultInjector::fail_shard`] /
+///   [`FaultInjector::delay_shard`] target explicit shard indices;
+/// - **probabilistic** — [`FaultInjector::with_panic_rate`] panics each
+///   attempt with probability `rate`, drawn from the stable hash of the
+///   attempt key (so "random" chaos is still replayable from the seed).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultInjector {
+    scripted: BTreeMap<usize, ShardFault>,
+    /// Probability in `[0, 1]` that any given attempt panics.
+    pub panic_rate: f64,
+}
+
+impl FaultInjector {
+    /// An injector that does nothing until faults are scripted.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripts the first `attempts` attempts of shard `shard` to panic
+    /// after one simulated day of work.
+    pub fn fail_shard(mut self, shard: usize, attempts: u32) -> Self {
+        let f = self.scripted.entry(shard).or_default();
+        f.fail_attempts = attempts;
+        if f.panic_after_days == 0 {
+            f.panic_after_days = 1;
+        }
+        self
+    }
+
+    /// Scripts *every* attempt of shard `shard` to panic — the shard is
+    /// unrecoverable under any retry budget.
+    pub fn always_fail_shard(self, shard: usize) -> Self {
+        self.fail_shard(shard, u32::MAX)
+    }
+
+    /// Scripts a pre-attempt delay for shard `shard` (all attempts).
+    pub fn delay_shard(mut self, shard: usize, micros: u64) -> Self {
+        self.scripted.entry(shard).or_default().delay_micros = micros;
+        self
+    }
+
+    /// Sets the probabilistic panic rate (validated by
+    /// `StudyConfig::validate` to be in `[0, 1]`).
+    pub fn with_panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate;
+        self
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.panic_rate <= 0.0
+            && self
+                .scripted
+                .values()
+                .all(|f| f.fail_attempts == 0 && f.delay_micros == 0)
+    }
+
+    /// Validates the injector's parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.panic_rate) || self.panic_rate.is_nan() {
+            return Err(ConfigError::FaultRateOutOfRange(self.panic_rate));
+        }
+        Ok(())
+    }
+
+    /// The deterministic decision for one attempt of one shard.
+    pub fn decide(&self, seed: u64, shard: usize, attempt: u32) -> FaultDecision {
+        let mut d = FaultDecision::default();
+        if let Some(f) = self.scripted.get(&shard) {
+            d.delay = Duration::from_micros(f.delay_micros);
+            if attempt < f.fail_attempts {
+                d.panic_after_days = Some(f.panic_after_days);
+            }
+        }
+        if d.panic_after_days.is_none() && self.panic_rate > 0.0 {
+            let mut h = StableHasher::new(0x4641_554C); // "FAUL"
+            h.write_u64(seed)
+                .write_u64(shard as u64)
+                .write_u64(u64::from(attempt));
+            if uniform01(h.finish()) < self.panic_rate {
+                d.panic_after_days = Some(1);
+            }
+        }
+        d
+    }
+}
+
+/// One shard that failed at least one attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Index of the shard in the plan (= merge) order.
+    pub shard: usize,
+    /// Human-readable shard description, e.g. `benign hh 0..312`.
+    pub label: String,
+    /// Total attempts made (first try + retries).
+    pub attempts: u32,
+    /// Panic payload of the last failed attempt.
+    pub panic_msg: String,
+    /// Whether the shard was permanently dropped (only under
+    /// [`FailurePolicy::Degrade`] after exhausting retries).
+    pub dropped: bool,
+    /// Records the last failed attempt had emitted by its final completed
+    /// day boundary — the partial progress the unwind discarded. For a
+    /// recovered shard this measures wasted work, not lost data.
+    pub records_lost: u64,
+}
+
+impl ShardFailure {
+    /// Retries beyond the first attempt.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
+/// Everything that went wrong (and was recovered or dropped) in one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// The policy the run executed under.
+    pub policy: FailurePolicy,
+    /// Per-shard failures, ascending by shard index. A shard appears here
+    /// iff at least one of its attempts panicked — including shards that
+    /// later recovered.
+    pub failures: Vec<ShardFailure>,
+}
+
+impl FaultReport {
+    /// True when no shard ever failed an attempt.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Shards permanently dropped from the merged output.
+    pub fn dropped(&self) -> impl Iterator<Item = &ShardFailure> {
+        self.failures.iter().filter(|f| f.dropped)
+    }
+
+    /// Number of permanently dropped shards.
+    pub fn dropped_count(&self) -> usize {
+        self.dropped().count()
+    }
+
+    /// Total retry attempts across all failed shards.
+    pub fn total_retries(&self) -> u64 {
+        self.failures.iter().map(|f| u64::from(f.retries())).sum()
+    }
+
+    /// Total records discarded with failed attempts (see
+    /// [`ShardFailure::records_lost`]).
+    pub fn records_lost(&self) -> u64 {
+        self.failures.iter().map(|f| f.records_lost).sum()
+    }
+
+    /// One line per failure, for logs and stderr.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "faults ({}): {} failed shard(s), {} retries, {} dropped, {} records lost",
+            self.policy,
+            self.failures.len(),
+            self.total_retries(),
+            self.dropped_count(),
+            self.records_lost(),
+        );
+        for f in &self.failures {
+            let _ = writeln!(
+                out,
+                "  shard {:3} {:<24} {} attempt(s){}  last panic: {}",
+                f.shard,
+                f.label,
+                f.attempts,
+                if f.dropped { ", DROPPED" } else { "" },
+                f.panic_msg,
+            );
+        }
+        out
+    }
+}
+
+/// Why a study run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// Shard workers failed beyond what the [`FailurePolicy`] tolerates:
+    /// any failure under `Abort`, or an exhausted-retry shard under
+    /// `Retry`. The report lists every failed shard.
+    ShardsFailed(FaultReport),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Config(e) => write!(f, "invalid configuration: {e}"),
+            StudyError::ShardsFailed(r) => {
+                write!(
+                    f,
+                    "{} shard(s) failed under the {} policy",
+                    r.failures.len(),
+                    r.policy
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StudyError::Config(e) => Some(e),
+            StudyError::ShardsFailed(_) => None,
+        }
+    }
+}
+
+impl From<ConfigError> for StudyError {
+    fn from(e: ConfigError) -> Self {
+        StudyError::Config(e)
+    }
+}
+
+/// The result of [`crate::Study::run`]: the completed study (which under
+/// [`FailurePolicy::Degrade`] carries a non-clean `Study::faults` report)
+/// or the error that stopped it.
+pub type StudyOutcome = Result<crate::Study, StudyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_decisions_are_deterministic_and_keyed() {
+        let inj = FaultInjector::new()
+            .fail_shard(3, 2)
+            .delay_shard(5, 1_000)
+            .with_panic_rate(0.25);
+        for shard in 0..16usize {
+            for attempt in 0..4u32 {
+                assert_eq!(
+                    inj.decide(42, shard, attempt),
+                    inj.decide(42, shard, attempt),
+                    "same key, same decision"
+                );
+            }
+        }
+        // Scripted shard 3 fails attempts 0 and 1, then recovers.
+        assert!(inj.decide(42, 3, 0).panic_after_days.is_some());
+        assert!(inj.decide(42, 3, 1).panic_after_days.is_some());
+        assert_eq!(inj.decide(42, 3, 2).panic_after_days, None);
+        // Scripted delay never panics by itself.
+        let d = inj.decide(42, 5, 0);
+        assert_eq!(d.delay, Duration::from_micros(1_000));
+        // The probabilistic rate is seed-sensitive: across many keys, some
+        // panic and some do not.
+        let fired: usize = (0..64usize)
+            .filter(|&s| inj.decide(42, s, 0).panic_after_days.is_some())
+            .count();
+        assert!(fired > 0 && fired < 64, "rate 0.25 fired {fired}/64");
+    }
+
+    #[test]
+    fn inert_and_validation() {
+        assert!(FaultInjector::new().is_inert());
+        assert!(!FaultInjector::new().fail_shard(0, 1).is_inert());
+        assert!(!FaultInjector::new().with_panic_rate(0.1).is_inert());
+        assert!(FaultInjector::new().with_panic_rate(0.5).validate().is_ok());
+        assert!(matches!(
+            FaultInjector::new().with_panic_rate(1.5).validate(),
+            Err(ConfigError::FaultRateOutOfRange(_))
+        ));
+        assert!(matches!(
+            FaultInjector::new().with_panic_rate(f64::NAN).validate(),
+            Err(ConfigError::FaultRateOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = FaultReport {
+            policy: FailurePolicy::Degrade,
+            failures: vec![
+                ShardFailure {
+                    shard: 2,
+                    label: "benign hh 128..192".into(),
+                    attempts: 3,
+                    panic_msg: "injected".into(),
+                    dropped: true,
+                    records_lost: 120,
+                },
+                ShardFailure {
+                    shard: 7,
+                    label: "abuse camp 0..4".into(),
+                    attempts: 2,
+                    panic_msg: "injected".into(),
+                    dropped: false,
+                    records_lost: 40,
+                },
+            ],
+        };
+        assert!(!report.is_clean());
+        assert_eq!(report.dropped_count(), 1);
+        assert_eq!(report.total_retries(), 3);
+        assert_eq!(report.records_lost(), 160);
+        let text = report.render();
+        assert!(text.contains("DROPPED"));
+        assert!(text.contains("benign hh 128..192"));
+    }
+
+    #[test]
+    fn policy_round_trips_through_names() {
+        for p in [
+            FailurePolicy::Abort,
+            FailurePolicy::Retry,
+            FailurePolicy::Degrade,
+        ] {
+            assert_eq!(FailurePolicy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(FailurePolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn study_error_wraps_config_errors() {
+        let e: StudyError = ConfigError::NoHouseholds.into();
+        assert!(matches!(e, StudyError::Config(ConfigError::NoHouseholds)));
+        assert!(e.to_string().contains("households"));
+        let e = StudyError::ShardsFailed(FaultReport::default());
+        assert!(e.to_string().contains("policy"));
+    }
+}

@@ -43,6 +43,7 @@ pub mod ablation;
 pub mod config;
 pub mod driver;
 pub mod experiments;
+pub mod faults;
 pub mod paper;
 pub mod report;
 pub mod study;
@@ -51,5 +52,6 @@ pub use ablation::Ablation;
 pub use config::{ConfigError, StudyBuilder, StudyConfig};
 pub use driver::{RunMetrics, ShardMetrics};
 pub use experiments::ExperimentOutput;
+pub use faults::{FailurePolicy, FaultInjector, FaultReport, StudyError, StudyOutcome};
 pub use ipv6_study_obs::RunReport;
 pub use study::Study;

@@ -6,11 +6,12 @@ use std::time::Instant;
 use ipv6_study_behavior::abuse::AbuseSim;
 use ipv6_study_behavior::population::Population;
 use ipv6_study_netmodel::World;
-use ipv6_study_obs::{Json, RunReport, ShardStat};
+use ipv6_study_obs::{FaultStat, Json, RunReport, ShardStat};
 use ipv6_study_telemetry::{AbuseLabels, DateRange, RequestStore, Samplers, StudyDatasets};
 
-use crate::config::{ConfigError, StudyBuilder, StudyConfig};
+use crate::config::{StudyBuilder, StudyConfig};
 use crate::driver::{self, RunMetrics};
+use crate::faults::{FaultReport, StudyError, StudyOutcome};
 
 /// A completed study run: the world, the sampled datasets, the complete
 /// abusive-request store, and the labels.
@@ -36,6 +37,10 @@ pub struct Study {
     pub approx_users: u64,
     /// Per-phase wall-clock and per-shard throughput of this run.
     pub metrics: RunMetrics,
+    /// Shard failures the run absorbed: retried-then-recovered shards,
+    /// and (under [`crate::FailurePolicy::Degrade`]) dropped ones. Clean
+    /// on a run with no failures.
+    pub faults: FaultReport,
     /// The observability aggregate: driver phases and shards at first,
     /// extended with per-figure and actioning timings as the analyses
     /// run. Serialized to `BENCH_run.json` by `repro` and `bench_run`.
@@ -53,8 +58,12 @@ impl Study {
     /// Runs the full simulation described by `config`.
     ///
     /// Results are byte-identical for a given config at any
-    /// `config.threads` value; see [`crate::driver`] for how.
-    pub fn run(config: StudyConfig) -> Result<Self, ConfigError> {
+    /// `config.threads` value; see [`crate::driver`] for how — including
+    /// runs where shards failed and were retried. Returns
+    /// [`StudyError::Config`] on an invalid config and
+    /// [`StudyError::ShardsFailed`] when shard failures exceed what
+    /// `config.failure_policy` tolerates.
+    pub fn run(config: StudyConfig) -> StudyOutcome {
         config.validate()?;
         let total = Instant::now();
         let mut world = World::sized(config.seed, config.households);
@@ -76,11 +85,18 @@ impl Study {
         .with_detect_scale(config.ablation.detect_scale());
         let labels = abuse.labels();
 
-        let out = driver::execute(&config, &world, &pop, &abuse, &samplers);
+        let out = driver::execute(&config, &world, &pop, &abuse, &samplers)
+            .map_err(StudyError::ShardsFailed)?;
 
         let mut metrics = out.metrics;
         metrics.total_wall = total.elapsed();
-        let report = build_report(&config, &metrics, approx_users, out.datasets.retained());
+        let report = build_report(
+            &config,
+            &metrics,
+            approx_users,
+            out.datasets.retained(),
+            &out.faults,
+        );
         Ok(Self {
             config,
             world,
@@ -90,6 +106,7 @@ impl Study {
             labels,
             approx_users,
             metrics,
+            faults: out.faults,
             report,
         })
     }
@@ -101,15 +118,18 @@ impl Study {
 }
 
 /// Converts the driver's [`RunMetrics`] into the run's [`RunReport`]:
-/// phase walls, per-shard stats, a config echo, and registry aggregates.
-/// Returns an empty (disabled) report when instrumentation is off.
+/// phase walls, per-shard stats, fault stats, a config echo, and registry
+/// aggregates. Returns an empty (disabled) report when instrumentation is
+/// off.
 fn build_report(
     config: &StudyConfig,
     metrics: &RunMetrics,
     approx_users: u64,
     retained: u64,
+    faults: &FaultReport,
 ) -> RunReport {
     let mut report = RunReport::new(config.instrument);
+    report.failure_policy = faults.policy.as_str().to_string();
     if !config.instrument {
         return report;
     }
@@ -118,6 +138,14 @@ fn build_report(
     report.set_config("households", Json::UInt(config.households));
     report.set_config("campaigns", Json::UInt(u64::from(config.campaigns)));
     report.set_config("threads", Json::UInt(config.threads as u64));
+    report.set_config(
+        "failure_policy",
+        Json::str(faults.policy.as_str().to_string()),
+    );
+    report.set_config(
+        "max_shard_retries",
+        Json::UInt(u64::from(config.max_shard_retries)),
+    );
     report.set_config(
         "full_range",
         Json::str(format!(
@@ -144,6 +172,38 @@ fn build_report(
         .collect();
     for s in &report.shards {
         report.registry.record_duration("sim.shard_wall", s.wall);
+    }
+    report.faults = faults
+        .failures
+        .iter()
+        .map(|f| FaultStat {
+            shard: f.shard as u64,
+            label: f.label.clone(),
+            attempts: u64::from(f.attempts),
+            retries: u64::from(f.retries()),
+            dropped: f.dropped,
+            records_lost: f.records_lost,
+            panic_msg: f.panic_msg.clone(),
+        })
+        .collect();
+    // Fault counters are recorded unconditionally (zero on clean runs) so
+    // every report exposes the same metric set.
+    report
+        .registry
+        .inc("sim.shard_failures", faults.failures.len() as u64);
+    report
+        .registry
+        .inc("sim.shard_retries_total", faults.total_retries());
+    report
+        .registry
+        .inc("sim.shards_dropped", faults.dropped_count() as u64);
+    report
+        .registry
+        .inc("sim.records_lost", faults.records_lost());
+    for f in &faults.failures {
+        report
+            .registry
+            .record_value("sim.shard_retries", u64::from(f.retries()));
     }
     report
         .registry
@@ -220,8 +280,21 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected_not_panicked() {
+        use crate::config::ConfigError;
         let mut cfg = StudyConfig::tiny();
         cfg.households = 0;
-        assert_eq!(Study::run(cfg).unwrap_err(), ConfigError::NoHouseholds);
+        let err = Study::run(cfg).unwrap_err();
+        assert!(
+            matches!(err, StudyError::Config(ConfigError::NoHouseholds)),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn clean_run_reports_no_faults() {
+        let study = Study::run(StudyConfig::tiny()).unwrap();
+        assert!(study.faults.is_clean());
+        assert_eq!(study.faults.total_retries(), 0);
+        assert_eq!(study.faults.records_lost(), 0);
     }
 }

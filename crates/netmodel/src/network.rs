@@ -44,6 +44,60 @@ fn regional_p64_index(region_hash: u64, within_hash: u64) -> u64 {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NetworkId(pub u32);
 
+/// A rejected [`NetworkSpec`] — the config-reachable construction failures
+/// that [`Network::try_new`] reports instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The declared v4 pool size does not fit in the pool prefix.
+    PoolExceedsPrefix {
+        /// Network name.
+        name: String,
+        /// Declared pool size.
+        pool_size: u32,
+        /// Addresses the pool prefix can actually hold.
+        capacity: u64,
+    },
+    /// A v4 pool of size zero.
+    EmptyPool {
+        /// Network name.
+        name: String,
+    },
+    /// An IPv6 policy was declared but the deployment ratio and ramp are
+    /// both zero — no subscriber could ever use it.
+    V6WithoutDeployment {
+        /// Network name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Wording must keep the "pool_size exceeds" phrase: callers
+            // (and a should_panic test) match on it.
+            Self::PoolExceedsPrefix {
+                name,
+                pool_size,
+                capacity,
+            } => write!(
+                f,
+                "network {name}: v4 pool_size exceeds pool prefix capacity \
+                 ({pool_size} > {capacity})"
+            ),
+            Self::EmptyPool { name } => {
+                write!(f, "network {name}: v4 pool must be non-empty")
+            }
+            Self::V6WithoutDeployment { name } => write!(
+                f,
+                "network {name}: v6 policy declared with zero deployment \
+                 ratio and zero ramp"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
 /// The entity keys identifying one attachment to a network.
 ///
 /// Which key matters depends on the assignment mode: home NAT keys on the
@@ -121,16 +175,31 @@ impl Network {
     ///
     /// # Panics
     /// Panics if the v4 pool size exceeds the pool prefix, or a v6 policy
-    /// is declared with a zero deployment ratio.
+    /// is declared with a zero deployment ratio. Use [`Network::try_new`]
+    /// for spec values that come from configuration.
     pub fn new(id: NetworkId, spec: NetworkSpec) -> Self {
-        let max_pool = 2f64.powi((32 - spec.v4.pool.len()) as i32);
-        assert!(
-            (spec.v4.pool_size as f64) <= max_pool,
-            "v4 pool_size exceeds pool prefix capacity"
-        );
-        assert!(spec.v4.pool_size > 0, "v4 pool must be non-empty");
-        if spec.v6.is_some() {
-            assert!(spec.v6_base_ratio > 0.0 || spec.v6_ramp_per_day > 0.0);
+        // invariant: callers of `new` (the standard world builder and
+        // tests) construct specs that are valid by construction; a failure
+        // here is a bug in the builder, not bad user input.
+        Self::try_new(id, spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Materializes a network, rejecting config-reachable invalid specs
+    /// instead of panicking.
+    pub fn try_new(id: NetworkId, spec: NetworkSpec) -> Result<Self, NetworkError> {
+        let capacity = 1u64 << (32 - spec.v4.pool.len());
+        if u64::from(spec.v4.pool_size) > capacity {
+            return Err(NetworkError::PoolExceedsPrefix {
+                name: spec.name,
+                pool_size: spec.v4.pool_size,
+                capacity,
+            });
+        }
+        if spec.v4.pool_size == 0 {
+            return Err(NetworkError::EmptyPool { name: spec.name });
+        }
+        if spec.v6.is_some() && spec.v6_base_ratio <= 0.0 && spec.v6_ramp_per_day <= 0.0 {
+            return Err(NetworkError::V6WithoutDeployment { name: spec.name });
         }
         let v4_pool_zipf = match spec.v4.mode {
             V4Mode::Cgn => Some(Zipf::new(
@@ -144,7 +213,7 @@ impl Network {
             V6Mode::HostingEgress { pops } => Some(Zipf::new(usize::from(pops.max(1)), 0.8)),
             _ => None,
         });
-        Self {
+        Ok(Self {
             id,
             asn: spec.asn,
             name: spec.name,
@@ -157,7 +226,7 @@ impl Network {
             v6: spec.v6,
             v4_pool_zipf,
             v6_pop_zipf,
-        }
+        })
     }
 
     /// Mixes a domain tag and entity into a per-network seed.
@@ -251,6 +320,8 @@ impl Network {
                 );
                 let epoch = r.epoch(day);
                 let h = self.draw(0x7634_4358, keys.device, u64::from(epoch), u64::from(cycle));
+                // invariant: try_new builds v4_pool_zipf for every
+                // Cgn-mode network; this branch is Cgn-only.
                 let within = self.v4_pool_zipf.as_ref().expect("CGN has zipf").sample(h) as u64;
                 (region * CGN_REGION_SIZE as u64 + within) as u32
             }
@@ -261,6 +332,8 @@ impl Network {
                     u64::from(day.index()),
                     u64::from(cycle),
                 );
+                // invariant: try_new builds v4_pool_zipf for every
+                // SharedEgress-mode network; this branch is its only user.
                 self.v4_pool_zipf
                     .as_ref()
                     .expect("shared egress has zipf")
@@ -363,6 +436,9 @@ impl Network {
                 Ipv6Prefix::from_bits(routing_bits | (u128::from(block) << 64), 64)
             }
             V6Mode::HostingEgress { .. } => {
+                // invariant: try_new builds v6_pop_zipf for every
+                // HostingEgress-mode v6 policy; this branch is its only
+                // user.
                 let pop = self
                     .v6_pop_zipf
                     .as_ref()
@@ -755,5 +831,63 @@ mod tests {
             V4Conf::home("11.0.0.0/24".parse().unwrap(), 10_000, 30.0),
             None,
         );
+    }
+
+    fn spec(v4: V4Conf, v6: Option<V6Conf>, v6_ratio: f64) -> NetworkSpec {
+        NetworkSpec {
+            asn: Asn(64512),
+            name: "TryNet".into(),
+            kind: NetworkKind::Residential,
+            country: Country::new("US"),
+            weight: 1.0,
+            v6_base_ratio: v6_ratio,
+            v6_ramp_per_day: 0.0,
+            v4,
+            v6,
+        }
+    }
+
+    #[test]
+    fn try_new_reports_config_errors_instead_of_panicking() {
+        let pool24 = "11.0.0.0/24".parse().unwrap();
+        let err = Network::try_new(
+            NetworkId(0),
+            spec(V4Conf::home(pool24, 10_000, 30.0), None, 0.0),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            NetworkError::PoolExceedsPrefix {
+                pool_size: 10_000,
+                capacity: 256,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("pool_size exceeds"));
+
+        let err = Network::try_new(NetworkId(0), spec(V4Conf::home(pool24, 0, 30.0), None, 0.0))
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::EmptyPool { .. }));
+
+        let v6 = V6Conf::residential("2a00:100::/32".parse().unwrap(), 56, 60.0);
+        let err = Network::try_new(
+            NetworkId(0),
+            spec(V4Conf::home(pool24, 64, 30.0), Some(v6), 0.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetworkError::V6WithoutDeployment { .. }));
+        assert!(err.to_string().contains("TryNet"));
+    }
+
+    #[test]
+    fn try_new_accepts_a_valid_spec() {
+        let pool24 = "11.0.0.0/24".parse().unwrap();
+        let n = Network::try_new(
+            NetworkId(3),
+            spec(V4Conf::home(pool24, 64, 30.0), None, 0.0),
+        )
+        .expect("valid spec");
+        assert_eq!(n.id, NetworkId(3));
+        assert_eq!(n.v4.pool_size, 64);
     }
 }

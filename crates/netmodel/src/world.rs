@@ -30,7 +30,7 @@ use ipv6_study_telemetry::{Asn, Country};
 use crate::conf::{V4Conf, V6Conf};
 use crate::countries::{solve_deployment, standard_countries, CountryProfile};
 use crate::kind::NetworkKind;
-use crate::network::{Network, NetworkId, NetworkSpec};
+use crate::network::{Network, NetworkError, NetworkId, NetworkSpec};
 
 /// Number of gateway /112 blocks on the gateway-mode carrier. Few blocks ×
 /// a large subscriber base = the paper's mega-populated prefixes.
@@ -102,10 +102,10 @@ impl Builder {
         Ipv6Prefix::from_bits((0x2A00_0000u128 + i) << 96, 32)
     }
 
-    fn push(&mut self, spec: NetworkSpec) -> NetworkId {
+    fn push(&mut self, spec: NetworkSpec) -> Result<NetworkId, NetworkError> {
         let id = self.next_id();
-        self.networks.push(Network::new(id, spec));
-        id
+        self.networks.push(Network::try_new(id, spec)?);
+        Ok(id)
     }
 
     fn synth_asn(&self) -> Asn {
@@ -305,6 +305,16 @@ impl World {
     /// address-sharing densities (users per NAT/CGN egress) stay constant
     /// across simulation scales.
     pub fn sized(seed: u64, design_households: u64) -> Self {
+        // invariant: the standard world's derived pool sizes are clamped
+        // into their prefixes by construction, so try_sized cannot fail
+        // here; a panic means the builder itself regressed.
+        Self::try_sized(seed, design_households).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`World::sized`], for callers whose population
+    /// size comes from configuration: construction errors are reported
+    /// instead of panicking, so `StudyConfig::validate` can surface them.
+    pub fn try_sized(seed: u64, design_households: u64) -> Result<Self, NetworkError> {
         let countries = standard_countries();
         let mut b = Builder {
             networks: Vec::new(),
@@ -350,7 +360,7 @@ impl World {
                     v6_ramp_per_day: if n.v6.is_some() { 0.0 } else { ramp.max(0.0) },
                     v4: V4Conf::home(b.v4_pool(), res_pool(n.weight), 5.0),
                     v6: Some(V6Conf::residential(b.v6_routing(), 56, 75.0)),
-                });
+                })?;
                 res_ids.push(id);
                 res_weights.push(n.weight);
             }
@@ -376,7 +386,7 @@ impl World {
                     v6_ramp_per_day: (ramp * mult).max(0.0),
                     v4: V4Conf::home(b.v4_pool(), res_pool(weight), 5.0),
                     v6: Some(V6Conf::residential(b.v6_routing(), *pd_len, *pd_days)),
-                });
+                })?;
                 res_ids.push(id);
                 res_weights.push(weight);
             }
@@ -419,7 +429,7 @@ impl World {
                     v6_ramp_per_day: 0.0,
                     v4,
                     v6: Some(v6conf),
-                });
+                })?;
                 mob_ids.push(id);
                 mob_weights.push(n.weight);
             }
@@ -447,7 +457,7 @@ impl World {
                         } else {
                             V6Conf::mobile(b.v6_routing(), 7.0, 0.15)
                         }),
-                    });
+                    })?;
                     mob_ids.push(id);
                     mob_weights.push(weight);
                 }
@@ -466,7 +476,7 @@ impl World {
                 v6_ramp_per_day: 0.0,
                 v4: V4Conf::enterprise(b.v4_pool(), ENTERPRISE_POOL),
                 v6: Some(V6Conf::residential(b.v6_routing(), 64, 365.0)),
-            });
+            })?;
             enterprise.push((vec![ent_id], WeightedIndex::new(&[1.0])));
         }
 
@@ -484,7 +494,7 @@ impl World {
                 v6_ramp_per_day: 0.0,
                 v4: V4Conf::shared_egress(b.v4_pool(), HOSTING_POOL_V4),
                 v6: Some(V6Conf::hosting(b.v6_routing(), HOSTING_POPS)),
-            });
+            })?;
             host_ids.push(id);
             host_weights.push(if i == 0 { 0.30 } else { 0.14 });
         }
@@ -492,7 +502,7 @@ impl World {
         let country_index =
             WeightedIndex::new(&countries.iter().map(|c| c.weight).collect::<Vec<_>>());
 
-        World {
+        Ok(World {
             seed,
             networks: b.networks,
             countries,
@@ -501,7 +511,7 @@ impl World {
             mobile,
             enterprise,
             hosting: (host_ids, WeightedIndex::new(&host_weights)),
-        }
+        })
     }
 
     /// All networks.
@@ -676,6 +686,14 @@ mod tests {
             .filter(|n| n.country == Country::new("BY"))
             .any(|n| n.v6_ramp_per_day > 0.0005);
         assert!(by_ramp, "Belarus ramp expected");
+    }
+
+    #[test]
+    fn try_sized_builds_across_scales() {
+        for hh in [400, 20_000, 1_000_000] {
+            let w = World::try_sized(42, hh).expect("standard world is always valid");
+            assert!(w.networks().len() > 150);
+        }
     }
 
     #[test]

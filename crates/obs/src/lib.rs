@@ -36,6 +36,6 @@ pub mod report;
 pub mod timer;
 
 pub use json::Json;
-pub use metrics::{Counter, DurationHisto, Gauge, Registry};
-pub use report::{ActioningStat, FigureStat, RunReport, ShardStat};
+pub use metrics::{Counter, DurationHisto, Gauge, Registry, ValueHisto};
+pub use report::{ActioningStat, FaultStat, FigureStat, RunReport, ShardStat};
 pub use timer::{PhaseGuard, PhaseStat};

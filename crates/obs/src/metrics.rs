@@ -148,12 +148,110 @@ impl DurationHisto {
     }
 }
 
-/// A named collection of counters, gauges, and duration histograms.
+/// Number of log-scale value buckets: bucket `i` counts values `< 1 << i`
+/// (bucket 0: exactly 0), so 64 buckets plus the top slot cover all of
+/// `u64`.
+const VALUE_BUCKETS: usize = 64;
+
+/// A histogram of unitless integer observations (retry counts, batch
+/// sizes) with fixed power-of-two buckets — the integer sibling of
+/// [`DurationHisto`], with the same O(1)/no-allocation recording and
+/// run-to-run comparable bucket bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueHisto {
+    buckets: [u64; VALUE_BUCKETS + 1],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for ValueHisto {
+    fn default() -> Self {
+        Self {
+            buckets: [0; VALUE_BUCKETS + 1],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+}
+
+impl ValueHisto {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        let idx = (u64::BITS - v.leading_zeros()) as usize; // 0 for 0
+        self.buckets[idx.min(VALUE_BUCKETS)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// `(exclusive_upper_bound, count)` for each non-empty bucket; the top
+    /// bucket (values ≥ 2^63) reports an upper bound of `None`.
+    pub fn nonzero_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let bound = if i >= VALUE_BUCKETS {
+                    None
+                } else {
+                    Some(1u64 << i)
+                };
+                (bound, c)
+            })
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("count", Json::UInt(self.count))
+            .with("total", Json::UInt(self.total))
+            .with("max", Json::UInt(self.max))
+            .with(
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lt, c)| {
+                            Json::obj()
+                                .with("lt", lt.map_or(Json::Null, Json::UInt))
+                                .with("count", Json::UInt(c))
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// A named collection of counters, gauges, and duration/value histograms.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histos: BTreeMap<String, DurationHisto>,
+    value_histos: BTreeMap<String, ValueHisto>,
 }
 
 impl Registry {
@@ -192,9 +290,25 @@ impl Registry {
         self.histos.get(name)
     }
 
+    /// Records an integer observation into a named value histogram.
+    pub fn record_value(&mut self, name: &str, v: u64) {
+        self.value_histos
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// A value histogram by name.
+    pub fn value_histogram(&self, name: &str) -> Option<&ValueHisto> {
+        self.value_histos.get(name)
+    }
+
     /// True when nothing was ever recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histos.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histos.is_empty()
+            && self.value_histos.is_empty()
     }
 
     /// Serializes the registry (name order, hence output, is stable).
@@ -211,10 +325,15 @@ impl Registry {
         for (name, h) in &self.histos {
             histos.set(name, h.to_json());
         }
+        let mut value_histos = Json::obj();
+        for (name, h) in &self.value_histos {
+            value_histos.set(name, h.to_json());
+        }
         Json::obj()
             .with("counters", counters)
             .with("gauges", gauges)
             .with("histograms", histos)
+            .with("value_histograms", value_histos)
     }
 }
 
@@ -278,12 +397,40 @@ mod tests {
     }
 
     #[test]
+    fn value_histogram_buckets_are_log_scale() {
+        let mut h = ValueHisto::new();
+        h.record(0);
+        h.record(1); // < 2
+        h.record(3); // < 4
+        h.record(1000); // < 1024
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.total(), 1004);
+        assert_eq!(h.max(), 1000);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 4);
+        for (bound, count) in &buckets {
+            assert_eq!(*count, 1);
+            if let Some(b) = bound {
+                assert_eq!(b.count_ones(), 1, "power-of-two bound");
+            }
+        }
+        // Top bucket has no bound.
+        let mut top = ValueHisto::new();
+        top.record(u64::MAX);
+        assert_eq!(top.nonzero_buckets(), vec![(None, 1)]);
+        assert!(top.to_json().render().contains("\"lt\":null"));
+    }
+
+    #[test]
     fn registry_json_is_deterministic() {
         let mut r = Registry::new();
         r.inc("z", 1);
         r.inc("a", 2);
         r.set_gauge("m", 0.25);
         r.record_duration("d", Duration::from_micros(10));
+        r.record_value("v", 3);
+        assert_eq!(r.value_histogram("v").map(ValueHisto::count), Some(1));
+        assert!(r.to_json().render().contains("\"value_histograms\""));
         let a = r.to_json().render();
         let b = r.to_json().render();
         assert_eq!(a, b);

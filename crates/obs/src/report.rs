@@ -49,6 +49,28 @@ impl ShardStat {
     }
 }
 
+/// One shard that failed at least once during the run, as exported in the
+/// report's `faults` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultStat {
+    /// Plan index of the shard.
+    pub shard: u64,
+    /// Human-readable shard description, e.g. `benign hh 0..312`.
+    pub label: String,
+    /// Attempts made (first try plus retries).
+    pub attempts: u64,
+    /// Retries consumed (`attempts - 1`).
+    pub retries: u64,
+    /// Whether the shard was ultimately dropped (degraded run) rather
+    /// than recovered.
+    pub dropped: bool,
+    /// Records the last failed attempt had produced before it panicked —
+    /// work the unwind discarded.
+    pub records_lost: u64,
+    /// The captured panic message of the last failed attempt.
+    pub panic_msg: String,
+}
+
 /// Timing of one analysis pass (one figure/table of the paper).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FigureStat {
@@ -94,6 +116,12 @@ pub struct RunReport {
     pub figures: Vec<FigureStat>,
     /// Per-granularity actioning stats (Figure 11).
     pub actioning: Vec<ActioningStat>,
+    /// The failure policy the run executed under (`"abort"`, `"retry"`,
+    /// or `"degrade"`; empty when the caller never set it).
+    pub failure_policy: String,
+    /// Shards that failed at least once (recovered or dropped); empty on
+    /// a clean run.
+    pub faults: Vec<FaultStat>,
     /// Free-form counters/gauges/histograms recorded along the way.
     pub registry: Registry,
 }
@@ -184,6 +212,36 @@ impl RunReport {
                 })
                 .collect(),
         );
+        let failed_shards = Json::Arr(
+            self.faults
+                .iter()
+                .map(|f| {
+                    Json::obj()
+                        .with("shard", Json::UInt(f.shard))
+                        .with("label", Json::str(&*f.label))
+                        .with("attempts", Json::UInt(f.attempts))
+                        .with("retries", Json::UInt(f.retries))
+                        .with("dropped", Json::Bool(f.dropped))
+                        .with("records_lost", Json::UInt(f.records_lost))
+                        .with("panic_msg", Json::str(&*f.panic_msg))
+                })
+                .collect(),
+        );
+        let faults = Json::obj()
+            .with("policy", Json::str(&*self.failure_policy))
+            .with("failed_shards", failed_shards)
+            .with(
+                "retries_total",
+                Json::UInt(self.faults.iter().map(|f| f.retries).sum()),
+            )
+            .with(
+                "dropped_shards",
+                Json::UInt(self.faults.iter().filter(|f| f.dropped).count() as u64),
+            )
+            .with(
+                "records_lost",
+                Json::UInt(self.faults.iter().map(|f| f.records_lost).sum()),
+            );
         Json::obj()
             .with("schema_version", Json::UInt(SCHEMA_VERSION))
             .with("enabled", Json::Bool(self.enabled))
@@ -205,6 +263,7 @@ impl RunReport {
                 ),
             )
             .with("actioning", actioning)
+            .with("faults", faults)
             .with("metrics", self.registry.to_json())
     }
 
@@ -251,6 +310,29 @@ impl RunReport {
                 "actioning {:6} {:>10.2?}  {} -> {} units",
                 a.granularity, a.wall, a.units_scored, a.units_evaluated
             );
+        }
+        if !self.faults.is_empty() {
+            let retries: u64 = self.faults.iter().map(|f| f.retries).sum();
+            let dropped = self.faults.iter().filter(|f| f.dropped).count();
+            let _ = writeln!(
+                out,
+                "faults ({}): {} failed shard(s), {} retries, {} dropped",
+                self.failure_policy,
+                self.faults.len(),
+                retries,
+                dropped
+            );
+            for f in &self.faults {
+                let _ = writeln!(
+                    out,
+                    "  shard {:3} {:<24} {} attempt(s){}  {}",
+                    f.shard,
+                    f.label,
+                    f.attempts,
+                    if f.dropped { ", dropped" } else { "" },
+                    f.panic_msg
+                );
+            }
         }
         out
     }
@@ -304,6 +386,16 @@ mod tests {
             units_evaluated: 12,
         });
         r.registry.inc("sim.records_total", 5000);
+        r.failure_policy = "retry".into();
+        r.faults.push(FaultStat {
+            shard: 1,
+            label: "abuse camp 0..4".into(),
+            attempts: 2,
+            retries: 1,
+            dropped: false,
+            records_lost: 37,
+            panic_msg: "injected fault: shard 1 attempt 0 after 1 day(s)".into(),
+        });
         r
     }
 
@@ -348,6 +440,12 @@ mod tests {
             "\"input_records\"",
             "\"actioning\"",
             "\"units_scored\"",
+            "\"faults\"",
+            "\"failed_shards\"",
+            "\"retries_total\"",
+            "\"dropped_shards\"",
+            "\"records_lost\"",
+            "\"panic_msg\"",
             "\"metrics\"",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
@@ -374,5 +472,7 @@ mod tests {
         assert!(text.contains("sort"));
         assert!(text.contains("F2"));
         assert!(text.contains("/64"));
+        assert!(text.contains("faults (retry)"));
+        assert!(text.contains("abuse camp 0..4"));
     }
 }

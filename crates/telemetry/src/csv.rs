@@ -20,29 +20,117 @@ use crate::record::RequestRecord;
 use crate::store::RequestStore;
 use crate::time::{SimDate, Timestamp};
 
-/// Error from parsing a CSV dataset.
+/// Error from parsing a CSV dataset. Every variant carries the 1-based
+/// line number and names the field (or expected content) involved, so a
+/// caller can point at the exact cell of a million-line import.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CsvError {
-    /// 1-based line number.
-    pub line: usize,
-    /// What went wrong.
-    pub msg: String,
+pub enum CsvError {
+    /// Input ended before the expected content (an empty file reports
+    /// line 1 expecting the header).
+    Truncated {
+        /// 1-based line number where input ended.
+        line: usize,
+        /// What should have been there.
+        expected: &'static str,
+    },
+    /// The header line did not match the format's header.
+    BadHeader {
+        /// 1-based line number (always 1).
+        line: usize,
+        /// The expected header.
+        expected: &'static str,
+        /// The header actually found.
+        found: String,
+    },
+    /// A row ended before this field.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// The first field the row is missing.
+        field: &'static str,
+    },
+    /// A field failed to parse or violated a format constraint.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: &'static str,
+        /// The offending value, verbatim.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A row carried content past its last field.
+    TrailingGarbage {
+        /// 1-based line number.
+        line: usize,
+        /// The last legitimate field of the row.
+        field: &'static str,
+        /// The extra content, verbatim.
+        garbage: String,
+    },
+}
+
+impl CsvError {
+    /// The 1-based line number the error points at.
+    pub fn line(&self) -> usize {
+        match self {
+            Self::Truncated { line, .. }
+            | Self::BadHeader { line, .. }
+            | Self::MissingField { line, .. }
+            | Self::BadField { line, .. }
+            | Self::TrailingGarbage { line, .. } => *line,
+        }
+    }
+
+    /// The field (or expected content) the error names.
+    pub fn field(&self) -> &str {
+        match self {
+            Self::Truncated { expected, .. } => expected,
+            Self::BadHeader { expected, .. } => expected,
+            Self::MissingField { field, .. }
+            | Self::BadField { field, .. }
+            | Self::TrailingGarbage { field, .. } => field,
+        }
+    }
 }
 
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
+        match self {
+            Self::Truncated { line, expected } => {
+                write!(f, "line {line}: input ended, expected {expected}")
+            }
+            Self::BadHeader {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: bad header {found:?}, expected {expected:?}"
+            ),
+            Self::MissingField { line, field } => {
+                write!(f, "line {line}: missing field {field}")
+            }
+            Self::BadField {
+                line,
+                field,
+                value,
+                reason,
+            } => write!(f, "line {line}: bad {field} {value:?}: {reason}"),
+            Self::TrailingGarbage {
+                line,
+                field,
+                garbage,
+            } => write!(
+                f,
+                "line {line}: trailing garbage {garbage:?} after field {field}"
+            ),
+        }
     }
 }
 
 impl std::error::Error for CsvError {}
-
-fn err(line: usize, msg: impl Into<String>) -> CsvError {
-    CsvError {
-        line,
-        msg: msg.into(),
-    }
-}
 
 /// Header of the request CSV format.
 pub const REQUEST_HEADER: &str = "ts_secs,user_id,ip,asn,country";
@@ -66,14 +154,43 @@ pub fn requests_to_csv(records: &[RequestRecord]) -> String {
     out
 }
 
+/// Checks a header line against the format's expected header.
+fn check_header(first: Option<(usize, &str)>, expected: &'static str) -> Result<(), CsvError> {
+    match first {
+        Some((_, h)) if h.trim() == expected => Ok(()),
+        Some((_, h)) => Err(CsvError::BadHeader {
+            line: 1,
+            expected,
+            found: h.to_string(),
+        }),
+        None => Err(CsvError::Truncated {
+            line: 1,
+            expected: "header",
+        }),
+    }
+}
+
+/// Parses one typed field, attributing failures to `(line, field, value)`.
+fn parse_field<T: std::str::FromStr>(
+    line: usize,
+    field: &'static str,
+    value: &str,
+) -> Result<T, CsvError>
+where
+    T::Err: std::fmt::Display,
+{
+    value.parse().map_err(|e: T::Err| CsvError::BadField {
+        line,
+        field,
+        value: value.to_string(),
+        reason: e.to_string(),
+    })
+}
+
 /// Parses a request CSV back into a store.
 pub fn requests_from_csv(csv: &str) -> Result<RequestStore, CsvError> {
     let mut lines = csv.lines().enumerate();
-    match lines.next() {
-        Some((_, h)) if h.trim() == REQUEST_HEADER => {}
-        Some((_, h)) => return Err(err(1, format!("bad header: {h:?}"))),
-        None => return Err(err(1, "empty input")),
-    }
+    check_header(lines.next(), REQUEST_HEADER)?;
     let mut store = RequestStore::new();
     for (idx, line) in lines {
         let lineno = idx + 1;
@@ -81,29 +198,32 @@ pub fn requests_from_csv(csv: &str) -> Result<RequestStore, CsvError> {
             continue;
         }
         let mut parts = line.split(',');
-        let mut field = |name: &str| {
-            parts
-                .next()
-                .ok_or_else(|| err(lineno, format!("missing field {name}")))
+        let mut field = |name: &'static str| {
+            parts.next().ok_or(CsvError::MissingField {
+                line: lineno,
+                field: name,
+            })
         };
-        let ts: u32 = field("ts_secs")?
-            .parse()
-            .map_err(|e| err(lineno, format!("bad ts: {e}")))?;
-        let user: u64 = field("user_id")?
-            .parse()
-            .map_err(|e| err(lineno, format!("bad user id: {e}")))?;
-        let ip: IpAddr = field("ip")?
-            .parse()
-            .map_err(|e| err(lineno, format!("bad ip: {e}")))?;
-        let asn: u32 = field("asn")?
-            .parse()
-            .map_err(|e| err(lineno, format!("bad asn: {e}")))?;
+        let ts: u32 = parse_field(lineno, "ts_secs", field("ts_secs")?)?;
+        let user: u64 = parse_field(lineno, "user_id", field("user_id")?)?;
+        let ip: IpAddr = parse_field(lineno, "ip", field("ip")?)?;
+        let asn: u32 = parse_field(lineno, "asn", field("asn")?)?;
         let cc = field("country")?;
         if cc.len() != 2 || !cc.bytes().all(|b| b.is_ascii_uppercase()) {
-            return Err(err(lineno, format!("bad country code {cc:?}")));
+            return Err(CsvError::BadField {
+                line: lineno,
+                field: "country",
+                value: cc.to_string(),
+                reason: "country code must be two uppercase ASCII letters".into(),
+            });
         }
-        if parts.next().is_some() {
-            return Err(err(lineno, "too many fields"));
+        let rest: Vec<&str> = parts.collect();
+        if !rest.is_empty() {
+            return Err(CsvError::TrailingGarbage {
+                line: lineno,
+                field: "country",
+                garbage: rest.join(","),
+            });
         }
         store.push(RequestRecord {
             ts: Timestamp::from_secs(ts),
@@ -136,12 +256,9 @@ pub fn labels_to_csv(labels: &AbuseLabels) -> String {
 
 /// Parses a labels CSV.
 pub fn labels_from_csv(csv: &str) -> Result<AbuseLabels, CsvError> {
+    const FIELDS: [&str; 3] = ["user_id", "created_day", "detected_day"];
     let mut lines = csv.lines().enumerate();
-    match lines.next() {
-        Some((_, h)) if h.trim() == LABELS_HEADER => {}
-        Some((_, h)) => return Err(err(1, format!("bad header: {h:?}"))),
-        None => return Err(err(1, "empty input")),
-    }
+    check_header(lines.next(), LABELS_HEADER)?;
     let mut labels = AbuseLabels::new();
     for (idx, line) in lines {
         let lineno = idx + 1;
@@ -149,26 +266,42 @@ pub fn labels_from_csv(csv: &str) -> Result<AbuseLabels, CsvError> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 3 {
-            return Err(err(
-                lineno,
-                format!("expected 3 fields, got {}", fields.len()),
-            ));
+        if fields.len() < 3 {
+            return Err(CsvError::MissingField {
+                line: lineno,
+                field: FIELDS[fields.len()],
+            });
         }
-        let user: u64 = fields[0]
-            .parse()
-            .map_err(|e| err(lineno, format!("bad user id: {e}")))?;
-        let created: u16 = fields[1]
-            .parse()
-            .map_err(|e| err(lineno, format!("bad created day: {e}")))?;
-        let detected: u16 = fields[2]
-            .parse()
-            .map_err(|e| err(lineno, format!("bad detected day: {e}")))?;
-        if created >= 366 || detected >= 366 {
-            return Err(err(lineno, "day index out of 2020"));
+        if fields.len() > 3 {
+            return Err(CsvError::TrailingGarbage {
+                line: lineno,
+                field: FIELDS[2],
+                garbage: fields[3..].join(","),
+            });
+        }
+        let user: u64 = parse_field(lineno, FIELDS[0], fields[0])?;
+        let created: u16 = parse_field(lineno, FIELDS[1], fields[1])?;
+        let detected: u16 = parse_field(lineno, FIELDS[2], fields[2])?;
+        for (field, day, value) in [
+            (FIELDS[1], created, fields[1]),
+            (FIELDS[2], detected, fields[2]),
+        ] {
+            if day >= 366 {
+                return Err(CsvError::BadField {
+                    line: lineno,
+                    field,
+                    value: value.to_string(),
+                    reason: "day index out of 2020 (must be < 366)".into(),
+                });
+            }
         }
         if detected < created {
-            return Err(err(lineno, "detected before created"));
+            return Err(CsvError::BadField {
+                line: lineno,
+                field: FIELDS[2],
+                value: fields[2].to_string(),
+                reason: format!("detected day precedes created day {created}"),
+            });
         }
         labels.insert(
             UserId(user),
@@ -207,18 +340,82 @@ mod tests {
     }
 
     #[test]
-    fn request_csv_rejects_malformed_input() {
-        assert!(requests_from_csv("").is_err());
-        assert!(requests_from_csv("wrong,header\n").is_err());
+    fn request_csv_rejects_empty_input() {
+        let e = requests_from_csv("").unwrap_err();
+        assert_eq!(
+            e,
+            CsvError::Truncated {
+                line: 1,
+                expected: "header"
+            }
+        );
+        assert_eq!(e.line(), 1);
+        let e = requests_from_csv("wrong,header\n").unwrap_err();
+        assert!(matches!(e, CsvError::BadHeader { line: 1, .. }));
+        assert_eq!(e.field(), REQUEST_HEADER);
+    }
+
+    #[test]
+    fn request_csv_rejects_non_numeric_timestamp() {
+        let e = requests_from_csv(&format!("{REQUEST_HEADER}\nnotanumber,1,::1,1,US")).unwrap_err();
+        match &e {
+            CsvError::BadField {
+                line, field, value, ..
+            } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*field, "ts_secs");
+                assert_eq!(value, "notanumber");
+            }
+            other => panic!("expected BadField, got {other:?}"),
+        }
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn request_csv_rejects_truncated_row() {
+        let e = requests_from_csv(&format!("{REQUEST_HEADER}\n1,1,::1,1")).unwrap_err();
+        assert_eq!(
+            e,
+            CsvError::MissingField {
+                line: 2,
+                field: "country"
+            }
+        );
+        // A row cut even shorter names the first missing field.
+        let e = requests_from_csv(&format!("{REQUEST_HEADER}\n1")).unwrap_err();
+        assert_eq!(
+            e,
+            CsvError::MissingField {
+                line: 2,
+                field: "user_id"
+            }
+        );
+    }
+
+    #[test]
+    fn request_csv_rejects_trailing_garbage() {
+        let e =
+            requests_from_csv(&format!("{REQUEST_HEADER}\n1,1,::1,1,US,extra,junk")).unwrap_err();
+        assert_eq!(
+            e,
+            CsvError::TrailingGarbage {
+                line: 2,
+                field: "country",
+                garbage: "extra,junk".into()
+            }
+        );
+    }
+
+    #[test]
+    fn request_csv_rejects_bad_values_with_field_names() {
         let base = format!("{REQUEST_HEADER}\n");
-        assert!(requests_from_csv(&format!("{base}notanumber,1,::1,1,US")).is_err());
-        assert!(requests_from_csv(&format!("{base}1,1,not-an-ip,1,US")).is_err());
-        assert!(requests_from_csv(&format!("{base}1,1,::1,1,usa")).is_err());
-        assert!(requests_from_csv(&format!("{base}1,1,::1,1,US,extra")).is_err());
-        assert!(requests_from_csv(&format!("{base}1,1,::1,1")).is_err());
-        // Error carries the line number.
+        let e = requests_from_csv(&format!("{base}1,1,not-an-ip,1,US")).unwrap_err();
+        assert_eq!(e.field(), "ip");
+        let e = requests_from_csv(&format!("{base}1,1,::1,1,usa")).unwrap_err();
+        assert_eq!(e.field(), "country");
+        // Line numbers skip blank lines correctly.
         let e = requests_from_csv(&format!("{base}\n\nbad")).unwrap_err();
-        assert_eq!(e.line, 4);
+        assert_eq!(e.line(), 4);
     }
 
     #[test]
@@ -258,17 +455,56 @@ mod tests {
     #[test]
     fn labels_csv_rejects_inconsistencies() {
         let base = format!("{LABELS_HEADER}\n");
+        let e = labels_from_csv(&format!("{base}1,50,40")).unwrap_err();
         assert!(
-            labels_from_csv(&format!("{base}1,50,40")).is_err(),
-            "detected < created"
+            matches!(
+                &e,
+                CsvError::BadField {
+                    line: 2,
+                    field: "detected_day",
+                    ..
+                }
+            ),
+            "detected < created: {e:?}"
         );
+        let e = labels_from_csv(&format!("{base}1,400,401")).unwrap_err();
         assert!(
-            labels_from_csv(&format!("{base}1,400,401")).is_err(),
-            "beyond 2020"
+            matches!(
+                &e,
+                CsvError::BadField {
+                    line: 2,
+                    field: "created_day",
+                    ..
+                }
+            ),
+            "beyond 2020: {e:?}"
         );
-        assert!(
-            labels_from_csv(&format!("{base}1,2")).is_err(),
-            "missing field"
+        let e = labels_from_csv(&format!("{base}1,2")).unwrap_err();
+        assert_eq!(
+            e,
+            CsvError::MissingField {
+                line: 2,
+                field: "detected_day"
+            }
         );
+        let e = labels_from_csv(&format!("{base}1,2,3,4")).unwrap_err();
+        assert!(matches!(
+            e,
+            CsvError::TrailingGarbage {
+                line: 2,
+                field: "detected_day",
+                ..
+            }
+        ));
+        let e = labels_from_csv("").unwrap_err();
+        assert_eq!(
+            e,
+            CsvError::Truncated {
+                line: 1,
+                expected: "header"
+            }
+        );
+        let e = labels_from_csv(&format!("{base}x,2,3")).unwrap_err();
+        assert_eq!(e.field(), "user_id");
     }
 }

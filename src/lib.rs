@@ -28,8 +28,8 @@
 #![warn(missing_docs)]
 
 pub use ipv6_study_core::{
-    experiments, paper, report, ConfigError, RunMetrics, RunReport, ShardMetrics, Study,
-    StudyBuilder, StudyConfig,
+    experiments, paper, report, ConfigError, FailurePolicy, FaultInjector, FaultReport, RunMetrics,
+    RunReport, ShardMetrics, Study, StudyBuilder, StudyConfig, StudyError, StudyOutcome,
 };
 
 /// Statistical substrate: ECDFs, ROC curves, hashing, extrapolation.

@@ -52,6 +52,30 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.metrics.gauges.sim.records_per_sec",
     "$.metrics.histograms.analysis.figure_wall.count",
     "$.metrics.histograms.sim.shard_wall.count",
+    "$.config.failure_policy",
+    "$.config.max_shard_retries",
+    "$.faults.policy",
+    "$.faults.failed_shards[]",
+    "$.faults.retries_total",
+    "$.faults.dropped_shards",
+    "$.faults.records_lost",
+    "$.metrics.counters.sim.shard_failures",
+    "$.metrics.counters.sim.shard_retries_total",
+    "$.metrics.counters.sim.shards_dropped",
+    "$.metrics.counters.sim.records_lost",
+];
+
+/// The per-shard fault fields, present whenever a shard failed (pinned by
+/// a fault-injected run below; a clean run's `failed_shards` is empty).
+const FAULT_SHARD_PATHS: &[&str] = &[
+    "$.faults.failed_shards[].shard",
+    "$.faults.failed_shards[].label",
+    "$.faults.failed_shards[].attempts",
+    "$.faults.failed_shards[].retries",
+    "$.faults.failed_shards[].dropped",
+    "$.faults.failed_shards[].records_lost",
+    "$.faults.failed_shards[].panic_msg",
+    "$.metrics.value_histograms.sim.shard_retries.count",
 ];
 
 #[test]
@@ -78,6 +102,26 @@ fn bench_report_schema_is_stable_and_finite() {
     let text = study.report.to_json_string();
     assert!(!text.contains("Infinity"), "report contains Infinity");
     assert!(!text.contains("NaN"), "report contains NaN");
+}
+
+#[test]
+fn faulty_run_pins_the_per_shard_fault_schema() {
+    let mut cfg = StudyConfig::tiny();
+    cfg.instrument = true;
+    cfg.failure_policy = ipv6_user_study::FailurePolicy::Retry;
+    cfg.faults = Some(ipv6_user_study::FaultInjector::default().fail_shard(0, 1));
+    let study = Study::run(cfg).expect("one retry recovers the shard");
+    assert_eq!(study.faults.total_retries(), 1);
+    let paths = study.report.to_json().schema_paths();
+    for required in FAULT_SHARD_PATHS {
+        assert!(
+            paths.iter().any(|p| p == required),
+            "missing {required} in schema: {paths:#?}"
+        );
+    }
+    let text = study.report.to_json_string();
+    assert!(text.contains("\"policy\":"), "faults section names policy");
+    assert!(!text.contains("Infinity") && !text.contains("NaN"));
 }
 
 #[test]
