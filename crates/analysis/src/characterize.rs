@@ -1,5 +1,10 @@
 //! §4 — data characterization: prevalence over time, by ASN, by country,
 //! and client address patterns.
+//!
+//! The per-user analyses ([`client_patterns`], [`requests_per_user`]) walk a
+//! [`DatasetIndex`]; the series and ratio tables keep taking record slices —
+//! they bucket by day or by ASN/country, which the per-user/per-address
+//! index does not accelerate.
 
 use std::collections::{HashMap, HashSet};
 
@@ -7,6 +12,8 @@ use ipv6_study_netaddr::iid::iid;
 use ipv6_study_netaddr::{EntropyProfile, IidClass};
 use ipv6_study_stats::counter::CountOfCounts;
 use ipv6_study_telemetry::{Asn, Country, DateRange, RequestRecord, SimDate, UserId};
+
+use crate::index::DatasetIndex;
 
 /// One day of Figure 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,56 +168,67 @@ pub struct ClientPatterns {
 }
 
 /// Computes §4.4's statistics from the user random sample.
-pub fn client_patterns(records: &[RequestRecord]) -> ClientPatterns {
-    let mut v6_users: HashSet<UserId> = HashSet::new();
-    let mut transition: HashSet<UserId> = HashSet::new();
-    let mut mac_embedded: HashSet<UserId> = HashSet::new();
-    // For IID reuse: the distinct (address, iid) sets of MAC-embedded users.
-    let mut addrs: HashMap<UserId, HashSet<u128>> = HashMap::new();
-    let mut mac_iids: HashMap<UserId, HashSet<u64>> = HashMap::new();
+pub fn client_patterns(index: &DatasetIndex) -> ClientPatterns {
+    let mut v6_users = 0u64;
+    let mut transition = 0u64;
+    let mut mac_embedded = 0u64;
+    let mut multi = 0u64;
+    let mut reused = 0u64;
+    // The IID words (low 64 bits) of every user's distinct v6 addresses,
+    // feeding the Entropy/IP-style nybble measurement.
+    let mut iid_words: Vec<u64> = Vec::new();
 
-    for r in records {
-        if let Some(a) = r.ipv6() {
-            v6_users.insert(r.user);
-            addrs.entry(r.user).or_default().insert(u128::from(a));
-            match IidClass::classify(a) {
-                IidClass::Teredo | IidClass::SixToFour => {
-                    transition.insert(r.user);
+    for (_, group) in index.user_groups() {
+        let mut addrs: Vec<u128> = Vec::new();
+        let mut iids: Vec<u64> = Vec::new();
+        let mut is_transition = false;
+        let mut is_mac = false;
+        for r in group {
+            if let Some(a) = r.ipv6() {
+                addrs.push(u128::from(a));
+                match IidClass::classify(a) {
+                    IidClass::Teredo | IidClass::SixToFour => is_transition = true,
+                    IidClass::MacEmbedded(_) => {
+                        is_mac = true;
+                        iids.push(iid(a));
+                    }
+                    _ => {}
                 }
-                IidClass::MacEmbedded(_) => {
-                    mac_embedded.insert(r.user);
-                    mac_iids.entry(r.user).or_default().insert(iid(a));
+            }
+        }
+        addrs.sort_unstable();
+        addrs.dedup();
+        if addrs.is_empty() {
+            continue; // not a v6 user in this window
+        }
+        v6_users += 1;
+        iid_words.extend(addrs.iter().map(|&raw| raw as u64));
+        if is_transition {
+            transition += 1;
+        }
+        if is_mac {
+            mac_embedded += 1;
+            if addrs.len() >= 2 {
+                multi += 1;
+                iids.sort_unstable();
+                iids.dedup();
+                // All of the user's MAC-embedded addresses share one IID.
+                if iids.len() == 1 {
+                    reused += 1;
                 }
-                _ => {}
             }
         }
     }
-    let entropy = EntropyProfile::compute(
-        addrs
-            .values()
-            .flat_map(|set| set.iter().map(|&raw| raw as u64)),
-    );
-    let multi: Vec<&UserId> = mac_embedded
-        .iter()
-        .filter(|u| addrs.get(u).map_or(0, |s| s.len()) >= 2)
-        .collect();
-    let reused = multi
-        .iter()
-        .filter(|u| {
-            // All of the user's MAC-embedded addresses share one IID, and
-            // every address of theirs is MAC-embedded with that IID.
-            mac_iids.get(**u).is_some_and(|iids| iids.len() == 1) && mac_iids[**u].len() == 1
-        })
-        .count();
-    let n = v6_users.len().max(1) as f64;
+    let entropy = EntropyProfile::compute(iid_words);
+    let n = v6_users.max(1) as f64;
     ClientPatterns {
-        v6_users: v6_users.len() as u64,
-        transition_share: transition.len() as f64 / n,
-        mac_embedded_share: mac_embedded.len() as f64 / n,
-        iid_reuse_share: if multi.is_empty() {
+        v6_users,
+        transition_share: transition as f64 / n,
+        mac_embedded_share: mac_embedded as f64 / n,
+        iid_reuse_share: if multi == 0 {
             0.0
         } else {
-            reused as f64 / multi.len() as f64
+            reused as f64 / multi as f64
         },
         iid_entropy_bits: entropy.map_or(0.0, |e| e.mean_bits()),
     }
@@ -218,10 +236,10 @@ pub fn client_patterns(records: &[RequestRecord]) -> ClientPatterns {
 
 /// Requests per user over a window (diagnostic used when characterizing
 /// dataset volume, §3.1).
-pub fn requests_per_user(records: &[RequestRecord]) -> CountOfCounts<UserId> {
+pub fn requests_per_user(index: &DatasetIndex) -> CountOfCounts<UserId> {
     let mut c = CountOfCounts::new();
-    for r in records {
-        c.incr(r.user);
+    for (user, group) in index.user_groups() {
+        c.add(user, group.len() as u64);
     }
     c
 }
@@ -325,7 +343,7 @@ mod tests {
             rec(3, day, "2001:db8::a1b2:c3d4:e5f6:1789", 1, "US"),
             rec(4, day, "2001:db8::ffff:c3d4:e5f6:2789", 1, "US"),
         ];
-        let p = client_patterns(&recs);
+        let p = client_patterns(&DatasetIndex::build(&recs));
         assert_eq!(p.v6_users, 4);
         assert!((p.transition_share - 0.25).abs() < 1e-12);
         assert!((p.mac_embedded_share - 0.25).abs() < 1e-12);
@@ -340,7 +358,7 @@ mod tests {
             rec(1, day, "2001:db8:1::211:22ff:fe33:4455", 1, "US"),
             rec(1, day, "2001:db8:2::aa11:22ff:fe33:9999", 1, "US"),
         ];
-        let p = client_patterns(&recs);
+        let p = client_patterns(&DatasetIndex::build(&recs));
         assert_eq!(p.iid_reuse_share, 0.0);
     }
 
@@ -352,7 +370,7 @@ mod tests {
             rec(1, day, "10.0.0.1", 1, "US"),
             rec(2, day, "10.0.0.2", 1, "US"),
         ];
-        let c = requests_per_user(&recs);
+        let c = requests_per_user(&DatasetIndex::build(&recs));
         assert_eq!(c.get(&UserId(1)), 2);
         assert_eq!(c.total(), 3);
     }

@@ -1,0 +1,269 @@
+//! A per-window dataset index: the same records re-ordered for group-by.
+//!
+//! Every analysis in §4–§6 is a group-by over one windowed record slice —
+//! per user, per address, or per prefix. Before this index existed each pass
+//! rebuilt its own `HashMap<_, Vec<_>>` grouping over the same window;
+//! building a [`DatasetIndex`] once per window turns all of those into plain
+//! slice walks, and the index is immutable so the parallel analysis engine
+//! can share it across worker threads.
+//!
+//! # Layout
+//!
+//! The index holds the window's records twice, re-ordered:
+//!
+//! - `by_user`: stable-sorted by user id, so each user's records form one
+//!   contiguous run, *in the original timestamp order within the run*;
+//! - `by_ip`: sorted by full source address ([`IpAddr`]'s total order:
+//!   all v4 before all v6, numeric within each family), likewise contiguous
+//!   per address with timestamp order preserved inside each run. Sorting by
+//!   the full address — not the folded `ip_key` — means two properties hold:
+//!   distinct addresses never share a run, and all v6 addresses under a
+//!   common prefix are adjacent, so per-prefix analyses at any length are
+//!   walks over consecutive runs.
+//!
+//! Run boundaries are precomputed (`*_starts`), and the distinct-user /
+//! distinct-address tables fall out of the run keys for free.
+//!
+//! # Determinism
+//!
+//! [`DatasetIndex::build`] (sort-based) and [`DatasetIndex::build_naive`]
+//! (hash-group-then-sort-keys, the shape the passes used before) produce
+//! byte-identical indexes: both order groups by ascending key, and both
+//! preserve the input (timestamp) order within a group — the stable sort by
+//! construction, the naive path because records are appended to group
+//! vectors in input order. The equivalence is pinned by a unit test here and
+//! end-to-end by `tests/analysis_equivalence.rs`.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use ipv6_study_telemetry::{RequestRecord, UserId};
+
+/// How a [`DatasetIndex`] groups records — functionally identical paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Stable sort by key (the fast production path).
+    #[default]
+    Sorted,
+    /// Hash-map grouping, keys sorted afterwards (the pre-index shape;
+    /// kept as the reference implementation for equivalence testing).
+    Naive,
+}
+
+/// An immutable group-by index over one windowed record slice.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetIndex {
+    by_user: Vec<RequestRecord>,
+    users: Vec<UserId>,
+    user_starts: Vec<usize>,
+    by_ip: Vec<RequestRecord>,
+    ips: Vec<IpAddr>,
+    ip_starts: Vec<usize>,
+}
+
+impl DatasetIndex {
+    /// Builds the index with stable sorts (the production path).
+    pub fn build(records: &[RequestRecord]) -> Self {
+        Self::with_mode(records, IndexMode::Sorted)
+    }
+
+    /// Builds the index via hash-map grouping (the reference path).
+    pub fn build_naive(records: &[RequestRecord]) -> Self {
+        Self::with_mode(records, IndexMode::Naive)
+    }
+
+    /// Builds the index using the given grouping mode.
+    pub fn with_mode(records: &[RequestRecord], mode: IndexMode) -> Self {
+        match mode {
+            IndexMode::Sorted => {
+                let mut by_user = records.to_vec();
+                by_user.sort_by_key(|r| r.user);
+                let (users, user_starts) = runs(&by_user, |r| r.user);
+                let mut by_ip = records.to_vec();
+                by_ip.sort_by_key(|r| r.ip);
+                let (ips, ip_starts) = runs(&by_ip, |r| r.ip);
+                Self {
+                    by_user,
+                    users,
+                    user_starts,
+                    by_ip,
+                    ips,
+                    ip_starts,
+                }
+            }
+            IndexMode::Naive => {
+                let (by_user, users, user_starts) = naive(records, |r| r.user);
+                let (by_ip, ips, ip_starts) = naive(records, |r| r.ip);
+                Self {
+                    by_user,
+                    users,
+                    user_starts,
+                    by_ip,
+                    ips,
+                    ip_starts,
+                }
+            }
+        }
+    }
+
+    /// Number of records in the window.
+    pub fn len(&self) -> usize {
+        self.by_user.len()
+    }
+
+    /// True when the window held no records.
+    pub fn is_empty(&self) -> bool {
+        self.by_user.is_empty()
+    }
+
+    /// The distinct users of the window, ascending (memoized).
+    pub fn distinct_users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// The distinct source addresses of the window, ascending (memoized).
+    pub fn distinct_ips(&self) -> &[IpAddr] {
+        &self.ips
+    }
+
+    /// Iterates `(user, records)` groups in ascending user order; records
+    /// within a group keep the window's timestamp order.
+    pub fn user_groups(&self) -> impl Iterator<Item = (UserId, &[RequestRecord])> {
+        self.users.iter().enumerate().map(|(i, &u)| {
+            (
+                u,
+                &self.by_user[self.user_starts[i]..self.user_starts[i + 1]],
+            )
+        })
+    }
+
+    /// Iterates `(address, records)` groups in ascending [`IpAddr`] order;
+    /// records within a group keep the window's timestamp order.
+    pub fn ip_groups(&self) -> impl Iterator<Item = (IpAddr, &[RequestRecord])> {
+        self.ips
+            .iter()
+            .enumerate()
+            .map(|(i, &ip)| (ip, &self.by_ip[self.ip_starts[i]..self.ip_starts[i + 1]]))
+    }
+}
+
+/// Finds run boundaries in a key-sorted record slice. Returns the run keys
+/// and start offsets, with a trailing sentinel offset (`records.len()`).
+fn runs<K: PartialEq + Copy>(
+    records: &[RequestRecord],
+    key_of: impl Fn(&RequestRecord) -> K,
+) -> (Vec<K>, Vec<usize>) {
+    let mut keys = Vec::new();
+    let mut starts = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        let k = key_of(r);
+        if keys.last() != Some(&k) {
+            keys.push(k);
+            starts.push(i);
+        }
+    }
+    starts.push(records.len());
+    (keys, starts)
+}
+
+/// The reference grouping: hash-map buckets (append order = input order),
+/// then groups concatenated in ascending key order.
+fn naive<K: Eq + std::hash::Hash + Ord + Copy>(
+    records: &[RequestRecord],
+    key_of: impl Fn(&RequestRecord) -> K,
+) -> (Vec<RequestRecord>, Vec<K>, Vec<usize>) {
+    let mut groups: HashMap<K, Vec<RequestRecord>> = HashMap::new();
+    for r in records {
+        groups.entry(key_of(r)).or_default().push(*r);
+    }
+    let mut keys: Vec<K> = groups.keys().copied().collect();
+    keys.sort_unstable();
+    let mut flat = Vec::with_capacity(records.len());
+    let mut starts = Vec::with_capacity(keys.len() + 1);
+    for k in &keys {
+        starts.push(flat.len());
+        flat.extend_from_slice(&groups[k]);
+    }
+    starts.push(flat.len());
+    (flat, keys, starts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6_study_telemetry::{Asn, Country, SimDate};
+
+    fn rec(user: u64, hour: u8, minute: u8, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: SimDate::ymd(4, 13).at(hour, minute, 0),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    fn window() -> Vec<RequestRecord> {
+        // Interleaved users and addresses, in timestamp order.
+        vec![
+            rec(3, 1, 0, "2001:db8:1::a"),
+            rec(1, 2, 0, "10.0.0.1"),
+            rec(3, 3, 0, "10.0.0.1"),
+            rec(2, 4, 0, "2001:db8:1::a"),
+            rec(1, 5, 0, "2001:db8:2::b"),
+            rec(3, 6, 0, "2001:db8:1::a"),
+        ]
+    }
+
+    #[test]
+    fn groups_are_key_ascending_with_input_order_inside() {
+        let idx = DatasetIndex::build(&window());
+        assert_eq!(idx.len(), 6);
+        assert!(!idx.is_empty());
+        assert_eq!(
+            idx.distinct_users(),
+            &[UserId(1), UserId(2), UserId(3)],
+            "users ascend"
+        );
+        let groups: Vec<(UserId, usize)> = idx.user_groups().map(|(u, g)| (u, g.len())).collect();
+        assert_eq!(groups, vec![(UserId(1), 2), (UserId(2), 1), (UserId(3), 3)]);
+        // Within user 3's run, timestamps ascend (stable sort).
+        let g3 = idx.user_groups().find(|(u, _)| *u == UserId(3)).unwrap().1;
+        assert!(g3.windows(2).all(|w| w[0].ts <= w[1].ts));
+
+        // IP groups: v4 sorts before v6 under IpAddr's order.
+        let ips: Vec<IpAddr> = idx.ip_groups().map(|(ip, _)| ip).collect();
+        assert_eq!(ips, idx.distinct_ips());
+        assert_eq!(ips[0], "10.0.0.1".parse::<IpAddr>().unwrap());
+        assert!(ips.windows(2).all(|w| w[0] < w[1]));
+        let shared = idx
+            .ip_groups()
+            .find(|(ip, _)| *ip == "2001:db8:1::a".parse::<IpAddr>().unwrap())
+            .unwrap();
+        assert_eq!(shared.1.len(), 3);
+    }
+
+    #[test]
+    fn naive_and_sorted_paths_are_identical() {
+        let recs = window();
+        let a = DatasetIndex::build(&recs);
+        let b = DatasetIndex::build_naive(&recs);
+        assert_eq!(a.by_user, b.by_user);
+        assert_eq!(a.users, b.users);
+        assert_eq!(a.user_starts, b.user_starts);
+        assert_eq!(a.by_ip, b.by_ip);
+        assert_eq!(a.ips, b.ips);
+        assert_eq!(a.ip_starts, b.ip_starts);
+    }
+
+    #[test]
+    fn empty_window_is_safe() {
+        for mode in [IndexMode::Sorted, IndexMode::Naive] {
+            let idx = DatasetIndex::with_mode(&[], mode);
+            assert!(idx.is_empty());
+            assert_eq!(idx.user_groups().count(), 0);
+            assert_eq!(idx.ip_groups().count(), 0);
+            assert!(idx.distinct_users().is_empty());
+        }
+    }
+}

@@ -4,13 +4,28 @@
 //! enforcement: *who else is on this address or prefix?* They consume the
 //! IP random sample (Figures 7–8) and the IPv6 prefix random samples
 //! (Figures 9–10), joined with abuse labels.
+//!
+//! All functions walk a [`DatasetIndex`]'s per-address runs. Because the
+//! index orders addresses by [`IpAddr`]'s total order (numeric within each
+//! family), every set of v6 addresses sharing a prefix is a *consecutive*
+//! range of runs — the per-prefix analyses aggregate neighboring runs
+//! instead of building a per-prefix hash map.
 
-use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
 use ipv6_study_netaddr::Ipv6Prefix;
-use ipv6_study_stats::Ecdf;
+use ipv6_study_stats::{Ecdf, StableHashMap};
 use ipv6_study_telemetry::{AbuseLabels, RequestRecord, UserId};
+
+use crate::index::DatasetIndex;
+
+/// The distinct users of one address run (records keep one address).
+fn distinct_users_of(group: &[RequestRecord]) -> u64 {
+    let mut users: Vec<UserId> = group.iter().map(|r| r.user).collect();
+    users.sort_unstable();
+    users.dedup();
+    users.len() as u64
+}
 
 /// Users per address, per protocol (Figure 7).
 #[derive(Debug, Clone)]
@@ -20,30 +35,26 @@ pub struct UsersPerIp {
     /// Distribution over IPv6 addresses.
     pub v6: Ecdf,
     /// Raw per-address user counts (for outlier drill-downs).
-    pub counts: HashMap<IpAddr, u64>,
+    pub counts: StableHashMap<IpAddr, u64>,
 }
 
-/// Computes users-per-address over `records`.
-pub fn users_per_ip(records: &[RequestRecord]) -> UsersPerIp {
-    let mut users: HashMap<IpAddr, HashSet<UserId>> = HashMap::new();
-    for r in records {
-        users.entry(r.ip).or_default().insert(r.user);
+/// Computes users-per-address over the window.
+pub fn users_per_ip(index: &DatasetIndex) -> UsersPerIp {
+    let mut counts: StableHashMap<IpAddr, u64> = StableHashMap::default();
+    let mut v4: Vec<u64> = Vec::new();
+    let mut v6: Vec<u64> = Vec::new();
+    for (ip, group) in index.ip_groups() {
+        let c = distinct_users_of(group);
+        counts.insert(ip, c);
+        if matches!(ip, IpAddr::V6(_)) {
+            v6.push(c);
+        } else {
+            v4.push(c);
+        }
     }
-    let counts: HashMap<IpAddr, u64> = users
-        .into_iter()
-        .map(|(ip, s)| (ip, s.len() as u64))
-        .collect();
-    let split = |want_v6: bool| {
-        Ecdf::from_values(
-            counts
-                .iter()
-                .filter(|(ip, _)| matches!(ip, IpAddr::V6(_)) == want_v6)
-                .map(|(_, &c)| c),
-        )
-    };
     UsersPerIp {
-        v4: split(false),
-        v6: split(true),
+        v4: Ecdf::from_values(v4),
+        v6: Ecdf::from_values(v6),
         counts,
     }
 }
@@ -75,29 +86,41 @@ impl AbusePerIp {
     }
 }
 
-/// Computes Figure 8 over `records` with the label set.
-pub fn abuse_per_ip(records: &[RequestRecord], labels: &AbuseLabels) -> AbusePerIp {
-    let mut aa: HashMap<IpAddr, HashSet<UserId>> = HashMap::new();
-    let mut benign: HashMap<IpAddr, HashSet<UserId>> = HashMap::new();
-    for r in records {
+/// Splits one run's users into (abusive, benign) distinct counts.
+fn split_users(group: &[RequestRecord], labels: &AbuseLabels) -> (u64, u64) {
+    let mut aa: Vec<UserId> = Vec::new();
+    let mut benign: Vec<UserId> = Vec::new();
+    for r in group {
         if labels.is_abusive(r.user) {
-            aa.entry(r.ip).or_default().insert(r.user);
+            aa.push(r.user);
         } else {
-            benign.entry(r.ip).or_default().insert(r.user);
+            benign.push(r.user);
         }
     }
+    for v in [&mut aa, &mut benign] {
+        v.sort_unstable();
+        v.dedup();
+    }
+    (aa.len() as u64, benign.len() as u64)
+}
+
+/// Computes Figure 8 over the window with the label set.
+pub fn abuse_per_ip(index: &DatasetIndex, labels: &AbuseLabels) -> AbusePerIp {
     let mut aa_v4 = Vec::new();
     let mut aa_v6 = Vec::new();
     let mut benign_v4 = Vec::new();
     let mut benign_v6 = Vec::new();
-    for (ip, accounts) in &aa {
-        let benign_count = benign.get(ip).map_or(0, |s| s.len() as u64);
+    for (ip, group) in index.ip_groups() {
+        let (aa, benign) = split_users(group, labels);
+        if aa == 0 {
+            continue; // address hosts no abusive account
+        }
         if matches!(ip, IpAddr::V6(_)) {
-            aa_v6.push(accounts.len() as u64);
-            benign_v6.push(benign_count);
+            aa_v6.push(aa);
+            benign_v6.push(benign);
         } else {
-            aa_v4.push(accounts.len() as u64);
-            benign_v4.push(benign_count);
+            aa_v4.push(aa);
+            benign_v4.push(benign);
         }
     }
     AbusePerIp {
@@ -117,21 +140,44 @@ pub struct UsersPerPrefix {
     /// Distribution of distinct users per prefix.
     pub ecdf: Ecdf,
     /// Raw counts.
-    pub counts: HashMap<Ipv6Prefix, u64>,
+    pub counts: StableHashMap<Ipv6Prefix, u64>,
 }
 
-/// Computes users-per-prefix at `len` over the v6 records in `records`.
-pub fn users_per_prefix(records: &[RequestRecord], len: u8) -> UsersPerPrefix {
-    let mut users: HashMap<Ipv6Prefix, HashSet<UserId>> = HashMap::new();
-    for r in records {
-        if let Some(p) = r.v6_prefix(len) {
-            users.entry(p).or_default().insert(r.user);
+/// Walks the index's v6 address runs aggregated into per-prefix runs at
+/// `len`, calling `emit(prefix, users_of_prefix)` once per prefix. The
+/// user list handed to `emit` is sorted and deduplicated.
+fn walk_prefix_runs(index: &DatasetIndex, len: u8, mut emit: impl FnMut(Ipv6Prefix, &[UserId])) {
+    let mut cur: Option<(Ipv6Prefix, Vec<UserId>)> = None;
+    for (_, group) in index.ip_groups() {
+        // All records of a run share one address; classify via the first.
+        let Some(p) = group[0].v6_prefix(len) else {
+            continue;
+        };
+        match &mut cur {
+            Some((cp, users)) if *cp == p => users.extend(group.iter().map(|r| r.user)),
+            _ => {
+                if let Some((cp, mut users)) = cur.take() {
+                    users.sort_unstable();
+                    users.dedup();
+                    emit(cp, &users);
+                }
+                cur = Some((p, group.iter().map(|r| r.user).collect()));
+            }
         }
     }
-    let counts: HashMap<Ipv6Prefix, u64> = users
-        .into_iter()
-        .map(|(p, s)| (p, s.len() as u64))
-        .collect();
+    if let Some((cp, mut users)) = cur.take() {
+        users.sort_unstable();
+        users.dedup();
+        emit(cp, &users);
+    }
+}
+
+/// Computes users-per-prefix at `len` over the window's v6 records.
+pub fn users_per_prefix(index: &DatasetIndex, len: u8) -> UsersPerPrefix {
+    let mut counts: StableHashMap<Ipv6Prefix, u64> = StableHashMap::default();
+    walk_prefix_runs(index, len, |p, users| {
+        counts.insert(p, users.len() as u64);
+    });
     UsersPerPrefix {
         len,
         ecdf: Ecdf::from_values(counts.values().copied()),
@@ -152,28 +198,17 @@ pub struct AbusePerPrefix {
 }
 
 /// Computes Figure 10 at `len`.
-pub fn abuse_per_prefix(
-    records: &[RequestRecord],
-    labels: &AbuseLabels,
-    len: u8,
-) -> AbusePerPrefix {
-    let mut aa: HashMap<Ipv6Prefix, HashSet<UserId>> = HashMap::new();
-    let mut benign: HashMap<Ipv6Prefix, HashSet<UserId>> = HashMap::new();
-    for r in records {
-        if let Some(p) = r.v6_prefix(len) {
-            if labels.is_abusive(r.user) {
-                aa.entry(p).or_default().insert(r.user);
-            } else {
-                benign.entry(p).or_default().insert(r.user);
-            }
-        }
-    }
+pub fn abuse_per_prefix(index: &DatasetIndex, labels: &AbuseLabels, len: u8) -> AbusePerPrefix {
     let mut aa_counts = Vec::new();
     let mut benign_counts = Vec::new();
-    for (p, accounts) in &aa {
-        aa_counts.push(accounts.len() as u64);
-        benign_counts.push(benign.get(p).map_or(0, |s| s.len() as u64));
-    }
+    walk_prefix_runs(index, len, |_, users| {
+        let aa = users.iter().filter(|&&u| labels.is_abusive(u)).count() as u64;
+        if aa == 0 {
+            return; // prefix hosts no abusive account
+        }
+        aa_counts.push(aa);
+        benign_counts.push(users.len() as u64 - aa);
+    });
     AbusePerPrefix {
         len,
         aa: Ecdf::from_values(aa_counts),
@@ -183,14 +218,13 @@ pub fn abuse_per_prefix(
 
 /// IPv4 analogues of the per-prefix views, used as the reference series in
 /// Figures 9 and 10 ("IPv4" curve = users per full IPv4 address).
-pub fn users_per_v4_addr(records: &[RequestRecord]) -> Ecdf {
-    let mut users: HashMap<IpAddr, HashSet<UserId>> = HashMap::new();
-    for r in records {
-        if !r.is_v6() {
-            users.entry(r.ip).or_default().insert(r.user);
-        }
-    }
-    Ecdf::from_values(users.values().map(|s| s.len() as u64))
+pub fn users_per_v4_addr(index: &DatasetIndex) -> Ecdf {
+    Ecdf::from_values(
+        index
+            .ip_groups()
+            .filter(|(ip, _)| matches!(ip, IpAddr::V4(_)))
+            .map(|(_, group)| distinct_users_of(group)),
+    )
 }
 
 #[cfg(test)]
@@ -206,6 +240,10 @@ mod tests {
             asn: Asn(64496),
             country: Country::new("US"),
         }
+    }
+
+    fn idx(recs: &[RequestRecord]) -> DatasetIndex {
+        DatasetIndex::build(recs)
     }
 
     fn labels_for(ids: &[u64]) -> AbuseLabels {
@@ -232,7 +270,7 @@ mod tests {
             rec(1, "2001:db8::2"),
             rec(2, "2001:db8::2"),
         ];
-        let u = users_per_ip(&recs);
+        let u = users_per_ip(&idx(&recs));
         assert_eq!(u.v4.len(), 1);
         assert_eq!(u.v4.max(), Some(3));
         assert_eq!(u.v6.len(), 2);
@@ -256,7 +294,7 @@ mod tests {
             // Purely benign address: must not appear in the AA view.
             rec(3, "10.0.0.99"),
         ];
-        let a = abuse_per_ip(&recs, &labels);
+        let a = abuse_per_ip(&idx(&recs), &labels);
         assert_eq!(a.aa_v6.len(), 2);
         assert_eq!(a.v6_isolated_share(), 0.5);
         assert_eq!(a.aa_v4.len(), 1);
@@ -271,13 +309,13 @@ mod tests {
             rec(2, "2001:db8:1:2::b"),
             rec(3, "2001:db8:2:1::c"),
         ];
-        let p64 = users_per_prefix(&recs, 64);
+        let p64 = users_per_prefix(&idx(&recs), 64);
         assert_eq!(p64.ecdf.len(), 3);
         assert_eq!(p64.ecdf.max(), Some(1));
-        let p48 = users_per_prefix(&recs, 48);
+        let p48 = users_per_prefix(&idx(&recs), 48);
         assert_eq!(p48.ecdf.len(), 2);
         assert_eq!(p48.ecdf.max(), Some(2), "users 1,2 share 2001:db8:1::/48");
-        let p32 = users_per_prefix(&recs, 32);
+        let p32 = users_per_prefix(&idx(&recs), 32);
         assert_eq!(p32.ecdf.max(), Some(3));
     }
 
@@ -290,10 +328,10 @@ mod tests {
             rec(2, "2001:db8:1:3::c"),
             rec(3, "2001:db9::1"), // different /48, no AA
         ];
-        let a = abuse_per_prefix(&recs, &labels, 48);
+        let a = abuse_per_prefix(&idx(&recs), &labels, 48);
         assert_eq!(a.aa.len(), 1);
         assert_eq!(a.benign.max(), Some(2));
-        let a64 = abuse_per_prefix(&recs, &labels, 64);
+        let a64 = abuse_per_prefix(&idx(&recs), &labels, 64);
         assert_eq!(a64.benign.max(), Some(0), "AA is alone in its /64");
     }
 
@@ -304,16 +342,17 @@ mod tests {
             rec(2, "10.0.0.1"),
             rec(1, "2001:db8::1"),
         ];
-        let e = users_per_v4_addr(&recs);
+        let e = users_per_v4_addr(&idx(&recs));
         assert_eq!(e.len(), 1);
         assert_eq!(e.max(), Some(2));
     }
 
     #[test]
     fn empty_inputs() {
-        let u = users_per_ip(&[]);
+        let empty = idx(&[]);
+        let u = users_per_ip(&empty);
         assert!(u.v4.is_empty() && u.v6.is_empty());
-        let a = abuse_per_ip(&[], &AbuseLabels::new());
+        let a = abuse_per_ip(&empty, &AbuseLabels::new());
         assert!(a.aa_v4.is_empty());
         assert_eq!(a.v6_isolated_share(), 0.0);
     }

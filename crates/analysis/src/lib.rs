@@ -17,20 +17,25 @@
 //! - [`similarity`] — the "most similar prefix length" machinery behind the
 //!   paper's claims that IPv4 addresses behave like IPv6 /48s (Figure 9) or
 //!   /56s (Figure 10) depending on the lens.
+//! - [`index`] — the shared [`index::DatasetIndex`]: one windowed record
+//!   slice re-ordered by user and by address with run boundaries, so the
+//!   group-by analyses are slice walks instead of per-pass hash grouping.
 //! - [`report`] — plottable series/table types shared by the bench harness
 //!   and the `repro` binary.
 //! - [`instrument`] — the timing wrapper that reports each pass's wall
 //!   clock and input cardinality to the observability layer.
 //!
-//! Analyses take plain `&[RequestRecord]` slices (pre-windowed by
-//! [`RequestStore`](ipv6_study_telemetry::RequestStore)) plus, where
-//! relevant, the abusive-account labels; they know nothing about the
-//! simulator, so they would run unchanged over real platform telemetry.
+//! Group-by analyses take a pre-windowed [`index::DatasetIndex`]; series
+//! and ratio analyses take plain `&[RequestRecord]` slices (pre-windowed by
+//! [`RequestStore`](ipv6_study_telemetry::RequestStore)). Either way they
+//! know nothing about the simulator, so they would run unchanged over real
+//! platform telemetry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod characterize;
+pub mod index;
 pub mod instrument;
 pub mod ip_centric;
 pub mod outliers;
@@ -38,5 +43,6 @@ pub mod report;
 pub mod similarity;
 pub mod user_centric;
 
+pub use index::{DatasetIndex, IndexMode};
 pub use instrument::timed_figure;
 pub use report::{CdfSeries, FigureReport, TableReport};

@@ -9,12 +9,16 @@
 //! scale sample counts to population statements.
 
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 use std::net::IpAddr;
 
 use ipv6_study_netaddr::{IidClass, Ipv6Prefix};
 use ipv6_study_stats::counter::TopK;
 use ipv6_study_stats::extrapolate::prevalence_ratio;
+use ipv6_study_stats::StableHashMap;
 use ipv6_study_telemetry::{Asn, RequestRecord, UserId};
+
+use crate::index::DatasetIndex;
 
 /// Tail statistics of a per-entity count map.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,7 +35,7 @@ pub struct TailStats {
 }
 
 /// Computes tail statistics at the given thresholds.
-pub fn tail_stats<K>(counts: &HashMap<K, u64>, thresholds: &[u64]) -> TailStats {
+pub fn tail_stats<K, S: BuildHasher>(counts: &HashMap<K, u64, S>, thresholds: &[u64]) -> TailStats {
     let mut top: Vec<u64> = counts.values().copied().collect();
     top.sort_unstable_by(|a, b| b.cmp(a));
     let above = thresholds
@@ -60,9 +64,9 @@ impl TailStats {
 /// §5.1.3's headline comparison: the prevalence of outlier users (above
 /// `threshold` addresses) among each protocol's user population, as the
 /// ratio v6-prevalence / v4-prevalence (the paper reports 1/12).
-pub fn outlier_user_prevalence_ratio(
-    v4_counts: &HashMap<UserId, u64>,
-    v6_counts: &HashMap<UserId, u64>,
+pub fn outlier_user_prevalence_ratio<S: BuildHasher>(
+    v4_counts: &HashMap<UserId, u64, S>,
+    v6_counts: &HashMap<UserId, u64, S>,
     threshold: u64,
 ) -> Option<f64> {
     let v4_out = v4_counts.values().filter(|&&c| c > threshold).count() as u64;
@@ -93,24 +97,22 @@ pub struct AsnConcentration {
 
 /// Computes ASN concentration for heavy addresses.
 ///
-/// `counts` gives users per address; `records` supplies the address→ASN
-/// mapping (each address is attributed to the ASN it was observed with).
-pub fn heavy_ip_asn_concentration(
-    records: &[RequestRecord],
-    counts: &HashMap<IpAddr, u64>,
+/// `counts` gives users per address; the index supplies the address→ASN
+/// mapping (each address is attributed to the ASN of its first record in
+/// timestamp order — run heads, since runs preserve timestamp order).
+pub fn heavy_ip_asn_concentration<S: BuildHasher>(
+    index: &DatasetIndex,
+    counts: &HashMap<IpAddr, u64, S>,
     threshold: u64,
     want_v6: bool,
 ) -> AsnConcentration {
-    let mut asn_of: HashMap<IpAddr, Asn> = HashMap::new();
-    for r in records {
-        asn_of.entry(r.ip).or_insert(r.asn);
-    }
     let mut topk: TopK<u32> = TopK::new();
-    for (ip, &c) in counts {
-        if c > threshold && matches!(ip, IpAddr::V6(_)) == want_v6 {
-            if let Some(asn) = asn_of.get(ip) {
-                topk.add(asn.0, 1);
-            }
+    for (ip, group) in index.ip_groups() {
+        if matches!(ip, IpAddr::V6(_)) != want_v6 {
+            continue;
+        }
+        if counts.get(&ip).is_some_and(|&c| c > threshold) {
+            topk.add(group[0].asn.0, 1);
         }
     }
     let ranked: Vec<(Asn, u64)> = topk
@@ -127,12 +129,16 @@ pub fn heavy_ip_asn_concentration(
 }
 
 /// Same concentration analysis for heavy IPv6 prefixes.
-pub fn heavy_prefix_asn_concentration(
+///
+/// Stays record-slice based: a prefix's attributed ASN is the one of its
+/// first record in timestamp order, which a per-address walk cannot recover
+/// when equal-timestamp records of one prefix span several addresses.
+pub fn heavy_prefix_asn_concentration<S: BuildHasher>(
     records: &[RequestRecord],
-    counts: &HashMap<Ipv6Prefix, u64>,
+    counts: &HashMap<Ipv6Prefix, u64, S>,
     threshold: u64,
 ) -> AsnConcentration {
-    let mut asn_of: HashMap<Ipv6Prefix, Asn> = HashMap::new();
+    let mut asn_of: StableHashMap<Ipv6Prefix, Asn> = StableHashMap::default();
     let len = counts.keys().next().map_or(64, |p| p.len());
     for r in records {
         if let Some(p) = r.v6_prefix(len) {
@@ -173,8 +179,8 @@ pub struct SignaturePredictability {
 }
 
 /// Computes signature predictability over v6 address user-counts.
-pub fn signature_predictability(
-    counts: &HashMap<IpAddr, u64>,
+pub fn signature_predictability<S: BuildHasher>(
+    counts: &HashMap<IpAddr, u64, S>,
     threshold: u64,
 ) -> SignaturePredictability {
     let mut heavy = (0u64, 0u64); // (signature, total)
@@ -265,7 +271,7 @@ mod tests {
         .into_iter()
         .map(|(s, c)| (s.parse().unwrap(), c))
         .collect();
-        let c = heavy_ip_asn_concentration(&records, &counts, 1000, true);
+        let c = heavy_ip_asn_concentration(&DatasetIndex::build(&records), &counts, 1000, true);
         assert_eq!(c.asns, 2);
         assert_eq!(c.ranked[0], (Asn(20057), 2));
         assert!((c.top1_share - 2.0 / 3.0).abs() < 1e-12);

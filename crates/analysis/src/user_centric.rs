@@ -1,17 +1,20 @@
 //! §5 — user-centric behavior: the spatial and temporal properties of the
 //! addresses a user holds.
 //!
-//! All functions take a pre-windowed record slice (typically the user
-//! random sample over one day or one week) and an account filter so the
-//! same code computes the benign-user figures (2, 4a, 5, 6a) and the
-//! abusive-account figures (3, 4b, 6b).
+//! All functions take a pre-windowed [`DatasetIndex`] (typically built over
+//! the user random sample for one day or one week) and an account filter so
+//! the same code computes the benign-user figures (2, 4a, 5, 6a) and the
+//! abusive-account figures (3, 4b, 6b). Groupings are walks over the
+//! index's per-user runs; the results are value-identical to the hash-map
+//! groupings these functions used before the index existed.
 
-use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
 use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix};
-use ipv6_study_stats::Ecdf;
-use ipv6_study_telemetry::{RequestRecord, SimDate, UserId};
+use ipv6_study_stats::{Ecdf, StableHashMap, StableHashSet};
+use ipv6_study_telemetry::{SimDate, UserId};
+
+use crate::index::DatasetIndex;
 
 /// Distinct-address counts per user, per protocol (Figures 2 and 3).
 #[derive(Debug, Clone)]
@@ -21,27 +24,33 @@ pub struct AddrsPerUser {
     /// Distribution over users observed with ≥1 IPv6 address.
     pub v6: Ecdf,
     /// Per-user v4 counts (for outlier drill-downs).
-    pub v4_counts: HashMap<UserId, u64>,
+    pub v4_counts: StableHashMap<UserId, u64>,
     /// Per-user v6 counts.
-    pub v6_counts: HashMap<UserId, u64>,
+    pub v6_counts: StableHashMap<UserId, u64>,
 }
 
-/// Computes addresses-per-user over `records`, considering only users
+/// Computes addresses-per-user over the window, considering only users
 /// accepted by `filter`.
-pub fn addrs_per_user(records: &[RequestRecord], filter: impl Fn(UserId) -> bool) -> AddrsPerUser {
-    let mut v4: HashMap<UserId, HashSet<IpAddr>> = HashMap::new();
-    let mut v6: HashMap<UserId, HashSet<IpAddr>> = HashMap::new();
-    for r in records {
-        if !filter(r.user) {
+pub fn addrs_per_user(index: &DatasetIndex, filter: impl Fn(UserId) -> bool) -> AddrsPerUser {
+    let mut v4_counts: StableHashMap<UserId, u64> = StableHashMap::default();
+    let mut v6_counts: StableHashMap<UserId, u64> = StableHashMap::default();
+    for (user, group) in index.user_groups() {
+        if !filter(user) {
             continue;
         }
-        let m = if r.is_v6() { &mut v6 } else { &mut v4 };
-        m.entry(r.user).or_default().insert(r.ip);
+        let mut v4: Vec<IpAddr> = Vec::new();
+        let mut v6: Vec<IpAddr> = Vec::new();
+        for r in group {
+            if r.is_v6() { &mut v6 } else { &mut v4 }.push(r.ip);
+        }
+        for (addrs, counts) in [(&mut v4, &mut v4_counts), (&mut v6, &mut v6_counts)] {
+            addrs.sort_unstable();
+            addrs.dedup();
+            if !addrs.is_empty() {
+                counts.insert(user, addrs.len() as u64);
+            }
+        }
     }
-    let v4_counts: HashMap<UserId, u64> =
-        v4.into_iter().map(|(u, s)| (u, s.len() as u64)).collect();
-    let v6_counts: HashMap<UserId, u64> =
-        v6.into_iter().map(|(u, s)| (u, s.len() as u64)).collect();
     AddrsPerUser {
         v4: Ecdf::from_values(v4_counts.values().copied()),
         v6: Ecdf::from_values(v6_counts.values().copied()),
@@ -64,32 +73,51 @@ pub struct PrefixSpanRow {
     pub le3: f64,
 }
 
+/// Each qualifying user's distinct IPv6 addresses (the shared input of
+/// Figure 4's per-length rows).
+fn distinct_v6_addrs_per_user(
+    index: &DatasetIndex,
+    filter: impl Fn(UserId) -> bool,
+) -> Vec<Vec<u128>> {
+    let mut per_user = Vec::new();
+    for (user, group) in index.user_groups() {
+        if !filter(user) {
+            continue;
+        }
+        let mut addrs: Vec<u128> = group
+            .iter()
+            .filter_map(|r| r.ipv6().map(u128::from))
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        if !addrs.is_empty() {
+            per_user.push(addrs);
+        }
+    }
+    per_user
+}
+
 /// Computes Figure 4 (per-user IPv6 prefix span) for the given lengths.
 /// The population is users with ≥1 IPv6 address passing `filter`.
 pub fn prefixes_per_user(
-    records: &[RequestRecord],
+    index: &DatasetIndex,
     lengths: &[u8],
     filter: impl Fn(UserId) -> bool,
 ) -> Vec<PrefixSpanRow> {
-    // Gather each user's distinct v6 addresses once.
-    let mut addrs: HashMap<UserId, HashSet<u128>> = HashMap::new();
-    for r in records {
-        if let Some(a) = r.ipv6() {
-            if filter(r.user) {
-                addrs.entry(r.user).or_default().insert(u128::from(a));
-            }
-        }
-    }
+    let per_user = distinct_v6_addrs_per_user(index, filter);
     lengths
         .iter()
         .map(|&len| {
             let mut le = [0u64; 3];
-            let mut total = 0u64;
-            for set in addrs.values() {
-                total += 1;
-                let distinct: HashSet<u128> =
-                    set.iter().map(|&raw| raw & Ipv6Prefix::mask(len)).collect();
-                let n = distinct.len();
+            let total = per_user.len() as u64;
+            for addrs in &per_user {
+                let mut masked: Vec<u128> = addrs
+                    .iter()
+                    .map(|&raw| raw & Ipv6Prefix::mask(len))
+                    .collect();
+                masked.sort_unstable();
+                masked.dedup();
+                let n = masked.len();
                 if n <= 1 {
                     le[0] += 1;
                 }
@@ -120,25 +148,26 @@ pub fn prefixes_per_user(
 /// The per-user distinct-prefix counts at one length (outlier drill-down
 /// for §5.2.3).
 pub fn prefix_counts_per_user(
-    records: &[RequestRecord],
+    index: &DatasetIndex,
     len: u8,
     filter: impl Fn(UserId) -> bool,
-) -> HashMap<UserId, u64> {
-    let mut prefixes: HashMap<UserId, HashSet<u128>> = HashMap::new();
-    for r in records {
-        if let Some(a) = r.ipv6() {
-            if filter(r.user) {
-                prefixes
-                    .entry(r.user)
-                    .or_default()
-                    .insert(u128::from(a) & Ipv6Prefix::mask(len));
-            }
+) -> StableHashMap<UserId, u64> {
+    let mut counts: StableHashMap<UserId, u64> = StableHashMap::default();
+    for (user, group) in index.user_groups() {
+        if !filter(user) {
+            continue;
+        }
+        let mut prefixes: Vec<u128> = group
+            .iter()
+            .filter_map(|r| r.ipv6().map(|a| u128::from(a) & Ipv6Prefix::mask(len)))
+            .collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        if !prefixes.is_empty() {
+            counts.insert(user, prefixes.len() as u64);
         }
     }
-    prefixes
-        .into_iter()
-        .map(|(u, s)| (u, s.len() as u64))
-        .collect()
+    counts
 }
 
 /// Life spans of (user, address) pairs present on a focus day (Figure 5).
@@ -158,56 +187,60 @@ pub struct LifespanCdfs {
 /// pairs observed on `focus` get a life span equal to days since their
 /// first appearance in the history (0 = first seen on the focus day).
 pub fn address_lifespans(
-    history: &[RequestRecord],
+    history: &DatasetIndex,
     focus: SimDate,
     filter: impl Fn(UserId) -> bool,
 ) -> LifespanCdfs {
-    // First-seen date per (user, ip).
-    let mut first: HashMap<(UserId, IpAddr), SimDate> = HashMap::new();
-    let mut on_focus: HashSet<(UserId, IpAddr)> = HashSet::new();
-    for r in history {
-        if !filter(r.user) {
+    let mut v4_pairs: Vec<u64> = Vec::new();
+    let mut v6_pairs: Vec<u64> = Vec::new();
+    let mut v4_medians: Vec<u64> = Vec::new();
+    let mut v6_medians: Vec<u64> = Vec::new();
+    for (user, group) in history.user_groups() {
+        if !filter(user) {
             continue;
         }
-        let d = r.ts.date();
-        if d > focus {
-            continue;
+        // First-seen date per address of this user.
+        let mut first: StableHashMap<IpAddr, SimDate> = StableHashMap::default();
+        let mut on_focus: StableHashSet<IpAddr> = StableHashSet::default();
+        for r in group {
+            let d = r.ts.date();
+            if d > focus {
+                continue;
+            }
+            first
+                .entry(r.ip)
+                .and_modify(|e| *e = (*e).min(d))
+                .or_insert(d);
+            if d == focus {
+                on_focus.insert(r.ip);
+            }
         }
-        let key = (r.user, r.ip);
-        first
-            .entry(key)
-            .and_modify(|e| *e = (*e).min(d))
-            .or_insert(d);
-        if d == focus {
-            on_focus.insert(key);
+        let mut v4_spans: Vec<u64> = Vec::new();
+        let mut v6_spans: Vec<u64> = Vec::new();
+        for ip in &on_focus {
+            let span = u64::from(focus.days_since(first[ip]));
+            if matches!(ip, IpAddr::V6(_)) {
+                v6_spans.push(span);
+            } else {
+                v4_spans.push(span);
+            }
         }
-    }
-    let mut v4_spans: HashMap<UserId, Vec<u64>> = HashMap::new();
-    let mut v6_spans: HashMap<UserId, Vec<u64>> = HashMap::new();
-    for key in &on_focus {
-        let span = u64::from(focus.days_since(first[key]));
-        let m = if matches!(key.1, IpAddr::V6(_)) {
-            &mut v6_spans
-        } else {
-            &mut v4_spans
+        let take = |mut spans: Vec<u64>, pairs: &mut Vec<u64>, medians: &mut Vec<u64>| {
+            if spans.is_empty() {
+                return;
+            }
+            pairs.extend_from_slice(&spans);
+            spans.sort_unstable();
+            medians.push(spans[(spans.len() - 1) / 2]);
         };
-        m.entry(key.0).or_default().push(span);
+        take(v4_spans, &mut v4_pairs, &mut v4_medians);
+        take(v6_spans, &mut v6_pairs, &mut v6_medians);
     }
-    let pairs = |m: &HashMap<UserId, Vec<u64>>| {
-        Ecdf::from_values(m.values().flat_map(|v| v.iter().copied()))
-    };
-    let medians = |m: &HashMap<UserId, Vec<u64>>| {
-        Ecdf::from_values(m.values().map(|v| {
-            let mut s = v.clone();
-            s.sort_unstable();
-            s[(s.len() - 1) / 2]
-        }))
-    };
     LifespanCdfs {
-        v4_pairs: pairs(&v4_spans),
-        v6_pairs: pairs(&v6_spans),
-        v4_user_median: medians(&v4_spans),
-        v6_user_median: medians(&v6_spans),
+        v4_pairs: Ecdf::from_values(v4_pairs),
+        v6_pairs: Ecdf::from_values(v6_pairs),
+        v4_user_median: Ecdf::from_values(v4_medians),
+        v6_user_median: Ecdf::from_values(v6_medians),
     }
 }
 
@@ -228,7 +261,7 @@ pub struct PrefixLifespanRow {
 /// Computes Figure 6 for one protocol. `lengths` are prefix lengths valid
 /// for the protocol (≤32 for v4); `want_v6` selects the protocol.
 pub fn prefix_lifespans(
-    history: &[RequestRecord],
+    history: &DatasetIndex,
     focus: SimDate,
     lengths: &[u8],
     want_v6: bool,
@@ -237,44 +270,55 @@ pub fn prefix_lifespans(
     lengths
         .iter()
         .map(|&len| {
-            let mut first: HashMap<(UserId, u128), SimDate> = HashMap::new();
-            let mut on_focus: HashSet<(UserId, u128)> = HashSet::new();
-            for r in history {
-                if !filter(r.user) || r.is_v6() != want_v6 {
-                    continue;
-                }
-                let d = r.ts.date();
-                if d > focus {
-                    continue;
-                }
-                let bits = match r.ip {
-                    IpAddr::V6(a) => u128::from(a) & Ipv6Prefix::mask(len),
-                    IpAddr::V4(a) => u128::from(u32::from(a) & Ipv4Prefix::mask(len.min(32))),
-                };
-                let key = (r.user, bits);
-                first
-                    .entry(key)
-                    .and_modify(|e| *e = (*e).min(d))
-                    .or_insert(d);
-                if d == focus {
-                    on_focus.insert(key);
-                }
-            }
-            let total = on_focus.len() as f64;
+            let mut total = 0u64;
             let mut d = [0u64; 3];
-            for key in &on_focus {
-                let age = focus.days_since(first[key]);
-                if age == 0 {
-                    d[0] += 1;
+            for (user, group) in history.user_groups() {
+                if !filter(user) {
+                    continue;
                 }
-                if age <= 1 {
-                    d[1] += 1;
+                let mut first: StableHashMap<u128, SimDate> = StableHashMap::default();
+                let mut on_focus: StableHashSet<u128> = StableHashSet::default();
+                for r in group {
+                    if r.is_v6() != want_v6 {
+                        continue;
+                    }
+                    let day = r.ts.date();
+                    if day > focus {
+                        continue;
+                    }
+                    let bits = match r.ip {
+                        IpAddr::V6(a) => u128::from(a) & Ipv6Prefix::mask(len),
+                        IpAddr::V4(a) => u128::from(u32::from(a) & Ipv4Prefix::mask(len.min(32))),
+                    };
+                    first
+                        .entry(bits)
+                        .and_modify(|e| *e = (*e).min(day))
+                        .or_insert(day);
+                    if day == focus {
+                        on_focus.insert(bits);
+                    }
                 }
-                if age <= 2 {
-                    d[2] += 1;
+                for bits in &on_focus {
+                    total += 1;
+                    let age = focus.days_since(first[bits]);
+                    if age == 0 {
+                        d[0] += 1;
+                    }
+                    if age <= 1 {
+                        d[1] += 1;
+                    }
+                    if age <= 2 {
+                        d[2] += 1;
+                    }
                 }
             }
-            let frac = |c: u64| if total == 0.0 { 0.0 } else { c as f64 / total };
+            let frac = |c: u64| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                }
+            };
             PrefixLifespanRow {
                 len,
                 d1: frac(d[0]),
@@ -288,7 +332,7 @@ pub fn prefix_lifespans(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipv6_study_telemetry::{Asn, Country};
+    use ipv6_study_telemetry::{Asn, Country, RequestRecord};
 
     fn rec(user: u64, day: SimDate, ip: &str) -> RequestRecord {
         RequestRecord {
@@ -304,6 +348,10 @@ mod tests {
         SimDate::ymd(m, dd)
     }
 
+    fn idx(recs: &[RequestRecord]) -> DatasetIndex {
+        DatasetIndex::build(recs)
+    }
+
     #[test]
     fn addrs_per_user_counts_distinct_per_protocol() {
         let recs = vec![
@@ -314,13 +362,13 @@ mod tests {
             rec(2, d(4, 13), "10.0.0.1"),
             rec(3, d(4, 13), "10.0.0.9"),
         ];
-        let a = addrs_per_user(&recs, |_| true);
+        let a = addrs_per_user(&idx(&recs), |_| true);
         assert_eq!(a.v6_counts[&UserId(1)], 2);
         assert_eq!(a.v4_counts[&UserId(1)], 1);
         assert_eq!(a.v6.len(), 1, "only user 1 has v6");
         assert_eq!(a.v4.len(), 3);
         // Filtering removes users entirely.
-        let b = addrs_per_user(&recs, |u| u.raw() != 1);
+        let b = addrs_per_user(&idx(&recs), |u| u.raw() != 1);
         assert!(b.v6.is_empty());
         assert_eq!(b.v4.len(), 2);
     }
@@ -337,7 +385,7 @@ mod tests {
             rec(2, d(4, 13), "2001:db8:9:1::a"),
             rec(2, d(4, 13), "2001:db8:9:2::a"),
         ];
-        let rows = prefixes_per_user(&recs, &[128, 64, 48], |_| true);
+        let rows = prefixes_per_user(&idx(&recs), &[128, 64, 48], |_| true);
         let at = |len: u8| rows.iter().find(|r| r.len == len).unwrap();
         assert!(at(128).le1 < 0.01, "nobody has one /128");
         assert_eq!(at(64).le1, 0.5, "user 1 collapses at /64");
@@ -352,9 +400,9 @@ mod tests {
             rec(1, d(4, 13), "2001:db8:2:2::a"),
             rec(1, d(4, 13), "2001:db8:3:2::a"),
         ];
-        let counts = prefix_counts_per_user(&recs, 48, |_| true);
+        let counts = prefix_counts_per_user(&idx(&recs), 48, |_| true);
         assert_eq!(counts[&UserId(1)], 3);
-        let counts32 = prefix_counts_per_user(&recs, 32, |_| true);
+        let counts32 = prefix_counts_per_user(&idx(&recs), 32, |_| true);
         assert_eq!(counts32[&UserId(1)], 1);
     }
 
@@ -368,7 +416,7 @@ mod tests {
             rec(2, d(4, 19), "10.0.0.1"), // 18 days
             rec(3, d(4, 15), "10.0.0.2"), // not present on focus day
         ];
-        let l = address_lifespans(&recs, d(4, 19), |_| true);
+        let l = address_lifespans(&idx(&recs), d(4, 19), |_| true);
         // v6 pairs on focus: (1, ::1) age 9, (1, ::2) age 0.
         assert_eq!(l.v6_pairs.len(), 2);
         assert_eq!(l.v6_pairs.count_le(0), 1);
@@ -392,23 +440,24 @@ mod tests {
             rec(1, d(4, 18), "2001:db8:1:2::c"),
             rec(1, d(4, 19), "2001:db8:1:2::d"),
         ];
-        let rows = prefix_lifespans(&recs, d(4, 19), &[128, 64], true, |_| true);
+        let rows = prefix_lifespans(&idx(&recs), d(4, 19), &[128, 64], true, |_| true);
         let at = |len: u8| rows.iter().find(|r| r.len == len).unwrap();
         assert_eq!(at(128).d1, 1.0, "the /128 is brand new");
         assert_eq!(at(64).d1, 0.0, "the /64 was first seen 3 days ago");
         assert_eq!(at(64).d3, 0.0);
         // v4 filter yields nothing here.
-        let v4rows = prefix_lifespans(&recs, d(4, 19), &[24], false, |_| true);
+        let v4rows = prefix_lifespans(&idx(&recs), d(4, 19), &[24], false, |_| true);
         assert_eq!(v4rows[0].d1, 0.0);
     }
 
     #[test]
     fn empty_inputs_are_safe() {
-        let l = address_lifespans(&[], d(4, 19), |_| true);
+        let empty = idx(&[]);
+        let l = address_lifespans(&empty, d(4, 19), |_| true);
         assert!(l.v4_pairs.is_empty() && l.v6_pairs.is_empty());
-        let rows = prefixes_per_user(&[], &[64], |_| true);
+        let rows = prefixes_per_user(&empty, &[64], |_| true);
         assert_eq!(rows[0].le1, 0.0);
-        let a = addrs_per_user(&[], |_| true);
+        let a = addrs_per_user(&empty, |_| true);
         assert!(a.v4.is_empty());
     }
 }

@@ -2,7 +2,7 @@
 //! shapes move (the design-choice attributions of DESIGN.md §5a), then
 //! benchmark a full tiny-study simulation per ablation.
 
-use ipv6_study_core::{experiments, Ablation, Study, StudyConfig};
+use ipv6_study_core::{experiments, Ablation, AnalysisCtx, Study, StudyConfig};
 
 fn config(ablation: Ablation) -> StudyConfig {
     let mut cfg = StudyConfig::tiny();
@@ -17,10 +17,11 @@ fn main() {
         "ablation", "v6 newborn", "v6 wk median", "v4 >3 users", "AA day-1 catch"
     );
     for ablation in Ablation::ALL {
-        let mut study = Study::run(config(ablation)).expect("valid preset");
-        let fig5 = experiments::fig5_lifespans(&mut study);
-        let fig2 = experiments::fig2_addrs_per_user(&mut study);
-        let fig7 = experiments::fig7_users_per_ip(&mut study);
+        let study = Study::run(config(ablation)).expect("valid preset");
+        let ctx = AnalysisCtx::new(&study);
+        let fig5 = experiments::fig5_lifespans(&ctx);
+        let fig2 = experiments::fig2_addrs_per_user(&ctx);
+        let fig7 = experiments::fig7_users_per_ip(&ctx);
         println!(
             "{:<16} {:>14.3} {:>14.1} {:>14.3} {:>14.3}",
             ablation.name(),

@@ -4,22 +4,26 @@
 //! it prints the measured rows/series once (the reproduction artifact),
 //! then times the analysis pass itself with a small std-only loop
 //! (`std::time::Instant`; no external benchmark framework so the
-//! workspace builds fully offline). The simulated study is built once
-//! per process and shared.
+//! workspace builds fully offline). The simulated study — and the shared
+//! [`AnalysisCtx`] with its pre-built dataset indexes — is built once per
+//! process and shared read-only.
 
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::OnceLock;
 use std::time::Instant;
 
-use ipv6_study_core::{Study, StudyConfig};
+use ipv6_study_core::{AnalysisCtx, Study, StudyConfig};
 
 /// The shared study (test scale: fast enough for bench startup, dense
 /// enough for every figure to be populated).
-pub fn study() -> MutexGuard<'static, Study> {
-    static STUDY: OnceLock<Mutex<Study>> = OnceLock::new();
-    STUDY
-        .get_or_init(|| Mutex::new(Study::run(StudyConfig::test_scale()).expect("valid preset")))
-        .lock()
-        .expect("study mutex poisoned")
+pub fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(StudyConfig::test_scale()).expect("valid preset"))
+}
+
+/// The shared analysis context over [`study`] (indexes built once).
+pub fn ctx() -> &'static AnalysisCtx<'static> {
+    static CTX: OnceLock<AnalysisCtx<'static>> = OnceLock::new();
+    CTX.get_or_init(|| AnalysisCtx::new(study()))
 }
 
 /// Prints an experiment's artifacts (figures as sampled series, tables as
@@ -74,12 +78,10 @@ fn fmt_s(secs: f64) -> String {
 macro_rules! bench_experiment {
     ($name:ident, $id:literal, $func:path) => {
         fn main() {
-            let mut study = $crate::study();
-            let out = $func(&mut study);
+            let ctx = $crate::ctx();
+            let out = $func(ctx);
             $crate::print_output($id, &out);
-            $crate::time_fn(concat!(stringify!($name), "_analysis"), 10, || {
-                $func(&mut study)
-            });
+            $crate::time_fn(concat!(stringify!($name), "_analysis"), 10, || $func(ctx));
         }
     };
 }

@@ -99,18 +99,20 @@ mod tests {
 
     #[test]
     fn frozen_iids_stretch_v6_lifespans_and_cut_address_counts() {
-        let mut base = Study::run(cfg(Ablation::Baseline)).unwrap();
-        let mut frozen = Study::run(cfg(Ablation::FrozenIids)).unwrap();
-        let b = crate::experiments::fig5_lifespans(&mut base);
-        let f = crate::experiments::fig5_lifespans(&mut frozen);
+        let base = Study::run(cfg(Ablation::Baseline)).unwrap();
+        let frozen = Study::run(cfg(Ablation::FrozenIids)).unwrap();
+        let base_ctx = crate::experiments::AnalysisCtx::new(&base);
+        let frozen_ctx = crate::experiments::AnalysisCtx::new(&frozen);
+        let b = crate::experiments::fig5_lifespans(&base_ctx);
+        let f = crate::experiments::fig5_lifespans(&frozen_ctx);
         let b_new = b.get_stat("fig5.v6_newborn_share").unwrap();
         let f_new = f.get_stat("fig5.v6_newborn_share").unwrap();
         assert!(
             f_new < b_new - 0.2,
             "without rotation, v6 pairs age: newborn {f_new} vs baseline {b_new}"
         );
-        let b2 = crate::experiments::fig2_addrs_per_user(&mut base);
-        let f2 = crate::experiments::fig2_addrs_per_user(&mut frozen);
+        let b2 = crate::experiments::fig2_addrs_per_user(&base_ctx);
+        let f2 = crate::experiments::fig2_addrs_per_user(&frozen_ctx);
         assert!(
             f2.get_stat("fig2.v6_week_median").unwrap()
                 < b2.get_stat("fig2.v6_week_median").unwrap(),
@@ -120,10 +122,11 @@ mod tests {
 
     #[test]
     fn no_cgn_collapses_v4_sharing() {
-        let mut base = Study::run(cfg(Ablation::Baseline)).unwrap();
-        let mut nocgn = Study::run(cfg(Ablation::NoCgn)).unwrap();
-        let b = crate::experiments::fig7_users_per_ip(&mut base);
-        let n = crate::experiments::fig7_users_per_ip(&mut nocgn);
+        let base = Study::run(cfg(Ablation::Baseline)).unwrap();
+        let nocgn = Study::run(cfg(Ablation::NoCgn)).unwrap();
+        let b = crate::experiments::fig7_users_per_ip(&crate::experiments::AnalysisCtx::new(&base));
+        let n =
+            crate::experiments::fig7_users_per_ip(&crate::experiments::AnalysisCtx::new(&nocgn));
         assert!(
             n.get_stat("fig7.v4_day_gt3").unwrap() < b.get_stat("fig7.v4_day_gt3").unwrap(),
             "without CGN, heavily shared v4 addresses thin out"

@@ -1,0 +1,162 @@
+//! Compares two `BENCH_run.json` documents and fails on analysis-wall
+//! regressions — the CI perf gate for the parallel analysis engine.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ipv6-study-core --bin bench_diff -- \
+//!     baseline.json current.json [--max-regression PCT]
+//! ```
+//!
+//! Prints a per-figure wall-clock diff plus the engine phase walls, then
+//! exits 1 when the current total analysis wall exceeds the baseline by
+//! more than `--max-regression` percent (default 25) *and* by more than
+//! an absolute noise floor (50ms) — so sub-noise blips on tiny baselines
+//! never fail CI. Exit 2 means bad usage or an unreadable document.
+//! Timing comparisons only make sense between runs of the same scale and
+//! machine class; CI diffs a fresh run against the committed baseline.
+
+use ipv6_study_obs::Json;
+
+/// Regressions smaller than this many seconds are noise, never failures.
+const NOISE_FLOOR_SECS: f64 = 0.05;
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: bench_diff <baseline.json> <current.json> [--max-regression PCT]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => usage_exit(&format!("cannot read {path}: {e}")),
+    };
+    match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => usage_exit(&format!("cannot parse {path}: {e}")),
+    }
+}
+
+fn as_f64(json: &Json) -> Option<f64> {
+    match json {
+        Json::UInt(u) => Some(*u as f64),
+        Json::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Walks `doc` down a dotted path of object keys.
+fn lookup<'a>(doc: &'a Json, path: &str) -> Option<&'a Json> {
+    path.split('.').try_fold(doc, |node, key| node.get(key))
+}
+
+fn number_at(doc: &Json, path: &str) -> Option<f64> {
+    lookup(doc, path).and_then(as_f64)
+}
+
+/// The run's total analysis wall: the engine's `analysis.phases.total`
+/// when present, else the summed per-figure `analysis.total_wall_secs`
+/// (pre-engine documents).
+fn total_analysis_wall(doc: &Json) -> Option<f64> {
+    match number_at(doc, "analysis.phases.total") {
+        Some(t) if t > 0.0 => Some(t),
+        _ => number_at(doc, "analysis.total_wall_secs"),
+    }
+}
+
+/// Per-figure `(id, wall_secs)` pairs from `analysis.figures`.
+fn figure_walls(doc: &Json) -> Vec<(String, f64)> {
+    let Some(Json::Arr(figures)) = lookup(doc, "analysis.figures") else {
+        return Vec::new();
+    };
+    figures
+        .iter()
+        .filter_map(|f| {
+            let id = match f.get("id") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => return None,
+            };
+            Some((id, f.get("wall_secs").and_then(as_f64)?))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut paths = Vec::new();
+    let mut max_regression_pct = 25.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--max-regression" {
+            let Some(v) = args.next() else {
+                usage_exit("--max-regression needs a value")
+            };
+            max_regression_pct = v
+                .parse()
+                .unwrap_or_else(|_| usage_exit(&format!("bad percentage `{v}`")));
+        } else if let Some(v) = arg.strip_prefix("--max-regression=") {
+            max_regression_pct = v
+                .parse()
+                .unwrap_or_else(|_| usage_exit(&format!("bad percentage `{v}`")));
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage_exit("expected exactly two documents");
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    println!("== per-figure analysis wall (baseline -> current) ==");
+    let base_figs = figure_walls(&baseline);
+    let cur_figs = figure_walls(&current);
+    for (id, cur_wall) in &cur_figs {
+        match base_figs.iter().find(|(b, _)| b == id) {
+            Some((_, base_wall)) => {
+                let delta = if *base_wall > 0.0 {
+                    100.0 * (cur_wall - base_wall) / base_wall
+                } else {
+                    0.0
+                };
+                println!("{id:>10}  {base_wall:>10.4}s -> {cur_wall:>10.4}s  ({delta:+7.1}%)");
+            }
+            None => println!("{id:>10}  (new)      -> {cur_wall:>10.4}s"),
+        }
+    }
+    for (id, base_wall) in &base_figs {
+        if !cur_figs.iter().any(|(c, _)| c == id) {
+            println!("{id:>10}  {base_wall:>10.4}s -> (gone)");
+        }
+    }
+
+    println!("\n== engine phases (current) ==");
+    for phase in ["index", "passes", "total"] {
+        if let Some(wall) = number_at(&current, &format!("analysis.phases.{phase}")) {
+            println!("{phase:>10}  {wall:>10.4}s");
+        }
+    }
+
+    let Some(base_total) = total_analysis_wall(&baseline) else {
+        usage_exit(&format!("{baseline_path} has no analysis timing section"));
+    };
+    let Some(cur_total) = total_analysis_wall(&current) else {
+        usage_exit(&format!("{current_path} has no analysis timing section"));
+    };
+    let delta = cur_total - base_total;
+    let pct = if base_total > 0.0 {
+        100.0 * delta / base_total
+    } else {
+        0.0
+    };
+    println!("\ntotal analysis wall: {base_total:.4}s -> {cur_total:.4}s ({pct:+.1}%)");
+
+    if pct > max_regression_pct && delta > NOISE_FLOOR_SECS {
+        eprintln!(
+            "FAIL: total analysis wall regressed {pct:.1}% \
+             (limit {max_regression_pct:.0}%, floor {NOISE_FLOOR_SECS}s)"
+        );
+        std::process::exit(1);
+    }
+    println!("OK: within the {max_regression_pct:.0}% regression budget");
+}

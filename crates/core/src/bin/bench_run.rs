@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p ipv6-study-core --bin bench_run -- \
-//!     [scale] [--threads N|auto] [--out PATH]
+//!     [scale] [--threads N|auto] [--analysis-threads N|auto] [--out PATH]
 //! ```
 //!
 //! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
@@ -19,7 +19,10 @@ use ipv6_study_core::{Study, StudyConfig, StudyError};
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: bench_run [tiny|test|default|full] [--threads N|auto] [--out PATH]");
+    eprintln!(
+        "usage: bench_run [tiny|test|default|full] [--threads N|auto] \
+         [--analysis-threads N|auto] [--out PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -39,6 +42,7 @@ fn main() {
     let mut scale = None;
     let mut out_path = None;
     let mut threads = 1usize;
+    let mut analysis_threads = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--threads" {
@@ -48,6 +52,13 @@ fn main() {
             threads = parse_threads(&v);
         } else if let Some(v) = arg.strip_prefix("--threads=") {
             threads = parse_threads(v);
+        } else if arg == "--analysis-threads" {
+            let Some(v) = args.next() else {
+                usage_exit("--analysis-threads needs a value")
+            };
+            analysis_threads = Some(parse_threads(&v));
+        } else if let Some(v) = arg.strip_prefix("--analysis-threads=") {
+            analysis_threads = Some(parse_threads(v));
         } else if arg == "--out" {
             let Some(v) = args.next() else {
                 usage_exit("--out needs a value")
@@ -74,6 +85,7 @@ fn main() {
         )),
     };
     config.threads = threads;
+    config.analysis_threads = analysis_threads;
     config.instrument = true;
 
     let mut study = match Study::run(config) {

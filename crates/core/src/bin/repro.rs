@@ -5,14 +5,16 @@
 //!
 //! ```text
 //! cargo run --release -p ipv6-study-core --bin repro -- \
-//!     [scale] [output.md] [--threads N|auto]
+//!     [scale] [output.md] [--threads N|auto] [--analysis-threads N|auto]
 //! ```
 //!
 //! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
 //! When an output path is given, the markdown report is written there;
 //! otherwise it goes to `EXPERIMENTS.md` in the current directory.
 //! `--threads N` runs the sharded simulation driver on N workers
-//! (`auto` = all available cores); output is byte-identical at any N.
+//! (`auto` = all available cores), and `--analysis-threads N` does the
+//! same for the analysis engine (it defaults to `--threads`); output is
+//! byte-identical at any N for either knob.
 
 use std::time::Instant;
 
@@ -22,7 +24,10 @@ use ipv6_study_core::{Study, StudyConfig, StudyError};
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro [tiny|test|default|full] [output.md] [--threads N|auto]");
+    eprintln!(
+        "usage: repro [tiny|test|default|full] [output.md] [--threads N|auto] \
+         [--analysis-threads N|auto]"
+    );
     std::process::exit(2);
 }
 
@@ -42,6 +47,7 @@ fn main() {
     let mut scale = None;
     let mut output = None;
     let mut threads = 1usize;
+    let mut analysis_threads = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--threads" {
@@ -51,6 +57,13 @@ fn main() {
             threads = parse_threads(&v);
         } else if let Some(v) = arg.strip_prefix("--threads=") {
             threads = parse_threads(v);
+        } else if arg == "--analysis-threads" {
+            let Some(v) = args.next() else {
+                usage_exit("--analysis-threads needs a value")
+            };
+            analysis_threads = Some(parse_threads(&v));
+        } else if let Some(v) = arg.strip_prefix("--analysis-threads=") {
+            analysis_threads = Some(parse_threads(v));
         } else if scale.is_none() {
             scale = Some(arg);
         } else if output.is_none() {
@@ -72,6 +85,7 @@ fn main() {
         )),
     };
     config.threads = threads;
+    config.analysis_threads = analysis_threads;
 
     eprintln!(
         "running study: {} households, {} campaigns, {}..{}, {} thread(s)",

@@ -31,6 +31,9 @@ pub enum ConfigError {
     PrefixLengthTooLong(u8),
     /// `threads` is zero: the driver needs at least one worker.
     ZeroThreads,
+    /// `analysis_threads` is `Some(0)`: the analysis engine needs at least
+    /// one worker (leave it `None` to inherit `threads`).
+    ZeroAnalysisThreads,
     /// `max_shard_retries` exceeds the sanity cap: a deterministic shard
     /// that failed dozens of times will not succeed on attempt 100.
     TooManyRetries(u32),
@@ -57,6 +60,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "prefix length /{l} exceeds 128 bits")
             }
             ConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
+            ConfigError::ZeroAnalysisThreads => {
+                write!(f, "analysis_threads must be at least 1 (or None)")
+            }
             ConfigError::TooManyRetries(n) => {
                 write!(
                     f,
@@ -100,6 +106,11 @@ pub struct StudyConfig {
     /// datasets are byte-identical at any thread count; this knob only
     /// trades wall-clock for cores.
     pub threads: usize,
+    /// Worker threads for the parallel analysis engine
+    /// ([`crate::experiments::run_all`]), or `None` to inherit `threads`.
+    /// Pass outputs merge in registry order, so the rendered figures and
+    /// run report are byte-identical at any count.
+    pub analysis_threads: Option<usize>,
     /// Whether to collect the observability [`RunReport`] (phase timers,
     /// per-shard/per-figure stats). Instrumentation is passive — it never
     /// feeds back into the simulation — so toggling it cannot change the
@@ -162,6 +173,7 @@ impl StudyConfig {
             prefix_lengths: STUDY_PREFIX_LENGTHS.to_vec(),
             ablation: Ablation::Baseline,
             threads: 1,
+            analysis_threads: None,
             instrument: true,
             failure_policy: FailurePolicy::Abort,
             max_shard_retries: 2,
@@ -194,6 +206,9 @@ impl StudyConfig {
         if self.threads == 0 {
             return Err(ConfigError::ZeroThreads);
         }
+        if self.analysis_threads == Some(0) {
+            return Err(ConfigError::ZeroAnalysisThreads);
+        }
         if self.max_shard_retries > MAX_SHARD_RETRIES_CAP {
             return Err(ConfigError::TooManyRetries(self.max_shard_retries));
         }
@@ -206,6 +221,12 @@ impl StudyConfig {
         ipv6_study_netmodel::World::try_sized(self.seed, self.households)
             .map_err(|e| ConfigError::Network(e.to_string()))?;
         Ok(())
+    }
+
+    /// The analysis-engine worker count actually used: `analysis_threads`
+    /// when set, the simulation `threads` otherwise.
+    pub fn effective_analysis_threads(&self) -> usize {
+        self.analysis_threads.unwrap_or(self.threads)
     }
 }
 
@@ -262,6 +283,7 @@ impl StudyBuilder {
     fn preset(self, mut cfg: StudyConfig) -> Self {
         cfg.seed = self.config.seed;
         cfg.threads = self.config.threads;
+        cfg.analysis_threads = self.config.analysis_threads;
         cfg.ablation = self.config.ablation;
         cfg.instrument = self.config.instrument;
         cfg.failure_policy = self.config.failure_policy;
@@ -288,6 +310,13 @@ impl StudyBuilder {
     /// Sets the worker-thread count (results are identical at any count).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Sets the analysis-engine worker count (rendered figures and reports
+    /// are identical at any count); `None` inherits [`Self::threads`].
+    pub fn analysis_threads(mut self, threads: usize) -> Self {
+        self.config.analysis_threads = Some(threads);
         self
     }
 
@@ -396,6 +425,23 @@ mod tests {
         let mut cfg = StudyConfig::tiny();
         cfg.threads = 0;
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroThreads));
+
+        let mut cfg = StudyConfig::tiny();
+        cfg.analysis_threads = Some(0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroAnalysisThreads));
+    }
+
+    #[test]
+    fn analysis_threads_inherits_threads_unless_set() {
+        let cfg = StudyBuilder::new().threads(4).tiny().build().unwrap();
+        assert_eq!(cfg.effective_analysis_threads(), 4);
+        let cfg = StudyBuilder::new()
+            .threads(4)
+            .analysis_threads(8)
+            .tiny()
+            .build()
+            .unwrap();
+        assert_eq!(cfg.effective_analysis_threads(), 8);
     }
 
     #[test]

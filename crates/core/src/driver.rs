@@ -53,7 +53,8 @@ use ipv6_study_netmodel::World;
 use ipv6_study_obs::report::rate_per_sec;
 use ipv6_study_obs::timer::{time_phase, PhaseStat};
 use ipv6_study_telemetry::{
-    RequestRecord, RequestSink, RequestStore, Samplers, SimDate, StudyDatasets,
+    FrozenDatasets, FrozenStore, RequestRecord, RequestSink, RequestStore, Samplers, SimDate,
+    StudyDatasets,
 };
 
 use crate::config::StudyConfig;
@@ -203,9 +204,9 @@ impl RunMetrics {
 /// The driver's result: merged datasets, stores, metrics, and the fault
 /// report (clean on a run with no shard failures).
 pub(crate) struct DriverOutput {
-    pub datasets: StudyDatasets,
-    pub abuse_store: RequestStore,
-    pub pair_store: RequestStore,
+    pub datasets: FrozenDatasets,
+    pub abuse_store: FrozenStore,
+    pub pair_store: FrozenStore,
     pub metrics: RunMetrics,
     pub faults: FaultReport,
 }
@@ -580,11 +581,13 @@ pub(crate) fn execute(
 
     // Sort phase: the merged stores sort lazily on first query; doing it
     // here makes the cost a measured driver phase instead of a surprise
-    // inside the first analysis.
+    // inside the first analysis. The sorted stores then freeze into
+    // immutable shared datasets so analysis passes can query them
+    // concurrently through `&self`.
     let t2 = Instant::now();
-    datasets.ensure_sorted();
-    abuse_store.ensure_sorted();
-    pair_store.ensure_sorted();
+    let datasets = datasets.freeze();
+    let abuse_store = abuse_store.freeze();
+    let pair_store = pair_store.freeze();
     let sort_wall = t2.elapsed();
 
     Ok(DriverOutput {

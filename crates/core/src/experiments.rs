@@ -1,13 +1,23 @@
 //! The experiment registry: one function per table/figure in the paper.
 //!
-//! Every function takes a completed [`Study`] and returns an
-//! [`ExperimentOutput`] — figures (plottable series), tables, and named
-//! scalar statistics. The scalar statistics are the quantities the paper
-//! quotes in prose (e.g. "95% of IPv6 addresses had a single user"); the
-//! `repro` binary compares them against [`crate::paper`]'s reference values
-//! to build EXPERIMENTS.md.
+//! Every function takes an [`AnalysisCtx`] — a completed [`Study`] plus the
+//! shared per-window [`DatasetIndex`]es built once for all passes — and
+//! returns an [`ExperimentOutput`] — figures (plottable series), tables, and
+//! named scalar statistics. The scalar statistics are the quantities the
+//! paper quotes in prose (e.g. "95% of IPv6 addresses had a single user");
+//! the `repro` binary compares them against [`crate::paper`]'s reference
+//! values to build EXPERIMENTS.md.
+//!
+//! [`run_all`] executes the registry on a deterministic worker pool (the
+//! analysis mirror of [`crate::driver`]'s shard pool): workers claim passes
+//! from a shared cursor, results land in per-pass slots, and outputs merge
+//! in registry order — so the rendered figures, stats, and run report are
+//! byte-identical at any `analysis_threads` count.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use ipv6_study_analysis::characterize::{
     asn_low_v6_shares, asn_ratio_table, client_patterns, country_ratio_table, prevalence_series,
@@ -23,7 +33,8 @@ use ipv6_study_analysis::similarity::most_similar;
 use ipv6_study_analysis::user_centric::{
     address_lifespans, addrs_per_user, prefix_lifespans, prefixes_per_user,
 };
-use ipv6_study_analysis::{CdfSeries, FigureReport, TableReport};
+use ipv6_study_analysis::{CdfSeries, DatasetIndex, FigureReport, IndexMode, TableReport};
+use ipv6_study_obs::timer::PhaseStat;
 use ipv6_study_obs::ActioningStat;
 use ipv6_study_secapp::actioning::{actioning_roc_timed, operating_points, Granularity};
 use ipv6_study_secapp::blocklist::{evaluate_over_days, Blocklist};
@@ -37,6 +48,56 @@ use ipv6_study_telemetry::{DateRange, RequestRecord, SimDate, UserId};
 
 use crate::study::Study;
 
+/// The shared, immutable input of every experiment: the study plus the
+/// [`DatasetIndex`]es of the windows most passes group over, built once so
+/// parallel passes share them instead of re-grouping per pass.
+///
+/// The pre-built windows cover the focus day/week of the user and IP
+/// samples, the 28-day lifespan lookback, and the abuse store's focus week;
+/// passes with one-off windows build them through [`AnalysisCtx::index`]
+/// (which honors the configured [`IndexMode`]).
+pub struct AnalysisCtx<'a> {
+    /// The completed study this analysis reads.
+    pub study: &'a Study,
+    mode: IndexMode,
+    user_week: DatasetIndex,
+    user_day: DatasetIndex,
+    user_lookback: DatasetIndex,
+    ip_day: DatasetIndex,
+    ip_week: DatasetIndex,
+    abuse_week: DatasetIndex,
+}
+
+impl<'a> AnalysisCtx<'a> {
+    /// Builds the shared indexes with the production grouping mode.
+    pub fn new(study: &'a Study) -> Self {
+        Self::with_mode(study, IndexMode::Sorted)
+    }
+
+    /// Builds the shared indexes with an explicit grouping mode (the naive
+    /// path exists for the equivalence suite).
+    pub fn with_mode(study: &'a Study, mode: IndexMode) -> Self {
+        let focus = focus_day_user();
+        let lookback = DateRange::new(focus - 27, focus);
+        let idx = |recs: &[RequestRecord]| DatasetIndex::with_mode(recs, mode);
+        Self {
+            mode,
+            user_week: idx(study.datasets.user_sample.in_range(focus_week())),
+            user_day: idx(study.datasets.user_sample.on_day(focus)),
+            user_lookback: idx(study.datasets.user_sample.in_range(lookback)),
+            ip_day: idx(study.datasets.ip_sample.on_day(focus_day_ip())),
+            ip_week: idx(study.datasets.ip_sample.in_range(focus_week())),
+            abuse_week: idx(study.abuse_store.in_range(focus_week())),
+            study,
+        }
+    }
+
+    /// Indexes a one-off window with this context's grouping mode.
+    pub fn index(&self, records: &[RequestRecord]) -> DatasetIndex {
+        DatasetIndex::with_mode(records, self.mode)
+    }
+}
+
 /// The output of one experiment.
 #[derive(Debug, Default)]
 pub struct ExperimentOutput {
@@ -49,6 +110,9 @@ pub struct ExperimentOutput {
     /// Input cardinality: how many records this experiment read across
     /// its dataset slices (reported to the observability layer).
     pub input_records: u64,
+    /// Per-granularity actioning timings (filled by the ROC experiment;
+    /// merged into the run report by [`run_all`] when instrumented).
+    pub actioning: Vec<ActioningStat>,
 }
 
 impl ExperimentOutput {
@@ -68,11 +132,12 @@ impl ExperimentOutput {
 }
 
 /// Figure 1 — daily IPv6 share of users and of requests.
-pub fn fig1_prevalence(study: &mut Study) -> ExperimentOutput {
+pub fn fig1_prevalence(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let range = study.config.full_range;
-    let user = study.datasets.user_sample.in_range(range).to_vec();
-    let req = study.datasets.request_sample.in_range(range).to_vec();
-    let pts = prevalence_series(&user, &req, range);
+    let user = study.datasets.user_sample.in_range(range);
+    let req = study.datasets.request_sample.in_range(range);
+    let pts = prevalence_series(user, req, range);
     let mut out = ExperimentOutput::default();
     out.record_input(user.len() + req.len());
     let fig = FigureReport::new("Figure 1", "daily IPv6 proportion of users and requests")
@@ -136,13 +201,15 @@ pub fn fig1_prevalence(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Table 1 — top ASNs by IPv6 user ratio (plus §4.2's low-deployment tail).
-pub fn tab1_asns(study: &mut Study) -> ExperimentOutput {
-    let recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+pub fn tab1_asns(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
+    let recs = study.datasets.user_sample.in_range(focus_week());
     // The paper requires ≥1k users per ASN, i.e. ~0.04% of its 2.6M
-    // sampled users; scale that floor to our sampled-user count.
-    let distinct_users = ipv6_study_telemetry::RequestStore::distinct_users(&recs).len();
+    // sampled users; scale that floor to our sampled-user count. The
+    // distinct-user table is memoized on the shared focus-week index.
+    let distinct_users = ctx.user_week.distinct_users().len();
     let min_users = ((distinct_users as f64) * 0.004).ceil().max(12.0) as u64;
-    let rows = asn_ratio_table(&recs, min_users);
+    let rows = asn_ratio_table(recs, min_users);
     let mut out = ExperimentOutput::default();
     out.record_input(recs.len());
     let mut table = TableReport::new(
@@ -172,14 +239,15 @@ pub fn tab1_asns(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Table 2 + Figure 12 — top countries by IPv6 user ratio, Jan vs Apr.
-pub fn tab2_countries(study: &mut Study) -> ExperimentOutput {
+pub fn tab2_countries(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let jan = DateRange::new(SimDate::ymd(1, 23), SimDate::ymd(1, 29));
-    let jan_recs = study.datasets.user_sample.in_range(jan).to_vec();
-    let apr_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
-    let distinct_users = ipv6_study_telemetry::RequestStore::distinct_users(&apr_recs).len();
+    let jan_recs = study.datasets.user_sample.in_range(jan);
+    let apr_recs = study.datasets.user_sample.in_range(focus_week());
+    let distinct_users = ctx.user_week.distinct_users().len();
     let min_users = ((distinct_users as f64) * 0.004).ceil().max(12.0) as u64;
-    let jan_rows = country_ratio_table(&jan_recs, min_users);
-    let apr_rows = country_ratio_table(&apr_recs, min_users);
+    let jan_rows = country_ratio_table(jan_recs, min_users);
+    let apr_rows = country_ratio_table(apr_recs, min_users);
 
     let mut out = ExperimentOutput::default();
     out.record_input(jan_recs.len() + apr_recs.len());
@@ -216,8 +284,8 @@ pub fn tab2_countries(study: &mut Study) -> ExperimentOutput {
 
     // Statistics use a low user floor so small countries (Germany, Puerto
     // Rico, Belarus) stay visible at every simulation scale.
-    let jan_all = country_ratio_table(&jan_recs, 5);
-    let apr_all = country_ratio_table(&apr_recs, 5);
+    let jan_all = country_ratio_table(jan_recs, 5);
+    let apr_all = country_ratio_table(apr_recs, 5);
     let ratio_of = |rows: &[ipv6_study_analysis::characterize::RatioRow<_>], code: &str| {
         rows.iter()
             .find(|r| r.key == ipv6_study_telemetry::Country::new(code))
@@ -243,11 +311,10 @@ pub fn tab2_countries(study: &mut Study) -> ExperimentOutput {
 }
 
 /// §4.4 — client IPv6 address patterns.
-pub fn c44_client_patterns(study: &mut Study) -> ExperimentOutput {
-    let recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
-    let p = client_patterns(&recs);
+pub fn c44_client_patterns(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let p = client_patterns(&ctx.user_week);
     let mut out = ExperimentOutput::default();
-    out.record_input(recs.len());
+    out.record_input(ctx.user_week.len());
     out.stat("c44.v6_users", p.v6_users as f64);
     out.stat("c44.transition_share", p.transition_share);
     out.stat("c44.mac_embedded_share", p.mac_embedded_share);
@@ -261,14 +328,13 @@ fn cdf_series(label: &str, e: &Ecdf, max_x: u64) -> CdfSeries {
 }
 
 /// Figure 2 — addresses per user (benign), one day and one week.
-pub fn fig2_addrs_per_user(study: &mut Study) -> ExperimentOutput {
-    let day_recs = study.datasets.user_sample.on_day(focus_day_user()).to_vec();
-    let week_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+pub fn fig2_addrs_per_user(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let filter = |u: UserId| !study.labels.is_abusive(u);
-    let day = addrs_per_user(&day_recs, filter);
-    let week = addrs_per_user(&week_recs, filter);
+    let day = addrs_per_user(&ctx.user_day, filter);
+    let week = addrs_per_user(&ctx.user_week, filter);
     let mut out = ExperimentOutput::default();
-    out.record_input(day_recs.len() + week_recs.len());
+    out.record_input(ctx.user_day.len() + ctx.user_week.len());
     out.figures.push(
         FigureReport::new("Figure 2", "CDFs of addresses per user, 1 day and 7 days")
             .with(cdf_series("IPv4: 1 Day", &day.v4, 30))
@@ -286,9 +352,11 @@ pub fn fig2_addrs_per_user(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Figure 3 — addresses per abusive account, one day.
-pub fn fig3_aa_addrs(study: &mut Study) -> ExperimentOutput {
-    let day_recs = study.abuse_store.on_day(focus_day_user()).to_vec();
-    let aa = addrs_per_user(&day_recs, |_| true);
+pub fn fig3_aa_addrs(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
+    let day_recs = study.abuse_store.on_day(focus_day_user());
+    let day = ctx.index(day_recs);
+    let aa = addrs_per_user(&day, |_| true);
     let mut out = ExperimentOutput::default();
     out.record_input(day_recs.len());
     out.figures.push(
@@ -304,12 +372,11 @@ pub fn fig3_aa_addrs(study: &mut Study) -> ExperimentOutput {
 }
 
 /// §5.1.3 — outlier users by address count, benign and abusive.
-pub fn o51_user_outliers(study: &mut Study) -> ExperimentOutput {
-    let week_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
+pub fn o51_user_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let filter = |u: UserId| !study.labels.is_abusive(u);
-    let week = addrs_per_user(&week_recs, filter);
-    let aa_recs = study.abuse_store.in_range(focus_week()).to_vec();
-    let aa_week = addrs_per_user(&aa_recs, |_| true);
+    let week = addrs_per_user(&ctx.user_week, filter);
+    let aa_week = addrs_per_user(&ctx.abuse_week, |_| true);
 
     let thresholds = [100u64, 300, 1000];
     let v4 = tail_stats(&week.v4_counts, &thresholds);
@@ -318,7 +385,7 @@ pub fn o51_user_outliers(study: &mut Study) -> ExperimentOutput {
     let aa6 = tail_stats(&aa_week.v6_counts, &thresholds);
 
     let mut out = ExperimentOutput::default();
-    out.record_input(week_recs.len() + aa_recs.len());
+    out.record_input(ctx.user_week.len() + ctx.abuse_week.len());
     let mut t = TableReport::new(
         "§5.1.3",
         "outlier users by weekly address count",
@@ -353,13 +420,12 @@ pub fn o51_user_outliers(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Figure 4 — IPv6 prefixes per user (users and abusive accounts).
-pub fn fig4_prefix_span(study: &mut Study) -> ExperimentOutput {
+pub fn fig4_prefix_span(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let lengths: Vec<u8> = vec![32, 36, 40, 44, 48, 52, 56, 60, 64, 68, 72, 80, 96, 112, 128];
-    let week_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
     let filter = |u: UserId| !study.labels.is_abusive(u);
-    let users = prefixes_per_user(&week_recs, &lengths, filter);
-    let aa_recs = study.abuse_store.in_range(focus_week()).to_vec();
-    let aas = prefixes_per_user(&aa_recs, &lengths, |_| true);
+    let users = prefixes_per_user(&ctx.user_week, &lengths, filter);
+    let aas = prefixes_per_user(&ctx.abuse_week, &lengths, |_| true);
 
     let to_fig =
         |id: &str, caption: &str, rows: &[ipv6_study_analysis::user_centric::PrefixSpanRow]| {
@@ -378,7 +444,7 @@ pub fn fig4_prefix_span(study: &mut Study) -> ExperimentOutput {
                 ))
         };
     let mut out = ExperimentOutput::default();
-    out.record_input(week_recs.len() + aa_recs.len());
+    out.record_input(ctx.user_week.len() + ctx.abuse_week.len());
     out.figures.push(to_fig(
         "Figure 4a",
         "% of users whose v6 addresses span <=k prefixes",
@@ -403,14 +469,13 @@ pub fn fig4_prefix_span(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Figure 5 — (user, address) life spans.
-pub fn fig5_lifespans(study: &mut Study) -> ExperimentOutput {
+pub fn fig5_lifespans(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let focus = focus_day_user();
-    let lookback = DateRange::new(focus - 27, focus);
-    let history = study.datasets.user_sample.in_range(lookback).to_vec();
     let filter = |u: UserId| !study.labels.is_abusive(u);
-    let l = address_lifespans(&history, focus, filter);
+    let l = address_lifespans(&ctx.user_lookback, focus, filter);
     let mut out = ExperimentOutput::default();
-    out.record_input(history.len());
+    out.record_input(ctx.user_lookback.len());
     out.figures.push(
         FigureReport::new("Figure 5", "CDFs of address life spans for users (days)")
             .with(cdf_series("Across v6s", &l.v6_pairs, 27))
@@ -428,26 +493,27 @@ pub fn fig5_lifespans(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Figure 6 — (user, prefix) life spans across prefix lengths.
-pub fn fig6_prefix_lifespans(study: &mut Study) -> ExperimentOutput {
+pub fn fig6_prefix_lifespans(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let focus = focus_day_user();
     let lookback = DateRange::new(focus - 27, focus);
-    let history = study.datasets.user_sample.in_range(lookback).to_vec();
-    let aa_history = study.abuse_store.in_range(lookback).to_vec();
+    let aa_recs = study.abuse_store.in_range(lookback);
+    let aa_history = ctx.index(aa_recs);
     let v6_lengths: Vec<u8> = vec![16, 24, 32, 40, 48, 56, 64, 72, 80, 96, 112, 128];
     let v4_lengths: Vec<u8> = vec![8, 16, 24, 32];
     let filter = |u: UserId| !study.labels.is_abusive(u);
 
     let mut out = ExperimentOutput::default();
-    out.record_input(history.len() + aa_history.len());
+    out.record_input(ctx.user_lookback.len() + aa_history.len());
     let always = |_: UserId| true;
-    type Case<'a> = (&'a str, &'a [RequestRecord], &'a dyn Fn(UserId) -> bool);
+    type Case<'a> = (&'a str, &'a DatasetIndex, &'a dyn Fn(UserId) -> bool);
     let cases: [Case; 2] = [
-        ("Figure 6a", history.as_slice(), &filter),
-        ("Figure 6b", aa_history.as_slice(), &always),
+        ("Figure 6a", &ctx.user_lookback, &filter),
+        ("Figure 6b", &aa_history, &always),
     ];
-    for (id, recs, f) in cases {
-        let v6 = prefix_lifespans(recs, focus, &v6_lengths, true, f);
-        let v4 = prefix_lifespans(recs, focus, &v4_lengths, false, f);
+    for (id, history, f) in cases {
+        let v6 = prefix_lifespans(history, focus, &v6_lengths, true, f);
+        let v4 = prefix_lifespans(history, focus, &v4_lengths, false, f);
         let fig = FigureReport::new(id, "share of (user, prefix) pairs aged <=1/2/3 days")
             .with(CdfSeries::from_u64(
                 "IPv6: 1d",
@@ -489,13 +555,11 @@ pub fn fig6_prefix_lifespans(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Figure 7 — users per address, day and week.
-pub fn fig7_users_per_ip(study: &mut Study) -> ExperimentOutput {
-    let day_recs = study.datasets.ip_sample.on_day(focus_day_ip()).to_vec();
-    let week_recs = study.datasets.ip_sample.in_range(focus_week()).to_vec();
-    let day = users_per_ip(&day_recs);
-    let week = users_per_ip(&week_recs);
+pub fn fig7_users_per_ip(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let day = users_per_ip(&ctx.ip_day);
+    let week = users_per_ip(&ctx.ip_week);
     let mut out = ExperimentOutput::default();
-    out.record_input(day_recs.len() + week_recs.len());
+    out.record_input(ctx.ip_day.len() + ctx.ip_week.len());
     out.figures.push(
         FigureReport::new("Figure 7", "CDFs of users per IP address")
             .with(cdf_series("IPv6: 1 day", &day.v6, 10))
@@ -514,13 +578,12 @@ pub fn fig7_users_per_ip(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Figure 8 — abusive accounts and benign users per address-with-abuse.
-pub fn fig8_aa_per_ip(study: &mut Study) -> ExperimentOutput {
-    let day_recs = study.datasets.ip_sample.on_day(focus_day_ip()).to_vec();
-    let week_recs = study.datasets.ip_sample.in_range(focus_week()).to_vec();
-    let day = abuse_per_ip(&day_recs, &study.labels);
-    let week = abuse_per_ip(&week_recs, &study.labels);
+pub fn fig8_aa_per_ip(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
+    let day = abuse_per_ip(&ctx.ip_day, &study.labels);
+    let week = abuse_per_ip(&ctx.ip_week, &study.labels);
     let mut out = ExperimentOutput::default();
-    out.record_input(day_recs.len() + week_recs.len());
+    out.record_input(ctx.ip_day.len() + ctx.ip_week.len());
     out.figures.push(
         FigureReport::new(
             "Figure 8",
@@ -543,9 +606,9 @@ pub fn fig8_aa_per_ip(study: &mut Study) -> ExperimentOutput {
 }
 
 /// §6.1.3 — heavy addresses: tails, ASN concentration, predictability.
-pub fn o61_ip_outliers(study: &mut Study) -> ExperimentOutput {
-    let week_recs = study.datasets.ip_sample.in_range(focus_week()).to_vec();
-    let week = users_per_ip(&week_recs);
+pub fn o61_ip_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
+    let week = users_per_ip(&ctx.ip_week);
     // Thresholds scaled to the simulation: a "heavy" address hosts >X
     // users; the paper's 1k/200k translate down with population size.
     // Scale-aware: a "heavy" address hosts more users than ~1/1500th of
@@ -563,12 +626,12 @@ pub fn o61_ip_outliers(study: &mut Study) -> ExperimentOutput {
     }
     let v4 = tail_stats(&v4_counts, &[heavy, mega]);
     let v6 = tail_stats(&v6_counts, &[heavy, mega]);
-    let conc_v6 = heavy_ip_asn_concentration(&week_recs, &week.counts, heavy, true);
-    let conc_v4 = heavy_ip_asn_concentration(&week_recs, &week.counts, heavy, false);
+    let conc_v6 = heavy_ip_asn_concentration(&ctx.ip_week, &week.counts, heavy, true);
+    let conc_v4 = heavy_ip_asn_concentration(&ctx.ip_week, &week.counts, heavy, false);
     let sig = signature_predictability(&week.counts, heavy);
 
     let mut out = ExperimentOutput::default();
-    out.record_input(week_recs.len());
+    out.record_input(ctx.ip_week.len());
     let mut t = TableReport::new(
         "§6.1.3",
         "heavy addresses (users/week)",
@@ -611,10 +674,12 @@ pub fn o61_ip_outliers(study: &mut Study) -> ExperimentOutput {
     out.stat("o61.sig_heavy_share", sig.heavy_signature_share);
     out.stat("o61.sig_light_share", sig.light_signature_share);
 
-    // Predictor evaluation (the "signatures are feasible" claim).
+    // Predictor evaluation (the "signatures are feasible" claim). Each
+    // address's ASN comes from its run head — the first record of the
+    // address in timestamp order, exactly what the slice walk found.
     let mut asn_of = HashMap::new();
-    for r in &week_recs {
-        asn_of.entry(r.ip).or_insert(r.asn);
+    for (ip, group) in ctx.ip_week.ip_groups() {
+        asn_of.insert(ip, group[0].asn);
     }
     let predictor = HeavyAddressPredictor::learn(&week.counts, &asn_of, heavy);
     let eval = predictor.evaluate(&week.counts, &asn_of, heavy);
@@ -624,7 +689,8 @@ pub fn o61_ip_outliers(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Figure 9 — users per IPv6 prefix across lengths, with the IPv4 curve.
-pub fn fig9_users_per_prefix(study: &mut Study) -> ExperimentOutput {
+pub fn fig9_users_per_prefix(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let week = focus_week();
     let lengths = [128u8, 72, 68, 64, 48, 44];
     let mut out = ExperimentOutput::default();
@@ -632,16 +698,15 @@ pub fn fig9_users_per_prefix(study: &mut Study) -> ExperimentOutput {
     let mut singles: Vec<(u8, f64)> = Vec::new();
     let mut candidates: Vec<(u8, Ecdf)> = Vec::new();
     for len in lengths {
-        let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
+        let recs = study.datasets.prefix_sample(len).in_range(week);
         out.record_input(recs.len());
-        let upp = users_per_prefix(&recs, len);
+        let upp = users_per_prefix(&ctx.index(recs), len);
         singles.push((len, upp.ecdf.fraction_le(1)));
         fig = fig.with(cdf_series(&format!("/{len}"), &upp.ecdf, 10));
         candidates.push((len, upp.ecdf));
     }
-    let v4_recs = study.datasets.ip_sample.in_range(week).to_vec();
-    out.record_input(v4_recs.len());
-    let v4 = users_per_v4_addr(&v4_recs);
+    out.record_input(ctx.ip_week.len());
+    let v4 = users_per_v4_addr(&ctx.ip_week);
     fig = fig.with(cdf_series("IPv4", &v4, 10));
     out.figures.push(fig);
     for (len, s) in &singles {
@@ -655,7 +720,8 @@ pub fn fig9_users_per_prefix(study: &mut Study) -> ExperimentOutput {
 }
 
 /// Figure 10 — abusive accounts and benign users per prefix-with-abuse.
-pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
+pub fn fig10_aa_per_prefix(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let week = focus_week();
     let mut out = ExperimentOutput::default();
 
@@ -664,15 +730,14 @@ pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
     let mut fig_a = FigureReport::new("Figure 10a", "abusive accounts per prefix (1 week)");
     let mut aa_candidates: Vec<(u8, Ecdf)> = Vec::new();
     for len in lengths_a {
-        let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
+        let recs = study.datasets.prefix_sample(len).in_range(week);
         out.record_input(recs.len());
-        let app = abuse_per_prefix(&recs, &study.labels, len);
+        let app = abuse_per_prefix(&ctx.index(recs), &study.labels, len);
         fig_a = fig_a.with(cdf_series(&format!("/{len}"), &app.aa, 10));
         aa_candidates.push((len, app.aa));
     }
-    let v4_recs = study.datasets.ip_sample.in_range(week).to_vec();
-    out.record_input(v4_recs.len());
-    let v4_view = abuse_per_ip(&v4_recs, &study.labels);
+    out.record_input(ctx.ip_week.len());
+    let v4_view = abuse_per_ip(&ctx.ip_week, &study.labels);
     fig_a = fig_a.with(cdf_series("IPv4", &v4_view.aa_v4, 10));
     out.figures.push(fig_a);
 
@@ -684,9 +749,9 @@ pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
     );
     let mut benign_candidates: Vec<(u8, Ecdf)> = Vec::new();
     for len in lengths_b {
-        let recs = study.datasets.prefix_sample(len).in_range(week).to_vec();
+        let recs = study.datasets.prefix_sample(len).in_range(week);
         out.record_input(recs.len());
-        let app = abuse_per_prefix(&recs, &study.labels, len);
+        let app = abuse_per_prefix(&ctx.index(recs), &study.labels, len);
         fig_b = fig_b.with(cdf_series(&format!("/{len}"), &app.benign, 10));
         benign_candidates.push((len, app.benign));
     }
@@ -720,7 +785,8 @@ pub fn fig10_aa_per_prefix(study: &mut Study) -> ExperimentOutput {
 }
 
 /// §6.2.3 — heavy prefixes: /112 domination and ASN concentration.
-pub fn o62_prefix_outliers(study: &mut Study) -> ExperimentOutput {
+pub fn o62_prefix_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     // §6.2.3's own method: the interesting prefixes are far too few for
     // the prefix random sample to hit, so the paper (and we) count *user
     // sample members per prefix* and extrapolate — a prefix with k sampled
@@ -731,12 +797,12 @@ pub fn o62_prefix_outliers(study: &mut Study) -> ExperimentOutput {
     // Require a few sampled users on top of the expected-population bar,
     // to keep noise out at small scales.
     let heavy_sampled = ((heavy_pop as f64 * rate).ceil() as u64).max(3);
-    let recs = study.datasets.user_sample.in_range(week).to_vec();
+    let recs = study.datasets.user_sample.in_range(week);
     let mut out = ExperimentOutput::default();
     out.record_input(recs.len());
     let mut per_len = HashMap::new();
     for len in [112u8, 64, 48] {
-        let upp = users_per_prefix(&recs, len);
+        let upp = users_per_prefix(&ctx.user_week, len);
         let stats = tail_stats(&upp.counts, &[heavy_sampled]);
         out.stat(
             &format!("o62.heavy_p{len}_count"),
@@ -747,7 +813,7 @@ pub fn o62_prefix_outliers(study: &mut Study) -> ExperimentOutput {
     }
     // ASN concentration of heavy /64s (paper: M247 21%, top-4 61%).
     let upp64 = &per_len[&64];
-    let conc = heavy_prefix_asn_concentration(&recs, &upp64.counts, heavy_sampled);
+    let conc = heavy_prefix_asn_concentration(recs, &upp64.counts, heavy_sampled);
     out.stat("o62.heavy_p64_asns", conc.asns as f64);
     out.stat("o62.heavy_p64_top1_share", conc.top1_share);
     out.stat("o62.heavy_p64_top4_share", conc.top4_share);
@@ -769,7 +835,8 @@ pub fn o62_prefix_outliers(study: &mut Study) -> ExperimentOutput {
 /// Figure 11 — the actioning ROC at /128, /64, /56 and IPv4, pooled over
 /// the last three day pairs (the paper repeats per-day analyses over
 /// several days; pooling keeps small-scale runs statistically stable).
-pub fn fig11_roc(study: &mut Study) -> ExperimentOutput {
+pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let mut out = ExperimentOutput::default();
     let mut fig = FigureReport::new("Figure 11", "day-over-day actioning ROC");
     let thresholds: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
@@ -783,11 +850,11 @@ pub fn fig11_roc(study: &mut Study) -> ExperimentOutput {
     // Full-population day pairs: the paper's scenario without sampling
     // noise (abusive units are rare; samples would starve the curves).
     let last = focus_day_user();
-    let pair_days: Vec<(Vec<RequestRecord>, Vec<RequestRecord>)> = (0..3u16)
+    let pair_days: Vec<(&[RequestRecord], &[RequestRecord])> = (0..3u16)
         .map(|k| {
             (
-                study.pair_store.on_day(last - (k + 1)).to_vec(),
-                study.pair_store.on_day(last - k).to_vec(),
+                study.pair_store.on_day(last - (k + 1)),
+                study.pair_store.on_day(last - k),
             )
         })
         .collect();
@@ -809,13 +876,7 @@ pub fn fig11_roc(study: &mut Study) -> ExperimentOutput {
             gran_stat.units_scored += stat.units_scored;
             gran_stat.units_evaluated += stat.units_evaluated;
         }
-        if study.config.instrument {
-            study
-                .report
-                .registry
-                .record_duration("actioning.roc_wall", gran_stat.wall);
-            study.report.actioning.push(gran_stat);
-        }
+        out.actioning.push(gran_stat);
         let pts = curve.sweep(&thresholds, None);
         fig = fig.with(CdfSeries {
             label: gran.label(),
@@ -843,7 +904,8 @@ pub fn fig11_roc(study: &mut Study) -> ExperimentOutput {
 
 /// §7.2 — defense mechanisms: blocklist decay, threat-exchange half-life,
 /// rate-limit thresholds, and the ML protocol-transfer gap.
-pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
+pub fn s72_defenses(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let mut out = ExperimentOutput::default();
     let list_day = SimDate::ymd(4, 13);
 
@@ -853,34 +915,33 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
         (Granularity::V6Prefix(64), "v6_p64"),
         (Granularity::V4Full, "v4_addr"),
     ] {
-        let (store_day, later): (Vec<RequestRecord>, Vec<(SimDate, Vec<RequestRecord>)>) =
-            match gran {
-                Granularity::V6Prefix(len) => (
-                    study.datasets.prefix_sample(len).on_day(list_day).to_vec(),
-                    (1..=6u16)
-                        .map(|k| {
-                            let d = list_day + k;
-                            (d, study.datasets.prefix_sample(len).on_day(d).to_vec())
-                        })
-                        .collect(),
-                ),
-                _ => (
-                    study.datasets.ip_sample.on_day(list_day).to_vec(),
-                    (1..=6u16)
-                        .map(|k| {
-                            let d = list_day + k;
-                            (d, study.datasets.ip_sample.on_day(d).to_vec())
-                        })
-                        .collect(),
-                ),
-            };
+        let (store_day, later): (&[RequestRecord], Vec<(SimDate, &[RequestRecord])>) = match gran {
+            Granularity::V6Prefix(len) => (
+                study.datasets.prefix_sample(len).on_day(list_day),
+                (1..=6u16)
+                    .map(|k| {
+                        let d = list_day + k;
+                        (d, study.datasets.prefix_sample(len).on_day(d))
+                    })
+                    .collect(),
+            ),
+            _ => (
+                study.datasets.ip_sample.on_day(list_day),
+                (1..=6u16)
+                    .map(|k| {
+                        let d = list_day + k;
+                        (d, study.datasets.ip_sample.on_day(d))
+                    })
+                    .collect(),
+            ),
+        };
         out.record_input(store_day.len() + later.iter().map(|(_, r)| r.len()).sum::<usize>());
-        let bl = Blocklist::from_day(&store_day, &study.labels, gran, 0.5, list_day, 14);
+        let bl = Blocklist::from_day(store_day, &study.labels, gran, 0.5, list_day, 14);
         let evals = evaluate_over_days(
             &bl,
             &study.labels,
             list_day,
-            later.iter().map(|(d, r)| (*d, r.as_slice())),
+            later.iter().map(|&(d, r)| (d, r)),
         );
         if let Some(first) = evals.first() {
             out.stat(&format!("s72.blocklist_{name}_day1_recall"), first.recall);
@@ -895,12 +956,10 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
 
         // Threat-exchange decay on the same data.
         let decay = value_decay(
-            &store_day,
+            store_day,
             &study.labels,
             gran,
-            later
-                .iter()
-                .map(|(d, r)| (d.days_since(list_day), r.as_slice())),
+            later.iter().map(|&(d, r)| (d.days_since(list_day), r)),
         );
         let fig_label = format!("exchange decay: {name}");
         out.figures.push(
@@ -919,13 +978,12 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
 
     // Rate-limit recommendations from users-per-key distributions.
     let week = focus_week();
-    let day_recs = study.datasets.ip_sample.in_range(week).to_vec();
-    out.record_input(day_recs.len());
-    let per_ip = users_per_ip(&day_recs);
+    out.record_input(ctx.ip_week.len());
+    let per_ip = users_per_ip(&ctx.ip_week);
     let per_p64 = {
-        let recs = study.datasets.prefix_sample(64).in_range(week).to_vec();
+        let recs = study.datasets.prefix_sample(64).in_range(week);
         out.record_input(recs.len());
-        users_per_prefix(&recs, 64).ecdf
+        users_per_prefix(&ctx.index(recs), 64).ecdf
     };
     let q = 0.999;
     let per_user_budget = 200;
@@ -944,11 +1002,11 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
     // full-population day pair.
     let d0 = focus_day_user() - 1;
     let d1 = focus_day_user();
-    let day = study.pair_store.on_day(d0).to_vec();
-    let next = study.pair_store.on_day(d1).to_vec();
+    let day = study.pair_store.on_day(d0);
+    let next = study.pair_store.on_day(d1);
     out.record_input(day.len() + next.len());
-    let v4_set = training_set(&day, &next, &study.labels, Some(false));
-    let v6_set = training_set(&day, &next, &study.labels, Some(true));
+    let v4_set = training_set(day, next, &study.labels, Some(false));
+    let v6_set = training_set(day, next, &study.labels, Some(true));
     if !v4_set.is_empty() && !v6_set.is_empty() {
         let m_v4 = LogisticModel::train(&v4_set, 200, 0.3);
         let m_v6 = LogisticModel::train(&v6_set, 200, 0.3);
@@ -965,14 +1023,15 @@ pub fn s72_defenses(study: &mut Study) -> ExperimentOutput {
 /// We have the full world, so we can answer it: per network kind, how many
 /// addresses a user burns in a day, how many users share an address, and
 /// how ephemeral (user, address) pairs are.
-pub fn x81_network_breakdown(study: &mut Study) -> ExperimentOutput {
+pub fn x81_network_breakdown(ctx: &AnalysisCtx) -> ExperimentOutput {
     use ipv6_study_netmodel::NetworkKind;
+    let study = ctx.study;
     let mut out = ExperimentOutput::default();
-    let day_recs = study.datasets.ip_sample.on_day(focus_day_ip()).to_vec();
-    let user_day = study.datasets.user_sample.on_day(focus_day_user()).to_vec();
+    let day_recs = study.datasets.ip_sample.on_day(focus_day_ip());
+    let user_day = study.datasets.user_sample.on_day(focus_day_user());
     let focus = focus_day_user();
     let lookback = DateRange::new(focus - 27, focus);
-    let history = study.datasets.user_sample.in_range(lookback).to_vec();
+    let history = study.datasets.user_sample.in_range(lookback);
     out.record_input(day_recs.len() + user_day.len() + history.len());
 
     // ASN → kind map from the world.
@@ -999,9 +1058,9 @@ pub fn x81_network_breakdown(study: &mut Study) -> ExperimentOutput {
         let ip_recs: Vec<RequestRecord> = day_recs.iter().filter(|r| keep(r)).copied().collect();
         let us_recs: Vec<RequestRecord> = user_day.iter().filter(|r| keep(r)).copied().collect();
         let hist: Vec<RequestRecord> = history.iter().filter(|r| keep(r)).copied().collect();
-        let upi = users_per_ip(&ip_recs);
-        let apu = addrs_per_user(&us_recs, |u| !labels.is_abusive(u));
-        let life = address_lifespans(&hist, focus, |u| !labels.is_abusive(u));
+        let upi = users_per_ip(&ctx.index(&ip_recs));
+        let apu = addrs_per_user(&ctx.index(&us_recs), |u| !labels.is_abusive(u));
+        let life = address_lifespans(&ctx.index(&hist), focus, |u| !labels.is_abusive(u));
         let tag = kind.to_string();
         let users_per_addr = upi.v6.mean().unwrap_or(0.0);
         let addrs_per = apu.v6.mean().unwrap_or(0.0);
@@ -1028,17 +1087,17 @@ pub fn x81_network_breakdown(study: &mut Study) -> ExperimentOutput {
 /// only small shifts — slightly lower IP diversity and slightly longer
 /// life spans during lockdowns, "no data point differs by more than 4%"
 /// (A.5). We regenerate that comparison from the panel data.
-pub fn apx_pandemic_compare(study: &mut Study) -> ExperimentOutput {
+pub fn apx_pandemic_compare(ctx: &AnalysisCtx) -> ExperimentOutput {
+    let study = ctx.study;
     let mut out = ExperimentOutput::default();
     let filter = |u: UserId| !study.labels.is_abusive(u);
 
     // Addresses per user, pre-pandemic week vs focus week (A.3).
     let pre_week = ipv6_study_telemetry::time::prepandemic_week();
-    let pre_recs = study.datasets.user_sample.in_range(pre_week).to_vec();
-    let apr_recs = study.datasets.user_sample.in_range(focus_week()).to_vec();
-    out.record_input(pre_recs.len() + apr_recs.len());
-    let pre = addrs_per_user(&pre_recs, filter);
-    let apr = addrs_per_user(&apr_recs, filter);
+    let pre_recs = study.datasets.user_sample.in_range(pre_week);
+    out.record_input(pre_recs.len() + ctx.user_week.len());
+    let pre = addrs_per_user(&ctx.index(pre_recs), filter);
+    let apr = addrs_per_user(&ctx.user_week, filter);
     out.stat("apx.v6_week_mean_feb", pre.v6.mean().unwrap_or(0.0));
     out.stat("apx.v6_week_mean_apr", apr.v6.mean().unwrap_or(0.0));
     out.stat("apx.v4_week_mean_feb", pre.v4.mean().unwrap_or(0.0));
@@ -1053,17 +1112,15 @@ pub fn apx_pandemic_compare(study: &mut Study) -> ExperimentOutput {
     let feb_hist = study
         .datasets
         .user_sample
-        .in_range(DateRange::new(feb_focus - 26, feb_focus))
-        .to_vec();
-    let feb_life = address_lifespans(&feb_hist, feb_focus, filter);
+        .in_range(DateRange::new(feb_focus - 26, feb_focus));
+    let feb_life = address_lifespans(&ctx.index(feb_hist), feb_focus, filter);
     let apr_focus = focus_day_user();
     let apr_hist = study
         .datasets
         .user_sample
-        .in_range(DateRange::new(apr_focus - 26, apr_focus))
-        .to_vec();
+        .in_range(DateRange::new(apr_focus - 26, apr_focus));
     out.record_input(feb_hist.len() + apr_hist.len());
-    let apr_life = address_lifespans(&apr_hist, apr_focus, filter);
+    let apr_life = address_lifespans(&ctx.index(apr_hist), apr_focus, filter);
     out.stat("apx.v6_newborn_feb", feb_life.v6_pairs.fraction_le(0));
     out.stat("apx.v6_newborn_apr", apr_life.v6_pairs.fraction_le(0));
     out.stat("apx.v4_newborn_feb", feb_life.v4_pairs.fraction_le(0));
@@ -1099,7 +1156,7 @@ pub fn apx_pandemic_compare(study: &mut Study) -> ExperimentOutput {
 }
 
 /// One experiment: paper-artifact id plus its registry function.
-type Experiment = (&'static str, fn(&mut Study) -> ExperimentOutput);
+type Experiment = (&'static str, fn(&AnalysisCtx) -> ExperimentOutput);
 
 /// Every experiment in paper order.
 const EXPERIMENTS: [Experiment; 20] = [
@@ -1125,28 +1182,101 @@ const EXPERIMENTS: [Experiment; 20] = [
     ("ApxA", apx_pandemic_compare),
 ];
 
-/// Runs every experiment in paper order.
+/// Runs every experiment in paper order, on
+/// `config.effective_analysis_threads()` workers.
 ///
 /// When the study was run with `config.instrument`, each pass's wall
 /// clock and input cardinality land in `study.report.figures` (plus an
-/// `analysis.figure_wall` histogram in the registry), extending the
-/// driver-phase report that [`Study::run`] started.
+/// `analysis.figure_wall` histogram in the registry), and the engine's
+/// index/passes/total walls land in `study.report.analysis_phases` —
+/// extending the driver-phase report that [`Study::run`] started.
 pub fn run_all(study: &mut Study) -> Vec<(&'static str, ExperimentOutput)> {
+    run_all_with(
+        study,
+        study.config.effective_analysis_threads(),
+        IndexMode::Sorted,
+    )
+}
+
+/// [`run_all`] with explicit worker count and index mode (the equivalence
+/// suite exercises both knobs; production goes through [`run_all`]).
+///
+/// Output is byte-identical at any `workers` value: like the simulation
+/// driver, workers claim passes from a shared cursor in racy order, but
+/// each result lands in its registry-indexed slot and the merge below
+/// walks slots in registry order.
+pub fn run_all_with(
+    study: &mut Study,
+    workers: usize,
+    mode: IndexMode,
+) -> Vec<(&'static str, ExperimentOutput)> {
+    let t_total = Instant::now();
+
+    // Index phase: build the shared per-window indexes once.
+    let t_index = Instant::now();
+    let ctx = AnalysisCtx::with_mode(study, mode);
+    let index_wall = t_index.elapsed();
+
+    // Passes phase: the worker pool. Claim order cannot affect output —
+    // passes only read the frozen study and the shared context.
+    let t_passes = Instant::now();
+    let workers = workers.clamp(1, EXPERIMENTS.len());
+    let slots: Vec<Mutex<Option<(ExperimentOutput, ipv6_study_obs::FigureStat)>>> =
+        (0..EXPERIMENTS.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(id, func)) = EXPERIMENTS.get(i) else {
+                    break;
+                };
+                let (out, stat) = ipv6_study_analysis::timed_figure(id, || {
+                    let out = func(&ctx);
+                    let inputs = out.input_records;
+                    (out, inputs)
+                });
+                *slots[i].lock().expect("no poisoned pass slot") = Some((out, stat));
+            });
+        }
+    });
+    let passes_wall = t_passes.elapsed();
+    drop(ctx);
+
+    // Merge in registry order, so per-figure report entries and registry
+    // metrics appear exactly as a serial run would record them.
     let mut results = Vec::with_capacity(EXPERIMENTS.len());
-    for (id, func) in EXPERIMENTS {
-        let (out, stat) = ipv6_study_analysis::timed_figure(id, || {
-            let out = func(study);
-            let inputs = out.input_records;
-            (out, inputs)
-        });
+    for ((id, _), slot) in EXPERIMENTS.iter().zip(slots) {
+        let (out, stat) = slot
+            .into_inner()
+            .expect("no poisoned pass slot")
+            .expect("every pass slot filled");
         if study.config.instrument {
             study
                 .report
                 .registry
                 .record_duration("analysis.figure_wall", stat.wall);
             study.report.figures.push(stat);
+            for a in &out.actioning {
+                study
+                    .report
+                    .registry
+                    .record_duration("actioning.roc_wall", a.wall);
+                study.report.actioning.push(a.clone());
+            }
         }
-        results.push((id, out));
+        results.push((*id, out));
+    }
+    if study.config.instrument {
+        let phase = |name: &str, wall| PhaseStat {
+            name: name.to_string(),
+            wall,
+        };
+        study.report.analysis_phases = vec![
+            phase("index", index_wall),
+            phase("passes", passes_wall),
+            phase("total", t_total.elapsed()),
+        ];
     }
     results
 }
@@ -1174,10 +1304,24 @@ mod tests {
             }
         }
         // Instrumentation: one FigureStat per experiment, at least one
-        // with nonzero input cardinality, plus per-granularity actioning.
+        // with nonzero input cardinality, per-granularity actioning, and
+        // the engine's own phase walls.
         assert_eq!(study.report.figures.len(), 20);
         assert!(study.report.figures.iter().any(|f| f.input_records > 0));
         assert_eq!(study.report.actioning.len(), 4);
+        let phases: Vec<&str> = study
+            .report
+            .analysis_phases
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(phases, ["index", "passes", "total"]);
+        let total = &study.report.analysis_phases[2];
+        assert!(study
+            .report
+            .analysis_phases
+            .iter()
+            .all(|p| p.wall <= total.wall));
     }
 
     #[test]
@@ -1189,5 +1333,6 @@ mod tests {
         assert_eq!(all.len(), 20);
         assert!(study.report.figures.is_empty());
         assert!(study.report.actioning.is_empty());
+        assert!(study.report.analysis_phases.is_empty());
     }
 }

@@ -13,8 +13,11 @@
 //! ```
 //! use ipv6_study_core::Study;
 //!
+//! use ipv6_study_core::experiments::AnalysisCtx;
+//!
 //! let study = Study::builder().tiny().run().unwrap();
-//! let fig2 = ipv6_study_core::experiments::fig2_addrs_per_user(&mut { study });
+//! let ctx = AnalysisCtx::new(&study);
+//! let fig2 = ipv6_study_core::experiments::fig2_addrs_per_user(&ctx);
 //! assert_eq!(fig2.figures[0].id, "Figure 2");
 //! ```
 //!
@@ -51,7 +54,7 @@ pub mod study;
 pub use ablation::Ablation;
 pub use config::{ConfigError, StudyBuilder, StudyConfig};
 pub use driver::{RunMetrics, ShardMetrics};
-pub use experiments::ExperimentOutput;
+pub use experiments::{AnalysisCtx, ExperimentOutput};
 pub use faults::{FailurePolicy, FaultInjector, FaultReport, StudyError, StudyOutcome};
 pub use ipv6_study_obs::RunReport;
 pub use study::Study;

@@ -7,7 +7,7 @@ use ipv6_study_behavior::abuse::AbuseSim;
 use ipv6_study_behavior::population::Population;
 use ipv6_study_netmodel::World;
 use ipv6_study_obs::{FaultStat, Json, RunReport, ShardStat};
-use ipv6_study_telemetry::{AbuseLabels, DateRange, RequestStore, Samplers, StudyDatasets};
+use ipv6_study_telemetry::{AbuseLabels, DateRange, FrozenDatasets, FrozenStore, Samplers};
 
 use crate::config::{StudyBuilder, StudyConfig};
 use crate::driver::{self, RunMetrics};
@@ -21,16 +21,17 @@ pub struct Study {
     pub config: StudyConfig,
     /// The static world.
     pub world: World,
-    /// The four sampled dataset families (§3.1).
-    pub datasets: StudyDatasets,
+    /// The four sampled dataset families (§3.1), frozen immutable so the
+    /// parallel analysis engine can query them through `&self`.
+    pub datasets: FrozenDatasets,
     /// Every abusive-account request (the complete label join).
-    pub abuse_store: RequestStore,
+    pub abuse_store: FrozenStore,
     /// Every request (benign and abusive) on the final four days of the
     /// window — the full-population day pairs behind the Figure 11 ROC
     /// (pooled over three consecutive day pairs, echoing the paper's
     /// "we repeat our analysis over different days"), without sampling
     /// noise.
-    pub pair_store: RequestStore,
+    pub pair_store: FrozenStore,
     /// The abusive-account labels.
     pub labels: AbuseLabels,
     /// Expected user count (for extrapolation scales).
@@ -139,6 +140,10 @@ fn build_report(
     report.set_config("campaigns", Json::UInt(u64::from(config.campaigns)));
     report.set_config("threads", Json::UInt(config.threads as u64));
     report.set_config(
+        "analysis_threads",
+        Json::UInt(config.effective_analysis_threads() as u64),
+    );
+    report.set_config(
         "failure_policy",
         Json::str(faults.policy.as_str().to_string()),
     );
@@ -229,7 +234,7 @@ mod tests {
 
     #[test]
     fn tiny_study_produces_all_datasets() {
-        let mut study = Study::run(StudyConfig::tiny()).unwrap();
+        let study = Study::run(StudyConfig::tiny()).unwrap();
         assert!(
             study.datasets.offered > 10_000,
             "offered {}",
@@ -272,7 +277,7 @@ mod tests {
 
     #[test]
     fn abusive_traffic_is_labeled() {
-        let mut study = Study::run(StudyConfig::tiny()).unwrap();
+        let study = Study::run(StudyConfig::tiny()).unwrap();
         for rec in study.abuse_store.all() {
             assert!(study.labels.is_abusive(rec.user));
         }

@@ -116,6 +116,12 @@ pub struct RunReport {
     pub figures: Vec<FigureStat>,
     /// Per-granularity actioning stats (Figure 11).
     pub actioning: Vec<ActioningStat>,
+    /// Analysis-engine phases in execution order (`index` — building the
+    /// shared dataset indexes, `passes` — running the experiment registry,
+    /// `total`), recorded by the experiment registry. Empty until the
+    /// analyses run (the serialized `analysis.phases` object still carries
+    /// all three keys, zero-valued, so the schema is run-independent).
+    pub analysis_phases: Vec<PhaseStat>,
     /// The failure policy the run executed under (`"abort"`, `"retry"`,
     /// or `"degrade"`; empty when the caller never set it).
     pub failure_policy: String,
@@ -212,6 +218,17 @@ impl RunReport {
                 })
                 .collect(),
         );
+        // Fixed key set regardless of what was recorded, so the schema is
+        // identical on instrumented, uninstrumented, and analysis-free runs.
+        let mut analysis_phases = Json::obj();
+        for name in ["index", "passes", "total"] {
+            let wall = self
+                .analysis_phases
+                .iter()
+                .find(|p| p.name == name)
+                .map_or(0.0, |p| p.wall.as_secs_f64());
+            analysis_phases.set(name, Json::num(wall));
+        }
         let failed_shards = Json::Arr(
             self.faults
                 .iter()
@@ -257,10 +274,13 @@ impl RunReport {
             )
             .with(
                 "analysis",
-                Json::obj().with("figures", figures).with(
-                    "total_wall_secs",
-                    Json::num(self.analysis_wall().as_secs_f64()),
-                ),
+                Json::obj()
+                    .with("figures", figures)
+                    .with("phases", analysis_phases)
+                    .with(
+                        "total_wall_secs",
+                        Json::num(self.analysis_wall().as_secs_f64()),
+                    ),
             )
             .with("actioning", actioning)
             .with("faults", faults)
@@ -303,6 +323,13 @@ impl RunReport {
                     f.id, f.wall, f.input_records
                 );
             }
+        }
+        if !self.analysis_phases.is_empty() {
+            let _ = write!(out, "analysis phases:");
+            for p in &self.analysis_phases {
+                let _ = write!(out, " {} {:.2?}", p.name, p.wall);
+            }
+            let _ = writeln!(out);
         }
         for a in &self.actioning {
             let _ = writeln!(
@@ -385,6 +412,20 @@ mod tests {
             units_scored: 10,
             units_evaluated: 12,
         });
+        r.analysis_phases = vec![
+            PhaseStat {
+                name: "index".into(),
+                wall: Duration::from_millis(3),
+            },
+            PhaseStat {
+                name: "passes".into(),
+                wall: Duration::from_millis(9),
+            },
+            PhaseStat {
+                name: "total".into(),
+                wall: Duration::from_millis(12),
+            },
+        ];
         r.registry.inc("sim.records_total", 5000);
         r.failure_policy = "retry".into();
         r.faults.push(FaultStat {
@@ -437,6 +478,9 @@ mod tests {
             "\"shards\"",
             "\"records_per_sec\"",
             "\"analysis\"",
+            "\"phases\"",
+            "\"index\"",
+            "\"passes\"",
             "\"input_records\"",
             "\"actioning\"",
             "\"units_scored\"",
@@ -470,6 +514,8 @@ mod tests {
         let text = sample().render();
         assert!(text.contains("plan"));
         assert!(text.contains("sort"));
+        assert!(text.contains("analysis phases: index"));
+        assert!(text.contains("passes"));
         assert!(text.contains("F2"));
         assert!(text.contains("/64"));
         assert!(text.contains("faults (retry)"));

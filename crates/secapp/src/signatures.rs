@@ -37,9 +37,9 @@ impl HeavyAddressPredictor {
 
     /// Learns gateway ASNs from observed heavy addresses: any ASN where
     /// most heavy addresses carry the signature is recorded.
-    pub fn learn(
-        counts: &HashMap<IpAddr, u64>,
-        asn_of: &HashMap<IpAddr, Asn>,
+    pub fn learn<S1: std::hash::BuildHasher, S2: std::hash::BuildHasher>(
+        counts: &HashMap<IpAddr, u64, S1>,
+        asn_of: &HashMap<IpAddr, Asn, S2>,
         heavy_threshold: u64,
     ) -> Self {
         let mut sig: HashMap<Asn, (u64, u64)> = HashMap::new(); // (signature, total)
@@ -91,10 +91,10 @@ impl HeavyAddressPredictor {
     }
 
     /// Precision/recall of the predictor against ground-truth user counts.
-    pub fn evaluate(
+    pub fn evaluate<S1: std::hash::BuildHasher, S2: std::hash::BuildHasher>(
         &self,
-        counts: &HashMap<IpAddr, u64>,
-        asn_of: &HashMap<IpAddr, Asn>,
+        counts: &HashMap<IpAddr, u64, S1>,
+        asn_of: &HashMap<IpAddr, Asn, S2>,
         heavy_threshold: u64,
     ) -> PredictorEval {
         let mut tp = 0u64;

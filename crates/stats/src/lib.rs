@@ -49,7 +49,7 @@ pub mod testgen;
 pub use counter::{CountOfCounts, TopK};
 pub use ecdf::Ecdf;
 pub use extrapolate::{PopulationEstimate, SampleScale};
-pub use hash::{stable_hash64, StableHasher};
+pub use hash::{stable_hash64, SeededBuildHasher, StableHashMap, StableHashSet, StableHasher};
 pub use histogram::{Histogram, Log2Histogram};
 pub use roc::{RocCurve, RocPoint};
 pub use summary::Summary;

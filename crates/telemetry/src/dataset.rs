@@ -21,7 +21,7 @@ use ipv6_study_netaddr::{Ipv6Prefix, STUDY_PREFIX_LENGTHS};
 
 use crate::record::RequestRecord;
 use crate::sampler::Samplers;
-use crate::store::RequestStore;
+use crate::store::{FrozenStore, RequestStore};
 
 /// The four dataset families of §3.1, filled by deterministic sampling.
 #[derive(Debug)]
@@ -143,6 +143,62 @@ impl StudyDatasets {
     pub fn prefix_sample(&mut self, len: u8) -> &mut RequestStore {
         self.prefix_samples
             .get_mut(&len)
+            .unwrap_or_else(|| panic!("prefix length /{len} was not collected"))
+    }
+
+    /// Total records retained across all datasets (diagnostic).
+    pub fn retained(&self) -> u64 {
+        let base = self.request_sample.len() + self.user_sample.len() + self.ip_sample.len();
+        let prefixes: usize = self.prefix_samples.values().map(|s| s.len()).sum();
+        (base + prefixes) as u64
+    }
+
+    /// Consumes the datasets into an immutable [`FrozenDatasets`] whose
+    /// stores serve `&self` range queries (see [`FrozenStore`]). Every store
+    /// is sorted here, so the caller can account the cost as one phase.
+    pub fn freeze(self) -> FrozenDatasets {
+        FrozenDatasets {
+            samplers: self.samplers,
+            request_sample: self.request_sample.freeze(),
+            user_sample: self.user_sample.freeze(),
+            ip_sample: self.ip_sample.freeze(),
+            prefix_samples: self
+                .prefix_samples
+                .into_iter()
+                .map(|(len, store)| (len, store.freeze()))
+                .collect(),
+            offered: self.offered,
+        }
+    }
+}
+
+/// The frozen counterpart of [`StudyDatasets`]: same dataset families, but
+/// every store is an immutable, pre-sorted [`FrozenStore`] shareable across
+/// analysis threads.
+#[derive(Debug)]
+pub struct FrozenDatasets {
+    /// Sampler configuration the datasets were routed with.
+    pub samplers: Samplers,
+    /// Random sample of all requests.
+    pub request_sample: FrozenStore,
+    /// All requests from a random sample of users.
+    pub user_sample: FrozenStore,
+    /// All requests from a random sample of addresses.
+    pub ip_sample: FrozenStore,
+    /// All requests from random samples of IPv6 prefixes, per length.
+    pub prefix_samples: HashMap<u8, FrozenStore>,
+    /// Total records offered (the "platform volume" before sampling).
+    pub offered: u64,
+}
+
+impl FrozenDatasets {
+    /// The prefix sample for a given length.
+    ///
+    /// # Panics
+    /// Panics when that length was not collected.
+    pub fn prefix_sample(&self, len: u8) -> &FrozenStore {
+        self.prefix_samples
+            .get(&len)
             .unwrap_or_else(|| panic!("prefix length /{len} was not collected"))
     }
 

@@ -40,11 +40,11 @@ pub mod sink;
 pub mod store;
 pub mod time;
 
-pub use dataset::StudyDatasets;
+pub use dataset::{FrozenDatasets, StudyDatasets};
 pub use ids::{Asn, Country, DeviceId, HouseholdId, UserId};
 pub use labels::{AbuseInfo, AbuseLabels};
 pub use record::RequestRecord;
 pub use sampler::Samplers;
 pub use sink::{CountingSink, FnSink, RequestSink, Tee};
-pub use store::RequestStore;
+pub use store::{FrozenStore, RequestStore};
 pub use time::{DateRange, SimDate, Timestamp};

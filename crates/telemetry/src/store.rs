@@ -37,6 +37,12 @@ impl RequestStore {
     /// shard-local stores in shard-index order, which keeps the stable
     /// timestamp sort (and therefore every downstream slice) byte-identical
     /// to a serial run.
+    ///
+    /// When both stores are already sorted and `other`'s records start no
+    /// earlier than `self`'s end, the concatenation is itself sorted and the
+    /// flag is preserved — shard merges of non-overlapping time slices skip
+    /// the full re-sort. Overlapping merges still produce the exact serial
+    /// order because the eventual sort is stable over the append order.
     pub fn extend_from(&mut self, other: RequestStore) {
         if self.records.is_empty() {
             *self = other;
@@ -45,8 +51,11 @@ impl RequestStore {
         if other.records.is_empty() {
             return;
         }
+        let still_sorted = self.sorted
+            && other.sorted
+            && self.records.last().map(|r| r.ts) <= other.records.first().map(|r| r.ts);
         self.records.extend(other.records);
-        self.sorted = false;
+        self.sorted = still_sorted;
     }
 
     /// Number of records held.
@@ -112,6 +121,58 @@ impl RequestStore {
         v.sort_unstable();
         v.dedup();
         v
+    }
+
+    /// Consumes the store into an immutable, pre-sorted [`FrozenStore`]
+    /// whose queries take `&self` — the form analyses share across threads.
+    pub fn freeze(mut self) -> FrozenStore {
+        self.ensure_sorted();
+        FrozenStore {
+            records: self.records,
+        }
+    }
+}
+
+/// An immutable, timestamp-sorted view of a completed dataset.
+///
+/// [`RequestStore`] sorts lazily, so its range queries need `&mut self` —
+/// which serializes every analysis that touches the store. Freezing performs
+/// the sort once, after which [`FrozenStore::all`] / [`FrozenStore::in_range`]
+/// are pure binary-search slices over `&self`, safe to share across the
+/// parallel analysis engine's worker threads. Query results are byte-for-byte
+/// what the thawed store would have returned.
+#[derive(Debug, Clone, Default)]
+pub struct FrozenStore {
+    records: Vec<RequestRecord>,
+}
+
+impl FrozenStore {
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, time-ordered.
+    pub fn all(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// The records whose timestamps fall inside `range` (inclusive days).
+    pub fn in_range(&self, range: DateRange) -> &[RequestRecord] {
+        let (lo_ts, hi_ts) = range.ts_bounds();
+        let lo = self.records.partition_point(|r| r.ts < lo_ts);
+        let hi = self.records.partition_point(|r| r.ts <= hi_ts);
+        &self.records[lo..hi]
+    }
+
+    /// The records on one day.
+    pub fn on_day(&self, day: SimDate) -> &[RequestRecord] {
+        self.in_range(DateRange::single(day))
     }
 }
 
@@ -200,6 +261,51 @@ mod tests {
         dst.extend_from(RequestStore::new());
         assert_eq!(dst.len(), 1);
         assert!(dst.sorted);
+    }
+
+    #[test]
+    fn extend_from_preserves_sorted_when_disjoint_in_time() {
+        let mut left = RequestStore::new();
+        left.push(rec(1, SimDate::ymd(4, 13), 1, "2001:db8::1"));
+        left.push(rec(2, SimDate::ymd(4, 13), 2, "2001:db8::2"));
+        left.ensure_sorted();
+        let mut right = RequestStore::new();
+        right.push(rec(3, SimDate::ymd(4, 13), 2, "2001:db8::3")); // ties allowed
+        right.push(rec(4, SimDate::ymd(4, 13), 5, "2001:db8::4"));
+        right.ensure_sorted();
+
+        left.extend_from(right);
+        assert!(left.sorted, "disjoint sorted merge must stay sorted");
+        assert!(left.all().windows(2).all(|w| w[0].ts <= w[1].ts));
+
+        // Overlapping merge clears the flag (a re-sort is required).
+        let mut early = RequestStore::new();
+        early.push(rec(5, SimDate::ymd(4, 13), 0, "2001:db8::5"));
+        early.ensure_sorted();
+        left.extend_from(early);
+        assert!(!left.sorted);
+        assert_eq!(left.all().first().unwrap().user, UserId(5));
+    }
+
+    #[test]
+    fn frozen_store_matches_thawed_queries() {
+        let mut s = RequestStore::new();
+        s.push(rec(1, SimDate::ymd(4, 15), 8, "2001:db8::1"));
+        s.push(rec(2, SimDate::ymd(4, 13), 9, "2001:db8::2"));
+        s.push(rec(3, SimDate::ymd(4, 19), 23, "2001:db8::3"));
+        s.push(rec(4, SimDate::ymd(4, 12), 23, "2001:db8::4"));
+        let frozen = s.clone().freeze();
+        assert_eq!(frozen.len(), s.len());
+        assert_eq!(frozen.all(), s.all());
+        assert_eq!(
+            frozen.in_range(crate::time::focus_week()),
+            s.in_range(crate::time::focus_week())
+        );
+        assert_eq!(
+            frozen.on_day(SimDate::ymd(4, 13)),
+            s.on_day(SimDate::ymd(4, 13))
+        );
+        assert!(frozen.on_day(SimDate::ymd(1, 1)).is_empty());
     }
 
     #[test]

@@ -8,22 +8,23 @@
 use std::collections::HashMap;
 
 use ipv6_user_study::analysis::ip_centric::users_per_ip;
+use ipv6_user_study::analysis::DatasetIndex;
 use ipv6_user_study::secapp::mlfeatures::{training_set, LogisticModel};
 use ipv6_user_study::secapp::signatures::HeavyAddressPredictor;
 use ipv6_user_study::telemetry::time::{focus_day_user, focus_week};
 use ipv6_user_study::Study;
 
 fn main() {
-    let mut study = Study::builder().test_scale().run().expect("valid preset");
+    let study = Study::builder().test_scale().run().expect("valid preset");
 
     // 1. Exempt-list the predictable mega-addresses (gateway signature),
     //    so blocklists and limiters can skip them (the paper's advice:
     //    "feasibly predicted to avoid blocklisting and to handle through
     //    other means").
-    let week = study.datasets.ip_sample.in_range(focus_week()).to_vec();
-    let upi = users_per_ip(&week);
+    let week = study.datasets.ip_sample.in_range(focus_week());
+    let upi = users_per_ip(&DatasetIndex::build(week));
     let mut asn_of = HashMap::new();
-    for r in &week {
+    for r in week {
         asn_of.entry(r.ip).or_insert(r.asn);
     }
     let heavy = (study.approx_users / 1_500).max(8);
@@ -50,9 +51,9 @@ fn main() {
     for (label, v6) in [("IPv4", false), ("IPv6", true)] {
         let mut set = Vec::new();
         for k in 0..3u16 {
-            let day = study.pair_store.on_day(last - (k + 1)).to_vec();
-            let next = study.pair_store.on_day(last - k).to_vec();
-            set.extend(training_set(&day, &next, &study.labels, Some(v6)));
+            let day = study.pair_store.on_day(last - (k + 1));
+            let next = study.pair_store.on_day(last - k);
+            set.extend(training_set(day, next, &study.labels, Some(v6)));
         }
         if set.is_empty() {
             continue;

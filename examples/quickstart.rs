@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ipv6_user_study::experiments;
+use ipv6_user_study::experiments::{self, AnalysisCtx};
 use ipv6_user_study::Study;
 
 fn main() {
@@ -17,17 +17,18 @@ fn main() {
         "simulating {} households, {} campaigns, {} .. {}",
         config.households, config.campaigns, config.full_range.start, config.full_range.end
     );
-    let mut study = Study::run(config).expect("validated above");
+    let study = Study::run(config).expect("validated above");
     println!(
         "platform saw {} requests; samples retained {}; {} labeled abusive accounts\n",
         study.datasets.offered,
         study.datasets.retained(),
         study.labels.len()
     );
+    let ctx = AnalysisCtx::new(&study);
 
     // RQ1 — user behavior across protocols (Figure 2 / Figure 7).
-    let fig2 = experiments::fig2_addrs_per_user(&mut study);
-    let fig7 = experiments::fig7_users_per_ip(&mut study);
+    let fig2 = experiments::fig2_addrs_per_user(&ctx);
+    let fig7 = experiments::fig7_users_per_ip(&ctx);
     println!("== RQ1: users across protocols ==");
     println!(
         "addresses per user per week (median): IPv4 {} vs IPv6 {}",
@@ -41,7 +42,7 @@ fn main() {
     );
 
     // RQ2 — attacker behavior (Figure 3's inversion).
-    let fig3 = experiments::fig3_aa_addrs(&mut study);
+    let fig3 = experiments::fig3_aa_addrs(&ctx);
     println!("\n== RQ2: attackers ==");
     println!(
         "addresses per abusive account per day (mean): IPv4 {:.2} vs IPv6 {:.2} (the inversion)",
@@ -50,7 +51,7 @@ fn main() {
     );
 
     // RQ3 — outliers (§6.1.3).
-    let o61 = experiments::o61_ip_outliers(&mut study);
+    let o61 = experiments::o61_ip_outliers(&ctx);
     println!("\n== RQ3: outliers ==");
     println!(
         "most-populated address this week: IPv4 {} users vs IPv6 {} users",
@@ -64,7 +65,7 @@ fn main() {
     );
 
     // RQ4 — actioning tradeoffs (Figure 11).
-    let fig11 = experiments::fig11_roc(&mut study);
+    let fig11 = experiments::fig11_roc(&ctx);
     println!("\n== RQ4: day-over-day actioning (threshold 0) ==");
     for tag in ["p128", "p64", "p56", "IPv4"] {
         println!(

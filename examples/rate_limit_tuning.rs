@@ -7,23 +7,25 @@
 //! ```
 
 use ipv6_user_study::analysis::ip_centric::{users_per_ip, users_per_prefix};
+use ipv6_user_study::analysis::DatasetIndex;
 use ipv6_user_study::secapp::ratelimit::{recommend_threshold, KeyPolicy, RateLimiter};
 use ipv6_user_study::telemetry::time::focus_week;
 use ipv6_user_study::Study;
 
 fn main() {
-    let mut study = Study::builder().test_scale().run().expect("valid preset");
+    let study = Study::builder().test_scale().run().expect("valid preset");
     let week = focus_week();
 
-    let ip_recs = study.datasets.ip_sample.in_range(week).to_vec();
-    let per_ip = users_per_ip(&ip_recs);
+    let per_ip = users_per_ip(&DatasetIndex::build(
+        study.datasets.ip_sample.in_range(week),
+    ));
     let p64 = {
-        let recs = study.datasets.prefix_sample(64).in_range(week).to_vec();
-        users_per_prefix(&recs, 64).ecdf
+        let idx = DatasetIndex::build(study.datasets.prefix_sample(64).in_range(week));
+        users_per_prefix(&idx, 64).ecdf
     };
     let p48 = {
-        let recs = study.datasets.prefix_sample(48).in_range(week).to_vec();
-        users_per_prefix(&recs, 48).ecdf
+        let idx = DatasetIndex::build(study.datasets.prefix_sample(48).in_range(week));
+        users_per_prefix(&idx, 48).ecdf
     };
 
     const PER_USER: u64 = 200; // daily request budget per legitimate user
@@ -64,8 +66,8 @@ fn main() {
     let mut allowed = 0u64;
     let mut throttled = 0u64;
     let day = ipv6_user_study::telemetry::time::focus_day_ip();
-    let recs = study.datasets.ip_sample.on_day(day).to_vec();
-    for r in &recs {
+    let recs = study.datasets.ip_sample.on_day(day);
+    for r in recs {
         if limiter.allow(r.ip, r.ts) {
             allowed += 1;
         } else {

@@ -14,11 +14,12 @@
 //!
 //! ```
 //! use ipv6_user_study::Study;
-//! use ipv6_user_study::experiments;
+//! use ipv6_user_study::experiments::{self, AnalysisCtx};
 //!
 //! // Simulate a small platform and regenerate Figure 7.
-//! let mut study = Study::builder().tiny().run().unwrap();
-//! let fig7 = experiments::fig7_users_per_ip(&mut study);
+//! let study = Study::builder().tiny().run().unwrap();
+//! let ctx = AnalysisCtx::new(&study);
+//! let fig7 = experiments::fig7_users_per_ip(&ctx);
 //! let v6_single = fig7.get_stat("fig7.v6_day_single").unwrap();
 //! let v4_single = fig7.get_stat("fig7.v4_day_single").unwrap();
 //! assert!(v6_single > v4_single, "IPv6 addresses are sparsely populated");

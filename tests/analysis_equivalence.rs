@@ -1,0 +1,83 @@
+//! The analysis engine's determinism contract: the full experiment
+//! registry renders byte-identical output at any `analysis_threads`
+//! count, through the sorted-index and naive grouping paths alike, and
+//! matches the pre-engine serial output pinned by a golden digest.
+//!
+//! See `crates/core/src/experiments.rs` for why this holds by
+//! construction (registry-indexed result slots, merge in registry order).
+
+use ipv6_user_study::analysis::IndexMode;
+use ipv6_user_study::experiments::run_all_with;
+use ipv6_user_study::report::{render_markdown, render_summary};
+use ipv6_user_study::stats::hash::stable_hash64;
+use ipv6_user_study::{Study, StudyConfig};
+
+/// `stable_hash64("ANEQ", markdown)` of the tiny-scale serial
+/// `render_markdown` output, pinned from the serial engine before the
+/// parallel rewrite. Any change to what the analyses compute — not just
+/// how fast — moves this digest.
+const GOLDEN_TINY_MARKDOWN_DIGEST: u64 = 0xef7c_6233_b540_e627;
+
+const DIGEST_SEED: u64 = 0x414E_4551; // "ANEQ"
+
+fn tiny_study() -> Study {
+    Study::run(StudyConfig::tiny()).expect("tiny preset is valid")
+}
+
+/// Renders the registry output for one engine configuration.
+fn rendered(threads: usize, mode: IndexMode) -> (String, String) {
+    let mut study = tiny_study();
+    let results = run_all_with(&mut study, threads, mode);
+    (render_markdown(&results), render_summary(&results))
+}
+
+#[test]
+fn parallel_engine_matches_serial_at_every_thread_count() {
+    let (serial_md, serial_summary) = rendered(1, IndexMode::Sorted);
+    for threads in [2usize, 8] {
+        let (md, summary) = rendered(threads, IndexMode::Sorted);
+        assert_eq!(
+            serial_md, md,
+            "markdown differs at analysis_threads={threads}"
+        );
+        assert_eq!(
+            serial_summary, summary,
+            "summary differs at analysis_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn naive_grouping_matches_the_sorted_index_path() {
+    let (sorted_md, sorted_summary) = rendered(1, IndexMode::Sorted);
+    for threads in [1usize, 8] {
+        let (md, summary) = rendered(threads, IndexMode::Naive);
+        assert_eq!(
+            sorted_md, md,
+            "naive-index markdown differs at analysis_threads={threads}"
+        );
+        assert_eq!(
+            sorted_summary, summary,
+            "naive-index summary differs at analysis_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_produce_the_same_digest() {
+    let digest = |md: &str| stable_hash64(DIGEST_SEED, md.as_bytes());
+    let (a, _) = rendered(8, IndexMode::Sorted);
+    let (b, _) = rendered(8, IndexMode::Sorted);
+    assert_eq!(digest(&a), digest(&b), "same config, different output");
+}
+
+#[test]
+fn serial_output_matches_the_pinned_golden_digest() {
+    let (md, _) = rendered(1, IndexMode::Sorted);
+    let digest = stable_hash64(DIGEST_SEED, md.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_TINY_MARKDOWN_DIGEST,
+        "tiny-scale analysis output drifted from the pinned pre-engine \
+         golden (update the constant only for intentional analysis changes)"
+    );
+}

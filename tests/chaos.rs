@@ -32,7 +32,7 @@ fn digest(records: &[RequestRecord]) -> u64 {
 }
 
 /// Full-dataset digest comparison between two studies.
-fn assert_identical(a: &mut Study, b: &mut Study, what: &str) {
+fn assert_identical(a: &Study, b: &Study, what: &str) {
     assert_eq!(a.datasets.offered, b.datasets.offered, "{what}: offered");
     assert_eq!(
         a.datasets.user_sample.all(),
@@ -89,11 +89,11 @@ fn chaotic_config(threads: usize) -> StudyConfig {
 
 #[test]
 fn fault_injected_runs_are_byte_identical_to_fault_free() {
-    let mut clean = Study::run(StudyConfig::tiny()).expect("fault-free run");
+    let clean = Study::run(StudyConfig::tiny()).expect("fault-free run");
     assert!(clean.faults.is_clean());
 
     for threads in [1usize, 2, 8] {
-        let mut chaotic = Study::run(chaotic_config(threads)).expect("retries recover every shard");
+        let chaotic = Study::run(chaotic_config(threads)).expect("retries recover every shard");
         // The injector really fired: 2 + 1 retries across two shards.
         assert_eq!(
             chaotic.faults.total_retries(),
@@ -107,8 +107,8 @@ fn fault_injected_runs_are_byte_identical_to_fault_free() {
             "panics after one simulated day must discard partial work"
         );
         assert_identical(
-            &mut clean,
-            &mut chaotic,
+            &clean,
+            &chaotic,
             &format!("fault-free vs chaotic threads={threads}"),
         );
     }
@@ -126,7 +126,7 @@ fn degrade_policy_completes_and_reports_exactly_the_dead_shard() {
         cfg.faults = Some(FaultInjector::new().always_fail_shard(DEAD_SHARD));
         Study::run(cfg).expect("degrade completes without the dead shard")
     };
-    let mut degraded = run(2);
+    let degraded = run(2);
 
     // Exactly the dead shard is reported, dropped, with its full budget
     // spent (1 try + 1 retry).
@@ -160,7 +160,7 @@ fn degrade_policy_completes_and_reports_exactly_the_dead_shard() {
     assert!(json.contains("\"policy\": \"degrade\""));
 
     // Degraded runs keep the thread-count determinism contract too.
-    assert_identical(&mut degraded, &mut run(8), "degrade threads=2 vs 8");
+    assert_identical(&degraded, &run(8), "degrade threads=2 vs 8");
 }
 
 #[test]
@@ -208,8 +208,8 @@ fn probabilistic_chaos_is_reproducible() {
         cfg.faults = Some(FaultInjector::new().with_panic_rate(0.2));
         Study::run(cfg).expect("rate 0.2 with 8 retries recovers")
     };
-    let mut a = run();
-    let mut b = run();
+    let a = run();
+    let b = run();
     // The "random" chaos is a pure function of (seed, shard, attempt):
     // both runs see the same failures and produce the same bytes.
     assert_eq!(a.faults.total_retries(), b.faults.total_retries());
@@ -225,5 +225,5 @@ fn probabilistic_chaos_is_reproducible() {
             .map(|f| (f.shard, f.attempts))
             .collect::<Vec<_>>()
     );
-    assert_identical(&mut a, &mut b, "probabilistic chaos twice");
+    assert_identical(&a, &b, "probabilistic chaos twice");
 }

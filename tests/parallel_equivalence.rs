@@ -25,7 +25,7 @@ fn digest(records: &[RequestRecord]) -> u64 {
     h.finish()
 }
 
-fn compare(mut a: Study, mut b: Study, what: &str) {
+fn compare(a: Study, b: Study, what: &str) {
     assert_eq!(a.datasets.offered, b.datasets.offered, "{what}: offered");
     assert_eq!(a.approx_users, b.approx_users, "{what}: approx_users");
 

@@ -44,6 +44,10 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.analysis.figures[].wall_secs",
     "$.analysis.figures[].input_records",
     "$.analysis.total_wall_secs",
+    "$.analysis.phases.index",
+    "$.analysis.phases.passes",
+    "$.analysis.phases.total",
+    "$.config.analysis_threads",
     "$.actioning[].granularity",
     "$.actioning[].wall_secs",
     "$.actioning[].units_scored",
@@ -157,8 +161,8 @@ fn instrumentation_leaves_datasets_byte_identical() {
         cfg.instrument = instrument;
         Study::run(cfg).expect("tiny preset is valid")
     };
-    let mut on = run(true);
-    let mut off = run(false);
+    let on = run(true);
+    let off = run(false);
     assert!(on.report.enabled);
     assert!(!off.report.enabled);
 

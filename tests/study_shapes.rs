@@ -6,21 +6,26 @@
 //! numbers are out of reach without Facebook's telemetry, but who wins, by
 //! roughly what factor, and where the knees sit must match.
 
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
-use ipv6_user_study::experiments::{self, ExperimentOutput};
+use ipv6_user_study::experiments::{self, AnalysisCtx, ExperimentOutput};
 use ipv6_user_study::{Study, StudyConfig};
 
-/// One shared study run for the whole test binary (simulation dominates
-/// runtime; every test reads the same deterministic datasets).
-fn study() -> &'static Mutex<Study> {
-    static STUDY: OnceLock<Mutex<Study>> = OnceLock::new();
-    STUDY.get_or_init(|| Mutex::new(Study::run(StudyConfig::test_scale()).expect("valid preset")))
+/// One shared study run (and one shared analysis context over it) for the
+/// whole test binary: simulation dominates runtime, and every test reads
+/// the same deterministic datasets through `&self` queries.
+fn ctx() -> &'static AnalysisCtx<'static> {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    static CTX: OnceLock<AnalysisCtx<'static>> = OnceLock::new();
+    CTX.get_or_init(|| {
+        AnalysisCtx::new(
+            STUDY.get_or_init(|| Study::run(StudyConfig::test_scale()).expect("valid preset")),
+        )
+    })
 }
 
-fn run(f: impl FnOnce(&mut Study) -> ExperimentOutput) -> ExperimentOutput {
-    let mut guard = study().lock().expect("study mutex");
-    f(&mut guard)
+fn run(f: impl FnOnce(&AnalysisCtx) -> ExperimentOutput) -> ExperimentOutput {
+    f(ctx())
 }
 
 fn stat(out: &ExperimentOutput, key: &str) -> f64 {
