@@ -2,16 +2,18 @@
 //! and client address patterns.
 //!
 //! The per-user analyses ([`client_patterns`], [`requests_per_user`]) walk a
-//! [`DatasetIndex`]; the series and ratio tables keep taking record slices —
-//! they bucket by day or by ASN/country, which the per-user/per-address
-//! index does not accelerate.
+//! [`DatasetIndex`]; the series and ratio tables take windowed
+//! [`ColumnSlice`]s directly — they bucket by day or by ASN/country, which
+//! the per-user/per-address index does not accelerate, and their inner
+//! loops read the timestamp/key/id columns without rematerializing rows.
 
 use std::collections::{HashMap, HashSet};
+use std::net::Ipv6Addr;
 
 use ipv6_study_netaddr::iid::iid;
 use ipv6_study_netaddr::{EntropyProfile, IidClass};
 use ipv6_study_stats::counter::CountOfCounts;
-use ipv6_study_telemetry::{Asn, Country, DateRange, RequestRecord, SimDate, UserId};
+use ipv6_study_telemetry::{Asn, ColumnSlice, Country, DateRange, SimDate, UserId};
 
 use crate::index::DatasetIndex;
 
@@ -29,30 +31,36 @@ pub struct PrevalencePoint {
 /// Computes Figure 1: daily IPv6 prevalence among users (from the user
 /// random sample) and among requests (from the request random sample).
 pub fn prevalence_series(
-    user_sample: &[RequestRecord],
-    request_sample: &[RequestRecord],
+    user_sample: ColumnSlice<'_>,
+    request_sample: ColumnSlice<'_>,
     range: DateRange,
 ) -> Vec<PrevalencePoint> {
-    // Pre-bucket by day to avoid re-scanning per day.
-    let mut users_by_day: HashMap<SimDate, HashMap<UserId, bool>> = HashMap::new();
-    for r in user_sample {
-        let d = r.ts.date();
+    // Pre-bucket by day to avoid re-scanning per day; users dedup on their
+    // dense ids (bijective with `UserId`, so the counts are unchanged).
+    let mut users_by_day: HashMap<SimDate, HashMap<u32, bool>> = HashMap::new();
+    for ((&ts, &user), &ip) in user_sample
+        .ts()
+        .iter()
+        .zip(user_sample.users_dense())
+        .zip(user_sample.ip_ids())
+    {
+        let d = ts.date();
         if range.contains(d) {
             let e = users_by_day
                 .entry(d)
                 .or_default()
-                .entry(r.user)
+                .entry(user)
                 .or_insert(false);
-            *e |= r.is_v6();
+            *e |= ip.is_v6();
         }
     }
     let mut reqs_by_day: HashMap<SimDate, (u64, u64)> = HashMap::new();
-    for r in request_sample {
-        let d = r.ts.date();
+    for (&ts, &ip) in request_sample.ts().iter().zip(request_sample.ip_ids()) {
+        let d = ts.date();
         if range.contains(d) {
             let e = reqs_by_day.entry(d).or_default();
             e.0 += 1;
-            if r.is_v6() {
+            if ip.is_v6() {
                 e.1 += 1;
             }
         }
@@ -94,17 +102,16 @@ pub struct RatioRow<K> {
 }
 
 fn ratio_rows<K: Eq + std::hash::Hash + Ord + Copy>(
-    records: &[RequestRecord],
-    key_of: impl Fn(&RequestRecord) -> K,
+    records: ColumnSlice<'_>,
+    keys: &[K],
     min_users: u64,
 ) -> Vec<RatioRow<K>> {
-    let mut total: HashMap<K, HashSet<UserId>> = HashMap::new();
-    let mut v6: HashMap<K, HashSet<UserId>> = HashMap::new();
-    for r in records {
-        let k = key_of(r);
-        total.entry(k).or_default().insert(r.user);
-        if r.is_v6() {
-            v6.entry(k).or_default().insert(r.user);
+    let mut total: HashMap<K, HashSet<u32>> = HashMap::new();
+    let mut v6: HashMap<K, HashSet<u32>> = HashMap::new();
+    for ((&k, &user), &ip) in keys.iter().zip(records.users_dense()).zip(records.ip_ids()) {
+        total.entry(k).or_default().insert(user);
+        if ip.is_v6() {
+            v6.entry(k).or_default().insert(user);
         }
     }
     let mut rows: Vec<RatioRow<K>> = total
@@ -130,8 +137,8 @@ fn ratio_rows<K: Eq + std::hash::Hash + Ord + Copy>(
 
 /// Table 1: ASNs ranked by the share of their users on IPv6, considering
 /// ASNs with at least `min_users` observed users.
-pub fn asn_ratio_table(records: &[RequestRecord], min_users: u64) -> Vec<RatioRow<Asn>> {
-    ratio_rows(records, |r| r.asn, min_users)
+pub fn asn_ratio_table(records: ColumnSlice<'_>, min_users: u64) -> Vec<RatioRow<Asn>> {
+    ratio_rows(records, records.asns(), min_users)
 }
 
 /// Share of considered ASNs with zero IPv6 users and with <10% IPv6 users
@@ -146,8 +153,8 @@ pub fn asn_low_v6_shares(rows: &[RatioRow<Asn>]) -> (f64, f64) {
 }
 
 /// Table 2 / Figure 12: countries ranked by IPv6 user share.
-pub fn country_ratio_table(records: &[RequestRecord], min_users: u64) -> Vec<RatioRow<Country>> {
-    ratio_rows(records, |r| r.country, min_users)
+pub fn country_ratio_table(records: ColumnSlice<'_>, min_users: u64) -> Vec<RatioRow<Country>> {
+    ratio_rows(records, records.countries(), min_users)
 }
 
 /// §4.4 — client IPv6 address patterns.
@@ -178,14 +185,17 @@ pub fn client_patterns(index: &DatasetIndex) -> ClientPatterns {
     // feeding the Entropy/IP-style nybble measurement.
     let mut iid_words: Vec<u64> = Vec::new();
 
+    let ips = &index.tables().ips;
     for (_, group) in index.user_groups() {
         let mut addrs: Vec<u128> = Vec::new();
         let mut iids: Vec<u64> = Vec::new();
         let mut is_transition = false;
         let mut is_mac = false;
-        for r in group {
-            if let Some(a) = r.ipv6() {
-                addrs.push(u128::from(a));
+        for &id in group.ip_ids() {
+            if id.is_v6() {
+                let bits = ips.v6_bits(id);
+                addrs.push(bits);
+                let a = Ipv6Addr::from(bits);
                 match IidClass::classify(a) {
                     IidClass::Teredo | IidClass::SixToFour => is_transition = true,
                     IidClass::MacEmbedded(_) => {
@@ -247,6 +257,11 @@ pub fn requests_per_user(index: &DatasetIndex) -> CountOfCounts<UserId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ipv6_study_telemetry::{OwnedColumns, RequestRecord};
+
+    fn cols(recs: &[RequestRecord]) -> OwnedColumns {
+        OwnedColumns::from_records(recs)
+    }
 
     fn rec(user: u64, day: SimDate, ip: &str, asn: u32, cc: &str) -> RequestRecord {
         RequestRecord {
@@ -276,7 +291,8 @@ mod tests {
             rec(5, day, "10.0.0.8", 1, "US"),
             rec(6, day, "10.0.0.7", 1, "US"),
         ];
-        let pts = prevalence_series(&user_sample, &request_sample, DateRange::single(day));
+        let (users, reqs) = (cols(&user_sample), cols(&request_sample));
+        let pts = prevalence_series(users.as_slice(), reqs.as_slice(), DateRange::single(day));
         assert_eq!(pts.len(), 1);
         assert!(
             (pts[0].user_share - 0.5).abs() < 1e-12,
@@ -287,7 +303,12 @@ mod tests {
 
     #[test]
     fn prevalence_handles_empty_days() {
-        let pts = prevalence_series(&[], &[], DateRange::new(d(4, 13), d(4, 14)));
+        let empty = cols(&[]);
+        let pts = prevalence_series(
+            empty.as_slice(),
+            empty.as_slice(),
+            DateRange::new(d(4, 13), d(4, 14)),
+        );
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].user_share, 0.0);
     }
@@ -302,13 +323,14 @@ mod tests {
             recs.push(rec(10 + u, day, "10.0.0.1", 200, "US"));
         }
         recs.push(rec(10, day, "2001:db8::5", 200, "US"));
-        let rows = asn_ratio_table(&recs, 3);
+        let c = cols(&recs);
+        let rows = asn_ratio_table(c.as_slice(), 3);
         assert_eq!(rows[0].key, Asn(100));
         assert!((rows[0].ratio - 1.0).abs() < 1e-12);
         assert_eq!(rows[1].key, Asn(200));
         assert!((rows[1].ratio - 1.0 / 3.0).abs() < 1e-12);
         // min_users filters.
-        let rows_strict = asn_ratio_table(&recs, 4);
+        let rows_strict = asn_ratio_table(c.as_slice(), 4);
         assert!(rows_strict.is_empty());
         let (zero, low) = asn_low_v6_shares(&rows);
         assert_eq!(zero, 0.0);
@@ -324,7 +346,8 @@ mod tests {
             rec(2, day, "10.0.0.1", 1, "IN"),
             rec(3, day, "10.0.0.2", 1, "US"),
         ];
-        let rows = country_ratio_table(&recs, 1);
+        let c = cols(&recs);
+        let rows = country_ratio_table(c.as_slice(), 1);
         let in_row = rows.iter().find(|r| r.key == Country::new("IN")).unwrap();
         assert_eq!(in_row.users, 2);
         assert!((in_row.ratio - 0.5).abs() < 1e-12);
@@ -343,7 +366,7 @@ mod tests {
             rec(3, day, "2001:db8::a1b2:c3d4:e5f6:1789", 1, "US"),
             rec(4, day, "2001:db8::ffff:c3d4:e5f6:2789", 1, "US"),
         ];
-        let p = client_patterns(&DatasetIndex::build(&recs));
+        let p = client_patterns(&DatasetIndex::from_records(&recs));
         assert_eq!(p.v6_users, 4);
         assert!((p.transition_share - 0.25).abs() < 1e-12);
         assert!((p.mac_embedded_share - 0.25).abs() < 1e-12);
@@ -358,7 +381,7 @@ mod tests {
             rec(1, day, "2001:db8:1::211:22ff:fe33:4455", 1, "US"),
             rec(1, day, "2001:db8:2::aa11:22ff:fe33:9999", 1, "US"),
         ];
-        let p = client_patterns(&DatasetIndex::build(&recs));
+        let p = client_patterns(&DatasetIndex::from_records(&recs));
         assert_eq!(p.iid_reuse_share, 0.0);
     }
 
@@ -370,7 +393,7 @@ mod tests {
             rec(1, day, "10.0.0.1", 1, "US"),
             rec(2, day, "10.0.0.2", 1, "US"),
         ];
-        let c = requests_per_user(&DatasetIndex::build(&recs));
+        let c = requests_per_user(&DatasetIndex::from_records(&recs));
         assert_eq!(c.get(&UserId(1)), 2);
         assert_eq!(c.total(), 3);
     }

@@ -1,48 +1,53 @@
-//! A per-window dataset index: the same records re-ordered for group-by.
+//! A per-window dataset index: the same columns re-ordered for group-by.
 //!
-//! Every analysis in §4–§6 is a group-by over one windowed record slice —
-//! per user, per address, or per prefix. Before this index existed each pass
-//! rebuilt its own `HashMap<_, Vec<_>>` grouping over the same window;
-//! building a [`DatasetIndex`] once per window turns all of those into plain
-//! slice walks, and the index is immutable so the parallel analysis engine
-//! can share it across worker threads.
+//! Every analysis in §4–§6 is a group-by over one windowed slice — per
+//! user, per address, or per prefix. The index gathers a window's columns
+//! into two key-sorted copies once per window, and the index is immutable
+//! so the parallel analysis engine can share it across worker threads.
 //!
 //! # Layout
 //!
-//! The index holds the window's records twice, re-ordered:
+//! The index holds the window's **columns** twice, re-ordered:
 //!
-//! - `by_user`: stable-sorted by user id, so each user's records form one
-//!   contiguous run, *in the original timestamp order within the run*;
-//! - `by_ip`: sorted by full source address ([`IpAddr`]'s total order:
-//!   all v4 before all v6, numeric within each family), likewise contiguous
-//!   per address with timestamp order preserved inside each run. Sorting by
-//!   the full address — not the folded `ip_key` — means two properties hold:
-//!   distinct addresses never share a run, and all v6 addresses under a
-//!   common prefix are adjacent, so per-prefix analyses at any length are
-//!   walks over consecutive runs.
+//! - `by_user`: stable-sorted by dense user id, so each user's rows form
+//!   one contiguous run, *in the original timestamp order within the run*;
+//! - `by_ip`: stable-sorted by [`IpId`]. The id packing (family bit, then
+//!   per-family ascending address index) makes the `u32` sort identical to
+//!   sorting by full [`IpAddr`]: distinct addresses never share a run, and
+//!   all v6 addresses under a common prefix are adjacent, so per-prefix
+//!   analyses at any length are walks over consecutive runs — at the
+//!   precomputed lengths (/64, /56, /48) they are walks over a precomputed
+//!   prefix-id column.
 //!
 //! Run boundaries are precomputed (`*_starts`), and the distinct-user /
-//! distinct-address tables fall out of the run keys for free.
+//! distinct-address tables fall out of the run keys for free. Groups are
+//! served as [`ColumnSlice`] windows: column access for the hot passes, a
+//! lazy [`records()`](ColumnSlice::records) cursor for the rest.
 //!
 //! # Determinism
 //!
 //! [`DatasetIndex::build`] (sort-based) and [`DatasetIndex::build_naive`]
-//! (hash-group-then-sort-keys, the shape the passes used before) produce
-//! byte-identical indexes: both order groups by ascending key, and both
-//! preserve the input (timestamp) order within a group — the stable sort by
-//! construction, the naive path because records are appended to group
-//! vectors in input order. The equivalence is pinned by a unit test here and
-//! end-to-end by `tests/analysis_equivalence.rs`.
+//! (hash-group-then-sort-keys, the pre-index shape) produce byte-identical
+//! indexes: both order groups by ascending key, and both preserve the
+//! input (timestamp) order within a group. Because dense ids are assigned
+//! in ascending raw-key order (see
+//! [`ipv6_study_telemetry::EntityTables`]), ascending-dense
+//! group order is exactly the ascending `UserId` / `IpAddr` order the
+//! row-oriented index produced. The equivalence is pinned by a unit test
+//! here and end-to-end by `tests/analysis_equivalence.rs`.
 
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
-use ipv6_study_telemetry::{RequestRecord, UserId};
+use ipv6_study_telemetry::columns::{ColumnSlice, ColumnStore};
+use ipv6_study_telemetry::intern::{EntityTables, IpId};
+use ipv6_study_telemetry::{OwnedColumns, RequestRecord, UserId};
 
 /// How a [`DatasetIndex`] groups records — functionally identical paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IndexMode {
-    /// Stable sort by key (the fast production path).
+    /// Stable sort by dense key (the fast production path).
     #[default]
     Sorted,
     /// Hash-map grouping, keys sorted afterwards (the pre-index shape;
@@ -50,59 +55,115 @@ pub enum IndexMode {
     Naive,
 }
 
-/// An immutable group-by index over one windowed record slice.
+/// An immutable group-by index over one windowed column slice.
 #[derive(Debug, Clone, Default)]
 pub struct DatasetIndex {
-    by_user: Vec<RequestRecord>,
+    tables: Arc<EntityTables>,
+    by_user: ColumnStore,
     users: Vec<UserId>,
     user_starts: Vec<usize>,
-    by_ip: Vec<RequestRecord>,
+    by_ip: ColumnStore,
     ips: Vec<IpAddr>,
+    ip_ids: Vec<IpId>,
     ip_starts: Vec<usize>,
+}
+
+/// Computes the permutation that stable-sorts a key column ascending.
+fn sort_perm<K: Ord>(n: usize, key_at: impl Fn(usize) -> K) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_by_key(|&i| key_at(i as usize));
+    perm
+}
+
+/// The reference permutation: hash-map buckets (append order = input
+/// order), groups concatenated in ascending key order.
+fn naive_perm<K: Ord + Eq + std::hash::Hash + Copy>(
+    n: usize,
+    key_at: impl Fn(usize) -> K,
+) -> Vec<u32> {
+    let mut groups: HashMap<K, Vec<u32>> = HashMap::new();
+    for i in 0..n as u32 {
+        groups.entry(key_at(i as usize)).or_default().push(i);
+    }
+    let mut keys: Vec<K> = groups.keys().copied().collect();
+    keys.sort_unstable();
+    let mut perm = Vec::with_capacity(n);
+    for k in &keys {
+        perm.extend_from_slice(&groups[k]);
+    }
+    perm
+}
+
+/// Gathers a window's columns through a permutation.
+fn gather(cols: ColumnSlice<'_>, perm: &[u32]) -> ColumnStore {
+    let at = |i: &u32| *i as usize;
+    ColumnStore {
+        ts: perm.iter().map(|i| cols.ts()[at(i)]).collect(),
+        ip: perm.iter().map(|i| cols.ip_ids()[at(i)]).collect(),
+        user: perm.iter().map(|i| cols.users_dense()[at(i)]).collect(),
+        asn: perm.iter().map(|i| cols.asns()[at(i)]).collect(),
+        country: perm.iter().map(|i| cols.countries()[at(i)]).collect(),
+    }
+}
+
+/// Finds run boundaries in a key-sorted column. Returns the run keys and
+/// start offsets, with a trailing sentinel offset (`keys.len()`).
+fn runs<K: PartialEq + Copy>(col: &[K]) -> (Vec<K>, Vec<usize>) {
+    let mut keys = Vec::new();
+    let mut starts = Vec::new();
+    for (i, &k) in col.iter().enumerate() {
+        if keys.last() != Some(&k) {
+            keys.push(k);
+            starts.push(i);
+        }
+    }
+    starts.push(col.len());
+    (keys, starts)
 }
 
 impl DatasetIndex {
     /// Builds the index with stable sorts (the production path).
-    pub fn build(records: &[RequestRecord]) -> Self {
-        Self::with_mode(records, IndexMode::Sorted)
+    pub fn build(cols: ColumnSlice<'_>) -> Self {
+        Self::with_mode(cols, IndexMode::Sorted)
     }
 
     /// Builds the index via hash-map grouping (the reference path).
-    pub fn build_naive(records: &[RequestRecord]) -> Self {
-        Self::with_mode(records, IndexMode::Naive)
+    pub fn build_naive(cols: ColumnSlice<'_>) -> Self {
+        Self::with_mode(cols, IndexMode::Naive)
+    }
+
+    /// Builds the index from a row slice by interning a local table set —
+    /// the unit-test convenience path.
+    pub fn from_records(records: &[RequestRecord]) -> Self {
+        let owned = OwnedColumns::from_records(records);
+        Self::build(owned.as_slice())
     }
 
     /// Builds the index using the given grouping mode.
-    pub fn with_mode(records: &[RequestRecord], mode: IndexMode) -> Self {
-        match mode {
-            IndexMode::Sorted => {
-                let mut by_user = records.to_vec();
-                by_user.sort_by_key(|r| r.user);
-                let (users, user_starts) = runs(&by_user, |r| r.user);
-                let mut by_ip = records.to_vec();
-                by_ip.sort_by_key(|r| r.ip);
-                let (ips, ip_starts) = runs(&by_ip, |r| r.ip);
-                Self {
-                    by_user,
-                    users,
-                    user_starts,
-                    by_ip,
-                    ips,
-                    ip_starts,
-                }
-            }
-            IndexMode::Naive => {
-                let (by_user, users, user_starts) = naive(records, |r| r.user);
-                let (by_ip, ips, ip_starts) = naive(records, |r| r.ip);
-                Self {
-                    by_user,
-                    users,
-                    user_starts,
-                    by_ip,
-                    ips,
-                    ip_starts,
-                }
-            }
+    pub fn with_mode(cols: ColumnSlice<'_>, mode: IndexMode) -> Self {
+        let n = cols.len();
+        let user_col = cols.users_dense();
+        let ip_col = cols.ip_ids();
+        let (user_perm, ip_perm) = match mode {
+            IndexMode::Sorted => (sort_perm(n, |i| user_col[i]), sort_perm(n, |i| ip_col[i])),
+            IndexMode::Naive => (naive_perm(n, |i| user_col[i]), naive_perm(n, |i| ip_col[i])),
+        };
+        let tables = cols.tables_arc();
+        let by_user = gather(cols, &user_perm);
+        let (user_keys, user_starts) = runs(&by_user.user);
+        let users = user_keys.iter().map(|&d| tables.users.user(d)).collect();
+        let by_ip = gather(cols, &ip_perm);
+        let (ip_ids, ip_starts) = runs(&by_ip.ip);
+        let ips = ip_ids.iter().map(|&id| tables.ips.addr(id)).collect();
+        Self {
+            tables,
+            by_user,
+            users,
+            user_starts,
+            by_ip,
+            ips,
+            ip_ids,
+            ip_starts,
         }
     }
 
@@ -116,6 +177,11 @@ impl DatasetIndex {
         self.by_user.is_empty()
     }
 
+    /// The intern tables the window is encoded against.
+    pub fn tables(&self) -> &EntityTables {
+        &self.tables
+    }
+
     /// The distinct users of the window, ascending (memoized).
     pub fn distinct_users(&self) -> &[UserId] {
         &self.users
@@ -126,66 +192,58 @@ impl DatasetIndex {
         &self.ips
     }
 
-    /// Iterates `(user, records)` groups in ascending user order; records
-    /// within a group keep the window's timestamp order.
-    pub fn user_groups(&self) -> impl Iterator<Item = (UserId, &[RequestRecord])> {
+    /// The distinct interned address ids of the window, ascending.
+    pub fn distinct_ip_ids(&self) -> &[IpId] {
+        &self.ip_ids
+    }
+
+    /// Iterates `(user, group)` in ascending user order; rows within a
+    /// group keep the window's timestamp order.
+    pub fn user_groups(&self) -> impl Iterator<Item = (UserId, ColumnSlice<'_>)> {
         self.users.iter().enumerate().map(|(i, &u)| {
             (
                 u,
-                &self.by_user[self.user_starts[i]..self.user_starts[i + 1]],
+                self.by_user
+                    .slice(self.user_starts[i]..self.user_starts[i + 1], &self.tables),
             )
         })
     }
 
-    /// Iterates `(address, records)` groups in ascending [`IpAddr`] order;
-    /// records within a group keep the window's timestamp order.
-    pub fn ip_groups(&self) -> impl Iterator<Item = (IpAddr, &[RequestRecord])> {
-        self.ips
-            .iter()
-            .enumerate()
-            .map(|(i, &ip)| (ip, &self.by_ip[self.ip_starts[i]..self.ip_starts[i + 1]]))
+    /// Iterates `(address, group)` in ascending [`IpAddr`] order; rows
+    /// within a group keep the window's timestamp order.
+    pub fn ip_groups(&self) -> impl Iterator<Item = (IpAddr, ColumnSlice<'_>)> {
+        self.ips.iter().enumerate().map(|(i, &ip)| {
+            (
+                ip,
+                self.by_ip
+                    .slice(self.ip_starts[i]..self.ip_starts[i + 1], &self.tables),
+            )
+        })
     }
-}
 
-/// Finds run boundaries in a key-sorted record slice. Returns the run keys
-/// and start offsets, with a trailing sentinel offset (`records.len()`).
-fn runs<K: PartialEq + Copy>(
-    records: &[RequestRecord],
-    key_of: impl Fn(&RequestRecord) -> K,
-) -> (Vec<K>, Vec<usize>) {
-    let mut keys = Vec::new();
-    let mut starts = Vec::new();
-    for (i, r) in records.iter().enumerate() {
-        let k = key_of(r);
-        if keys.last() != Some(&k) {
-            keys.push(k);
-            starts.push(i);
-        }
+    /// Iterates `(address id, group)` in ascending [`IpId`] order — the
+    /// column-native variant of [`DatasetIndex::ip_groups`] for passes
+    /// that work over interned ids (prefix walks, radix tallies).
+    pub fn ip_id_groups(&self) -> impl Iterator<Item = (IpId, ColumnSlice<'_>)> {
+        self.ip_ids.iter().enumerate().map(|(i, &id)| {
+            (
+                id,
+                self.by_ip
+                    .slice(self.ip_starts[i]..self.ip_starts[i + 1], &self.tables),
+            )
+        })
     }
-    starts.push(records.len());
-    (keys, starts)
-}
 
-/// The reference grouping: hash-map buckets (append order = input order),
-/// then groups concatenated in ascending key order.
-fn naive<K: Eq + std::hash::Hash + Ord + Copy>(
-    records: &[RequestRecord],
-    key_of: impl Fn(&RequestRecord) -> K,
-) -> (Vec<RequestRecord>, Vec<K>, Vec<usize>) {
-    let mut groups: HashMap<K, Vec<RequestRecord>> = HashMap::new();
-    for r in records {
-        groups.entry(key_of(r)).or_default().push(*r);
+    /// Heap bytes held by the index's gathered columns and run tables
+    /// (the `analysis.index_bytes` gauge; shared intern tables excluded).
+    pub fn bytes(&self) -> usize {
+        self.by_user.bytes()
+            + self.by_ip.bytes()
+            + self.users.len() * std::mem::size_of::<UserId>()
+            + self.ips.len() * std::mem::size_of::<IpAddr>()
+            + self.ip_ids.len() * std::mem::size_of::<IpId>()
+            + (self.user_starts.len() + self.ip_starts.len()) * std::mem::size_of::<usize>()
     }
-    let mut keys: Vec<K> = groups.keys().copied().collect();
-    keys.sort_unstable();
-    let mut flat = Vec::with_capacity(records.len());
-    let mut starts = Vec::with_capacity(keys.len() + 1);
-    for k in &keys {
-        starts.push(flat.len());
-        flat.extend_from_slice(&groups[k]);
-    }
-    starts.push(flat.len());
-    (flat, keys, starts)
 }
 
 #[cfg(test)]
@@ -217,7 +275,7 @@ mod tests {
 
     #[test]
     fn groups_are_key_ascending_with_input_order_inside() {
-        let idx = DatasetIndex::build(&window());
+        let idx = DatasetIndex::from_records(&window());
         assert_eq!(idx.len(), 6);
         assert!(!idx.is_empty());
         assert_eq!(
@@ -229,25 +287,33 @@ mod tests {
         assert_eq!(groups, vec![(UserId(1), 2), (UserId(2), 1), (UserId(3), 3)]);
         // Within user 3's run, timestamps ascend (stable sort).
         let g3 = idx.user_groups().find(|(u, _)| *u == UserId(3)).unwrap().1;
-        assert!(g3.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(g3.ts().windows(2).all(|w| w[0] <= w[1]));
+        // Groups rematerialize the original rows.
+        let g3_users: Vec<UserId> = g3.records().map(|r| r.user).collect();
+        assert_eq!(g3_users, vec![UserId(3); 3]);
 
         // IP groups: v4 sorts before v6 under IpAddr's order.
         let ips: Vec<IpAddr> = idx.ip_groups().map(|(ip, _)| ip).collect();
         assert_eq!(ips, idx.distinct_ips());
         assert_eq!(ips[0], "10.0.0.1".parse::<IpAddr>().unwrap());
         assert!(ips.windows(2).all(|w| w[0] < w[1]));
+        // Id order matches address order.
+        assert!(idx.distinct_ip_ids().windows(2).all(|w| w[0] < w[1]));
         let shared = idx
             .ip_groups()
             .find(|(ip, _)| *ip == "2001:db8:1::a".parse::<IpAddr>().unwrap())
             .unwrap();
         assert_eq!(shared.1.len(), 3);
+        assert_eq!(idx.ip_id_groups().count(), idx.distinct_ips().len());
+        assert!(idx.bytes() > 0);
     }
 
     #[test]
     fn naive_and_sorted_paths_are_identical() {
         let recs = window();
-        let a = DatasetIndex::build(&recs);
-        let b = DatasetIndex::build_naive(&recs);
+        let owned = OwnedColumns::from_records(&recs);
+        let a = DatasetIndex::build(owned.as_slice());
+        let b = DatasetIndex::build_naive(owned.as_slice());
         assert_eq!(a.by_user, b.by_user);
         assert_eq!(a.users, b.users);
         assert_eq!(a.user_starts, b.user_starts);
@@ -259,7 +325,8 @@ mod tests {
     #[test]
     fn empty_window_is_safe() {
         for mode in [IndexMode::Sorted, IndexMode::Naive] {
-            let idx = DatasetIndex::with_mode(&[], mode);
+            let owned = OwnedColumns::from_records(&[]);
+            let idx = DatasetIndex::with_mode(owned.as_slice(), mode);
             assert!(idx.is_empty());
             assert_eq!(idx.user_groups().count(), 0);
             assert_eq!(idx.ip_groups().count(), 0);

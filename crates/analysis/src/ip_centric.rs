@@ -6,22 +6,24 @@
 //! (Figures 9–10), joined with abuse labels.
 //!
 //! All functions walk a [`DatasetIndex`]'s per-address runs. Because the
-//! index orders addresses by [`IpAddr`]'s total order (numeric within each
-//! family), every set of v6 addresses sharing a prefix is a *consecutive*
-//! range of runs — the per-prefix analyses aggregate neighboring runs
-//! instead of building a per-prefix hash map.
+//! index orders address ids by [`IpAddr`]'s total order (numeric within
+//! each family), every set of v6 addresses sharing a prefix is a
+//! *consecutive* range of runs — the per-prefix analyses aggregate
+//! neighboring runs over the intern table's **precomputed** /64 /56 /48
+//! prefix-id columns instead of building a per-prefix hash map, and user
+//! dedup happens on dense `u32` ids.
 
 use std::net::IpAddr;
 
 use ipv6_study_netaddr::Ipv6Prefix;
 use ipv6_study_stats::{Ecdf, StableHashMap};
-use ipv6_study_telemetry::{AbuseLabels, RequestRecord, UserId};
+use ipv6_study_telemetry::{AbuseLabels, ColumnSlice, UserId};
 
 use crate::index::DatasetIndex;
 
 /// The distinct users of one address run (records keep one address).
-fn distinct_users_of(group: &[RequestRecord]) -> u64 {
-    let mut users: Vec<UserId> = group.iter().map(|r| r.user).collect();
+fn distinct_users_of(group: ColumnSlice<'_>) -> u64 {
+    let mut users: Vec<u32> = group.users_dense().to_vec();
     users.sort_unstable();
     users.dedup();
     users.len() as u64
@@ -87,21 +89,16 @@ impl AbusePerIp {
 }
 
 /// Splits one run's users into (abusive, benign) distinct counts.
-fn split_users(group: &[RequestRecord], labels: &AbuseLabels) -> (u64, u64) {
-    let mut aa: Vec<UserId> = Vec::new();
-    let mut benign: Vec<UserId> = Vec::new();
-    for r in group {
-        if labels.is_abusive(r.user) {
-            aa.push(r.user);
-        } else {
-            benign.push(r.user);
-        }
-    }
-    for v in [&mut aa, &mut benign] {
-        v.sort_unstable();
-        v.dedup();
-    }
-    (aa.len() as u64, benign.len() as u64)
+fn split_users(group: ColumnSlice<'_>, labels: &AbuseLabels) -> (u64, u64) {
+    let mut users: Vec<u32> = group.users_dense().to_vec();
+    users.sort_unstable();
+    users.dedup();
+    let user_table = &group.tables().users;
+    let aa = users
+        .iter()
+        .filter(|&&d| labels.is_abusive(user_table.user(d)))
+        .count() as u64;
+    (aa, users.len() as u64 - aa)
 }
 
 /// Computes Figure 8 over the window with the label set.
@@ -147,28 +144,44 @@ pub struct UsersPerPrefix {
 /// `len`, calling `emit(prefix, users_of_prefix)` once per prefix. The
 /// user list handed to `emit` is sorted and deduplicated.
 fn walk_prefix_runs(index: &DatasetIndex, len: u8, mut emit: impl FnMut(Ipv6Prefix, &[UserId])) {
-    let mut cur: Option<(Ipv6Prefix, Vec<UserId>)> = None;
-    for (_, group) in index.ip_groups() {
-        // All records of a run share one address; classify via the first.
-        let Some(p) = group[0].v6_prefix(len) else {
+    let tables = index.tables();
+    let ips = &tables.ips;
+    // At the precomputed lengths the prefix bits come straight out of the
+    // per-entry prefix-id columns; other lengths mask the stored bits.
+    let bits_of = |id: ipv6_study_telemetry::IpId| -> u128 {
+        match len {
+            64 => ips.p64_bits(ips.p64_id(id)),
+            56 => ips.p56_bits(ips.p56_id(id)),
+            48 => ips.p48_bits(ips.p48_id(id)),
+            _ => ips.v6_bits(id) & Ipv6Prefix::mask(len),
+        }
+    };
+    // Dense user ids ascend exactly as raw `UserId`s do, so the sorted
+    // dedup below hands `emit` the same sorted user list as before.
+    let mut flush = |bits: u128, mut dense: Vec<u32>| {
+        dense.sort_unstable();
+        dense.dedup();
+        let users: Vec<UserId> = dense.iter().map(|&d| tables.users.user(d)).collect();
+        emit(Ipv6Prefix::from_bits(bits, len), &users);
+    };
+    let mut cur: Option<(u128, Vec<u32>)> = None;
+    for (id, group) in index.ip_id_groups() {
+        if !id.is_v6() {
             continue;
-        };
+        }
+        let bits = bits_of(id);
         match &mut cur {
-            Some((cp, users)) if *cp == p => users.extend(group.iter().map(|r| r.user)),
+            Some((cb, users)) if *cb == bits => users.extend_from_slice(group.users_dense()),
             _ => {
-                if let Some((cp, mut users)) = cur.take() {
-                    users.sort_unstable();
-                    users.dedup();
-                    emit(cp, &users);
+                if let Some((cb, users)) = cur.take() {
+                    flush(cb, users);
                 }
-                cur = Some((p, group.iter().map(|r| r.user).collect()));
+                cur = Some((bits, group.users_dense().to_vec()));
             }
         }
     }
-    if let Some((cp, mut users)) = cur.take() {
-        users.sort_unstable();
-        users.dedup();
-        emit(cp, &users);
+    if let Some((cb, users)) = cur.take() {
+        flush(cb, users);
     }
 }
 
@@ -230,7 +243,7 @@ pub fn users_per_v4_addr(index: &DatasetIndex) -> Ecdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipv6_study_telemetry::{AbuseInfo, Asn, Country, SimDate};
+    use ipv6_study_telemetry::{AbuseInfo, Asn, Country, RequestRecord, SimDate};
 
     fn rec(user: u64, ip: &str) -> RequestRecord {
         RequestRecord {
@@ -243,7 +256,7 @@ mod tests {
     }
 
     fn idx(recs: &[RequestRecord]) -> DatasetIndex {
-        DatasetIndex::build(recs)
+        DatasetIndex::from_records(recs)
     }
 
     fn labels_for(ids: &[u64]) -> AbuseLabels {

@@ -16,7 +16,7 @@ use ipv6_study_netaddr::{IidClass, Ipv6Prefix};
 use ipv6_study_stats::counter::TopK;
 use ipv6_study_stats::extrapolate::prevalence_ratio;
 use ipv6_study_stats::StableHashMap;
-use ipv6_study_telemetry::{Asn, RequestRecord, UserId};
+use ipv6_study_telemetry::{Asn, ColumnSlice, UserId};
 
 use crate::index::DatasetIndex;
 
@@ -112,7 +112,7 @@ pub fn heavy_ip_asn_concentration<S: BuildHasher>(
             continue;
         }
         if counts.get(&ip).is_some_and(|&c| c > threshold) {
-            topk.add(group[0].asn.0, 1);
+            topk.add(group.asns()[0].0, 1);
         }
     }
     let ranked: Vec<(Asn, u64)> = topk
@@ -130,19 +130,22 @@ pub fn heavy_ip_asn_concentration<S: BuildHasher>(
 
 /// Same concentration analysis for heavy IPv6 prefixes.
 ///
-/// Stays record-slice based: a prefix's attributed ASN is the one of its
+/// Stays window-order based: a prefix's attributed ASN is the one of its
 /// first record in timestamp order, which a per-address walk cannot recover
-/// when equal-timestamp records of one prefix span several addresses.
+/// when equal-timestamp records of one prefix span several addresses. The
+/// scan reads the id and ASN columns in window (timestamp) order.
 pub fn heavy_prefix_asn_concentration<S: BuildHasher>(
-    records: &[RequestRecord],
+    records: ColumnSlice<'_>,
     counts: &HashMap<Ipv6Prefix, u64, S>,
     threshold: u64,
 ) -> AsnConcentration {
     let mut asn_of: StableHashMap<Ipv6Prefix, Asn> = StableHashMap::default();
     let len = counts.keys().next().map_or(64, |p| p.len());
-    for r in records {
-        if let Some(p) = r.v6_prefix(len) {
-            asn_of.entry(p).or_insert(r.asn);
+    let ips = &records.tables().ips;
+    for (&id, &asn) in records.ip_ids().iter().zip(records.asns()) {
+        if id.is_v6() {
+            let p = Ipv6Prefix::from_bits(ips.v6_bits(id), len);
+            asn_of.entry(p).or_insert(asn);
         }
     }
     let mut topk: TopK<u32> = TopK::new();
@@ -209,7 +212,7 @@ pub fn signature_predictability<S: BuildHasher>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipv6_study_telemetry::{Country, SimDate};
+    use ipv6_study_telemetry::{Country, OwnedColumns, RequestRecord, SimDate};
 
     fn rec(user: u64, ip: &str, asn: u32) -> RequestRecord {
         RequestRecord {
@@ -271,7 +274,8 @@ mod tests {
         .into_iter()
         .map(|(s, c)| (s.parse().unwrap(), c))
         .collect();
-        let c = heavy_ip_asn_concentration(&DatasetIndex::build(&records), &counts, 1000, true);
+        let c =
+            heavy_ip_asn_concentration(&DatasetIndex::from_records(&records), &counts, 1000, true);
         assert_eq!(c.asns, 2);
         assert_eq!(c.ranked[0], (Asn(20057), 2));
         assert!((c.top1_share - 2.0 / 3.0).abs() < 1e-12);
@@ -289,7 +293,8 @@ mod tests {
                 .into_iter()
                 .map(|(s, c)| (s.parse().unwrap(), c))
                 .collect();
-        let c = heavy_prefix_asn_concentration(&records, &counts, 10_000);
+        let owned = OwnedColumns::from_records(&records);
+        let c = heavy_prefix_asn_concentration(owned.as_slice(), &counts, 10_000);
         assert_eq!(c.asns, 2);
         assert!((c.top1_share - 0.5).abs() < 1e-12);
     }

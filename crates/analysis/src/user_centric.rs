@@ -5,14 +5,14 @@
 //! the user random sample for one day or one week) and an account filter so
 //! the same code computes the benign-user figures (2, 4a, 5, 6a) and the
 //! abusive-account figures (3, 4b, 6b). Groupings are walks over the
-//! index's per-user runs; the results are value-identical to the hash-map
-//! groupings these functions used before the index existed.
-
-use std::net::IpAddr;
+//! index's per-user runs, and the inner loops read interned id columns —
+//! dedup and prefix masking happen on `u32`/`u128` ids and bits, never on
+//! rematerialized records. Because id order is isomorphic to address
+//! order, the results are value-identical to the row-oriented versions.
 
 use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix};
 use ipv6_study_stats::{Ecdf, StableHashMap, StableHashSet};
-use ipv6_study_telemetry::{SimDate, UserId};
+use ipv6_study_telemetry::{IpId, SimDate, UserId};
 
 use crate::index::DatasetIndex;
 
@@ -38,10 +38,10 @@ pub fn addrs_per_user(index: &DatasetIndex, filter: impl Fn(UserId) -> bool) -> 
         if !filter(user) {
             continue;
         }
-        let mut v4: Vec<IpAddr> = Vec::new();
-        let mut v6: Vec<IpAddr> = Vec::new();
-        for r in group {
-            if r.is_v6() { &mut v6 } else { &mut v4 }.push(r.ip);
+        let mut v4: Vec<IpId> = Vec::new();
+        let mut v6: Vec<IpId> = Vec::new();
+        for &id in group.ip_ids() {
+            if id.is_v6() { &mut v6 } else { &mut v4 }.push(id);
         }
         for (addrs, counts) in [(&mut v4, &mut v4_counts), (&mut v6, &mut v6_counts)] {
             addrs.sort_unstable();
@@ -80,13 +80,16 @@ fn distinct_v6_addrs_per_user(
     filter: impl Fn(UserId) -> bool,
 ) -> Vec<Vec<u128>> {
     let mut per_user = Vec::new();
+    let ips = &index.tables().ips;
     for (user, group) in index.user_groups() {
         if !filter(user) {
             continue;
         }
         let mut addrs: Vec<u128> = group
+            .ip_ids()
             .iter()
-            .filter_map(|r| r.ipv6().map(u128::from))
+            .filter(|id| id.is_v6())
+            .map(|&id| ips.v6_bits(id))
             .collect();
         addrs.sort_unstable();
         addrs.dedup();
@@ -153,13 +156,16 @@ pub fn prefix_counts_per_user(
     filter: impl Fn(UserId) -> bool,
 ) -> StableHashMap<UserId, u64> {
     let mut counts: StableHashMap<UserId, u64> = StableHashMap::default();
+    let ips = &index.tables().ips;
     for (user, group) in index.user_groups() {
         if !filter(user) {
             continue;
         }
         let mut prefixes: Vec<u128> = group
+            .ip_ids()
             .iter()
-            .filter_map(|r| r.ipv6().map(|a| u128::from(a) & Ipv6Prefix::mask(len)))
+            .filter(|id| id.is_v6())
+            .map(|&id| ips.v6_bits(id) & Ipv6Prefix::mask(len))
             .collect();
         prefixes.sort_unstable();
         prefixes.dedup();
@@ -199,27 +205,27 @@ pub fn address_lifespans(
         if !filter(user) {
             continue;
         }
-        // First-seen date per address of this user.
-        let mut first: StableHashMap<IpAddr, SimDate> = StableHashMap::default();
-        let mut on_focus: StableHashSet<IpAddr> = StableHashSet::default();
-        for r in group {
-            let d = r.ts.date();
+        // First-seen date per address id of this user.
+        let mut first: StableHashMap<IpId, SimDate> = StableHashMap::default();
+        let mut on_focus: StableHashSet<IpId> = StableHashSet::default();
+        for (&ts, &id) in group.ts().iter().zip(group.ip_ids()) {
+            let d = ts.date();
             if d > focus {
                 continue;
             }
             first
-                .entry(r.ip)
+                .entry(id)
                 .and_modify(|e| *e = (*e).min(d))
                 .or_insert(d);
             if d == focus {
-                on_focus.insert(r.ip);
+                on_focus.insert(id);
             }
         }
         let mut v4_spans: Vec<u64> = Vec::new();
         let mut v6_spans: Vec<u64> = Vec::new();
-        for ip in &on_focus {
-            let span = u64::from(focus.days_since(first[ip]));
-            if matches!(ip, IpAddr::V6(_)) {
+        for id in &on_focus {
+            let span = u64::from(focus.days_since(first[id]));
+            if id.is_v6() {
                 v6_spans.push(span);
             } else {
                 v4_spans.push(span);
@@ -267,6 +273,7 @@ pub fn prefix_lifespans(
     want_v6: bool,
     filter: impl Fn(UserId) -> bool,
 ) -> Vec<PrefixLifespanRow> {
+    let ips = &history.tables().ips;
     lengths
         .iter()
         .map(|&len| {
@@ -278,17 +285,18 @@ pub fn prefix_lifespans(
                 }
                 let mut first: StableHashMap<u128, SimDate> = StableHashMap::default();
                 let mut on_focus: StableHashSet<u128> = StableHashSet::default();
-                for r in group {
-                    if r.is_v6() != want_v6 {
+                for (&ts, &id) in group.ts().iter().zip(group.ip_ids()) {
+                    if id.is_v6() != want_v6 {
                         continue;
                     }
-                    let day = r.ts.date();
+                    let day = ts.date();
                     if day > focus {
                         continue;
                     }
-                    let bits = match r.ip {
-                        IpAddr::V6(a) => u128::from(a) & Ipv6Prefix::mask(len),
-                        IpAddr::V4(a) => u128::from(u32::from(a) & Ipv4Prefix::mask(len.min(32))),
+                    let bits = if id.is_v6() {
+                        ips.v6_bits(id) & Ipv6Prefix::mask(len)
+                    } else {
+                        u128::from(ips.v4_bits(id) & Ipv4Prefix::mask(len.min(32)))
                     };
                     first
                         .entry(bits)
@@ -349,7 +357,7 @@ mod tests {
     }
 
     fn idx(recs: &[RequestRecord]) -> DatasetIndex {
-        DatasetIndex::build(recs)
+        DatasetIndex::from_records(recs)
     }
 
     #[test]

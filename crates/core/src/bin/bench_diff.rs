@@ -5,14 +5,18 @@
 //!
 //! ```text
 //! cargo run --release -p ipv6-study-core --bin bench_diff -- \
-//!     baseline.json current.json [--max-regression PCT]
+//!     baseline.json current.json [--max-regression PCT] \
+//!     [--max-memory-regression PCT]
 //! ```
 //!
 //! Prints a per-figure wall-clock diff plus the engine phase walls, then
 //! exits 1 when the current total analysis wall exceeds the baseline by
 //! more than `--max-regression` percent (default 25) *and* by more than
 //! an absolute noise floor (50ms) — so sub-noise blips on tiny baselines
-//! never fail CI. Exit 2 means bad usage or an unreadable document.
+//! never fail CI. With `--max-memory-regression`, also gates the frozen
+//! store footprint (`sim.store_bytes`, a schema-v2 field): deterministic
+//! byte counts get no noise floor, any growth past the budget fails.
+//! Exit 2 means bad usage or an unreadable document.
 //! Timing comparisons only make sense between runs of the same scale and
 //! machine class; CI diffs a fresh run against the committed baseline.
 
@@ -23,7 +27,10 @@ const NOISE_FLOOR_SECS: f64 = 0.05;
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: bench_diff <baseline.json> <current.json> [--max-regression PCT]");
+    eprintln!(
+        "usage: bench_diff <baseline.json> <current.json> \
+         [--max-regression PCT] [--max-memory-regression PCT]"
+    );
     std::process::exit(2);
 }
 
@@ -85,19 +92,27 @@ fn figure_walls(doc: &Json) -> Vec<(String, f64)> {
 fn main() {
     let mut paths = Vec::new();
     let mut max_regression_pct = 25.0;
+    let mut max_memory_regression_pct: Option<f64> = None;
+    let parse_pct = |v: &str| -> f64 {
+        v.parse()
+            .unwrap_or_else(|_| usage_exit(&format!("bad percentage `{v}`")))
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--max-regression" {
             let Some(v) = args.next() else {
                 usage_exit("--max-regression needs a value")
             };
-            max_regression_pct = v
-                .parse()
-                .unwrap_or_else(|_| usage_exit(&format!("bad percentage `{v}`")));
+            max_regression_pct = parse_pct(&v);
         } else if let Some(v) = arg.strip_prefix("--max-regression=") {
-            max_regression_pct = v
-                .parse()
-                .unwrap_or_else(|_| usage_exit(&format!("bad percentage `{v}`")));
+            max_regression_pct = parse_pct(v);
+        } else if arg == "--max-memory-regression" {
+            let Some(v) = args.next() else {
+                usage_exit("--max-memory-regression needs a value")
+            };
+            max_memory_regression_pct = Some(parse_pct(&v));
+        } else if let Some(v) = arg.strip_prefix("--max-memory-regression=") {
+            max_memory_regression_pct = Some(parse_pct(v));
         } else {
             paths.push(arg);
         }
@@ -151,11 +166,42 @@ fn main() {
     };
     println!("\ntotal analysis wall: {base_total:.4}s -> {cur_total:.4}s ({pct:+.1}%)");
 
+    let mut failed = false;
     if pct > max_regression_pct && delta > NOISE_FLOOR_SECS {
         eprintln!(
             "FAIL: total analysis wall regressed {pct:.1}% \
              (limit {max_regression_pct:.0}%, floor {NOISE_FLOOR_SECS}s)"
         );
+        failed = true;
+    }
+
+    // Memory gate: store bytes are deterministic for a given config, so
+    // the budget applies without a noise floor. A baseline without the
+    // field (schema v1) or with a zero footprint (uninstrumented) can't
+    // be compared and skips the gate with a notice.
+    if let Some(limit_pct) = max_memory_regression_pct {
+        let base_bytes = number_at(&baseline, "sim.store_bytes");
+        let cur_bytes = number_at(&current, "sim.store_bytes");
+        match (base_bytes, cur_bytes) {
+            (Some(base), Some(cur)) if base > 0.0 => {
+                let mem_pct = 100.0 * (cur - base) / base;
+                println!("store bytes: {:.0} -> {:.0} ({mem_pct:+.1}%)", base, cur);
+                if mem_pct > limit_pct {
+                    eprintln!(
+                        "FAIL: sim.store_bytes regressed {mem_pct:.1}% \
+                         (limit {limit_pct:.0}%)"
+                    );
+                    failed = true;
+                }
+            }
+            _ => println!(
+                "store bytes: baseline has no usable sim.store_bytes \
+                 (pre-v2 schema or uninstrumented); memory gate skipped"
+            ),
+        }
+    }
+
+    if failed {
         std::process::exit(1);
     }
     println!("OK: within the {max_regression_pct:.0}% regression budget");

@@ -42,7 +42,7 @@ use std::collections::BTreeMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use ipv6_study_behavior::abuse::AbuseSim;
@@ -53,8 +53,8 @@ use ipv6_study_netmodel::World;
 use ipv6_study_obs::report::rate_per_sec;
 use ipv6_study_obs::timer::{time_phase, PhaseStat};
 use ipv6_study_telemetry::{
-    FrozenDatasets, FrozenStore, RequestRecord, RequestSink, RequestStore, Samplers, SimDate,
-    StudyDatasets,
+    EntityTables, FrozenDatasets, FrozenStore, RequestRecord, RequestSink, RequestStore, Samplers,
+    SimDate, StudyDatasets,
 };
 
 use crate::config::StudyConfig;
@@ -581,13 +581,21 @@ pub(crate) fn execute(
 
     // Sort phase: the merged stores sort lazily on first query; doing it
     // here makes the cost a measured driver phase instead of a surprise
-    // inside the first analysis. The sorted stores then freeze into
-    // immutable shared datasets so analysis passes can query them
-    // concurrently through `&self`.
+    // inside the first analysis. One global intern-table set is built over
+    // every store's records, then the sorted stores freeze into immutable
+    // columnar datasets encoded against those shared tables, so analysis
+    // passes can query them concurrently through `&self` and cross-store
+    // joins agree on ids.
     let t2 = Instant::now();
-    let datasets = datasets.freeze();
-    let abuse_store = abuse_store.freeze();
-    let pair_store = pair_store.freeze();
+    let tables = Arc::new(EntityTables::build(
+        datasets
+            .iter_unordered()
+            .chain(abuse_store.iter_unordered())
+            .chain(pair_store.iter_unordered()),
+    ));
+    let datasets = datasets.freeze_with(tables.clone());
+    let abuse_store = abuse_store.freeze_with(tables.clone());
+    let pair_store = pair_store.freeze_with(tables);
     let sort_wall = t2.elapsed();
 
     Ok(DriverOutput {

@@ -44,7 +44,7 @@ use ipv6_study_secapp::signatures::HeavyAddressPredictor;
 use ipv6_study_secapp::threat_exchange::{half_life, value_decay};
 use ipv6_study_stats::Ecdf;
 use ipv6_study_telemetry::time::{focus_day_ip, focus_day_user, focus_week};
-use ipv6_study_telemetry::{DateRange, RequestRecord, SimDate, UserId};
+use ipv6_study_telemetry::{ColumnSlice, DateRange, OwnedColumns, RequestRecord, SimDate, UserId};
 
 use crate::study::Study;
 
@@ -79,7 +79,7 @@ impl<'a> AnalysisCtx<'a> {
     pub fn with_mode(study: &'a Study, mode: IndexMode) -> Self {
         let focus = focus_day_user();
         let lookback = DateRange::new(focus - 27, focus);
-        let idx = |recs: &[RequestRecord]| DatasetIndex::with_mode(recs, mode);
+        let idx = |cols: ColumnSlice<'_>| DatasetIndex::with_mode(cols, mode);
         Self {
             mode,
             user_week: idx(study.datasets.user_sample.in_range(focus_week())),
@@ -93,8 +93,19 @@ impl<'a> AnalysisCtx<'a> {
     }
 
     /// Indexes a one-off window with this context's grouping mode.
-    pub fn index(&self, records: &[RequestRecord]) -> DatasetIndex {
+    pub fn index(&self, records: ColumnSlice<'_>) -> DatasetIndex {
         DatasetIndex::with_mode(records, self.mode)
+    }
+
+    /// Total heap bytes across the shared per-window indexes (reported as
+    /// the `analysis.index_bytes` gauge when instrumented).
+    fn index_bytes(&self) -> usize {
+        self.user_week.bytes()
+            + self.user_day.bytes()
+            + self.user_lookback.bytes()
+            + self.ip_day.bytes()
+            + self.ip_week.bytes()
+            + self.abuse_week.bytes()
     }
 }
 
@@ -679,7 +690,7 @@ pub fn o61_ip_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
     // address in timestamp order, exactly what the slice walk found.
     let mut asn_of = HashMap::new();
     for (ip, group) in ctx.ip_week.ip_groups() {
-        asn_of.insert(ip, group[0].asn);
+        asn_of.insert(ip, group.asns()[0]);
     }
     let predictor = HeavyAddressPredictor::learn(&week.counts, &asn_of, heavy);
     let eval = predictor.evaluate(&week.counts, &asn_of, heavy);
@@ -850,7 +861,7 @@ pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
     // Full-population day pairs: the paper's scenario without sampling
     // noise (abusive units are rare; samples would starve the curves).
     let last = focus_day_user();
-    let pair_days: Vec<(&[RequestRecord], &[RequestRecord])> = (0..3u16)
+    let pair_days: Vec<(ColumnSlice<'_>, ColumnSlice<'_>)> = (0..3u16)
         .map(|k| {
             (
                 study.pair_store.on_day(last - (k + 1)),
@@ -858,7 +869,7 @@ pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
             )
         })
         .collect();
-    for (n_recs, n1_recs) in &pair_days {
+    for &(n_recs, n1_recs) in &pair_days {
         out.record_input(n_recs.len() + n1_recs.len());
     }
     for gran in grans {
@@ -869,7 +880,7 @@ pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
             units_scored: 0,
             units_evaluated: 0,
         };
-        for (n_recs, n1_recs) in &pair_days {
+        for &(n_recs, n1_recs) in &pair_days {
             let (c, stat) = actioning_roc_timed(n_recs, n1_recs, &study.labels, gran);
             curve.extend_from(&c);
             gran_stat.wall += stat.wall;
@@ -915,7 +926,7 @@ pub fn s72_defenses(ctx: &AnalysisCtx) -> ExperimentOutput {
         (Granularity::V6Prefix(64), "v6_p64"),
         (Granularity::V4Full, "v4_addr"),
     ] {
-        let (store_day, later): (&[RequestRecord], Vec<(SimDate, &[RequestRecord])>) = match gran {
+        let (store_day, later): (ColumnSlice<'_>, Vec<(SimDate, ColumnSlice<'_>)>) = match gran {
             Granularity::V6Prefix(len) => (
                 study.datasets.prefix_sample(len).on_day(list_day),
                 (1..=6u16)
@@ -1053,14 +1064,20 @@ pub fn x81_network_breakdown(ctx: &AnalysisCtx) -> ExperimentOutput {
         ],
     );
     let labels = &study.labels;
+    let tables = day_recs.tables_arc();
     for kind in NetworkKind::ALL {
         let keep = |r: &RequestRecord| kind_of.get(&r.asn.0) == Some(&kind);
-        let ip_recs: Vec<RequestRecord> = day_recs.iter().filter(|r| keep(r)).copied().collect();
-        let us_recs: Vec<RequestRecord> = user_day.iter().filter(|r| keep(r)).copied().collect();
-        let hist: Vec<RequestRecord> = history.iter().filter(|r| keep(r)).copied().collect();
-        let upi = users_per_ip(&ctx.index(&ip_recs));
-        let apu = addrs_per_user(&ctx.index(&us_recs), |u| !labels.is_abusive(u));
-        let life = address_lifespans(&ctx.index(&hist), focus, |u| !labels.is_abusive(u));
+        // Filtered windows re-encode against the shared tables, so the
+        // per-kind indexes keep the global id space (no re-interning).
+        let select = |win: ColumnSlice<'_>| {
+            OwnedColumns::encode_with(tables.clone(), win.records().filter(keep))
+        };
+        let (ip_recs, us_recs, hist) = (select(day_recs), select(user_day), select(history));
+        let upi = users_per_ip(&ctx.index(ip_recs.as_slice()));
+        let apu = addrs_per_user(&ctx.index(us_recs.as_slice()), |u| !labels.is_abusive(u));
+        let life = address_lifespans(&ctx.index(hist.as_slice()), focus, |u| {
+            !labels.is_abusive(u)
+        });
         let tag = kind.to_string();
         let users_per_addr = upi.v6.mean().unwrap_or(0.0);
         let addrs_per = apu.v6.mean().unwrap_or(0.0);
@@ -1241,6 +1258,7 @@ pub fn run_all_with(
         }
     });
     let passes_wall = t_passes.elapsed();
+    let index_bytes = ctx.index_bytes();
     drop(ctx);
 
     // Merge in registry order, so per-figure report entries and registry
@@ -1277,6 +1295,11 @@ pub fn run_all_with(
             phase("passes", passes_wall),
             phase("total", t_total.elapsed()),
         ];
+        study
+            .report
+            .registry
+            .set_gauge("analysis.index_bytes", index_bytes as f64);
+        study.report.index_bytes = index_bytes as u64;
     }
     results
 }

@@ -91,12 +91,22 @@ impl Study {
 
         let mut metrics = out.metrics;
         metrics.total_wall = total.elapsed();
+        // Peak frozen footprint: every store's columns plus the shared
+        // intern tables, counted once (all stores point at the same Arc).
+        let store_bytes = out.datasets.bytes()
+            + out.abuse_store.bytes()
+            + out.pair_store.bytes()
+            + out.abuse_store.tables().bytes();
+        let stored_records =
+            out.datasets.retained() + out.abuse_store.len() as u64 + out.pair_store.len() as u64;
         let report = build_report(
             &config,
             &metrics,
             approx_users,
             out.datasets.retained(),
             &out.faults,
+            store_bytes as u64,
+            stored_records,
         );
         Ok(Self {
             config,
@@ -128,6 +138,8 @@ fn build_report(
     approx_users: u64,
     retained: u64,
     faults: &FaultReport,
+    store_bytes: u64,
+    stored_records: u64,
 ) -> RunReport {
     let mut report = RunReport::new(config.instrument);
     report.failure_policy = faults.policy.as_str().to_string();
@@ -224,6 +236,19 @@ fn build_report(
         .registry
         .set_gauge("sim.records_per_sec", metrics.records_per_sec());
     report
+        .registry
+        .set_gauge("sim.store_bytes", store_bytes as f64);
+    let bytes_per_record = if stored_records == 0 {
+        0.0
+    } else {
+        store_bytes as f64 / stored_records as f64
+    };
+    report
+        .registry
+        .set_gauge("sim.bytes_per_record", bytes_per_record);
+    report.store_bytes = store_bytes;
+    report.bytes_per_record = bytes_per_record;
+    report
 }
 
 #[cfg(test)]
@@ -278,7 +303,7 @@ mod tests {
     #[test]
     fn abusive_traffic_is_labeled() {
         let study = Study::run(StudyConfig::tiny()).unwrap();
-        for rec in study.abuse_store.all() {
+        for rec in study.abuse_store.all().records() {
             assert!(study.labels.is_abusive(rec.user));
         }
     }

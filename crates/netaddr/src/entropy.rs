@@ -82,8 +82,7 @@ mod tests {
 
     #[test]
     fn constant_iids_have_zero_entropy() {
-        let p =
-            EntropyProfile::compute(std::iter::repeat(0xDEAD_BEEF_0000_0001).take(100)).unwrap();
+        let p = EntropyProfile::compute(std::iter::repeat_n(0xDEAD_BEEF_0000_0001, 100)).unwrap();
         assert_eq!(p.samples, 100);
         assert!(p.mean_bits() < 1e-12);
         assert!(!p.looks_randomized());

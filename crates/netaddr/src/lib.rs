@@ -13,7 +13,7 @@
 //!   aggregation.
 //! - [`set`] — [`set::PrefixSet`]: membership of addresses in a
 //!   collection of prefixes (the blocklist data structure of §7.2).
-//! - [`aggregate`] — minimal covering sets of prefixes (blocklist and
+//! - [`mod@aggregate`] — minimal covering sets of prefixes (blocklist and
 //!   threat-feed compression).
 //! - [`entropy`] — Entropy/IP-style nybble-entropy profiling of IID
 //!   populations (randomized vs structured).

@@ -78,6 +78,20 @@ macro_rules! define_prefix {
                 }
             }
 
+            /// The masked network bits of the length-`len` prefix containing
+            /// an address given as raw bits — the precompute primitive behind
+            /// interned prefix-id columns, equal to
+            /// `Self::containing(addr, len).bits()` without constructing the
+            /// prefix value.
+            ///
+            /// # Panics
+            /// Panics if `len > Self::MAX_LEN`.
+            #[inline]
+            pub fn bits_containing(raw: $bits, len: u8) -> $bits {
+                assert!(len <= Self::MAX_LEN, "prefix length out of range");
+                raw & Self::mask(len)
+            }
+
             /// Prefix length in bits.
             #[inline]
             #[allow(clippy::len_without_is_empty)] // bit length, not a container
@@ -354,6 +368,30 @@ mod tests {
             let p = Ipv4Prefix::from_bits(g.next_u64() as u32, g.range_u8(0, 32));
             let back: Ipv4Prefix = p.to_string().parse().unwrap();
             assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn bits_containing_matches_containing() {
+        let mut g = TestGen::new(0x5046_5807);
+        for _ in 0..1024 {
+            let raw = g.next_u128();
+            let len = g.range_u8(0, 128);
+            assert_eq!(
+                Ipv6Prefix::bits_containing(raw, len),
+                Ipv6Prefix::containing(Ipv6Addr::from(raw), len).bits()
+            );
+            let raw4 = g.next_u64() as u32;
+            let len4 = g.range_u8(0, 32);
+            assert_eq!(
+                Ipv4Prefix::bits_containing(raw4, len4),
+                Ipv4Prefix::containing(Ipv4Addr::from(raw4), len4).bits()
+            );
+        }
+        // Edge addresses at edge lengths.
+        for raw in [0u128, u128::MAX] {
+            assert_eq!(Ipv6Prefix::bits_containing(raw, 0), 0);
+            assert_eq!(Ipv6Prefix::bits_containing(raw, 128), raw);
         }
     }
 

@@ -14,7 +14,9 @@ use crate::metrics::Registry;
 use crate::timer::PhaseStat;
 
 /// Schema version of the serialized report; bump on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added the memory-footprint fields: `sim.store_bytes`,
+/// `sim.bytes_per_record`, and `analysis.index_bytes`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Throughput over a wall-clock window, `0.0` for an empty window.
 ///
@@ -128,6 +130,17 @@ pub struct RunReport {
     /// Shards that failed at least once (recovered or dropped); empty on
     /// a clean run.
     pub faults: Vec<FaultStat>,
+    /// Peak heap bytes of the frozen telemetry stores (all column stores
+    /// plus the shared intern tables, counted once). Zero when
+    /// uninstrumented. Serialized as `sim.store_bytes` — a plain field
+    /// (not only a gauge) so `bench_diff`'s dotted-path lookup can
+    /// address it.
+    pub store_bytes: u64,
+    /// `store_bytes` per stored record (`0.0` on an empty run).
+    pub bytes_per_record: f64,
+    /// Heap bytes of the shared analysis indexes (`analysis.index_bytes`
+    /// in the JSON). Zero until the analyses run.
+    pub index_bytes: u64,
     /// Free-form counters/gauges/histograms recorded along the way.
     pub registry: Registry,
 }
@@ -270,7 +283,9 @@ impl RunReport {
                     .with("phases", phases)
                     .with("shards", shards)
                     .with("total_records", Json::UInt(self.total_records()))
-                    .with("records_per_sec", Json::num(self.records_per_sec())),
+                    .with("records_per_sec", Json::num(self.records_per_sec()))
+                    .with("store_bytes", Json::UInt(self.store_bytes))
+                    .with("bytes_per_record", Json::num(self.bytes_per_record)),
             )
             .with(
                 "analysis",
@@ -280,7 +295,8 @@ impl RunReport {
                     .with(
                         "total_wall_secs",
                         Json::num(self.analysis_wall().as_secs_f64()),
-                    ),
+                    )
+                    .with("index_bytes", Json::UInt(self.index_bytes)),
             )
             .with("actioning", actioning)
             .with("faults", faults)
@@ -427,6 +443,9 @@ mod tests {
             },
         ];
         r.registry.inc("sim.records_total", 5000);
+        r.store_bytes = 90_000;
+        r.bytes_per_record = 18.0;
+        r.index_bytes = 40_000;
         r.failure_policy = "retry".into();
         r.faults.push(FaultStat {
             shard: 1,
@@ -477,6 +496,9 @@ mod tests {
             "\"sort\"",
             "\"shards\"",
             "\"records_per_sec\"",
+            "\"store_bytes\"",
+            "\"bytes_per_record\"",
+            "\"index_bytes\"",
             "\"analysis\"",
             "\"phases\"",
             "\"index\"",

@@ -11,14 +11,14 @@
 //! in both denominators — exactly why the paper's /128 TPR tops out at
 //! 14.3%: attackers mostly arrive on fresh addresses.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::net::IpAddr;
 use std::time::Instant;
 
-use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix};
+use ipv6_study_netaddr::Ipv6Prefix;
 use ipv6_study_obs::ActioningStat;
 use ipv6_study_stats::roc::RocCurve;
-use ipv6_study_telemetry::{AbuseLabels, RequestRecord, UserId};
+use ipv6_study_telemetry::{AbuseLabels, ColumnSlice};
 
 /// The decision-unit granularity for actioning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,17 +32,16 @@ pub enum Granularity {
 }
 
 impl Granularity {
-    /// The unit key for a record, or `None` when the record's protocol
-    /// doesn't match the granularity.
-    fn key(self, r: &RequestRecord) -> Option<u128> {
-        match (self, r.ip) {
+    /// The unit key for an address, or `None` when the protocol doesn't
+    /// match the granularity. Unit keys are portable across days and
+    /// table instances — they are address/prefix bits, not intern ids.
+    pub(crate) fn unit_bits(self, ip: IpAddr) -> Option<u128> {
+        match (self, ip) {
             (Granularity::V6Full, IpAddr::V6(a)) => Some(u128::from(a)),
             (Granularity::V6Prefix(len), IpAddr::V6(a)) => {
                 Some(u128::from(a) & Ipv6Prefix::mask(len))
             }
-            (Granularity::V4Full, IpAddr::V4(a)) => {
-                Some(u128::from(u32::from(a) & Ipv4Prefix::mask(32)))
-            }
+            (Granularity::V4Full, IpAddr::V4(a)) => Some(u128::from(u32::from(a))),
             _ => None,
         }
     }
@@ -57,30 +56,106 @@ impl Granularity {
     }
 }
 
-/// Per-unit user tallies for one day.
-#[derive(Debug, Default, Clone)]
-struct UnitDay {
-    abusive: HashSet<UserId>,
-    benign: HashSet<UserId>,
-}
-
-fn tally(
-    records: &[RequestRecord],
-    labels: &AbuseLabels,
-    granularity: Granularity,
-) -> HashMap<u128, UnitDay> {
-    let mut m: HashMap<u128, UnitDay> = HashMap::new();
-    for r in records {
-        if let Some(k) = granularity.key(r) {
-            let e = m.entry(k).or_default();
-            if labels.is_abusive(r.user) {
-                e.abusive.insert(r.user);
+/// Sorts the `(unit, user)` pairs, dedups them (distinct users per unit),
+/// and walks the unit runs, materializing each unit's portable `u128` key
+/// exactly once. `Counts` are `(abusive, benign)` distinct-user tallies.
+fn run_counts<K: Ord + Copy>(
+    mut pairs: Vec<(K, u32)>,
+    to_key: impl Fn(K) -> u128,
+    is_abusive: impl Fn(u32) -> bool,
+) -> HashMap<u128, (u64, u64)> {
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut m = HashMap::with_capacity(64);
+    let mut i = 0;
+    while i < pairs.len() {
+        let unit = pairs[i].0;
+        let (mut abusive, mut benign) = (0u64, 0u64);
+        while i < pairs.len() && pairs[i].0 == unit {
+            if is_abusive(pairs[i].1) {
+                abusive += 1;
             } else {
-                e.benign.insert(r.user);
+                benign += 1;
             }
+            i += 1;
         }
+        m.insert(to_key(unit), (abusive, benign));
     }
     m
+}
+
+/// Per-unit `(abusive, benign)` distinct-user counts for one day's slice.
+///
+/// This is a radix-style pass over the interned id columns: at the
+/// precomputed granularities the unit id is the record's [`IpId`] raw
+/// value or a precomputed /64 /56 /48 prefix id — a `(u32, u32)` sort —
+/// and only per distinct unit do we touch the intern table to build the
+/// portable `u128` key. No per-record hashing or address materialization.
+///
+/// [`IpId`]: ipv6_study_telemetry::IpId
+pub(crate) fn tally(
+    records: ColumnSlice<'_>,
+    labels: &AbuseLabels,
+    granularity: Granularity,
+) -> HashMap<u128, (u64, u64)> {
+    let tables = records.tables();
+    let ips = &tables.ips;
+    let is_abusive = |dense: u32| labels.is_abusive(tables.users.user(dense));
+    let ids = records.ip_ids();
+    let dense = records.users_dense();
+    match granularity {
+        Granularity::V6Full => {
+            let pairs: Vec<_> = ids
+                .iter()
+                .zip(dense)
+                .filter(|(id, _)| id.is_v6())
+                .map(|(&id, &u)| (id, u))
+                .collect();
+            run_counts(pairs, |id| ips.v6_bits(id), is_abusive)
+        }
+        Granularity::V4Full => {
+            let pairs: Vec<_> = ids
+                .iter()
+                .zip(dense)
+                .filter(|(id, _)| !id.is_v6())
+                .map(|(&id, &u)| (id, u))
+                .collect();
+            run_counts(pairs, |id| u128::from(ips.v4_bits(id)), is_abusive)
+        }
+        Granularity::V6Prefix(len @ (64 | 56 | 48)) => {
+            let pid = |id| match len {
+                64 => ips.p64_id(id),
+                56 => ips.p56_id(id),
+                _ => ips.p48_id(id),
+            };
+            let pairs: Vec<_> = ids
+                .iter()
+                .zip(dense)
+                .filter(|(id, _)| id.is_v6())
+                .map(|(&id, &u)| (pid(id), u))
+                .collect();
+            run_counts(
+                pairs,
+                |p| match len {
+                    64 => ips.p64_bits(p),
+                    56 => ips.p56_bits(p),
+                    _ => ips.p48_bits(p),
+                },
+                is_abusive,
+            )
+        }
+        Granularity::V6Prefix(len) => {
+            // Lengths without a precomputed id column mask the stored bits.
+            let mask = Ipv6Prefix::mask(len);
+            let pairs: Vec<_> = ids
+                .iter()
+                .zip(dense)
+                .filter(|(id, _)| id.is_v6())
+                .map(|(&id, &u)| (ips.v6_bits(id) & mask, u))
+                .collect();
+            run_counts(pairs, |bits| bits, is_abusive)
+        }
+    }
 }
 
 /// Builds the Figure 11 ROC curve for one granularity.
@@ -90,8 +165,8 @@ fn tally(
 /// FPR denominator is the *entire* day-*n+1* benign population at this
 /// granularity, including users on units never seen on day *n*.
 pub fn actioning_roc(
-    day_n: &[RequestRecord],
-    day_n1: &[RequestRecord],
+    day_n: ColumnSlice<'_>,
+    day_n1: ColumnSlice<'_>,
     labels: &AbuseLabels,
     granularity: Granularity,
 ) -> RocCurve {
@@ -103,8 +178,8 @@ pub fn actioning_roc(
 /// The timing is passive — the returned curve is identical to the
 /// untimed call's.
 pub fn actioning_roc_timed(
-    day_n: &[RequestRecord],
-    day_n1: &[RequestRecord],
+    day_n: ColumnSlice<'_>,
+    day_n1: ColumnSlice<'_>,
     labels: &AbuseLabels,
     granularity: Granularity,
 ) -> (RocCurve, ActioningStat) {
@@ -112,24 +187,20 @@ pub fn actioning_roc_timed(
     let scores = tally(day_n, labels, granularity);
     let outcomes = tally(day_n1, labels, granularity);
     let mut curve = RocCurve::new();
-    for (key, outcome) in &outcomes {
+    for (key, &(out_abusive, out_benign)) in &outcomes {
         let score = match scores.get(key) {
-            Some(s) => {
-                let total = s.abusive.len() + s.benign.len();
+            Some(&(abusive, benign)) => {
+                let total = abusive + benign;
                 if total == 0 {
                     -1.0
                 } else {
-                    s.abusive.len() as f64 / total as f64
+                    abusive as f64 / total as f64
                 }
             }
             // Unseen yesterday: can never be actioned.
             None => -1.0,
         };
-        curve.push(
-            score,
-            outcome.abusive.len() as f64,
-            outcome.benign.len() as f64,
-        );
+        curve.push(score, out_abusive as f64, out_benign as f64);
     }
     let stat = ActioningStat {
         granularity: granularity.label(),
@@ -175,7 +246,13 @@ pub fn operating_points(curve: &RocCurve) -> OperatingPoints {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipv6_study_telemetry::{AbuseInfo, Asn, Country, SimDate};
+    use ipv6_study_telemetry::{
+        AbuseInfo, Asn, Country, OwnedColumns, RequestRecord, SimDate, UserId,
+    };
+
+    fn cols(recs: &[RequestRecord]) -> OwnedColumns {
+        OwnedColumns::from_records(recs)
+    }
 
     fn rec(user: u64, day: SimDate, ip: &str) -> RequestRecord {
         RequestRecord {
@@ -203,15 +280,14 @@ mod tests {
 
     #[test]
     fn granularity_keys() {
-        let day = SimDate::ymd(4, 18);
-        let v6 = rec(1, day, "2001:db8:1:2::abcd");
-        let v4 = rec(1, day, "192.0.2.7");
-        assert!(Granularity::V6Full.key(&v6).is_some());
-        assert!(Granularity::V6Full.key(&v4).is_none());
-        assert!(Granularity::V4Full.key(&v4).is_some());
+        let v6: IpAddr = "2001:db8:1:2::abcd".parse().unwrap();
+        let v4: IpAddr = "192.0.2.7".parse().unwrap();
+        assert!(Granularity::V6Full.unit_bits(v6).is_some());
+        assert!(Granularity::V6Full.unit_bits(v4).is_none());
+        assert!(Granularity::V4Full.unit_bits(v4).is_some());
         assert_eq!(
-            Granularity::V6Prefix(64).key(&v6),
-            Granularity::V6Prefix(64).key(&rec(2, day, "2001:db8:1:2::ffff"))
+            Granularity::V6Prefix(64).unit_bits(v6),
+            Granularity::V6Prefix(64).unit_bits("2001:db8:1:2::ffff".parse().unwrap())
         );
         assert_eq!(Granularity::V6Prefix(56).label(), "/56");
         assert_eq!(Granularity::V4Full.label(), "IPv4");
@@ -230,7 +306,8 @@ mod tests {
             rec(101, d2, "2001:db8::b"),
             rec(1, d2, "2001:db8::c"),
         ];
-        let curve = actioning_roc(&day_n, &day_n1, &labels, Granularity::V6Full);
+        let (n, n1) = (cols(&day_n), cols(&day_n1));
+        let curve = actioning_roc(n.as_slice(), n1.as_slice(), &labels, Granularity::V6Full);
         let pts = operating_points(&curve);
         // Only AA 100 (1 of 2) is caught even at the loosest threshold.
         assert!((pts.max_tpr - 0.5).abs() < 1e-12);
@@ -247,15 +324,16 @@ mod tests {
         // The AA moves to a new address inside the same /64.
         let day_n = vec![rec(100, d1, "2001:db8:1:2::a")];
         let day_n1 = vec![rec(100, d2, "2001:db8:1:2::b")];
+        let (n, n1) = (cols(&day_n), cols(&day_n1));
         let full = operating_points(&actioning_roc(
-            &day_n,
-            &day_n1,
+            n.as_slice(),
+            n1.as_slice(),
             &labels,
             Granularity::V6Full,
         ));
         let p64 = operating_points(&actioning_roc(
-            &day_n,
-            &day_n1,
+            n.as_slice(),
+            n1.as_slice(),
             &labels,
             Granularity::V6Prefix(64),
         ));
@@ -277,7 +355,8 @@ mod tests {
             day_n1.push(rec(u, d2, "192.0.2.1"));
             day_n1.push(rec(50 + u, d2, "192.0.2.9")); // clean address
         }
-        let curve = actioning_roc(&day_n, &day_n1, &labels, Granularity::V4Full);
+        let (n, n1) = (cols(&day_n), cols(&day_n1));
+        let curve = actioning_roc(n.as_slice(), n1.as_slice(), &labels, Granularity::V4Full);
         let pts = operating_points(&curve);
         assert!((pts.t0.0 - 1.0).abs() < 1e-12);
         // 20 of 40 benign users are collateral.
@@ -298,8 +377,10 @@ mod tests {
             rec(2, d2, "2001:db8::d"),
             rec(1, d2, "2001:db8::c"),
         ];
-        let plain = actioning_roc(&day_n, &day_n1, &labels, Granularity::V6Full);
-        let (timed, stat) = actioning_roc_timed(&day_n, &day_n1, &labels, Granularity::V6Full);
+        let (n, n1) = (cols(&day_n), cols(&day_n1));
+        let plain = actioning_roc(n.as_slice(), n1.as_slice(), &labels, Granularity::V6Full);
+        let (timed, stat) =
+            actioning_roc_timed(n.as_slice(), n1.as_slice(), &labels, Granularity::V6Full);
         for i in 0..=10 {
             let t = i as f64 / 10.0;
             let (a, b) = (plain.point_at(t, None), timed.point_at(t, None));
@@ -328,7 +409,8 @@ mod tests {
             rec(1, d2, "2001:db8::2"),
             rec(3, d2, "2001:db8::3"),
         ];
-        let curve = actioning_roc(&day_n, &day_n1, &labels, Granularity::V6Full);
+        let (n, n1) = (cols(&day_n), cols(&day_n1));
+        let curve = actioning_roc(n.as_slice(), n1.as_slice(), &labels, Granularity::V6Full);
         let mut prev_tpr = f64::INFINITY;
         let mut prev_fpr = f64::INFINITY;
         for i in 0..=10 {

@@ -10,9 +10,9 @@ use std::collections::HashSet;
 use std::net::IpAddr;
 
 use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix, PrefixTrie};
-use ipv6_study_telemetry::{AbuseLabels, RequestRecord, SimDate, UserId};
+use ipv6_study_telemetry::{AbuseLabels, ColumnSlice, SimDate};
 
-use crate::actioning::Granularity;
+use crate::actioning::{tally, Granularity};
 
 /// A blocklist over IPv4 addresses and IPv6 prefixes with per-entry TTLs.
 #[derive(Debug, Clone, Default)]
@@ -76,46 +76,24 @@ impl Blocklist {
     /// given granularity whose abusive-account ratio is ≥ `threshold` is
     /// listed for `ttl_days`.
     pub fn from_day(
-        records: &[RequestRecord],
+        records: ColumnSlice<'_>,
         labels: &AbuseLabels,
         granularity: Granularity,
         threshold: f64,
         listed_on: SimDate,
         ttl_days: u16,
     ) -> Self {
-        use std::collections::HashMap;
-        #[derive(Default)]
-        struct Tally {
-            abusive: HashSet<UserId>,
-            benign: HashSet<UserId>,
-        }
-        let mut units: HashMap<u128, Tally> = HashMap::new();
-        for r in records {
-            let key = match (granularity, r.ip) {
-                (Granularity::V6Full, IpAddr::V6(a)) => Some(u128::from(a)),
-                (Granularity::V6Prefix(len), IpAddr::V6(a)) => {
-                    Some(u128::from(a) & Ipv6Prefix::mask(len))
-                }
-                (Granularity::V4Full, IpAddr::V4(a)) => Some(u128::from(u32::from(a))),
-                _ => None,
-            };
-            if let Some(k) = key {
-                let e = units.entry(k).or_default();
-                if labels.is_abusive(r.user) {
-                    e.abusive.insert(r.user);
-                } else {
-                    e.benign.insert(r.user);
-                }
-            }
-        }
+        // Shares the actioning radix tally: per-unit (abusive, benign)
+        // distinct-user counts keyed by portable address/prefix bits.
+        let units = tally(records, labels, granularity);
         let mut bl = Self::new();
         let expires = SimDate::from_index((listed_on.index() + ttl_days).min(365));
-        for (key, t) in units {
-            let total = t.abusive.len() + t.benign.len();
-            if total == 0 || t.abusive.is_empty() {
+        for (key, (abusive, benign)) in units {
+            let total = abusive + benign;
+            if total == 0 || abusive == 0 {
                 continue;
             }
-            let ratio = t.abusive.len() as f64 / total as f64;
+            let ratio = abusive as f64 / total as f64;
             if ratio >= threshold {
                 match granularity {
                     Granularity::V6Full => bl.add_v6(Ipv6Prefix::from_bits(key, 128), expires),
@@ -150,25 +128,26 @@ pub fn evaluate_over_days<'a>(
     blocklist: &Blocklist,
     labels: &AbuseLabels,
     listed_on: SimDate,
-    days: impl IntoIterator<Item = (SimDate, &'a [RequestRecord])>,
+    days: impl IntoIterator<Item = (SimDate, ColumnSlice<'a>)>,
 ) -> Vec<BlocklistDayEval> {
     days.into_iter()
         .map(|(day, records)| {
-            let mut abusive_all: HashSet<UserId> = HashSet::new();
-            let mut abusive_hit: HashSet<UserId> = HashSet::new();
-            let mut benign_all: HashSet<UserId> = HashSet::new();
-            let mut benign_hit: HashSet<UserId> = HashSet::new();
-            for r in records {
-                let blocked = blocklist.blocks(r.ip, day);
-                if labels.is_abusive(r.user) {
-                    abusive_all.insert(r.user);
+            let users = &records.tables().users;
+            let mut abusive_all: HashSet<u32> = HashSet::new();
+            let mut abusive_hit: HashSet<u32> = HashSet::new();
+            let mut benign_all: HashSet<u32> = HashSet::new();
+            let mut benign_hit: HashSet<u32> = HashSet::new();
+            for (i, &dense) in records.users_dense().iter().enumerate() {
+                let blocked = blocklist.blocks(records.addr_at(i), day);
+                if labels.is_abusive(users.user(dense)) {
+                    abusive_all.insert(dense);
                     if blocked {
-                        abusive_hit.insert(r.user);
+                        abusive_hit.insert(dense);
                     }
                 } else {
-                    benign_all.insert(r.user);
+                    benign_all.insert(dense);
                     if blocked {
-                        benign_hit.insert(r.user);
+                        benign_hit.insert(dense);
                     }
                 }
             }
@@ -289,7 +268,11 @@ impl BoundedBlocklist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipv6_study_telemetry::{AbuseInfo, Asn, Country};
+    use ipv6_study_telemetry::{AbuseInfo, Asn, Country, OwnedColumns, RequestRecord, UserId};
+
+    fn cols(recs: &[RequestRecord]) -> OwnedColumns {
+        OwnedColumns::from_records(recs)
+    }
 
     fn rec(user: u64, day: SimDate, ip: &str) -> RequestRecord {
         RequestRecord {
@@ -401,11 +384,12 @@ mod tests {
             rec(1, d, "2001:db8::b"), // mixed (ratio 0.5)
             rec(2, d, "2001:db8::c"), // purely benign
         ];
-        let strict = Blocklist::from_day(&records, &labels, Granularity::V6Full, 1.0, d, 7);
+        let c = cols(&records);
+        let strict = Blocklist::from_day(c.as_slice(), &labels, Granularity::V6Full, 1.0, d, 7);
         assert!(strict.blocks("2001:db8::a".parse().unwrap(), d + 1));
         assert!(!strict.blocks("2001:db8::b".parse().unwrap(), d + 1));
         assert!(!strict.blocks("2001:db8::c".parse().unwrap(), d + 1));
-        let loose = Blocklist::from_day(&records, &labels, Granularity::V6Full, 0.3, d, 7);
+        let loose = Blocklist::from_day(c.as_slice(), &labels, Granularity::V6Full, 0.3, d, 7);
         assert!(loose.blocks("2001:db8::b".parse().unwrap(), d + 1));
         assert!(
             !loose.blocks("2001:db8::c".parse().unwrap(), d + 1),
@@ -502,7 +486,8 @@ mod tests {
         let d = SimDate::ymd(4, 18);
         let labels = labels_for(&[100, 101]);
         let day_n = vec![rec(100, d, "2001:db8::a")];
-        let bl = Blocklist::from_day(&day_n, &labels, Granularity::V6Full, 0.5, d, 7);
+        let n = cols(&day_n);
+        let bl = Blocklist::from_day(n.as_slice(), &labels, Granularity::V6Full, 0.5, d, 7);
         // Next day: AA 100 returns to the same address; AA 101 is fresh;
         // one benign user on a clean address.
         let next = vec![
@@ -510,7 +495,8 @@ mod tests {
             rec(101, d + 1, "2001:db8::ffff"),
             rec(1, d + 1, "2001:db8::c"),
         ];
-        let evals = evaluate_over_days(&bl, &labels, d, [(d + 1, next.as_slice())]);
+        let next_cols = cols(&next);
+        let evals = evaluate_over_days(&bl, &labels, d, [(d + 1, next_cols.as_slice())]);
         assert_eq!(evals.len(), 1);
         assert_eq!(evals[0].offset, 1);
         assert!((evals[0].recall - 0.5).abs() < 1e-12);

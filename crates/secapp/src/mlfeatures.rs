@@ -13,7 +13,7 @@ use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
 use ipv6_study_netaddr::IidClass;
-use ipv6_study_telemetry::{AbuseLabels, RequestRecord, SimDate, UserId};
+use ipv6_study_telemetry::{AbuseLabels, ColumnSlice, IpId, SimDate};
 
 /// Behavioral features of one unit (address) over an observation day.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,27 +51,38 @@ impl FeatureVector {
 }
 
 /// Extracts per-address features from one day of records.
-pub fn extract_features(records: &[RequestRecord]) -> HashMap<IpAddr, FeatureVector> {
+///
+/// Accumulation is keyed by interned [`IpId`] (u32) with user dedup on
+/// dense ids; addresses are materialized once per distinct unit at the
+/// end, not once per record.
+pub fn extract_features(records: ColumnSlice<'_>) -> HashMap<IpAddr, FeatureVector> {
     struct Acc {
-        users: HashSet<UserId>,
+        users: HashSet<u32>,
         requests: u64,
         night: u64,
     }
-    let mut acc: HashMap<IpAddr, Acc> = HashMap::new();
-    for r in records {
-        let e = acc.entry(r.ip).or_insert_with(|| Acc {
+    let tables = records.tables();
+    let mut acc: HashMap<IpId, Acc> = HashMap::new();
+    for ((&id, &user), &ts) in records
+        .ip_ids()
+        .iter()
+        .zip(records.users_dense())
+        .zip(records.ts())
+    {
+        let e = acc.entry(id).or_insert_with(|| Acc {
             users: HashSet::new(),
             requests: 0,
             night: 0,
         });
-        e.users.insert(r.user);
+        e.users.insert(user);
         e.requests += 1;
-        if r.ts.hour() < 6 {
+        if ts.hour() < 6 {
             e.night += 1;
         }
     }
     acc.into_iter()
-        .map(|(ip, a)| {
+        .map(|(id, a)| {
+            let ip = tables.ips.addr(id);
             let (sig, mac, v6) = match ip {
                 IpAddr::V6(addr) => {
                     let c = IidClass::classify(addr);
@@ -98,11 +109,14 @@ pub fn extract_features(records: &[RequestRecord]) -> HashMap<IpAddr, FeatureVec
 
 /// Builds next-day labels: an address is positive when it hosts at least
 /// one abusive account on `next_day`'s records.
-pub fn next_day_labels(next_day: &[RequestRecord], labels: &AbuseLabels) -> HashSet<IpAddr> {
+pub fn next_day_labels(next_day: ColumnSlice<'_>, labels: &AbuseLabels) -> HashSet<IpAddr> {
+    let users = &next_day.tables().users;
     next_day
+        .users_dense()
         .iter()
-        .filter(|r| labels.is_abusive(r.user))
-        .map(|r| r.ip)
+        .enumerate()
+        .filter(|(_, &dense)| labels.is_abusive(users.user(dense)))
+        .map(|(i, _)| next_day.addr_at(i))
         .collect()
 }
 
@@ -211,8 +225,8 @@ impl LogisticModel {
 /// `day`, labels from `next_day`, restricted to one protocol when
 /// `only_v6` is set.
 pub fn training_set(
-    day: &[RequestRecord],
-    next_day: &[RequestRecord],
+    day: ColumnSlice<'_>,
+    next_day: ColumnSlice<'_>,
     labels: &AbuseLabels,
     only_v6: Option<bool>,
 ) -> Vec<(FeatureVector, bool)> {
@@ -242,7 +256,11 @@ pub fn day_pair(focus: SimDate) -> (SimDate, SimDate) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipv6_study_telemetry::{AbuseInfo, Asn, Country};
+    use ipv6_study_telemetry::{AbuseInfo, Asn, Country, OwnedColumns, RequestRecord, UserId};
+
+    fn cols(recs: &[RequestRecord]) -> OwnedColumns {
+        OwnedColumns::from_records(recs)
+    }
 
     fn rec(user: u64, ip: &str, hour: u8) -> RequestRecord {
         RequestRecord {
@@ -261,7 +279,8 @@ mod tests {
             rec(2, "2600:380:1:2::ab1", 14),
             rec(1, "10.0.0.1", 3),
         ];
-        let f = extract_features(&recs);
+        let c = cols(&recs);
+        let f = extract_features(c.as_slice());
         let v6 = &f[&"2600:380:1:2::ab1".parse::<IpAddr>().unwrap()];
         assert_eq!(v6.is_v6, 1.0);
         assert_eq!(v6.gateway_signature, 1.0);
@@ -325,12 +344,13 @@ mod tests {
         .collect();
         let day = vec![rec(1, "2001:db8::1", 10), rec(2, "10.0.0.1", 10)];
         let next = vec![rec(100, "2001:db8::1", 11)];
-        let all = training_set(&day, &next, &labels, None);
+        let (cd, cn) = (cols(&day), cols(&next));
+        let all = training_set(cd.as_slice(), cn.as_slice(), &labels, None);
         assert_eq!(all.len(), 2);
-        let v6_only = training_set(&day, &next, &labels, Some(true));
+        let v6_only = training_set(cd.as_slice(), cn.as_slice(), &labels, Some(true));
         assert_eq!(v6_only.len(), 1);
         assert!(v6_only[0].1, "the v6 address hosts abuse next day");
-        let v4_only = training_set(&day, &next, &labels, Some(false));
+        let v4_only = training_set(cd.as_slice(), cn.as_slice(), &labels, Some(false));
         assert!(!v4_only[0].1);
     }
 }

@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn recommendation_scales_with_distribution() {
         // IPv6-like: almost every address has one user.
-        let v6 = Ecdf::from_values(std::iter::repeat(1u64).take(999).chain([3]));
+        let v6 = Ecdf::from_values(std::iter::repeat_n(1u64, 999).chain([3]));
         let r6 = recommend_threshold(&v6, 100, 0.999);
         assert_eq!(r6.users_at_quantile, 1);
         assert_eq!(r6.requests_per_day, 100);

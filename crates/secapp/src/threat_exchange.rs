@@ -7,10 +7,8 @@
 //! curve is the product a threat exchange actually delivers to consumers.
 
 use std::collections::HashSet;
-use std::net::IpAddr;
 
-use ipv6_study_netaddr::Ipv6Prefix;
-use ipv6_study_telemetry::{AbuseLabels, RequestRecord, UserId};
+use ipv6_study_telemetry::{AbuseLabels, ColumnSlice};
 
 use crate::actioning::Granularity;
 
@@ -26,27 +24,19 @@ pub struct DecayPoint {
     pub collateral: f64,
 }
 
-fn unit_key(granularity: Granularity, ip: IpAddr) -> Option<u128> {
-    match (granularity, ip) {
-        (Granularity::V6Full, IpAddr::V6(a)) => Some(u128::from(a)),
-        (Granularity::V6Prefix(len), IpAddr::V6(a)) => Some(u128::from(a) & Ipv6Prefix::mask(len)),
-        (Granularity::V4Full, IpAddr::V4(a)) => Some(u128::from(u32::from(a))),
-        _ => None,
-    }
-}
-
 /// Builds the indicator list from `day0` (every unit hosting an abusive
 /// account) and evaluates its residual value on each of `later_days`.
 pub fn value_decay<'a>(
-    day0: &[RequestRecord],
+    day0: ColumnSlice<'_>,
     labels: &AbuseLabels,
     granularity: Granularity,
-    later_days: impl IntoIterator<Item = (u16, &'a [RequestRecord])>,
+    later_days: impl IntoIterator<Item = (u16, ColumnSlice<'a>)>,
 ) -> Vec<DecayPoint> {
     let mut listed: HashSet<u128> = HashSet::new();
-    for r in day0 {
-        if labels.is_abusive(r.user) {
-            if let Some(k) = unit_key(granularity, r.ip) {
+    let day0_users = &day0.tables().users;
+    for (i, &dense) in day0.users_dense().iter().enumerate() {
+        if labels.is_abusive(day0_users.user(dense)) {
+            if let Some(k) = granularity.unit_bits(day0.addr_at(i)) {
                 listed.insert(k);
             }
         }
@@ -54,21 +44,23 @@ pub fn value_decay<'a>(
     later_days
         .into_iter()
         .map(|(offset, records)| {
-            let mut aa_all: HashSet<UserId> = HashSet::new();
-            let mut aa_hit: HashSet<UserId> = HashSet::new();
-            let mut benign_all: HashSet<UserId> = HashSet::new();
-            let mut benign_hit: HashSet<UserId> = HashSet::new();
-            for r in records {
-                let hit = unit_key(granularity, r.ip).is_some_and(|k| listed.contains(&k));
-                if labels.is_abusive(r.user) {
-                    aa_all.insert(r.user);
+            let users = &records.tables().users;
+            let mut aa_all: HashSet<u32> = HashSet::new();
+            let mut aa_hit: HashSet<u32> = HashSet::new();
+            let mut benign_all: HashSet<u32> = HashSet::new();
+            let mut benign_hit: HashSet<u32> = HashSet::new();
+            for (i, &dense) in records.users_dense().iter().enumerate() {
+                let key = granularity.unit_bits(records.addr_at(i));
+                let hit = key.is_some_and(|k| listed.contains(&k));
+                if labels.is_abusive(users.user(dense)) {
+                    aa_all.insert(dense);
                     if hit {
-                        aa_hit.insert(r.user);
+                        aa_hit.insert(dense);
                     }
-                } else if unit_key(granularity, r.ip).is_some() {
-                    benign_all.insert(r.user);
+                } else if key.is_some() {
+                    benign_all.insert(dense);
                     if hit {
-                        benign_hit.insert(r.user);
+                        benign_hit.insert(dense);
                     }
                 }
             }
@@ -99,7 +91,13 @@ pub fn half_life(points: &[DecayPoint]) -> Option<u16> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipv6_study_telemetry::{AbuseInfo, Asn, Country, SimDate};
+    use ipv6_study_telemetry::{
+        AbuseInfo, Asn, Country, OwnedColumns, RequestRecord, SimDate, UserId,
+    };
+
+    fn cols(recs: &[RequestRecord]) -> OwnedColumns {
+        OwnedColumns::from_records(recs)
+    }
 
     fn rec(user: u64, ip: &str) -> RequestRecord {
         RequestRecord {
@@ -133,11 +131,12 @@ mod tests {
         let day1 = vec![rec(100, "2001:db8::a"), rec(102, "2001:db8::c9")];
         // Day 2: all attackers moved.
         let day2 = vec![rec(101, "2001:db8::e1")];
+        let (c0, c1, c2) = (cols(&day0), cols(&day1), cols(&day2));
         let pts = value_decay(
-            &day0,
+            c0.as_slice(),
             &labels,
             Granularity::V6Full,
-            [(1u16, day1.as_slice()), (2, day2.as_slice())],
+            [(1u16, c1.as_slice()), (2, c2.as_slice())],
         );
         assert!((pts[0].residual_recall - 0.5).abs() < 1e-12);
         assert_eq!(pts[1].residual_recall, 0.0);
@@ -149,11 +148,12 @@ mod tests {
         let labels = labels_for(&[100]);
         let day0 = vec![rec(100, "192.0.2.1")];
         let day1 = vec![rec(1, "192.0.2.1"), rec(2, "192.0.2.2")];
+        let (c0, c1) = (cols(&day0), cols(&day1));
         let pts = value_decay(
-            &day0,
+            c0.as_slice(),
             &labels,
             Granularity::V4Full,
-            [(1u16, day1.as_slice())],
+            [(1u16, c1.as_slice())],
         );
         assert!((pts[0].collateral - 0.5).abs() < 1e-12);
         assert_eq!(pts[0].residual_recall, 0.0, "no abusive accounts that day");
@@ -165,17 +165,18 @@ mod tests {
         let day0 = vec![rec(100, "2001:db8:1:2::a")];
         // Attacker rotates within the /64.
         let day1 = vec![rec(100, "2001:db8:1:2::b")];
+        let (c0, c1) = (cols(&day0), cols(&day1));
         let full = value_decay(
-            &day0,
+            c0.as_slice(),
             &labels,
             Granularity::V6Full,
-            [(1u16, day1.as_slice())],
+            [(1u16, c1.as_slice())],
         );
         let p64 = value_decay(
-            &day0,
+            c0.as_slice(),
             &labels,
             Granularity::V6Prefix(64),
-            [(1u16, day1.as_slice())],
+            [(1u16, c1.as_slice())],
         );
         assert_eq!(full[0].residual_recall, 0.0);
         assert!((p64[0].residual_recall - 1.0).abs() < 1e-12);

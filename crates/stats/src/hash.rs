@@ -431,24 +431,19 @@ mod tests {
 
     #[test]
     fn seeded_build_hasher_is_deterministic_and_usable() {
-        use std::hash::{BuildHasher, Hash, Hasher};
+        use std::hash::BuildHasher;
 
         // Same key, two independently built hashers: identical output.
         let b = SeededBuildHasher::default();
-        let hash_of = |v: u64| {
-            let mut h = b.build_hasher();
-            v.hash(&mut h);
-            h.finish()
-        };
+        let hash_of = |v: u64| b.hash_one(v);
         assert_eq!(hash_of(42), hash_of(42));
         assert_ne!(hash_of(42), hash_of(43));
 
         // Distinct seeds produce distinct table layouts.
-        let mut h1 = SeededBuildHasher::new(1).build_hasher();
-        let mut h2 = SeededBuildHasher::new(2).build_hasher();
-        7u64.hash(&mut h1);
-        7u64.hash(&mut h2);
-        assert_ne!(h1.finish(), h2.finish());
+        assert_ne!(
+            SeededBuildHasher::new(1).hash_one(7u64),
+            SeededBuildHasher::new(2).hash_one(7u64)
+        );
 
         // The aliases behave like plain maps/sets.
         let mut m: StableHashMap<u64, u64> = StableHashMap::default();

@@ -219,7 +219,7 @@ mod tests {
     /// rates are monotone non-increasing in the threshold.
     #[test]
     fn rates_monotone_in_threshold() {
-        let mut g = TestGen::new(0x524F_43_01);
+        let mut g = TestGen::new(0x524F_4301);
         for _ in 0..256 {
             let c = random_curve(&mut g);
             let mut prev = c.point_at(0.0, None);
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn auc_is_a_probability() {
-        let mut g = TestGen::new(0x524F_43_02);
+        let mut g = TestGen::new(0x524F_4302);
         for _ in 0..256 {
             let c = random_curve(&mut g);
             let auc = c.auc(None);

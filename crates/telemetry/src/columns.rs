@@ -1,0 +1,422 @@
+//! Columnar (struct-of-arrays) request storage over interned ids.
+//!
+//! The row-oriented [`RequestRecord`] costs
+//! 40 bytes per row (a tagged `IpAddr` enum plus padding). The columnar
+//! layout stores the same five fields as parallel columns over interned
+//! ids — 4-byte timestamp, 4-byte [`IpId`], 4-byte dense user, 4-byte ASN,
+//! 2-byte country = **18 bytes per row** — and serves range queries as
+//! [`ColumnSlice`]s: borrowed column windows plus the shared
+//! [`EntityTables`], from which rows can be rematerialized on demand
+//! through the [`RecordView`] cursor.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::ids::{Asn, Country, UserId};
+use crate::intern::{EntityTables, IpId};
+use crate::record::RequestRecord;
+use crate::time::Timestamp;
+
+/// Owned parallel columns of encoded request rows (no entity tables).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnStore {
+    /// Arrival timestamps, in store order.
+    pub ts: Vec<Timestamp>,
+    /// Interned source-address ids.
+    pub ip: Vec<IpId>,
+    /// Dense user ids.
+    pub user: Vec<u32>,
+    /// Announcing ASNs.
+    pub asn: Vec<Asn>,
+    /// Country geolocations.
+    pub country: Vec<Country>,
+}
+
+impl ColumnStore {
+    /// Encodes a row stream against intern tables built over (a superset
+    /// of) the same rows.
+    pub fn encode<'a>(
+        records: impl Iterator<Item = &'a RequestRecord>,
+        tables: &EntityTables,
+    ) -> Self {
+        let mut cols = Self::default();
+        for r in records {
+            cols.push_encoded(r, tables);
+        }
+        cols.shrink_to_fit();
+        cols
+    }
+
+    /// Appends one encoded row.
+    pub fn push_encoded(&mut self, r: &RequestRecord, tables: &EntityTables) {
+        self.ts.push(r.ts);
+        self.ip.push(tables.ips.id_of(r.ip));
+        self.user.push(tables.users.dense_of(r.user));
+        self.asn.push(r.asn);
+        self.country.push(r.country);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Releases over-allocation on every column.
+    pub fn shrink_to_fit(&mut self) {
+        self.ts.shrink_to_fit();
+        self.ip.shrink_to_fit();
+        self.user.shrink_to_fit();
+        self.asn.shrink_to_fit();
+        self.country.shrink_to_fit();
+    }
+
+    /// Heap bytes held by the columns (capacity, not just length — this is
+    /// what the `sim.store_bytes` gauge reports).
+    pub fn bytes(&self) -> usize {
+        self.ts.capacity() * std::mem::size_of::<Timestamp>()
+            + self.ip.capacity() * std::mem::size_of::<IpId>()
+            + self.user.capacity() * std::mem::size_of::<u32>()
+            + self.asn.capacity() * std::mem::size_of::<Asn>()
+            + self.country.capacity() * std::mem::size_of::<Country>()
+    }
+
+    /// Borrows a row window as a [`ColumnSlice`].
+    pub fn slice<'a>(
+        &'a self,
+        range: Range<usize>,
+        tables: &'a Arc<EntityTables>,
+    ) -> ColumnSlice<'a> {
+        ColumnSlice {
+            ts: &self.ts[range.clone()],
+            ip: &self.ip[range.clone()],
+            user: &self.user[range.clone()],
+            asn: &self.asn[range.clone()],
+            country: &self.country[range],
+            tables,
+        }
+    }
+}
+
+/// A borrowed window of encoded rows: five column slices plus the shared
+/// intern tables needed to rematerialize them. `Copy`, so passes hand
+/// windows around as cheaply as the `&[RequestRecord]` slices they
+/// replaced.
+#[derive(Clone, Copy)]
+pub struct ColumnSlice<'a> {
+    ts: &'a [Timestamp],
+    ip: &'a [IpId],
+    user: &'a [u32],
+    asn: &'a [Asn],
+    country: &'a [Country],
+    tables: &'a Arc<EntityTables>,
+}
+
+impl<'a> ColumnSlice<'a> {
+    /// An empty slice over the given tables.
+    pub fn empty(tables: &'a Arc<EntityTables>) -> Self {
+        Self {
+            ts: &[],
+            ip: &[],
+            user: &[],
+            asn: &[],
+            country: &[],
+            tables,
+        }
+    }
+
+    /// Number of rows in the window.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// True when the window holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// The timestamp column.
+    pub fn ts(&self) -> &'a [Timestamp] {
+        self.ts
+    }
+
+    /// The interned address-id column.
+    pub fn ip_ids(&self) -> &'a [IpId] {
+        self.ip
+    }
+
+    /// The dense user-id column.
+    pub fn users_dense(&self) -> &'a [u32] {
+        self.user
+    }
+
+    /// The ASN column.
+    pub fn asns(&self) -> &'a [Asn] {
+        self.asn
+    }
+
+    /// The country column.
+    pub fn countries(&self) -> &'a [Country] {
+        self.country
+    }
+
+    /// The shared intern tables.
+    pub fn tables(&self) -> &'a EntityTables {
+        self.tables
+    }
+
+    /// A clone of the `Arc` holding the intern tables (for owners that
+    /// outlive this borrow, e.g. a `DatasetIndex`).
+    pub fn tables_arc(&self) -> Arc<EntityTables> {
+        Arc::clone(self.tables)
+    }
+
+    /// The raw user id at a row.
+    #[inline]
+    pub fn user_at(&self, i: usize) -> UserId {
+        self.tables.users.user(self.user[i])
+    }
+
+    /// The source address at a row.
+    #[inline]
+    pub fn addr_at(&self, i: usize) -> std::net::IpAddr {
+        self.tables.ips.addr(self.ip[i])
+    }
+
+    /// Whether the row's source address is IPv6.
+    #[inline]
+    pub fn is_v6_at(&self, i: usize) -> bool {
+        self.ip[i].is_v6()
+    }
+
+    /// Rematerializes one row.
+    #[inline]
+    pub fn record(&self, i: usize) -> RequestRecord {
+        RequestRecord {
+            ts: self.ts[i],
+            user: self.user_at(i),
+            ip: self.addr_at(i),
+            asn: self.asn[i],
+            country: self.country[i],
+        }
+    }
+
+    /// A lazily-rematerializing row cursor over the window.
+    pub fn records(&self) -> RecordView<'a> {
+        RecordView {
+            slice: *self,
+            front: 0,
+            back: self.len(),
+        }
+    }
+
+    /// Re-windows the slice.
+    pub fn slice(&self, range: Range<usize>) -> ColumnSlice<'a> {
+        ColumnSlice {
+            ts: &self.ts[range.clone()],
+            ip: &self.ip[range.clone()],
+            user: &self.user[range.clone()],
+            asn: &self.asn[range.clone()],
+            country: &self.country[range],
+            tables: self.tables,
+        }
+    }
+}
+
+impl std::fmt::Debug for ColumnSlice<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnSlice")
+            .field("len", &self.len())
+            .field("first", &(!self.is_empty()).then(|| self.record(0)))
+            .finish()
+    }
+}
+
+/// Row equality by content: two windows are equal when they materialize
+/// to the same record sequence (their tables may differ).
+impl PartialEq for ColumnSlice<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.records().eq(other.records())
+    }
+}
+
+/// A double-ended, exact-size cursor yielding rematerialized rows.
+#[derive(Clone)]
+pub struct RecordView<'a> {
+    slice: ColumnSlice<'a>,
+    front: usize,
+    back: usize,
+}
+
+impl Iterator for RecordView<'_> {
+    type Item = RequestRecord;
+
+    fn next(&mut self) -> Option<RequestRecord> {
+        if self.front >= self.back {
+            return None;
+        }
+        let r = self.slice.record(self.front);
+        self.front += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl DoubleEndedIterator for RecordView<'_> {
+    fn next_back(&mut self) -> Option<RequestRecord> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(self.slice.record(self.back))
+    }
+}
+
+impl ExactSizeIterator for RecordView<'_> {}
+
+/// Owned encoded rows plus their intern tables — the columnar analogue of
+/// a `Vec<RequestRecord>`, for filtered subsets and unit tests.
+#[derive(Debug, Clone)]
+pub struct OwnedColumns {
+    cols: ColumnStore,
+    tables: Arc<EntityTables>,
+}
+
+impl OwnedColumns {
+    /// Encodes a record slice against freshly-built local tables.
+    pub fn from_records(records: &[RequestRecord]) -> Self {
+        let tables = Arc::new(EntityTables::from_records(records));
+        let cols = ColumnStore::encode(records.iter(), &tables);
+        Self { cols, tables }
+    }
+
+    /// Encodes a record stream against existing (shared) tables; every
+    /// entity in the stream must be interned in them.
+    pub fn encode_with(
+        tables: Arc<EntityTables>,
+        records: impl Iterator<Item = RequestRecord>,
+    ) -> Self {
+        let mut cols = ColumnStore::default();
+        for r in records {
+            cols.push_encoded(&r, &tables);
+        }
+        cols.shrink_to_fit();
+        Self { cols, tables }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Borrows the full window.
+    pub fn as_slice(&self) -> ColumnSlice<'_> {
+        self.cols.slice(0..self.cols.len(), &self.tables)
+    }
+
+    /// Heap bytes held by the columns (tables excluded — they're shared).
+    pub fn bytes(&self) -> usize {
+        self.cols.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Asn, Country};
+    use crate::time::SimDate;
+
+    fn rec(user: u64, sec: u32, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: Timestamp::from_secs(SimDate::ymd(4, 13).start().secs() + sec),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    fn sample() -> Vec<RequestRecord> {
+        vec![
+            rec(3, 0, "2001:db8:1::a"),
+            rec(1, 1, "10.0.0.1"),
+            rec(3, 2, "10.0.0.1"),
+            rec(2, 3, "2001:db8:1::a"),
+        ]
+    }
+
+    #[test]
+    fn encode_round_trips_every_row() {
+        let recs = sample();
+        let owned = OwnedColumns::from_records(&recs);
+        let slice = owned.as_slice();
+        assert_eq!(slice.len(), 4);
+        assert!(!slice.is_empty());
+        let back: Vec<RequestRecord> = slice.records().collect();
+        assert_eq!(back, recs, "materialized rows == input rows");
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(slice.record(i), *r);
+            assert_eq!(slice.user_at(i), r.user);
+            assert_eq!(slice.addr_at(i), r.ip);
+            assert_eq!(slice.is_v6_at(i), r.is_v6());
+        }
+    }
+
+    #[test]
+    fn columns_are_eighteen_bytes_per_row() {
+        let owned = OwnedColumns::from_records(&sample());
+        assert_eq!(owned.bytes(), 4 * 18, "4+4+4+4+2 bytes per row");
+        assert!(std::mem::size_of::<RequestRecord>() > 18);
+    }
+
+    #[test]
+    fn rewindowing_and_equality() {
+        let recs = sample();
+        let owned = OwnedColumns::from_records(&recs);
+        let slice = owned.as_slice();
+        let mid = slice.slice(1..3);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid.record(0), recs[1]);
+        // Content equality across different tables.
+        let other = OwnedColumns::from_records(&recs[1..3]);
+        assert_eq!(mid, other.as_slice());
+        assert_ne!(slice, other.as_slice());
+        assert!(format!("{mid:?}").contains("len"));
+    }
+
+    #[test]
+    fn record_view_is_double_ended_and_exact() {
+        let recs = sample();
+        let owned = OwnedColumns::from_records(&recs);
+        let view = owned.as_slice().records();
+        assert_eq!(view.len(), 4);
+        let rev: Vec<RequestRecord> = owned.as_slice().records().rev().collect();
+        assert_eq!(rev.first(), recs.last());
+        let empty = OwnedColumns::from_records(&[]);
+        assert_eq!(empty.as_slice().records().next(), None);
+    }
+
+    #[test]
+    fn encode_with_shared_tables() {
+        let recs = sample();
+        let tables = Arc::new(EntityTables::from_records(&recs));
+        let day = OwnedColumns::encode_with(Arc::clone(&tables), recs[..2].iter().copied());
+        assert_eq!(day.len(), 2);
+        assert_eq!(day.as_slice().record(1), recs[1]);
+        let empty = ColumnSlice::empty(&tables);
+        assert!(empty.is_empty());
+    }
+}

@@ -153,19 +153,46 @@ impl StudyDatasets {
         (base + prefixes) as u64
     }
 
-    /// Consumes the datasets into an immutable [`FrozenDatasets`] whose
-    /// stores serve `&self` range queries (see [`FrozenStore`]). Every store
-    /// is sorted here, so the caller can account the cost as one phase.
+    /// Iterates every retained record across all stores in arbitrary
+    /// order — the input for building shared intern tables before freezing.
+    pub fn iter_unordered(&self) -> impl Iterator<Item = &RequestRecord> + Clone {
+        self.request_sample
+            .iter_unordered()
+            .chain(self.user_sample.iter_unordered())
+            .chain(self.ip_sample.iter_unordered())
+            .chain(
+                self.prefix_samples
+                    .values()
+                    .flat_map(|s| s.iter_unordered()),
+            )
+    }
+
+    /// Consumes the datasets into an immutable columnar [`FrozenDatasets`]
+    /// whose stores serve `&self` range queries (see [`FrozenStore`]),
+    /// encoded against intern tables built over these datasets alone. The
+    /// driver uses [`StudyDatasets::freeze_with`] so the tables also cover
+    /// the abuse and pair stores.
     pub fn freeze(self) -> FrozenDatasets {
+        let tables = std::sync::Arc::new(crate::intern::EntityTables::build(self.iter_unordered()));
+        self.freeze_with(tables)
+    }
+
+    /// Consumes the datasets into a columnar [`FrozenDatasets`] encoded
+    /// against shared intern tables. Every store is sorted here, so the
+    /// caller can account the cost as one phase.
+    pub fn freeze_with(
+        self,
+        tables: std::sync::Arc<crate::intern::EntityTables>,
+    ) -> FrozenDatasets {
         FrozenDatasets {
             samplers: self.samplers,
-            request_sample: self.request_sample.freeze(),
-            user_sample: self.user_sample.freeze(),
-            ip_sample: self.ip_sample.freeze(),
+            request_sample: self.request_sample.freeze_with(tables.clone()),
+            user_sample: self.user_sample.freeze_with(tables.clone()),
+            ip_sample: self.ip_sample.freeze_with(tables.clone()),
             prefix_samples: self
                 .prefix_samples
                 .into_iter()
-                .map(|(len, store)| (len, store.freeze()))
+                .map(|(len, store)| (len, store.freeze_with(tables.clone())))
                 .collect(),
             offered: self.offered,
         }
@@ -207,6 +234,19 @@ impl FrozenDatasets {
         let base = self.request_sample.len() + self.user_sample.len() + self.ip_sample.len();
         let prefixes: usize = self.prefix_samples.values().map(|s| s.len()).sum();
         (base + prefixes) as u64
+    }
+
+    /// Heap bytes held by all stores' columns (intern tables excluded —
+    /// they are shared and accounted once by the caller).
+    pub fn bytes(&self) -> usize {
+        self.request_sample.bytes()
+            + self.user_sample.bytes()
+            + self.ip_sample.bytes()
+            + self
+                .prefix_samples
+                .values()
+                .map(|s| s.bytes())
+                .sum::<usize>()
     }
 }
 

@@ -1,0 +1,495 @@
+//! Global entity intern tables: dense ids for addresses and users.
+//!
+//! The study's analyses are group-by-entity scans over tens of millions of
+//! rows; hashing full 128-bit addresses (and recomputing /64, /56, /48
+//! prefixes) per row dominates them. Interning assigns every distinct
+//! address and user a **dense** id once — during the driver's freeze step —
+//! so the columnar stores carry 4-byte ids instead of 17-byte `IpAddr`
+//! enums and 8-byte raw user ids, and every prefix a pass needs is a
+//! precomputed per-entry column lookup.
+//!
+//! # Order isomorphism (the determinism contract)
+//!
+//! Dense ids are assigned in ascending raw-key order, and [`IpId`] packs
+//! the address family into bit 31 (v4 = 0, v6 = 1):
+//!
+//! - sorting by dense user id ≡ sorting by raw [`UserId`];
+//! - sorting by raw [`IpId`] ≡ sorting by [`IpAddr`]'s total order
+//!   (all v4 before all v6, numeric within each family);
+//! - prefix ids are dense in ascending prefix-bits order.
+//!
+//! Every group-by in the analysis layer therefore iterates in exactly the
+//! order the row-oriented code did, which is what keeps `EXPERIMENTS.md`
+//! byte-identical across the columnar refactor.
+
+use std::net::IpAddr;
+
+use ipv6_study_netaddr::{Ipv4Prefix, Ipv6Prefix};
+
+use crate::ids::UserId;
+use crate::record::RequestRecord;
+
+/// A dense interned address id: bit 31 is the family (1 = IPv6), the low
+/// 31 bits are the per-family index in ascending numeric address order.
+///
+/// The packing makes the `u32` ordering of ids isomorphic to [`IpAddr`]'s
+/// derived total order (v4 < v6, numeric within a family), so sorting an
+/// id column reproduces the row-oriented sort exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IpId(u32);
+
+/// The family bit of an [`IpId`].
+const V6_BIT: u32 = 1 << 31;
+
+impl IpId {
+    /// Builds an id from a family and per-family index.
+    ///
+    /// # Panics
+    /// Panics when `index` overflows the 31-bit per-family space.
+    pub fn new(v6: bool, index: usize) -> Self {
+        assert!((index as u64) < u64::from(V6_BIT), "IpId index overflow");
+        Self(if v6 {
+            V6_BIT | index as u32
+        } else {
+            index as u32
+        })
+    }
+
+    /// Whether the id denotes an IPv6 address.
+    #[inline]
+    pub fn is_v6(self) -> bool {
+        self.0 & V6_BIT != 0
+    }
+
+    /// The per-family table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 & !V6_BIT) as usize
+    }
+
+    /// The packed raw value (for radix passes over id columns).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// The interned address dictionary with precomputed prefix-id columns.
+///
+/// Per-family address tables are sorted and deduplicated; each IPv6 entry
+/// carries the dense id of its /64, /56 and /48 prefix, each IPv4 entry
+/// the dense id of its /24 — the prefix lengths the paper's aggregation
+/// analyses (Figures 4, 6, 9–11) hit on every pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IpTable {
+    v4: Vec<u32>,
+    v6: Vec<u128>,
+    v4_p24: Vec<u32>,
+    v6_p64: Vec<u32>,
+    v6_p56: Vec<u32>,
+    v6_p48: Vec<u32>,
+    p24: Vec<u32>,
+    p64: Vec<u128>,
+    p56: Vec<u128>,
+    p48: Vec<u128>,
+}
+
+/// Builds the per-entry prefix-id column plus the dense prefix table for
+/// one prefix length over a sorted address column. Sorted input means the
+/// masked bits are non-decreasing, so dense ids are assigned by run scan.
+fn prefix_column<B: Copy + PartialEq>(addrs: &[B], mask: impl Fn(B) -> B) -> (Vec<u32>, Vec<B>) {
+    let mut ids = Vec::with_capacity(addrs.len());
+    let mut table: Vec<B> = Vec::new();
+    for &a in addrs {
+        let bits = mask(a);
+        if table.last() != Some(&bits) {
+            table.push(bits);
+        }
+        ids.push((table.len() - 1) as u32);
+    }
+    (ids, table)
+}
+
+impl IpTable {
+    /// Builds the table from the distinct addresses of a record stream.
+    pub fn build<'a>(records: impl Iterator<Item = &'a RequestRecord>) -> Self {
+        let mut v4: Vec<u32> = Vec::new();
+        let mut v6: Vec<u128> = Vec::new();
+        for r in records {
+            match r.ip {
+                IpAddr::V4(a) => v4.push(u32::from(a)),
+                IpAddr::V6(a) => v6.push(u128::from(a)),
+            }
+        }
+        v4.sort_unstable();
+        v4.dedup();
+        v6.sort_unstable();
+        v6.dedup();
+        let (v4_p24, p24) = prefix_column(&v4, |a| Ipv4Prefix::bits_containing(a, 24));
+        let (v6_p64, p64) = prefix_column(&v6, |a| Ipv6Prefix::bits_containing(a, 64));
+        let (v6_p56, p56) = prefix_column(&v6, |a| Ipv6Prefix::bits_containing(a, 56));
+        let (v6_p48, p48) = prefix_column(&v6, |a| Ipv6Prefix::bits_containing(a, 48));
+        Self {
+            v4,
+            v6,
+            v4_p24,
+            v6_p64,
+            v6_p56,
+            v6_p48,
+            p24,
+            p64,
+            p56,
+            p48,
+        }
+    }
+
+    /// Number of distinct addresses (both families).
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// True when no address was interned.
+    pub fn is_empty(&self) -> bool {
+        self.v4.is_empty() && self.v6.is_empty()
+    }
+
+    /// Number of distinct IPv6 addresses.
+    pub fn num_v6(&self) -> usize {
+        self.v6.len()
+    }
+
+    /// Number of distinct IPv4 addresses.
+    pub fn num_v4(&self) -> usize {
+        self.v4.len()
+    }
+
+    /// The dense id of an interned address.
+    ///
+    /// # Panics
+    /// Panics when the address was not part of the stream the table was
+    /// built over — encoding is only defined for interned entities.
+    pub fn id_of(&self, ip: IpAddr) -> IpId {
+        match ip {
+            IpAddr::V4(a) => {
+                let i = self
+                    .v4
+                    .binary_search(&u32::from(a))
+                    .expect("address was interned");
+                IpId::new(false, i)
+            }
+            IpAddr::V6(a) => {
+                let i = self
+                    .v6
+                    .binary_search(&u128::from(a))
+                    .expect("address was interned");
+                IpId::new(true, i)
+            }
+        }
+    }
+
+    /// The address an id denotes.
+    #[inline]
+    pub fn addr(&self, id: IpId) -> IpAddr {
+        if id.is_v6() {
+            IpAddr::V6(std::net::Ipv6Addr::from(self.v6[id.index()]))
+        } else {
+            IpAddr::V4(std::net::Ipv4Addr::from(self.v4[id.index()]))
+        }
+    }
+
+    /// Raw 128-bit value of an IPv6 id.
+    ///
+    /// # Panics
+    /// Panics (in debug builds, via indexing invariants) when `id` is v4.
+    #[inline]
+    pub fn v6_bits(&self, id: IpId) -> u128 {
+        debug_assert!(id.is_v6());
+        self.v6[id.index()]
+    }
+
+    /// Raw 32-bit value of an IPv4 id.
+    #[inline]
+    pub fn v4_bits(&self, id: IpId) -> u32 {
+        debug_assert!(!id.is_v6());
+        self.v4[id.index()]
+    }
+
+    /// Dense /64 prefix id of an IPv6 address id.
+    #[inline]
+    pub fn p64_id(&self, id: IpId) -> u32 {
+        self.v6_p64[id.index()]
+    }
+
+    /// Dense /56 prefix id of an IPv6 address id.
+    #[inline]
+    pub fn p56_id(&self, id: IpId) -> u32 {
+        self.v6_p56[id.index()]
+    }
+
+    /// Dense /48 prefix id of an IPv6 address id.
+    #[inline]
+    pub fn p48_id(&self, id: IpId) -> u32 {
+        self.v6_p48[id.index()]
+    }
+
+    /// Dense /24 prefix id of an IPv4 address id.
+    #[inline]
+    pub fn p24_id(&self, id: IpId) -> u32 {
+        self.v4_p24[id.index()]
+    }
+
+    /// Network bits of a dense /64 prefix id.
+    #[inline]
+    pub fn p64_bits(&self, pid: u32) -> u128 {
+        self.p64[pid as usize]
+    }
+
+    /// Network bits of a dense /56 prefix id.
+    #[inline]
+    pub fn p56_bits(&self, pid: u32) -> u128 {
+        self.p56[pid as usize]
+    }
+
+    /// Network bits of a dense /48 prefix id.
+    #[inline]
+    pub fn p48_bits(&self, pid: u32) -> u128 {
+        self.p48[pid as usize]
+    }
+
+    /// Network bits of a dense /24 prefix id.
+    #[inline]
+    pub fn p24_bits(&self, pid: u32) -> u32 {
+        self.p24[pid as usize]
+    }
+
+    /// The per-entry prefix-id column and dense prefix table for a
+    /// precomputed IPv6 length, when that length is precomputed.
+    pub fn v6_prefix_ids(&self, len: u8) -> Option<(&[u32], &[u128])> {
+        match len {
+            64 => Some((&self.v6_p64, &self.p64)),
+            56 => Some((&self.v6_p56, &self.p56)),
+            48 => Some((&self.v6_p48, &self.p48)),
+            _ => None,
+        }
+    }
+
+    /// Heap bytes held by the table (address and prefix columns).
+    pub fn bytes(&self) -> usize {
+        self.v4.len() * 4
+            + self.v6.len() * 16
+            + (self.v4_p24.len() + self.v6_p64.len() + self.v6_p56.len() + self.v6_p48.len()) * 4
+            + self.p24.len() * 4
+            + (self.p64.len() + self.p56.len() + self.p48.len()) * 16
+    }
+}
+
+/// The interned user dictionary: dense `u32` ids in ascending raw order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserTable {
+    raw: Vec<u64>,
+}
+
+impl UserTable {
+    /// Builds the table from the distinct users of a record stream.
+    pub fn build<'a>(records: impl Iterator<Item = &'a RequestRecord>) -> Self {
+        let mut raw: Vec<u64> = records.map(|r| r.user.raw()).collect();
+        raw.sort_unstable();
+        raw.dedup();
+        Self { raw }
+    }
+
+    /// Number of distinct users.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// True when no user was interned.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The dense id of an interned user.
+    ///
+    /// # Panics
+    /// Panics when the user was not part of the stream the table was
+    /// built over.
+    #[inline]
+    pub fn dense_of(&self, user: UserId) -> u32 {
+        self.raw
+            .binary_search(&user.raw())
+            .expect("user was interned") as u32
+    }
+
+    /// The raw user id a dense id denotes.
+    #[inline]
+    pub fn user(&self, dense: u32) -> UserId {
+        UserId(self.raw[dense as usize])
+    }
+
+    /// Heap bytes held by the table.
+    pub fn bytes(&self) -> usize {
+        self.raw.len() * 8
+    }
+}
+
+/// The shared intern tables a frozen telemetry core hangs off: one address
+/// dictionary and one user dictionary, built once over every retained
+/// store during the driver's freeze step and shared by `Arc` across all
+/// frozen stores, indexes, and analysis threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EntityTables {
+    /// Interned addresses with precomputed prefix-id columns.
+    pub ips: IpTable,
+    /// Interned users.
+    pub users: UserTable,
+}
+
+impl EntityTables {
+    /// Builds both tables from one pass over a record stream.
+    pub fn build<'a>(records: impl Iterator<Item = &'a RequestRecord> + Clone) -> Self {
+        Self {
+            ips: IpTable::build(records.clone()),
+            users: UserTable::build(records),
+        }
+    }
+
+    /// Convenience constructor over a record slice.
+    pub fn from_records(records: &[RequestRecord]) -> Self {
+        Self::build(records.iter())
+    }
+
+    /// Heap bytes held by both tables.
+    pub fn bytes(&self) -> usize {
+        self.ips.bytes() + self.users.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Asn, Country};
+    use crate::time::SimDate;
+
+    fn rec(user: u64, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: SimDate::ymd(4, 13).at(12, 0, 0),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    #[test]
+    fn ids_are_order_isomorphic_to_raw_keys() {
+        let recs = vec![
+            rec(9, "2001:db8::2"),
+            rec(3, "10.0.0.1"),
+            rec(7, "2001:db8::1"),
+            rec(3, "192.0.2.1"),
+            rec(9, "10.0.0.1"),
+        ];
+        let t = EntityTables::from_records(&recs);
+        // Users dense-ascending == raw-ascending.
+        assert_eq!(t.users.len(), 3);
+        assert_eq!(t.users.user(0), UserId(3));
+        assert_eq!(t.users.user(2), UserId(9));
+        assert_eq!(t.users.dense_of(UserId(7)), 1);
+        // Addresses: every v4 id sorts below every v6 id, numeric within.
+        let mut addrs: Vec<IpAddr> = recs.iter().map(|r| r.ip).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        let ids: Vec<IpId> = addrs.iter().map(|&a| t.ips.id_of(a)).collect();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "id order == IpAddr order"
+        );
+        for (&a, &id) in addrs.iter().zip(&ids) {
+            assert_eq!(t.ips.addr(id), a, "round trip");
+        }
+        assert_eq!(t.ips.num_v4(), 2);
+        assert_eq!(t.ips.num_v6(), 2);
+        assert!(!t.ips.is_empty() && !t.users.is_empty());
+        assert!(t.bytes() > 0);
+    }
+
+    /// Satellite: the stored /64 /56 /48 (and /24) prefix ids must agree
+    /// with `netaddr` prefix math applied to the raw address — including
+    /// v4-mapped and edge addresses.
+    #[test]
+    fn prefix_columns_agree_with_netaddr_math() {
+        use ipv6_study_stats::testgen::TestGen;
+        let mut g = TestGen::new(0x4950_5442); // "IPTB"
+        let mut recs = Vec::new();
+        for i in 0..512u64 {
+            let bits = g.next_u128();
+            recs.push(rec(i, &std::net::Ipv6Addr::from(bits).to_string()));
+            let v4 = std::net::Ipv4Addr::from(g.next_u64() as u32);
+            recs.push(rec(i, &v4.to_string()));
+        }
+        // Edge and v4-mapped addresses.
+        for s in [
+            "::",
+            "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+            "::ffff:192.0.2.1",
+            "::1",
+            "0.0.0.0",
+            "255.255.255.255",
+        ] {
+            recs.push(rec(1, s));
+        }
+        let t = IpTable::build(recs.iter());
+        for r in &recs {
+            let id = t.id_of(r.ip);
+            match r.ip {
+                IpAddr::V6(a) => {
+                    let raw = u128::from(a);
+                    assert_eq!(
+                        t.p64_bits(t.p64_id(id)),
+                        Ipv6Prefix::containing(a, 64).bits(),
+                        "/64 of {a}"
+                    );
+                    assert_eq!(
+                        t.p56_bits(t.p56_id(id)),
+                        Ipv6Prefix::bits_containing(raw, 56),
+                        "/56 of {a}"
+                    );
+                    assert_eq!(
+                        t.p48_bits(t.p48_id(id)),
+                        Ipv6Prefix::bits_containing(raw, 48),
+                        "/48 of {a}"
+                    );
+                    assert_eq!(t.v6_bits(id), raw);
+                }
+                IpAddr::V4(a) => {
+                    assert_eq!(
+                        t.p24_bits(t.p24_id(id)),
+                        Ipv4Prefix::containing(a, 24).bits(),
+                        "/24 of {a}"
+                    );
+                    assert_eq!(t.v4_bits(id), u32::from(a));
+                }
+            }
+        }
+        // Prefix ids are dense in ascending prefix-bits order.
+        let (p64_ids, p64_table) = t.v6_prefix_ids(64).unwrap();
+        assert!(p64_table.windows(2).all(|w| w[0] < w[1]));
+        assert!(!p64_ids.is_empty());
+        assert!(t.v6_prefix_ids(40).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "address was interned")]
+    fn uninterned_address_panics() {
+        let t = IpTable::build([rec(1, "10.0.0.1")].iter());
+        let _ = t.id_of("10.0.0.2".parse().unwrap());
+    }
+
+    #[test]
+    fn empty_tables_are_valid() {
+        let t = EntityTables::from_records(&[]);
+        assert!(t.ips.is_empty());
+        assert!(t.users.is_empty());
+        assert_eq!(t.bytes(), 0);
+    }
+}

@@ -15,8 +15,14 @@
 //! - [`sampler`] — the four deterministic samplers: request random sample,
 //!   user random sample, IP random sample, and per-length IPv6 prefix
 //!   random samples.
+//! - [`intern`] — global entity intern tables built at freeze time:
+//!   [`intern::IpTable`] (dense [`intern::IpId`]s with precomputed
+//!   /64 /56 /48 and v4 /24 prefix ids) and [`intern::UserTable`].
+//! - [`columns`] — the columnar (struct-of-arrays) record layout:
+//!   [`columns::ColumnStore`] and the borrowed [`columns::ColumnSlice`]
+//!   window every frozen query returns.
 //! - [`store`] — an in-memory request store with time-range and group-by
-//!   helpers.
+//!   helpers; freezing encodes it into columns.
 //! - [`sink`] — the [`sink::RequestSink`] consumer trait that simulator
 //!   crates emit into, with tee/closure/counting combinators.
 //! - [`labels`] — the abusive-account label dataset with creation/detection
@@ -30,9 +36,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod csv;
 pub mod dataset;
 pub mod ids;
+pub mod intern;
 pub mod labels;
 pub mod record;
 pub mod sampler;
@@ -40,8 +48,10 @@ pub mod sink;
 pub mod store;
 pub mod time;
 
+pub use columns::{ColumnSlice, ColumnStore, OwnedColumns, RecordView};
 pub use dataset::{FrozenDatasets, StudyDatasets};
 pub use ids::{Asn, Country, DeviceId, HouseholdId, UserId};
+pub use intern::{EntityTables, IpId, IpTable, UserTable};
 pub use labels::{AbuseInfo, AbuseLabels};
 pub use record::RequestRecord;
 pub use sampler::Samplers;

@@ -8,7 +8,10 @@
 
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
+use crate::columns::{ColumnSlice, ColumnStore};
+use crate::intern::EntityTables;
 use crate::record::RequestRecord;
 use crate::time::{DateRange, SimDate};
 use crate::UserId;
@@ -43,9 +46,14 @@ impl RequestStore {
     /// flag is preserved — shard merges of non-overlapping time slices skip
     /// the full re-sort. Overlapping merges still produce the exact serial
     /// order because the eventual sort is stable over the append order.
+    /// The merged store also reserves exactly: shard-local stores arrive
+    /// with growth-doubling over-allocation, and a merge of many shards
+    /// would otherwise strand the sum of their slack for the lifetime of
+    /// the study.
     pub fn extend_from(&mut self, other: RequestStore) {
         if self.records.is_empty() {
             *self = other;
+            self.records.shrink_to_fit();
             return;
         }
         if other.records.is_empty() {
@@ -54,8 +62,20 @@ impl RequestStore {
         let still_sorted = self.sorted
             && other.sorted
             && self.records.last().map(|r| r.ts) <= other.records.first().map(|r| r.ts);
+        self.records.reserve_exact(other.records.len());
         self.records.extend(other.records);
         self.sorted = still_sorted;
+    }
+
+    /// The records' heap capacity (diagnostic; pinned by the merge test).
+    pub fn capacity(&self) -> usize {
+        self.records.capacity()
+    }
+
+    /// Iterates the records in raw (unsorted) arrival order — for building
+    /// intern tables before freezing, where order is irrelevant.
+    pub fn iter_unordered(&self) -> impl Iterator<Item = &RequestRecord> + Clone {
+        self.records.iter()
     }
 
     /// Number of records held.
@@ -123,56 +143,80 @@ impl RequestStore {
         v
     }
 
-    /// Consumes the store into an immutable, pre-sorted [`FrozenStore`]
-    /// whose queries take `&self` — the form analyses share across threads.
-    pub fn freeze(mut self) -> FrozenStore {
+    /// Consumes the store into an immutable, pre-sorted, **columnar**
+    /// [`FrozenStore`] encoded against intern tables built over this store
+    /// alone — the convenience path for tests and standalone stores. The
+    /// driver uses [`RequestStore::freeze_with`] so every store in a study
+    /// shares one global table set.
+    pub fn freeze(self) -> FrozenStore {
+        let tables = Arc::new(EntityTables::build(self.records.iter()));
+        self.freeze_with(tables)
+    }
+
+    /// Consumes the store into a columnar [`FrozenStore`] encoded against
+    /// shared intern tables. Every address and user in this store must be
+    /// interned in `tables`.
+    pub fn freeze_with(mut self, tables: Arc<EntityTables>) -> FrozenStore {
         self.ensure_sorted();
-        FrozenStore {
-            records: self.records,
-        }
+        let cols = ColumnStore::encode(self.records.iter(), &tables);
+        FrozenStore { cols, tables }
     }
 }
 
-/// An immutable, timestamp-sorted view of a completed dataset.
+/// An immutable, timestamp-sorted, columnar view of a completed dataset.
 ///
-/// [`RequestStore`] sorts lazily, so its range queries need `&mut self` —
-/// which serializes every analysis that touches the store. Freezing performs
-/// the sort once, after which [`FrozenStore::all`] / [`FrozenStore::in_range`]
-/// are pure binary-search slices over `&self`, safe to share across the
-/// parallel analysis engine's worker threads. Query results are byte-for-byte
+/// [`RequestStore`] keeps rows (cheap to append from the simulator);
+/// freezing performs the final stable sort once and transposes the rows
+/// into interned struct-of-arrays columns — 18 bytes/row instead of the
+/// 40-byte `RequestRecord`. Range queries are binary searches over the
+/// timestamp column returning [`ColumnSlice`] windows over `&self`, safe
+/// to share across the parallel analysis engine's worker threads; rows
+/// rematerialize lazily through [`ColumnSlice::records`], byte-for-byte
 /// what the thawed store would have returned.
 #[derive(Debug, Clone, Default)]
 pub struct FrozenStore {
-    records: Vec<RequestRecord>,
+    cols: ColumnStore,
+    tables: Arc<EntityTables>,
 }
 
 impl FrozenStore {
     /// Number of records held.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.cols.len()
     }
 
     /// True when the store holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.cols.is_empty()
     }
 
     /// All records, time-ordered.
-    pub fn all(&self) -> &[RequestRecord] {
-        &self.records
+    pub fn all(&self) -> ColumnSlice<'_> {
+        self.cols.slice(0..self.cols.len(), &self.tables)
     }
 
     /// The records whose timestamps fall inside `range` (inclusive days).
-    pub fn in_range(&self, range: DateRange) -> &[RequestRecord] {
+    pub fn in_range(&self, range: DateRange) -> ColumnSlice<'_> {
         let (lo_ts, hi_ts) = range.ts_bounds();
-        let lo = self.records.partition_point(|r| r.ts < lo_ts);
-        let hi = self.records.partition_point(|r| r.ts <= hi_ts);
-        &self.records[lo..hi]
+        let lo = self.cols.ts.partition_point(|&ts| ts < lo_ts);
+        let hi = self.cols.ts.partition_point(|&ts| ts <= hi_ts);
+        self.cols.slice(lo..hi, &self.tables)
     }
 
     /// The records on one day.
-    pub fn on_day(&self, day: SimDate) -> &[RequestRecord] {
+    pub fn on_day(&self, day: SimDate) -> ColumnSlice<'_> {
         self.in_range(DateRange::single(day))
+    }
+
+    /// The intern tables this store is encoded against.
+    pub fn tables(&self) -> &Arc<EntityTables> {
+        &self.tables
+    }
+
+    /// Heap bytes held by the columns (tables excluded — they are shared
+    /// across every store of a study and accounted once).
+    pub fn bytes(&self) -> usize {
+        self.cols.bytes()
     }
 }
 
@@ -296,16 +340,55 @@ mod tests {
         s.push(rec(4, SimDate::ymd(4, 12), 23, "2001:db8::4"));
         let frozen = s.clone().freeze();
         assert_eq!(frozen.len(), s.len());
-        assert_eq!(frozen.all(), s.all());
+        assert_eq!(frozen.all().records().collect::<Vec<_>>(), s.all());
         assert_eq!(
-            frozen.in_range(crate::time::focus_week()),
+            frozen
+                .in_range(crate::time::focus_week())
+                .records()
+                .collect::<Vec<_>>(),
             s.in_range(crate::time::focus_week())
         );
         assert_eq!(
-            frozen.on_day(SimDate::ymd(4, 13)),
+            frozen
+                .on_day(SimDate::ymd(4, 13))
+                .records()
+                .collect::<Vec<_>>(),
             s.on_day(SimDate::ymd(4, 13))
         );
         assert!(frozen.on_day(SimDate::ymd(1, 1)).is_empty());
+        // Columnar cost: 18 bytes/row vs the 40-byte row struct.
+        assert_eq!(frozen.bytes(), frozen.len() * 18);
+        assert!(!frozen.tables().ips.is_empty());
+    }
+
+    #[test]
+    fn extend_from_reserves_exactly() {
+        let mut shard = RequestStore::new();
+        for i in 0..100 {
+            shard.push(rec(i, SimDate::ymd(4, 13), 1, "2001:db8::1"));
+        }
+        assert!(
+            shard.capacity() > shard.len(),
+            "growth-doubling leaves slack to demonstrate the fix"
+        );
+        let mut merged = RequestStore::new();
+        merged.extend_from(shard);
+        assert_eq!(
+            merged.capacity(),
+            merged.len(),
+            "merging into empty shrinks the moved buffer"
+        );
+        let mut other = RequestStore::new();
+        for i in 0..37 {
+            other.push(rec(i, SimDate::ymd(4, 14), 1, "2001:db8::2"));
+        }
+        merged.extend_from(other);
+        assert_eq!(merged.len(), 137);
+        assert_eq!(
+            merged.capacity(),
+            merged.len(),
+            "append path reserves exactly, stranding no shard slack"
+        );
     }
 
     #[test]

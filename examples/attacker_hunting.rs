@@ -24,7 +24,7 @@ fn main() {
     let week = study.datasets.ip_sample.in_range(focus_week());
     let upi = users_per_ip(&DatasetIndex::build(week));
     let mut asn_of = HashMap::new();
-    for r in week {
+    for r in week.records() {
         asn_of.entry(r.ip).or_insert(r.asn);
     }
     let heavy = (study.approx_users / 1_500).max(8);

@@ -54,7 +54,7 @@ fn main() {
         (Granularity::V4Full, "IPv4"),
     ] {
         let bl = Blocklist::from_day(listing, &study.labels, gran, 0.5, list_day, 14);
-        let later: Vec<(SimDate, &[_])> = (1..=6u16)
+        let later: Vec<(SimDate, _)> = (1..=6u16)
             .map(|k| (list_day + k, study.datasets.ip_sample.on_day(list_day + k)))
             .collect();
         let evals = evaluate_over_days(&bl, &study.labels, list_day, later.iter().copied());

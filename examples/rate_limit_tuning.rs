@@ -67,7 +67,7 @@ fn main() {
     let mut throttled = 0u64;
     let day = ipv6_user_study::telemetry::time::focus_day_ip();
     let recs = study.datasets.ip_sample.on_day(day);
-    for r in recs {
+    for r in recs.records() {
         if limiter.allow(r.ip, r.ts) {
             allowed += 1;
         } else {

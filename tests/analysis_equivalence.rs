@@ -81,3 +81,21 @@ fn serial_output_matches_the_pinned_golden_digest() {
          golden (update the constant only for intentional analysis changes)"
     );
 }
+
+/// The columnar-core contract: the interned struct-of-arrays engine must
+/// reproduce the row-oriented serial output bit for bit — the pinned
+/// pre-columnar golden digest — at both ends of the thread range. A
+/// drifting intern order (dense ids not isomorphic to entity order)
+/// or a lossy column round-trip shows up here first.
+#[test]
+fn columnar_engine_matches_the_row_golden_at_1_and_8_threads() {
+    for threads in [1usize, 8] {
+        let (md, _) = rendered(threads, IndexMode::Sorted);
+        let digest = stable_hash64(DIGEST_SEED, md.as_bytes());
+        assert_eq!(
+            digest, GOLDEN_TINY_MARKDOWN_DIGEST,
+            "columnar output drifted from the row-store golden at \
+             analysis_threads={threads}"
+        );
+    }
+}

@@ -16,13 +16,13 @@
 //!    retrying; `Retry` fails only after the retry budget is exhausted.
 
 use ipv6_user_study::stats::hash::StableHasher;
-use ipv6_user_study::telemetry::RequestRecord;
+use ipv6_user_study::telemetry::ColumnSlice;
 use ipv6_user_study::{FailurePolicy, FaultInjector, Study, StudyConfig, StudyError};
 
 /// Order-sensitive digest of a record sequence.
-fn digest(records: &[RequestRecord]) -> u64 {
+fn digest(records: ColumnSlice<'_>) -> u64 {
     let mut h = StableHasher::new(0x4348_414F); // "CHAO"
-    for r in records {
+    for r in records.records() {
         h.write_u64(u64::from(r.ts.secs()))
             .write_u64(r.user.raw())
             .write_u64(r.ip_key())

@@ -4,7 +4,7 @@
 //! by construction.
 
 use ipv6_user_study::stats::hash::StableHasher;
-use ipv6_user_study::telemetry::RequestRecord;
+use ipv6_user_study::telemetry::ColumnSlice;
 use ipv6_user_study::{Study, StudyConfig};
 
 fn run_with_threads(threads: usize) -> Study {
@@ -14,9 +14,9 @@ fn run_with_threads(threads: usize) -> Study {
 }
 
 /// Order-sensitive digest of a record sequence.
-fn digest(records: &[RequestRecord]) -> u64 {
+fn digest(records: ColumnSlice<'_>) -> u64 {
     let mut h = StableHasher::new(0x5041_5245); // "PARE"
-    for r in records {
+    for r in records.records() {
         h.write_u64(u64::from(r.ts.secs()))
             .write_u64(r.user.raw())
             .write_u64(r.ip_key())

@@ -10,7 +10,7 @@
 
 use ipv6_user_study::experiments::run_all;
 use ipv6_user_study::stats::hash::StableHasher;
-use ipv6_user_study::telemetry::RequestRecord;
+use ipv6_user_study::telemetry::ColumnSlice;
 use ipv6_user_study::{Study, StudyConfig};
 
 fn instrumented_tiny_run() -> Study {
@@ -40,6 +40,9 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.sim.shards[].records_per_sec",
     "$.sim.total_records",
     "$.sim.records_per_sec",
+    "$.sim.store_bytes",
+    "$.sim.bytes_per_record",
+    "$.analysis.index_bytes",
     "$.analysis.figures[].id",
     "$.analysis.figures[].wall_secs",
     "$.analysis.figures[].input_records",
@@ -54,6 +57,9 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.actioning[].units_evaluated",
     "$.metrics.counters.sim.records_total",
     "$.metrics.gauges.sim.records_per_sec",
+    "$.metrics.gauges.sim.store_bytes",
+    "$.metrics.gauges.sim.bytes_per_record",
+    "$.metrics.gauges.analysis.index_bytes",
     "$.metrics.histograms.analysis.figure_wall.count",
     "$.metrics.histograms.sim.shard_wall.count",
     "$.config.failure_policy",
@@ -143,9 +149,9 @@ fn report_covers_every_experiment_and_all_sim_records() {
 }
 
 /// Order-sensitive digest of a record sequence.
-fn digest(records: &[RequestRecord]) -> u64 {
+fn digest(records: ColumnSlice<'_>) -> u64 {
     let mut h = StableHasher::new(0x4f42_5331); // "OBS1"
-    for r in records {
+    for r in records.records() {
         h.write_u64(u64::from(r.ts.secs()))
             .write_u64(r.user.raw())
             .write_u64(r.ip_key())
