@@ -377,7 +377,7 @@ impl<'w> AbuseSim<'w> {
             let hour = uniform_range(self.h(27, key, jd), 24) as u8;
             let min = uniform_range(self.h(28, key, jd), 60) as u8;
             let sec = uniform_range(self.h(29, key, jd), 60) as u8;
-            out.accept(RequestRecord {
+            out.push(RequestRecord {
                 ts: day.at(hour, min, sec),
                 user: account,
                 ip,

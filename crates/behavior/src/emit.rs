@@ -136,7 +136,7 @@ fn emit_context(
         let min = uniform_range(h(7, jj, 0), 60) as u8;
         let sec = uniform_range(h(8, jj, 0), 60) as u8;
 
-        out.accept(RequestRecord {
+        out.push(RequestRecord {
             ts: day.at(hour, min, sec),
             user: profile.user,
             ip,

@@ -36,5 +36,7 @@ pub mod schedule;
 
 pub use abuse::{AbuseSim, CampaignInfra};
 pub use device::{DeviceKind, DeviceProfile, Eui64Mode};
-pub use population::{HouseholdProfile, Population, UserProfile};
+pub use population::{
+    approx_users, HouseholdProfile, Population, UserProfile, USERS_PER_HOUSEHOLD,
+};
 pub use schedule::{ContextKind, DayPlan, SessionCtx};

@@ -26,6 +26,16 @@ pub const WORK_NETWORK: f64 = 0.35;
 pub const VPN_USERS: f64 = 0.015;
 /// Maximum members a household can hold in the id encoding.
 pub const MAX_MEMBERS: u64 = 8;
+/// Mean members per household (the 25/30/25/20 split below). Exported so
+/// config-time sampling validation uses the same population arithmetic as
+/// the simulator.
+pub const USERS_PER_HOUSEHOLD: f64 = 2.4;
+
+/// Expected user count for a household count — `households ×`
+/// [`USERS_PER_HOUSEHOLD`], truncated.
+pub fn approx_users(households: u64) -> u64 {
+    (households as f64 * USERS_PER_HOUSEHOLD) as u64
+}
 
 /// A household: country, home ISP, and member count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,9 +122,10 @@ impl<'w> Population<'w> {
         self.households
     }
 
-    /// Expected number of users (~2.4 members per household).
+    /// Expected number of users (~[`USERS_PER_HOUSEHOLD`] members per
+    /// household).
     pub fn approx_users(&self) -> u64 {
-        (self.households as f64 * 2.4) as u64
+        approx_users(self.households)
     }
 
     fn h(&self, tag: u32, a: u64, b: u64) -> u64 {

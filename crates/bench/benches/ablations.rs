@@ -28,7 +28,7 @@ fn main() {
             fig5.get_stat("fig5.v6_newborn_share").unwrap_or(f64::NAN),
             fig2.get_stat("fig2.v6_week_median").unwrap_or(f64::NAN),
             fig7.get_stat("fig7.v4_day_gt3").unwrap_or(f64::NAN),
-            study.labels.detected_within(0),
+            study.labels().detected_within(0),
         );
     }
 

@@ -1,0 +1,73 @@
+//! Instrumented benchmark entry point: runs a full study plus every
+//! analysis pass and writes the run's observability report as
+//! `BENCH_run.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ipv6-study-bench --bin bench_run -- \
+//!     [scale] [--threads N|auto] [--analysis-threads N|auto] [--out PATH] \
+//!     [--households N] [--storage memory|spill[:DIR]] [--segment-rows N]
+//! ```
+//!
+//! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
+//! The JSON schema is documented in DESIGN.md and pinned by the
+//! `tests/run_report.rs` golden test; timing values vary run to run, the
+//! field set does not. The report echoes the storage mode, segment size,
+//! and sampling plan, and carries `sim.peak_store_bytes` — the number
+//! `--storage spill` keeps flat as `--households` grows.
+
+use ipv6_study_bench::cli::{usage_exit, CommonArgs};
+use ipv6_study_core::experiments::run_all;
+use ipv6_study_core::{Study, StudyError};
+
+const USAGE: &str = "usage: bench_run [tiny|test|default|full] [--threads N|auto] \
+     [--analysis-threads N|auto] [--out PATH] [--households N] \
+     [--storage memory|spill[:DIR]] [--segment-rows N]";
+
+fn main() {
+    let args = CommonArgs::parse(std::env::args().skip(1), USAGE);
+    let mut out_path = None;
+    let mut rest = args.rest.iter();
+    while let Some(arg) = rest.next() {
+        if arg == "--out" {
+            let Some(v) = rest.next() else {
+                usage_exit(USAGE, "--out needs a value")
+            };
+            out_path = Some(v.clone());
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out_path = Some(v.to_string());
+        } else {
+            usage_exit(USAGE, &format!("unexpected argument `{arg}`"));
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_run.json".into());
+    let mut config = args.config(USAGE);
+    config.instrument = true;
+
+    let mut study = match Study::run(config) {
+        Ok(s) => s,
+        Err(e @ StudyError::Config(_)) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        Err(StudyError::ShardsFailed(report)) => {
+            eprint!("{}", report.render());
+            eprintln!("run failed: shard failures exceeded the failure policy");
+            std::process::exit(1);
+        }
+    };
+    if !study.faults().is_clean() {
+        eprint!("{}", study.faults().render());
+    }
+    let _results = run_all(&mut study);
+    eprint!("{}", study.report().render());
+
+    match std::fs::write(&out_path, study.report().to_json_string()) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Regenerates every table and figure of the study and writes
+//! EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ipv6-study-bench --bin repro -- \
+//!     [scale] [output.md] [--threads N|auto] [--analysis-threads N|auto] \
+//!     [--households N] [--storage memory|spill[:DIR]] [--segment-rows N]
+//! ```
+//!
+//! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
+//! When an output path is given, the markdown report is written there;
+//! otherwise it goes to `EXPERIMENTS.md` in the current directory.
+//! `--threads N` runs the sharded simulation driver on N workers
+//! (`auto` = all available cores), and `--analysis-threads N` does the
+//! same for the analysis engine (it defaults to `--threads`). `--storage
+//! spill` bounds peak memory by spilling full-fidelity streams to sorted
+//! segment files during the sim. Output is byte-identical at any thread
+//! count and in either storage mode.
+
+use std::time::Instant;
+
+use ipv6_study_bench::cli::{usage_exit, CommonArgs};
+use ipv6_study_core::experiments::run_all;
+use ipv6_study_core::report::{render_markdown, render_summary};
+use ipv6_study_core::{Study, StudyError};
+
+const USAGE: &str = "usage: repro [tiny|test|default|full] [output.md] [--threads N|auto] \
+     [--analysis-threads N|auto] [--households N] [--storage memory|spill[:DIR]] \
+     [--segment-rows N]";
+
+fn main() {
+    let args = CommonArgs::parse(std::env::args().skip(1), USAGE);
+    let mut output = None;
+    for arg in &args.rest {
+        if arg.starts_with('-') || output.is_some() {
+            usage_exit(USAGE, &format!("unexpected argument `{arg}`"));
+        }
+        output = Some(arg.clone());
+    }
+    let output = output.unwrap_or_else(|| "EXPERIMENTS.md".into());
+    let config = args.config(USAGE);
+
+    eprintln!(
+        "running study: {} households, {} campaigns, {}..{}, {} thread(s), {} storage",
+        config.households,
+        config.campaigns,
+        config.full_range.start,
+        config.full_range.end,
+        config.threads,
+        config.storage.label(),
+    );
+    let mut study = match Study::run(config) {
+        Ok(s) => s,
+        Err(e @ StudyError::Config(_)) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        Err(StudyError::ShardsFailed(report)) => {
+            eprint!("{}", report.render());
+            eprintln!("run failed: shard failures exceeded the failure policy");
+            std::process::exit(1);
+        }
+    };
+    eprint!("{}", study.metrics().render());
+    if !study.faults().is_clean() {
+        eprint!("{}", study.faults().render());
+    }
+    eprintln!(
+        "simulation done: {} requests offered, {} retained, {} abusive accounts",
+        study.datasets().offered,
+        study.datasets().retained(),
+        study.labels().len()
+    );
+
+    let t1 = Instant::now();
+    let results = run_all(&mut study);
+    eprintln!("analyses done in {:.1?}", t1.elapsed());
+
+    print!("{}", render_summary(&results));
+
+    let md = render_markdown(&results);
+    match std::fs::write(&output, &md) {
+        Ok(()) => eprintln!("wrote {output}"),
+        Err(e) => {
+            eprintln!("failed to write {output}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The observability report rides along with every repro run.
+    if study.report().enabled {
+        match std::fs::write("BENCH_run.json", study.report().to_json_string()) {
+            Ok(()) => eprintln!("wrote BENCH_run.json"),
+            Err(e) => {
+                eprintln!("failed to write BENCH_run.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -13,6 +13,8 @@ use std::time::Instant;
 
 use ipv6_study_core::{AnalysisCtx, Study, StudyConfig};
 
+pub mod cli;
+
 /// The shared study (test scale: fast enough for bench startup, dense
 /// enough for every figure to be populated).
 pub fn study() -> &'static Study {

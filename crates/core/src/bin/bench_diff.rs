@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p ipv6-study-core --bin bench_diff -- \
 //!     baseline.json current.json [--max-regression PCT] \
-//!     [--max-memory-regression PCT]
+//!     [--max-memory-regression PCT] [--max-peak-regression PCT]
 //! ```
 //!
 //! Prints a per-figure wall-clock diff plus the engine phase walls, then
@@ -16,6 +16,10 @@
 //! never fail CI. With `--max-memory-regression`, also gates the frozen
 //! store footprint (`sim.store_bytes`, a schema-v2 field): deterministic
 //! byte counts get no noise floor, any growth past the budget fails.
+//! `--max-peak-regression` gates `sim.peak_store_bytes` (schema v3) the
+//! same way — CI uses it to prove a spill run's sim-phase peak memory
+//! stays flat even when the current run simulates orders of magnitude
+//! more households than the baseline.
 //! Exit 2 means bad usage or an unreadable document.
 //! Timing comparisons only make sense between runs of the same scale and
 //! machine class; CI diffs a fresh run against the committed baseline.
@@ -29,7 +33,8 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: bench_diff <baseline.json> <current.json> \
-         [--max-regression PCT] [--max-memory-regression PCT]"
+         [--max-regression PCT] [--max-memory-regression PCT] \
+         [--max-peak-regression PCT]"
     );
     std::process::exit(2);
 }
@@ -93,6 +98,7 @@ fn main() {
     let mut paths = Vec::new();
     let mut max_regression_pct = 25.0;
     let mut max_memory_regression_pct: Option<f64> = None;
+    let mut max_peak_regression_pct: Option<f64> = None;
     let parse_pct = |v: &str| -> f64 {
         v.parse()
             .unwrap_or_else(|_| usage_exit(&format!("bad percentage `{v}`")))
@@ -113,6 +119,13 @@ fn main() {
             max_memory_regression_pct = Some(parse_pct(&v));
         } else if let Some(v) = arg.strip_prefix("--max-memory-regression=") {
             max_memory_regression_pct = Some(parse_pct(v));
+        } else if arg == "--max-peak-regression" {
+            let Some(v) = args.next() else {
+                usage_exit("--max-peak-regression needs a value")
+            };
+            max_peak_regression_pct = Some(parse_pct(&v));
+        } else if let Some(v) = arg.strip_prefix("--max-peak-regression=") {
+            max_peak_regression_pct = Some(parse_pct(v));
         } else {
             paths.push(arg);
         }
@@ -197,6 +210,35 @@ fn main() {
             _ => println!(
                 "store bytes: baseline has no usable sim.store_bytes \
                  (pre-v2 schema or uninstrumented); memory gate skipped"
+            ),
+        }
+    }
+
+    // Peak-memory gate: like the store gate, deterministic hence no noise
+    // floor. This is the out-of-core pipeline's flat-memory proof — the
+    // current run may be vastly larger than the baseline, yet its
+    // sim-phase high-water must stay within the budget.
+    if let Some(limit_pct) = max_peak_regression_pct {
+        let base_peak = number_at(&baseline, "sim.peak_store_bytes");
+        let cur_peak = number_at(&current, "sim.peak_store_bytes");
+        match (base_peak, cur_peak) {
+            (Some(base), Some(cur)) if base > 0.0 => {
+                let peak_pct = 100.0 * (cur - base) / base;
+                println!(
+                    "peak store bytes: {:.0} -> {:.0} ({peak_pct:+.1}%)",
+                    base, cur
+                );
+                if peak_pct > limit_pct {
+                    eprintln!(
+                        "FAIL: sim.peak_store_bytes regressed {peak_pct:.1}% \
+                         (limit {limit_pct:.0}%)"
+                    );
+                    failed = true;
+                }
+            }
+            _ => println!(
+                "peak store bytes: baseline has no usable sim.peak_store_bytes \
+                 (pre-v3 schema or uninstrumented); peak gate skipped"
             ),
         }
     }

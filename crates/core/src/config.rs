@@ -8,7 +8,7 @@ use crate::faults::{FailurePolicy, FaultInjector, StudyOutcome};
 use crate::study::Study;
 use ipv6_study_netaddr::STUDY_PREFIX_LENGTHS;
 use ipv6_study_telemetry::time::{study_end, study_start};
-use ipv6_study_telemetry::{DateRange, SimDate};
+use ipv6_study_telemetry::{DateRange, Samplers, SimDate, StorageMode};
 
 /// Why a [`StudyConfig`] cannot be run.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +39,22 @@ pub enum ConfigError {
     TooManyRetries(u32),
     /// The fault injector's `panic_rate` is outside `[0, 1]` (or NaN).
     FaultRateOutOfRange(f64),
+    /// `storage` is [`StorageMode::Spill`] with `segment_rows == 0`: a
+    /// segment must stage at least one row.
+    ZeroSegmentRows,
+    /// The spill session directory cannot be created or used.
+    Storage(String),
+    /// A fixed sampling rate is not a probability in `(0, 1]` (or NaN).
+    InvalidSamplingRate(f64),
+    /// The sampling plan expects fewer than one sampled user at the
+    /// configured population — every sampled dataset would be empty in
+    /// expectation, which is a misconfiguration, not a study.
+    SamplingTooSparse {
+        /// The configured per-entity rate.
+        rate: f64,
+        /// The approximate user population the rate applies to.
+        population: u64,
+    },
     /// The world's network portfolio cannot be materialized from this
     /// configuration (an address-assignment invariant would be violated).
     Network(String),
@@ -72,6 +88,18 @@ impl fmt::Display for ConfigError {
             ConfigError::FaultRateOutOfRange(r) => {
                 write!(f, "fault panic_rate {r} must be within [0, 1]")
             }
+            ConfigError::ZeroSegmentRows => {
+                write!(f, "spill segment_rows must be at least 1")
+            }
+            ConfigError::Storage(msg) => write!(f, "spill storage unusable: {msg}"),
+            ConfigError::InvalidSamplingRate(r) => {
+                write!(f, "sampling rate {r} must be within (0, 1]")
+            }
+            ConfigError::SamplingTooSparse { rate, population } => write!(
+                f,
+                "sampling rate {rate} over ~{population} users expects fewer than one \
+                 sampled user"
+            ),
             ConfigError::Network(msg) => write!(f, "network portfolio invalid: {msg}"),
         }
     }
@@ -84,6 +112,79 @@ impl fmt::Display for ConfigError {
 pub const MAX_SHARD_RETRIES_CAP: u32 = 64;
 
 impl std::error::Error for ConfigError {}
+
+/// How the §3.1 sampler rates are chosen for a run.
+///
+/// Previously callers picked [`Samplers::scaled_for`] or
+/// [`Samplers::paper`] directly, and a builder that changed `households`
+/// after choosing silently kept stale rates. The plan is resolved against
+/// the *final* configured population exactly once, at
+/// [`Study::run`] time, and validated by [`StudyConfig::validate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum SamplingPlan {
+    /// Rates scaled so each sampled dataset stays analysis-sized at any
+    /// population ([`Samplers::scaled_for`]) — the default.
+    #[default]
+    Scaled,
+    /// The paper's fixed 0.1% rates ([`Samplers::paper`]); rejected when
+    /// the population is too small to expect even one sampled user.
+    Paper,
+    /// One fixed rate for all four samplers.
+    Fixed {
+        /// The per-entity sampling probability, in `(0, 1]`.
+        rate: f64,
+    },
+}
+
+impl SamplingPlan {
+    /// Resolves the plan into concrete sampler rates for a population of
+    /// approximately `population` users.
+    pub fn resolve(&self, population: u64) -> Samplers {
+        match *self {
+            SamplingPlan::Scaled => Samplers::scaled_for(population),
+            SamplingPlan::Paper => Samplers::paper(),
+            SamplingPlan::Fixed { rate } => Samplers {
+                request_rate: rate,
+                user_rate: rate,
+                ip_rate: rate,
+                prefix_rate: rate,
+            },
+        }
+    }
+
+    /// Machine-readable label echoed into `BENCH_run.json`
+    /// (`"scaled"` / `"paper"` / `"fixed:RATE"`).
+    pub fn label(&self) -> String {
+        match *self {
+            SamplingPlan::Scaled => "scaled".to_string(),
+            SamplingPlan::Paper => "paper".to_string(),
+            SamplingPlan::Fixed { rate } => format!("fixed:{rate}"),
+        }
+    }
+
+    /// Validates the plan against the configured population.
+    fn validate(&self, population: u64) -> Result<(), ConfigError> {
+        let fixed_rate = match *self {
+            // `scaled_for` clamps itself into a sane range for any
+            // population; nothing to reject.
+            SamplingPlan::Scaled => return Ok(()),
+            SamplingPlan::Paper => Samplers::paper().user_rate,
+            SamplingPlan::Fixed { rate } => {
+                if !(rate > 0.0 && rate <= 1.0) {
+                    return Err(ConfigError::InvalidSamplingRate(rate));
+                }
+                rate
+            }
+        };
+        if fixed_rate * (population as f64) < 1.0 {
+            return Err(ConfigError::SamplingTooSparse {
+                rate: fixed_rate,
+                population,
+            });
+        }
+        Ok(())
+    }
+}
 
 /// Configuration for one study run.
 #[derive(Debug, Clone)]
@@ -130,6 +231,15 @@ pub struct StudyConfig {
     /// Deterministic fault-injection harness, off (`None`) by default.
     /// Only test and chaos configurations set this.
     pub faults: Option<FaultInjector>,
+    /// Where retained streams live during the sim phase:
+    /// [`StorageMode::InMemory`] (default) or [`StorageMode::Spill`],
+    /// which bounds peak memory by streaming every dataset family into
+    /// sorted on-disk segments. The emitted datasets are byte-identical
+    /// in both modes.
+    pub storage: StorageMode,
+    /// How the §3.1 sampler rates are derived from the configured
+    /// population (resolved once, at run time).
+    pub sampling: SamplingPlan,
 }
 
 impl StudyConfig {
@@ -178,7 +288,15 @@ impl StudyConfig {
             failure_policy: FailurePolicy::Abort,
             max_shard_retries: 2,
             faults: None,
+            storage: StorageMode::InMemory,
+            sampling: SamplingPlan::Scaled,
         }
+    }
+
+    /// The approximate user population this config simulates — the number
+    /// the sampling plan is resolved and validated against.
+    pub fn approx_users(&self) -> u64 {
+        ipv6_study_behavior::approx_users(self.households)
     }
 
     /// Validates internal consistency, reporting the first violated
@@ -212,6 +330,12 @@ impl StudyConfig {
         if self.max_shard_retries > MAX_SHARD_RETRIES_CAP {
             return Err(ConfigError::TooManyRetries(self.max_shard_retries));
         }
+        if let StorageMode::Spill { segment_rows, .. } = &self.storage {
+            if *segment_rows == 0 {
+                return Err(ConfigError::ZeroSegmentRows);
+            }
+        }
+        self.sampling.validate(self.approx_users())?;
         if let Some(faults) = &self.faults {
             faults.validate()?;
         }
@@ -241,7 +365,7 @@ impl StudyConfig {
 /// use ipv6_study_core::Study;
 ///
 /// let study = Study::builder().tiny().seed(7).threads(2).run().unwrap();
-/// assert_eq!(study.config.seed, 7);
+/// assert_eq!(study.config().seed, 7);
 /// ```
 #[derive(Debug, Clone)]
 pub struct StudyBuilder {
@@ -289,6 +413,8 @@ impl StudyBuilder {
         cfg.failure_policy = self.config.failure_policy;
         cfg.max_shard_retries = self.config.max_shard_retries;
         cfg.faults = self.config.faults;
+        cfg.storage = self.config.storage;
+        cfg.sampling = self.config.sampling;
         Self { config: cfg }
     }
 
@@ -367,6 +493,22 @@ impl StudyBuilder {
         self
     }
 
+    /// Sets the sim-phase storage mode (in-memory or bounded spill-to-
+    /// disk; emitted datasets are byte-identical in both).
+    pub fn storage(mut self, storage: StorageMode) -> Self {
+        self.config.storage = storage;
+        self
+    }
+
+    /// Sets the sampling plan — the single place sampler rates are
+    /// chosen. The plan is resolved against the *final* population at run
+    /// time, so it composes with later [`StudyBuilder::households`] calls
+    /// instead of silently keeping stale rates.
+    pub fn sampling(mut self, plan: SamplingPlan) -> Self {
+        self.config.sampling = plan;
+        self
+    }
+
     /// Validates and returns the configuration without running it.
     pub fn build(self) -> Result<StudyConfig, ConfigError> {
         self.config.validate()?;
@@ -429,6 +571,74 @@ mod tests {
         let mut cfg = StudyConfig::tiny();
         cfg.analysis_threads = Some(0);
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroAnalysisThreads));
+
+        let mut cfg = StudyConfig::tiny();
+        cfg.storage = StorageMode::Spill {
+            dir: None,
+            segment_rows: 0,
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroSegmentRows));
+
+        let mut cfg = StudyConfig::tiny();
+        cfg.sampling = SamplingPlan::Fixed { rate: 1.5 };
+        assert_eq!(cfg.validate(), Err(ConfigError::InvalidSamplingRate(1.5)));
+        cfg.sampling = SamplingPlan::Fixed { rate: 0.0 };
+        assert_eq!(cfg.validate(), Err(ConfigError::InvalidSamplingRate(0.0)));
+        cfg.sampling = SamplingPlan::Fixed { rate: f64::NAN };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidSamplingRate(_))
+        ));
+    }
+
+    #[test]
+    fn sampling_plan_is_validated_against_the_final_population() {
+        // The paper's 0.1% over the tiny preset's ~960 users expects less
+        // than one sampled user: rejected.
+        let mut cfg = StudyConfig::tiny();
+        cfg.sampling = SamplingPlan::Paper;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::SamplingTooSparse {
+                rate: 0.001,
+                population: cfg.approx_users(),
+            })
+        );
+        // The same plan at default scale (~48k users) is fine.
+        let mut cfg = StudyConfig::default_scale();
+        cfg.sampling = SamplingPlan::Paper;
+        cfg.validate().unwrap();
+
+        // The builder resolves against the final population, so ordering
+        // sampling() before households() cannot produce stale rates.
+        let err = Study::builder()
+            .sampling(SamplingPlan::Paper)
+            .tiny()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::SamplingTooSparse { .. }));
+        let cfg = Study::builder()
+            .sampling(SamplingPlan::Paper)
+            .households(20_000)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.sampling.resolve(cfg.approx_users()), Samplers::paper());
+    }
+
+    #[test]
+    fn sampling_plan_labels_and_resolution() {
+        assert_eq!(SamplingPlan::Scaled.label(), "scaled");
+        assert_eq!(SamplingPlan::Paper.label(), "paper");
+        assert_eq!(SamplingPlan::Fixed { rate: 0.25 }.label(), "fixed:0.25");
+        assert_eq!(
+            SamplingPlan::Scaled.resolve(1_000),
+            Samplers::scaled_for(1_000)
+        );
+        let fixed = SamplingPlan::Fixed { rate: 0.25 }.resolve(1_000);
+        assert_eq!(fixed.request_rate, 0.25);
+        assert_eq!(fixed.user_rate, 0.25);
+        assert_eq!(fixed.ip_rate, 0.25);
+        assert_eq!(fixed.prefix_rate, 0.25);
     }
 
     #[test]

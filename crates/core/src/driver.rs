@@ -52,9 +52,11 @@ use ipv6_study_behavior::schedule::day_plan;
 use ipv6_study_netmodel::World;
 use ipv6_study_obs::report::rate_per_sec;
 use ipv6_study_obs::timer::{time_phase, PhaseStat};
+use ipv6_study_telemetry::spill::{merge_into_frozen, KeyCollector};
 use ipv6_study_telemetry::{
-    EntityTables, FrozenDatasets, FrozenStore, RequestRecord, RequestSink, RequestStore, Samplers,
-    SimDate, StudyDatasets,
+    EntityTables, FamilyPayload, FrozenDatasets, FrozenStore, MemGauge, RequestSink, RequestStore,
+    RunManifest, Samplers, ShardPayload, ShardSink, SimDate, SinkStorage, SpillSession,
+    StorageMode, StudyDatasets,
 };
 
 use crate::config::StudyConfig;
@@ -89,10 +91,12 @@ fn shard_label(work: &ShardWork) -> String {
 
 /// Everything one shard produced.
 struct ShardOutput {
-    datasets: StudyDatasets,
-    abuse_store: RequestStore,
-    pair_store: RequestStore,
-    records: u64,
+    payload: ShardPayload,
+    /// Distinct users this (benign) shard enumerated on the first study
+    /// day — the denominator of the realized user-sample rate.
+    users_seen: u64,
+    /// How many of those the user sampler selected.
+    users_sampled: u64,
     wall: Duration,
 }
 
@@ -136,6 +140,13 @@ pub struct RunMetrics {
     pub sort_wall: Duration,
     /// Wall-clock of the whole [`crate::Study::run`], set by the caller.
     pub total_wall: Duration,
+    /// High-water mark of mutable row bytes held in memory during the sim
+    /// phase (shard-local stores plus spill staging buffers; frozen
+    /// columns, intern tables, and merge cursors excluded). This is the
+    /// number [`StorageMode::Spill`] bounds.
+    ///
+    /// [`StorageMode::Spill`]: ipv6_study_telemetry::StorageMode::Spill
+    pub peak_store_bytes: u64,
 }
 
 impl RunMetrics {
@@ -194,8 +205,8 @@ impl RunMetrics {
         }
         let _ = writeln!(
             out,
-            "plan: {:.2?}; merge: {:.2?}; sort: {:.2?}; total: {:.2?}",
-            self.plan_wall, self.merge_wall, self.sort_wall, self.total_wall
+            "plan: {:.2?}; merge: {:.2?}; sort: {:.2?}; total: {:.2?}; peak store: {} bytes",
+            self.plan_wall, self.merge_wall, self.sort_wall, self.total_wall, self.peak_store_bytes
         );
         out
     }
@@ -209,30 +220,12 @@ pub(crate) struct DriverOutput {
     pub pair_store: FrozenStore,
     pub metrics: RunMetrics,
     pub faults: FaultReport,
-}
-
-/// Routes one shard's emissions: every record is offered to the
-/// shard-local datasets; abusive records are additionally retained
-/// wholesale, and records in the pair window wholesale too — the same
-/// per-record order the original serial driver used.
-struct ShardSink<'a> {
-    datasets: &'a mut StudyDatasets,
-    abuse: Option<&'a mut RequestStore>,
-    pair: Option<&'a mut RequestStore>,
-    records: &'a mut u64,
-}
-
-impl RequestSink for ShardSink<'_> {
-    fn accept(&mut self, rec: RequestRecord) {
-        *self.records += 1;
-        if let Some(abuse) = self.abuse.as_deref_mut() {
-            abuse.push(rec);
-        }
-        self.datasets.offer(rec);
-        if let Some(pair) = self.pair.as_deref_mut() {
-            pair.push(rec);
-        }
-    }
+    /// Distinct benign users enumerated on the first study day, summed
+    /// over the merged shards.
+    pub users_seen: u64,
+    /// How many of those the user sampler selected — the numerator of the
+    /// realized user-sample rate.
+    pub users_sampled: u64,
 }
 
 /// Builds the shard plan. Depends only on the config (see the module
@@ -256,86 +249,117 @@ fn plan_shards(config: &StudyConfig) -> Vec<ShardWork> {
     plan
 }
 
-/// Simulates one shard attempt.
+/// The read-only context every shard attempt runs against (bundled so
+/// [`run_shard`] stays under the argument-count lint and worker closures
+/// capture one reference).
+struct ShardEnv<'a> {
+    config: &'a StudyConfig,
+    world: &'a World,
+    pop: &'a Population<'a>,
+    abuse: &'a AbuseSim<'a>,
+    samplers: &'a Samplers,
+    pair_start: SimDate,
+    /// The run's spill session when `config.storage` is `Spill`.
+    spill: Option<&'a SpillSession>,
+    /// Rows staged per family before a sorted run is spilled (unused in
+    /// memory mode).
+    segment_rows: usize,
+    /// Run-wide mutable-row-bytes high-water gauge.
+    gauge: &'a MemGauge,
+}
+
+/// Simulates one shard attempt through one [`ShardSink`] that applies the
+/// §3.1 samplers in-stream and retains each family per the configured
+/// storage mode.
 ///
 /// `progress` is updated with the running record count at every day
 /// boundary; when the attempt panics (injected or real), the caller reads
-/// it to learn how much work the unwind discarded. `fault` is the
-/// injector's decision for this attempt — [`FaultDecision::default`]
-/// when injection is off.
-#[allow(clippy::too_many_arguments)]
+/// it to learn how much work the unwind discarded. `published` is the
+/// attempt's slice of the memory gauge, released by the caller on panic.
+/// `fault` is the injector's decision for this attempt —
+/// [`FaultDecision::default`] when injection is off.
 fn run_shard(
+    env: &ShardEnv<'_>,
     work: &ShardWork,
-    config: &StudyConfig,
-    world: &World,
-    pop: &Population<'_>,
-    abuse: &AbuseSim<'_>,
-    samplers: &Samplers,
-    pair_start: SimDate,
     shard: usize,
     attempt: u32,
     fault: FaultDecision,
     progress: &AtomicU64,
+    published: &AtomicU64,
 ) -> ShardOutput {
     let t0 = Instant::now();
-    let mut datasets = StudyDatasets::with_prefix_lengths(samplers.clone(), &config.prefix_lengths);
-    let mut abuse_store = RequestStore::new();
-    let mut pair_store = RequestStore::new();
-    let mut records = 0u64;
+    let storage = match env.spill {
+        Some(session) => SinkStorage::Spill {
+            session,
+            shard,
+            attempt,
+            segment_rows: env.segment_rows,
+        },
+        None => SinkStorage::Memory,
+    };
+    let collect_abuse = matches!(work, ShardWork::Abuse(_));
+    let mut sink = ShardSink::new(
+        env.samplers.clone(),
+        &env.config.prefix_lengths,
+        collect_abuse,
+        storage,
+        Some((env.gauge, published)),
+    );
+    let mut users_seen = 0u64;
+    let mut users_sampled = 0u64;
     let mut days_done = 0u16;
 
-    for day in config.full_range.days() {
+    for day in env.config.full_range.days() {
         if fault.panic_after_days == Some(days_done) {
             // The injected failure: mid-shard, with partially filled
             // local buffers on the stack — exactly what a real panic in
             // the emitters would leave behind for the unwind to discard.
             panic!("injected fault: shard {shard} attempt {attempt} after {days_done} day(s)");
         }
-        let dense = config.dense_range.contains(day);
-        let in_pair = day >= pair_start;
+        let dense = env.config.dense_range.contains(day);
+        let first_day = day == env.config.full_range.start;
+        sink.set_pair_routing(day >= env.pair_start);
         match work {
             ShardWork::Benign(households) => {
                 for hh in households.clone() {
-                    let hprof = pop.household(hh);
-                    for uid in pop.member_ids(&hprof) {
+                    let hprof = env.pop.household(hh);
+                    for uid in env.pop.member_ids(&hprof) {
+                        // The first day enumerates every member before the
+                        // panel skip, so these counters are exact distinct
+                        // counts over the shard's population — the
+                        // realized user-sample rate's inputs.
+                        if first_day {
+                            users_seen += 1;
+                            users_sampled += u64::from(env.samplers.user_sampled(uid));
+                        }
                         // Panel phase: only user-sample panel members.
-                        if !dense && !samplers.user_sampled(uid) {
+                        if !dense && !env.samplers.user_sampled(uid) {
                             continue;
                         }
-                        let profile = pop.user(uid);
-                        let plan = day_plan(world, &profile, day);
+                        let profile = env.pop.user(uid);
+                        let plan = day_plan(env.world, &profile, day);
                         if plan.contexts.is_empty() {
                             continue;
                         }
-                        let mut sink = ShardSink {
-                            datasets: &mut datasets,
-                            abuse: None,
-                            pair: in_pair.then_some(&mut pair_store),
-                            records: &mut records,
-                        };
-                        emit_user_day(world, &profile, day, &plan, &mut sink);
+                        emit_user_day(env.world, &profile, day, &plan, &mut sink);
                     }
                 }
             }
             ShardWork::Abuse(campaigns) => {
-                let mut sink = ShardSink {
-                    datasets: &mut datasets,
-                    abuse: Some(&mut abuse_store),
-                    pair: in_pair.then_some(&mut pair_store),
-                    records: &mut records,
-                };
-                abuse.emit_day_campaigns(pop, day, campaigns.clone(), &mut sink);
+                env.abuse
+                    .emit_day_campaigns(env.pop, day, campaigns.clone(), &mut sink);
             }
         }
         days_done += 1;
-        progress.store(records, Ordering::Relaxed);
+        sink.flush_segment();
+        progress.store(sink.records(), Ordering::Relaxed);
     }
 
+    sink.finish();
     ShardOutput {
-        datasets,
-        abuse_store,
-        pair_store,
-        records,
+        payload: sink.into_payload(),
+        users_seen,
+        users_sampled,
         wall: t0.elapsed(),
     }
 }
@@ -429,7 +453,50 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The merge phase's output before the sort phase: either the shard
+/// payloads concatenated into mutable in-memory stores, or the on-disk run
+/// manifests concatenated per family in plan order.
+enum MergedStreams {
+    Memory {
+        datasets: StudyDatasets,
+        abuse: RequestStore,
+        pair: RequestStore,
+    },
+    Spill {
+        offered: u64,
+        request: Vec<RunManifest>,
+        user: Vec<RunManifest>,
+        ip: Vec<RunManifest>,
+        prefixes: BTreeMap<u8, Vec<RunManifest>>,
+        abuse: Vec<RunManifest>,
+        pair: Vec<RunManifest>,
+    },
+}
+
+/// Unwraps a memory-mode family payload.
+fn expect_rows(p: FamilyPayload) -> RequestStore {
+    match p {
+        FamilyPayload::Rows(rows) => rows,
+        FamilyPayload::Runs(_) => unreachable!("memory-mode shard produced a spill manifest"),
+    }
+}
+
+/// Unwraps a spill-mode family payload.
+fn expect_runs(p: FamilyPayload) -> RunManifest {
+    match p {
+        FamilyPayload::Runs(runs) => runs,
+        FamilyPayload::Rows(_) => unreachable!("spill-mode shard produced in-memory rows"),
+    }
+}
+
 /// Runs the sharded simulation and merges shard outputs in plan order.
+///
+/// `spill` is the run's spill session when `config.storage` is `Spill`
+/// (the caller owns it so the directory outlives the frozen columns it
+/// feeds); `None` keeps every shard's output in memory exactly as before.
+/// Both modes produce byte-identical frozen datasets: the spill path's
+/// per-run stable sort plus `(ts, run-index)` k-way merge reproduces the
+/// in-memory path's stable sort of the plan-order concatenation.
 ///
 /// Returns `Err` with the fault report when shard failures exceed what
 /// `config.failure_policy` tolerates; otherwise the output's `faults`
@@ -440,6 +507,7 @@ pub(crate) fn execute(
     pop: &Population<'_>,
     abuse: &AbuseSim<'_>,
     samplers: &Samplers,
+    spill: Option<&SpillSession>,
 ) -> Result<DriverOutput, FaultReport> {
     // Figure 11's full-population day pairs: the last four days.
     let pair_start = config.full_range.end - 3;
@@ -453,6 +521,22 @@ pub(crate) fn execute(
         FailurePolicy::Retry | FailurePolicy::Degrade => config.max_shard_retries,
     };
     let injector = config.faults.as_ref();
+    let segment_rows = match &config.storage {
+        StorageMode::Spill { segment_rows, .. } => *segment_rows,
+        StorageMode::InMemory => usize::MAX,
+    };
+    let gauge = MemGauge::new();
+    let env = ShardEnv {
+        config,
+        world,
+        pop,
+        abuse,
+        samplers,
+        pair_start,
+        spill,
+        segment_rows,
+        gauge: &gauge,
+    };
 
     let t0 = Instant::now();
     let queue = WorkQueue::new(plan.len());
@@ -481,14 +565,12 @@ pub(crate) fn execute(
                     std::thread::sleep(fault.delay);
                 }
                 let progress = AtomicU64::new(0);
+                let published = AtomicU64::new(0);
                 // AssertUnwindSafe: on Err every value the closure touched
                 // mutably (the shard-local accumulators) is dropped by the
                 // unwind; the shared inputs are `&`-borrows.
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    run_shard(
-                        work, config, world, pop, abuse, samplers, pair_start, i, attempt, fault,
-                        &progress,
-                    )
+                    run_shard(&env, work, i, attempt, fault, &progress, &published)
                 }));
                 match result {
                     Ok(out) => {
@@ -508,6 +590,13 @@ pub(crate) fn execute(
                         queue.resolve();
                     }
                     Err(payload) => {
+                        // The unwind dropped the attempt's buffers; return
+                        // its gauge slice and delete any segment files the
+                        // attempt spilled so a retry starts from nothing.
+                        gauge.release(&published);
+                        if let Some(session) = spill {
+                            session.remove_attempt(i, attempt);
+                        }
                         let msg = panic_message(payload);
                         let exhausted = attempt >= max_retries;
                         {
@@ -542,6 +631,7 @@ pub(crate) fn execute(
         }
     });
     let sim_wall = t0.elapsed();
+    let peak_store_bytes = gauge.peak();
 
     let failures: Vec<ShardFailure> = failures
         .into_inner()
@@ -553,11 +643,15 @@ pub(crate) fn execute(
         return Err(faults);
     }
 
+    // Merge phase: walk the slots in plan order. In memory mode this
+    // concatenates shard rows into one mutable store per family; in spill
+    // mode no record moves — the per-shard run manifests are concatenated
+    // per family, which is all "merge" means out of core.
     let t1 = Instant::now();
-    let mut datasets = StudyDatasets::with_prefix_lengths(samplers.clone(), &config.prefix_lengths);
-    let mut abuse_store = RequestStore::new();
-    let mut pair_store = RequestStore::new();
     let mut shards = Vec::with_capacity(plan.len());
+    let mut users_seen = 0u64;
+    let mut users_sampled = 0u64;
+    let mut payloads: Vec<ShardPayload> = Vec::with_capacity(plan.len());
     for (i, (work, slot)) in plan.iter().zip(slots).enumerate() {
         // Poison recovery (see WorkQueue::claim); an empty slot is a shard
         // dropped under Degrade — it must be in the fault report.
@@ -570,32 +664,141 @@ pub(crate) fn execute(
         };
         shards.push(ShardMetrics {
             label: shard_label(work),
-            records: out.records,
+            records: out.payload.records,
             wall: out.wall,
         });
-        datasets.merge(out.datasets);
-        abuse_store.extend_from(out.abuse_store);
-        pair_store.extend_from(out.pair_store);
+        users_seen += out.users_seen;
+        users_sampled += out.users_sampled;
+        payloads.push(out.payload);
     }
+    let merged = if spill.is_some() {
+        let mut offered = 0u64;
+        let mut request = Vec::new();
+        let mut user = Vec::new();
+        let mut ip = Vec::new();
+        let mut prefixes: BTreeMap<u8, Vec<RunManifest>> = BTreeMap::new();
+        let mut abuse_runs = Vec::new();
+        let mut pair = Vec::new();
+        for p in payloads {
+            offered += p.offered;
+            request.push(expect_runs(p.request));
+            user.push(expect_runs(p.user));
+            ip.push(expect_runs(p.ip));
+            for (len, fam) in p.prefixes {
+                prefixes.entry(len).or_default().push(expect_runs(fam));
+            }
+            if let Some(a) = p.abuse {
+                abuse_runs.push(expect_runs(a));
+            }
+            pair.push(expect_runs(p.pair));
+        }
+        MergedStreams::Spill {
+            offered,
+            request,
+            user,
+            ip,
+            prefixes,
+            abuse: abuse_runs,
+            pair,
+        }
+    } else {
+        let mut datasets =
+            StudyDatasets::with_prefix_lengths(samplers.clone(), &config.prefix_lengths);
+        let mut abuse_store = RequestStore::new();
+        let mut pair_store = RequestStore::new();
+        for p in payloads {
+            datasets.offered += p.offered;
+            datasets.request_sample.extend_from(expect_rows(p.request));
+            datasets.user_sample.extend_from(expect_rows(p.user));
+            datasets.ip_sample.extend_from(expect_rows(p.ip));
+            for (len, fam) in p.prefixes {
+                datasets
+                    .prefix_samples
+                    .get_mut(&len)
+                    .expect("shard sinks route exactly the configured prefix lengths")
+                    .extend_from(expect_rows(fam));
+            }
+            if let Some(a) = p.abuse {
+                abuse_store.extend_from(expect_rows(a));
+            }
+            pair_store.extend_from(expect_rows(p.pair));
+        }
+        MergedStreams::Memory {
+            datasets,
+            abuse: abuse_store,
+            pair: pair_store,
+        }
+    };
     let merge_wall = t1.elapsed();
 
     // Sort phase: the merged stores sort lazily on first query; doing it
     // here makes the cost a measured driver phase instead of a surprise
     // inside the first analysis. One global intern-table set is built over
-    // every store's records, then the sorted stores freeze into immutable
+    // every store's records, then the streams freeze into immutable
     // columnar datasets encoded against those shared tables, so analysis
     // passes can query them concurrently through `&self` and cross-store
-    // joins agree on ids.
+    // joins agree on ids. In spill mode the tables come from a streaming
+    // key sweep over the manifests (bit-identical to the in-memory build —
+    // both sort-and-dedup the same key sets) and each family's sorted runs
+    // k-way merge straight into frozen columns.
     let t2 = Instant::now();
-    let tables = Arc::new(EntityTables::build(
-        datasets
-            .iter_unordered()
-            .chain(abuse_store.iter_unordered())
-            .chain(pair_store.iter_unordered()),
-    ));
-    let datasets = datasets.freeze_with(tables.clone());
-    let abuse_store = abuse_store.freeze_with(tables.clone());
-    let pair_store = pair_store.freeze_with(tables);
+    let (datasets, abuse_store, pair_store) = match merged {
+        MergedStreams::Memory {
+            datasets,
+            abuse: abuse_store,
+            pair: pair_store,
+        } => {
+            let tables = Arc::new(EntityTables::build(
+                datasets
+                    .iter_unordered()
+                    .chain(abuse_store.iter_unordered())
+                    .chain(pair_store.iter_unordered()),
+            ));
+            (
+                datasets.freeze_with(tables.clone()),
+                abuse_store.freeze_with(tables.clone()),
+                pair_store.freeze_with(tables),
+            )
+        }
+        MergedStreams::Spill {
+            offered,
+            request,
+            user,
+            ip,
+            prefixes,
+            abuse: abuse_runs,
+            pair,
+        } => {
+            let mut keys = KeyCollector::new();
+            for m in request
+                .iter()
+                .chain(&user)
+                .chain(&ip)
+                .chain(prefixes.values().flatten())
+                .chain(&abuse_runs)
+                .chain(&pair)
+            {
+                keys.add_manifest(m);
+            }
+            let tables = Arc::new(keys.into_tables());
+            let datasets = FrozenDatasets {
+                samplers: samplers.clone(),
+                request_sample: merge_into_frozen(&request, &tables),
+                user_sample: merge_into_frozen(&user, &tables),
+                ip_sample: merge_into_frozen(&ip, &tables),
+                prefix_samples: prefixes
+                    .iter()
+                    .map(|(len, runs)| (*len, merge_into_frozen(runs, &tables)))
+                    .collect(),
+                offered,
+            };
+            (
+                datasets,
+                merge_into_frozen(&abuse_runs, &tables),
+                merge_into_frozen(&pair, &tables),
+            )
+        }
+    };
     let sort_wall = t2.elapsed();
 
     Ok(DriverOutput {
@@ -613,8 +816,11 @@ pub(crate) fn execute(
             merge_wall,
             sort_wall,
             total_wall: Duration::ZERO,
+            peak_store_bytes,
         },
         faults,
+        users_seen,
+        users_sampled,
     })
 }
 
@@ -713,6 +919,7 @@ mod tests {
             merge_wall: Duration::from_millis(1),
             sort_wall: Duration::from_millis(2),
             total_wall: Duration::from_millis(20),
+            peak_store_bytes: 40_000,
         };
         let text = m.render();
         assert!(text.contains("2 thread(s)"));
@@ -746,6 +953,7 @@ mod tests {
             merge_wall: Duration::ZERO,
             sort_wall: Duration::ZERO,
             total_wall: Duration::ZERO,
+            peak_store_bytes: 0,
         };
         assert_eq!(m.records_per_sec(), 0.0);
         assert!(m.records_per_sec().is_finite());

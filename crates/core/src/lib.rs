@@ -52,9 +52,10 @@ pub mod report;
 pub mod study;
 
 pub use ablation::Ablation;
-pub use config::{ConfigError, StudyBuilder, StudyConfig};
+pub use config::{ConfigError, SamplingPlan, StudyBuilder, StudyConfig};
 pub use driver::{RunMetrics, ShardMetrics};
 pub use experiments::{AnalysisCtx, ExperimentOutput};
 pub use faults::{FailurePolicy, FaultInjector, FaultReport, StudyError, StudyOutcome};
 pub use ipv6_study_obs::RunReport;
+pub use ipv6_study_telemetry::{StorageMode, DEFAULT_SEGMENT_ROWS};
 pub use study::Study;

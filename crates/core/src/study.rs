@@ -7,46 +7,58 @@ use ipv6_study_behavior::abuse::AbuseSim;
 use ipv6_study_behavior::population::Population;
 use ipv6_study_netmodel::World;
 use ipv6_study_obs::{FaultStat, Json, RunReport, ShardStat};
-use ipv6_study_telemetry::{AbuseLabels, DateRange, FrozenDatasets, FrozenStore, Samplers};
+use ipv6_study_telemetry::{
+    AbuseLabels, DateRange, FrozenDatasets, FrozenStore, SpillSession, StorageMode,
+};
 
-use crate::config::{StudyBuilder, StudyConfig};
+use crate::config::{ConfigError, StudyBuilder, StudyConfig};
 use crate::driver::{self, RunMetrics};
 use crate::faults::{FaultReport, StudyError, StudyOutcome};
 
 /// A completed study run: the world, the sampled datasets, the complete
 /// abusive-request store, and the labels.
+///
+/// All state is reached through accessor methods — the fields are crate
+/// private so the storage backend (in-memory vs spill, see
+/// [`StorageMode`]) can evolve without breaking consumers, and so derived
+/// quantities like [`Study::user_sample_rate`] always come from the run's
+/// realized counters rather than from fields a caller could desync.
 #[derive(Debug)]
 pub struct Study {
     /// The configuration that produced this run.
-    pub config: StudyConfig,
+    pub(crate) config: StudyConfig,
     /// The static world.
-    pub world: World,
+    pub(crate) world: World,
     /// The four sampled dataset families (§3.1), frozen immutable so the
     /// parallel analysis engine can query them through `&self`.
-    pub datasets: FrozenDatasets,
+    pub(crate) datasets: FrozenDatasets,
     /// Every abusive-account request (the complete label join).
-    pub abuse_store: FrozenStore,
+    pub(crate) abuse_store: FrozenStore,
     /// Every request (benign and abusive) on the final four days of the
     /// window — the full-population day pairs behind the Figure 11 ROC
     /// (pooled over three consecutive day pairs, echoing the paper's
     /// "we repeat our analysis over different days"), without sampling
     /// noise.
-    pub pair_store: FrozenStore,
+    pub(crate) pair_store: FrozenStore,
     /// The abusive-account labels.
-    pub labels: AbuseLabels,
+    pub(crate) labels: AbuseLabels,
     /// Expected user count (for extrapolation scales).
-    pub approx_users: u64,
+    pub(crate) approx_users: u64,
+    /// Distinct benign users the sim enumerated on the first study day.
+    pub(crate) users_seen: u64,
+    /// How many of those the user sampler selected.
+    pub(crate) users_sampled: u64,
     /// Per-phase wall-clock and per-shard throughput of this run.
-    pub metrics: RunMetrics,
+    pub(crate) metrics: RunMetrics,
     /// Shard failures the run absorbed: retried-then-recovered shards,
     /// and (under [`crate::FailurePolicy::Degrade`]) dropped ones. Clean
     /// on a run with no failures.
-    pub faults: FaultReport,
+    pub(crate) faults: FaultReport,
     /// The observability aggregate: driver phases and shards at first,
     /// extended with per-figure and actioning timings as the analyses
     /// run. Serialized to `BENCH_run.json` by `repro` and `bench_run`.
     /// Empty (but schema-complete) when `config.instrument` is off.
-    pub report: RunReport,
+    pub(crate) report: RunReport,
 }
 
 impl Study {
@@ -59,11 +71,11 @@ impl Study {
     /// Runs the full simulation described by `config`.
     ///
     /// Results are byte-identical for a given config at any
-    /// `config.threads` value; see [`crate::driver`] for how — including
-    /// runs where shards failed and were retried. Returns
-    /// [`StudyError::Config`] on an invalid config and
-    /// [`StudyError::ShardsFailed`] when shard failures exceed what
-    /// `config.failure_policy` tolerates.
+    /// `config.threads` value *and any [`StorageMode`]*; see
+    /// [`crate::driver`] for how — including runs where shards failed and
+    /// were retried. Returns [`StudyError::Config`] on an invalid config
+    /// (or an unusable spill directory) and [`StudyError::ShardsFailed`]
+    /// when shard failures exceed what `config.failure_policy` tolerates.
     pub fn run(config: StudyConfig) -> StudyOutcome {
         config.validate()?;
         let total = Instant::now();
@@ -71,7 +83,18 @@ impl Study {
         config.ablation.apply_to_world(&mut world);
         let pop = Population::new(&world, config.seed ^ 0x504F_5055, config.households);
         let approx_users = pop.approx_users();
-        let samplers = Samplers::scaled_for(approx_users);
+        let samplers = config.sampling.resolve(approx_users);
+
+        // The spill session (when configured) lives for the whole sim +
+        // merge: the driver's k-way merge streams the segment files into
+        // frozen columns, after which the directory is deleted.
+        let spill = match &config.storage {
+            StorageMode::Spill { dir, .. } => Some(
+                SpillSession::create(dir.as_deref())
+                    .map_err(|e| StudyError::Config(ConfigError::Storage(e.to_string())))?,
+            ),
+            StorageMode::InMemory => None,
+        };
 
         // Attackers operate over the whole window (their creation dates
         // are spread across it).
@@ -86,8 +109,11 @@ impl Study {
         .with_detect_scale(config.ablation.detect_scale());
         let labels = abuse.labels();
 
-        let out = driver::execute(&config, &world, &pop, &abuse, &samplers)
+        let out = driver::execute(&config, &world, &pop, &abuse, &samplers, spill.as_ref())
             .map_err(StudyError::ShardsFailed)?;
+        // Every record now lives in frozen columns; delete the segment
+        // files before the (potentially long) analysis phase.
+        drop(spill);
 
         let mut metrics = out.metrics;
         metrics.total_wall = total.elapsed();
@@ -116,15 +142,84 @@ impl Study {
             pair_store: out.pair_store,
             labels,
             approx_users,
+            users_seen: out.users_seen,
+            users_sampled: out.users_sampled,
             metrics,
             faults: out.faults,
             report,
         })
     }
 
-    /// The user-sample inclusion rate used by this run (for extrapolation).
+    /// The configuration that produced this run.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The static world the run simulated.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The four sampled dataset families (§3.1), frozen immutable.
+    pub fn datasets(&self) -> &FrozenDatasets {
+        &self.datasets
+    }
+
+    /// Every abusive-account request (the complete label join).
+    pub fn abuse_store(&self) -> &FrozenStore {
+        &self.abuse_store
+    }
+
+    /// Every request on the final four days of the window (the Figure 11
+    /// full-population day pairs).
+    pub fn pair_store(&self) -> &FrozenStore {
+        &self.pair_store
+    }
+
+    /// The abusive-account labels.
+    pub fn labels(&self) -> &AbuseLabels {
+        &self.labels
+    }
+
+    /// Expected user count (for extrapolation scales).
+    pub fn approx_users(&self) -> u64 {
+        self.approx_users
+    }
+
+    /// Per-phase wall-clock and per-shard throughput of this run.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Shard failures the run absorbed (clean on a run without failures).
+    pub fn faults(&self) -> &FaultReport {
+        &self.faults
+    }
+
+    /// The observability aggregate for this run.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Mutable access to the observability aggregate, for callers that
+    /// append analysis timings after the run (see
+    /// [`crate::experiments`]).
+    pub fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
+    /// The *realized* user-sample inclusion rate: sampled users over
+    /// distinct users enumerated on the first study day. This is the rate
+    /// extrapolation must divide by — on small populations the hash
+    /// sampler's realized fraction differs measurably from the configured
+    /// probability. Falls back to the configured rate when the run saw no
+    /// users (e.g. every benign shard dropped under `Degrade`).
     pub fn user_sample_rate(&self) -> f64 {
-        self.datasets.samplers.user_rate
+        if self.users_seen == 0 {
+            self.datasets.samplers.user_rate
+        } else {
+            self.users_sampled as f64 / self.users_seen as f64
+        }
     }
 }
 
@@ -163,6 +258,15 @@ fn build_report(
         "max_shard_retries",
         Json::UInt(u64::from(config.max_shard_retries)),
     );
+    report.set_config("storage", Json::str(config.storage.label().to_string()));
+    report.set_config(
+        "segment_rows",
+        Json::UInt(match &config.storage {
+            StorageMode::Spill { segment_rows, .. } => *segment_rows as u64,
+            StorageMode::InMemory => 0,
+        }),
+    );
+    report.set_config("sampling", Json::str(config.sampling.label()));
     report.set_config(
         "full_range",
         Json::str(format!(
@@ -238,6 +342,9 @@ fn build_report(
     report
         .registry
         .set_gauge("sim.store_bytes", store_bytes as f64);
+    report
+        .registry
+        .set_gauge("sim.peak_store_bytes", metrics.peak_store_bytes as f64);
     let bytes_per_record = if stored_records == 0 {
         0.0
     } else {
@@ -248,6 +355,7 @@ fn build_report(
         .set_gauge("sim.bytes_per_record", bytes_per_record);
     report.store_bytes = store_bytes;
     report.bytes_per_record = bytes_per_record;
+    report.peak_store_bytes = metrics.peak_store_bytes;
     report
 }
 
@@ -261,50 +369,53 @@ mod tests {
     fn tiny_study_produces_all_datasets() {
         let study = Study::run(StudyConfig::tiny()).unwrap();
         assert!(
-            study.datasets.offered > 10_000,
+            study.datasets().offered > 10_000,
             "offered {}",
-            study.datasets.offered
+            study.datasets().offered
         );
-        assert!(!study.datasets.user_sample.is_empty());
-        assert!(!study.datasets.ip_sample.is_empty());
-        assert!(!study.datasets.request_sample.is_empty());
-        assert!(!study.abuse_store.is_empty());
-        assert!(study.labels.len() > 50);
+        assert!(!study.datasets().user_sample.is_empty());
+        assert!(!study.datasets().ip_sample.is_empty());
+        assert!(!study.datasets().request_sample.is_empty());
+        assert!(!study.abuse_store().is_empty());
+        assert!(study.labels().len() > 50);
         // The focus week is inside the dense window, so the IP sample has
         // traffic there.
-        assert!(!study.datasets.ip_sample.in_range(focus_week()).is_empty());
+        assert!(!study.datasets().ip_sample.in_range(focus_week()).is_empty());
         // Prefix samples exist for the configured lengths.
-        assert!(!study.datasets.prefix_sample(64).is_empty());
+        assert!(!study.datasets().prefix_sample(64).is_empty());
         // The pair store holds full-population traffic for the last two days.
         assert!(
-            study.pair_store.len()
+            study.pair_store().len()
                 > 3 * study
-                    .datasets
+                    .datasets()
                     .ip_sample
                     .on_day(ipv6_study_telemetry::time::focus_day_user())
                     .len()
         );
         // Metrics cover the whole run.
-        assert_eq!(study.metrics.total_records(), study.datasets.offered);
-        assert!(!study.metrics.shards.is_empty());
-        assert!(study.metrics.total_wall >= study.metrics.sim_wall);
+        assert_eq!(study.metrics().total_records(), study.datasets().offered);
+        assert!(!study.metrics().shards.is_empty());
+        assert!(study.metrics().total_wall >= study.metrics().sim_wall);
     }
 
     #[test]
     fn runs_are_reproducible() {
         let a = Study::run(StudyConfig::tiny()).unwrap();
         let b = Study::run(StudyConfig::tiny()).unwrap();
-        assert_eq!(a.datasets.offered, b.datasets.offered);
-        assert_eq!(a.datasets.user_sample.len(), b.datasets.user_sample.len());
-        assert_eq!(a.abuse_store.len(), b.abuse_store.len());
-        assert_eq!(a.labels.len(), b.labels.len());
+        assert_eq!(a.datasets().offered, b.datasets().offered);
+        assert_eq!(
+            a.datasets().user_sample.len(),
+            b.datasets().user_sample.len()
+        );
+        assert_eq!(a.abuse_store().len(), b.abuse_store().len());
+        assert_eq!(a.labels().len(), b.labels().len());
     }
 
     #[test]
     fn abusive_traffic_is_labeled() {
         let study = Study::run(StudyConfig::tiny()).unwrap();
-        for rec in study.abuse_store.all().records() {
-            assert!(study.labels.is_abusive(rec.user));
+        for rec in study.abuse_store().all().records() {
+            assert!(study.labels().is_abusive(rec.user));
         }
     }
 
@@ -323,8 +434,28 @@ mod tests {
     #[test]
     fn clean_run_reports_no_faults() {
         let study = Study::run(StudyConfig::tiny()).unwrap();
-        assert!(study.faults.is_clean());
-        assert_eq!(study.faults.total_retries(), 0);
-        assert_eq!(study.faults.records_lost(), 0);
+        assert!(study.faults().is_clean());
+        assert_eq!(study.faults().total_retries(), 0);
+        assert_eq!(study.faults().records_lost(), 0);
+    }
+
+    #[test]
+    fn user_sample_rate_is_realized_not_configured() {
+        let study = Study::run(StudyConfig::tiny()).unwrap();
+        let realized = study.user_sample_rate();
+        let configured = study.datasets().samplers.user_rate;
+        // The counters actually ran: the rate is a proper fraction near
+        // (but on a tiny population, not exactly) the configured one.
+        assert!(realized > 0.0 && realized <= 1.0, "realized {realized}");
+        assert!(
+            (realized - configured).abs() < 0.15,
+            "realized {realized} vs configured {configured}"
+        );
+        assert!(
+            study.users_seen > 0 && study.users_sampled <= study.users_seen,
+            "seen {} sampled {}",
+            study.users_seen,
+            study.users_sampled
+        );
     }
 }

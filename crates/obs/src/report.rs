@@ -15,8 +15,10 @@ use crate::timer::PhaseStat;
 
 /// Schema version of the serialized report; bump on breaking changes.
 /// v2 added the memory-footprint fields: `sim.store_bytes`,
-/// `sim.bytes_per_record`, and `analysis.index_bytes`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// `sim.bytes_per_record`, and `analysis.index_bytes`. v3 added
+/// `sim.peak_store_bytes` — the sim-phase high-water of mutable row bytes,
+/// the number the spill storage mode bounds.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Throughput over a wall-clock window, `0.0` for an empty window.
 ///
@@ -138,6 +140,12 @@ pub struct RunReport {
     pub store_bytes: u64,
     /// `store_bytes` per stored record (`0.0` on an empty run).
     pub bytes_per_record: f64,
+    /// High-water mark of mutable row bytes held in memory during the sim
+    /// phase (shard-local stores plus spill staging buffers). This is the
+    /// number the spill storage mode keeps flat as the run scales;
+    /// serialized as `sim.peak_store_bytes` so `bench_diff` can gate it.
+    /// Zero when uninstrumented.
+    pub peak_store_bytes: u64,
     /// Heap bytes of the shared analysis indexes (`analysis.index_bytes`
     /// in the JSON). Zero until the analyses run.
     pub index_bytes: u64,
@@ -285,7 +293,8 @@ impl RunReport {
                     .with("total_records", Json::UInt(self.total_records()))
                     .with("records_per_sec", Json::num(self.records_per_sec()))
                     .with("store_bytes", Json::UInt(self.store_bytes))
-                    .with("bytes_per_record", Json::num(self.bytes_per_record)),
+                    .with("bytes_per_record", Json::num(self.bytes_per_record))
+                    .with("peak_store_bytes", Json::UInt(self.peak_store_bytes)),
             )
             .with(
                 "analysis",
@@ -445,6 +454,7 @@ mod tests {
         r.registry.inc("sim.records_total", 5000);
         r.store_bytes = 90_000;
         r.bytes_per_record = 18.0;
+        r.peak_store_bytes = 120_000;
         r.index_bytes = 40_000;
         r.failure_policy = "retry".into();
         r.faults.push(FaultStat {
@@ -498,6 +508,7 @@ mod tests {
             "\"records_per_sec\"",
             "\"store_bytes\"",
             "\"bytes_per_record\"",
+            "\"peak_store_bytes\"",
             "\"index_bytes\"",
             "\"analysis\"",
             "\"phases\"",

@@ -121,6 +121,14 @@ impl IpTable {
                 IpAddr::V6(a) => v6.push(u128::from(a)),
             }
         }
+        Self::from_keys(v4, v6)
+    }
+
+    /// Builds the table from raw per-family address keys (duplicates and
+    /// arbitrary order allowed). The result depends only on the distinct
+    /// key *sets*, which is what makes tables built over spilled streams
+    /// bit-identical to tables built over the same records in memory.
+    pub fn from_keys(mut v4: Vec<u32>, mut v6: Vec<u128>) -> Self {
         v4.sort_unstable();
         v4.dedup();
         v6.sort_unstable();
@@ -292,7 +300,12 @@ pub struct UserTable {
 impl UserTable {
     /// Builds the table from the distinct users of a record stream.
     pub fn build<'a>(records: impl Iterator<Item = &'a RequestRecord>) -> Self {
-        let mut raw: Vec<u64> = records.map(|r| r.user.raw()).collect();
+        Self::from_keys(records.map(|r| r.user.raw()).collect())
+    }
+
+    /// Builds the table from raw user keys (duplicates and arbitrary
+    /// order allowed); depends only on the distinct key set.
+    pub fn from_keys(mut raw: Vec<u64>) -> Self {
         raw.sort_unstable();
         raw.dedup();
         Self { raw }

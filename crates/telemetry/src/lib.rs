@@ -23,8 +23,13 @@
 //!   window every frozen query returns.
 //! - [`store`] — an in-memory request store with time-range and group-by
 //!   helpers; freezing encodes it into columns.
-//! - [`sink`] — the [`sink::RequestSink`] consumer trait that simulator
-//!   crates emit into, with tee/closure/counting combinators.
+//! - [`sink`] — the sealed [`sink::RequestSink`] consumer trait (with its
+//!   `push`/`flush_segment`/`finish` lifecycle) that simulator crates emit
+//!   into, the production [`sink::ShardSink`] that applies the §3.1
+//!   samplers in-stream, and tee/closure/counting combinators.
+//! - [`spill`] — bounded out-of-core segment storage: full-fidelity
+//!   streams spill to disk as per-shard sorted runs and are k-way merged
+//!   back into columnar stores with byte-identical order.
 //! - [`labels`] — the abusive-account label dataset with creation/detection
 //!   dates (the paper's labels are lifetime-censored by detection; ours
 //!   record both dates so analyses can reproduce that censoring).
@@ -45,6 +50,7 @@ pub mod labels;
 pub mod record;
 pub mod sampler;
 pub mod sink;
+pub mod spill;
 pub mod store;
 pub mod time;
 
@@ -55,6 +61,9 @@ pub use intern::{EntityTables, IpId, IpTable, UserTable};
 pub use labels::{AbuseInfo, AbuseLabels};
 pub use record::RequestRecord;
 pub use sampler::Samplers;
-pub use sink::{CountingSink, FnSink, RequestSink, Tee};
+pub use sink::{
+    CountingSink, FamilyPayload, FnSink, RequestSink, ShardPayload, ShardSink, SinkStorage, Tee,
+};
+pub use spill::{MemGauge, RunManifest, SpillSession, StorageMode, DEFAULT_SEGMENT_ROWS};
 pub use store::{FrozenStore, RequestStore};
 pub use time::{DateRange, SimDate, Timestamp};

@@ -31,7 +31,7 @@ const SEED_IP: u64 = 0x4950_4144; // "IPAD"
 const SEED_PREFIX: u64 = 0x5052_4658; // "PRFX"
 
 /// Sampling configuration and decision functions for all datasets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Samplers {
     /// Inclusion probability for the request random sample.
     pub request_rate: f64,

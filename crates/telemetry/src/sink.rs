@@ -2,50 +2,106 @@
 //!
 //! Emitters (the behavior and abuse simulators) produce a stream of
 //! [`RequestRecord`]s; what happens to each record — sampling into the
-//! study datasets, wholesale retention in a [`RequestStore`], forking to
-//! several consumers — is the caller's business. [`RequestSink`] is that
-//! seam: emitters take `&mut dyn RequestSink`, and this module provides
-//! the standard implementations plus combinators:
+//! study datasets, wholesale retention in a [`RequestStore`], streaming
+//! into bounded spill segments, forking to several consumers — is the
+//! caller's business. [`RequestSink`] is that seam: emitters take
+//! `&mut dyn RequestSink`, and this module provides the standard
+//! implementations plus combinators:
 //!
-//! - [`StudyDatasets`] — routes each record through the deterministic
-//!   samplers (the production path),
+//! - [`ShardSink`] — the production path: routes each record through the
+//!   deterministic §3.1 samplers *during* the sim phase, retaining each
+//!   dataset family either in memory or as sorted spill segments
+//!   ([`SinkStorage`]),
+//! - [`StudyDatasets`] — routes through the samplers into in-memory
+//!   stores only (tests and ad-hoc pipelines),
 //! - [`RequestStore`] — keeps everything (useful for bounded windows like
 //!   the pair-week store, and in tests),
 //! - [`Tee`] — duplicates the stream to two sinks,
 //! - [`FnSink`] — adapts a closure (tests and one-off probes),
-//! - [`CountingSink`] — wraps a sink and counts records passing through
-//!   (the driver's per-shard throughput metric).
+//! - [`CountingSink`] — wraps a sink and counts records passing through.
+//!
+//! # Lifecycle
+//!
+//! The trait is **sealed** — the record lifecycle below is a contract
+//! between the driver and this crate's sinks, not an extension point
+//! (adapt external consumers through [`FnSink`]):
+//!
+//! 1. [`RequestSink::push`] for every record, in emission order;
+//! 2. [`RequestSink::flush_segment`] at stream-defined boundaries (the
+//!    driver calls it once per simulated day) — sinks may publish
+//!    progress/memory telemetry; spill-backed sinks need no forcing here
+//!    because segments auto-flush at `segment_rows`;
+//! 3. [`RequestSink::finish`] exactly once at end of stream — spill
+//!    staging buffers drain to disk as the final (partial) run.
+//!
+//! Combinators forward `flush_segment`/`finish` to their inner sinks;
+//! for simple sinks both are no-ops.
+
+use std::sync::atomic::AtomicU64;
+
+use ipv6_study_netaddr::Ipv6Prefix;
 
 use crate::dataset::StudyDatasets;
 use crate::record::RequestRecord;
+use crate::sampler::Samplers;
+use crate::spill::{MemGauge, RunManifest, SegmentWriter, SpillSession};
 use crate::store::RequestStore;
+
+mod sealed {
+    //! Seals [`super::RequestSink`]: only this crate's sinks implement it.
+    pub trait Sealed {}
+}
 
 /// A consumer of simulated platform requests.
 ///
 /// Object-safe on purpose: emitters take `&mut dyn RequestSink` so the
 /// simulation crates compile once regardless of where records end up.
-pub trait RequestSink {
+/// Sealed: the `push`/`flush_segment`/`finish` lifecycle is a closed
+/// contract (see the module docs); external consumers adapt via
+/// [`FnSink`].
+pub trait RequestSink: sealed::Sealed {
     /// Accepts one request record.
-    fn accept(&mut self, rec: RequestRecord);
+    fn push(&mut self, rec: RequestRecord);
+
+    /// Marks a stream boundary (the driver calls this once per simulated
+    /// day). Sinks may publish telemetry or compact buffers; the default
+    /// does nothing.
+    fn flush_segment(&mut self) {}
+
+    /// Marks end of stream: buffered state must become durable (spill
+    /// staging drains to disk). Called exactly once; the default does
+    /// nothing.
+    fn finish(&mut self) {}
 }
 
+impl sealed::Sealed for StudyDatasets {}
 impl RequestSink for StudyDatasets {
-    fn accept(&mut self, rec: RequestRecord) {
+    fn push(&mut self, rec: RequestRecord) {
         self.offer(rec);
     }
 }
 
+impl sealed::Sealed for RequestStore {}
 impl RequestSink for RequestStore {
-    fn accept(&mut self, rec: RequestRecord) {
-        self.push(rec);
+    fn push(&mut self, rec: RequestRecord) {
+        RequestStore::push(self, rec);
     }
 }
 
+impl sealed::Sealed for &mut dyn RequestSink {}
 /// Forwarding through a mutable reference, so `&mut dyn RequestSink` can
 /// itself be handed to an emitter.
 impl RequestSink for &mut dyn RequestSink {
-    fn accept(&mut self, rec: RequestRecord) {
-        (**self).accept(rec);
+    fn push(&mut self, rec: RequestRecord) {
+        (**self).push(rec);
+    }
+
+    fn flush_segment(&mut self) {
+        (**self).flush_segment();
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
     }
 }
 
@@ -62,10 +118,21 @@ impl<'a> Tee<'a> {
     }
 }
 
+impl sealed::Sealed for Tee<'_> {}
 impl RequestSink for Tee<'_> {
-    fn accept(&mut self, rec: RequestRecord) {
-        self.a.accept(rec);
-        self.b.accept(rec);
+    fn push(&mut self, rec: RequestRecord) {
+        self.a.push(rec);
+        self.b.push(rec);
+    }
+
+    fn flush_segment(&mut self) {
+        self.a.flush_segment();
+        self.b.flush_segment();
+    }
+
+    fn finish(&mut self) {
+        self.a.finish();
+        self.b.finish();
     }
 }
 
@@ -73,11 +140,13 @@ impl RequestSink for Tee<'_> {
 ///
 /// A blanket `impl<F: FnMut(..)> RequestSink for F` would collide with the
 /// concrete impls above under coherence rules, so closures are wrapped
-/// explicitly: `&mut FnSink(|rec| ...)`.
+/// explicitly: `&mut FnSink(|rec| ...)`. This is also the escape hatch
+/// through the sealed trait for external consumers.
 pub struct FnSink<F: FnMut(RequestRecord)>(pub F);
 
+impl<F: FnMut(RequestRecord)> sealed::Sealed for FnSink<F> {}
 impl<F: FnMut(RequestRecord)> RequestSink for FnSink<F> {
-    fn accept(&mut self, rec: RequestRecord) {
+    fn push(&mut self, rec: RequestRecord) {
         (self.0)(rec);
     }
 }
@@ -100,10 +169,292 @@ impl<'a> CountingSink<'a> {
     }
 }
 
+impl sealed::Sealed for CountingSink<'_> {}
 impl RequestSink for CountingSink<'_> {
-    fn accept(&mut self, rec: RequestRecord) {
+    fn push(&mut self, rec: RequestRecord) {
         self.count += 1;
-        self.inner.accept(rec);
+        self.inner.push(rec);
+    }
+
+    fn flush_segment(&mut self) {
+        self.inner.flush_segment();
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
+}
+
+/// Where a [`ShardSink`] keeps each retained dataset family.
+pub enum SinkStorage<'a> {
+    /// Rows accumulate in per-family [`RequestStore`]s (the original
+    /// pipeline).
+    Memory,
+    /// Rows stream into per-family [`SegmentWriter`]s under a shared
+    /// [`SpillSession`]; at most `segment_rows` rows per family are ever
+    /// staged in memory.
+    Spill {
+        /// The run's spill session (owns the directory).
+        session: &'a SpillSession,
+        /// Shard index (names the spill files).
+        shard: usize,
+        /// Attempt number (names the spill files, so a failed attempt's
+        /// files can be removed without touching a retry's).
+        attempt: u32,
+        /// Rows staged per family before a sorted run is appended.
+        segment_rows: usize,
+    },
+}
+
+/// One dataset family's backing storage inside a [`ShardSink`].
+enum FamilyStore {
+    Memory(RequestStore),
+    Spill(SegmentWriter),
+}
+
+impl FamilyStore {
+    fn new(storage: &SinkStorage<'_>, family: &str) -> Self {
+        match *storage {
+            SinkStorage::Memory => FamilyStore::Memory(RequestStore::new()),
+            SinkStorage::Spill {
+                session,
+                shard,
+                attempt,
+                segment_rows,
+            } => FamilyStore::Spill(session.writer(shard, attempt, family, segment_rows)),
+        }
+    }
+
+    fn push(&mut self, rec: RequestRecord) {
+        match self {
+            FamilyStore::Memory(s) => s.push(rec),
+            FamilyStore::Spill(w) => w.push(rec),
+        }
+    }
+
+    /// Mutable row bytes this family currently holds in memory.
+    fn live_bytes(&self) -> u64 {
+        match self {
+            FamilyStore::Memory(s) => (s.len() * std::mem::size_of::<RequestRecord>()) as u64,
+            FamilyStore::Spill(w) => w.staged_bytes(),
+        }
+    }
+
+    fn finish(&mut self) {
+        if let FamilyStore::Spill(w) = self {
+            w.finish();
+        }
+    }
+
+    fn into_payload(self) -> FamilyPayload {
+        match self {
+            FamilyStore::Memory(s) => FamilyPayload::Rows(s),
+            FamilyStore::Spill(w) => FamilyPayload::Runs(w.into_manifest()),
+        }
+    }
+}
+
+/// One dataset family's finished output: in-memory rows or a spilled run
+/// manifest, depending on the run's [`SinkStorage`].
+pub enum FamilyPayload {
+    /// The family's records, resident in memory.
+    Rows(RequestStore),
+    /// The family's records, spilled as sorted runs on disk.
+    Runs(RunManifest),
+}
+
+impl FamilyPayload {
+    /// Records in this family.
+    pub fn rows(&self) -> u64 {
+        match self {
+            FamilyPayload::Rows(s) => s.len() as u64,
+            FamilyPayload::Runs(m) => m.rows(),
+        }
+    }
+}
+
+/// Everything a finished [`ShardSink`] produced, handed back to the
+/// driver for the merge phase.
+pub struct ShardPayload {
+    /// Record random sample (§3.1).
+    pub request: FamilyPayload,
+    /// User random sample (§3.1).
+    pub user: FamilyPayload,
+    /// IP random sample (§3.1).
+    pub ip: FamilyPayload,
+    /// Per-length IPv6 prefix random samples, ascending by length.
+    pub prefixes: Vec<(u8, FamilyPayload)>,
+    /// Full-fidelity abuse stream (abuse shards only).
+    pub abuse: Option<FamilyPayload>,
+    /// Full-fidelity pair-window stream (last three study days).
+    pub pair: FamilyPayload,
+    /// Records offered to the samplers (excludes nothing; the abuse
+    /// stream sees the same records before sampling).
+    pub offered: u64,
+    /// Total records pushed through the sink.
+    pub records: u64,
+}
+
+/// The production per-shard sink: applies the §3.1 [`Samplers`] to every
+/// record *during* the sim phase and retains each dataset family in the
+/// configured [`SinkStorage`].
+///
+/// One sink lives for one shard attempt. The routing order per record is
+/// fixed (it defines emission order within every family, which the golden
+/// digests pin): full-fidelity abuse stream (abuse shards), then the
+/// request/user/ip samples, then each prefix sample ascending by length,
+/// then the pair-window stream when [`ShardSink::set_pair_routing`] is on.
+pub struct ShardSink<'a> {
+    samplers: Samplers,
+    request: FamilyStore,
+    user: FamilyStore,
+    ip: FamilyStore,
+    prefixes: Vec<(u8, FamilyStore)>,
+    abuse: Option<FamilyStore>,
+    pair: FamilyStore,
+    pair_routing: bool,
+    offered: u64,
+    records: u64,
+    gauge: Option<(&'a MemGauge, &'a AtomicU64)>,
+}
+
+impl<'a> ShardSink<'a> {
+    /// Creates a sink for one shard attempt.
+    ///
+    /// `prefix_lengths` need not be sorted or unique; the sink routes in
+    /// ascending-length order. `collect_abuse` turns on the full-fidelity
+    /// abuse stream (abuse shards). `gauge` is the run-wide memory
+    /// high-water gauge plus this attempt's published counter; pass
+    /// `None` to skip memory telemetry.
+    pub fn new(
+        samplers: Samplers,
+        prefix_lengths: &[u8],
+        collect_abuse: bool,
+        storage: SinkStorage<'a>,
+        gauge: Option<(&'a MemGauge, &'a AtomicU64)>,
+    ) -> Self {
+        let mut lengths: Vec<u8> = prefix_lengths.to_vec();
+        lengths.sort_unstable();
+        lengths.dedup();
+        let prefixes = lengths
+            .into_iter()
+            .map(|len| (len, FamilyStore::new(&storage, &format!("p{len}"))))
+            .collect();
+        Self {
+            samplers,
+            request: FamilyStore::new(&storage, "request"),
+            user: FamilyStore::new(&storage, "user"),
+            ip: FamilyStore::new(&storage, "ip"),
+            prefixes,
+            abuse: collect_abuse.then(|| FamilyStore::new(&storage, "abuse")),
+            pair: FamilyStore::new(&storage, "pair"),
+            pair_routing: false,
+            offered: 0,
+            records: 0,
+            gauge,
+        }
+    }
+
+    /// Toggles the full-fidelity pair-window stream (the driver enables
+    /// it for the last three study days).
+    pub fn set_pair_routing(&mut self, on: bool) {
+        self.pair_routing = on;
+    }
+
+    /// Total records pushed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Mutable row bytes currently held in memory across all families.
+    fn live_bytes(&self) -> u64 {
+        let mut bytes = self.request.live_bytes()
+            + self.user.live_bytes()
+            + self.ip.live_bytes()
+            + self.pair.live_bytes();
+        for (_, store) in &self.prefixes {
+            bytes += store.live_bytes();
+        }
+        if let Some(abuse) = &self.abuse {
+            bytes += abuse.live_bytes();
+        }
+        bytes
+    }
+
+    fn publish_gauge(&self) {
+        if let Some((gauge, published)) = self.gauge {
+            gauge.publish(published, self.live_bytes());
+        }
+    }
+
+    /// Consumes the sink into its payload. [`RequestSink::finish`] must
+    /// have been called first (spill writers assert it).
+    pub fn into_payload(self) -> ShardPayload {
+        ShardPayload {
+            request: self.request.into_payload(),
+            user: self.user.into_payload(),
+            ip: self.ip.into_payload(),
+            prefixes: self
+                .prefixes
+                .into_iter()
+                .map(|(len, store)| (len, store.into_payload()))
+                .collect(),
+            abuse: self.abuse.map(FamilyStore::into_payload),
+            pair: self.pair.into_payload(),
+            offered: self.offered,
+            records: self.records,
+        }
+    }
+}
+
+impl sealed::Sealed for ShardSink<'_> {}
+impl RequestSink for ShardSink<'_> {
+    fn push(&mut self, rec: RequestRecord) {
+        self.records += 1;
+        if let Some(abuse) = &mut self.abuse {
+            abuse.push(rec);
+        }
+        self.offered += 1;
+        if self.samplers.request_sampled(&rec) {
+            self.request.push(rec);
+        }
+        if self.samplers.user_sampled(rec.user) {
+            self.user.push(rec);
+        }
+        if self.samplers.ip_sampled(&rec) {
+            self.ip.push(rec);
+        }
+        if let Some(addr) = rec.ipv6() {
+            for (len, store) in &mut self.prefixes {
+                if self
+                    .samplers
+                    .prefix_sampled(Ipv6Prefix::containing(addr, *len))
+                {
+                    store.push(rec);
+                }
+            }
+        }
+        if self.pair_routing {
+            self.pair.push(rec);
+        }
+    }
+
+    fn flush_segment(&mut self) {
+        self.publish_gauge();
+    }
+
+    fn finish(&mut self) {
+        self.request.finish();
+        self.user.finish();
+        self.ip.finish();
+        for (_, store) in &mut self.prefixes {
+            store.finish();
+        }
+        if let Some(abuse) = &mut self.abuse {
+            abuse.finish();
+        }
+        self.pair.finish();
+        self.publish_gauge();
     }
 }
 
@@ -124,26 +475,31 @@ mod tests {
         }
     }
 
+    fn keep_all() -> Samplers {
+        Samplers {
+            request_rate: 1.0,
+            user_rate: 1.0,
+            ip_rate: 1.0,
+            prefix_rate: 0.0,
+        }
+    }
+
     #[test]
     fn store_sink_keeps_everything() {
         let mut store = RequestStore::new();
         let sink: &mut dyn RequestSink = &mut store;
-        sink.accept(rec(1, 0));
-        sink.accept(rec(2, 1));
+        sink.push(rec(1, 0));
+        sink.push(rec(2, 1));
+        sink.flush_segment(); // default no-op
+        sink.finish();
         assert_eq!(store.len(), 2);
     }
 
     #[test]
     fn dataset_sink_routes_through_offer() {
-        let s = Samplers {
-            request_rate: 1.0,
-            user_rate: 1.0,
-            ip_rate: 1.0,
-            prefix_rate: 0.0,
-        };
-        let mut d = StudyDatasets::with_prefix_lengths(s, &[]);
+        let mut d = StudyDatasets::with_prefix_lengths(keep_all(), &[]);
         let sink: &mut dyn RequestSink = &mut d;
-        sink.accept(rec(7, 0));
+        sink.push(rec(7, 0));
         assert_eq!(d.offered, 1);
         assert_eq!(d.request_sample.len(), 1);
     }
@@ -153,8 +509,9 @@ mod tests {
         let mut a = RequestStore::new();
         let mut b = RequestStore::new();
         let mut tee = Tee::new(&mut a, &mut b);
-        tee.accept(rec(1, 0));
-        tee.accept(rec(2, 1));
+        tee.push(rec(1, 0));
+        tee.push(rec(2, 1));
+        tee.finish();
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 2);
     }
@@ -163,8 +520,8 @@ mod tests {
     fn fn_sink_adapts_closures() {
         let mut seen = Vec::new();
         let mut sink = FnSink(|r: RequestRecord| seen.push(r.user));
-        sink.accept(rec(3, 0));
-        sink.accept(rec(4, 1));
+        sink.push(rec(3, 0));
+        sink.push(rec(4, 1));
         assert_eq!(seen, vec![UserId(3), UserId(4)]);
     }
 
@@ -173,9 +530,116 @@ mod tests {
         let mut store = RequestStore::new();
         let mut counter = CountingSink::new(&mut store);
         for i in 0..5 {
-            counter.accept(rec(i, i as u32));
+            counter.push(rec(i, i as u32));
         }
         assert_eq!(counter.count(), 5);
         assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn shard_sink_routes_like_study_datasets() {
+        // Reference path: StudyDatasets + external abuse/pair stores.
+        let samplers = Samplers::scaled_for(1_000);
+        let records: Vec<RequestRecord> = (0..2_000).map(|i| rec(i % 97, i as u32)).collect();
+
+        let mut reference = StudyDatasets::with_prefix_lengths(samplers.clone(), &[48, 64]);
+        let mut ref_pair = RequestStore::new();
+        for (i, r) in records.iter().enumerate() {
+            reference.offer(*r);
+            if i >= 1_000 {
+                ref_pair.push(*r);
+            }
+        }
+
+        let mut sink = ShardSink::new(samplers, &[64, 48, 48], false, SinkStorage::Memory, None);
+        for (i, r) in records.iter().enumerate() {
+            if i == 1_000 {
+                sink.set_pair_routing(true);
+            }
+            sink.push(*r);
+        }
+        sink.finish();
+        let payload = sink.into_payload();
+
+        assert_eq!(payload.offered, reference.offered);
+        assert_eq!(payload.records, 2_000);
+        assert!(payload.abuse.is_none());
+        let rows = |p: &FamilyPayload| match p {
+            FamilyPayload::Rows(s) => s.len(),
+            FamilyPayload::Runs(_) => unreachable!("memory storage"),
+        };
+        assert_eq!(rows(&payload.request), reference.request_sample.len());
+        assert_eq!(rows(&payload.user), reference.user_sample.len());
+        assert_eq!(rows(&payload.ip), reference.ip_sample.len());
+        assert_eq!(rows(&payload.pair), ref_pair.len());
+        // Duplicated/unsorted prefix lengths collapse to ascending order.
+        assert_eq!(
+            payload.prefixes.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![48, 64]
+        );
+        for (len, p) in &payload.prefixes {
+            assert_eq!(rows(p), reference.prefix_sample(*len).len(), "/{len}");
+        }
+    }
+
+    #[test]
+    fn shard_sink_publishes_memory_telemetry() {
+        let gauge = MemGauge::new();
+        let published = AtomicU64::new(0);
+        let mut sink = ShardSink::new(
+            keep_all(),
+            &[],
+            true,
+            SinkStorage::Memory,
+            Some((&gauge, &published)),
+        );
+        for i in 0..10 {
+            sink.push(rec(i, i as u32));
+        }
+        sink.flush_segment();
+        // 10 records × (abuse + request + user + ip) families × 40 bytes.
+        let expected = 10 * 4 * std::mem::size_of::<RequestRecord>() as u64;
+        assert_eq!(gauge.current(), expected);
+        sink.finish();
+        assert_eq!(gauge.peak(), expected);
+    }
+
+    #[test]
+    fn spill_backed_shard_sink_matches_memory_routing() {
+        let session = crate::spill::SpillSession::create(None).unwrap();
+        let samplers = Samplers::scaled_for(1_000);
+        let records: Vec<RequestRecord> = (0..3_000).map(|i| rec(i % 61, i as u32)).collect();
+
+        let run = |storage: SinkStorage<'_>| {
+            let mut sink = ShardSink::new(samplers.clone(), &[64], true, storage, None);
+            for r in &records {
+                sink.push(*r);
+            }
+            sink.finish();
+            sink.into_payload()
+        };
+        let memory = run(SinkStorage::Memory);
+        let spilled = run(SinkStorage::Spill {
+            session: &session,
+            shard: 0,
+            attempt: 0,
+            segment_rows: 128,
+        });
+
+        assert_eq!(memory.offered, spilled.offered);
+        for (m, s, what) in [
+            (&memory.request, &spilled.request, "request"),
+            (&memory.user, &spilled.user, "user"),
+            (&memory.ip, &spilled.ip, "ip"),
+            (&memory.pair, &spilled.pair, "pair"),
+            (
+                memory.abuse.as_ref().unwrap(),
+                spilled.abuse.as_ref().unwrap(),
+                "abuse",
+            ),
+            (&memory.prefixes[0].1, &spilled.prefixes[0].1, "p64"),
+        ] {
+            assert_eq!(m.rows(), s.rows(), "{what} family row count");
+        }
     }
 }

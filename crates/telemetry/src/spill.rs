@@ -1,0 +1,754 @@
+//! Out-of-core segment storage: bounded spill of request streams to disk.
+//!
+//! The in-memory pipeline holds every retained record as a 40-byte
+//! [`RequestRecord`] until the driver's sort phase — O(records) peak
+//! memory, which caps the simulable population. This module removes that
+//! floor: a shard's sink can stream each dataset family into a
+//! [`SegmentWriter`] that stages at most `segment_rows` records, stable-
+//! sorts each full segment by timestamp, and appends it to a per-family
+//! spill file as one **sorted run**. After the sim phase, the driver
+//! rebuilds the exact in-memory byte order with a k-way merge over all
+//! runs ([`merge_manifests`]) — no record is ever re-buffered wholesale.
+//!
+//! # Determinism (merge-by-concatenation)
+//!
+//! The in-memory pipeline's final order is a *stable* sort by timestamp
+//! of the shard outputs concatenated in plan order; ties resolve by
+//! emission order. Spill reproduces it exactly:
+//!
+//! 1. within a run, the staging buffer is stable-sorted, so equal
+//!    timestamps keep emission order;
+//! 2. runs partition a shard's emission stream contiguously, and
+//!    manifests are merged in plan order, so a global run index is
+//!    order-isomorphic to "position in the concatenated stream";
+//! 3. the k-way merge pops by `(timestamp, run index)`, which is exactly
+//!    the stable sort's tie-break.
+//!
+//! The merge phase itself moves no records between files — shard
+//! manifests simply concatenate in plan order ("merge-by-concatenation");
+//! all inter-run ordering is deferred to the single streaming pass that
+//! encodes rows into the columnar stores.
+//!
+//! # Fault safety
+//!
+//! Spill I/O errors panic, which the driver's per-shard `catch_unwind`
+//! converts into an ordinary shard failure (retry/degrade/abort per
+//! policy). A failed attempt's partial files are deleted by
+//! [`SpillSession::remove_attempt`]; the whole session directory is
+//! removed when the [`SpillSession`] drops.
+
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::net::IpAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::columns::ColumnStore;
+use crate::ids::{Asn, Country, UserId};
+use crate::intern::{EntityTables, IpTable, UserTable};
+use crate::record::RequestRecord;
+use crate::store::{FrozenStore, RequestStore};
+use crate::time::Timestamp;
+
+/// Default rows staged per spill segment. Chosen so a shard's staging
+/// buffers stay a few megabytes across all dataset families while keeping
+/// the per-family run count (one merge cursor each) well under typical
+/// file-descriptor limits.
+pub const DEFAULT_SEGMENT_ROWS: usize = 4096;
+
+/// Bytes of one encoded spill row: timestamp (4) + user (8) + family tag
+/// (1) + address (16, IPv4 in the first four bytes) + ASN (4) +
+/// country (2).
+pub const SPILL_ROW_BYTES: usize = 35;
+
+/// Where a study keeps its full-fidelity and sampled streams during the
+/// sim phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Every retained record stays in memory until the sort phase — the
+    /// original pipeline. Peak memory is O(retained records).
+    #[default]
+    InMemory,
+    /// Shards stream every dataset family into bounded sorted segments on
+    /// disk; peak memory is O(`segment_rows` × families × worker threads),
+    /// independent of the population.
+    Spill {
+        /// Parent directory for the per-run spill session directory;
+        /// `None` uses [`std::env::temp_dir`]. The session directory is
+        /// removed when the run completes (or fails).
+        dir: Option<PathBuf>,
+        /// Rows staged in memory per family before a segment is sorted
+        /// and appended to disk as one run. Must be non-zero.
+        segment_rows: usize,
+    },
+}
+
+impl StorageMode {
+    /// The spill mode with default parameters (temp dir,
+    /// [`DEFAULT_SEGMENT_ROWS`]).
+    pub fn spill() -> Self {
+        StorageMode::Spill {
+            dir: None,
+            segment_rows: DEFAULT_SEGMENT_ROWS,
+        }
+    }
+
+    /// Whether this mode spills to disk.
+    pub fn is_spill(&self) -> bool {
+        matches!(self, StorageMode::Spill { .. })
+    }
+
+    /// Short machine-readable label (`"memory"` / `"spill"`), echoed into
+    /// run reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageMode::InMemory => "memory",
+            StorageMode::Spill { .. } => "spill",
+        }
+    }
+}
+
+/// A shared high-water-mark gauge over the mutable (row-format) bytes the
+/// sim phase holds in memory: shard-local in-memory stores plus spill
+/// staging buffers. Frozen columnar output, intern tables, and merge
+/// cursors are excluded — the gauge measures what *scales with work in
+/// flight*, which is what the out-of-core pipeline bounds.
+#[derive(Debug, Default)]
+pub struct MemGauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemGauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a sink's current byte count: adjusts the shared total by
+    /// the delta against what this sink last published (tracked in
+    /// `published`, one counter per shard attempt) and raises the peak.
+    pub fn publish(&self, published: &AtomicU64, now: u64) {
+        let prev = published.swap(now, Ordering::Relaxed);
+        let cur = if now >= prev {
+            self.current.fetch_add(now - prev, Ordering::Relaxed) + (now - prev)
+        } else {
+            self.current.fetch_sub(prev - now, Ordering::Relaxed) - (prev - now)
+        };
+        self.peak.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    /// Releases everything an attempt had published — called when the
+    /// attempt panics and its buffers are discarded by the unwind.
+    pub fn release(&self, published: &AtomicU64) {
+        let prev = published.swap(0, Ordering::Relaxed);
+        self.current.fetch_sub(prev, Ordering::Relaxed);
+    }
+
+    /// The current published total.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The high-water mark across the run so far.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Encodes one record into the fixed 35-byte spill row format.
+fn encode_row(r: &RequestRecord, buf: &mut [u8; SPILL_ROW_BYTES]) {
+    buf[0..4].copy_from_slice(&r.ts.secs().to_le_bytes());
+    buf[4..12].copy_from_slice(&r.user.raw().to_le_bytes());
+    match r.ip {
+        IpAddr::V4(a) => {
+            buf[12] = 4;
+            buf[13..17].copy_from_slice(&u32::from(a).to_le_bytes());
+            buf[17..29].fill(0);
+        }
+        IpAddr::V6(a) => {
+            buf[12] = 6;
+            buf[13..29].copy_from_slice(&u128::from(a).to_le_bytes());
+        }
+    }
+    buf[29..33].copy_from_slice(&r.asn.0.to_le_bytes());
+    buf[33..35].copy_from_slice(&r.country.0);
+}
+
+/// Decodes one 35-byte spill row back into a record.
+fn decode_row(buf: &[u8; SPILL_ROW_BYTES]) -> RequestRecord {
+    let ts = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    let user = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+    let ip = match buf[12] {
+        4 => IpAddr::V4(std::net::Ipv4Addr::from(u32::from_le_bytes(
+            buf[13..17].try_into().expect("4 bytes"),
+        ))),
+        6 => IpAddr::V6(std::net::Ipv6Addr::from(u128::from_le_bytes(
+            buf[13..29].try_into().expect("16 bytes"),
+        ))),
+        tag => panic!("corrupt spill row: unknown family tag {tag}"),
+    };
+    let asn = u32::from_le_bytes(buf[29..33].try_into().expect("4 bytes"));
+    RequestRecord {
+        ts: Timestamp::from_secs(ts),
+        user: UserId(user),
+        ip,
+        asn: Asn(asn),
+        country: Country([buf[33], buf[34]]),
+    }
+}
+
+/// Monotonic discriminator so concurrent sessions in one process never
+/// collide on a directory name.
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// One run's private spill directory. Files are created lazily by
+/// [`SegmentWriter`]s; the directory (and everything in it) is removed on
+/// drop, so a completed — or aborted — run leaves nothing behind.
+#[derive(Debug)]
+pub struct SpillSession {
+    dir: PathBuf,
+}
+
+impl SpillSession {
+    /// Creates a fresh, uniquely-named session directory under `parent`
+    /// (or the system temp dir).
+    pub fn create(parent: Option<&Path>) -> std::io::Result<Self> {
+        let parent = parent
+            .map(Path::to_path_buf)
+            .unwrap_or_else(std::env::temp_dir);
+        let n = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = parent.join(format!("ipv6-spill-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The session directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The filename prefix shared by every file of one shard attempt.
+    fn attempt_prefix(shard: usize, attempt: u32) -> String {
+        format!("s{shard:05}-a{attempt:02}-")
+    }
+
+    /// A segment writer for one `(shard, attempt, family)` stream.
+    pub fn writer(
+        &self,
+        shard: usize,
+        attempt: u32,
+        family: &str,
+        segment_rows: usize,
+    ) -> SegmentWriter {
+        let name = format!("{}{family}.seg", Self::attempt_prefix(shard, attempt));
+        SegmentWriter::new(self.dir.join(name), segment_rows)
+    }
+
+    /// Best-effort removal of every file a failed attempt wrote, so a
+    /// retried shard starts from a clean directory and a completed run
+    /// holds only the files of successful attempts.
+    pub fn remove_attempt(&self, shard: usize, attempt: u32) {
+        let prefix = Self::attempt_prefix(shard, attempt);
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix))
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+impl Drop for SpillSession {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Where one family's spilled stream lives: its file plus the row count
+/// of each sorted run, in emission order.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    path: PathBuf,
+    runs: Vec<u64>,
+}
+
+impl RunManifest {
+    /// Total rows across all runs.
+    pub fn rows(&self) -> u64 {
+        self.runs.iter().sum()
+    }
+
+    /// Number of sorted runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+/// Streams one family's records into bounded sorted runs on disk.
+///
+/// Records are staged in memory; when the staging buffer reaches
+/// `segment_rows` it is stable-sorted by timestamp and appended to the
+/// file as one run. The file is created lazily on the first flush, so
+/// record-free families cost nothing.
+///
+/// # Panics
+/// Any I/O failure panics; the driver's per-shard `catch_unwind` turns
+/// that into a normal shard failure handled by the run's failure policy.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    path: PathBuf,
+    file: Option<BufWriter<File>>,
+    staging: Vec<RequestRecord>,
+    segment_rows: usize,
+    runs: Vec<u64>,
+}
+
+impl SegmentWriter {
+    fn new(path: PathBuf, segment_rows: usize) -> Self {
+        assert!(segment_rows > 0, "segment_rows must be non-zero");
+        Self {
+            path,
+            file: None,
+            staging: Vec::new(),
+            segment_rows,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Appends one record, flushing a full segment to disk.
+    pub fn push(&mut self, rec: RequestRecord) {
+        self.staging.push(rec);
+        if self.staging.len() >= self.segment_rows {
+            self.flush_run();
+        }
+    }
+
+    /// Bytes currently staged in memory (logical row bytes, the unit the
+    /// [`MemGauge`] tracks).
+    pub fn staged_bytes(&self) -> u64 {
+        (self.staging.len() * std::mem::size_of::<RequestRecord>()) as u64
+    }
+
+    /// Sorts and appends the staged records as one run.
+    fn flush_run(&mut self) {
+        if self.staging.is_empty() {
+            return;
+        }
+        // Stable: equal timestamps keep emission order, exactly like the
+        // in-memory store's final sort.
+        self.staging.sort_by_key(|r| r.ts);
+        let file = match self.file.as_mut() {
+            Some(f) => f,
+            None => {
+                let f = File::create(&self.path)
+                    .unwrap_or_else(|e| panic!("spill create {} failed: {e}", self.path.display()));
+                self.file.insert(BufWriter::new(f))
+            }
+        };
+        let mut buf = [0u8; SPILL_ROW_BYTES];
+        for r in &self.staging {
+            encode_row(r, &mut buf);
+            file.write_all(&buf)
+                .unwrap_or_else(|e| panic!("spill write {} failed: {e}", self.path.display()));
+        }
+        self.runs.push(self.staging.len() as u64);
+        self.staging.clear();
+    }
+
+    /// Flushes the final partial run and the OS buffer. Idempotent.
+    pub fn finish(&mut self) {
+        self.flush_run();
+        if let Some(f) = self.file.as_mut() {
+            f.flush()
+                .unwrap_or_else(|e| panic!("spill flush {} failed: {e}", self.path.display()));
+        }
+    }
+
+    /// Consumes the writer into its manifest; [`SegmentWriter::finish`]
+    /// must have been called (asserted).
+    pub fn into_manifest(mut self) -> RunManifest {
+        assert!(self.staging.is_empty(), "into_manifest before finish()");
+        if let Some(f) = self.file.take() {
+            drop(f);
+        }
+        RunManifest {
+            path: self.path,
+            runs: self.runs,
+        }
+    }
+}
+
+/// Reads an entire manifest sequentially (run after run, i.e. file
+/// order), feeding each decoded record to `f`. Used for the key-collection
+/// pass, where order is irrelevant.
+pub fn read_manifest(m: &RunManifest, mut f: impl FnMut(RequestRecord)) {
+    if m.runs.is_empty() {
+        return;
+    }
+    let file = File::open(&m.path)
+        .unwrap_or_else(|e| panic!("spill open {} failed: {e}", m.path.display()));
+    let mut reader = BufReader::new(file);
+    let mut buf = [0u8; SPILL_ROW_BYTES];
+    for _ in 0..m.rows() {
+        reader
+            .read_exact(&mut buf)
+            .unwrap_or_else(|e| panic!("spill read {} failed: {e}", m.path.display()));
+        f(decode_row(&buf));
+    }
+}
+
+/// Accumulates the distinct entity keys of a record stream with periodic
+/// sort+dedup compaction, then builds the shared [`EntityTables`].
+///
+/// `EntityTables` construction is order-independent given the same key
+/// sets (sort + dedup erase arrival order), so tables built here over
+/// spilled streams are bit-identical to tables built in memory over the
+/// same records — the linchpin of spill-mode determinism.
+#[derive(Debug, Default)]
+pub struct KeyCollector {
+    v4: Vec<u32>,
+    v6: Vec<u128>,
+    users: Vec<u64>,
+    compact_at: usize,
+}
+
+/// Compaction floor: below this many buffered keys, dedup isn't worth it.
+const COMPACT_FLOOR: usize = 1 << 20;
+
+impl KeyCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self {
+            compact_at: COMPACT_FLOOR,
+            ..Self::default()
+        }
+    }
+
+    /// Adds one record's keys.
+    pub fn add(&mut self, rec: &RequestRecord) {
+        match rec.ip {
+            IpAddr::V4(a) => self.v4.push(u32::from(a)),
+            IpAddr::V6(a) => self.v6.push(u128::from(a)),
+        }
+        self.users.push(rec.user.raw());
+        if self.v4.len() + self.v6.len() + self.users.len() > self.compact_at {
+            self.compact();
+        }
+    }
+
+    /// Adds every record of an in-memory store.
+    pub fn add_store(&mut self, store: &RequestStore) {
+        for r in store.iter_unordered() {
+            self.add(r);
+        }
+    }
+
+    /// Adds every record of a spilled manifest (sequential read).
+    pub fn add_manifest(&mut self, m: &RunManifest) {
+        let mut keys = std::mem::take(self);
+        read_manifest(m, |rec| keys.add(&rec));
+        *self = keys;
+    }
+
+    fn compact(&mut self) {
+        self.v4.sort_unstable();
+        self.v4.dedup();
+        self.v6.sort_unstable();
+        self.v6.dedup();
+        self.users.sort_unstable();
+        self.users.dedup();
+        let len = self.v4.len() + self.v6.len() + self.users.len();
+        self.compact_at = (len * 2).max(COMPACT_FLOOR);
+    }
+
+    /// Builds the shared intern tables from the collected keys.
+    pub fn into_tables(self) -> EntityTables {
+        EntityTables {
+            ips: IpTable::from_keys(self.v4, self.v6),
+            users: UserTable::from_keys(self.users),
+        }
+    }
+}
+
+/// One run's streaming read cursor for the k-way merge.
+struct RunCursor {
+    reader: BufReader<File>,
+    remaining: u64,
+    path: PathBuf,
+}
+
+impl RunCursor {
+    fn open(path: &Path, start_row: u64, rows: u64) -> Self {
+        let mut file = File::open(path)
+            .unwrap_or_else(|e| panic!("spill open {} failed: {e}", path.display()));
+        file.seek(SeekFrom::Start(start_row * SPILL_ROW_BYTES as u64))
+            .unwrap_or_else(|e| panic!("spill seek {} failed: {e}", path.display()));
+        Self {
+            reader: BufReader::new(file),
+            remaining: rows,
+            path: path.to_path_buf(),
+        }
+    }
+
+    fn next(&mut self) -> Option<RequestRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let mut buf = [0u8; SPILL_ROW_BYTES];
+        self.reader
+            .read_exact(&mut buf)
+            .unwrap_or_else(|e| panic!("spill read {} failed: {e}", self.path.display()));
+        Some(decode_row(&buf))
+    }
+}
+
+/// K-way merges one family's manifests (in plan order) into a timestamp-
+/// sorted columnar store encoded against shared intern tables.
+///
+/// Ties pop by global run index (manifest order × run order), which is
+/// exactly the stable tie-break of the in-memory pipeline's sort over the
+/// plan-order concatenation — so the output columns are byte-identical to
+/// the in-memory path. One cursor (file handle + small read buffer) is
+/// open per run; no run is ever re-buffered wholesale.
+pub fn merge_manifests(manifests: &[RunManifest], tables: &Arc<EntityTables>) -> ColumnStore {
+    let mut cursors: Vec<RunCursor> = Vec::new();
+    let mut total_rows: usize = 0;
+    for m in manifests {
+        let mut start = 0u64;
+        for &rows in &m.runs {
+            if rows > 0 {
+                cursors.push(RunCursor::open(&m.path, start, rows));
+                total_rows += rows as usize;
+            }
+            start += rows;
+        }
+    }
+    let mut cols = ColumnStore::default();
+    cols.ts.reserve_exact(total_rows);
+    cols.ip.reserve_exact(total_rows);
+    cols.user.reserve_exact(total_rows);
+    cols.asn.reserve_exact(total_rows);
+    cols.country.reserve_exact(total_rows);
+
+    // Min-heap keyed (timestamp, run index); `current[i]` holds cursor
+    // `i`'s front record.
+    let mut current: Vec<RequestRecord> = Vec::with_capacity(cursors.len());
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u32, usize)>> =
+        BinaryHeap::with_capacity(cursors.len());
+    for (i, c) in cursors.iter_mut().enumerate() {
+        let r = c.next().expect("runs are non-empty by construction");
+        heap.push(std::cmp::Reverse((r.ts.secs(), i)));
+        current.push(r);
+    }
+    while let Some(std::cmp::Reverse((_, i))) = heap.pop() {
+        cols.push_encoded(&current[i], tables);
+        if let Some(r) = cursors[i].next() {
+            heap.push(std::cmp::Reverse((r.ts.secs(), i)));
+            current[i] = r;
+        }
+    }
+    debug_assert_eq!(cols.len(), total_rows);
+    cols
+}
+
+/// Convenience: merges one family's manifests straight into a
+/// [`FrozenStore`] over shared tables.
+pub fn merge_into_frozen(manifests: &[RunManifest], tables: &Arc<EntityTables>) -> FrozenStore {
+    FrozenStore::from_sorted_parts(merge_manifests(manifests, tables), Arc::clone(tables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDate;
+
+    fn rec(user: u64, sec: u32, ip: &str) -> RequestRecord {
+        RequestRecord {
+            ts: Timestamp::from_secs(SimDate::ymd(4, 13).start().secs() + sec),
+            user: UserId(user),
+            ip: ip.parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        }
+    }
+
+    #[test]
+    fn row_codec_round_trips_both_families() {
+        let mut buf = [0u8; SPILL_ROW_BYTES];
+        for r in [
+            rec(7, 0, "2001:db8::1"),
+            rec(u64::MAX, 3, "10.0.0.1"),
+            rec(0, 86_400, "::"),
+            rec(1, 12, "255.255.255.255"),
+        ] {
+            encode_row(&r, &mut buf);
+            assert_eq!(decode_row(&buf), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown family tag")]
+    fn corrupt_tag_panics() {
+        let mut buf = [0u8; SPILL_ROW_BYTES];
+        encode_row(&rec(1, 0, "10.0.0.1"), &mut buf);
+        buf[12] = 9;
+        let _ = decode_row(&buf);
+    }
+
+    #[test]
+    fn merge_reproduces_the_stable_in_memory_sort() {
+        let session = SpillSession::create(None).unwrap();
+        // Two "shards", ties across and within both; segment_rows 3 forces
+        // multiple runs per shard.
+        let shard_a = vec![
+            rec(1, 10, "2001:db8::1"),
+            rec(2, 5, "2001:db8::2"),
+            rec(3, 10, "10.0.0.1"), // ties with user 1
+            rec(4, 1, "2001:db8::3"),
+            rec(5, 10, "2001:db8::4"), // crosses a run boundary
+        ];
+        let shard_b = vec![rec(6, 10, "10.0.0.2"), rec(7, 0, "2001:db8::5")];
+
+        let mut manifests = Vec::new();
+        for (shard, records) in [(0usize, &shard_a), (1usize, &shard_b)] {
+            let mut w = session.writer(shard, 0, "request", 3);
+            for &r in records {
+                w.push(r);
+            }
+            w.finish();
+            manifests.push(w.into_manifest());
+        }
+        assert_eq!(manifests[0].run_count(), 2);
+        assert_eq!(manifests[0].rows(), 5);
+
+        // Reference: the in-memory pipeline (concatenate in plan order,
+        // stable sort).
+        let mut reference = RequestStore::new();
+        for &r in shard_a.iter().chain(shard_b.iter()) {
+            reference.push(r);
+        }
+
+        let mut keys = KeyCollector::new();
+        for m in &manifests {
+            keys.add_manifest(m);
+        }
+        let tables = Arc::new(keys.into_tables());
+        let frozen = merge_into_frozen(&manifests, &tables);
+        assert_eq!(
+            frozen.all().records().collect::<Vec<_>>(),
+            reference.all(),
+            "k-way merge must equal the stable concatenation sort"
+        );
+        // Spill-built columns are exactly sized (the bytes() contract).
+        assert_eq!(frozen.bytes(), frozen.len() * 18);
+    }
+
+    #[test]
+    fn key_collector_matches_in_memory_table_build() {
+        let records: Vec<RequestRecord> = (0..500)
+            .map(|i| {
+                rec(
+                    i % 37,
+                    i as u32,
+                    if i % 3 == 0 {
+                        "192.0.2.9"
+                    } else {
+                        "2001:db8:9::1"
+                    },
+                )
+            })
+            .collect();
+        let mut store = RequestStore::new();
+        let mut keys = KeyCollector::new();
+        for &r in &records {
+            store.push(r);
+            keys.add(&r);
+        }
+        let direct = EntityTables::build(store.iter_unordered());
+        assert_eq!(keys.into_tables(), direct);
+    }
+
+    #[test]
+    fn session_cleans_up_on_drop_and_remove_attempt_is_selective() {
+        let parent = std::env::temp_dir().join(format!("ipv6-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&parent).unwrap();
+        let dir;
+        {
+            let session = SpillSession::create(Some(&parent)).unwrap();
+            dir = session.dir().to_path_buf();
+            let mut a0 = session.writer(3, 0, "pair", 2);
+            a0.push(rec(1, 0, "10.0.0.1"));
+            a0.finish();
+            let _ = a0.into_manifest();
+            let mut a1 = session.writer(3, 1, "pair", 2);
+            a1.push(rec(1, 0, "10.0.0.1"));
+            a1.finish();
+            let _ = a1.into_manifest();
+            assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+            session.remove_attempt(3, 0);
+            let left: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .flatten()
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect();
+            assert_eq!(left, vec!["s00003-a01-pair.seg".to_string()]);
+        }
+        assert!(!dir.exists(), "session dir removed on drop");
+        let _ = std::fs::remove_dir_all(&parent);
+    }
+
+    #[test]
+    fn empty_family_writes_no_file() {
+        let session = SpillSession::create(None).unwrap();
+        let mut w = session.writer(0, 0, "abuse", 64);
+        w.finish();
+        let m = w.into_manifest();
+        assert_eq!(m.rows(), 0);
+        assert_eq!(std::fs::read_dir(session.dir()).unwrap().count(), 0);
+        // Merging nothing is an empty store.
+        let tables = Arc::new(EntityTables::default());
+        assert!(merge_manifests(&[m], &tables).is_empty());
+    }
+
+    #[test]
+    fn gauge_tracks_peak_across_publishers() {
+        let g = MemGauge::new();
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        g.publish(&a, 100);
+        g.publish(&b, 50);
+        assert_eq!(g.current(), 150);
+        g.publish(&a, 20); // shrink after a flush
+        assert_eq!(g.current(), 70);
+        assert_eq!(g.peak(), 150);
+        g.release(&b);
+        assert_eq!(g.current(), 20);
+        assert_eq!(g.peak(), 150, "peak never decreases");
+    }
+
+    #[test]
+    fn storage_mode_helpers() {
+        assert_eq!(StorageMode::default(), StorageMode::InMemory);
+        assert_eq!(StorageMode::InMemory.label(), "memory");
+        let s = StorageMode::spill();
+        assert!(s.is_spill());
+        assert_eq!(s.label(), "spill");
+        assert_eq!(
+            s,
+            StorageMode::Spill {
+                dir: None,
+                segment_rows: DEFAULT_SEGMENT_ROWS
+            }
+        );
+    }
+}

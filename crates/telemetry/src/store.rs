@@ -180,6 +180,19 @@ pub struct FrozenStore {
 }
 
 impl FrozenStore {
+    /// Assembles a frozen store from already-sorted, already-encoded
+    /// columns — the spill pipeline's entry point, where the timestamp
+    /// sort happened streaming (per-segment sorts + k-way merge) rather
+    /// than in memory. The columns must be timestamp-sorted (debug-
+    /// asserted) and encoded against `tables`.
+    pub fn from_sorted_parts(cols: ColumnStore, tables: Arc<EntityTables>) -> Self {
+        debug_assert!(
+            cols.ts.windows(2).all(|w| w[0] <= w[1]),
+            "from_sorted_parts requires timestamp-sorted columns"
+        );
+        Self { cols, tables }
+    }
+
     /// Number of records held.
     pub fn len(&self) -> usize {
         self.cols.len()

@@ -21,13 +21,13 @@ fn main() {
     //    so blocklists and limiters can skip them (the paper's advice:
     //    "feasibly predicted to avoid blocklisting and to handle through
     //    other means").
-    let week = study.datasets.ip_sample.in_range(focus_week());
+    let week = study.datasets().ip_sample.in_range(focus_week());
     let upi = users_per_ip(&DatasetIndex::build(week));
     let mut asn_of = HashMap::new();
     for r in week.records() {
         asn_of.entry(r.ip).or_insert(r.asn);
     }
-    let heavy = (study.approx_users / 1_500).max(8);
+    let heavy = (study.approx_users() / 1_500).max(8);
     let predictor = HeavyAddressPredictor::learn(&upi.counts, &asn_of, heavy);
     let eval = predictor.evaluate(&upi.counts, &asn_of, heavy);
     println!("== heavy-address predictor (structural signature + learned ASNs) ==");
@@ -51,9 +51,9 @@ fn main() {
     for (label, v6) in [("IPv4", false), ("IPv6", true)] {
         let mut set = Vec::new();
         for k in 0..3u16 {
-            let day = study.pair_store.on_day(last - (k + 1));
-            let next = study.pair_store.on_day(last - k);
-            set.extend(training_set(day, next, &study.labels, Some(v6)));
+            let day = study.pair_store().on_day(last - (k + 1));
+            let next = study.pair_store().on_day(last - k);
+            set.extend(training_set(day, next, study.labels(), Some(v6)));
         }
         if set.is_empty() {
             continue;

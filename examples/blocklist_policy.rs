@@ -15,8 +15,8 @@ fn main() {
     let study = Study::builder().test_scale().run().expect("valid preset");
     let day_n = focus_day_user() - 1;
     let day_n1 = focus_day_user();
-    let n = study.pair_store.on_day(day_n);
-    let n1 = study.pair_store.on_day(day_n1);
+    let n = study.pair_store().on_day(day_n);
+    let n1 = study.pair_store().on_day(day_n1);
 
     println!("== day-over-day actioning ROC (operating points) ==");
     println!(
@@ -30,7 +30,7 @@ fn main() {
         Granularity::V4Full,
     ];
     for gran in grans {
-        let curve = actioning_roc(n, n1, &study.labels, gran);
+        let curve = actioning_roc(n, n1, study.labels(), gran);
         let pts = operating_points(&curve);
         for (label, (tpr, fpr)) in [("0%", pts.t0), ("10%", pts.t10), ("100%", pts.t100)] {
             println!(
@@ -47,17 +47,22 @@ fn main() {
     // Longitudinal: how fast does a one-day blocklist decay?
     println!("\n== blocklist decay (threshold 50%, TTL 14d, listed Apr 13) ==");
     let list_day = SimDate::ymd(4, 13);
-    let listing = study.datasets.ip_sample.on_day(list_day);
+    let listing = study.datasets().ip_sample.on_day(list_day);
     for (gran, name) in [
         (Granularity::V6Full, "IPv6 /128"),
         (Granularity::V6Prefix(64), "IPv6 /64"),
         (Granularity::V4Full, "IPv4"),
     ] {
-        let bl = Blocklist::from_day(listing, &study.labels, gran, 0.5, list_day, 14);
+        let bl = Blocklist::from_day(listing, study.labels(), gran, 0.5, list_day, 14);
         let later: Vec<(SimDate, _)> = (1..=6u16)
-            .map(|k| (list_day + k, study.datasets.ip_sample.on_day(list_day + k)))
+            .map(|k| {
+                (
+                    list_day + k,
+                    study.datasets().ip_sample.on_day(list_day + k),
+                )
+            })
             .collect();
-        let evals = evaluate_over_days(&bl, &study.labels, list_day, later.iter().copied());
+        let evals = evaluate_over_days(&bl, study.labels(), list_day, later.iter().copied());
         let series: Vec<String> = evals
             .iter()
             .map(|e| format!("d+{}: {:.0}%", e.offset, 100.0 * e.recall))

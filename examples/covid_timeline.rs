@@ -18,9 +18,9 @@ fn bar(share: f64, lo: f64, hi: f64, width: usize) -> String {
 
 fn main() {
     let study = Study::builder().test_scale().run().expect("valid preset");
-    let range = study.config.full_range;
-    let user = study.datasets.user_sample.in_range(range);
-    let req = study.datasets.request_sample.in_range(range);
+    let range = study.config().full_range;
+    let user = study.datasets().user_sample.in_range(range);
+    let req = study.datasets().request_sample.in_range(range);
     let pts = prevalence_series(user, req, range);
 
     let (ulo, uhi) = (0.30, 0.46);

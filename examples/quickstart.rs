@@ -20,9 +20,9 @@ fn main() {
     let study = Study::run(config).expect("validated above");
     println!(
         "platform saw {} requests; samples retained {}; {} labeled abusive accounts\n",
-        study.datasets.offered,
-        study.datasets.retained(),
-        study.labels.len()
+        study.datasets().offered,
+        study.datasets().retained(),
+        study.labels().len()
     );
     let ctx = AnalysisCtx::new(&study);
 

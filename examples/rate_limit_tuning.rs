@@ -17,14 +17,14 @@ fn main() {
     let week = focus_week();
 
     let per_ip = users_per_ip(&DatasetIndex::build(
-        study.datasets.ip_sample.in_range(week),
+        study.datasets().ip_sample.in_range(week),
     ));
     let p64 = {
-        let idx = DatasetIndex::build(study.datasets.prefix_sample(64).in_range(week));
+        let idx = DatasetIndex::build(study.datasets().prefix_sample(64).in_range(week));
         users_per_prefix(&idx, 64).ecdf
     };
     let p48 = {
-        let idx = DatasetIndex::build(study.datasets.prefix_sample(48).in_range(week));
+        let idx = DatasetIndex::build(study.datasets().prefix_sample(48).in_range(week));
         users_per_prefix(&idx, 48).ecdf
     };
 
@@ -66,7 +66,7 @@ fn main() {
     let mut allowed = 0u64;
     let mut throttled = 0u64;
     let day = ipv6_user_study::telemetry::time::focus_day_ip();
-    let recs = study.datasets.ip_sample.on_day(day);
+    let recs = study.datasets().ip_sample.on_day(day);
     for r in recs.records() {
         if limiter.allow(r.ip, r.ts) {
             allowed += 1;

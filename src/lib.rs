@@ -30,7 +30,8 @@
 
 pub use ipv6_study_core::{
     experiments, paper, report, ConfigError, FailurePolicy, FaultInjector, FaultReport, RunMetrics,
-    RunReport, ShardMetrics, Study, StudyBuilder, StudyConfig, StudyError, StudyOutcome,
+    RunReport, SamplingPlan, ShardMetrics, StorageMode, Study, StudyBuilder, StudyConfig,
+    StudyError, StudyOutcome, DEFAULT_SEGMENT_ROWS,
 };
 
 /// Statistical substrate: ECDFs, ROC curves, hashing, extrapolation.

@@ -15,8 +15,12 @@ use ipv6_user_study::{Study, StudyConfig};
 /// `stable_hash64("ANEQ", markdown)` of the tiny-scale serial
 /// `render_markdown` output, pinned from the serial engine before the
 /// parallel rewrite. Any change to what the analyses compute — not just
-/// how fast — moves this digest.
-const GOLDEN_TINY_MARKDOWN_DIGEST: u64 = 0xef7c_6233_b540_e627;
+/// how fast — moves this digest. Last repinned for the out-of-core PR:
+/// `Study::user_sample_rate` switched from the configured probability to
+/// the realized sampler-counter rate (it feeds the extrapolated o62
+/// scale), and the rendered preamble now names the relocated `repro`
+/// binary.
+const GOLDEN_TINY_MARKDOWN_DIGEST: u64 = 0x8bca_6eb1_5de8_2ac9;
 
 const DIGEST_SEED: u64 = 0x414E_4551; // "ANEQ"
 

@@ -33,37 +33,41 @@ fn digest(records: ColumnSlice<'_>) -> u64 {
 
 /// Full-dataset digest comparison between two studies.
 fn assert_identical(a: &Study, b: &Study, what: &str) {
-    assert_eq!(a.datasets.offered, b.datasets.offered, "{what}: offered");
     assert_eq!(
-        a.datasets.user_sample.all(),
-        b.datasets.user_sample.all(),
+        a.datasets().offered,
+        b.datasets().offered,
+        "{what}: offered"
+    );
+    assert_eq!(
+        a.datasets().user_sample.all(),
+        b.datasets().user_sample.all(),
         "{what}: user sample"
     );
     assert_eq!(
-        digest(a.datasets.request_sample.all()),
-        digest(b.datasets.request_sample.all()),
+        digest(a.datasets().request_sample.all()),
+        digest(b.datasets().request_sample.all()),
         "{what}: request sample"
     );
     assert_eq!(
-        digest(a.datasets.ip_sample.all()),
-        digest(b.datasets.ip_sample.all()),
+        digest(a.datasets().ip_sample.all()),
+        digest(b.datasets().ip_sample.all()),
         "{what}: ip sample"
     );
     assert_eq!(
-        digest(a.abuse_store.all()),
-        digest(b.abuse_store.all()),
+        digest(a.abuse_store().all()),
+        digest(b.abuse_store().all()),
         "{what}: abuse store"
     );
     assert_eq!(
-        digest(a.pair_store.all()),
-        digest(b.pair_store.all()),
+        digest(a.pair_store().all()),
+        digest(b.pair_store().all()),
         "{what}: pair store"
     );
-    let lengths = a.config.prefix_lengths.clone();
+    let lengths = a.config().prefix_lengths.clone();
     for &l in &lengths {
         assert_eq!(
-            digest(a.datasets.prefix_sample(l).all()),
-            digest(b.datasets.prefix_sample(l).all()),
+            digest(a.datasets().prefix_sample(l).all()),
+            digest(b.datasets().prefix_sample(l).all()),
             "{what}: prefix /{l}"
         );
     }
@@ -90,20 +94,20 @@ fn chaotic_config(threads: usize) -> StudyConfig {
 #[test]
 fn fault_injected_runs_are_byte_identical_to_fault_free() {
     let clean = Study::run(StudyConfig::tiny()).expect("fault-free run");
-    assert!(clean.faults.is_clean());
+    assert!(clean.faults().is_clean());
 
     for threads in [1usize, 2, 8] {
         let chaotic = Study::run(chaotic_config(threads)).expect("retries recover every shard");
         // The injector really fired: 2 + 1 retries across two shards.
         assert_eq!(
-            chaotic.faults.total_retries(),
+            chaotic.faults().total_retries(),
             3,
             "threads={threads}: retries"
         );
-        assert_eq!(chaotic.faults.failures.len(), 2);
-        assert_eq!(chaotic.faults.dropped_count(), 0);
+        assert_eq!(chaotic.faults().failures.len(), 2);
+        assert_eq!(chaotic.faults().dropped_count(), 0);
         assert!(
-            chaotic.faults.records_lost() > 0,
+            chaotic.faults().records_lost() > 0,
             "panics after one simulated day must discard partial work"
         );
         assert_identical(
@@ -130,31 +134,31 @@ fn degrade_policy_completes_and_reports_exactly_the_dead_shard() {
 
     // Exactly the dead shard is reported, dropped, with its full budget
     // spent (1 try + 1 retry).
-    assert_eq!(degraded.faults.failures.len(), 1);
-    let failure = &degraded.faults.failures[0];
+    assert_eq!(degraded.faults().failures.len(), 1);
+    let failure = &degraded.faults().failures[0];
     assert_eq!(failure.shard, DEAD_SHARD);
     assert!(failure.dropped);
     assert_eq!(failure.attempts, 2);
     assert!(failure.panic_msg.contains("injected fault"));
-    assert_eq!(degraded.faults.dropped_count(), 1);
+    assert_eq!(degraded.faults().dropped_count(), 1);
 
     // The merged output holds exactly the surviving shards' records.
-    assert_eq!(degraded.metrics.shards.len(), 11, "12 planned, 1 dropped");
-    let surviving: u64 = degraded.metrics.shards.iter().map(|s| s.records).sum();
-    assert_eq!(degraded.datasets.offered, surviving);
+    assert_eq!(degraded.metrics().shards.len(), 11, "12 planned, 1 dropped");
+    let surviving: u64 = degraded.metrics().shards.iter().map(|s| s.records).sum();
+    assert_eq!(degraded.datasets().offered, surviving);
 
     // Versus a clean run, only the dead shard's records are missing.
     let clean = Study::run(StudyConfig::tiny()).expect("fault-free run");
-    let dead_records = clean.metrics.shards[DEAD_SHARD].records;
+    let dead_records = clean.metrics().shards[DEAD_SHARD].records;
     assert!(dead_records > 0, "the dead shard does real work");
     assert_eq!(
-        degraded.datasets.offered + dead_records,
-        clean.datasets.offered
+        degraded.datasets().offered + dead_records,
+        clean.datasets().offered
     );
 
     // The shard is listed in the faults section of the BENCH_run.json
     // document (the acceptance criterion).
-    let json = degraded.report.to_json_string();
+    let json = degraded.report().to_json_string();
     assert!(json.contains(&format!("\"shard\": {DEAD_SHARD}")), "{json}");
     assert!(json.contains("\"dropped\": true"));
     assert!(json.contains("\"policy\": \"degrade\""));
@@ -212,14 +216,14 @@ fn probabilistic_chaos_is_reproducible() {
     let b = run();
     // The "random" chaos is a pure function of (seed, shard, attempt):
     // both runs see the same failures and produce the same bytes.
-    assert_eq!(a.faults.total_retries(), b.faults.total_retries());
+    assert_eq!(a.faults().total_retries(), b.faults().total_retries());
     assert_eq!(
-        a.faults
+        a.faults()
             .failures
             .iter()
             .map(|f| (f.shard, f.attempts))
             .collect::<Vec<_>>(),
-        b.faults
+        b.faults()
             .failures
             .iter()
             .map(|f| (f.shard, f.attempts))

@@ -26,40 +26,44 @@ fn digest(records: ColumnSlice<'_>) -> u64 {
 }
 
 fn compare(a: Study, b: Study, what: &str) {
-    assert_eq!(a.datasets.offered, b.datasets.offered, "{what}: offered");
-    assert_eq!(a.approx_users, b.approx_users, "{what}: approx_users");
+    assert_eq!(
+        a.datasets().offered,
+        b.datasets().offered,
+        "{what}: offered"
+    );
+    assert_eq!(a.approx_users(), b.approx_users(), "{what}: approx_users");
 
     // Dataset lengths.
     assert_eq!(
-        a.datasets.request_sample.len(),
-        b.datasets.request_sample.len(),
+        a.datasets().request_sample.len(),
+        b.datasets().request_sample.len(),
         "{what}"
     );
     assert_eq!(
-        a.datasets.user_sample.len(),
-        b.datasets.user_sample.len(),
+        a.datasets().user_sample.len(),
+        b.datasets().user_sample.len(),
         "{what}"
     );
     assert_eq!(
-        a.datasets.ip_sample.len(),
-        b.datasets.ip_sample.len(),
+        a.datasets().ip_sample.len(),
+        b.datasets().ip_sample.len(),
         "{what}"
     );
-    assert_eq!(a.abuse_store.len(), b.abuse_store.len(), "{what}");
-    assert_eq!(a.pair_store.len(), b.pair_store.len(), "{what}");
-    let lengths: Vec<u8> = a.config.prefix_lengths.clone();
+    assert_eq!(a.abuse_store().len(), b.abuse_store().len(), "{what}");
+    assert_eq!(a.pair_store().len(), b.pair_store().len(), "{what}");
+    let lengths: Vec<u8> = a.config().prefix_lengths.clone();
     for &l in &lengths {
         assert_eq!(
-            a.datasets.prefix_sample(l).len(),
-            b.datasets.prefix_sample(l).len(),
+            a.datasets().prefix_sample(l).len(),
+            b.datasets().prefix_sample(l).len(),
             "{what}: prefix /{l}"
         );
     }
 
     // Label sets.
-    assert_eq!(a.labels.len(), b.labels.len(), "{what}: label count");
-    let mut la: Vec<_> = a.labels.iter().collect();
-    let mut lb: Vec<_> = b.labels.iter().collect();
+    assert_eq!(a.labels().len(), b.labels().len(), "{what}: label count");
+    let mut la: Vec<_> = a.labels().iter().collect();
+    let mut lb: Vec<_> = b.labels().iter().collect();
     la.sort_unstable_by_key(|(u, _)| *u);
     lb.sort_unstable_by_key(|(u, _)| *u);
     assert_eq!(la, lb, "{what}: label sets");
@@ -67,24 +71,24 @@ fn compare(a: Study, b: Study, what: &str) {
     // Byte-level equality of the sorted record streams, via digests and
     // (for the sampled stores) exact slice comparison.
     assert_eq!(
-        a.datasets.user_sample.all(),
-        b.datasets.user_sample.all(),
+        a.datasets().user_sample.all(),
+        b.datasets().user_sample.all(),
         "{what}"
     );
     assert_eq!(
-        digest(a.datasets.request_sample.all()),
-        digest(b.datasets.request_sample.all())
+        digest(a.datasets().request_sample.all()),
+        digest(b.datasets().request_sample.all())
     );
     assert_eq!(
-        digest(a.datasets.ip_sample.all()),
-        digest(b.datasets.ip_sample.all())
+        digest(a.datasets().ip_sample.all()),
+        digest(b.datasets().ip_sample.all())
     );
-    assert_eq!(digest(a.abuse_store.all()), digest(b.abuse_store.all()));
-    assert_eq!(digest(a.pair_store.all()), digest(b.pair_store.all()));
+    assert_eq!(digest(a.abuse_store().all()), digest(b.abuse_store().all()));
+    assert_eq!(digest(a.pair_store().all()), digest(b.pair_store().all()));
     for &l in &lengths {
         assert_eq!(
-            digest(a.datasets.prefix_sample(l).all()),
-            digest(b.datasets.prefix_sample(l).all()),
+            digest(a.datasets().prefix_sample(l).all()),
+            digest(b.datasets().prefix_sample(l).all()),
             "{what}: prefix /{l} digest"
         );
     }
@@ -94,9 +98,9 @@ fn compare(a: Study, b: Study, what: &str) {
 fn serial_and_parallel_runs_are_identical() {
     let serial = run_with_threads(1);
     let parallel = run_with_threads(4);
-    assert_eq!(serial.metrics.threads, 1);
+    assert_eq!(serial.metrics().threads, 1);
     assert!(
-        parallel.metrics.threads > 1,
+        parallel.metrics().threads > 1,
         "tiny plan has enough shards for 4 workers"
     );
     compare(serial, parallel, "threads=1 vs threads=4");

@@ -42,6 +42,7 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.sim.records_per_sec",
     "$.sim.store_bytes",
     "$.sim.bytes_per_record",
+    "$.sim.peak_store_bytes",
     "$.analysis.index_bytes",
     "$.analysis.figures[].id",
     "$.analysis.figures[].wall_secs",
@@ -59,11 +60,15 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.metrics.gauges.sim.records_per_sec",
     "$.metrics.gauges.sim.store_bytes",
     "$.metrics.gauges.sim.bytes_per_record",
+    "$.metrics.gauges.sim.peak_store_bytes",
     "$.metrics.gauges.analysis.index_bytes",
     "$.metrics.histograms.analysis.figure_wall.count",
     "$.metrics.histograms.sim.shard_wall.count",
     "$.config.failure_policy",
     "$.config.max_shard_retries",
+    "$.config.storage",
+    "$.config.segment_rows",
+    "$.config.sampling",
     "$.faults.policy",
     "$.faults.failed_shards[]",
     "$.faults.retries_total",
@@ -91,7 +96,7 @@ const FAULT_SHARD_PATHS: &[&str] = &[
 #[test]
 fn bench_report_schema_is_stable_and_finite() {
     let study = instrumented_tiny_run();
-    let json = study.report.to_json();
+    let json = study.report().to_json();
     let paths = json.schema_paths();
     for required in REQUIRED_PATHS {
         assert!(
@@ -104,12 +109,12 @@ fn bench_report_schema_is_stable_and_finite() {
     let again = instrumented_tiny_run();
     assert_eq!(
         paths,
-        again.report.to_json().schema_paths(),
+        again.report().to_json().schema_paths(),
         "report schema differs between identical runs"
     );
 
     // The acceptance contract: no Infinity/NaN anywhere in the document.
-    let text = study.report.to_json_string();
+    let text = study.report().to_json_string();
     assert!(!text.contains("Infinity"), "report contains Infinity");
     assert!(!text.contains("NaN"), "report contains NaN");
 }
@@ -121,15 +126,15 @@ fn faulty_run_pins_the_per_shard_fault_schema() {
     cfg.failure_policy = ipv6_user_study::FailurePolicy::Retry;
     cfg.faults = Some(ipv6_user_study::FaultInjector::default().fail_shard(0, 1));
     let study = Study::run(cfg).expect("one retry recovers the shard");
-    assert_eq!(study.faults.total_retries(), 1);
-    let paths = study.report.to_json().schema_paths();
+    assert_eq!(study.faults().total_retries(), 1);
+    let paths = study.report().to_json().schema_paths();
     for required in FAULT_SHARD_PATHS {
         assert!(
             paths.iter().any(|p| p == required),
             "missing {required} in schema: {paths:#?}"
         );
     }
-    let text = study.report.to_json_string();
+    let text = study.report().to_json_string();
     assert!(text.contains("\"policy\":"), "faults section names policy");
     assert!(!text.contains("Infinity") && !text.contains("NaN"));
 }
@@ -137,15 +142,19 @@ fn faulty_run_pins_the_per_shard_fault_schema() {
 #[test]
 fn report_covers_every_experiment_and_all_sim_records() {
     let study = instrumented_tiny_run();
-    assert_eq!(study.report.figures.len(), 20, "one stat per experiment");
-    assert!(study.report.figures.iter().any(|f| f.input_records > 0));
-    assert_eq!(study.report.actioning.len(), 4, "one stat per granularity");
+    assert_eq!(study.report().figures.len(), 20, "one stat per experiment");
+    assert!(study.report().figures.iter().any(|f| f.input_records > 0));
     assert_eq!(
-        study.report.total_records(),
-        study.metrics.total_records(),
+        study.report().actioning.len(),
+        4,
+        "one stat per granularity"
+    );
+    assert_eq!(
+        study.report().total_records(),
+        study.metrics().total_records(),
         "shard stats must account for every simulated record"
     );
-    assert!(study.report.phase_wall("sim").is_some());
+    assert!(study.report().phase_wall("sim").is_some());
 }
 
 /// Order-sensitive digest of a record sequence.
@@ -169,29 +178,35 @@ fn instrumentation_leaves_datasets_byte_identical() {
     };
     let on = run(true);
     let off = run(false);
-    assert!(on.report.enabled);
-    assert!(!off.report.enabled);
+    assert!(on.report().enabled);
+    assert!(!off.report().enabled);
 
-    assert_eq!(on.datasets.offered, off.datasets.offered);
+    assert_eq!(on.datasets().offered, off.datasets().offered);
     assert_eq!(
-        on.datasets.user_sample.all(),
-        off.datasets.user_sample.all()
+        on.datasets().user_sample.all(),
+        off.datasets().user_sample.all()
     );
     assert_eq!(
-        digest(on.datasets.request_sample.all()),
-        digest(off.datasets.request_sample.all())
+        digest(on.datasets().request_sample.all()),
+        digest(off.datasets().request_sample.all())
     );
     assert_eq!(
-        digest(on.datasets.ip_sample.all()),
-        digest(off.datasets.ip_sample.all())
+        digest(on.datasets().ip_sample.all()),
+        digest(off.datasets().ip_sample.all())
     );
-    assert_eq!(digest(on.abuse_store.all()), digest(off.abuse_store.all()));
-    assert_eq!(digest(on.pair_store.all()), digest(off.pair_store.all()));
-    let lengths = on.config.prefix_lengths.clone();
+    assert_eq!(
+        digest(on.abuse_store().all()),
+        digest(off.abuse_store().all())
+    );
+    assert_eq!(
+        digest(on.pair_store().all()),
+        digest(off.pair_store().all())
+    );
+    let lengths = on.config().prefix_lengths.clone();
     for &l in &lengths {
         assert_eq!(
-            digest(on.datasets.prefix_sample(l).all()),
-            digest(off.datasets.prefix_sample(l).all()),
+            digest(on.datasets().prefix_sample(l).all()),
+            digest(off.datasets().prefix_sample(l).all()),
             "prefix /{l} digest"
         );
     }

@@ -326,7 +326,10 @@ fn study_is_deterministic_across_runs() {
     // Independent of the shared study: two tiny runs must agree exactly.
     let a = Study::run(StudyConfig::tiny()).unwrap();
     let b = Study::run(StudyConfig::tiny()).unwrap();
-    assert_eq!(a.datasets.offered, b.datasets.offered);
-    assert_eq!(a.datasets.user_sample.len(), b.datasets.user_sample.len());
-    assert_eq!(a.labels.len(), b.labels.len());
+    assert_eq!(a.datasets().offered, b.datasets().offered);
+    assert_eq!(
+        a.datasets().user_sample.len(),
+        b.datasets().user_sample.len()
+    );
+    assert_eq!(a.labels().len(), b.labels().len());
 }
