@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run --release -p ipv6-study-bench --bin repro -- \
 //!     [scale] [output.md] [--threads N|auto] [--analysis-threads N|auto] \
-//!     [--households N] [--storage memory|spill[:DIR]] [--segment-rows N]
+//!     [--households N] [--storage memory|spill[:DIR]] [--segment-rows N] \
+//!     [--extended]
 //! ```
 //!
 //! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
@@ -17,27 +18,34 @@
 //! same for the analysis engine (it defaults to `--threads`). `--storage
 //! spill` bounds peak memory by spilling full-fidelity streams to sorted
 //! segment files during the sim. Output is byte-identical at any thread
-//! count and in either storage mode.
+//! count and in either storage mode. `--extended` additionally runs the
+//! beyond-paper registry (the entropy-clustered blocklisting experiment)
+//! and writes it to a sibling `*_extended.md` — the default outputs are
+//! unchanged by the flag.
 
 use std::time::Instant;
 
 use ipv6_study_bench::cli::{usage_exit, CommonArgs};
-use ipv6_study_core::experiments::run_all;
+use ipv6_study_core::experiments::{run_all, run_extended};
 use ipv6_study_core::report::{render_markdown, render_summary};
 use ipv6_study_core::{Study, StudyError};
 
 const USAGE: &str = "usage: repro [tiny|test|default|full] [output.md] [--threads N|auto] \
      [--analysis-threads N|auto] [--households N] [--storage memory|spill[:DIR]] \
-     [--segment-rows N]";
+     [--segment-rows N] [--extended]";
 
 fn main() {
     let args = CommonArgs::parse(std::env::args().skip(1), USAGE);
     let mut output = None;
+    let mut extended = false;
     for arg in &args.rest {
-        if arg.starts_with('-') || output.is_some() {
+        if arg == "--extended" {
+            extended = true;
+        } else if arg.starts_with('-') || output.is_some() {
             usage_exit(USAGE, &format!("unexpected argument `{arg}`"));
+        } else {
+            output = Some(arg.clone());
         }
-        output = Some(arg.clone());
     }
     let output = output.unwrap_or_else(|| "EXPERIMENTS.md".into());
     let config = args.config(USAGE);
@@ -86,6 +94,27 @@ fn main() {
         Err(e) => {
             eprintln!("failed to write {output}: {e}");
             std::process::exit(1);
+        }
+    }
+
+    // The extended (beyond-paper) registry writes its own markdown next
+    // to the main report; the default outputs above are byte-identical
+    // with or without it.
+    if extended {
+        let t2 = Instant::now();
+        let ext = run_extended(&study);
+        eprintln!("extended analyses done in {:.1?}", t2.elapsed());
+        print!("{}", render_summary(&ext));
+        let ext_output = output
+            .strip_suffix(".md")
+            .map(|s| format!("{s}_extended.md"))
+            .unwrap_or_else(|| format!("{output}.extended"));
+        match std::fs::write(&ext_output, render_markdown(&ext)) {
+            Ok(()) => eprintln!("wrote {ext_output}"),
+            Err(e) => {
+                eprintln!("failed to write {ext_output}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -19,7 +19,10 @@
 //! `--max-peak-regression` gates `sim.peak_store_bytes` (schema v3) the
 //! same way — CI uses it to prove a spill run's sim-phase peak memory
 //! stays flat even when the current run simulates orders of magnitude
-//! more households than the baseline.
+//! more households than the baseline. The Figure-11 trie sweep's
+//! `actioning_sweep.total_wall_secs` (schema v4) is gated automatically
+//! under the same percentage budget and noise floor whenever both
+//! documents carry it.
 //! Exit 2 means bad usage or an unreadable document.
 //! Timing comparisons only make sense between runs of the same scale and
 //! machine class; CI diffs a fresh run against the committed baseline.
@@ -210,6 +213,37 @@ fn main() {
             _ => println!(
                 "store bytes: baseline has no usable sim.store_bytes \
                  (pre-v2 schema or uninstrumented); memory gate skipped"
+            ),
+        }
+    }
+
+    // Actioning-sweep gate: the Figure-11 trie sweep's wall (schema v4).
+    // Timing, so the noise floor applies like the total-wall gate; it
+    // shares the same percentage budget. A pre-v4 baseline skips with a
+    // notice.
+    {
+        let base_sweep = number_at(&baseline, "actioning_sweep.total_wall_secs");
+        let cur_sweep = number_at(&current, "actioning_sweep.total_wall_secs");
+        match (base_sweep, cur_sweep) {
+            (Some(base), Some(cur)) => {
+                let sweep_delta = cur - base;
+                let sweep_pct = if base > 0.0 {
+                    100.0 * sweep_delta / base
+                } else {
+                    0.0
+                };
+                println!("actioning sweep wall: {base:.4}s -> {cur:.4}s ({sweep_pct:+.1}%)");
+                if sweep_pct > max_regression_pct && sweep_delta > NOISE_FLOOR_SECS {
+                    eprintln!(
+                        "FAIL: actioning_sweep.total_wall_secs regressed {sweep_pct:.1}% \
+                         (limit {max_regression_pct:.0}%, floor {NOISE_FLOOR_SECS}s)"
+                    );
+                    failed = true;
+                }
+            }
+            _ => println!(
+                "actioning sweep wall: baseline has no actioning_sweep section \
+                 (pre-v4 schema); sweep gate skipped"
             ),
         }
     }

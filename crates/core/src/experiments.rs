@@ -14,7 +14,7 @@
 //! in registry order — so the rendered figures, stats, and run report are
 //! byte-identical at any `analysis_threads` count.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -35,8 +35,10 @@ use ipv6_study_analysis::user_centric::{
 };
 use ipv6_study_analysis::{CdfSeries, DatasetIndex, FigureReport, IndexMode, TableReport};
 use ipv6_study_obs::timer::PhaseStat;
-use ipv6_study_obs::ActioningStat;
-use ipv6_study_secapp::actioning::{actioning_roc_timed, operating_points, Granularity};
+use ipv6_study_obs::{ActioningStat, SweepStat};
+use ipv6_study_secapp::actioning::{
+    actioning_roc_between, operating_points, DayCounts, Granularity,
+};
 use ipv6_study_secapp::blocklist::{evaluate_over_days, Blocklist};
 use ipv6_study_secapp::mlfeatures::{training_set, LogisticModel};
 use ipv6_study_secapp::ratelimit::recommend_threshold;
@@ -124,6 +126,10 @@ pub struct ExperimentOutput {
     /// Per-granularity actioning timings (filled by the ROC experiment;
     /// merged into the run report by [`run_all`] when instrumented).
     pub actioning: Vec<ActioningStat>,
+    /// Aggregation-trie sweep timings (filled by the ROC experiment:
+    /// build wall for the per-day tries plus read wall summed across all
+    /// granularity cuts; merged into the run report when instrumented).
+    pub sweep: Option<SweepStat>,
 }
 
 impl ExperimentOutput {
@@ -846,6 +852,15 @@ pub fn o62_prefix_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
 /// Figure 11 — the actioning ROC at /128, /64, /56 and IPv4, pooled over
 /// the last three day pairs (the paper repeats per-day analyses over
 /// several days; pooling keeps small-scale runs statistically stable).
+///
+/// The sweep is one-pass: each of the four days is folded into a
+/// [`DayCounts`] aggregation-trie pair exactly once (one sort per family
+/// per day), and every granularity cut then reads its per-unit distinct
+/// user counts straight off the shared tries — O(records + nodes) for the
+/// whole sweep instead of a re-sort per (granularity, pair) combination.
+/// The per-unit scores and outcomes are identical to the naive per-cut
+/// tally (property-tested in `secapp::actioning`), so the curves are
+/// byte-for-byte what the record-level path produced.
 pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
     let mut out = ExperimentOutput::default();
@@ -860,18 +875,22 @@ pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
     ];
     // Full-population day pairs: the paper's scenario without sampling
     // noise (abusive units are rare; samples would starve the curves).
+    // Day j holds `last - 3 + j`; pair k scores day `last-(k+1)` against
+    // outcomes on day `last-k`.
     let last = focus_day_user();
-    let pair_days: Vec<(ColumnSlice<'_>, ColumnSlice<'_>)> = (0..3u16)
-        .map(|k| {
-            (
-                study.pair_store.on_day(last - (k + 1)),
-                study.pair_store.on_day(last - k),
-            )
-        })
+    let day_recs: Vec<ColumnSlice<'_>> = (0..4u16)
+        .map(|j| study.pair_store.on_day(last - 3 + j))
         .collect();
-    for &(n_recs, n1_recs) in &pair_days {
-        out.record_input(n_recs.len() + n1_recs.len());
+    for w in day_recs.windows(2) {
+        out.record_input(w[0].len() + w[1].len());
     }
+    let t_build = Instant::now();
+    let day_counts: Vec<DayCounts> = day_recs
+        .iter()
+        .map(|&recs| DayCounts::build(recs, &study.labels))
+        .collect();
+    let build_wall = t_build.elapsed();
+    let mut read_wall = std::time::Duration::ZERO;
     for gran in grans {
         let mut curve = ipv6_study_stats::RocCurve::new();
         let mut gran_stat = ActioningStat {
@@ -880,13 +899,14 @@ pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
             units_scored: 0,
             units_evaluated: 0,
         };
-        for &(n_recs, n1_recs) in &pair_days {
-            let (c, stat) = actioning_roc_timed(n_recs, n1_recs, &study.labels, gran);
+        for k in 0..3usize {
+            let (c, stat) = actioning_roc_between(&day_counts[2 - k], &day_counts[3 - k], gran);
             curve.extend_from(&c);
             gran_stat.wall += stat.wall;
             gran_stat.units_scored += stat.units_scored;
             gran_stat.units_evaluated += stat.units_evaluated;
         }
+        read_wall += gran_stat.wall;
         out.actioning.push(gran_stat);
         let pts = curve.sweep(&thresholds, None);
         fig = fig.with(CdfSeries {
@@ -910,6 +930,12 @@ pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
         );
     }
     out.figures.push(fig);
+    out.sweep = Some(SweepStat {
+        build_wall,
+        read_wall,
+        days: day_counts.len() as u64,
+        trie_nodes: day_counts.iter().map(|d| d.node_count() as u64).sum(),
+    });
     out
 }
 
@@ -1172,6 +1198,97 @@ pub fn apx_pandemic_compare(ctx: &AnalysisCtx) -> ExperimentOutput {
     out
 }
 
+/// EC1 (extended) — entropy-clustered blocklisting. Fixed-length IPv6
+/// blocklisting forces one granularity onto a space where allocation
+/// practice varies wildly; here the day-*n* aggregation trie is cut at
+/// entropy-guided variable lengths instead ([`entropy_cuts`]: structured
+/// subtrees aggregate deeper, randomized space stays at the /32 base),
+/// each cut is scored by its distinct-user abusive share, and cuts at or
+/// above the blocking threshold are evaluated against day *n+1* outcomes
+/// read off the next day's trie. The fixed-/64 policy at the same
+/// threshold runs alongside as the baseline. Counts are per-unit
+/// impacted users (a user under two blocked cuts counts in both),
+/// matching the actioning ROC's unit-level semantics.
+///
+/// [`entropy_cuts`]: ipv6_study_netaddr::AggregationTrie::entropy_cuts
+pub fn ec_entropy_blocklist(ctx: &AnalysisCtx) -> ExperimentOutput {
+    const BASE_LEN: u8 = 32;
+    const ENTROPY_THRESHOLD: f64 = 2.0;
+    const SCORE_THRESHOLD: f64 = 0.5;
+
+    let study = ctx.study;
+    let mut out = ExperimentOutput::default();
+    let last = focus_day_user();
+    let day_n = study.pair_store.on_day(last - 1);
+    let day_n1 = study.pair_store.on_day(last);
+    out.record_input(day_n.len() + day_n1.len());
+    let scores = DayCounts::build(day_n, &study.labels);
+    let outcomes = DayCounts::build(day_n1, &study.labels);
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+
+    // Day n+1 ground truth: whole-space distinct-user totals.
+    let (tot_abusive, tot_benign) = outcomes
+        .v6_trie()
+        .units_at(0)
+        .next()
+        .map_or((0, 0), |(_, a, b)| (a, b));
+
+    // Variable-length policy: block every entropy cut whose abusive
+    // share clears the threshold.
+    let cuts = scores.v6_trie().entropy_cuts(BASE_LEN, ENTROPY_THRESHOLD);
+    let mut len_counts: BTreeMap<u8, u64> = BTreeMap::new();
+    let mut len_sum = 0u64;
+    let (mut blocked, mut caught_abusive, mut caught_benign) = (0u64, 0u64, 0u64);
+    for cut in &cuts {
+        *len_counts.entry(cut.len).or_default() += 1;
+        len_sum += u64::from(cut.len);
+        if ratio(cut.abusive, cut.abusive + cut.benign) >= SCORE_THRESHOLD {
+            blocked += 1;
+            if let Some((a, b)) = outcomes.v6_trie().counts_under(cut.bits, cut.len) {
+                caught_abusive += a;
+                caught_benign += b;
+            }
+        }
+    }
+
+    // Baseline: the fixed /64 policy at the same threshold.
+    let (mut p64_blocked, mut p64_abusive, mut p64_benign) = (0u64, 0u64, 0u64);
+    for (bits, abusive, benign) in scores.v6_trie().units_at(64) {
+        if ratio(abusive, abusive + benign) >= SCORE_THRESHOLD {
+            p64_blocked += 1;
+            if let Some((a, b)) = outcomes.v6_trie().counts_under(bits, 64) {
+                p64_abusive += a;
+                p64_benign += b;
+            }
+        }
+    }
+
+    out.stat("ec.cut_count", cuts.len() as f64);
+    out.stat("ec.mean_cut_len", ratio(len_sum, cuts.len() as u64));
+    out.stat("ec.blocked_cuts", blocked as f64);
+    out.stat("ec.recall", ratio(caught_abusive, tot_abusive));
+    out.stat("ec.collateral", ratio(caught_benign, tot_benign));
+    out.stat("ec.p64_blocked", p64_blocked as f64);
+    out.stat("ec.p64_recall", ratio(p64_abusive, tot_abusive));
+    out.stat("ec.p64_collateral", ratio(p64_benign, tot_benign));
+    out.stat("ec.blocked_vs_p64", ratio(blocked, p64_blocked));
+    out.figures.push(
+        FigureReport::new("EC1", "entropy-clustered blocklisting cut lengths").with(
+            CdfSeries::from_u64(
+                "cuts per length",
+                len_counts.iter().map(|(&l, &n)| (u64::from(l), n as f64)),
+            ),
+        ),
+    );
+    out
+}
+
 /// One experiment: paper-artifact id plus its registry function.
 type Experiment = (&'static str, fn(&AnalysisCtx) -> ExperimentOutput);
 
@@ -1198,6 +1315,51 @@ const EXPERIMENTS: [Experiment; 20] = [
     ("X8.1", x81_network_breakdown),
     ("ApxA", apx_pandemic_compare),
 ];
+
+/// Experiments beyond the paper's own artifact list, opt-in via
+/// `repro --extended`. Kept out of [`EXPERIMENTS`] so the default
+/// EXPERIMENTS.md and run report stay byte-identical whether or not the
+/// extended pass runs.
+const EXTENDED_EXPERIMENTS: [Experiment; 1] = [("EC1", ec_entropy_blocklist)];
+
+/// Runs `registry` on a claim-order worker pool. Workers claim passes
+/// from a shared cursor in racy order, but each result lands in its
+/// registry-indexed slot and comes back in registry order — so the
+/// outputs are byte-identical at any `workers` value.
+fn run_pool(
+    registry: &[Experiment],
+    ctx: &AnalysisCtx<'_>,
+    workers: usize,
+) -> Vec<(ExperimentOutput, ipv6_study_obs::FigureStat)> {
+    let workers = workers.clamp(1, registry.len());
+    let slots: Vec<Mutex<Option<(ExperimentOutput, ipv6_study_obs::FigureStat)>>> =
+        (0..registry.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(id, func)) = registry.get(i) else {
+                    break;
+                };
+                let (out, stat) = ipv6_study_analysis::timed_figure(id, || {
+                    let out = func(ctx);
+                    let inputs = out.input_records;
+                    (out, inputs)
+                });
+                *slots[i].lock().expect("no poisoned pass slot") = Some((out, stat));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned pass slot")
+                .expect("every pass slot filled")
+        })
+        .collect()
+}
 
 /// Runs every experiment in paper order, on
 /// `config.effective_analysis_threads()` workers.
@@ -1237,26 +1399,7 @@ pub fn run_all_with(
     // Passes phase: the worker pool. Claim order cannot affect output —
     // passes only read the frozen study and the shared context.
     let t_passes = Instant::now();
-    let workers = workers.clamp(1, EXPERIMENTS.len());
-    let slots: Vec<Mutex<Option<(ExperimentOutput, ipv6_study_obs::FigureStat)>>> =
-        (0..EXPERIMENTS.len()).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&(id, func)) = EXPERIMENTS.get(i) else {
-                    break;
-                };
-                let (out, stat) = ipv6_study_analysis::timed_figure(id, || {
-                    let out = func(&ctx);
-                    let inputs = out.input_records;
-                    (out, inputs)
-                });
-                *slots[i].lock().expect("no poisoned pass slot") = Some((out, stat));
-            });
-        }
-    });
+    let outs = run_pool(&EXPERIMENTS, &ctx, workers);
     let passes_wall = t_passes.elapsed();
     let index_bytes = ctx.index_bytes();
     drop(ctx);
@@ -1264,11 +1407,7 @@ pub fn run_all_with(
     // Merge in registry order, so per-figure report entries and registry
     // metrics appear exactly as a serial run would record them.
     let mut results = Vec::with_capacity(EXPERIMENTS.len());
-    for ((id, _), slot) in EXPERIMENTS.iter().zip(slots) {
-        let (out, stat) = slot
-            .into_inner()
-            .expect("no poisoned pass slot")
-            .expect("every pass slot filled");
+    for ((id, _), (out, stat)) in EXPERIMENTS.iter().zip(outs) {
         if study.config.instrument {
             study
                 .report
@@ -1281,6 +1420,9 @@ pub fn run_all_with(
                     .registry
                     .record_duration("actioning.roc_wall", a.wall);
                 study.report.actioning.push(a.clone());
+            }
+            if let Some(sweep) = &out.sweep {
+                study.report.actioning_sweep = sweep.clone();
             }
         }
         results.push((*id, out));
@@ -1302,6 +1444,37 @@ pub fn run_all_with(
         study.report.index_bytes = index_bytes as u64;
     }
     results
+}
+
+/// Runs the extended (beyond-paper) registry, on
+/// `config.effective_analysis_threads()` workers.
+///
+/// Unlike [`run_all`] this never writes to `study.report`: the extended
+/// pass must leave the default BENCH_run.json exactly as untouched as it
+/// leaves EXPERIMENTS.md.
+pub fn run_extended(study: &Study) -> Vec<(&'static str, ExperimentOutput)> {
+    run_extended_with(
+        study,
+        study.config.effective_analysis_threads(),
+        IndexMode::Sorted,
+    )
+}
+
+/// [`run_extended`] with explicit worker count and index mode (exercised
+/// by the extended-equivalence suite; production goes through
+/// [`run_extended`]). Byte-identical at any `workers` value.
+pub fn run_extended_with(
+    study: &Study,
+    workers: usize,
+    mode: IndexMode,
+) -> Vec<(&'static str, ExperimentOutput)> {
+    let ctx = AnalysisCtx::with_mode(study, mode);
+    let outs = run_pool(&EXTENDED_EXPERIMENTS, &ctx, workers);
+    EXTENDED_EXPERIMENTS
+        .iter()
+        .zip(outs)
+        .map(|(&(id, _), (out, _))| (id, out))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1348,6 +1521,36 @@ mod tests {
     }
 
     #[test]
+    fn extended_experiments_leave_the_run_report_untouched() {
+        let mut study = Study::run(StudyConfig::tiny()).unwrap();
+        let _ = run_all(&mut study);
+        let before = study.report.to_json_string();
+        let ext = run_extended(&study);
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext[0].0, "EC1");
+        assert!(!ext[0].1.stats.is_empty());
+        assert!(!ext[0].1.figures.is_empty());
+        for (name, value) in &ext[0].1.stats {
+            assert!(value.is_finite(), "extended stat {name} is not finite");
+        }
+        assert_eq!(
+            study.report.to_json_string(),
+            before,
+            "extended pass wrote into the run report"
+        );
+    }
+
+    #[test]
+    fn sweep_stat_lands_in_the_run_report_when_instrumented() {
+        let mut study = Study::run(StudyConfig::tiny()).unwrap();
+        let _ = run_all(&mut study);
+        let sweep = &study.report.actioning_sweep;
+        assert_eq!(sweep.days, 4, "one trie pair per pooled day");
+        assert!(sweep.trie_nodes > 0, "tries were built");
+        assert!(sweep.total_wall() >= sweep.read_wall);
+    }
+
+    #[test]
     fn uninstrumented_run_collects_no_figure_stats() {
         let mut cfg = StudyConfig::tiny();
         cfg.instrument = false;
@@ -1356,6 +1559,7 @@ mod tests {
         assert_eq!(all.len(), 20);
         assert!(study.report.figures.is_empty());
         assert!(study.report.actioning.is_empty());
+        assert_eq!(study.report.actioning_sweep, SweepStat::default());
         assert!(study.report.analysis_phases.is_empty());
     }
 }

@@ -14,7 +14,9 @@
 //! - [`set`] — [`set::PrefixSet`]: membership of addresses in a
 //!   collection of prefixes (the blocklist data structure of §7.2).
 //! - [`mod@aggregate`] — minimal covering sets of prefixes (blocklist and
-//!   threat-feed compression).
+//!   threat-feed compression), plus [`AggregationTrie`]: the
+//!   path-compressed counting trie behind the one-pass Figure-11
+//!   granularity sweep and entropy-guided variable-length cuts.
 //! - [`entropy`] — Entropy/IP-style nybble-entropy profiling of IID
 //!   populations (randomized vs structured).
 //! - [`iid`] — interface-identifier classification: EUI-64 `ff:fe` MAC
@@ -49,7 +51,7 @@ pub mod prefix;
 pub mod set;
 pub mod trie;
 
-pub use aggregate::{aggregate, aggregate_v4, aggregate_v6};
+pub use aggregate::{aggregate, aggregate_v4, aggregate_v6, AggCut, AggNode, AggregationTrie};
 pub use entropy::EntropyProfile;
 pub use iid::IidClass;
 pub use mac::MacAddr;

@@ -277,22 +277,44 @@ impl<K: TrieKey, V> PrefixTrie<K, V> {
         out.into_iter()
     }
 
-    /// All stored `(prefix, value)` pairs contained within `cover`.
+    /// All stored `(prefix, value)` pairs contained within `cover`, in
+    /// lexicographic (bits, length) order — the same order [`Self::iter`]
+    /// yields. Walks only the covered subtree: descend the cover's path,
+    /// then enumerate below it, so the cost scales with the subtree, not
+    /// the whole trie.
     pub fn descendants(&self, cover: &K) -> Vec<(K, &V)> {
         let cbits = cover.key_bits();
         let clen = cover.key_len();
-        self.iter()
-            .filter(|(k, _)| {
-                k.key_len() >= clen && {
-                    let mask = if clen == 0 {
-                        0
-                    } else {
-                        u128::MAX << (128 - clen)
-                    };
-                    k.key_bits() & mask == cbits
-                }
-            })
-            .collect()
+        let mut node = 0usize;
+        for depth in 0..clen {
+            let b = Self::bit_at(cbits, depth);
+            let child = self.nodes[node].children[b];
+            if child == NO_NODE {
+                return Vec::new();
+            }
+            node = child as usize;
+        }
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, u128, u8)> = vec![(node, cbits, clen)];
+        while let Some((node, bits, depth)) = stack.pop() {
+            if let Some(v) = self.nodes[node].value.as_ref() {
+                out.push((K::from_key(bits, depth), v));
+            }
+            let right = self.nodes[node].children[1];
+            if right != NO_NODE {
+                stack.push((right as usize, bits | (1u128 << (127 - depth)), depth + 1));
+            }
+            let left = self.nodes[node].children[0];
+            if left != NO_NODE {
+                stack.push((left as usize, bits, depth + 1));
+            }
+        }
+        out.sort_by(|a, b| {
+            a.0.key_bits()
+                .cmp(&b.0.key_bits())
+                .then(a.0.key_len().cmp(&b.0.key_len()))
+        });
+        out
     }
 }
 
@@ -420,6 +442,52 @@ mod tests {
             keys,
             vec!["2001:db8:1::/48", "2001:db8:1:1::/64", "2001:db8:1:2::/64"]
         );
+    }
+
+    /// The subtree walk agrees with the old iterate-then-filter reference
+    /// on large random tries, including empty covers, the root cover, and
+    /// covers equal to stored prefixes.
+    #[test]
+    fn descendants_match_iter_filter_on_large_tries() {
+        let mut g = TestGen::new(0x5452_4903);
+        for _ in 0..16 {
+            let n = g.range_u64(200, 800) as usize;
+            let mut t: PrefixTrie<Ipv6Prefix, usize> = PrefixTrie::new();
+            let mut prefixes = Vec::new();
+            for i in 0..n {
+                // Zeroed high bits force dense prefix sharing.
+                let bits = g.next_u128() & (u128::MAX >> 6);
+                let p = Ipv6Prefix::from_bits(bits, g.range_u8(0, 128));
+                t.insert(p, i);
+                prefixes.push(p);
+            }
+            let mut covers = vec![
+                Ipv6Prefix::from_bits(0, 0),
+                Ipv6Prefix::from_bits(g.next_u128(), 128),
+            ];
+            covers.extend((0..8).map(|_| Ipv6Prefix::from_bits(g.next_u128(), g.range_u8(0, 64))));
+            covers.extend(prefixes.iter().take(8).copied());
+            for cover in covers {
+                let got: Vec<(Ipv6Prefix, usize)> = t
+                    .descendants(&cover)
+                    .into_iter()
+                    .map(|(k, &v)| (k, v))
+                    .collect();
+                let mask = if cover.len() == 0 {
+                    0
+                } else {
+                    u128::MAX << (128 - cover.len())
+                };
+                let naive: Vec<(Ipv6Prefix, usize)> = t
+                    .iter()
+                    .filter(|(k, _)| {
+                        k.key_len() >= cover.len() && k.key_bits() & mask == cover.bits()
+                    })
+                    .map(|(k, &v)| (k, v))
+                    .collect();
+                assert_eq!(got, naive, "cover {cover}");
+            }
+        }
     }
 
     /// Longest-prefix match agrees with a naive scan over all entries.

@@ -37,5 +37,5 @@ pub mod timer;
 
 pub use json::Json;
 pub use metrics::{Counter, DurationHisto, Gauge, Registry, ValueHisto};
-pub use report::{ActioningStat, FaultStat, FigureStat, RunReport, ShardStat};
+pub use report::{ActioningStat, FaultStat, FigureStat, RunReport, ShardStat, SweepStat};
 pub use timer::{PhaseGuard, PhaseStat};

@@ -17,8 +17,11 @@ use crate::timer::PhaseStat;
 /// v2 added the memory-footprint fields: `sim.store_bytes`,
 /// `sim.bytes_per_record`, and `analysis.index_bytes`. v3 added
 /// `sim.peak_store_bytes` — the sim-phase high-water of mutable row bytes,
-/// the number the spill storage mode bounds.
-pub const SCHEMA_VERSION: u64 = 3;
+/// the number the spill storage mode bounds. v4 added `actioning_sweep` —
+/// the one-pass Figure-11 sweep's trie-build and per-cut read walls
+/// (`build_wall_secs`, `read_wall_secs`, `total_wall_secs`, `days`,
+/// `trie_nodes`), the wall `bench_diff` gates.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Throughput over a wall-clock window, `0.0` for an empty window.
 ///
@@ -100,6 +103,30 @@ pub struct ActioningStat {
     pub units_evaluated: u64,
 }
 
+/// Timing of the one-pass Figure-11 granularity sweep: the per-day
+/// aggregation-trie builds plus every granularity's count reads. Zero
+/// (`days == 0`) until the sweep runs; serialized with a fixed key set
+/// either way so the schema is run-independent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepStat {
+    /// Wall clock of building the shared per-day counting tries.
+    pub build_wall: Duration,
+    /// Summed wall clock of the per-granularity read-offs.
+    pub read_wall: Duration,
+    /// Day slices tries were built for.
+    pub days: u64,
+    /// Total trie nodes across the per-day tries (both families).
+    pub trie_nodes: u64,
+}
+
+impl SweepStat {
+    /// Build plus read wall — the sweep's total, the number `bench_diff`
+    /// gates as `actioning_sweep.total_wall_secs`.
+    pub fn total_wall(&self) -> Duration {
+        self.build_wall + self.read_wall
+    }
+}
+
 /// The aggregated observability output of one study run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
@@ -120,6 +147,9 @@ pub struct RunReport {
     pub figures: Vec<FigureStat>,
     /// Per-granularity actioning stats (Figure 11).
     pub actioning: Vec<ActioningStat>,
+    /// One-pass granularity-sweep timing (Figure 11); default-zero until
+    /// the sweep runs.
+    pub actioning_sweep: SweepStat,
     /// Analysis-engine phases in execution order (`index` — building the
     /// shared dataset indexes, `passes` — running the experiment registry,
     /// `total`), recorded by the experiment registry. Empty until the
@@ -308,6 +338,24 @@ impl RunReport {
                     .with("index_bytes", Json::UInt(self.index_bytes)),
             )
             .with("actioning", actioning)
+            .with(
+                "actioning_sweep",
+                Json::obj()
+                    .with(
+                        "build_wall_secs",
+                        Json::num(self.actioning_sweep.build_wall.as_secs_f64()),
+                    )
+                    .with(
+                        "read_wall_secs",
+                        Json::num(self.actioning_sweep.read_wall.as_secs_f64()),
+                    )
+                    .with(
+                        "total_wall_secs",
+                        Json::num(self.actioning_sweep.total_wall().as_secs_f64()),
+                    )
+                    .with("days", Json::UInt(self.actioning_sweep.days))
+                    .with("trie_nodes", Json::UInt(self.actioning_sweep.trie_nodes)),
+            )
             .with("faults", faults)
             .with("metrics", self.registry.to_json())
     }
@@ -361,6 +409,14 @@ impl RunReport {
                 out,
                 "actioning {:6} {:>10.2?}  {} -> {} units",
                 a.granularity, a.wall, a.units_scored, a.units_evaluated
+            );
+        }
+        if self.actioning_sweep.days > 0 {
+            let s = &self.actioning_sweep;
+            let _ = writeln!(
+                out,
+                "actioning sweep: build {:.2?} + reads {:.2?} over {} day trie(s), {} nodes",
+                s.build_wall, s.read_wall, s.days, s.trie_nodes
             );
         }
         if !self.faults.is_empty() {
@@ -437,6 +493,12 @@ mod tests {
             units_scored: 10,
             units_evaluated: 12,
         });
+        r.actioning_sweep = SweepStat {
+            build_wall: Duration::from_millis(2),
+            read_wall: Duration::from_millis(1),
+            days: 4,
+            trie_nodes: 77,
+        };
         r.analysis_phases = vec![
             PhaseStat {
                 name: "index".into(),
@@ -517,6 +579,11 @@ mod tests {
             "\"input_records\"",
             "\"actioning\"",
             "\"units_scored\"",
+            "\"actioning_sweep\"",
+            "\"build_wall_secs\"",
+            "\"read_wall_secs\"",
+            "\"total_wall_secs\"",
+            "\"trie_nodes\"",
             "\"faults\"",
             "\"failed_shards\"",
             "\"retries_total\"",
@@ -551,6 +618,7 @@ mod tests {
         assert!(text.contains("passes"));
         assert!(text.contains("F2"));
         assert!(text.contains("/64"));
+        assert!(text.contains("actioning sweep: build"));
         assert!(text.contains("faults (retry)"));
         assert!(text.contains("abuse camp 0..4"));
     }

@@ -10,15 +10,23 @@
 //! Units that appear only on day *n+1* are never actioned but still count
 //! in both denominators — exactly why the paper's /128 TPR tops out at
 //! 14.3%: attackers mostly arrive on fresh addresses.
+//!
+//! Since the one-pass sweep rewrite, each day's records are folded once
+//! into a [`DayCounts`] — a pair of per-family
+//! [`AggregationTrie`]s over the day's distinct `(user, address)` pairs —
+//! and every granularity's per-unit tallies are read off that shared trie
+//! in `O(nodes)`, instead of re-sorting the record set per prefix length.
+//! [`tally`] remains as the naive sort-and-dedup reference (still used by
+//! blocklisting, and by the property tests that pin the equivalence).
 
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::time::Instant;
 
-use ipv6_study_netaddr::Ipv6Prefix;
+use ipv6_study_netaddr::{AggregationTrie, Ipv6Prefix};
 use ipv6_study_obs::ActioningStat;
 use ipv6_study_stats::roc::RocCurve;
-use ipv6_study_telemetry::{AbuseLabels, ColumnSlice};
+use ipv6_study_telemetry::{AbuseLabels, ColumnSlice, IpId};
 
 /// The decision-unit granularity for actioning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,6 +40,18 @@ pub enum Granularity {
 }
 
 impl Granularity {
+    /// The effective IPv6 prefix length for a requested one: lengths
+    /// beyond 128 **clamp** to 128 (a longer-than-address "prefix" can
+    /// only mean the full address). Clamping rather than erroring keeps
+    /// every granularity API infallible; the clamp is applied uniformly —
+    /// unit keys, labels, tallies, blocklists and rate-limiter keying all
+    /// agree — so `V6Prefix(129)` behaves exactly like `V6Full`.
+    /// (Pre-fix, `Ipv6Prefix::mask(len)` underflowed `MAX_LEN - len` and
+    /// panicked.)
+    pub fn v6_len(len: u8) -> u8 {
+        len.min(Ipv6Prefix::MAX_LEN)
+    }
+
     /// The unit key for an address, or `None` when the protocol doesn't
     /// match the granularity. Unit keys are portable across days and
     /// table instances — they are address/prefix bits, not intern ids.
@@ -39,18 +59,19 @@ impl Granularity {
         match (self, ip) {
             (Granularity::V6Full, IpAddr::V6(a)) => Some(u128::from(a)),
             (Granularity::V6Prefix(len), IpAddr::V6(a)) => {
-                Some(u128::from(a) & Ipv6Prefix::mask(len))
+                Some(u128::from(a) & Ipv6Prefix::mask(Self::v6_len(len)))
             }
             (Granularity::V4Full, IpAddr::V4(a)) => Some(u128::from(u32::from(a))),
             _ => None,
         }
     }
 
-    /// Human-readable label matching the paper's legend.
+    /// Human-readable label matching the paper's legend. Oversized IPv6
+    /// lengths print their effective (clamped) length.
     pub fn label(self) -> String {
         match self {
             Granularity::V6Full => "/128".to_string(),
-            Granularity::V6Prefix(l) => format!("/{l}"),
+            Granularity::V6Prefix(l) => format!("/{}", Self::v6_len(l)),
             Granularity::V4Full => "IPv4".to_string(),
         }
     }
@@ -84,15 +105,19 @@ fn run_counts<K: Ord + Copy>(
     m
 }
 
-/// Per-unit `(abusive, benign)` distinct-user counts for one day's slice.
+/// Per-unit `(abusive, benign)` distinct-user counts for one day's slice —
+/// the **naive reference** path, one sort per granularity.
+///
+/// The ROC sweep itself reads counts off a shared [`DayCounts`] trie;
+/// this tally remains for single-granularity consumers (blocklist
+/// construction) and as the independent oracle the trie is property-
+/// tested against.
 ///
 /// This is a radix-style pass over the interned id columns: at the
 /// precomputed granularities the unit id is the record's [`IpId`] raw
 /// value or a precomputed /64 /56 /48 prefix id — a `(u32, u32)` sort —
 /// and only per distinct unit do we touch the intern table to build the
 /// portable `u128` key. No per-record hashing or address materialization.
-///
-/// [`IpId`]: ipv6_study_telemetry::IpId
 pub(crate) fn tally(
     records: ColumnSlice<'_>,
     labels: &AbuseLabels,
@@ -146,7 +171,7 @@ pub(crate) fn tally(
         }
         Granularity::V6Prefix(len) => {
             // Lengths without a precomputed id column mask the stored bits.
-            let mask = Ipv6Prefix::mask(len);
+            let mask = Ipv6Prefix::mask(Granularity::v6_len(len));
             let pairs: Vec<_> = ids
                 .iter()
                 .zip(dense)
@@ -155,6 +180,98 @@ pub(crate) fn tally(
                 .collect();
             run_counts(pairs, |bits| bits, is_abusive)
         }
+    }
+}
+
+/// One day's distinct `(user, address)` pairs folded into per-family
+/// counting tries — the shared structure every granularity of the
+/// Figure-11 sweep reads from.
+///
+/// Building is one `(u32 user, u32 ip-index)` pack-sort-dedup per family
+/// over the interned id columns (dense ip indices are address-ascending,
+/// so the packed order *is* `(user, bits)` order) followed by the
+/// `O(pairs)` trie construction; no per-granularity work. The intern
+/// table is touched once per distinct pair to materialize portable key
+/// bits.
+pub struct DayCounts {
+    v6: AggregationTrie,
+    v4: AggregationTrie,
+}
+
+impl DayCounts {
+    /// Folds one day's record slice into the per-family counting tries.
+    pub fn build(records: ColumnSlice<'_>, labels: &AbuseLabels) -> Self {
+        let tables = records.tables();
+        let ips = &tables.ips;
+        let users = &tables.users;
+        let mut v6_packed: Vec<u64> = Vec::new();
+        let mut v4_packed: Vec<u64> = Vec::new();
+        for (&id, &u) in records.ip_ids().iter().zip(records.users_dense()) {
+            let packed = (u64::from(u) << 32) | id.index() as u64;
+            if id.is_v6() {
+                v6_packed.push(packed);
+            } else {
+                v4_packed.push(packed);
+            }
+        }
+        let build_family = |packed: &mut Vec<u64>, v6: bool| -> AggregationTrie {
+            packed.sort_unstable();
+            packed.dedup();
+            // One label lookup per user run (the pack keeps users grouped).
+            let mut last: Option<(u32, bool)> = None;
+            let pairs: Vec<(u128, u32, bool)> = packed
+                .iter()
+                .map(|&p| {
+                    let user = (p >> 32) as u32;
+                    let index = (p & 0xffff_ffff) as usize;
+                    let abusive = match last {
+                        Some((u, a)) if u == user => a,
+                        _ => {
+                            let a = labels.is_abusive(users.user(user));
+                            last = Some((user, a));
+                            a
+                        }
+                    };
+                    let bits = if v6 {
+                        ips.v6_bits(IpId::new(true, index))
+                    } else {
+                        // v4 keys are left-aligned in the trie's u128 space.
+                        u128::from(ips.v4_bits(IpId::new(false, index))) << 96
+                    };
+                    (bits, user, abusive)
+                })
+                .collect();
+            AggregationTrie::from_sorted_pairs(if v6 { 128 } else { 32 }, &pairs)
+        };
+        Self {
+            v6: build_family(&mut v6_packed, true),
+            v4: build_family(&mut v4_packed, false),
+        }
+    }
+
+    /// The family trie and effective cut length for a granularity.
+    fn trie_and_len(&self, granularity: Granularity) -> (&AggregationTrie, u8) {
+        match granularity {
+            Granularity::V6Full => (&self.v6, 128),
+            Granularity::V6Prefix(len) => (&self.v6, Granularity::v6_len(len)),
+            Granularity::V4Full => (&self.v4, 32),
+        }
+    }
+
+    /// The day's IPv6 counting trie (variable-length cuts read from it
+    /// directly, e.g. the entropy-clustered blocklisting experiment).
+    pub fn v6_trie(&self) -> &AggregationTrie {
+        &self.v6
+    }
+
+    /// The day's IPv4 counting trie (keys left-aligned by 96 bits).
+    pub fn v4_trie(&self) -> &AggregationTrie {
+        &self.v4
+    }
+
+    /// Total trie nodes across both families.
+    pub fn node_count(&self) -> usize {
+        self.v6.node_count() + self.v4.node_count()
     }
 }
 
@@ -174,7 +291,7 @@ pub fn actioning_roc(
 }
 
 /// [`actioning_roc`] plus an observability record: wall clock of the
-/// tally-and-curve pass and the decision-unit cardinalities on both days.
+/// build-and-curve pass and the decision-unit cardinalities on both days.
 /// The timing is passive — the returned curve is identical to the
 /// untimed call's.
 pub fn actioning_roc_timed(
@@ -184,12 +301,40 @@ pub fn actioning_roc_timed(
     granularity: Granularity,
 ) -> (RocCurve, ActioningStat) {
     let t0 = Instant::now();
-    let scores = tally(day_n, labels, granularity);
-    let outcomes = tally(day_n1, labels, granularity);
+    let scores = DayCounts::build(day_n, labels);
+    let outcomes = DayCounts::build(day_n1, labels);
+    let (curve, mut stat) = actioning_roc_between(&scores, &outcomes, granularity);
+    // The standalone call charges the trie builds to this granularity;
+    // sweep callers build `DayCounts` once and account for it separately.
+    stat.wall = t0.elapsed();
+    (curve, stat)
+}
+
+/// The read-only half of the sweep: scores day-*n+1*'s units against
+/// day-*n*'s abusive ratios at one granularity, off prebuilt
+/// [`DayCounts`]. One `O(nodes)` merge-join of the two tries' sorted
+/// per-unit count streams — the key property that makes the whole
+/// Figure-11 sweep one trie build plus per-cut reads.
+///
+/// The curve is bit-identical to the naive tally path: per-unit counts
+/// are equal integers, and `RocCurve` sums integer-valued weights whose
+/// f64 addition is exact in any order.
+pub fn actioning_roc_between(
+    day_n: &DayCounts,
+    day_n1: &DayCounts,
+    granularity: Granularity,
+) -> (RocCurve, ActioningStat) {
+    let t0 = Instant::now();
+    let (score_trie, len) = day_n.trie_and_len(granularity);
+    let (outcome_trie, _) = day_n1.trie_and_len(granularity);
     let mut curve = RocCurve::new();
-    for (key, &(out_abusive, out_benign)) in &outcomes {
-        let score = match scores.get(key) {
-            Some(&(abusive, benign)) => {
+    let mut scores = score_trie.units_at(len).peekable();
+    for (key, out_abusive, out_benign) in outcome_trie.units_at(len) {
+        while matches!(scores.peek(), Some(&(k, _, _)) if k < key) {
+            scores.next();
+        }
+        let score = match scores.peek() {
+            Some(&(k, abusive, benign)) if k == key => {
                 let total = abusive + benign;
                 if total == 0 {
                     -1.0
@@ -198,15 +343,15 @@ pub fn actioning_roc_timed(
                 }
             }
             // Unseen yesterday: can never be actioned.
-            None => -1.0,
+            _ => -1.0,
         };
         curve.push(score, out_abusive as f64, out_benign as f64);
     }
     let stat = ActioningStat {
         granularity: granularity.label(),
         wall: t0.elapsed(),
-        units_scored: scores.len() as u64,
-        units_evaluated: outcomes.len() as u64,
+        units_scored: score_trie.unit_count(len) as u64,
+        units_evaluated: outcome_trie.unit_count(len) as u64,
     };
     (curve, stat)
 }
@@ -246,6 +391,7 @@ pub fn operating_points(curve: &RocCurve) -> OperatingPoints {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ipv6_study_stats::testgen::TestGen;
     use ipv6_study_telemetry::{
         AbuseInfo, Asn, Country, OwnedColumns, RequestRecord, SimDate, UserId,
     };
@@ -389,6 +535,154 @@ mod tests {
         assert_eq!(stat.granularity, "/128");
         assert_eq!(stat.units_scored, 2);
         assert_eq!(stat.units_evaluated, 3);
+    }
+
+    /// Boundary prefix lengths: 0 (whole space), 128 (full address) and
+    /// 129 (oversized — clamps to 128 instead of panicking on mask
+    /// underflow).
+    #[test]
+    fn prefix_length_boundaries_0_128_129() {
+        let v6: IpAddr = "2001:db8:1:2::abcd".parse().unwrap();
+        assert_eq!(Granularity::V6Prefix(0).unit_bits(v6), Some(0));
+        assert_eq!(
+            Granularity::V6Prefix(128).unit_bits(v6),
+            Granularity::V6Full.unit_bits(v6)
+        );
+        assert_eq!(
+            Granularity::V6Prefix(129).unit_bits(v6),
+            Granularity::V6Full.unit_bits(v6)
+        );
+        assert_eq!(Granularity::V6Prefix(0).label(), "/0");
+        assert_eq!(Granularity::V6Prefix(129).label(), "/128");
+
+        // End to end: /129 produces the same curve and stats as /128.
+        let d1 = SimDate::ymd(4, 18);
+        let d2 = SimDate::ymd(4, 19);
+        let labels = labels_for(&[100]);
+        let day_n = vec![rec(100, d1, "2001:db8::a"), rec(1, d1, "2001:db8::c")];
+        let day_n1 = vec![rec(100, d2, "2001:db8::a"), rec(2, d2, "2001:db8::d")];
+        let (n, n1) = (cols(&day_n), cols(&day_n1));
+        let (full, full_stat) =
+            actioning_roc_timed(n.as_slice(), n1.as_slice(), &labels, Granularity::V6Full);
+        let (over, over_stat) = actioning_roc_timed(
+            n.as_slice(),
+            n1.as_slice(),
+            &labels,
+            Granularity::V6Prefix(129),
+        );
+        for i in 0..=10 {
+            let t = i as f64 / 10.0;
+            let (a, b) = (full.point_at(t, None), over.point_at(t, None));
+            assert_eq!((a.tpr, a.fpr), (b.tpr, b.fpr), "t={t}");
+        }
+        assert_eq!(over_stat.granularity, "/128");
+        assert_eq!(over_stat.units_scored, full_stat.units_scored);
+        assert_eq!(over_stat.units_evaluated, full_stat.units_evaluated);
+
+        // /0 folds each family into one unit and still works.
+        let zero = actioning_roc(
+            n.as_slice(),
+            n1.as_slice(),
+            &labels,
+            Granularity::V6Prefix(0),
+        );
+        let p = zero.point_at(0.4, None);
+        assert!(
+            (p.tpr - 1.0).abs() < 1e-12,
+            "half-abusive whole space actions"
+        );
+    }
+
+    /// The naive reference: the pre-trie curve loop over `tally` maps.
+    fn naive_roc(
+        day_n: ColumnSlice<'_>,
+        day_n1: ColumnSlice<'_>,
+        labels: &AbuseLabels,
+        granularity: Granularity,
+    ) -> (RocCurve, usize, usize) {
+        let scores = tally(day_n, labels, granularity);
+        let outcomes = tally(day_n1, labels, granularity);
+        let mut curve = RocCurve::new();
+        for (key, &(out_abusive, out_benign)) in &outcomes {
+            let score = match scores.get(key) {
+                Some(&(abusive, benign)) => abusive as f64 / (abusive + benign) as f64,
+                None => -1.0,
+            };
+            curve.push(score, out_abusive as f64, out_benign as f64);
+        }
+        (curve, scores.len(), outcomes.len())
+    }
+
+    /// Randomized day of records: users hop between clustered v6
+    /// addresses (shared /48s and /64s) and a small v4 pool.
+    fn random_day(g: &mut TestGen, day: SimDate, users: u64) -> Vec<RequestRecord> {
+        let n = g.range_u64(20, 300) as usize;
+        g.vec_of(n, |g| {
+            let user = g.range_u64(0, users);
+            let ip = if g.range_u64(0, 4) == 0 {
+                IpAddr::V4(std::net::Ipv4Addr::from(
+                    0xc000_0200 | (g.range_u64(0, 12) as u32),
+                ))
+            } else {
+                let site = (0x2001_0db8u128 << 96) | (g.range_u64(0, 3) as u128) << 80;
+                let subnet = (g.range_u64(0, 40) as u128) << 64;
+                let iid = u128::from(g.next_u64() >> g.range_u8(0, 60));
+                IpAddr::V6(std::net::Ipv6Addr::from(site | subnet | iid))
+            };
+            RequestRecord {
+                ts: day.at(11, 0, 0),
+                user: UserId(user),
+                ip,
+                asn: Asn(64496),
+                country: Country::new("US"),
+            }
+        })
+    }
+
+    /// The tentpole equivalence: the shared-trie sweep reproduces the
+    /// naive per-granularity sort-and-dedup ROC — curves, unit counts
+    /// and operating points — on randomized populations, across fixed
+    /// and odd prefix lengths.
+    #[test]
+    fn trie_sweep_matches_naive_tally_roc() {
+        let mut g = TestGen::new(0x4143_5401);
+        let grans = [
+            Granularity::V6Full,
+            Granularity::V6Prefix(64),
+            Granularity::V6Prefix(56),
+            Granularity::V6Prefix(48),
+            Granularity::V6Prefix(61),
+            Granularity::V6Prefix(33),
+            Granularity::V6Prefix(0),
+            Granularity::V4Full,
+        ];
+        for _ in 0..24 {
+            let users = g.range_u64(2, 40);
+            let abusive: Vec<u64> = (0..users).filter(|u| u % 3 == 0).collect();
+            let labels = labels_for(&abusive);
+            let day_n = random_day(&mut g, SimDate::ymd(4, 18), users);
+            let day_n1 = random_day(&mut g, SimDate::ymd(4, 19), users);
+            let (n, n1) = (cols(&day_n), cols(&day_n1));
+            let counts_n = DayCounts::build(n.as_slice(), &labels);
+            let counts_n1 = DayCounts::build(n1.as_slice(), &labels);
+            for gran in grans {
+                let (trie_curve, stat) = actioning_roc_between(&counts_n, &counts_n1, gran);
+                let (naive_curve, scored, evaluated) =
+                    naive_roc(n.as_slice(), n1.as_slice(), &labels, gran);
+                assert_eq!(stat.units_scored as usize, scored, "{gran:?}");
+                assert_eq!(stat.units_evaluated as usize, evaluated, "{gran:?}");
+                for i in -2..=20 {
+                    let t = i as f64 / 20.0;
+                    let (a, b) = (trie_curve.point_at(t, None), naive_curve.point_at(t, None));
+                    assert_eq!((a.tpr, a.fpr), (b.tpr, b.fpr), "{gran:?} t={t}");
+                }
+                assert_eq!(
+                    operating_points(&trie_curve),
+                    operating_points(&naive_curve),
+                    "{gran:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -98,7 +98,12 @@ impl Blocklist {
                 match granularity {
                     Granularity::V6Full => bl.add_v6(Ipv6Prefix::from_bits(key, 128), expires),
                     Granularity::V6Prefix(len) => {
-                        bl.add_v6(Ipv6Prefix::from_bits(key, len), expires)
+                        // Clamped like every Granularity consumer; the
+                        // tally above already masked `key` the same way.
+                        bl.add_v6(
+                            Ipv6Prefix::from_bits(key, Granularity::v6_len(len)),
+                            expires,
+                        )
                     }
                     Granularity::V4Full => {
                         bl.add_v4(Ipv4Prefix::from_bits(key as u32, 32), expires)

@@ -67,6 +67,9 @@ impl KeyPolicy {
     fn key(self, ip: IpAddr) -> LimitKey {
         match (self, ip) {
             (KeyPolicy::V6PrefixLen(len), IpAddr::V6(a)) => {
+                // Lengths beyond 128 clamp to the full address, matching
+                // `Granularity::v6_len` (see secapp::actioning).
+                let len = len.min(Ipv6Prefix::MAX_LEN);
                 LimitKey::V6Prefix(u128::from(a) & Ipv6Prefix::mask(len), len)
             }
             _ => LimitKey::Addr(ip),
@@ -107,12 +110,19 @@ impl RateLimiter {
     }
 
     /// Processes one request; returns true when allowed.
+    ///
+    /// The refill clock only moves forward: a request with `now` before
+    /// the bucket's last update spends a token at the current fill but
+    /// does not rewind `last` — otherwise the next in-order request would
+    /// refill from the rewound clock and be granted extra tokens.
     pub fn allow(&mut self, ip: IpAddr, now: Timestamp) -> bool {
         let key = self.policy.key(ip);
         let (tokens, last) = self.buckets.entry(key).or_insert((self.burst, now));
-        let elapsed = now.secs().saturating_sub(last.secs()) as f64;
-        *tokens = (*tokens + elapsed * self.rate_per_sec).min(self.burst);
-        *last = now;
+        if now.secs() > last.secs() {
+            let elapsed = (now.secs() - last.secs()) as f64;
+            *tokens = (*tokens + elapsed * self.rate_per_sec).min(self.burst);
+            *last = now;
+        }
         if *tokens >= 1.0 {
             *tokens -= 1.0;
             true
@@ -193,5 +203,53 @@ mod tests {
     #[should_panic(expected = "invalid limiter")]
     fn bad_parameters_rejected() {
         RateLimiter::new(KeyPolicy::FullAddress, 0.0, 1.0);
+    }
+
+    /// Regression: an out-of-order request must not rewind the refill
+    /// clock. With the rewind bug, the t=90 request below reset `last`
+    /// to 90, so the t=101 request refilled 11 seconds' worth of tokens
+    /// instead of 1 and the bucket over-granted.
+    #[test]
+    fn out_of_order_requests_do_not_rewind_the_refill_clock() {
+        let mut rl = RateLimiter::new(KeyPolicy::FullAddress, 1.0, 3.0);
+        let ip: IpAddr = "2001:db8::1".parse().unwrap();
+        let at = |s| SimDate::ymd(4, 13).at(12, 1, s);
+        for _ in 0..3 {
+            assert!(rl.allow(ip, at(40)), "burst of 3");
+        }
+        assert!(!rl.allow(ip, at(40)), "burst exhausted");
+        // A late-arriving request 10s in the past: still denied (no
+        // tokens), and it must not move the clock back.
+        assert!(!rl.allow(ip, at(30)));
+        // 1s after the true last update: exactly one token refilled.
+        assert!(rl.allow(ip, at(41)));
+        assert!(
+            !rl.allow(ip, at(41)),
+            "rewound clock over-refilled the bucket"
+        );
+    }
+
+    /// Out-of-order requests still spend tokens at the current fill.
+    #[test]
+    fn out_of_order_requests_spend_from_the_current_bucket() {
+        let mut rl = RateLimiter::new(KeyPolicy::FullAddress, 1.0, 2.0);
+        let ip: IpAddr = "2001:db8::7".parse().unwrap();
+        let at = |s| SimDate::ymd(4, 13).at(12, 1, s);
+        assert!(rl.allow(ip, at(40)));
+        assert!(rl.allow(ip, at(20)), "past request spends the second token");
+        assert!(!rl.allow(ip, at(40)), "bucket is empty at the frontier");
+    }
+
+    /// Prefix lengths beyond 128 clamp to the full address instead of
+    /// panicking on mask underflow.
+    #[test]
+    fn oversized_prefix_length_clamps_to_full_address() {
+        let mut rl = RateLimiter::new(KeyPolicy::V6PrefixLen(129), 0.001, 1.0);
+        let t = SimDate::ymd(4, 13).at(12, 0, 0);
+        let a: IpAddr = "2001:db8::a".parse().unwrap();
+        let b: IpAddr = "2001:db8::b".parse().unwrap();
+        assert!(rl.allow(a, t));
+        assert!(rl.allow(b, t), "distinct addresses key separately at /128");
+        assert!(!rl.allow(a, t));
     }
 }

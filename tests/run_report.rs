@@ -56,6 +56,11 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.actioning[].wall_secs",
     "$.actioning[].units_scored",
     "$.actioning[].units_evaluated",
+    "$.actioning_sweep.build_wall_secs",
+    "$.actioning_sweep.read_wall_secs",
+    "$.actioning_sweep.total_wall_secs",
+    "$.actioning_sweep.days",
+    "$.actioning_sweep.trie_nodes",
     "$.metrics.counters.sim.records_total",
     "$.metrics.gauges.sim.records_per_sec",
     "$.metrics.gauges.sim.store_bytes",
@@ -149,6 +154,12 @@ fn report_covers_every_experiment_and_all_sim_records() {
         4,
         "one stat per granularity"
     );
+    assert_eq!(
+        study.report().actioning_sweep.days,
+        4,
+        "one aggregation-trie pair per pooled day"
+    );
+    assert!(study.report().actioning_sweep.trie_nodes > 0);
     assert_eq!(
         study.report().total_records(),
         study.metrics().total_records(),
