@@ -7,7 +7,8 @@
 //! ```text
 //! cargo run --release -p ipv6-study-bench --bin bench_run -- \
 //!     [scale] [--threads N|auto] [--analysis-threads N|auto] [--out PATH] \
-//!     [--households N] [--storage memory|spill[:DIR]] [--segment-rows N]
+//!     [--households N] [--storage memory|spill[:DIR]] [--segment-rows N] \
+//!     [--disk-budget BYTES]
 //! ```
 //!
 //! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
@@ -23,7 +24,7 @@ use ipv6_study_core::{Study, StudyError};
 
 const USAGE: &str = "usage: bench_run [tiny|test|default|full] [--threads N|auto] \
      [--analysis-threads N|auto] [--out PATH] [--households N] \
-     [--storage memory|spill[:DIR]] [--segment-rows N]";
+     [--storage memory|spill[:DIR]] [--segment-rows N] [--disk-budget BYTES]";
 
 fn main() {
     let args = CommonArgs::parse(std::env::args().skip(1), USAGE);
@@ -54,6 +55,10 @@ fn main() {
         Err(StudyError::ShardsFailed(report)) => {
             eprint!("{}", report.render());
             eprintln!("run failed: shard failures exceeded the failure policy");
+            std::process::exit(1);
+        }
+        Err(e @ StudyError::Spill(_)) => {
+            eprintln!("run failed: {e}");
             std::process::exit(1);
         }
     };

@@ -7,7 +7,7 @@
 //! cargo run --release -p ipv6-study-bench --bin repro -- \
 //!     [scale] [output.md] [--threads N|auto] [--analysis-threads N|auto] \
 //!     [--households N] [--storage memory|spill[:DIR]] [--segment-rows N] \
-//!     [--extended]
+//!     [--disk-budget BYTES] [--extended]
 //! ```
 //!
 //! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
@@ -32,7 +32,7 @@ use ipv6_study_core::{Study, StudyError};
 
 const USAGE: &str = "usage: repro [tiny|test|default|full] [output.md] [--threads N|auto] \
      [--analysis-threads N|auto] [--households N] [--storage memory|spill[:DIR]] \
-     [--segment-rows N] [--extended]";
+     [--segment-rows N] [--disk-budget BYTES] [--extended]";
 
 fn main() {
     let args = CommonArgs::parse(std::env::args().skip(1), USAGE);
@@ -68,6 +68,10 @@ fn main() {
         Err(StudyError::ShardsFailed(report)) => {
             eprint!("{}", report.render());
             eprintln!("run failed: shard failures exceeded the failure policy");
+            std::process::exit(1);
+        }
+        Err(e @ StudyError::Spill(_)) => {
+            eprintln!("run failed: {e}");
             std::process::exit(1);
         }
     };

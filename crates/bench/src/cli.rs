@@ -11,6 +11,11 @@
 //! --storage memory|spill[:DIR]    where full-fidelity streams live mid-run
 //! --segment-rows N                rows staged per family before a sorted
 //!                                 run is spilled (spill mode only)
+//! --disk-budget BYTES             hard cap on the spill session's on-disk
+//!                                 bytes (spill mode only); exceeding it
+//!                                 fails the offending shard with a typed
+//!                                 budget error, handled per the failure
+//!                                 policy
 //! ```
 //!
 //! Binary-specific arguments (`repro`'s output path, `bench_run`'s
@@ -41,6 +46,8 @@ pub struct CommonArgs {
     pub households: Option<u64>,
     /// Resolved storage mode (`--storage` + `--segment-rows`).
     pub storage: StorageMode,
+    /// Spill disk budget in bytes (`--disk-budget`); `None` is unlimited.
+    pub disk_budget_bytes: Option<u64>,
     /// Arguments this module did not consume, in original order.
     pub rest: Vec<String>,
 }
@@ -92,6 +99,7 @@ impl CommonArgs {
             analysis_threads: None,
             households: None,
             storage: StorageMode::InMemory,
+            disk_budget_bytes: None,
             rest: Vec::new(),
         };
         let mut segment_rows: Option<usize> = None;
@@ -131,6 +139,12 @@ impl CommonArgs {
                     Ok(n) => segment_rows = Some(n),
                     Err(_) => usage_exit(usage, &format!("bad segment-rows `{v}`")),
                 }
+            } else if arg == "--disk-budget" || arg.starts_with("--disk-budget=") {
+                let v = take_value(&mut i, "--disk-budget");
+                match v.parse() {
+                    Ok(n) if n > 0 => out.disk_budget_bytes = Some(n),
+                    _ => usage_exit(usage, &format!("bad disk budget `{v}` (bytes, at least 1)")),
+                }
             } else if !arg.starts_with('-') && out.scale.is_none() && out.rest.is_empty() {
                 out.scale = Some(arg);
             } else {
@@ -147,6 +161,12 @@ impl CommonArgs {
                     usage_exit(usage, "--segment-rows requires --storage spill")
                 }
             }
+        }
+        // Same order-independence for --disk-budget: it only modifies the
+        // spill policy, so reject it against memory storage here rather
+        // than deep in config validation.
+        if out.disk_budget_bytes.is_some() && !out.storage.is_spill() {
+            usage_exit(usage, "--disk-budget requires --storage spill");
         }
         out
     }
@@ -172,6 +192,7 @@ impl CommonArgs {
         config.threads = self.threads;
         config.analysis_threads = self.analysis_threads;
         config.storage = self.storage.clone();
+        config.disk_budget_bytes = self.disk_budget_bytes;
         if let Some(hh) = self.households {
             config.households = hh;
         }
@@ -244,10 +265,25 @@ mod tests {
 
     #[test]
     fn config_applies_every_flag() {
-        let a = parse(&["tiny", "--threads=3", "--households=999", "--storage=spill"]);
+        let a = parse(&[
+            "tiny",
+            "--threads=3",
+            "--households=999",
+            "--storage=spill",
+            "--disk-budget=1048576",
+        ]);
         let cfg = a.config("usage");
         assert_eq!(cfg.threads, 3);
         assert_eq!(cfg.households, 999);
         assert!(cfg.storage.is_spill());
+        assert_eq!(cfg.disk_budget_bytes, Some(1 << 20));
+    }
+
+    #[test]
+    fn disk_budget_parses_in_both_spellings_and_any_order() {
+        let a = parse(&["--disk-budget", "4096", "--storage", "spill"]);
+        assert_eq!(a.disk_budget_bytes, Some(4096));
+        let a = parse(&["--storage=spill", "--disk-budget=4096"]);
+        assert_eq!(a.disk_budget_bytes, Some(4096));
     }
 }

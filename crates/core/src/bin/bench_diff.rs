@@ -22,7 +22,9 @@
 //! more households than the baseline. The Figure-11 trie sweep's
 //! `actioning_sweep.total_wall_secs` (schema v4) is gated automatically
 //! under the same percentage budget and noise floor whenever both
-//! documents carry it.
+//! documents carry it. `sim.spill_bytes_verified` (schema v5) is diffed
+//! informationally — printed when both documents carry it, skipped with
+//! a notice against pre-v5 baselines, never a failure.
 //! Exit 2 means bad usage or an unreadable document.
 //! Timing comparisons only make sense between runs of the same scale and
 //! machine class; CI diffs a fresh run against the committed baseline.
@@ -244,6 +246,24 @@ fn main() {
             _ => println!(
                 "actioning sweep wall: baseline has no actioning_sweep section \
                  (pre-v4 schema); sweep gate skipped"
+            ),
+        }
+    }
+
+    // Storage-verification diff (schema v5): informational only — the
+    // bytes verified at merge time are deterministic per config, so a
+    // change is worth seeing in CI logs, but it is not a regression gate.
+    // A pre-v5 baseline skips with a notice.
+    {
+        let base_verified = number_at(&baseline, "sim.spill_bytes_verified");
+        let cur_verified = number_at(&current, "sim.spill_bytes_verified");
+        match (base_verified, cur_verified) {
+            (Some(base), Some(cur)) => {
+                println!("spill bytes verified: {base:.0} -> {cur:.0}");
+            }
+            _ => println!(
+                "spill bytes verified: baseline has no sim.spill_bytes_verified \
+                 (pre-v5 schema); storage diff skipped"
             ),
         }
     }

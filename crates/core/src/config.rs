@@ -42,6 +42,13 @@ pub enum ConfigError {
     /// `storage` is [`StorageMode::Spill`] with `segment_rows == 0`: a
     /// segment must stage at least one row.
     ZeroSegmentRows,
+    /// `disk_budget_bytes` is `Some(0)`: a zero budget rejects the very
+    /// first spill write (leave it `None` for unlimited).
+    ZeroDiskBudget,
+    /// `disk_budget_bytes` is set but `storage` is
+    /// [`StorageMode::InMemory`]: the budget governs spill writes only,
+    /// so setting it without spill storage is a misconfiguration.
+    DiskBudgetWithoutSpill,
     /// The spill session directory cannot be created or used.
     Storage(String),
     /// A fixed sampling rate is not a probability in `(0, 1]` (or NaN).
@@ -90,6 +97,18 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroSegmentRows => {
                 write!(f, "spill segment_rows must be at least 1")
+            }
+            ConfigError::ZeroDiskBudget => {
+                write!(
+                    f,
+                    "disk_budget_bytes must be at least 1 (or None for unlimited)"
+                )
+            }
+            ConfigError::DiskBudgetWithoutSpill => {
+                write!(
+                    f,
+                    "disk_budget_bytes requires the spill storage mode (it caps on-disk bytes)"
+                )
             }
             ConfigError::Storage(msg) => write!(f, "spill storage unusable: {msg}"),
             ConfigError::InvalidSamplingRate(r) => {
@@ -237,6 +256,14 @@ pub struct StudyConfig {
     /// sorted on-disk segments. The emitted datasets are byte-identical
     /// in both modes.
     pub storage: StorageMode,
+    /// Hard cap on the spill session's total on-disk bytes, `None` for
+    /// unlimited. Exceeding the budget surfaces a typed
+    /// `SpillError::Budget` on the offending shard; what happens next is
+    /// the [`FailurePolicy`]'s call (under
+    /// [`FailurePolicy::Degrade`] the shard is dropped and the run
+    /// completes on the survivors — graceful degradation instead of a
+    /// full disk). Requires [`StorageMode::Spill`].
+    pub disk_budget_bytes: Option<u64>,
     /// How the §3.1 sampler rates are derived from the configured
     /// population (resolved once, at run time).
     pub sampling: SamplingPlan,
@@ -289,6 +316,7 @@ impl StudyConfig {
             max_shard_retries: 2,
             faults: None,
             storage: StorageMode::InMemory,
+            disk_budget_bytes: None,
             sampling: SamplingPlan::Scaled,
         }
     }
@@ -334,6 +362,11 @@ impl StudyConfig {
             if *segment_rows == 0 {
                 return Err(ConfigError::ZeroSegmentRows);
             }
+        }
+        match self.disk_budget_bytes {
+            Some(0) => return Err(ConfigError::ZeroDiskBudget),
+            Some(_) if !self.storage.is_spill() => return Err(ConfigError::DiskBudgetWithoutSpill),
+            _ => {}
         }
         self.sampling.validate(self.approx_users())?;
         if let Some(faults) = &self.faults {
@@ -414,6 +447,7 @@ impl StudyBuilder {
         cfg.max_shard_retries = self.config.max_shard_retries;
         cfg.faults = self.config.faults;
         cfg.storage = self.config.storage;
+        cfg.disk_budget_bytes = self.config.disk_budget_bytes;
         cfg.sampling = self.config.sampling;
         Self { config: cfg }
     }
@@ -500,6 +534,15 @@ impl StudyBuilder {
         self
     }
 
+    /// Caps the spill session's total on-disk bytes (see
+    /// [`StudyConfig::disk_budget_bytes`]); requires the spill storage
+    /// mode. Exceeding the budget fails the offending shard with a typed
+    /// budget error, degraded away or aborting per the failure policy.
+    pub fn disk_budget_bytes(mut self, bytes: u64) -> Self {
+        self.config.disk_budget_bytes = Some(bytes);
+        self
+    }
+
     /// Sets the sampling plan — the single place sampler rates are
     /// chosen. The plan is resolved against the *final* population at run
     /// time, so it composes with later [`StudyBuilder::households`] calls
@@ -578,6 +621,17 @@ mod tests {
             segment_rows: 0,
         };
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroSegmentRows));
+
+        let mut cfg = StudyConfig::tiny();
+        cfg.storage = StorageMode::spill();
+        cfg.disk_budget_bytes = Some(0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroDiskBudget));
+
+        let mut cfg = StudyConfig::tiny();
+        cfg.disk_budget_bytes = Some(1 << 20);
+        assert_eq!(cfg.validate(), Err(ConfigError::DiskBudgetWithoutSpill));
+        cfg.storage = StorageMode::spill();
+        assert_eq!(cfg.validate(), Ok(()));
 
         let mut cfg = StudyConfig::tiny();
         cfg.sampling = SamplingPlan::Fixed { rate: 1.5 };

@@ -55,12 +55,14 @@ use ipv6_study_obs::timer::{time_phase, PhaseStat};
 use ipv6_study_telemetry::spill::{merge_into_frozen, KeyCollector};
 use ipv6_study_telemetry::{
     EntityTables, FamilyPayload, FrozenDatasets, FrozenStore, MemGauge, RequestSink, RequestStore,
-    RunManifest, Samplers, ShardPayload, ShardSink, SimDate, SinkStorage, SpillSession,
-    StorageMode, StudyDatasets,
+    RunManifest, Samplers, ShardPayload, ShardSink, SimDate, SinkStorage, SpillError, SpillSession,
+    SpillStats, StorageMode, StudyDatasets,
 };
 
 use crate::config::StudyConfig;
-use crate::faults::{FailurePolicy, FaultDecision, FaultReport, ShardFailure};
+use crate::faults::{
+    FailurePolicy, FaultDecision, FaultKind, FaultReport, ShardFailure, StudyError,
+};
 
 /// Target number of benign shards (the plan clamps so small runs still
 /// get meaningfully sized shards).
@@ -220,6 +222,8 @@ pub(crate) struct DriverOutput {
     pub pair_store: FrozenStore,
     pub metrics: RunMetrics,
     pub faults: FaultReport,
+    /// The spill session's storage counters (all zero in memory mode).
+    pub spill_stats: SpillStats,
     /// Distinct benign users enumerated on the first study day, summed
     /// over the merged shards.
     pub users_seen: u64,
@@ -273,11 +277,16 @@ struct ShardEnv<'a> {
 /// storage mode.
 ///
 /// `progress` is updated with the running record count at every day
-/// boundary; when the attempt panics (injected or real), the caller reads
-/// it to learn how much work the unwind discarded. `published` is the
-/// attempt's slice of the memory gauge, released by the caller on panic.
-/// `fault` is the injector's decision for this attempt —
+/// boundary; when the attempt fails (injected or real), the caller reads
+/// it to learn how much work was discarded. `published` is the
+/// attempt's slice of the memory gauge, released by the caller on
+/// failure. `fault` is the injector's decision for this attempt —
 /// [`FaultDecision::default`] when injection is off.
+///
+/// Storage faults surface as a typed `Err(SpillError)`: the sink latches
+/// the first writer error, this loop polls it at every day boundary to
+/// stop simulating into a dead sink, and `into_payload` refuses partial
+/// data at the end.
 fn run_shard(
     env: &ShardEnv<'_>,
     work: &ShardWork,
@@ -286,7 +295,7 @@ fn run_shard(
     fault: FaultDecision,
     progress: &AtomicU64,
     published: &AtomicU64,
-) -> ShardOutput {
+) -> Result<ShardOutput, SpillError> {
     let t0 = Instant::now();
     let storage = match env.spill {
         Some(session) => SinkStorage::Spill {
@@ -353,15 +362,18 @@ fn run_shard(
         days_done += 1;
         sink.flush_segment();
         progress.store(sink.records(), Ordering::Relaxed);
+        if let Some(e) = sink.io_error() {
+            return Err(e.clone());
+        }
     }
 
     sink.finish();
-    ShardOutput {
-        payload: sink.into_payload(),
+    Ok(ShardOutput {
+        payload: sink.into_payload()?,
         users_seen,
         users_sampled,
         wall: t0.elapsed(),
-    }
+    })
 }
 
 /// The shared work queue: a cursor over fresh shards, a retry queue for
@@ -498,9 +510,11 @@ fn expect_runs(p: FamilyPayload) -> RunManifest {
 /// per-run stable sort plus `(ts, run-index)` k-way merge reproduces the
 /// in-memory path's stable sort of the plan-order concatenation.
 ///
-/// Returns `Err` with the fault report when shard failures exceed what
-/// `config.failure_policy` tolerates; otherwise the output's `faults`
-/// field records any recovered (or, under `Degrade`, dropped) shards.
+/// Returns `Err(StudyError::ShardsFailed)` when shard failures exceed
+/// what `config.failure_policy` tolerates and `Err(StudyError::Spill)`
+/// when the storage layer fails during the merge itself; otherwise the
+/// output's `faults` field records any recovered (or, under `Degrade`,
+/// dropped) shards.
 pub(crate) fn execute(
     config: &StudyConfig,
     world: &World,
@@ -508,7 +522,7 @@ pub(crate) fn execute(
     abuse: &AbuseSim<'_>,
     samplers: &Samplers,
     spill: Option<&SpillSession>,
-) -> Result<DriverOutput, FaultReport> {
+) -> Result<DriverOutput, StudyError> {
     // Figure 11's full-population day pairs: the last four days.
     let pair_start = config.full_range.end - 3;
     let mut phases: Vec<PhaseStat> = Vec::new();
@@ -572,8 +586,8 @@ pub(crate) fn execute(
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     run_shard(&env, work, i, attempt, fault, &progress, &published)
                 }));
-                match result {
-                    Ok(out) => {
+                let (kind, msg) = match result {
+                    Ok(Ok(out)) => {
                         if attempt > 0 {
                             // A recovered retry: count the successful
                             // attempt so `attempts` = first try + retries.
@@ -588,43 +602,49 @@ pub(crate) fn execute(
                         // the unwind, never written through this mutex.
                         *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                         queue.resolve();
+                        continue;
                     }
-                    Err(payload) => {
-                        // The unwind dropped the attempt's buffers; return
-                        // its gauge slice and delete any segment files the
-                        // attempt spilled so a retry starts from nothing.
-                        gauge.release(&published);
-                        if let Some(session) = spill {
-                            session.remove_attempt(i, attempt);
-                        }
-                        let msg = panic_message(payload);
-                        let exhausted = attempt >= max_retries;
-                        {
-                            let mut failed =
-                                failures.lock().unwrap_or_else(PoisonError::into_inner);
-                            let entry = failed.entry(i).or_insert_with(|| ShardFailure {
-                                shard: i,
-                                label: shard_label(work),
-                                attempts: 0,
-                                panic_msg: String::new(),
-                                dropped: false,
-                                records_lost: 0,
-                            });
-                            entry.attempts = attempt + 1;
-                            entry.panic_msg = msg;
-                            entry.records_lost = progress.load(Ordering::Relaxed);
-                            if exhausted && policy == FailurePolicy::Degrade {
-                                entry.dropped = true;
-                            }
-                        }
-                        if !exhausted {
-                            queue.requeue(i, attempt + 1);
-                        } else {
-                            queue.resolve();
-                            if policy != FailurePolicy::Degrade {
-                                queue.abort();
-                            }
-                        }
+                    Ok(Err(e)) => (FaultKind::from_spill(&e), e.to_string()),
+                    Err(payload) => (FaultKind::Panic, panic_message(payload)),
+                };
+                // The failed attempt's buffers are gone (dropped by the
+                // unwind, or never handed over by the typed-error return);
+                // give back its gauge slice and delete any segment files
+                // the attempt spilled so a retry starts from nothing.
+                gauge.release(&published);
+                if let Some(session) = spill {
+                    session.remove_attempt(i, attempt);
+                }
+                // Corrupt and Budget failures never retry: re-running the
+                // same pure work cannot repair bit rot or shrink the
+                // budget, so burning the retry budget would only delay the
+                // verdict.
+                let exhausted = attempt >= max_retries || !kind.is_retryable();
+                {
+                    let mut failed = failures.lock().unwrap_or_else(PoisonError::into_inner);
+                    let entry = failed.entry(i).or_insert_with(|| ShardFailure {
+                        shard: i,
+                        label: shard_label(work),
+                        attempts: 0,
+                        kind: FaultKind::Panic,
+                        panic_msg: String::new(),
+                        dropped: false,
+                        records_lost: 0,
+                    });
+                    entry.attempts = attempt + 1;
+                    entry.kind = kind;
+                    entry.panic_msg = msg;
+                    entry.records_lost = progress.load(Ordering::Relaxed);
+                    if exhausted && policy == FailurePolicy::Degrade {
+                        entry.dropped = true;
+                    }
+                }
+                if !exhausted {
+                    queue.requeue(i, attempt + 1);
+                } else {
+                    queue.resolve();
+                    if policy != FailurePolicy::Degrade {
+                        queue.abort();
                     }
                 }
             });
@@ -638,9 +658,17 @@ pub(crate) fn execute(
         .unwrap_or_else(PoisonError::into_inner)
         .into_values()
         .collect();
-    let faults = FaultReport { policy, failures };
+    let spill_counters =
+        |spill: Option<&SpillSession>| spill.map(SpillSession::stats).unwrap_or_default();
+    let sim_stats = spill_counters(spill);
+    let mut faults = FaultReport {
+        policy,
+        failures,
+        io_retries: sim_stats.io_retries,
+        checksum_failures: sim_stats.checksum_failures,
+    };
     if queue.is_aborted() {
-        return Err(faults);
+        return Err(StudyError::ShardsFailed(faults));
     }
 
     // Merge phase: walk the slots in plan order. In memory mode this
@@ -778,28 +806,37 @@ pub(crate) fn execute(
                 .chain(&abuse_runs)
                 .chain(&pair)
             {
-                keys.add_manifest(m);
+                keys.add_manifest(m)?;
             }
             let tables = Arc::new(keys.into_tables());
             let datasets = FrozenDatasets {
                 samplers: samplers.clone(),
-                request_sample: merge_into_frozen(&request, &tables),
-                user_sample: merge_into_frozen(&user, &tables),
-                ip_sample: merge_into_frozen(&ip, &tables),
-                prefix_samples: prefixes
-                    .iter()
-                    .map(|(len, runs)| (*len, merge_into_frozen(runs, &tables)))
-                    .collect(),
+                request_sample: merge_into_frozen(&request, &tables)?,
+                user_sample: merge_into_frozen(&user, &tables)?,
+                ip_sample: merge_into_frozen(&ip, &tables)?,
+                prefix_samples: {
+                    let mut samples = std::collections::HashMap::new();
+                    for (len, runs) in &prefixes {
+                        samples.insert(*len, merge_into_frozen(runs, &tables)?);
+                    }
+                    samples
+                },
                 offered,
             };
             (
                 datasets,
-                merge_into_frozen(&abuse_runs, &tables),
-                merge_into_frozen(&pair, &tables),
+                merge_into_frozen(&abuse_runs, &tables)?,
+                merge_into_frozen(&pair, &tables)?,
             )
         }
     };
     let sort_wall = t2.elapsed();
+
+    // The merge's read passes verify every run checksum; fold the final
+    // storage counters into the report and output.
+    let spill_stats = spill_counters(spill);
+    faults.io_retries = spill_stats.io_retries;
+    faults.checksum_failures = spill_stats.checksum_failures;
 
     Ok(DriverOutput {
         datasets,
@@ -819,6 +856,7 @@ pub(crate) fn execute(
             peak_store_bytes,
         },
         faults,
+        spill_stats,
         users_seen,
         users_sampled,
     })

@@ -32,6 +32,7 @@ use std::time::Duration;
 
 use ipv6_study_stats::dist::uniform01;
 use ipv6_study_stats::hash::StableHasher;
+use ipv6_study_telemetry::{SpillError, SpillFaultPlan};
 
 use crate::config::ConfigError;
 
@@ -71,6 +72,62 @@ impl FailurePolicy {
 }
 
 impl fmt::Display for FailurePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a shard attempt (or the run's merge phase) failed — panics and
+/// typed storage errors are reported distinctly so an environmental EIO
+/// is never mistaken for a model bug.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The attempt panicked (a bug, or an injected panic).
+    #[default]
+    Panic,
+    /// A spill I/O operation failed past its op-retry budget
+    /// ([`SpillError::Io`]) — transient-capable, worth a shard retry.
+    Io,
+    /// On-disk data failed checksum/framing verification
+    /// ([`SpillError::Corrupt`]) — re-running the same work cannot fix
+    /// bit rot, so this never consumes retries.
+    Corrupt,
+    /// The session disk budget was exhausted ([`SpillError::Budget`]) —
+    /// also non-retryable: the budget would still be exceeded.
+    Budget,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Io => "io",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Budget => "budget",
+        }
+    }
+
+    /// Classifies a typed storage error.
+    pub fn from_spill(e: &SpillError) -> Self {
+        match e {
+            SpillError::Io { .. } => FaultKind::Io,
+            SpillError::Corrupt { .. } => FaultKind::Corrupt,
+            SpillError::Budget { .. } => FaultKind::Budget,
+            _ => FaultKind::Io,
+        }
+    }
+
+    /// Whether a shard-level retry could plausibly clear this failure.
+    /// Panics retry (the injector models transient panics); Io errors
+    /// retry; corruption and budget overruns do not.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, FaultKind::Panic | FaultKind::Io)
+    }
+}
+
+impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
@@ -118,6 +175,51 @@ pub struct FaultInjector {
     scripted: BTreeMap<usize, ShardFault>,
     /// Probability in `[0, 1]` that any given attempt panics.
     pub panic_rate: f64,
+    /// Deterministic storage-layer faults (see [`IoFaultSpec`]).
+    pub io: IoFaultSpec,
+}
+
+/// Deterministic I/O fault rates for the spill layer, keyed off
+/// `(seed, shard, attempt, op index)` — the stream hash covers shard,
+/// attempt and family; the op index covers position in the stream. All
+/// zero by default (no I/O faults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoFaultSpec {
+    /// Probability in `[0, 1]` that a run-frame write op fails
+    /// transiently.
+    pub write_fail_rate: f64,
+    /// Probability in `[0, 1]` that a header/row read op fails
+    /// transiently.
+    pub read_fail_rate: f64,
+    /// Of faulted writes, the fraction that tear a short prefix onto
+    /// disk before failing (exercising the all-or-nothing rollback).
+    pub short_write_rate: f64,
+    /// Probability in `[0, 1]` that a written run gets one byte flipped —
+    /// detected by the read-side checksum as [`SpillError::Corrupt`].
+    pub corrupt_rate: f64,
+    /// How many consecutive io attempts a faulted op fails before it
+    /// succeeds; values above the op-retry budget make the op error out
+    /// and fail the shard attempt.
+    pub fail_attempts: u32,
+}
+
+impl Default for IoFaultSpec {
+    fn default() -> Self {
+        Self {
+            write_fail_rate: 0.0,
+            read_fail_rate: 0.0,
+            short_write_rate: 0.0,
+            corrupt_rate: 0.0,
+            fail_attempts: 1,
+        }
+    }
+}
+
+impl IoFaultSpec {
+    /// True when no I/O fault can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.write_fail_rate == 0.0 && self.read_fail_rate == 0.0 && self.corrupt_rate == 0.0
+    }
 }
 
 impl FaultInjector {
@@ -156,9 +258,43 @@ impl FaultInjector {
         self
     }
 
+    /// Sets the transient write-failure rate for spill run writes.
+    pub fn with_io_write_fail_rate(mut self, rate: f64) -> Self {
+        self.io.write_fail_rate = rate;
+        self
+    }
+
+    /// Sets the transient read-failure rate for spill reads.
+    pub fn with_io_read_fail_rate(mut self, rate: f64) -> Self {
+        self.io.read_fail_rate = rate;
+        self
+    }
+
+    /// Sets the fraction of faulted writes that tear a short prefix onto
+    /// disk before failing.
+    pub fn with_short_write_rate(mut self, rate: f64) -> Self {
+        self.io.short_write_rate = rate;
+        self
+    }
+
+    /// Sets the per-run byte-corruption rate (caught by the read-side
+    /// checksum as a typed [`SpillError::Corrupt`]).
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.io.corrupt_rate = rate;
+        self
+    }
+
+    /// Sets how many consecutive io attempts a faulted op fails before
+    /// succeeding (default 1 — one in-place retry recovers it).
+    pub fn with_io_fail_attempts(mut self, attempts: u32) -> Self {
+        self.io.fail_attempts = attempts;
+        self
+    }
+
     /// True when no fault can ever fire.
     pub fn is_inert(&self) -> bool {
         self.panic_rate <= 0.0
+            && self.io.is_inert()
             && self
                 .scripted
                 .values()
@@ -167,10 +303,34 @@ impl FaultInjector {
 
     /// Validates the injector's parameters.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if !(0.0..=1.0).contains(&self.panic_rate) || self.panic_rate.is_nan() {
-            return Err(ConfigError::FaultRateOutOfRange(self.panic_rate));
+        for rate in [
+            self.panic_rate,
+            self.io.write_fail_rate,
+            self.io.read_fail_rate,
+            self.io.short_write_rate,
+            self.io.corrupt_rate,
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(ConfigError::FaultRateOutOfRange(rate));
+            }
         }
         Ok(())
+    }
+
+    /// The spill layer's deterministic fault plan for this injector, or
+    /// `None` when no I/O fault can fire.
+    pub fn spill_fault_plan(&self, seed: u64) -> Option<SpillFaultPlan> {
+        if self.io.is_inert() {
+            return None;
+        }
+        Some(SpillFaultPlan {
+            seed,
+            write_fail_rate: self.io.write_fail_rate,
+            read_fail_rate: self.io.read_fail_rate,
+            short_write_rate: self.io.short_write_rate,
+            corrupt_rate: self.io.corrupt_rate,
+            fail_attempts: self.io.fail_attempts,
+        })
     }
 
     /// The deterministic decision for one attempt of one shard.
@@ -204,7 +364,9 @@ pub struct ShardFailure {
     pub label: String,
     /// Total attempts made (first try + retries).
     pub attempts: u32,
-    /// Panic payload of the last failed attempt.
+    /// How the last failed attempt failed (panic vs typed storage error).
+    pub kind: FaultKind,
+    /// Panic payload or typed-error message of the last failed attempt.
     pub panic_msg: String,
     /// Whether the shard was permanently dropped (only under
     /// [`FailurePolicy::Degrade`] after exhausting retries).
@@ -228,9 +390,14 @@ pub struct FaultReport {
     /// The policy the run executed under.
     pub policy: FailurePolicy,
     /// Per-shard failures, ascending by shard index. A shard appears here
-    /// iff at least one of its attempts panicked — including shards that
+    /// iff at least one of its attempts failed — including shards that
     /// later recovered.
     pub failures: Vec<ShardFailure>,
+    /// Op-level I/O retries absorbed inside the spill layer (transient
+    /// write/read errors recovered without failing a shard attempt).
+    pub io_retries: u64,
+    /// Spill runs that failed checksum or framing verification.
+    pub checksum_failures: u64,
 }
 
 impl FaultReport {
@@ -273,14 +440,22 @@ impl FaultReport {
             self.dropped_count(),
             self.records_lost(),
         );
+        if self.io_retries > 0 || self.checksum_failures > 0 {
+            let _ = writeln!(
+                out,
+                "  storage: {} io retry(ies) absorbed, {} checksum failure(s)",
+                self.io_retries, self.checksum_failures,
+            );
+        }
         for f in &self.failures {
             let _ = writeln!(
                 out,
-                "  shard {:3} {:<24} {} attempt(s){}  last panic: {}",
+                "  shard {:3} {:<24} {} attempt(s){}  last {}: {}",
                 f.shard,
                 f.label,
                 f.attempts,
                 if f.dropped { ", DROPPED" } else { "" },
+                f.kind,
                 f.panic_msg,
             );
         }
@@ -297,6 +472,10 @@ pub enum StudyError {
     /// any failure under `Abort`, or an exhausted-retry shard under
     /// `Retry`. The report lists every failed shard.
     ShardsFailed(FaultReport),
+    /// The storage layer failed outside any single shard attempt — during
+    /// the merge of spill runs into the frozen store, or while tearing the
+    /// session down.
+    Spill(SpillError),
 }
 
 impl fmt::Display for StudyError {
@@ -311,6 +490,7 @@ impl fmt::Display for StudyError {
                     r.policy
                 )
             }
+            StudyError::Spill(e) => write!(f, "storage failure during merge: {e}"),
         }
     }
 }
@@ -320,6 +500,7 @@ impl std::error::Error for StudyError {
         match self {
             StudyError::Config(e) => Some(e),
             StudyError::ShardsFailed(_) => None,
+            StudyError::Spill(e) => Some(e),
         }
     }
 }
@@ -327,6 +508,12 @@ impl std::error::Error for StudyError {
 impl From<ConfigError> for StudyError {
     fn from(e: ConfigError) -> Self {
         StudyError::Config(e)
+    }
+}
+
+impl From<SpillError> for StudyError {
+    fn from(e: SpillError) -> Self {
+        StudyError::Spill(e)
     }
 }
 
@@ -386,6 +573,58 @@ mod tests {
     }
 
     #[test]
+    fn fault_kinds_classify_spill_errors_and_gate_retries() {
+        let io = SpillError::Io {
+            path: "seg".into(),
+            op: ipv6_study_telemetry::IoOp::Write,
+            kind: std::io::ErrorKind::Interrupted,
+            detail: "injected".into(),
+        };
+        let corrupt = SpillError::Corrupt {
+            path: "seg".into(),
+            run: 0,
+            offset: 20,
+            reason: "checksum mismatch".into(),
+        };
+        let budget = SpillError::Budget {
+            budget_bytes: 100,
+            attempted_bytes: 120,
+        };
+        assert_eq!(FaultKind::from_spill(&io), FaultKind::Io);
+        assert_eq!(FaultKind::from_spill(&corrupt), FaultKind::Corrupt);
+        assert_eq!(FaultKind::from_spill(&budget), FaultKind::Budget);
+        assert!(FaultKind::Panic.is_retryable());
+        assert!(FaultKind::Io.is_retryable());
+        assert!(!FaultKind::Corrupt.is_retryable());
+        assert!(!FaultKind::Budget.is_retryable());
+        assert_eq!(FaultKind::Corrupt.to_string(), "corrupt");
+        // Spill errors lift into StudyError with a source chain.
+        let e = StudyError::from(corrupt);
+        assert!(e.to_string().contains("merge"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn io_fault_spec_feeds_the_spill_plan() {
+        let inj = FaultInjector::new()
+            .with_io_write_fail_rate(0.05)
+            .with_short_write_rate(0.5)
+            .with_io_fail_attempts(2);
+        assert!(!inj.is_inert());
+        assert!(inj.validate().is_ok());
+        let plan = inj.spill_fault_plan(42).expect("io faults configured");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.write_fail_rate, 0.05);
+        assert_eq!(plan.fail_attempts, 2);
+        // No io faults -> no plan, and bad rates fail validation.
+        assert!(FaultInjector::new().spill_fault_plan(42).is_none());
+        assert!(matches!(
+            FaultInjector::new().with_corrupt_rate(2.0).validate(),
+            Err(ConfigError::FaultRateOutOfRange(_))
+        ));
+    }
+
+    #[test]
     fn report_aggregates() {
         let report = FaultReport {
             policy: FailurePolicy::Degrade,
@@ -394,6 +633,7 @@ mod tests {
                     shard: 2,
                     label: "benign hh 128..192".into(),
                     attempts: 3,
+                    kind: FaultKind::Panic,
                     panic_msg: "injected".into(),
                     dropped: true,
                     records_lost: 120,
@@ -402,11 +642,14 @@ mod tests {
                     shard: 7,
                     label: "abuse camp 0..4".into(),
                     attempts: 2,
+                    kind: FaultKind::Io,
                     panic_msg: "injected".into(),
                     dropped: false,
                     records_lost: 40,
                 },
             ],
+            io_retries: 5,
+            checksum_failures: 1,
         };
         assert!(!report.is_clean());
         assert_eq!(report.dropped_count(), 1);
@@ -415,6 +658,9 @@ mod tests {
         let text = report.render();
         assert!(text.contains("DROPPED"));
         assert!(text.contains("benign hh 128..192"));
+        assert!(text.contains("storage: 5 io retry(ies) absorbed, 1 checksum failure(s)"));
+        assert!(text.contains("last panic:"));
+        assert!(text.contains("last io:"));
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub use ablation::Ablation;
 pub use config::{ConfigError, SamplingPlan, StudyBuilder, StudyConfig};
 pub use driver::{RunMetrics, ShardMetrics};
 pub use experiments::{AnalysisCtx, ExperimentOutput};
-pub use faults::{FailurePolicy, FaultInjector, FaultReport, StudyError, StudyOutcome};
+pub use faults::{
+    FailurePolicy, FaultInjector, FaultKind, FaultReport, IoFaultSpec, ShardFailure, StudyError,
+    StudyOutcome,
+};
 pub use ipv6_study_obs::RunReport;
-pub use ipv6_study_telemetry::{StorageMode, DEFAULT_SEGMENT_ROWS};
+pub use ipv6_study_telemetry::{SpillError, StorageMode, DEFAULT_SEGMENT_ROWS};
 pub use study::Study;

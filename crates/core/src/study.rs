@@ -8,11 +8,11 @@ use ipv6_study_behavior::population::Population;
 use ipv6_study_netmodel::World;
 use ipv6_study_obs::{FaultStat, Json, RunReport, ShardStat};
 use ipv6_study_telemetry::{
-    AbuseLabels, DateRange, FrozenDatasets, FrozenStore, SpillSession, StorageMode,
+    AbuseLabels, DateRange, FrozenDatasets, FrozenStore, SpillPolicy, SpillSession, StorageMode,
 };
 
 use crate::config::{ConfigError, StudyBuilder, StudyConfig};
-use crate::driver::{self, RunMetrics};
+use crate::driver::{self, DriverOutput, RunMetrics};
 use crate::faults::{FaultReport, StudyError, StudyOutcome};
 
 /// A completed study run: the world, the sampled datasets, the complete
@@ -87,12 +87,24 @@ impl Study {
 
         // The spill session (when configured) lives for the whole sim +
         // merge: the driver's k-way merge streams the segment files into
-        // frozen columns, after which the directory is deleted.
+        // frozen columns, after which the directory is deleted. The
+        // session's storage policy carries the run's disk budget and any
+        // injected I/O fault plan.
         let spill = match &config.storage {
-            StorageMode::Spill { dir, .. } => Some(
-                SpillSession::create(dir.as_deref())
-                    .map_err(|e| StudyError::Config(ConfigError::Storage(e.to_string())))?,
-            ),
+            StorageMode::Spill { dir, .. } => {
+                let policy = SpillPolicy {
+                    disk_budget_bytes: config.disk_budget_bytes,
+                    faults: config
+                        .faults
+                        .as_ref()
+                        .and_then(|inj| inj.spill_fault_plan(config.seed)),
+                    ..SpillPolicy::default()
+                };
+                Some(
+                    SpillSession::create_with(dir.as_deref(), policy)
+                        .map_err(|e| StudyError::Config(ConfigError::Storage(e.to_string())))?,
+                )
+            }
             StorageMode::InMemory => None,
         };
 
@@ -109,31 +121,13 @@ impl Study {
         .with_detect_scale(config.ablation.detect_scale());
         let labels = abuse.labels();
 
-        let out = driver::execute(&config, &world, &pop, &abuse, &samplers, spill.as_ref())
-            .map_err(StudyError::ShardsFailed)?;
+        let mut out = driver::execute(&config, &world, &pop, &abuse, &samplers, spill.as_ref())?;
         // Every record now lives in frozen columns; delete the segment
         // files before the (potentially long) analysis phase.
         drop(spill);
 
-        let mut metrics = out.metrics;
-        metrics.total_wall = total.elapsed();
-        // Peak frozen footprint: every store's columns plus the shared
-        // intern tables, counted once (all stores point at the same Arc).
-        let store_bytes = out.datasets.bytes()
-            + out.abuse_store.bytes()
-            + out.pair_store.bytes()
-            + out.abuse_store.tables().bytes();
-        let stored_records =
-            out.datasets.retained() + out.abuse_store.len() as u64 + out.pair_store.len() as u64;
-        let report = build_report(
-            &config,
-            &metrics,
-            approx_users,
-            out.datasets.retained(),
-            &out.faults,
-            store_bytes as u64,
-            stored_records,
-        );
+        out.metrics.total_wall = total.elapsed();
+        let report = build_report(&config, approx_users, &out);
         Ok(Self {
             config,
             world,
@@ -144,7 +138,7 @@ impl Study {
             approx_users,
             users_seen: out.users_seen,
             users_sampled: out.users_sampled,
-            metrics,
+            metrics: out.metrics,
             faults: out.faults,
             report,
         })
@@ -223,19 +217,21 @@ impl Study {
     }
 }
 
-/// Converts the driver's [`RunMetrics`] into the run's [`RunReport`]:
-/// phase walls, per-shard stats, fault stats, a config echo, and registry
-/// aggregates. Returns an empty (disabled) report when instrumentation is
-/// off.
-fn build_report(
-    config: &StudyConfig,
-    metrics: &RunMetrics,
-    approx_users: u64,
-    retained: u64,
-    faults: &FaultReport,
-    store_bytes: u64,
-    stored_records: u64,
-) -> RunReport {
+/// Converts the driver's output into the run's [`RunReport`]: phase
+/// walls, per-shard stats, fault and storage stats, a config echo, and
+/// registry aggregates. Returns an empty (disabled) report when
+/// instrumentation is off.
+fn build_report(config: &StudyConfig, approx_users: u64, out: &DriverOutput) -> RunReport {
+    let metrics = &out.metrics;
+    let faults = &out.faults;
+    let retained = out.datasets.retained();
+    // Peak frozen footprint: every store's columns plus the shared
+    // intern tables, counted once (all stores point at the same Arc).
+    let store_bytes = (out.datasets.bytes()
+        + out.abuse_store.bytes()
+        + out.pair_store.bytes()
+        + out.abuse_store.tables().bytes()) as u64;
+    let stored_records = retained + out.abuse_store.len() as u64 + out.pair_store.len() as u64;
     let mut report = RunReport::new(config.instrument);
     report.failure_policy = faults.policy.as_str().to_string();
     if !config.instrument {
@@ -265,6 +261,10 @@ fn build_report(
             StorageMode::Spill { segment_rows, .. } => *segment_rows as u64,
             StorageMode::InMemory => 0,
         }),
+    );
+    report.set_config(
+        "disk_budget_bytes",
+        Json::UInt(config.disk_budget_bytes.unwrap_or(0)),
     );
     report.set_config("sampling", Json::str(config.sampling.label()));
     report.set_config(
@@ -304,9 +304,13 @@ fn build_report(
             retries: u64::from(f.retries()),
             dropped: f.dropped,
             records_lost: f.records_lost,
+            kind: f.kind.as_str().to_string(),
             panic_msg: f.panic_msg.clone(),
         })
         .collect();
+    report.io_retries = faults.io_retries;
+    report.checksum_failures = faults.checksum_failures;
+    report.spill_bytes_verified = out.spill_stats.bytes_verified;
     // Fault counters are recorded unconditionally (zero on clean runs) so
     // every report exposes the same metric set.
     report
@@ -321,6 +325,14 @@ fn build_report(
     report
         .registry
         .inc("sim.records_lost", faults.records_lost());
+    report.registry.inc("sim.io_retries", faults.io_retries);
+    report
+        .registry
+        .inc("sim.checksum_failures", faults.checksum_failures);
+    report.registry.set_gauge(
+        "sim.spill_bytes_verified",
+        out.spill_stats.bytes_verified as f64,
+    );
     for f in &faults.failures {
         report
             .registry

@@ -20,8 +20,10 @@ use crate::timer::PhaseStat;
 /// the number the spill storage mode bounds. v4 added `actioning_sweep` —
 /// the one-pass Figure-11 sweep's trie-build and per-cut read walls
 /// (`build_wall_secs`, `read_wall_secs`, `total_wall_secs`, `days`,
-/// `trie_nodes`), the wall `bench_diff` gates.
-pub const SCHEMA_VERSION: u64 = 4;
+/// `trie_nodes`), the wall `bench_diff` gates. v5 added the storage
+/// fault fields: `faults.io_retries`, `faults.checksum_failures`,
+/// `faults.failed_shards[].kind`, and `sim.spill_bytes_verified`.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Throughput over a wall-clock window, `0.0` for an empty window.
 ///
@@ -71,10 +73,14 @@ pub struct FaultStat {
     /// Whether the shard was ultimately dropped (degraded run) rather
     /// than recovered.
     pub dropped: bool,
-    /// Records the last failed attempt had produced before it panicked —
+    /// Records the last failed attempt had produced before it failed —
     /// work the unwind discarded.
     pub records_lost: u64,
-    /// The captured panic message of the last failed attempt.
+    /// How the last failed attempt failed: `"panic"`, `"io"`,
+    /// `"corrupt"`, or `"budget"`.
+    pub kind: String,
+    /// The captured panic message (or typed-error message) of the last
+    /// failed attempt.
     pub panic_msg: String,
 }
 
@@ -162,6 +168,15 @@ pub struct RunReport {
     /// Shards that failed at least once (recovered or dropped); empty on
     /// a clean run.
     pub faults: Vec<FaultStat>,
+    /// Op-level I/O retries the spill layer absorbed without failing a
+    /// shard attempt (`faults.io_retries` in the JSON).
+    pub io_retries: u64,
+    /// Spill runs that failed checksum or framing verification
+    /// (`faults.checksum_failures` in the JSON).
+    pub checksum_failures: u64,
+    /// Spill payload bytes that passed checksum verification across both
+    /// read passes (`sim.spill_bytes_verified`); zero in memory mode.
+    pub spill_bytes_verified: u64,
     /// Peak heap bytes of the frozen telemetry stores (all column stores
     /// plus the shared intern tables, counted once). Zero when
     /// uninstrumented. Serialized as `sim.store_bytes` — a plain field
@@ -291,6 +306,7 @@ impl RunReport {
                         .with("retries", Json::UInt(f.retries))
                         .with("dropped", Json::Bool(f.dropped))
                         .with("records_lost", Json::UInt(f.records_lost))
+                        .with("kind", Json::str(&*f.kind))
                         .with("panic_msg", Json::str(&*f.panic_msg))
                 })
                 .collect(),
@@ -309,7 +325,9 @@ impl RunReport {
             .with(
                 "records_lost",
                 Json::UInt(self.faults.iter().map(|f| f.records_lost).sum()),
-            );
+            )
+            .with("io_retries", Json::UInt(self.io_retries))
+            .with("checksum_failures", Json::UInt(self.checksum_failures));
         Json::obj()
             .with("schema_version", Json::UInt(SCHEMA_VERSION))
             .with("enabled", Json::Bool(self.enabled))
@@ -324,7 +342,11 @@ impl RunReport {
                     .with("records_per_sec", Json::num(self.records_per_sec()))
                     .with("store_bytes", Json::UInt(self.store_bytes))
                     .with("bytes_per_record", Json::num(self.bytes_per_record))
-                    .with("peak_store_bytes", Json::UInt(self.peak_store_bytes)),
+                    .with("peak_store_bytes", Json::UInt(self.peak_store_bytes))
+                    .with(
+                        "spill_bytes_verified",
+                        Json::UInt(self.spill_bytes_verified),
+                    ),
             )
             .with(
                 "analysis",
@@ -433,14 +455,22 @@ impl RunReport {
             for f in &self.faults {
                 let _ = writeln!(
                     out,
-                    "  shard {:3} {:<24} {} attempt(s){}  {}",
+                    "  shard {:3} {:<24} {} attempt(s){}  {}: {}",
                     f.shard,
                     f.label,
                     f.attempts,
                     if f.dropped { ", dropped" } else { "" },
+                    f.kind,
                     f.panic_msg
                 );
             }
+        }
+        if self.io_retries > 0 || self.checksum_failures > 0 {
+            let _ = writeln!(
+                out,
+                "storage: {} io retry(ies) absorbed, {} checksum failure(s), {} bytes verified",
+                self.io_retries, self.checksum_failures, self.spill_bytes_verified
+            );
         }
         out
     }
@@ -526,8 +556,12 @@ mod tests {
             retries: 1,
             dropped: false,
             records_lost: 37,
+            kind: "panic".into(),
             panic_msg: "injected fault: shard 1 attempt 0 after 1 day(s)".into(),
         });
+        r.io_retries = 3;
+        r.checksum_failures = 1;
+        r.spill_bytes_verified = 70_000;
         r
     }
 
@@ -589,7 +623,11 @@ mod tests {
             "\"retries_total\"",
             "\"dropped_shards\"",
             "\"records_lost\"",
+            "\"kind\"",
             "\"panic_msg\"",
+            "\"io_retries\"",
+            "\"checksum_failures\"",
+            "\"spill_bytes_verified\"",
             "\"metrics\"",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
@@ -621,5 +659,7 @@ mod tests {
         assert!(text.contains("actioning sweep: build"));
         assert!(text.contains("faults (retry)"));
         assert!(text.contains("abuse camp 0..4"));
+        assert!(text.contains("panic: injected fault"));
+        assert!(text.contains("storage: 3 io retry(ies)"));
     }
 }

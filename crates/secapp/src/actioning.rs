@@ -16,7 +16,7 @@
 //! [`AggregationTrie`]s over the day's distinct `(user, address)` pairs —
 //! and every granularity's per-unit tallies are read off that shared trie
 //! in `O(nodes)`, instead of re-sorting the record set per prefix length.
-//! [`tally`] remains as the naive sort-and-dedup reference (still used by
+//! `tally` remains as the naive sort-and-dedup reference (still used by
 //! blocklisting, and by the property tests that pin the equivalence).
 
 use std::collections::HashMap;

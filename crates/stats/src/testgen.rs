@@ -71,6 +71,28 @@ impl TestGen {
     pub fn vec_of<T>(&mut self, len: usize, mut f: impl FnMut(&mut Self) -> T) -> Vec<T> {
         (0..len).map(|_| f(self)).collect()
     }
+
+    /// Flips one pseudo-random bit of one pseudo-random byte in
+    /// `bytes[lo..]`, returning the chosen offset. `lo` protects a
+    /// prefix (e.g. a file header) from mutation; `bytes` must extend
+    /// past it. Chaos tests use this to simulate on-disk corruption at a
+    /// seed-replayable position.
+    pub fn flip_byte(&mut self, bytes: &mut [u8], lo: usize) -> usize {
+        assert!(lo < bytes.len(), "no bytes past the protected prefix");
+        let offset = lo + self.below((bytes.len() - lo) as u64) as usize;
+        bytes[offset] ^= 1 << self.below(8);
+        offset
+    }
+
+    /// Truncates `bytes` to a pseudo-random length in `[lo, len)`,
+    /// returning the new length. Chaos tests use this to simulate a torn
+    /// (partially persisted) write at a seed-replayable position.
+    pub fn truncate_at(&mut self, bytes: &mut Vec<u8>, lo: usize) -> usize {
+        assert!(lo < bytes.len(), "nothing left to truncate");
+        let keep = lo + self.below((bytes.len() - lo) as u64) as usize;
+        bytes.truncate(keep);
+        keep
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +121,35 @@ mod tests {
             let x = g.range_f64(-2.0, 3.0);
             assert!((-2.0..3.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn byte_mutations_are_deterministic_and_respect_the_prefix() {
+        let original: Vec<u8> = (0u8..64).collect();
+
+        let mut a = original.clone();
+        let off_a = TestGen::new(11).flip_byte(&mut a, 20);
+        let mut b = original.clone();
+        let off_b = TestGen::new(11).flip_byte(&mut b, 20);
+        assert_eq!(off_a, off_b, "same seed, same offset");
+        assert_eq!(a, b, "same seed, same mutation");
+        assert!(off_a >= 20, "protected prefix untouched");
+        assert_eq!(a[..20], original[..20]);
+        let flipped: Vec<usize> = (0..a.len()).filter(|&i| a[i] != original[i]).collect();
+        assert_eq!(flipped, [off_a], "exactly one byte changed");
+        assert_eq!(
+            (a[off_a] ^ original[off_a]).count_ones(),
+            1,
+            "exactly one bit flipped"
+        );
+
+        let mut t = original.clone();
+        let keep = TestGen::new(12).truncate_at(&mut t, 20);
+        assert!((20..original.len()).contains(&keep));
+        assert_eq!(t.len(), keep);
+        assert_eq!(t[..], original[..keep]);
+        let mut t2 = original.clone();
+        assert_eq!(TestGen::new(12).truncate_at(&mut t2, 20), keep);
     }
 
     #[test]

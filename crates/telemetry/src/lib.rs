@@ -64,6 +64,9 @@ pub use sampler::Samplers;
 pub use sink::{
     CountingSink, FamilyPayload, FnSink, RequestSink, ShardPayload, ShardSink, SinkStorage, Tee,
 };
-pub use spill::{MemGauge, RunManifest, SpillSession, StorageMode, DEFAULT_SEGMENT_ROWS};
+pub use spill::{
+    IoOp, MemGauge, RunManifest, SpillError, SpillFaultPlan, SpillPolicy, SpillSession, SpillStats,
+    StorageMode, DEFAULT_IO_RETRIES, DEFAULT_SEGMENT_ROWS,
+};
 pub use store::{FrozenStore, RequestStore};
 pub use time::{DateRange, SimDate, Timestamp};

@@ -36,6 +36,16 @@
 //!
 //! Combinators forward `flush_segment`/`finish` to their inner sinks;
 //! for simple sinks both are no-ops.
+//!
+//! # Storage faults
+//!
+//! `push` is deliberately infallible — emitters are pure simulation code
+//! and never handle I/O. A spill-backed [`ShardSink`] instead **latches**
+//! the first typed [`SpillError`] its writers raise: subsequent records
+//! are counted but no longer routed, [`ShardSink::io_error`] exposes the
+//! latched error (the driver polls it at day boundaries to fail fast),
+//! and [`ShardSink::into_payload`] refuses to produce a payload, so a
+//! faulted attempt can never feed partial data into the merge.
 
 use std::sync::atomic::AtomicU64;
 
@@ -44,7 +54,7 @@ use ipv6_study_netaddr::Ipv6Prefix;
 use crate::dataset::StudyDatasets;
 use crate::record::RequestRecord;
 use crate::sampler::Samplers;
-use crate::spill::{MemGauge, RunManifest, SegmentWriter, SpillSession};
+use crate::spill::{MemGauge, RunManifest, SegmentWriter, SpillError, SpillSession};
 use crate::store::RequestStore;
 
 mod sealed {
@@ -225,9 +235,12 @@ impl FamilyStore {
         }
     }
 
-    fn push(&mut self, rec: RequestRecord) {
+    fn push(&mut self, rec: RequestRecord) -> Result<(), SpillError> {
         match self {
-            FamilyStore::Memory(s) => s.push(rec),
+            FamilyStore::Memory(s) => {
+                s.push(rec);
+                Ok(())
+            }
             FamilyStore::Spill(w) => w.push(rec),
         }
     }
@@ -240,10 +253,11 @@ impl FamilyStore {
         }
     }
 
-    fn finish(&mut self) {
+    fn finish(&mut self) -> Result<(), SpillError> {
         if let FamilyStore::Spill(w) = self {
-            w.finish();
+            w.finish()?;
         }
+        Ok(())
     }
 
     fn into_payload(self) -> FamilyPayload {
@@ -316,6 +330,9 @@ pub struct ShardSink<'a> {
     offered: u64,
     records: u64,
     gauge: Option<(&'a MemGauge, &'a AtomicU64)>,
+    /// The first storage error a spill writer raised; once set, records
+    /// are counted but no longer routed (see "Storage faults" above).
+    error: Option<SpillError>,
 }
 
 impl<'a> ShardSink<'a> {
@@ -352,6 +369,7 @@ impl<'a> ShardSink<'a> {
             offered: 0,
             records: 0,
             gauge,
+            error: None,
         }
     }
 
@@ -364,6 +382,59 @@ impl<'a> ShardSink<'a> {
     /// Total records pushed so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// The latched storage error, if a spill writer has failed. The
+    /// driver polls this at day boundaries so a faulted attempt stops
+    /// simulating instead of pushing into a dead sink.
+    pub fn io_error(&self) -> Option<&SpillError> {
+        self.error.as_ref()
+    }
+
+    /// Routes one record through the samplers into the family stores,
+    /// surfacing the first storage error.
+    fn route(&mut self, rec: RequestRecord) -> Result<(), SpillError> {
+        if let Some(abuse) = &mut self.abuse {
+            abuse.push(rec)?;
+        }
+        self.offered += 1;
+        if self.samplers.request_sampled(&rec) {
+            self.request.push(rec)?;
+        }
+        if self.samplers.user_sampled(rec.user) {
+            self.user.push(rec)?;
+        }
+        if self.samplers.ip_sampled(&rec) {
+            self.ip.push(rec)?;
+        }
+        if let Some(addr) = rec.ipv6() {
+            for (len, store) in &mut self.prefixes {
+                if self
+                    .samplers
+                    .prefix_sampled(Ipv6Prefix::containing(addr, *len))
+                {
+                    store.push(rec)?;
+                }
+            }
+        }
+        if self.pair_routing {
+            self.pair.push(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Finishes every family store, surfacing the first storage error.
+    fn finish_families(&mut self) -> Result<(), SpillError> {
+        self.request.finish()?;
+        self.user.finish()?;
+        self.ip.finish()?;
+        for (_, store) in &mut self.prefixes {
+            store.finish()?;
+        }
+        if let Some(abuse) = &mut self.abuse {
+            abuse.finish()?;
+        }
+        self.pair.finish()
     }
 
     /// Mutable row bytes currently held in memory across all families.
@@ -388,9 +459,14 @@ impl<'a> ShardSink<'a> {
     }
 
     /// Consumes the sink into its payload. [`RequestSink::finish`] must
-    /// have been called first (spill writers assert it).
-    pub fn into_payload(self) -> ShardPayload {
-        ShardPayload {
+    /// have been called first (spill writers assert it). A sink that
+    /// latched a storage error refuses to produce a payload — the typed
+    /// error surfaces instead, so partial data never reaches the merge.
+    pub fn into_payload(self) -> Result<ShardPayload, SpillError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(ShardPayload {
             request: self.request.into_payload(),
             user: self.user.into_payload(),
             ip: self.ip.into_payload(),
@@ -403,7 +479,7 @@ impl<'a> ShardSink<'a> {
             pair: self.pair.into_payload(),
             offered: self.offered,
             records: self.records,
-        }
+        })
     }
 }
 
@@ -411,31 +487,11 @@ impl sealed::Sealed for ShardSink<'_> {}
 impl RequestSink for ShardSink<'_> {
     fn push(&mut self, rec: RequestRecord) {
         self.records += 1;
-        if let Some(abuse) = &mut self.abuse {
-            abuse.push(rec);
+        if self.error.is_some() {
+            return; // latched: count, don't route
         }
-        self.offered += 1;
-        if self.samplers.request_sampled(&rec) {
-            self.request.push(rec);
-        }
-        if self.samplers.user_sampled(rec.user) {
-            self.user.push(rec);
-        }
-        if self.samplers.ip_sampled(&rec) {
-            self.ip.push(rec);
-        }
-        if let Some(addr) = rec.ipv6() {
-            for (len, store) in &mut self.prefixes {
-                if self
-                    .samplers
-                    .prefix_sampled(Ipv6Prefix::containing(addr, *len))
-                {
-                    store.push(rec);
-                }
-            }
-        }
-        if self.pair_routing {
-            self.pair.push(rec);
+        if let Err(e) = self.route(rec) {
+            self.error = Some(e);
         }
     }
 
@@ -444,16 +500,11 @@ impl RequestSink for ShardSink<'_> {
     }
 
     fn finish(&mut self) {
-        self.request.finish();
-        self.user.finish();
-        self.ip.finish();
-        for (_, store) in &mut self.prefixes {
-            store.finish();
+        if self.error.is_none() {
+            if let Err(e) = self.finish_families() {
+                self.error = Some(e);
+            }
         }
-        if let Some(abuse) = &mut self.abuse {
-            abuse.finish();
-        }
-        self.pair.finish();
         self.publish_gauge();
     }
 }
@@ -559,7 +610,7 @@ mod tests {
             sink.push(*r);
         }
         sink.finish();
-        let payload = sink.into_payload();
+        let payload = sink.into_payload().unwrap();
 
         assert_eq!(payload.offered, reference.offered);
         assert_eq!(payload.records, 2_000);
@@ -616,7 +667,7 @@ mod tests {
                 sink.push(*r);
             }
             sink.finish();
-            sink.into_payload()
+            sink.into_payload().unwrap()
         };
         let memory = run(SinkStorage::Memory);
         let spilled = run(SinkStorage::Spill {

@@ -1,4 +1,5 @@
-//! Out-of-core segment storage: bounded spill of request streams to disk.
+//! Out-of-core segment storage: bounded, crash-safe spill of request
+//! streams to disk.
 //!
 //! The in-memory pipeline holds every retained record as a 40-byte
 //! [`RequestRecord`] until the driver's sort phase — O(records) peak
@@ -31,19 +32,49 @@
 //!
 //! # Fault safety
 //!
-//! Spill I/O errors panic, which the driver's per-shard `catch_unwind`
-//! converts into an ordinary shard failure (retry/degrade/abort per
-//! policy). A failed attempt's partial files are deleted by
+//! Nothing on the I/O path panics. Every fallible operation returns a
+//! typed [`SpillError`]:
+//!
+//! * [`SpillError::Io`] — an operating-system error (create/write/flush/
+//!   open/seek/read), with the path and operation that failed. Run writes
+//!   are all-or-nothing: a failed frame write truncates the file back to
+//!   the pre-run length and is retried up to
+//!   [`SpillPolicy::max_io_retries`] times before surfacing, so a
+//!   transient error never leaves a torn run behind.
+//! * [`SpillError::Corrupt`] — on-disk data failed verification at read
+//!   time: a bad run header, a truncated (torn) run, an unknown row tag,
+//!   or a checksum mismatch. Reported with path, run index and byte
+//!   offset.
+//! * [`SpillError::Budget`] — admitting the next run would exceed the
+//!   session's [`SpillPolicy::disk_budget_bytes`]. The driver maps this
+//!   to a policy-governed degradation instead of filling the disk.
+//!
+//! Each run is written as a self-describing frame — a
+//! [`RUN_HEADER_BYTES`]-byte header (magic, row count, xxHash64 chain
+//! checksum) followed by the 35-byte rows — and both read passes (key
+//! collection and the k-way merge) re-derive the checksum and length so
+//! torn writes and flipped bytes are *detected*, never decoded into
+//! figures. A failed attempt's partial files are deleted by
 //! [`SpillSession::remove_attempt`]; the whole session directory is
-//! removed when the [`SpillSession`] drops.
+//! removed when the [`SpillSession`] drops — on success and on failure
+//! paths alike.
+//!
+//! Deterministic I/O fault injection for chaos tests rides on
+//! [`SpillFaultPlan`]: every decision is a pure function of (seed, stream
+//! id, op index, io attempt), where the stream id hashes the file name —
+//! which encodes shard, attempt and family — so injected faults are
+//! byte-reproducible at any thread count.
 
 use std::collections::BinaryHeap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::net::IpAddr;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use ipv6_study_stats::dist::uniform01;
+use ipv6_study_stats::hash::{stable_hash64, StableHasher};
 
 use crate::columns::ColumnStore;
 use crate::ids::{Asn, Country, UserId};
@@ -62,6 +93,20 @@ pub const DEFAULT_SEGMENT_ROWS: usize = 4096;
 /// (1) + address (16, IPv4 in the first four bytes) + ASN (4) +
 /// country (2).
 pub const SPILL_ROW_BYTES: usize = 35;
+
+/// Bytes of the per-run frame header: magic (4) + row count (8) +
+/// checksum (8).
+pub const RUN_HEADER_BYTES: usize = 20;
+
+/// Default op-level retry budget for a failed spill read or write.
+pub const DEFAULT_IO_RETRIES: u32 = 2;
+
+/// Frame magic marking the start of every sorted run on disk.
+const RUN_MAGIC: u32 = u32::from_le_bytes(*b"SPR1");
+
+/// Seed of the per-run xxHash64 chain checksum
+/// (`acc' = xxh64(acc, row_bytes)`).
+const CHECKSUM_SEED: u64 = 0x5350_4C43; // "SPLC"
 
 /// Where a study keeps its full-fidelity and sampled streams during the
 /// sim phase.
@@ -108,6 +153,308 @@ impl StorageMode {
             StorageMode::Spill { .. } => "spill",
         }
     }
+}
+
+/// The I/O operation a [`SpillError::Io`] failed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IoOp {
+    /// Creating a segment file or the session directory.
+    Create,
+    /// Appending a run frame.
+    Write,
+    /// Flushing buffered bytes to the OS.
+    Flush,
+    /// Opening a segment file for reading.
+    Open,
+    /// Seeking to a run or rolling a torn frame back.
+    Seek,
+    /// Reading a header or row.
+    Read,
+}
+
+impl IoOp {
+    /// Lower-case operation name for messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoOp::Create => "create",
+            IoOp::Write => "write",
+            IoOp::Flush => "flush",
+            IoOp::Open => "open",
+            IoOp::Seek => "seek",
+            IoOp::Read => "read",
+        }
+    }
+}
+
+/// A typed storage-layer failure. Cheap to clone and comparable, so it
+/// can ride inside higher-level error enums and test assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpillError {
+    /// The operating system refused an I/O operation (after the op-level
+    /// retry budget was spent).
+    Io {
+        /// Segment file (or directory) the operation targeted.
+        path: PathBuf,
+        /// Which operation failed.
+        op: IoOp,
+        /// The OS error class.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail from the underlying error.
+        detail: String,
+    },
+    /// On-disk data failed verification: bad header, torn (truncated)
+    /// run, unknown row tag, or checksum mismatch.
+    Corrupt {
+        /// Segment file holding the bad bytes.
+        path: PathBuf,
+        /// Zero-based run index within the file.
+        run: usize,
+        /// Absolute byte offset of the bad data within the file.
+        offset: u64,
+        /// What failed to verify.
+        reason: String,
+    },
+    /// Admitting the next run frame would exceed the session's disk
+    /// budget.
+    Budget {
+        /// The configured [`SpillPolicy::disk_budget_bytes`].
+        budget_bytes: u64,
+        /// The on-disk total the write would have reached.
+        attempted_bytes: u64,
+    },
+}
+
+impl SpillError {
+    fn io(path: &Path, op: IoOp, e: &std::io::Error) -> Self {
+        SpillError::Io {
+            path: path.to_path_buf(),
+            op,
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+
+    /// Whether a shard-level retry could plausibly clear this error.
+    /// Io errors are transient-capable; corruption and budget overruns
+    /// are not fixed by re-running the same work.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SpillError::Io { .. })
+    }
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io {
+                path,
+                op,
+                kind,
+                detail,
+            } => write!(
+                f,
+                "spill {} {} failed ({kind:?}): {detail}",
+                op.as_str(),
+                path.display()
+            ),
+            SpillError::Corrupt {
+                path,
+                run,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt spill data in {} (run {run}, byte offset {offset}): {reason}",
+                path.display()
+            ),
+            SpillError::Budget {
+                budget_bytes,
+                attempted_bytes,
+            } => write!(
+                f,
+                "spill disk budget exceeded: write would reach {attempted_bytes} bytes \
+                 (budget {budget_bytes})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+/// Deterministic I/O fault script for chaos tests. Every decision is a
+/// pure function of `(seed, stream id, op index, io attempt)` — the
+/// stream id hashes the segment file name, which encodes shard, attempt
+/// and family — so the same faults fire at any thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillFaultPlan {
+    /// Study seed mixed into every roll.
+    pub seed: u64,
+    /// Probability that a run-frame write op is faulted.
+    pub write_fail_rate: f64,
+    /// Probability that a header/row read op is faulted.
+    pub read_fail_rate: f64,
+    /// Of faulted writes, the fraction that tear a short prefix of the
+    /// frame onto disk before failing (exercising the rollback path).
+    pub short_write_rate: f64,
+    /// Probability that a successfully written run gets one byte flipped
+    /// afterwards (detected later by the checksum, never repaired).
+    pub corrupt_rate: f64,
+    /// How many consecutive io attempts a faulted op fails before
+    /// succeeding; values above the retry budget make the op error out.
+    pub fail_attempts: u32,
+}
+
+impl Default for SpillFaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            write_fail_rate: 0.0,
+            read_fail_rate: 0.0,
+            short_write_rate: 0.0,
+            corrupt_rate: 0.0,
+            fail_attempts: 1,
+        }
+    }
+}
+
+impl SpillFaultPlan {
+    /// Uniform roll in [0,1) for one (domain, stream, op) triple.
+    fn roll(&self, domain: u64, stream: u64, op: u64) -> f64 {
+        let mut h = StableHasher::new(domain);
+        h.write_u64(self.seed).write_u64(stream).write_u64(op);
+        uniform01(h.finish())
+    }
+
+    /// The injected failure for write op `op` on `stream` at `io_attempt`,
+    /// if any: `Some(short_bytes)` tears that many frame bytes onto disk
+    /// first; `Some(0)` fails cleanly.
+    fn write_failure(
+        &self,
+        stream: u64,
+        op: u64,
+        io_attempt: u32,
+        frame_len: usize,
+    ) -> Option<usize> {
+        if io_attempt >= self.fail_attempts
+            || self.roll(0x5346_5057, stream, op) >= self.write_fail_rate
+        {
+            return None;
+        }
+        if self.roll(0x5346_5053, stream, op) < self.short_write_rate {
+            let mut h = StableHasher::new(0x5346_504C);
+            h.write_u64(self.seed).write_u64(stream).write_u64(op);
+            Some((h.finish() % frame_len.max(1) as u64) as usize)
+        } else {
+            Some(0)
+        }
+    }
+
+    /// Whether read op `op` on `stream` is faulted at `io_attempt`.
+    fn read_failure(&self, stream: u64, op: u64, io_attempt: u32) -> bool {
+        io_attempt < self.fail_attempts && self.roll(0x5346_5052, stream, op) < self.read_fail_rate
+    }
+
+    /// The payload byte to flip after write op `op`, if this run is
+    /// selected for corruption.
+    fn corrupt_offset(&self, stream: u64, op: u64, payload_len: u64) -> Option<u64> {
+        if payload_len == 0 || self.roll(0x5346_5043, stream, op) >= self.corrupt_rate {
+            return None;
+        }
+        let mut h = StableHasher::new(0x5346_504F);
+        h.write_u64(self.seed).write_u64(stream).write_u64(op);
+        Some(h.finish() % payload_len)
+    }
+
+    /// Whether every rate is zero (the plan can be dropped).
+    pub fn is_inert(&self) -> bool {
+        self.write_fail_rate == 0.0 && self.read_fail_rate == 0.0 && self.corrupt_rate == 0.0
+    }
+}
+
+/// Session-wide storage policy: op-level retry budget, optional disk
+/// budget, optional fault-injection plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillPolicy {
+    /// How many times a failed read/write op is retried in place before
+    /// surfacing as [`SpillError::Io`].
+    pub max_io_retries: u32,
+    /// Hard cap on the session's total on-disk bytes; `None` is
+    /// unlimited. Exceeding it surfaces [`SpillError::Budget`].
+    pub disk_budget_bytes: Option<u64>,
+    /// Deterministic fault injection for chaos tests; `None` is a clean
+    /// session.
+    pub faults: Option<SpillFaultPlan>,
+}
+
+impl Default for SpillPolicy {
+    fn default() -> Self {
+        Self {
+            max_io_retries: DEFAULT_IO_RETRIES,
+            disk_budget_bytes: None,
+            faults: None,
+        }
+    }
+}
+
+/// Snapshot of a session's storage-fault counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Read/write ops that failed once and were retried in place.
+    pub io_retries: u64,
+    /// Runs whose checksum (or framing) failed verification.
+    pub checksum_failures: u64,
+    /// Payload bytes that passed checksum verification, summed over both
+    /// read passes (key collection and the k-way merge).
+    pub bytes_verified: u64,
+    /// Current on-disk bytes across every live segment file.
+    pub bytes_written: u64,
+}
+
+/// Shared mutable state of one session: the policy plus fault counters,
+/// handed by `Arc` to every writer and manifest.
+#[derive(Debug, Default)]
+struct SpillShared {
+    policy: SpillPolicy,
+    io_retries: AtomicU64,
+    checksum_failures: AtomicU64,
+    bytes_verified: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl SpillShared {
+    fn stats(&self) -> SpillStats {
+        SpillStats {
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            bytes_verified: self.bytes_verified.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Releases `len` bytes of on-disk accounting (saturating — a failed
+    /// rollback can leave the file longer than the accounted frames).
+    fn release_bytes(&self, len: u64) {
+        let mut cur = self.bytes_written.load(Ordering::Relaxed);
+        while let Err(actual) = self.bytes_written.compare_exchange_weak(
+            cur,
+            cur.saturating_sub(len),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            cur = actual;
+        }
+    }
+}
+
+/// Stable per-file stream id for fault keying: hashes the file name,
+/// which encodes `(shard, attempt, family)`.
+fn stream_id(path: &Path) -> u64 {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    stable_hash64(0x5354_524D, name.as_bytes()) // "STRM"
 }
 
 /// A shared high-water-mark gauge over the mutable (row-format) bytes the
@@ -158,6 +505,23 @@ impl MemGauge {
     }
 }
 
+/// Reads a little-endian u32 from the first four bytes of `b`.
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Reads a little-endian u64 from the first eight bytes of `b`.
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Reads a little-endian u128 from the first sixteen bytes of `b`.
+fn le_u128(b: &[u8]) -> u128 {
+    let mut w = [0u8; 16];
+    w.copy_from_slice(&b[..16]);
+    u128::from_le_bytes(w)
+}
+
 /// Encodes one record into the fixed 35-byte spill row format.
 fn encode_row(r: &RequestRecord, buf: &mut [u8; SPILL_ROW_BYTES]) {
     buf[0..4].copy_from_slice(&r.ts.secs().to_le_bytes());
@@ -177,27 +541,24 @@ fn encode_row(r: &RequestRecord, buf: &mut [u8; SPILL_ROW_BYTES]) {
     buf[33..35].copy_from_slice(&r.country.0);
 }
 
-/// Decodes one 35-byte spill row back into a record.
-fn decode_row(buf: &[u8; SPILL_ROW_BYTES]) -> RequestRecord {
-    let ts = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
-    let user = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+/// Decodes one 35-byte spill row back into a record; `Err` carries the
+/// unknown family tag.
+fn decode_row(buf: &[u8; SPILL_ROW_BYTES]) -> Result<RequestRecord, u8> {
+    let ts = le_u32(&buf[0..4]);
+    let user = le_u64(&buf[4..12]);
     let ip = match buf[12] {
-        4 => IpAddr::V4(std::net::Ipv4Addr::from(u32::from_le_bytes(
-            buf[13..17].try_into().expect("4 bytes"),
-        ))),
-        6 => IpAddr::V6(std::net::Ipv6Addr::from(u128::from_le_bytes(
-            buf[13..29].try_into().expect("16 bytes"),
-        ))),
-        tag => panic!("corrupt spill row: unknown family tag {tag}"),
+        4 => IpAddr::V4(std::net::Ipv4Addr::from(le_u32(&buf[13..17]))),
+        6 => IpAddr::V6(std::net::Ipv6Addr::from(le_u128(&buf[13..29]))),
+        tag => return Err(tag),
     };
-    let asn = u32::from_le_bytes(buf[29..33].try_into().expect("4 bytes"));
-    RequestRecord {
+    let asn = le_u32(&buf[29..33]);
+    Ok(RequestRecord {
         ts: Timestamp::from_secs(ts),
         user: UserId(user),
         ip,
         asn: Asn(asn),
         country: Country([buf[33], buf[34]]),
-    }
+    })
 }
 
 /// Monotonic discriminator so concurrent sessions in one process never
@@ -210,24 +571,42 @@ static SESSION_COUNTER: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug)]
 pub struct SpillSession {
     dir: PathBuf,
+    shared: Arc<SpillShared>,
 }
 
 impl SpillSession {
     /// Creates a fresh, uniquely-named session directory under `parent`
-    /// (or the system temp dir).
+    /// (or the system temp dir) with the default [`SpillPolicy`].
     pub fn create(parent: Option<&Path>) -> std::io::Result<Self> {
+        Self::create_with(parent, SpillPolicy::default())
+    }
+
+    /// Creates a session with an explicit storage policy (retry budget,
+    /// disk budget, fault plan).
+    pub fn create_with(parent: Option<&Path>, policy: SpillPolicy) -> std::io::Result<Self> {
         let parent = parent
             .map(Path::to_path_buf)
             .unwrap_or_else(std::env::temp_dir);
         let n = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
         let dir = parent.join(format!("ipv6-spill-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            shared: Arc::new(SpillShared {
+                policy,
+                ..SpillShared::default()
+            }),
+        })
     }
 
     /// The session directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Snapshot of the session's storage-fault counters.
+    pub fn stats(&self) -> SpillStats {
+        self.shared.stats()
     }
 
     /// The filename prefix shared by every file of one shard attempt.
@@ -244,12 +623,13 @@ impl SpillSession {
         segment_rows: usize,
     ) -> SegmentWriter {
         let name = format!("{}{family}.seg", Self::attempt_prefix(shard, attempt));
-        SegmentWriter::new(self.dir.join(name), segment_rows)
+        SegmentWriter::new(self.dir.join(name), segment_rows, Arc::clone(&self.shared))
     }
 
     /// Best-effort removal of every file a failed attempt wrote, so a
     /// retried shard starts from a clean directory and a completed run
-    /// holds only the files of successful attempts.
+    /// holds only the files of successful attempts. Removed bytes are
+    /// released back to the disk budget.
     pub fn remove_attempt(&self, shard: usize, attempt: u32) {
         let prefix = Self::attempt_prefix(shard, attempt);
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
@@ -261,7 +641,10 @@ impl SpillSession {
                 .to_str()
                 .is_some_and(|n| n.starts_with(&prefix))
             {
-                let _ = std::fs::remove_file(entry.path());
+                let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                if std::fs::remove_file(entry.path()).is_ok() {
+                    self.shared.release_bytes(len);
+                }
             }
         }
     }
@@ -273,18 +656,28 @@ impl Drop for SpillSession {
     }
 }
 
-/// Where one family's spilled stream lives: its file plus the row count
-/// of each sorted run, in emission order.
+/// One sorted run's location and verification data within a segment
+/// file: byte offset of its frame header, row count, chain checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RunMeta {
+    offset: u64,
+    rows: u64,
+    checksum: u64,
+}
+
+/// Where one family's spilled stream lives: its file plus the frame
+/// metadata of each sorted run, in emission order.
 #[derive(Debug, Clone)]
 pub struct RunManifest {
     path: PathBuf,
-    runs: Vec<u64>,
+    runs: Vec<RunMeta>,
+    shared: Arc<SpillShared>,
 }
 
 impl RunManifest {
     /// Total rows across all runs.
     pub fn rows(&self) -> u64 {
-        self.runs.iter().sum()
+        self.runs.iter().map(|r| r.rows).sum()
     }
 
     /// Number of sorted runs.
@@ -297,39 +690,50 @@ impl RunManifest {
 ///
 /// Records are staged in memory; when the staging buffer reaches
 /// `segment_rows` it is stable-sorted by timestamp and appended to the
-/// file as one run. The file is created lazily on the first flush, so
-/// record-free families cost nothing.
+/// file as one checksummed frame. The file is created lazily on the first
+/// flush, so record-free families cost nothing.
 ///
-/// # Panics
-/// Any I/O failure panics; the driver's per-shard `catch_unwind` turns
-/// that into a normal shard failure handled by the run's failure policy.
+/// Frame writes are all-or-nothing: on any write failure (real or
+/// injected) the file is truncated back to the pre-run length and the
+/// whole frame is retried up to the policy's op-retry budget, after which
+/// the error surfaces as a typed [`SpillError`].
 #[derive(Debug)]
 pub struct SegmentWriter {
     path: PathBuf,
-    file: Option<BufWriter<File>>,
+    stream: u64,
+    file: Option<File>,
+    file_len: u64,
     staging: Vec<RequestRecord>,
     segment_rows: usize,
-    runs: Vec<u64>,
+    runs: Vec<RunMeta>,
+    write_ops: u64,
+    shared: Arc<SpillShared>,
 }
 
 impl SegmentWriter {
-    fn new(path: PathBuf, segment_rows: usize) -> Self {
-        assert!(segment_rows > 0, "segment_rows must be non-zero");
+    fn new(path: PathBuf, segment_rows: usize, shared: Arc<SpillShared>) -> Self {
+        debug_assert!(segment_rows > 0, "segment_rows must be non-zero");
+        let stream = stream_id(&path);
         Self {
             path,
+            stream,
             file: None,
+            file_len: 0,
             staging: Vec::new(),
-            segment_rows,
+            segment_rows: segment_rows.max(1),
             runs: Vec::new(),
+            write_ops: 0,
+            shared,
         }
     }
 
     /// Appends one record, flushing a full segment to disk.
-    pub fn push(&mut self, rec: RequestRecord) {
+    pub fn push(&mut self, rec: RequestRecord) -> Result<(), SpillError> {
         self.staging.push(rec);
         if self.staging.len() >= self.segment_rows {
-            self.flush_run();
+            self.flush_run()?;
         }
+        Ok(())
     }
 
     /// Bytes currently staged in memory (logical row bytes, the unit the
@@ -338,72 +742,323 @@ impl SegmentWriter {
         (self.staging.len() * std::mem::size_of::<RequestRecord>()) as u64
     }
 
-    /// Sorts and appends the staged records as one run.
-    fn flush_run(&mut self) {
+    /// Sorts and appends the staged records as one checksummed run frame.
+    fn flush_run(&mut self) -> Result<(), SpillError> {
         if self.staging.is_empty() {
-            return;
+            return Ok(());
         }
         // Stable: equal timestamps keep emission order, exactly like the
         // in-memory store's final sort.
         self.staging.sort_by_key(|r| r.ts);
-        let file = match self.file.as_mut() {
-            Some(f) => f,
-            None => {
-                let f = File::create(&self.path)
-                    .unwrap_or_else(|e| panic!("spill create {} failed: {e}", self.path.display()));
-                self.file.insert(BufWriter::new(f))
-            }
-        };
+
+        // Build the whole frame in memory (bounded by the segment
+        // envelope the staging buffer already paid for) so the write is
+        // a single all-or-nothing op.
+        let rows = self.staging.len() as u64;
+        let payload_len = self.staging.len() * SPILL_ROW_BYTES;
+        let mut frame = Vec::with_capacity(RUN_HEADER_BYTES + payload_len);
+        frame.extend_from_slice(&RUN_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&rows.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 8]); // checksum patched below
         let mut buf = [0u8; SPILL_ROW_BYTES];
+        let mut checksum = CHECKSUM_SEED;
         for r in &self.staging {
             encode_row(r, &mut buf);
-            file.write_all(&buf)
-                .unwrap_or_else(|e| panic!("spill write {} failed: {e}", self.path.display()));
+            checksum = stable_hash64(checksum, &buf);
+            frame.extend_from_slice(&buf);
         }
-        self.runs.push(self.staging.len() as u64);
+        frame[12..20].copy_from_slice(&checksum.to_le_bytes());
+        let frame_len = frame.len() as u64;
+
+        // Disk-budget admission: reserve the frame before writing; the
+        // reservation is released again on failure (and by
+        // `remove_attempt` when a failed attempt's files are deleted).
+        let prev = self
+            .shared
+            .bytes_written
+            .fetch_add(frame_len, Ordering::Relaxed);
+        if let Some(budget) = self.shared.policy.disk_budget_bytes {
+            if prev + frame_len > budget {
+                self.shared.release_bytes(frame_len);
+                return Err(SpillError::Budget {
+                    budget_bytes: budget,
+                    attempted_bytes: prev + frame_len,
+                });
+            }
+        }
+
+        if let Err(e) = self.write_frame(&frame) {
+            self.shared.release_bytes(frame_len);
+            return Err(e);
+        }
+        self.runs.push(RunMeta {
+            offset: self.file_len,
+            rows,
+            checksum,
+        });
+        self.file_len += frame_len;
         self.staging.clear();
+        Ok(())
+    }
+
+    /// Writes one frame at the current end of file, rolling a torn write
+    /// back and retrying within the op budget.
+    fn write_frame(&mut self, frame: &[u8]) -> Result<(), SpillError> {
+        let op = self.write_ops;
+        self.write_ops += 1;
+        let start = self.file_len;
+        if self.file.is_none() {
+            let f = File::create(&self.path)
+                .map_err(|e| SpillError::io(&self.path, IoOp::Create, &e))?;
+            self.file = Some(f);
+        }
+        // The file handle exists for the rest of this call.
+        let mut io_attempt = 0u32;
+        loop {
+            let injected = self
+                .shared
+                .policy
+                .faults
+                .as_ref()
+                .and_then(|p| p.write_failure(self.stream, op, io_attempt, frame.len()));
+            let result: std::io::Result<()> = match (&mut self.file, injected) {
+                (Some(f), Some(short)) => {
+                    // Tear `short` frame bytes onto disk, then report the
+                    // injected transient failure.
+                    let _ = f.write_all(&frame[..short]);
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "injected transient write fault",
+                    ))
+                }
+                (Some(f), None) => f.write_all(frame),
+                (None, _) => return Ok(()), // unreachable: created above
+            };
+            match result {
+                Ok(()) => break,
+                Err(e) => {
+                    // All-or-nothing: drop whatever prefix landed.
+                    if let Some(f) = &mut self.file {
+                        f.set_len(start)
+                            .map_err(|t| SpillError::io(&self.path, IoOp::Write, &t))?;
+                        f.seek(SeekFrom::Start(start))
+                            .map_err(|t| SpillError::io(&self.path, IoOp::Seek, &t))?;
+                    }
+                    if io_attempt < self.shared.policy.max_io_retries {
+                        self.shared.io_retries.fetch_add(1, Ordering::Relaxed);
+                        io_attempt += 1;
+                        continue;
+                    }
+                    return Err(SpillError::io(&self.path, IoOp::Write, &e));
+                }
+            }
+        }
+        // Deterministic post-write corruption (chaos tests): flip one
+        // payload byte so the read-side checksum must catch it.
+        if let Some(plan) = self.shared.policy.faults.as_ref() {
+            if let Some(off) =
+                plan.corrupt_offset(self.stream, op, (frame.len() - RUN_HEADER_BYTES) as u64)
+            {
+                if let Some(f) = &mut self.file {
+                    let pos = start + RUN_HEADER_BYTES as u64 + off;
+                    let flipped = [frame[RUN_HEADER_BYTES + off as usize] ^ 0xA5];
+                    f.seek(SeekFrom::Start(pos))
+                        .map_err(|e| SpillError::io(&self.path, IoOp::Seek, &e))?;
+                    f.write_all(&flipped)
+                        .map_err(|e| SpillError::io(&self.path, IoOp::Write, &e))?;
+                    f.seek(SeekFrom::Start(start + frame.len() as u64))
+                        .map_err(|e| SpillError::io(&self.path, IoOp::Seek, &e))?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Flushes the final partial run and the OS buffer. Idempotent.
-    pub fn finish(&mut self) {
-        self.flush_run();
+    pub fn finish(&mut self) -> Result<(), SpillError> {
+        self.flush_run()?;
         if let Some(f) = self.file.as_mut() {
             f.flush()
-                .unwrap_or_else(|e| panic!("spill flush {} failed: {e}", self.path.display()));
+                .map_err(|e| SpillError::io(&self.path, IoOp::Flush, &e))?;
         }
+        Ok(())
     }
 
     /// Consumes the writer into its manifest; [`SegmentWriter::finish`]
     /// must have been called (asserted).
     pub fn into_manifest(mut self) -> RunManifest {
-        assert!(self.staging.is_empty(), "into_manifest before finish()");
+        debug_assert!(self.staging.is_empty(), "into_manifest before finish()");
         if let Some(f) = self.file.take() {
             drop(f);
         }
         RunManifest {
             path: self.path,
             runs: self.runs,
+            shared: self.shared,
         }
     }
 }
 
+/// A buffered reader over one segment file that routes every read op
+/// through the fault plan and maps failures to typed errors.
+struct FaultedReader {
+    reader: BufReader<File>,
+    path: PathBuf,
+    stream: u64,
+    ops: u64,
+    shared: Arc<SpillShared>,
+}
+
+impl FaultedReader {
+    fn open(
+        path: &Path,
+        offset: u64,
+        op_base: u64,
+        shared: Arc<SpillShared>,
+    ) -> Result<Self, SpillError> {
+        let mut file = File::open(path).map_err(|e| SpillError::io(path, IoOp::Open, &e))?;
+        if offset > 0 {
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| SpillError::io(path, IoOp::Seek, &e))?;
+        }
+        Ok(Self {
+            reader: BufReader::new(file),
+            path: path.to_path_buf(),
+            stream: stream_id(path),
+            ops: op_base,
+            shared,
+        })
+    }
+
+    /// One read op: injected faults are decided *before* the data moves,
+    /// so an op-level retry simply re-issues the same read. A short file
+    /// (torn write) surfaces as [`SpillError::Corrupt`] at the given run
+    /// and offset.
+    fn read_exact_op(&mut self, buf: &mut [u8], run: usize, offset: u64) -> Result<(), SpillError> {
+        let op = self.ops;
+        self.ops += 1;
+        if let Some(plan) = self.shared.policy.faults.as_ref() {
+            let mut io_attempt = 0u32;
+            while plan.read_failure(self.stream, op, io_attempt) {
+                if io_attempt >= self.shared.policy.max_io_retries {
+                    return Err(SpillError::Io {
+                        path: self.path.clone(),
+                        op: IoOp::Read,
+                        kind: std::io::ErrorKind::Interrupted,
+                        detail: "injected transient read fault".into(),
+                    });
+                }
+                self.shared.io_retries.fetch_add(1, Ordering::Relaxed);
+                io_attempt += 1;
+            }
+        }
+        self.reader.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                self.shared
+                    .checksum_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                SpillError::Corrupt {
+                    path: self.path.clone(),
+                    run,
+                    offset,
+                    reason: "unexpected end of file (torn write?)".into(),
+                }
+            } else {
+                SpillError::io(&self.path, IoOp::Read, &e)
+            }
+        })
+    }
+
+    /// Reads and validates one run's frame header against the manifest.
+    fn read_header(&mut self, run: usize, meta: &RunMeta) -> Result<(), SpillError> {
+        let mut hdr = [0u8; RUN_HEADER_BYTES];
+        self.read_exact_op(&mut hdr, run, meta.offset)?;
+        let corrupt = |reason: String| {
+            self.shared
+                .checksum_failures
+                .fetch_add(1, Ordering::Relaxed);
+            Err(SpillError::Corrupt {
+                path: self.path.clone(),
+                run,
+                offset: meta.offset,
+                reason,
+            })
+        };
+        let magic = le_u32(&hdr[0..4]);
+        if magic != RUN_MAGIC {
+            return corrupt(format!("bad run magic {magic:#010x}"));
+        }
+        let rows = le_u64(&hdr[4..12]);
+        if rows != meta.rows {
+            return corrupt(format!("header rows {rows} != manifest rows {}", meta.rows));
+        }
+        let checksum = le_u64(&hdr[12..20]);
+        if checksum != meta.checksum {
+            return corrupt(format!(
+                "header checksum {checksum:#018x} != manifest checksum {:#018x}",
+                meta.checksum
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one row, mapping an unknown family tag to a located
+/// [`SpillError::Corrupt`].
+fn decode_row_at(
+    buf: &[u8; SPILL_ROW_BYTES],
+    shared: &SpillShared,
+    path: &Path,
+    run: usize,
+    row_offset: u64,
+) -> Result<RequestRecord, SpillError> {
+    decode_row(buf).map_err(|tag| {
+        shared.checksum_failures.fetch_add(1, Ordering::Relaxed);
+        SpillError::Corrupt {
+            path: path.to_path_buf(),
+            run,
+            offset: row_offset + 12, // the family-tag byte
+            reason: format!("unknown family tag {tag}"),
+        }
+    })
+}
+
 /// Reads an entire manifest sequentially (run after run, i.e. file
 /// order), feeding each decoded record to `f`. Used for the key-collection
-/// pass, where order is irrelevant.
-pub fn read_manifest(m: &RunManifest, mut f: impl FnMut(RequestRecord)) {
+/// pass, where order is irrelevant. Every run's length framing and chain
+/// checksum are verified; corruption surfaces as a typed error.
+pub fn read_manifest(m: &RunManifest, mut f: impl FnMut(RequestRecord)) -> Result<(), SpillError> {
     if m.runs.is_empty() {
-        return;
+        return Ok(());
     }
-    let file = File::open(&m.path)
-        .unwrap_or_else(|e| panic!("spill open {} failed: {e}", m.path.display()));
-    let mut reader = BufReader::new(file);
+    let mut reader = FaultedReader::open(&m.path, 0, 0, Arc::clone(&m.shared))?;
     let mut buf = [0u8; SPILL_ROW_BYTES];
-    for _ in 0..m.rows() {
-        reader
-            .read_exact(&mut buf)
-            .unwrap_or_else(|e| panic!("spill read {} failed: {e}", m.path.display()));
-        f(decode_row(&buf));
+    for (run, meta) in m.runs.iter().enumerate() {
+        reader.read_header(run, meta)?;
+        let mut checksum = CHECKSUM_SEED;
+        for row in 0..meta.rows {
+            let row_offset = meta.offset + RUN_HEADER_BYTES as u64 + row * SPILL_ROW_BYTES as u64;
+            reader.read_exact_op(&mut buf, run, row_offset)?;
+            checksum = stable_hash64(checksum, &buf);
+            f(decode_row_at(&buf, &m.shared, &m.path, run, row_offset)?);
+        }
+        if checksum != meta.checksum {
+            m.shared.checksum_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(SpillError::Corrupt {
+                path: m.path.clone(),
+                run,
+                offset: meta.offset,
+                reason: format!(
+                    "run checksum mismatch: computed {checksum:#018x}, expected {:#018x}",
+                    meta.checksum
+                ),
+            });
+        }
+        m.shared
+            .bytes_verified
+            .fetch_add(meta.rows * SPILL_ROW_BYTES as u64, Ordering::Relaxed);
     }
+    Ok(())
 }
 
 /// Accumulates the distinct entity keys of a record stream with periodic
@@ -452,11 +1107,12 @@ impl KeyCollector {
         }
     }
 
-    /// Adds every record of a spilled manifest (sequential read).
-    pub fn add_manifest(&mut self, m: &RunManifest) {
+    /// Adds every record of a spilled manifest (sequential verified read).
+    pub fn add_manifest(&mut self, m: &RunManifest) -> Result<(), SpillError> {
         let mut keys = std::mem::take(self);
-        read_manifest(m, |rec| keys.add(&rec));
+        let result = read_manifest(m, |rec| keys.add(&rec));
         *self = keys;
+        result
     }
 
     fn compact(&mut self) {
@@ -480,35 +1136,90 @@ impl KeyCollector {
 }
 
 /// One run's streaming read cursor for the k-way merge.
+///
+/// The whole run is **verified before it streams**: `open` makes one
+/// chunked pass over the payload to check the chain checksum (and the
+/// length framing via short-read detection), then rewinds. Records
+/// therefore decode from verified bytes only — corruption can never
+/// reach the columnar encoder, whose intern lookups assume keys seen by
+/// the collection pass.
 struct RunCursor {
-    reader: BufReader<File>,
-    remaining: u64,
-    path: PathBuf,
+    reader: FaultedReader,
+    meta: RunMeta,
+    run: usize,
+    row: u64,
+    manifest_path: PathBuf,
+    shared: Arc<SpillShared>,
 }
 
 impl RunCursor {
-    fn open(path: &Path, start_row: u64, rows: u64) -> Self {
-        let mut file = File::open(path)
-            .unwrap_or_else(|e| panic!("spill open {} failed: {e}", path.display()));
-        file.seek(SeekFrom::Start(start_row * SPILL_ROW_BYTES as u64))
-            .unwrap_or_else(|e| panic!("spill seek {} failed: {e}", path.display()));
-        Self {
-            reader: BufReader::new(file),
-            remaining: rows,
-            path: path.to_path_buf(),
+    fn open(m: &RunManifest, run: usize) -> Result<Self, SpillError> {
+        let meta = m.runs[run];
+        // Op indices restart per cursor; basing them on the run's row
+        // position keeps fault keying distinct across a file's runs.
+        let op_base = meta.offset / SPILL_ROW_BYTES as u64;
+        let mut reader = FaultedReader::open(&m.path, meta.offset, op_base, Arc::clone(&m.shared))?;
+        reader.read_header(run, &meta)?;
+
+        // Verification pass: fold the chain checksum over the payload in
+        // row-sized steps (bounded buffer, no run is buffered wholesale).
+        let mut checksum = CHECKSUM_SEED;
+        let mut buf = [0u8; SPILL_ROW_BYTES];
+        for row in 0..meta.rows {
+            let row_offset = meta.offset + RUN_HEADER_BYTES as u64 + row * SPILL_ROW_BYTES as u64;
+            reader.read_exact_op(&mut buf, run, row_offset)?;
+            checksum = stable_hash64(checksum, &buf);
         }
+        if checksum != meta.checksum {
+            m.shared.checksum_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(SpillError::Corrupt {
+                path: m.path.clone(),
+                run,
+                offset: meta.offset,
+                reason: format!(
+                    "run checksum mismatch: computed {checksum:#018x}, expected {:#018x}",
+                    meta.checksum
+                ),
+            });
+        }
+        m.shared
+            .bytes_verified
+            .fetch_add(meta.rows * SPILL_ROW_BYTES as u64, Ordering::Relaxed);
+
+        // Rewind to the payload start for the streaming pass.
+        let reader = FaultedReader::open(
+            &m.path,
+            meta.offset + RUN_HEADER_BYTES as u64,
+            op_base,
+            Arc::clone(&m.shared),
+        )?;
+        Ok(Self {
+            reader,
+            meta,
+            run,
+            row: 0,
+            manifest_path: m.path.clone(),
+            shared: Arc::clone(&m.shared),
+        })
     }
 
-    fn next(&mut self) -> Option<RequestRecord> {
-        if self.remaining == 0 {
-            return None;
+    fn next(&mut self) -> Result<Option<RequestRecord>, SpillError> {
+        if self.row >= self.meta.rows {
+            return Ok(None);
         }
-        self.remaining -= 1;
+        let row_offset =
+            self.meta.offset + RUN_HEADER_BYTES as u64 + self.row * SPILL_ROW_BYTES as u64;
+        self.row += 1;
         let mut buf = [0u8; SPILL_ROW_BYTES];
-        self.reader
-            .read_exact(&mut buf)
-            .unwrap_or_else(|e| panic!("spill read {} failed: {e}", self.path.display()));
-        Some(decode_row(&buf))
+        self.reader.read_exact_op(&mut buf, self.run, row_offset)?;
+        decode_row_at(
+            &buf,
+            &self.shared,
+            &self.manifest_path,
+            self.run,
+            row_offset,
+        )
+        .map(Some)
     }
 }
 
@@ -519,18 +1230,21 @@ impl RunCursor {
 /// exactly the stable tie-break of the in-memory pipeline's sort over the
 /// plan-order concatenation — so the output columns are byte-identical to
 /// the in-memory path. One cursor (file handle + small read buffer) is
-/// open per run; no run is ever re-buffered wholesale.
-pub fn merge_manifests(manifests: &[RunManifest], tables: &Arc<EntityTables>) -> ColumnStore {
+/// open per run; no run is ever re-buffered wholesale. Every run's
+/// framing and checksum are verified as it streams; corruption surfaces
+/// as a typed error, never as silently wrong figures.
+pub fn merge_manifests(
+    manifests: &[RunManifest],
+    tables: &Arc<EntityTables>,
+) -> Result<ColumnStore, SpillError> {
     let mut cursors: Vec<RunCursor> = Vec::new();
     let mut total_rows: usize = 0;
     for m in manifests {
-        let mut start = 0u64;
-        for &rows in &m.runs {
-            if rows > 0 {
-                cursors.push(RunCursor::open(&m.path, start, rows));
-                total_rows += rows as usize;
+        for run in 0..m.runs.len() {
+            if m.runs[run].rows > 0 {
+                cursors.push(RunCursor::open(m, run)?);
+                total_rows += m.runs[run].rows as usize;
             }
-            start += rows;
         }
     }
     let mut cols = ColumnStore::default();
@@ -541,30 +1255,42 @@ pub fn merge_manifests(manifests: &[RunManifest], tables: &Arc<EntityTables>) ->
     cols.country.reserve_exact(total_rows);
 
     // Min-heap keyed (timestamp, run index); `current[i]` holds cursor
-    // `i`'s front record.
-    let mut current: Vec<RequestRecord> = Vec::with_capacity(cursors.len());
+    // `i`'s front record. Runs are non-empty by construction, so every
+    // cursor's first read yields; `Option` keeps that fact out of the
+    // unsafe-free invariant instead of asserting it.
+    let mut current: Vec<Option<RequestRecord>> = Vec::with_capacity(cursors.len());
     let mut heap: BinaryHeap<std::cmp::Reverse<(u32, usize)>> =
         BinaryHeap::with_capacity(cursors.len());
     for (i, c) in cursors.iter_mut().enumerate() {
-        let r = c.next().expect("runs are non-empty by construction");
-        heap.push(std::cmp::Reverse((r.ts.secs(), i)));
-        current.push(r);
+        let front = c.next()?;
+        if let Some(r) = &front {
+            heap.push(std::cmp::Reverse((r.ts.secs(), i)));
+        }
+        current.push(front);
     }
     while let Some(std::cmp::Reverse((_, i))) = heap.pop() {
-        cols.push_encoded(&current[i], tables);
-        if let Some(r) = cursors[i].next() {
+        if let Some(r) = current[i].take() {
+            cols.push_encoded(&r, tables);
+        }
+        if let Some(r) = cursors[i].next()? {
             heap.push(std::cmp::Reverse((r.ts.secs(), i)));
-            current[i] = r;
+            current[i] = Some(r);
         }
     }
     debug_assert_eq!(cols.len(), total_rows);
-    cols
+    Ok(cols)
 }
 
 /// Convenience: merges one family's manifests straight into a
 /// [`FrozenStore`] over shared tables.
-pub fn merge_into_frozen(manifests: &[RunManifest], tables: &Arc<EntityTables>) -> FrozenStore {
-    FrozenStore::from_sorted_parts(merge_manifests(manifests, tables), Arc::clone(tables))
+pub fn merge_into_frozen(
+    manifests: &[RunManifest],
+    tables: &Arc<EntityTables>,
+) -> Result<FrozenStore, SpillError> {
+    Ok(FrozenStore::from_sorted_parts(
+        merge_manifests(manifests, tables)?,
+        Arc::clone(tables),
+    ))
 }
 
 #[cfg(test)]
@@ -592,17 +1318,104 @@ mod tests {
             rec(1, 12, "255.255.255.255"),
         ] {
             encode_row(&r, &mut buf);
-            assert_eq!(decode_row(&buf), r);
+            assert_eq!(decode_row(&buf), Ok(r));
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown family tag")]
-    fn corrupt_tag_panics() {
+    fn corrupt_tag_is_a_typed_error_not_a_panic() {
         let mut buf = [0u8; SPILL_ROW_BYTES];
         encode_row(&rec(1, 0, "10.0.0.1"), &mut buf);
         buf[12] = 9;
-        let _ = decode_row(&buf);
+        assert_eq!(decode_row(&buf), Err(9));
+    }
+
+    /// An on-disk bad tag reports path + run index + byte offset through
+    /// the typed error (the old code aborted with no location).
+    #[test]
+    fn corrupt_tag_on_disk_reports_path_run_and_offset() {
+        let session = SpillSession::create(None).unwrap();
+        let mut w = session.writer(0, 0, "request", 2);
+        for r in [
+            rec(1, 0, "10.0.0.1"),
+            rec(2, 1, "10.0.0.2"),
+            rec(3, 2, "10.0.0.3"),
+        ] {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let m = w.into_manifest();
+        // Flip the second run's first row tag (run 1 starts after the
+        // first 2-row frame).
+        let run1_offset = (RUN_HEADER_BYTES + 2 * SPILL_ROW_BYTES) as u64;
+        let tag_offset = run1_offset + RUN_HEADER_BYTES as u64 + 12;
+        let mut bytes = std::fs::read(&m.path).unwrap();
+        bytes[tag_offset as usize] = 9;
+        std::fs::write(&m.path, &bytes).unwrap();
+
+        let err = read_manifest(&m, |_| {}).unwrap_err();
+        match err {
+            SpillError::Corrupt {
+                path,
+                run,
+                offset,
+                reason,
+            } => {
+                assert_eq!(path, m.path);
+                assert_eq!(run, 1);
+                assert_eq!(offset, tag_offset);
+                assert!(reason.contains("unknown family tag 9"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert_eq!(session.stats().checksum_failures, 1);
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_run_checksum() {
+        let session = SpillSession::create(None).unwrap();
+        let mut w = session.writer(0, 0, "request", 64);
+        for i in 0..10u64 {
+            w.push(rec(i, i as u32, "2001:db8::1")).unwrap();
+        }
+        w.finish().unwrap();
+        let m = w.into_manifest();
+        let mut bytes = std::fs::read(&m.path).unwrap();
+        // Flip a non-tag payload byte: the chain checksum must catch it.
+        let target = RUN_HEADER_BYTES + 3 * SPILL_ROW_BYTES + 5;
+        bytes[target] ^= 0xFF;
+        std::fs::write(&m.path, &bytes).unwrap();
+
+        let err = read_manifest(&m, |_| {}).unwrap_err();
+        assert!(
+            matches!(err, SpillError::Corrupt { run: 0, ref reason, .. }
+                if reason.contains("checksum mismatch")),
+            "{err:?}"
+        );
+        // The merge path detects it too.
+        let tables = Arc::new(EntityTables::default());
+        let err = merge_manifests(std::slice::from_ref(&m), &tables).unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_file_is_reported_as_torn_write() {
+        let session = SpillSession::create(None).unwrap();
+        let mut w = session.writer(0, 0, "request", 64);
+        for i in 0..8u64 {
+            w.push(rec(i, i as u32, "10.0.0.1")).unwrap();
+        }
+        w.finish().unwrap();
+        let m = w.into_manifest();
+        let bytes = std::fs::read(&m.path).unwrap();
+        std::fs::write(&m.path, &bytes[..bytes.len() - 10]).unwrap();
+
+        let err = read_manifest(&m, |_| {}).unwrap_err();
+        assert!(
+            matches!(err, SpillError::Corrupt { ref reason, .. }
+                if reason.contains("torn write")),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -623,9 +1436,9 @@ mod tests {
         for (shard, records) in [(0usize, &shard_a), (1usize, &shard_b)] {
             let mut w = session.writer(shard, 0, "request", 3);
             for &r in records {
-                w.push(r);
+                w.push(r).unwrap();
             }
-            w.finish();
+            w.finish().unwrap();
             manifests.push(w.into_manifest());
         }
         assert_eq!(manifests[0].run_count(), 2);
@@ -640,10 +1453,10 @@ mod tests {
 
         let mut keys = KeyCollector::new();
         for m in &manifests {
-            keys.add_manifest(m);
+            keys.add_manifest(m).unwrap();
         }
         let tables = Arc::new(keys.into_tables());
-        let frozen = merge_into_frozen(&manifests, &tables);
+        let frozen = merge_into_frozen(&manifests, &tables).unwrap();
         assert_eq!(
             frozen.all().records().collect::<Vec<_>>(),
             reference.all(),
@@ -651,6 +1464,164 @@ mod tests {
         );
         // Spill-built columns are exactly sized (the bytes() contract).
         assert_eq!(frozen.bytes(), frozen.len() * 18);
+        // Both verified read passes counted their payload bytes.
+        assert_eq!(
+            session.stats().bytes_verified,
+            2 * 7 * SPILL_ROW_BYTES as u64
+        );
+        assert_eq!(session.stats().checksum_failures, 0);
+    }
+
+    /// Empty manifests (zero-record shards) pass cleanly through the
+    /// k-way merge next to populated ones — the empty-segment edge.
+    #[test]
+    fn empty_manifests_merge_with_populated_ones() {
+        let session = SpillSession::create(None).unwrap();
+        let mut empty_a = session.writer(0, 0, "abuse", 4);
+        empty_a.finish().unwrap();
+        let empty_a = empty_a.into_manifest();
+        let mut populated = session.writer(1, 0, "abuse", 2);
+        let records = [rec(1, 5, "10.0.0.1"), rec(2, 3, "2001:db8::1")];
+        for &r in &records {
+            populated.push(r).unwrap();
+        }
+        populated.finish().unwrap();
+        let populated = populated.into_manifest();
+        let mut empty_b = session.writer(2, 0, "abuse", 4);
+        empty_b.finish().unwrap();
+        let empty_b = empty_b.into_manifest();
+
+        let mut keys = KeyCollector::new();
+        for m in [&empty_a, &populated, &empty_b] {
+            keys.add_manifest(m).unwrap();
+        }
+        let tables = Arc::new(keys.into_tables());
+        let all = [empty_a, populated.clone(), empty_b];
+        let merged = merge_into_frozen(&all, &tables).unwrap();
+        let alone = merge_into_frozen(std::slice::from_ref(&populated), &tables).unwrap();
+        assert_eq!(
+            merged.all().records().collect::<Vec<_>>(),
+            alone.all().records().collect::<Vec<_>>(),
+            "empty manifests must not perturb the merge"
+        );
+        assert_eq!(merged.len(), 2);
+
+        // All-empty merges are an empty store.
+        let tables = Arc::new(EntityTables::default());
+        assert!(merge_manifests(&[], &tables).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_write_faults_retry_to_identical_bytes() {
+        let records: Vec<RequestRecord> = (0..50)
+            .map(|i| rec(i, (i % 7) as u32, "2001:db8::1"))
+            .collect();
+        let write = |policy: SpillPolicy| {
+            let session = SpillSession::create_with(None, policy).unwrap();
+            let mut w = session.writer(4, 1, "request", 8);
+            for &r in &records {
+                w.push(r).unwrap();
+            }
+            w.finish().unwrap();
+            let m = w.into_manifest();
+            let bytes = std::fs::read(&m.path).unwrap();
+            (bytes, session.stats())
+        };
+        let (clean, clean_stats) = write(SpillPolicy::default());
+        assert_eq!(clean_stats.io_retries, 0);
+        let (faulted, faulted_stats) = write(SpillPolicy {
+            faults: Some(SpillFaultPlan {
+                seed: 99,
+                write_fail_rate: 0.9,
+                short_write_rate: 0.5,
+                fail_attempts: 1,
+                ..SpillFaultPlan::default()
+            }),
+            ..SpillPolicy::default()
+        });
+        assert!(faulted_stats.io_retries > 0, "faults must have fired");
+        assert_eq!(clean, faulted, "retried writes must be byte-identical");
+    }
+
+    #[test]
+    fn injected_read_faults_retry_transparently() {
+        let policy = SpillPolicy {
+            faults: Some(SpillFaultPlan {
+                seed: 7,
+                read_fail_rate: 0.6,
+                fail_attempts: 1,
+                ..SpillFaultPlan::default()
+            }),
+            ..SpillPolicy::default()
+        };
+        let session = SpillSession::create_with(None, policy).unwrap();
+        let mut w = session.writer(0, 0, "request", 4);
+        let records: Vec<RequestRecord> = (0..20).map(|i| rec(i, i as u32, "10.0.0.1")).collect();
+        for &r in &records {
+            w.push(r).unwrap();
+        }
+        w.finish().unwrap();
+        let m = w.into_manifest();
+        let mut seen = Vec::new();
+        read_manifest(&m, |r| seen.push(r)).unwrap();
+        assert_eq!(seen.len(), records.len());
+        assert!(
+            session.stats().io_retries > 0,
+            "read faults must have fired"
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_a_typed_io_error() {
+        let policy = SpillPolicy {
+            max_io_retries: 1,
+            faults: Some(SpillFaultPlan {
+                seed: 3,
+                write_fail_rate: 1.0,
+                fail_attempts: u32::MAX, // never recovers
+                ..SpillFaultPlan::default()
+            }),
+            ..SpillPolicy::default()
+        };
+        let session = SpillSession::create_with(None, policy).unwrap();
+        let mut w = session.writer(0, 0, "request", 2);
+        w.push(rec(1, 0, "10.0.0.1")).unwrap();
+        let err = w.push(rec(2, 1, "10.0.0.1")).unwrap_err();
+        assert!(
+            matches!(err, SpillError::Io { op: IoOp::Write, kind, .. }
+                if kind == std::io::ErrorKind::Interrupted),
+            "{err:?}"
+        );
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn disk_budget_is_enforced_and_released_by_remove_attempt() {
+        let frame = (RUN_HEADER_BYTES + 2 * SPILL_ROW_BYTES) as u64;
+        let policy = SpillPolicy {
+            disk_budget_bytes: Some(frame), // exactly one 2-row frame
+            ..SpillPolicy::default()
+        };
+        let session = SpillSession::create_with(None, policy).unwrap();
+        let mut w = session.writer(0, 0, "request", 2);
+        w.push(rec(1, 0, "10.0.0.1")).unwrap();
+        w.push(rec(2, 1, "10.0.0.1")).unwrap(); // first frame fits
+        assert_eq!(session.stats().bytes_written, frame);
+        w.push(rec(3, 2, "10.0.0.1")).unwrap();
+        let err = w.push(rec(4, 3, "10.0.0.1")).unwrap_err();
+        assert!(
+            matches!(err, SpillError::Budget { budget_bytes, attempted_bytes }
+                if budget_bytes == frame && attempted_bytes == 2 * frame),
+            "{err:?}"
+        );
+        assert!(!err.is_retryable(), "budget overruns are not transient");
+        drop(w);
+        session.remove_attempt(0, 0);
+        assert_eq!(
+            session.stats().bytes_written,
+            0,
+            "removed files release their budget"
+        );
     }
 
     #[test]
@@ -687,12 +1658,12 @@ mod tests {
             let session = SpillSession::create(Some(&parent)).unwrap();
             dir = session.dir().to_path_buf();
             let mut a0 = session.writer(3, 0, "pair", 2);
-            a0.push(rec(1, 0, "10.0.0.1"));
-            a0.finish();
+            a0.push(rec(1, 0, "10.0.0.1")).unwrap();
+            a0.finish().unwrap();
             let _ = a0.into_manifest();
             let mut a1 = session.writer(3, 1, "pair", 2);
-            a1.push(rec(1, 0, "10.0.0.1"));
-            a1.finish();
+            a1.push(rec(1, 0, "10.0.0.1")).unwrap();
+            a1.finish().unwrap();
             let _ = a1.into_manifest();
             assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
             session.remove_attempt(3, 0);
@@ -711,13 +1682,13 @@ mod tests {
     fn empty_family_writes_no_file() {
         let session = SpillSession::create(None).unwrap();
         let mut w = session.writer(0, 0, "abuse", 64);
-        w.finish();
+        w.finish().unwrap();
         let m = w.into_manifest();
         assert_eq!(m.rows(), 0);
         assert_eq!(std::fs::read_dir(session.dir()).unwrap().count(), 0);
         // Merging nothing is an empty store.
         let tables = Arc::new(EntityTables::default());
-        assert!(merge_manifests(&[m], &tables).is_empty());
+        assert!(merge_manifests(&[m], &tables).unwrap().is_empty());
     }
 
     #[test]

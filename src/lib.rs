@@ -29,9 +29,9 @@
 #![warn(missing_docs)]
 
 pub use ipv6_study_core::{
-    experiments, paper, report, ConfigError, FailurePolicy, FaultInjector, FaultReport, RunMetrics,
-    RunReport, SamplingPlan, ShardMetrics, StorageMode, Study, StudyBuilder, StudyConfig,
-    StudyError, StudyOutcome, DEFAULT_SEGMENT_ROWS,
+    experiments, paper, report, ConfigError, FailurePolicy, FaultInjector, FaultKind, FaultReport,
+    IoFaultSpec, RunMetrics, RunReport, SamplingPlan, ShardFailure, ShardMetrics, SpillError,
+    StorageMode, Study, StudyBuilder, StudyConfig, StudyError, StudyOutcome, DEFAULT_SEGMENT_ROWS,
 };
 
 /// Statistical substrate: ECDFs, ROC curves, hashing, extrapolation.

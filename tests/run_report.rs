@@ -79,10 +79,17 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.faults.retries_total",
     "$.faults.dropped_shards",
     "$.faults.records_lost",
+    "$.faults.io_retries",
+    "$.faults.checksum_failures",
+    "$.sim.spill_bytes_verified",
+    "$.config.disk_budget_bytes",
     "$.metrics.counters.sim.shard_failures",
     "$.metrics.counters.sim.shard_retries_total",
     "$.metrics.counters.sim.shards_dropped",
     "$.metrics.counters.sim.records_lost",
+    "$.metrics.counters.sim.io_retries",
+    "$.metrics.counters.sim.checksum_failures",
+    "$.metrics.gauges.sim.spill_bytes_verified",
 ];
 
 /// The per-shard fault fields, present whenever a shard failed (pinned by
@@ -94,6 +101,7 @@ const FAULT_SHARD_PATHS: &[&str] = &[
     "$.faults.failed_shards[].retries",
     "$.faults.failed_shards[].dropped",
     "$.faults.failed_shards[].records_lost",
+    "$.faults.failed_shards[].kind",
     "$.faults.failed_shards[].panic_msg",
     "$.metrics.value_histograms.sim.shard_retries.count",
 ];
