@@ -42,6 +42,7 @@ use std::sync::Arc;
 
 use ipv6_study_telemetry::columns::{ColumnSlice, ColumnStore};
 use ipv6_study_telemetry::intern::{EntityTables, IpId};
+use ipv6_study_telemetry::kernels::radix_sort_perm_u32;
 use ipv6_study_telemetry::{OwnedColumns, RequestRecord, UserId};
 
 /// How a [`DatasetIndex`] groups records — functionally identical paths.
@@ -68,7 +69,10 @@ pub struct DatasetIndex {
     ip_starts: Vec<usize>,
 }
 
-/// Computes the permutation that stable-sorts a key column ascending.
+/// Computes the permutation that stable-sorts a key column ascending —
+/// kept as the comparison-sort reference the radix path is tested
+/// against (see `sorted_radix_and_naive_perms_agree`).
+#[cfg(test)]
 fn sort_perm<K: Ord>(n: usize, key_at: impl Fn(usize) -> K) -> Vec<u32> {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     perm.sort_by_key(|&i| key_at(i as usize));
@@ -145,7 +149,11 @@ impl DatasetIndex {
         let user_col = cols.users_dense();
         let ip_col = cols.ip_ids();
         let (user_perm, ip_perm) = match mode {
-            IndexMode::Sorted => (sort_perm(n, |i| user_col[i]), sort_perm(n, |i| ip_col[i])),
+            // Stable LSB radix over the packed u32 keys: identical
+            // permutation to the old `perm.sort_by_key(|&i| col[i])`
+            // (stability pinned by `sorted_radix_and_naive_perms_agree`),
+            // at counting-sort cost.
+            IndexMode::Sorted => (radix_sort_perm_u32(user_col), radix_sort_perm_u32(ip_col)),
             IndexMode::Naive => (naive_perm(n, |i| user_col[i]), naive_perm(n, |i| ip_col[i])),
         };
         let tables = cols.tables_arc();
@@ -320,6 +328,58 @@ mod tests {
         assert_eq!(a.by_ip, b.by_ip);
         assert_eq!(a.ips, b.ips);
         assert_eq!(a.ip_starts, b.ip_starts);
+    }
+
+    /// Satellite: the three grouping paths — radix permutation (the
+    /// production `Sorted` mode), the old comparison-sort permutation,
+    /// and naive hash-grouping — must be byte-identical on seeded inputs
+    /// with heavy key duplication (which is what makes this a stability
+    /// check: within a duplicate run, all three must preserve input
+    /// order), and on empty / single-row windows.
+    #[test]
+    fn sorted_radix_and_naive_perms_agree() {
+        use ipv6_study_stats::testgen::TestGen;
+        let mut g = TestGen::new(0x5241_4458); // "RADX"
+        for n in [0usize, 1, 2, 63, 64, 65, 1000] {
+            // Few distinct entities => long duplicate runs.
+            let recs: Vec<RequestRecord> = g.vec_of(n, |g| {
+                let v6 = g.below(2) == 1;
+                let host = g.below(8);
+                let ip = if v6 {
+                    format!("2001:db8::{host:x}")
+                } else {
+                    format!("10.0.0.{host}")
+                };
+                rec(g.below(6), (g.below(24)) as u8, (g.below(60)) as u8, &ip)
+            });
+            let owned = OwnedColumns::from_records(&recs);
+            let cols = owned.as_slice();
+
+            // Permutation level: radix == stable comparison sort.
+            let user_col = cols.users_dense();
+            let ip_col = cols.ip_ids();
+            assert_eq!(
+                radix_sort_perm_u32(user_col),
+                sort_perm(n, |i| user_col[i]),
+                "user perm, n={n}"
+            );
+            assert_eq!(
+                radix_sort_perm_u32(ip_col),
+                sort_perm(n, |i| ip_col[i]),
+                "ip perm, n={n}"
+            );
+
+            // Index level: Sorted (radix) == Naive (hash-group).
+            let a = DatasetIndex::with_mode(cols, IndexMode::Sorted);
+            let b = DatasetIndex::with_mode(cols, IndexMode::Naive);
+            assert_eq!(a.by_user, b.by_user, "by_user columns, n={n}");
+            assert_eq!(a.users, b.users);
+            assert_eq!(a.user_starts, b.user_starts);
+            assert_eq!(a.by_ip, b.by_ip, "by_ip columns, n={n}");
+            assert_eq!(a.ips, b.ips);
+            assert_eq!(a.ip_ids, b.ip_ids);
+            assert_eq!(a.ip_starts, b.ip_starts);
+        }
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Kernel-level microbenchmarks: times the `telemetry::kernels`
+//! primitives (masks, gather, radix sorts) and the `RecordView` cursor
+//! on synthetic columns, and writes a small JSON blob so future PRs can
+//! track kernel-level drift separately from whole-run walls.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ipv6-study-bench --bin bench_kernels -- \
+//!     [--rows N] [--iters N] [--out PATH]
+//! ```
+//!
+//! Defaults: 1M rows, best-of-5 timing, `BENCH_kernels.json`. Each
+//! kernel is timed against its pre-kernel counterpart where one exists
+//! (comparison sorts for the radix paths, the index-per-row cursor for
+//! `RecordView`), so the blob records the speedup the hot paths run on,
+//! not just an absolute number that only this machine can interpret.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ipv6_study_bench::cli::usage_exit;
+use ipv6_study_obs::Json;
+use ipv6_study_stats::testgen::TestGen;
+use ipv6_study_telemetry::columns::ColumnStore;
+use ipv6_study_telemetry::intern::{EntityTables, IpId, IpTable, UserTable};
+use ipv6_study_telemetry::kernels::{
+    mask_eq_u32, mask_ts_window, radix_sort_perm_u32, radix_sort_u64, scratch_stats,
+};
+use ipv6_study_telemetry::time::Timestamp;
+use ipv6_study_telemetry::{Asn, Country};
+
+const USAGE: &str = "usage: bench_kernels [--rows N] [--iters N] [--out PATH]";
+
+/// Best-of-`iters` wall clock of `f`, with the result kept alive so the
+/// optimizer cannot elide the work.
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("at least one iteration"))
+}
+
+/// One benchmark row: kernel wall, baseline wall (0.0 when there is no
+/// pre-kernel counterpart), and throughput over `rows`.
+fn entry(rows: usize, kernel_secs: f64, baseline_secs: f64) -> Json {
+    let rate = if kernel_secs > 0.0 {
+        rows as f64 / kernel_secs
+    } else {
+        0.0
+    };
+    let speedup = if kernel_secs > 0.0 && baseline_secs > 0.0 {
+        baseline_secs / kernel_secs
+    } else {
+        0.0
+    };
+    Json::obj()
+        .with("secs", Json::num(kernel_secs))
+        .with("baseline_secs", Json::num(baseline_secs))
+        .with("rows_per_sec", Json::num(rate))
+        .with("speedup", Json::num(speedup))
+}
+
+fn main() {
+    let mut rows: usize = 1_000_000;
+    let mut iters: usize = 5;
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut args = std::env::args().skip(1);
+    let parse_n = |v: &str| -> usize {
+        v.parse()
+            .unwrap_or_else(|_| usage_exit(USAGE, &format!("bad count `{v}`")))
+    };
+    while let Some(arg) = args.next() {
+        if arg == "--rows" {
+            let Some(v) = args.next() else {
+                usage_exit(USAGE, "--rows needs a value")
+            };
+            rows = parse_n(&v);
+        } else if let Some(v) = arg.strip_prefix("--rows=") {
+            rows = parse_n(v);
+        } else if arg == "--iters" {
+            let Some(v) = args.next() else {
+                usage_exit(USAGE, "--iters needs a value")
+            };
+            iters = parse_n(&v);
+        } else if let Some(v) = arg.strip_prefix("--iters=") {
+            iters = parse_n(v);
+        } else if arg == "--out" {
+            let Some(v) = args.next() else {
+                usage_exit(USAGE, "--out needs a value")
+            };
+            out_path = v;
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else {
+            usage_exit(USAGE, &format!("unexpected argument `{arg}`"));
+        }
+    }
+
+    // Synthetic columns: `rows` encoded rows over small real intern
+    // tables (so the RecordView cursor exercises genuine dense-id
+    // lookups), duplicate-heavy keys, timestamps spanning ~6 days.
+    const USERS: u64 = 50_000;
+    const V4: usize = 10_000;
+    const V6: usize = 40_000;
+    const ASNS: u64 = 200;
+    let tables = Arc::new(EntityTables {
+        ips: IpTable::from_keys(
+            (0..V4 as u32).map(|i| 0x0a00_0000 + i).collect(),
+            (0..V6 as u128)
+                .map(|i| (0x2001_0db8u128 << 96) + i)
+                .collect(),
+        ),
+        users: UserTable::from_keys((0..USERS).collect()),
+    });
+    let mut g = TestGen::new(0x4b45_524e); // "KERN"
+    let mut cols = ColumnStore::default();
+    cols.reserve(rows);
+    for _ in 0..rows {
+        cols.ts.push(Timestamp::from_secs(g.below(500_000) as u32));
+        let v6 = g.below(5) != 0; // ~80% v6, like the study's samples
+        cols.ip.push(if v6 {
+            IpId::new(true, g.below(V6 as u64) as usize)
+        } else {
+            IpId::new(false, g.below(V4 as u64) as usize)
+        });
+        cols.user.push(g.below(USERS) as u32);
+        cols.asn.push(Asn(64_000 + g.below(ASNS) as u32));
+        cols.country.push(Country::new("US"));
+    }
+    let slice = cols.slice(0..rows, &tables);
+
+    // -- mask builders ----------------------------------------------------
+    let (lo, hi) = (Timestamp::from_secs(100_000), Timestamp::from_secs(300_000));
+    let (mask_ts_secs, ts_mask) = time_best(iters, || mask_ts_window(slice.ts(), lo, hi));
+    let probe_asn = 64_007u32;
+    let (mask_eq_secs, asn_mask) = time_best(iters, || mask_eq_u32(slice.asns(), probe_asn));
+    let (and_secs, selected) = time_best(iters, || {
+        let mut m = ts_mask.clone();
+        m.and(&asn_mask);
+        m.count()
+    });
+
+    // -- gather vs the old filtered re-encode -----------------------------
+    let mut kind_mask = ts_mask.clone();
+    kind_mask.and(&asn_mask);
+    let (gather_secs, gathered) = time_best(iters, || slice.gather(&kind_mask).len());
+    let (reencode_secs, reencoded) = time_best(iters, || {
+        let keep = |r: &ipv6_study_telemetry::RequestRecord| {
+            r.asn.0 == probe_asn && r.ts >= lo && r.ts <= hi
+        };
+        ipv6_study_telemetry::OwnedColumns::encode_with(
+            Arc::clone(&tables),
+            slice.records().filter(keep),
+        )
+        .len()
+    });
+    assert_eq!(gathered, reencoded, "gather == filtered re-encode");
+    assert_eq!(gathered, selected, "gather count == mask popcount");
+
+    // -- RecordView cursor vs per-row indexed materialization -------------
+    let (cursor_secs, cursor_sum) = time_best(iters, || {
+        slice
+            .records()
+            .fold(0u64, |acc, r| acc.wrapping_add(u64::from(r.asn.0)))
+    });
+    let (indexed_secs, indexed_sum) = time_best(iters, || {
+        (0..slice.len()).fold(0u64, |acc, i| {
+            acc.wrapping_add(u64::from(slice.record(i).asn.0))
+        })
+    });
+    assert_eq!(cursor_sum, indexed_sum, "cursor == indexed materialization");
+
+    // -- radix sorts vs comparison sorts ----------------------------------
+    let (radix_perm_secs, radix_perm) =
+        time_best(iters, || radix_sort_perm_u32(slice.users_dense()));
+    let (cmp_perm_secs, cmp_perm) = time_best(iters, || {
+        let mut perm: Vec<u32> = (0..rows as u32).collect();
+        perm.sort_by_key(|&i| slice.users_dense()[i as usize]);
+        perm
+    });
+    assert_eq!(radix_perm, cmp_perm, "radix perm == stable comparison perm");
+
+    // Bounded like the sim's raw user-id space, so the uniform-byte
+    // pass-skip in `radix_sort_u64` is exercised the way
+    // `RequestStore::distinct_users` exercises it.
+    let keys64: Vec<u64> = {
+        let mut g = TestGen::new(7);
+        g.vec_of(rows, |g| g.below(1 << 20))
+    };
+    let (radix64_secs, radix_sorted) = time_best(iters, || {
+        let mut v = keys64.clone();
+        radix_sort_u64(&mut v);
+        v
+    });
+    let (cmp64_secs, cmp_sorted) = time_best(iters, || {
+        let mut v = keys64.clone();
+        v.sort_unstable();
+        v
+    });
+    assert_eq!(radix_sorted, cmp_sorted, "radix u64 == sort_unstable");
+
+    let (leases, reuses, retained) = scratch_stats();
+    let doc = Json::obj()
+        .with("schema_version", Json::UInt(1))
+        .with("rows", Json::UInt(rows as u64))
+        .with("iters", Json::UInt(iters as u64))
+        .with(
+            "kernels",
+            Json::obj()
+                .with("mask_ts_window", entry(rows, mask_ts_secs, 0.0))
+                .with("mask_eq_u32", entry(rows, mask_eq_secs, 0.0))
+                .with("mask_and_count", entry(rows, and_secs, 0.0))
+                .with("gather", entry(rows, gather_secs, reencode_secs))
+                .with("record_view_cursor", entry(rows, cursor_secs, indexed_secs))
+                .with(
+                    "radix_perm_u32",
+                    entry(rows, radix_perm_secs, cmp_perm_secs),
+                )
+                .with("radix_sort_u64", entry(rows, radix64_secs, cmp64_secs)),
+        )
+        .with(
+            "scratch",
+            Json::obj()
+                .with("leases", Json::UInt(leases))
+                .with("reuses", Json::UInt(reuses))
+                .with("retained_bytes", Json::UInt(retained as u64)),
+        );
+
+    eprintln!("kernel microbench over {rows} rows (best of {iters}):");
+    for (name, secs, base) in [
+        ("mask_ts_window", mask_ts_secs, 0.0),
+        ("mask_eq_u32", mask_eq_secs, 0.0),
+        ("mask_and_count", and_secs, 0.0),
+        ("gather", gather_secs, reencode_secs),
+        ("record_view_cursor", cursor_secs, indexed_secs),
+        ("radix_perm_u32", radix_perm_secs, cmp_perm_secs),
+        ("radix_sort_u64", radix64_secs, cmp64_secs),
+    ] {
+        let rate = rows as f64 / secs.max(1e-12) / 1e6;
+        if base > 0.0 {
+            eprintln!(
+                "  {name:20} {secs:>10.6}s  {rate:>8.1} Mrows/s  ({:.2}x vs baseline)",
+                base / secs
+            );
+        } else {
+            eprintln!("  {name:20} {secs:>10.6}s  {rate:>8.1} Mrows/s");
+        }
+    }
+    eprintln!("  scratch arena: {leases} leases, {reuses} reuses, {retained} bytes retained");
+
+    match std::fs::write(&out_path, doc.render_pretty()) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

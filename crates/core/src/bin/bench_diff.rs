@@ -25,6 +25,16 @@
 //! documents carry it. `sim.spill_bytes_verified` (schema v5) is diffed
 //! informationally — printed when both documents carry it, skipped with
 //! a notice against pre-v5 baselines, never a failure.
+//!
+//! Schema v6 adds **absolute throughput targets**, gated on the current
+//! document alone (no baseline comparison, hence no noise floor — the
+//! floor itself encodes the noise margin, see `.github/workflows/ci.yml`):
+//! `--min-records-per-sec N` fails when `analysis.records_per_sec`
+//! (records scanned per second of engine total wall) is below `N`, and
+//! `--max-analysis-total-secs S` fails when `analysis.phases.total`
+//! exceeds `S` seconds. Either flag against a document missing its field
+//! (pre-v6) is a hard failure — a lane that asks for a target must be
+//! able to measure it.
 //! Exit 2 means bad usage or an unreadable document.
 //! Timing comparisons only make sense between runs of the same scale and
 //! machine class; CI diffs a fresh run against the committed baseline.
@@ -39,7 +49,8 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!(
         "usage: bench_diff <baseline.json> <current.json> \
          [--max-regression PCT] [--max-memory-regression PCT] \
-         [--max-peak-regression PCT]"
+         [--max-peak-regression PCT] [--min-records-per-sec N] \
+         [--max-analysis-total-secs S]"
     );
     std::process::exit(2);
 }
@@ -104,6 +115,8 @@ fn main() {
     let mut max_regression_pct = 25.0;
     let mut max_memory_regression_pct: Option<f64> = None;
     let mut max_peak_regression_pct: Option<f64> = None;
+    let mut min_records_per_sec: Option<f64> = None;
+    let mut max_analysis_total_secs: Option<f64> = None;
     let parse_pct = |v: &str| -> f64 {
         v.parse()
             .unwrap_or_else(|_| usage_exit(&format!("bad percentage `{v}`")))
@@ -131,6 +144,20 @@ fn main() {
             max_peak_regression_pct = Some(parse_pct(&v));
         } else if let Some(v) = arg.strip_prefix("--max-peak-regression=") {
             max_peak_regression_pct = Some(parse_pct(v));
+        } else if arg == "--min-records-per-sec" {
+            let Some(v) = args.next() else {
+                usage_exit("--min-records-per-sec needs a value")
+            };
+            min_records_per_sec = Some(parse_pct(&v));
+        } else if let Some(v) = arg.strip_prefix("--min-records-per-sec=") {
+            min_records_per_sec = Some(parse_pct(v));
+        } else if arg == "--max-analysis-total-secs" {
+            let Some(v) = args.next() else {
+                usage_exit("--max-analysis-total-secs needs a value")
+            };
+            max_analysis_total_secs = Some(parse_pct(&v));
+        } else if let Some(v) = arg.strip_prefix("--max-analysis-total-secs=") {
+            max_analysis_total_secs = Some(parse_pct(v));
         } else {
             paths.push(arg);
         }
@@ -294,6 +321,59 @@ fn main() {
                 "peak store bytes: baseline has no usable sim.peak_store_bytes \
                  (pre-v3 schema or uninstrumented); peak gate skipped"
             ),
+        }
+    }
+
+    // Absolute throughput floor (schema v6): gates the current document
+    // alone. Deliberately no noise floor — the target value itself is
+    // chosen with the noise margin built in (the CI lane documents its
+    // policy), so a run below the floor is a real miss, not a blip.
+    if let Some(floor) = min_records_per_sec {
+        match number_at(&current, "analysis.records_per_sec") {
+            Some(rate) => {
+                println!("analysis scan rate: {rate:.0} records/sec (floor {floor:.0})");
+                if rate < floor {
+                    eprintln!(
+                        "FAIL: analysis.records_per_sec {rate:.0} is below \
+                         the {floor:.0} records/sec floor"
+                    );
+                    failed = true;
+                }
+            }
+            None => {
+                eprintln!(
+                    "FAIL: --min-records-per-sec given but {current_path} has no \
+                     analysis.records_per_sec (pre-v6 schema or uninstrumented)"
+                );
+                failed = true;
+            }
+        }
+        if let Some(rate) = number_at(&current, "analysis.index_records_per_sec") {
+            println!("index build rate: {rate:.0} records/sec");
+        }
+    }
+
+    // Absolute wall ceiling (schema v6): the engine's total phase must
+    // finish within the target regardless of what the baseline did.
+    if let Some(ceiling) = max_analysis_total_secs {
+        match number_at(&current, "analysis.phases.total") {
+            Some(total) if total > 0.0 => {
+                println!("analysis total wall: {total:.4}s (ceiling {ceiling:.4}s)");
+                if total > ceiling {
+                    eprintln!(
+                        "FAIL: analysis.phases.total {total:.4}s exceeds \
+                         the {ceiling:.4}s ceiling"
+                    );
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!(
+                    "FAIL: --max-analysis-total-secs given but {current_path} has \
+                     no analysis.phases.total"
+                );
+                failed = true;
+            }
         }
     }
 

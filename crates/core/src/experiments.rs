@@ -45,8 +45,9 @@ use ipv6_study_secapp::ratelimit::recommend_threshold;
 use ipv6_study_secapp::signatures::HeavyAddressPredictor;
 use ipv6_study_secapp::threat_exchange::{half_life, value_decay};
 use ipv6_study_stats::Ecdf;
+use ipv6_study_telemetry::kernels::{mask_from, scratch_reset};
 use ipv6_study_telemetry::time::{focus_day_ip, focus_day_user, focus_week};
-use ipv6_study_telemetry::{ColumnSlice, DateRange, OwnedColumns, RequestRecord, SimDate, UserId};
+use ipv6_study_telemetry::{ColumnSlice, DateRange, SimDate, UserId};
 
 use crate::study::Study;
 
@@ -108,6 +109,19 @@ impl<'a> AnalysisCtx<'a> {
             + self.ip_day.bytes()
             + self.ip_week.bytes()
             + self.abuse_week.bytes()
+    }
+
+    /// Total records across the shared per-window indexes — the input
+    /// cardinality of the engine's index phase, reported as
+    /// `analysis.index_records` so the CI throughput floors can derive
+    /// an index-build rate.
+    fn index_records(&self) -> u64 {
+        (self.user_week.len()
+            + self.user_day.len()
+            + self.user_lookback.len()
+            + self.ip_day.len()
+            + self.ip_week.len()
+            + self.abuse_week.len()) as u64
     }
 }
 
@@ -1090,13 +1104,16 @@ pub fn x81_network_breakdown(ctx: &AnalysisCtx) -> ExperimentOutput {
         ],
     );
     let labels = &study.labels;
-    let tables = day_recs.tables_arc();
     for kind in NetworkKind::ALL {
-        let keep = |r: &RequestRecord| kind_of.get(&r.asn.0) == Some(&kind);
-        // Filtered windows re-encode against the shared tables, so the
-        // per-kind indexes keep the global id space (no re-interning).
+        // Columnar selection: a branchless mask over the ASN column, then
+        // a five-column gather. The gathered windows share the global
+        // intern tables (no row rematerialization, no re-interning) —
+        // this replaced `OwnedColumns::encode_with(tables,
+        // win.records().filter(..))`, the last row-at-a-time filter on
+        // the pass hot path.
         let select = |win: ColumnSlice<'_>| {
-            OwnedColumns::encode_with(tables.clone(), win.records().filter(keep))
+            let mask = mask_from(win.asns(), |asn| kind_of.get(&asn.0) == Some(&kind));
+            win.gather(&mask)
         };
         let (ip_recs, us_recs, hist) = (select(day_recs), select(user_day), select(history));
         let upi = users_per_ip(&ctx.index(ip_recs.as_slice()));
@@ -1348,6 +1365,10 @@ fn run_pool(
                     (out, inputs)
                 });
                 *slots[i].lock().expect("no poisoned pass slot") = Some((out, stat));
+                // Pass boundary: assert the worker's scratch leases are
+                // balanced; pooled kernel buffers stay warm for the next
+                // claimed pass.
+                scratch_reset();
             });
         }
     });
@@ -1402,6 +1423,7 @@ pub fn run_all_with(
     let outs = run_pool(&EXPERIMENTS, &ctx, workers);
     let passes_wall = t_passes.elapsed();
     let index_bytes = ctx.index_bytes();
+    let index_records = ctx.index_records();
     drop(ctx);
 
     // Merge in registry order, so per-figure report entries and registry
@@ -1442,6 +1464,7 @@ pub fn run_all_with(
             .registry
             .set_gauge("analysis.index_bytes", index_bytes as f64);
         study.report.index_bytes = index_bytes as u64;
+        study.report.index_records = index_records;
     }
     results
 }

@@ -22,8 +22,11 @@ use crate::timer::PhaseStat;
 /// (`build_wall_secs`, `read_wall_secs`, `total_wall_secs`, `days`,
 /// `trie_nodes`), the wall `bench_diff` gates. v5 added the storage
 /// fault fields: `faults.io_retries`, `faults.checksum_failures`,
-/// `faults.failed_shards[].kind`, and `sim.spill_bytes_verified`.
-pub const SCHEMA_VERSION: u64 = 5;
+/// `faults.failed_shards[].kind`, and `sim.spill_bytes_verified`. v6
+/// added the analysis-throughput fields the CI throughput floors gate:
+/// `analysis.scanned_records`, `analysis.records_per_sec`,
+/// `analysis.index_records`, and `analysis.index_records_per_sec`.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Throughput over a wall-clock window, `0.0` for an empty window.
 ///
@@ -194,6 +197,11 @@ pub struct RunReport {
     /// Heap bytes of the shared analysis indexes (`analysis.index_bytes`
     /// in the JSON). Zero until the analyses run.
     pub index_bytes: u64,
+    /// Records indexed during the analysis-engine index phase (the sum of
+    /// the shared per-window index cardinalities;
+    /// `analysis.index_records` in the JSON). Zero until the analyses
+    /// run.
+    pub index_records: u64,
     /// Free-form counters/gauges/histograms recorded along the way.
     pub registry: Registry,
 }
@@ -235,6 +243,37 @@ impl RunReport {
     /// Total analysis wall clock across figures.
     pub fn analysis_wall(&self) -> Duration {
         self.figures.iter().map(|f| f.wall).sum()
+    }
+
+    /// Records scanned across every analysis pass (sum of per-figure
+    /// input cardinalities; passes sharing a window each count their own
+    /// scan — this measures scan *work*, not distinct rows).
+    pub fn analysis_scanned_records(&self) -> u64 {
+        self.figures.iter().map(|f| f.input_records).sum()
+    }
+
+    /// Wall clock of one analysis-engine phase by name.
+    fn analysis_phase_wall(&self, name: &str) -> Duration {
+        self.analysis_phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(Duration::ZERO, |p| p.wall)
+    }
+
+    /// Aggregate analysis scan throughput: scanned records over the
+    /// engine's `total` phase wall — the number the 10× CI lane floors
+    /// with `bench_diff --min-records-per-sec` (`0.0` when unmeasured).
+    pub fn analysis_records_per_sec(&self) -> f64 {
+        rate_per_sec(
+            self.analysis_scanned_records(),
+            self.analysis_phase_wall("total"),
+        )
+    }
+
+    /// Index-build throughput: records indexed over the engine's `index`
+    /// phase wall (`0.0` when unmeasured).
+    pub fn index_records_per_sec(&self) -> f64 {
+        rate_per_sec(self.index_records, self.analysis_phase_wall("index"))
     }
 
     /// Serializes the report. Every number is finite by construction —
@@ -357,7 +396,20 @@ impl RunReport {
                         "total_wall_secs",
                         Json::num(self.analysis_wall().as_secs_f64()),
                     )
-                    .with("index_bytes", Json::UInt(self.index_bytes)),
+                    .with("index_bytes", Json::UInt(self.index_bytes))
+                    .with(
+                        "scanned_records",
+                        Json::UInt(self.analysis_scanned_records()),
+                    )
+                    .with(
+                        "records_per_sec",
+                        Json::num(self.analysis_records_per_sec()),
+                    )
+                    .with("index_records", Json::UInt(self.index_records))
+                    .with(
+                        "index_records_per_sec",
+                        Json::num(self.index_records_per_sec()),
+                    ),
             )
             .with("actioning", actioning)
             .with(
@@ -548,6 +600,7 @@ mod tests {
         r.bytes_per_record = 18.0;
         r.peak_store_bytes = 120_000;
         r.index_bytes = 40_000;
+        r.index_records = 2500;
         r.failure_policy = "retry".into();
         r.faults.push(FaultStat {
             shard: 1,
@@ -588,6 +641,14 @@ mod tests {
         assert_eq!(r.phase_wall("nope"), None);
         assert!((r.records_per_sec() - 5000.0 / 0.080).abs() < 1e-6);
         assert_eq!(r.analysis_wall(), Duration::from_millis(7));
+        // v6 throughput fields: scanned records over the engine's total
+        // phase, indexed records over the index phase.
+        assert_eq!(r.analysis_scanned_records(), 1234);
+        assert!((r.analysis_records_per_sec() - 1234.0 / 0.012).abs() < 1e-6);
+        assert!((r.index_records_per_sec() - 2500.0 / 0.003).abs() < 1e-6);
+        let bare = RunReport::new(true);
+        assert_eq!(bare.analysis_records_per_sec(), 0.0, "unmeasured is 0.0");
+        assert_eq!(bare.index_records_per_sec(), 0.0);
     }
 
     #[test]
@@ -611,6 +672,9 @@ mod tests {
             "\"index\"",
             "\"passes\"",
             "\"input_records\"",
+            "\"scanned_records\"",
+            "\"index_records\"",
+            "\"index_records_per_sec\"",
             "\"actioning\"",
             "\"units_scored\"",
             "\"actioning_sweep\"",

@@ -129,7 +129,7 @@ impl IpTable {
     /// key *sets*, which is what makes tables built over spilled streams
     /// bit-identical to tables built over the same records in memory.
     pub fn from_keys(mut v4: Vec<u32>, mut v6: Vec<u128>) -> Self {
-        v4.sort_unstable();
+        crate::kernels::radix_sort_u32(&mut v4);
         v4.dedup();
         v6.sort_unstable();
         v6.dedup();
@@ -306,7 +306,7 @@ impl UserTable {
     /// Builds the table from raw user keys (duplicates and arbitrary
     /// order allowed); depends only on the distinct key set.
     pub fn from_keys(mut raw: Vec<u64>) -> Self {
-        raw.sort_unstable();
+        crate::kernels::radix_sort_u64(&mut raw);
         raw.dedup();
         Self { raw }
     }

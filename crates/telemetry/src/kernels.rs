@@ -1,0 +1,709 @@
+//! Vectorized columnar kernels: branchless selection masks, stable LSB
+//! radix sorts, and reusable scratch arenas.
+//!
+//! The struct-of-arrays layout of [`crate::columns`] is built for
+//! data-parallel scans, but until this module the hot paths still walked
+//! it row-at-a-time through [`RecordView`](crate::columns::RecordView)
+//! reconstruction and ordered it with comparison sorts. The kernels here
+//! are the scan/sort/scratch primitives those paths run on instead:
+//!
+//! - **Selection masks** — [`SelectionMask`] packs one predicate bit per
+//!   row, 64 rows per `u64` word. The builders ([`mask_ts_window`],
+//!   [`mask_eq_u32`], [`mask_from`]) evaluate the predicate branchlessly
+//!   (`pred as u64` arithmetic, no per-row branch) and the combinators
+//!   ([`SelectionMask::and`], [`SelectionMask::or`]) are word-wise bit
+//!   ops. Consumers walk selected rows with a trailing-zeros loop
+//!   ([`SelectionMask::for_each`]) — no row is ever rematerialized just
+//!   to be filtered out.
+//! - **Radix sorts** — [`radix_sort_perm_u32`] computes the permutation
+//!   that stable-sorts a `u32`-keyed column ascending, as a counting
+//!   (LSB-first) radix sort: 4 passes of 8 bits, each pass a stable
+//!   counting redistribution, passes whose byte is constant across the
+//!   column skipped. A stable LSB radix sort produces **the identical
+//!   permutation** to `sort_by_key` (Rust's stable sort) on the same
+//!   keys — pinned by tests here and by the index/driver equivalence
+//!   suites — so swapping it into the driver's sort phase and the
+//!   [`DatasetIndex`](../../ipv6_study_analysis/index/struct.DatasetIndex.html)
+//!   build leaves every golden digest byte-identical. [`radix_sort_u32`]
+//!   and [`radix_sort_u64`] sort plain key vectors in place (for
+//!   sort-and-dedup distinct-key paths, where any correct sort agrees).
+//! - **Scratch arenas** — the radix passes need transient count/key/perm
+//!   buffers, and the analysis engine invokes them thousands of times
+//!   per run (six shared indexes plus every `ctx.index(..)` call in the
+//!   20 passes). [`ScratchArena`] pools those buffers per thread:
+//!   [`with_scratch`] leases cleared-but-capacitated `Vec`s from a
+//!   thread-local pool, and the engine calls [`scratch_reset`] between
+//!   passes to assert the lease discipline (everything returned) while
+//!   retaining capacity — so repeated passes stop paying per-invocation
+//!   allocation.
+//!
+//! Everything is std-only: the "vectorization" is word-level bit
+//! batching and bounds-check-free chunked loops the optimizer
+//! auto-vectorizes, not intrinsics.
+
+use std::cell::RefCell;
+
+use crate::ids::Asn;
+use crate::intern::IpId;
+use crate::record::RequestRecord;
+use crate::time::Timestamp;
+
+// ---------------------------------------------------------------------------
+// u32-keyed column views
+// ---------------------------------------------------------------------------
+
+/// A column element with a `u32` sort/selection key whose unsigned order
+/// equals the element's own [`Ord`] — the contract that makes radix
+/// passes and mask builders over typed columns equivalent to their
+/// row-oriented counterparts.
+pub trait U32Key: Copy {
+    /// The element's packed `u32` key.
+    fn key32(self) -> u32;
+}
+
+impl U32Key for u32 {
+    #[inline]
+    fn key32(self) -> u32 {
+        self
+    }
+}
+
+impl U32Key for Timestamp {
+    #[inline]
+    fn key32(self) -> u32 {
+        self.secs()
+    }
+}
+
+impl U32Key for IpId {
+    #[inline]
+    fn key32(self) -> u32 {
+        self.raw()
+    }
+}
+
+impl U32Key for Asn {
+    #[inline]
+    fn key32(self) -> u32 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selection masks
+// ---------------------------------------------------------------------------
+
+/// A packed per-row selection vector: bit `i % 64` of word `i / 64` is
+/// set when row `i` passes the predicate. Unused tail bits of the last
+/// word are always zero, so word-wise combinators and popcounts need no
+/// tail masking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionMask {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl SelectionMask {
+    /// A mask over `len` rows with no row selected.
+    pub fn none(len: usize) -> Self {
+        Self {
+            bits: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A mask over `len` rows with every row selected.
+    pub fn all(len: usize) -> Self {
+        let mut bits = vec![u64::MAX; len.div_ceil(64)];
+        if let Some(last) = bits.last_mut() {
+            let tail = len % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        Self { bits, len }
+    }
+
+    /// Number of rows the mask covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mask covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of selected rows (a word-wise popcount).
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether row `i` is selected.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Intersects with `other` in place. Both masks must cover the same
+    /// row count.
+    pub fn and(&mut self, other: &SelectionMask) {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w &= o;
+        }
+    }
+
+    /// Unions with `other` in place. Both masks must cover the same row
+    /// count.
+    pub fn or(&mut self, other: &SelectionMask) {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+    }
+
+    /// Calls `f` with each selected row index, ascending — a
+    /// trailing-zeros loop over the set bits, so cost scales with the
+    /// selected count plus the word count, not the row count times a
+    /// per-row branch.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.bits.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// The selected row indices, ascending.
+    pub fn indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count());
+        self.for_each(|i| out.push(i as u32));
+        out
+    }
+}
+
+/// Builds a mask by evaluating `pred` over every element of `col`,
+/// branchlessly: each row contributes `(pred as u64) << bit` to its
+/// word, and the column is walked in bounds-check-free 64-row chunks.
+pub fn mask_from<K: Copy>(col: &[K], pred: impl Fn(K) -> bool) -> SelectionMask {
+    let mut bits = Vec::with_capacity(col.len().div_ceil(64));
+    let mut chunks = col.chunks_exact(64);
+    for chunk in &mut chunks {
+        let mut w = 0u64;
+        for (bit, &k) in chunk.iter().enumerate() {
+            w |= (pred(k) as u64) << bit;
+        }
+        bits.push(w);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut w = 0u64;
+        for (bit, &k) in tail.iter().enumerate() {
+            w |= (pred(k) as u64) << bit;
+        }
+        bits.push(w);
+    }
+    SelectionMask {
+        bits,
+        len: col.len(),
+    }
+}
+
+/// Selects the rows whose timestamp lies in `[lo, hi]` (inclusive) — the
+/// date-window predicate every windowed pass starts from.
+pub fn mask_ts_window(ts: &[Timestamp], lo: Timestamp, hi: Timestamp) -> SelectionMask {
+    let (lo, hi) = (lo.secs(), hi.secs());
+    mask_from(ts, move |t: Timestamp| {
+        let s = t.secs();
+        (s >= lo) & (s <= hi)
+    })
+}
+
+/// Selects the rows whose `u32` key equals `val` (equality over ASN, id,
+/// or raw u32 columns).
+pub fn mask_eq_u32<K: U32Key>(col: &[K], val: u32) -> SelectionMask {
+    mask_from(col, move |k: K| k.key32() == val)
+}
+
+/// Number of rows of `col` passing `pred`, without materializing
+/// anything (a fused mask + popcount).
+pub fn filter_count<K: Copy>(col: &[K], pred: impl Fn(K) -> bool) -> usize {
+    // One word at a time keeps the popcount off the per-row path.
+    let mut chunks = col.chunks_exact(64);
+    let mut n = 0usize;
+    for chunk in &mut chunks {
+        let mut w = 0u64;
+        for (bit, &k) in chunk.iter().enumerate() {
+            w |= (pred(k) as u64) << bit;
+        }
+        n += w.count_ones() as usize;
+    }
+    for &k in chunks.remainder() {
+        n += pred(k) as usize;
+    }
+    n
+}
+
+// ---------------------------------------------------------------------------
+// Scratch arenas
+// ---------------------------------------------------------------------------
+
+/// A pool of reusable scratch buffers for kernel invocations.
+///
+/// Leased buffers come back cleared (`len == 0`) but keep their
+/// capacity, so a worker that runs many kernel calls (the analysis
+/// engine runs six shared index builds plus every `ctx.index(..)` in 20
+/// passes) allocates each buffer class once and reuses it for the rest
+/// of the run. The lease discipline is strict: every `lease_*` must be
+/// paired with a `restore_*` before [`ScratchArena::reset`] — the
+/// engine's between-passes reset asserts the balance in debug builds.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+    outstanding: usize,
+    leases: u64,
+    reuses: u64,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leases a cleared `Vec<u32>` with at least `cap` capacity.
+    pub fn lease_u32(&mut self, cap: usize) -> Vec<u32> {
+        self.leases += 1;
+        self.outstanding += 1;
+        match self.u32s.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns a leased `Vec<u32>` to the pool.
+    pub fn restore_u32(&mut self, v: Vec<u32>) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if v.capacity() > 0 {
+            self.u32s.push(v);
+        }
+    }
+
+    /// Leases a cleared `Vec<u64>` with at least `cap` capacity.
+    pub fn lease_u64(&mut self, cap: usize) -> Vec<u64> {
+        self.leases += 1;
+        self.outstanding += 1;
+        match self.u64s.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns a leased `Vec<u64>` to the pool.
+    pub fn restore_u64(&mut self, v: Vec<u64>) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if v.capacity() > 0 {
+            self.u64s.push(v);
+        }
+    }
+
+    /// Marks a pass boundary: asserts (in debug builds) that every lease
+    /// was restored, and retains the pooled capacity for the next pass.
+    pub fn reset(&mut self) {
+        debug_assert_eq!(
+            self.outstanding, 0,
+            "scratch lease leaked across a pass boundary"
+        );
+    }
+
+    /// Releases every pooled buffer (end-of-engine teardown).
+    pub fn trim(&mut self) {
+        self.u32s = Vec::new();
+        self.u64s = Vec::new();
+    }
+
+    /// Heap bytes currently retained by pooled buffers.
+    pub fn retained_bytes(&self) -> usize {
+        self.u32s.iter().map(|v| v.capacity() * 4).sum::<usize>()
+            + self.u64s.iter().map(|v| v.capacity() * 8).sum::<usize>()
+    }
+
+    /// `(leases served, leases satisfied by reuse)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.leases, self.reuses)
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ScratchArena> = RefCell::new(ScratchArena::new());
+}
+
+/// Runs `f` with the calling thread's scratch arena. Do not call
+/// [`with_scratch`] reentrantly from inside `f` — the arena is a
+/// thread-local `RefCell`.
+pub fn with_scratch<R>(f: impl FnOnce(&mut ScratchArena) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Marks a pass boundary on the calling thread's arena (see
+/// [`ScratchArena::reset`]). The analysis engine calls this between
+/// passes.
+pub fn scratch_reset() {
+    with_scratch(ScratchArena::reset);
+}
+
+/// `(leases, reuses, retained bytes)` of the calling thread's arena —
+/// surfaced by `bench_kernels` to show the reuse rate.
+pub fn scratch_stats() -> (u64, u64, usize) {
+    with_scratch(|s| {
+        let (leases, reuses) = s.stats();
+        (leases, reuses, s.retained_bytes())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Radix sorts
+// ---------------------------------------------------------------------------
+
+/// One stable counting pass: redistributes `(keys, payload)` by the byte
+/// at `shift`, into `(keys_out, payload_out)`. Returns `false` (pass
+/// skipped) when the byte is constant across all keys — the
+/// redistribution would be the identity.
+fn counting_pass_u32(
+    keys: &[u32],
+    payload: &[u32],
+    keys_out: &mut [u32],
+    payload_out: &mut [u32],
+    shift: u32,
+) -> bool {
+    let mut counts = [0usize; 256];
+    for &k in keys {
+        counts[(k >> shift & 0xff) as usize] += 1;
+    }
+    if counts.contains(&keys.len()) {
+        return false;
+    }
+    let mut sum = 0usize;
+    for c in counts.iter_mut() {
+        let here = *c;
+        *c = sum;
+        sum += here;
+    }
+    for (&k, &p) in keys.iter().zip(payload) {
+        let bucket = (k >> shift & 0xff) as usize;
+        let dst = counts[bucket];
+        counts[bucket] += 1;
+        keys_out[dst] = k;
+        payload_out[dst] = p;
+    }
+    true
+}
+
+/// Computes the permutation that stable-sorts `col` ascending by its
+/// `u32` key — `perm[rank] = original index`. Byte-identical to
+/// `{ let mut p: Vec<u32> = (0..n).collect(); p.sort_by_key(|&i| col[i]); p }`:
+/// LSB-first counting radix is stable per pass, and stable per-pass
+/// redistribution composes to the full stable order.
+pub fn radix_sort_perm_u32<K: U32Key>(col: &[K]) -> Vec<u32> {
+    radix_sort_perm_keys(col.iter().map(|k| k.key32()))
+}
+
+/// [`radix_sort_perm_u32`] over an arbitrary exact-size key stream (for
+/// callers whose keys are computed, e.g. a row store sorting by
+/// timestamp). Keys are staged in a scratch-arena buffer.
+pub fn radix_sort_perm_keys(keys_in: impl ExactSizeIterator<Item = u32>) -> Vec<u32> {
+    let n = keys_in.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    if n <= 1 {
+        // Consume the iterator contract cheaply; nothing to reorder.
+        return perm;
+    }
+    with_scratch(|arena| {
+        let mut keys = arena.lease_u32(n);
+        keys.extend(keys_in);
+        let mut keys_tmp = arena.lease_u32(n);
+        let mut perm_tmp = arena.lease_u32(n);
+        keys_tmp.resize(n, 0);
+        perm_tmp.resize(n, 0);
+        for shift in [0u32, 8, 16, 24] {
+            if counting_pass_u32(&keys, &perm, &mut keys_tmp, &mut perm_tmp, shift) {
+                std::mem::swap(&mut keys, &mut keys_tmp);
+                std::mem::swap(&mut perm, &mut perm_tmp);
+            }
+        }
+        arena.restore_u32(keys);
+        arena.restore_u32(keys_tmp);
+        arena.restore_u32(perm_tmp);
+    });
+    perm
+}
+
+/// Stable-sorts a record buffer by timestamp through the radix
+/// permutation — byte-identical order to
+/// `records.sort_by_key(|r| r.ts)` (the permutation is the stable one,
+/// see [`radix_sort_perm_keys`]), which is the invariant the driver's
+/// sort phase and the spill layer's per-segment sorts rely on for
+/// golden-digest stability.
+pub fn radix_sort_records_by_ts(records: &mut Vec<RequestRecord>) {
+    if records.len() <= 1 {
+        return;
+    }
+    let perm = radix_sort_perm_keys(records.iter().map(|r| r.ts.secs()));
+    let sorted: Vec<RequestRecord> = perm.iter().map(|&i| records[i as usize]).collect();
+    *records = sorted;
+}
+
+/// Sorts a plain `u32` key vector ascending in place (LSB counting
+/// radix). Equal keys are indistinguishable, so this agrees with any
+/// correct sort — it replaces `sort_unstable` on distinct-key paths.
+pub fn radix_sort_u32(v: &mut Vec<u32>) {
+    let n = v.len();
+    if n <= 1 {
+        return;
+    }
+    with_scratch(|arena| {
+        let mut tmp = arena.lease_u32(n);
+        tmp.resize(n, 0);
+        for shift in [0u32, 8, 16, 24] {
+            let mut counts = [0usize; 256];
+            for &k in v.iter() {
+                counts[(k >> shift & 0xff) as usize] += 1;
+            }
+            if counts.contains(&n) {
+                continue;
+            }
+            let mut sum = 0usize;
+            for c in counts.iter_mut() {
+                let here = *c;
+                *c = sum;
+                sum += here;
+            }
+            for &k in v.iter() {
+                let bucket = (k >> shift & 0xff) as usize;
+                tmp[counts[bucket]] = k;
+                counts[bucket] += 1;
+            }
+            std::mem::swap(v, &mut tmp);
+        }
+        arena.restore_u32(tmp);
+    });
+}
+
+/// Sorts a plain `u64` key vector ascending in place (LSB counting
+/// radix, 8 byte passes, constant-byte passes skipped). Replaces
+/// `sort_unstable` on distinct-key paths such as intern-table builds
+/// and [`RequestStore::distinct_users`](crate::RequestStore::distinct_users).
+pub fn radix_sort_u64(v: &mut Vec<u64>) {
+    let n = v.len();
+    if n <= 1 {
+        return;
+    }
+    with_scratch(|arena| {
+        let mut tmp = arena.lease_u64(n);
+        tmp.resize(n, 0);
+        for pass in 0..8u32 {
+            let shift = pass * 8;
+            let mut counts = [0usize; 256];
+            for &k in v.iter() {
+                counts[(k >> shift & 0xff) as usize] += 1;
+            }
+            if counts.contains(&n) {
+                continue;
+            }
+            let mut sum = 0usize;
+            for c in counts.iter_mut() {
+                let here = *c;
+                *c = sum;
+                sum += here;
+            }
+            for &k in v.iter() {
+                let bucket = (k >> shift & 0xff) as usize;
+                tmp[counts[bucket]] = k;
+                counts[bucket] += 1;
+            }
+            std::mem::swap(v, &mut tmp);
+        }
+        arena.restore_u64(tmp);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipv6_study_stats::testgen::TestGen;
+
+    fn seeded_keys(seed: u64, n: usize, span: u64) -> Vec<u32> {
+        let mut g = TestGen::new(seed);
+        g.vec_of(n, |g| g.below(span) as u32)
+    }
+
+    #[test]
+    fn mask_builders_match_scalar_filtering() {
+        let mut g = TestGen::new(7);
+        let ts: Vec<Timestamp> = g.vec_of(1000, |g| Timestamp::from_secs(g.below(500_000) as u32));
+        let (lo, hi) = (Timestamp::from_secs(100_000), Timestamp::from_secs(300_000));
+        let mask = mask_ts_window(&ts, lo, hi);
+        assert_eq!(mask.len(), ts.len());
+        let expected: Vec<usize> = (0..ts.len())
+            .filter(|&i| ts[i] >= lo && ts[i] <= hi)
+            .collect();
+        assert_eq!(
+            mask.indices(),
+            expected.iter().map(|&i| i as u32).collect::<Vec<_>>()
+        );
+        assert_eq!(mask.count(), expected.len());
+        for &i in &expected {
+            assert!(mask.contains(i));
+        }
+        assert_eq!(
+            filter_count(&ts, |t| t >= lo && t <= hi),
+            expected.len(),
+            "fused filter_count agrees with the mask popcount"
+        );
+    }
+
+    #[test]
+    fn mask_combinators_and_tail_bits() {
+        // 70 rows: one full word plus a 6-bit tail.
+        let col: Vec<u32> = (0..70).collect();
+        let evens = mask_from(&col, |k| k % 2 == 0);
+        let small = mask_from(&col, |k| k < 10);
+        let mut both = evens.clone();
+        both.and(&small);
+        assert_eq!(both.indices(), vec![0, 2, 4, 6, 8]);
+        let mut either = evens.clone();
+        either.or(&small);
+        assert_eq!(either.count(), 35 + 10 - 5);
+        // all()/none() keep tail bits clean: popcounts are exact.
+        assert_eq!(SelectionMask::all(70).count(), 70);
+        assert_eq!(SelectionMask::none(70).count(), 0);
+        assert_eq!(SelectionMask::all(64).count(), 64);
+        assert_eq!(SelectionMask::all(0).count(), 0);
+        let mut empty = SelectionMask::none(0);
+        empty.or(&SelectionMask::all(0));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn mask_eq_over_typed_columns() {
+        let asns = [Asn(10), Asn(20), Asn(10), Asn(30)];
+        assert_eq!(mask_eq_u32(&asns, 10).indices(), vec![0, 2]);
+        let ids = [IpId::new(false, 3), IpId::new(true, 3), IpId::new(false, 3)];
+        assert_eq!(mask_eq_u32(&ids, ids[1].raw()).indices(), vec![1]);
+    }
+
+    #[test]
+    fn radix_perm_equals_stable_comparison_sort() {
+        for (seed, n, span) in [
+            (1u64, 0usize, 10u64),
+            (2, 1, 10),
+            (3, 64, 4),   // heavy duplicates, exactly one word
+            (4, 1000, 8), // heavy duplicates: stability matters
+            (5, 1000, 1), // all keys equal: every pass skipped
+            (6, 2500, u64::from(u32::MAX) - 1),
+            (7, 257, 300),
+        ] {
+            let keys = seeded_keys(seed, n, span);
+            let radix = radix_sort_perm_u32(&keys);
+            let mut comparison: Vec<u32> = (0..n as u32).collect();
+            comparison.sort_by_key(|&i| keys[i as usize]);
+            assert_eq!(
+                radix, comparison,
+                "radix != stable sort for seed {seed} n {n} span {span}"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_in_place_sorts_match_sort_unstable() {
+        let mut g = TestGen::new(11);
+        let mut v32: Vec<u32> = g.vec_of(3000, |g| g.next_u64() as u32);
+        let mut expected32 = v32.clone();
+        radix_sort_u32(&mut v32);
+        expected32.sort_unstable();
+        assert_eq!(v32, expected32);
+
+        let mut v64: Vec<u64> = g.vec_of(3000, |g| g.next_u64() >> g.below(40));
+        let mut expected64 = v64.clone();
+        radix_sort_u64(&mut v64);
+        expected64.sort_unstable();
+        assert_eq!(v64, expected64);
+
+        let mut tiny: Vec<u64> = vec![5];
+        radix_sort_u64(&mut tiny);
+        assert_eq!(tiny, [5]);
+        let mut none: Vec<u32> = Vec::new();
+        radix_sort_u32(&mut none);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn record_sort_matches_stable_sort_by_key() {
+        use crate::ids::{Country, UserId};
+        let mut g = TestGen::new(99);
+        // Duplicate-heavy timestamps: user ids disambiguate tie order, so
+        // equality below proves stability, not just sortedness.
+        let mut records: Vec<RequestRecord> = g.vec_of(500, |g| RequestRecord {
+            ts: Timestamp::from_secs(g.below(32) as u32),
+            user: UserId(g.next_u64()),
+            ip: std::net::IpAddr::V4(std::net::Ipv4Addr::from(g.next_u64() as u32)),
+            asn: Asn(g.below(1000) as u32),
+            country: Country::new("US"),
+        });
+        let mut expected = records.clone();
+        expected.sort_by_key(|r| r.ts);
+        radix_sort_records_by_ts(&mut records);
+        assert_eq!(records, expected);
+        scratch_reset();
+    }
+
+    #[test]
+    fn arena_reuses_buffers_across_leases() {
+        let mut arena = ScratchArena::new();
+        let a = arena.lease_u32(100);
+        assert!(a.capacity() >= 100);
+        arena.restore_u32(a);
+        let b = arena.lease_u32(50);
+        assert!(b.capacity() >= 100, "restored capacity is reused");
+        assert!(b.is_empty(), "leases come back cleared");
+        arena.restore_u32(b);
+        let (leases, reuses) = arena.stats();
+        assert_eq!((leases, reuses), (2, 1));
+        assert!(arena.retained_bytes() >= 400);
+        arena.reset(); // balanced: no debug assert
+        arena.trim();
+        assert_eq!(arena.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn thread_local_scratch_accumulates_reuse() {
+        // Two sorts on this thread: the second must reuse the first's
+        // buffers.
+        let keys = seeded_keys(42, 512, 1000);
+        let (l0, _, _) = scratch_stats();
+        let _ = radix_sort_perm_u32(&keys);
+        let _ = radix_sort_perm_u32(&keys);
+        let (l1, r1, retained) = scratch_stats();
+        assert!(l1 > l0);
+        assert!(r1 > 0, "second sort reuses pooled buffers");
+        assert!(retained > 0);
+        scratch_reset(); // balanced on this thread
+    }
+}

@@ -46,6 +46,7 @@ pub mod csv;
 pub mod dataset;
 pub mod ids;
 pub mod intern;
+pub mod kernels;
 pub mod labels;
 pub mod record;
 pub mod sampler;
@@ -58,6 +59,11 @@ pub use columns::{ColumnSlice, ColumnStore, OwnedColumns, RecordView};
 pub use dataset::{FrozenDatasets, StudyDatasets};
 pub use ids::{Asn, Country, DeviceId, HouseholdId, UserId};
 pub use intern::{EntityTables, IpId, IpTable, UserTable};
+pub use kernels::{
+    filter_count, mask_eq_u32, mask_from, mask_ts_window, radix_sort_perm_keys,
+    radix_sort_perm_u32, radix_sort_records_by_ts, radix_sort_u32, radix_sort_u64, scratch_reset,
+    scratch_stats, with_scratch, ScratchArena, SelectionMask, U32Key,
+};
 pub use labels::{AbuseInfo, AbuseLabels};
 pub use record::RequestRecord;
 pub use sampler::Samplers;

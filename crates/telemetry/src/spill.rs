@@ -748,8 +748,8 @@ impl SegmentWriter {
             return Ok(());
         }
         // Stable: equal timestamps keep emission order, exactly like the
-        // in-memory store's final sort.
-        self.staging.sort_by_key(|r| r.ts);
+        // in-memory store's final sort (same radix permutation path).
+        crate::kernels::radix_sort_records_by_ts(&mut self.staging);
 
         // Build the whole frame in memory (bounded by the segment
         // envelope the staging buffer already paid for) so the write is
@@ -1116,11 +1116,11 @@ impl KeyCollector {
     }
 
     fn compact(&mut self) {
-        self.v4.sort_unstable();
+        crate::kernels::radix_sort_u32(&mut self.v4);
         self.v4.dedup();
         self.v6.sort_unstable();
         self.v6.dedup();
-        self.users.sort_unstable();
+        crate::kernels::radix_sort_u64(&mut self.users);
         self.users.dedup();
         let len = self.v4.len() + self.v6.len() + self.users.len();
         self.compact_at = (len * 2).max(COMPACT_FLOOR);

@@ -89,10 +89,13 @@ impl RequestStore {
     }
 
     /// Sorts records by timestamp (stable w.r.t. equal timestamps). Called
-    /// automatically by queries; exposed for explicit pre-sorting.
+    /// automatically by queries; exposed for explicit pre-sorting. Runs as
+    /// a stable LSB radix permutation over the packed timestamp seconds —
+    /// the same order `sort_by_key(|r| r.ts)` produced, at counting-sort
+    /// cost (see [`crate::kernels`]).
     pub fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.records.sort_by_key(|r| r.ts);
+            crate::kernels::radix_sort_records_by_ts(&mut self.records);
             self.sorted = true;
         }
     }
@@ -135,12 +138,15 @@ impl RequestStore {
         m
     }
 
-    /// The distinct users appearing in a record slice.
+    /// The distinct users appearing in a record slice, ascending — a
+    /// radix sort over the raw ids followed by an in-place dedup
+    /// (identical output to the old `sort_unstable` + `dedup`: the keys
+    /// are plain integers, so any correct sort agrees).
     pub fn distinct_users(records: &[RequestRecord]) -> Vec<UserId> {
-        let mut v: Vec<UserId> = records.iter().map(|r| r.user).collect();
-        v.sort_unstable();
+        let mut v: Vec<u64> = records.iter().map(|r| r.user.0).collect();
+        crate::kernels::radix_sort_u64(&mut v);
         v.dedup();
-        v
+        v.into_iter().map(UserId).collect()
     }
 
     /// Consumes the store into an immutable, pre-sorted, **columnar**
@@ -424,5 +430,26 @@ mod tests {
             RequestStore::distinct_users(&recs),
             vec![UserId(1), UserId(2)]
         );
+    }
+
+    #[test]
+    fn distinct_users_radix_path_matches_comparison_sort() {
+        use crate::time::Timestamp;
+        use ipv6_study_stats::testgen::TestGen;
+        let mut g = TestGen::new(1234);
+        // Duplicate-heavy ids across the full u64 range.
+        let recs: Vec<RequestRecord> = g.vec_of(2000, |g| RequestRecord {
+            ts: Timestamp::from_secs(g.below(100) as u32),
+            user: UserId(g.next_u64() >> g.below(50)),
+            ip: "2001:db8::1".parse().unwrap(),
+            asn: Asn(64496),
+            country: Country::new("US"),
+        });
+        // The pre-kernel implementation, verbatim.
+        let mut old: Vec<UserId> = recs.iter().map(|r| r.user).collect();
+        old.sort_unstable();
+        old.dedup();
+        assert_eq!(RequestStore::distinct_users(&recs), old);
+        assert!(RequestStore::distinct_users(&[]).is_empty());
     }
 }

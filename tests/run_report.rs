@@ -51,6 +51,10 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.analysis.phases.index",
     "$.analysis.phases.passes",
     "$.analysis.phases.total",
+    "$.analysis.scanned_records",
+    "$.analysis.records_per_sec",
+    "$.analysis.index_records",
+    "$.analysis.index_records_per_sec",
     "$.config.analysis_threads",
     "$.actioning[].granularity",
     "$.actioning[].wall_secs",
