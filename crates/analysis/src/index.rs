@@ -110,6 +110,51 @@ fn gather(cols: ColumnSlice<'_>, perm: &[u32]) -> ColumnStore {
     }
 }
 
+/// Copies one gathered row across stores (all five columns).
+fn push_row(out: &mut ColumnStore, src: &ColumnStore, i: usize) {
+    out.ts.push(src.ts[i]);
+    out.ip.push(src.ip[i]);
+    out.user.push(src.user[i]);
+    out.asn.push(src.asn[i]);
+    out.country.push(src.country[i]);
+}
+
+/// Merges two key-sorted gathered column sets into one. On key ties the
+/// whole of `a`'s run is taken before `b`'s — correct exactly when every
+/// `b` row follows every `a` row in window order, which is the
+/// append-a-newer-day contract of [`DatasetIndex::append_sorted_suffix`].
+fn merge_sorted_by<K: Ord + Copy>(
+    a: &ColumnStore,
+    b: &ColumnStore,
+    key: impl Fn(&ColumnStore, usize) -> K,
+) -> ColumnStore {
+    let mut out = ColumnStore::default();
+    out.ts.reserve_exact(a.len() + b.len());
+    out.ip.reserve_exact(a.len() + b.len());
+    out.user.reserve_exact(a.len() + b.len());
+    out.asn.reserve_exact(a.len() + b.len());
+    out.country.reserve_exact(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if key(a, i) <= key(b, j) {
+            push_row(&mut out, a, i);
+            i += 1;
+        } else {
+            push_row(&mut out, b, j);
+            j += 1;
+        }
+    }
+    while i < a.len() {
+        push_row(&mut out, a, i);
+        i += 1;
+    }
+    while j < b.len() {
+        push_row(&mut out, b, j);
+        j += 1;
+    }
+    out
+}
+
 /// Finds run boundaries in a key-sorted column. Returns the run keys and
 /// start offsets, with a trailing sentinel offset (`keys.len()`).
 fn runs<K: PartialEq + Copy>(col: &[K]) -> (Vec<K>, Vec<usize>) {
@@ -165,6 +210,51 @@ impl DatasetIndex {
         let ips = ip_ids.iter().map(|&id| tables.ips.addr(id)).collect();
         Self {
             tables,
+            by_user,
+            users,
+            user_starts,
+            by_ip,
+            ips,
+            ip_ids,
+            ip_starts,
+        }
+    }
+
+    /// Extends the index with a strictly-later slice of the same window —
+    /// the incremental-engine path: when a simulated day is appended, the
+    /// standing per-window index absorbs the one-day suffix by merging two
+    /// key-sorted runs (`O(old + new)` copies) instead of re-sorting the
+    /// whole grown window.
+    ///
+    /// Contract (asserted / relied upon):
+    ///
+    /// - `suffix` is encoded against the **same** intern tables as `self`
+    ///   (same `Arc`) — after a timeline extension the caller re-encodes
+    ///   stores against the union tables before slicing, so both operands
+    ///   share one table set;
+    /// - every suffix row follows every existing row in window
+    ///   (timestamp) order, so on key ties the existing run is taken
+    ///   whole before the suffix run — exactly the stable-sort order a
+    ///   from-scratch [`DatasetIndex::build`] over the concatenated
+    ///   window produces. The equivalence is pinned by
+    ///   `append_sorted_suffix_equals_full_rebuild`.
+    pub fn append_sorted_suffix(&self, suffix: ColumnSlice<'_>) -> Self {
+        assert!(
+            Arc::ptr_eq(&self.tables, &suffix.tables_arc()),
+            "append_sorted_suffix: suffix must share the index's intern tables"
+        );
+        let sfx = Self::build(suffix);
+        let by_user = merge_sorted_by(&self.by_user, &sfx.by_user, |c, i| c.user[i]);
+        let (user_keys, user_starts) = runs(&by_user.user);
+        let users = user_keys
+            .iter()
+            .map(|&d| self.tables.users.user(d))
+            .collect();
+        let by_ip = merge_sorted_by(&self.by_ip, &sfx.by_ip, |c, i| c.ip[i]);
+        let (ip_ids, ip_starts) = runs(&by_ip.ip);
+        let ips = ip_ids.iter().map(|&id| self.tables.ips.addr(id)).collect();
+        Self {
+            tables: Arc::clone(&self.tables),
             by_user,
             users,
             user_starts,
@@ -380,6 +470,73 @@ mod tests {
             assert_eq!(a.ip_ids, b.ip_ids);
             assert_eq!(a.ip_starts, b.ip_starts);
         }
+    }
+
+    /// Asserts two indexes are identical field-for-field (tables aside).
+    fn assert_same_index(a: &DatasetIndex, b: &DatasetIndex, ctx: &str) {
+        assert_eq!(a.by_user, b.by_user, "by_user columns, {ctx}");
+        assert_eq!(a.users, b.users, "users, {ctx}");
+        assert_eq!(a.user_starts, b.user_starts, "user_starts, {ctx}");
+        assert_eq!(a.by_ip, b.by_ip, "by_ip columns, {ctx}");
+        assert_eq!(a.ips, b.ips, "ips, {ctx}");
+        assert_eq!(a.ip_ids, b.ip_ids, "ip_ids, {ctx}");
+        assert_eq!(a.ip_starts, b.ip_starts, "ip_starts, {ctx}");
+    }
+
+    /// Tentpole: appending a timestamp-later suffix to an existing index
+    /// must be byte-identical to building the index from scratch over the
+    /// concatenated window — at every split point of a hand-built window.
+    #[test]
+    fn append_sorted_suffix_equals_full_rebuild() {
+        let recs = window();
+        let owned = OwnedColumns::from_records(&recs);
+        let cols = owned.as_slice();
+        let full = DatasetIndex::build(cols);
+        for split in 0..=recs.len() {
+            let prefix = DatasetIndex::build(cols.slice(0..split));
+            let merged = prefix.append_sorted_suffix(cols.slice(split..recs.len()));
+            assert_same_index(&merged, &full, &format!("split={split}"));
+        }
+    }
+
+    /// TestGen property: same equivalence over seeded windows with heavy
+    /// key duplication (long duplicate runs make this a stability check —
+    /// the merge must keep the existing run ahead of the suffix run on
+    /// key ties), sorted by timestamp so every suffix row is later.
+    #[test]
+    fn append_sorted_suffix_property_matches_build() {
+        use ipv6_study_stats::testgen::TestGen;
+        let mut g = TestGen::new(0x4150_5058); // "APPX"
+        for n in [1usize, 2, 64, 500] {
+            let mut recs: Vec<RequestRecord> = g.vec_of(n, |g| {
+                let host = g.below(6);
+                let ip = if g.below(2) == 1 {
+                    format!("2001:db8::{host:x}")
+                } else {
+                    format!("10.0.0.{host}")
+                };
+                rec(g.below(4), (g.below(24)) as u8, (g.below(60)) as u8, &ip)
+            });
+            recs.sort_by_key(|r| r.ts);
+            let owned = OwnedColumns::from_records(&recs);
+            let cols = owned.as_slice();
+            let full = DatasetIndex::build(cols);
+            for split in [0, 1, n / 3, n / 2, n - 1, n] {
+                let prefix = DatasetIndex::build(cols.slice(0..split));
+                let merged = prefix.append_sorted_suffix(cols.slice(split..n));
+                assert_same_index(&merged, &full, &format!("n={n} split={split}"));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intern tables")]
+    fn append_sorted_suffix_rejects_foreign_tables() {
+        let recs = window();
+        let a = OwnedColumns::from_records(&recs);
+        let b = OwnedColumns::from_records(&recs);
+        let idx = DatasetIndex::build(a.as_slice());
+        let _ = idx.append_sorted_suffix(b.as_slice());
     }
 
     #[test]

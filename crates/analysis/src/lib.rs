@@ -42,6 +42,7 @@ pub mod outliers;
 pub mod report;
 pub mod similarity;
 pub mod user_centric;
+pub mod windows;
 
 pub use index::{DatasetIndex, IndexMode};
 pub use instrument::timed_figure;

@@ -1,0 +1,274 @@
+//! The single source of truth for which analysis passes read which days.
+//!
+//! Window construction used to be duplicated — `AnalysisCtx` built the
+//! focus day/week/lookback windows from calendar constants while the
+//! driver and the Figure-11/§7.2/EC1 passes re-derived the "last four
+//! days" pair window by hand. The incremental engine
+//! (`ipv6_study_core::incremental`) needs one authoritative answer to
+//! "which passes must rerun when the timeline grows by a day", so every
+//! window recipe lives here, split into two kinds:
+//!
+//! - **anchored** windows are fixed calendar spans inside the base study
+//!   range (the Apr 13–19 focus week, the 28-day lookback behind Apr 19,
+//!   the Jan/Feb comparison weeks). Appending days after the base range
+//!   never changes their contents, so passes that read only anchored
+//!   windows are *not* invalidated by an extension.
+//! - **end-relative** windows slide with the last simulated day (the
+//!   four-day pair window behind Figure 11, the day-*n*/day-*n+1* pairs
+//!   behind §7.2-ML and EC1, Figure 1's whole-timeline prevalence span).
+//!   Passes reading them must rerun after every extension.
+//!
+//! All builders use [`SimDate::checked_days_since`]-style checked
+//! arithmetic: a window that would underflow the 2020 calendar is a
+//! configuration bug and panics with a description instead of silently
+//! clamping to Jan 1 (see `SimDate::days_since`'s saturation trap).
+
+use ipv6_study_telemetry::time::{
+    focus_day_ip, focus_day_user, focus_week, prepandemic_week, DateRange, SimDate,
+};
+
+/// Days reaching *back* from a focus day in the §5.3 lifespan lookback
+/// (the window is `LOOKBACK_DAYS + 1` = 28 days long, inclusive).
+pub const LOOKBACK_DAYS: u16 = 27;
+
+/// Days reaching back from the last simulated day in the full-population
+/// pair window (the window is `PAIR_BACK_DAYS + 1` = 4 days long — three
+/// consecutive day pairs for the Figure 11 ROC).
+pub const PAIR_BACK_DAYS: u16 = 3;
+
+/// A window ending at `end` and reaching `back` days behind it
+/// (`back + 1` days long). Panics when the window would underflow the
+/// 2020 calendar rather than silently clamping.
+pub fn window_ending(end: SimDate, back: u16) -> DateRange {
+    let start = end
+        .checked_sub_days(back)
+        .unwrap_or_else(|| panic!("window of {back} days behind {end} underflows the calendar"));
+    DateRange::new(start, end)
+}
+
+/// The 28-day address/prefix-lifespan lookback behind `focus` (§5.3).
+pub fn lookback_window(focus: SimDate) -> DateRange {
+    window_ending(focus, LOOKBACK_DAYS)
+}
+
+/// The full-population pair window: the last four simulated days, whose
+/// day pairs feed the Figure 11 actioning ROC. The driver routes every
+/// record of these days into the pair store.
+pub fn pair_window(sim_end: SimDate) -> DateRange {
+    window_ending(sim_end, PAIR_BACK_DAYS)
+}
+
+/// The day-*n* / day-*n+1* pair scored by the §7.2 ML-transfer and EC1
+/// entropy-blocklist passes: the last two simulated days.
+pub fn ml_pair_days(sim_end: SimDate) -> (SimDate, SimDate) {
+    (window_ending(sim_end, 1).start, sim_end)
+}
+
+/// The Jan 23–29 comparison week used by Table 2 (country ratios over
+/// time).
+pub fn comparison_week_jan() -> DateRange {
+    DateRange::new(SimDate::ymd(1, 23), SimDate::ymd(1, 29))
+}
+
+/// The Apr 13 blocklist listing day of §7.2, plus its six evaluation
+/// days: the rest of the focus week.
+pub fn blocklist_window() -> DateRange {
+    DateRange::new(focus_day_ip(), focus_day_ip() + 6)
+}
+
+/// The pre-pandemic lookback behind Feb 18 used by Appendix A.5's
+/// lifespan comparison (27 days, matching the appendix's shorter span).
+pub fn apx_lookback(focus: SimDate) -> DateRange {
+    window_ending(focus, 26)
+}
+
+/// Everything one experiment pass reads, derived from the effective
+/// simulated range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassReads {
+    /// The day ranges the pass reads (anchored and end-relative alike),
+    /// evaluated at a concrete `sim_range`.
+    pub ranges: Vec<DateRange>,
+    /// Whether any of those ranges is derived from the *end* of the
+    /// simulated range (and therefore slides when the timeline grows).
+    pub end_relative: bool,
+}
+
+impl PassReads {
+    /// Whether the pass reads any day inside `days`.
+    pub fn covers_any(&self, days: DateRange) -> bool {
+        self.ranges
+            .iter()
+            .any(|r| r.start <= days.end && days.start <= r.end)
+    }
+}
+
+/// The registry: what experiment `pass` reads when the simulation covers
+/// `sim_range`. Returns `None` for an unregistered pass id — callers
+/// must treat that conservatively (assume it reads everything).
+///
+/// Pass ids are the registry ids of
+/// `ipv6_study_core::experiments::EXPERIMENTS` (plus the extended
+/// registry); a core-side test pins that every registered pass is known
+/// here, so the two lists cannot drift apart silently.
+pub fn pass_reads(pass: &str, sim_range: DateRange) -> Option<PassReads> {
+    let focus = focus_day_user();
+    let single = DateRange::single;
+    let (end_relative, ranges) = match pass {
+        // Whole-timeline prevalence: every simulated day.
+        "F1" => (true, vec![sim_range]),
+        // Focus-week-only passes.
+        "T1" | "C4.4" | "O5.1" | "F4" | "O6.1" | "F9" | "F10" => (false, vec![focus_week()]),
+        "T2/F12" => (false, vec![comparison_week_jan(), focus_week()]),
+        "F2" => (false, vec![single(focus), focus_week()]),
+        "F3" => (false, vec![single(focus)]),
+        "F5" | "F6" => (false, vec![lookback_window(focus)]),
+        "F7" | "F8" => (false, vec![single(focus_day_ip()), focus_week()]),
+        "O6.2" => (false, vec![focus_week()]),
+        // The actioning ROC reads the sliding pair window.
+        "F11" => (true, vec![pair_window(sim_range.end)]),
+        // §7.2: anchored blocklist/rate-limit windows plus the sliding
+        // ML day pair.
+        "S7.2" => {
+            let (d0, d1) = ml_pair_days(sim_range.end);
+            (
+                true,
+                vec![blocklist_window(), focus_week(), DateRange::new(d0, d1)],
+            )
+        }
+        "X8.1" => (
+            false,
+            vec![
+                single(focus_day_ip()),
+                single(focus),
+                lookback_window(focus),
+            ],
+        ),
+        "ApxA" => (
+            false,
+            vec![
+                prepandemic_week(),
+                focus_week(),
+                apx_lookback(SimDate::ymd(2, 18)),
+                apx_lookback(focus),
+            ],
+        ),
+        // Extended registry: EC1 scores the sliding ML day pair.
+        "EC1" => {
+            let (d0, d1) = ml_pair_days(sim_range.end);
+            (true, vec![DateRange::new(d0, d1)])
+        }
+        _ => return None,
+    };
+    Some(PassReads {
+        ranges,
+        end_relative,
+    })
+}
+
+/// Whether `pass` must rerun after the simulated range grows from `old`
+/// to `new` (same start, later end). True when the pass's read set
+/// changed between the two ranges, when it covers any newly appended
+/// day, or when the pass is unknown to the registry (conservative
+/// default).
+pub fn invalidated_by_extension(pass: &str, old: DateRange, new: DateRange) -> bool {
+    debug_assert_eq!(old.start, new.start, "extension keeps the range start");
+    debug_assert!(old.end <= new.end, "extension only appends days");
+    let (Some(before), Some(after)) = (pass_reads(pass, old), pass_reads(pass, new)) else {
+        return true;
+    };
+    if before != after {
+        return true;
+    }
+    if old.end == new.end {
+        return false;
+    }
+    after.covers_any(DateRange::new(old.end + 1, new.end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DateRange {
+        DateRange::new(SimDate::ymd(4, 6), SimDate::ymd(4, 19))
+    }
+
+    #[test]
+    fn window_shapes() {
+        assert_eq!(lookback_window(focus_day_user()).num_days(), 28);
+        assert_eq!(pair_window(focus_day_user()).num_days(), 4);
+        assert_eq!(
+            pair_window(SimDate::ymd(4, 19)).start,
+            SimDate::ymd(4, 16),
+            "pair window is the driver's routing window"
+        );
+        let (d0, d1) = ml_pair_days(SimDate::ymd(4, 20));
+        assert_eq!(d0, SimDate::ymd(4, 19));
+        assert_eq!(d1, SimDate::ymd(4, 20));
+        assert_eq!(blocklist_window().num_days(), 7);
+        assert_eq!(apx_lookback(SimDate::ymd(2, 18)).num_days(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflows the calendar")]
+    fn underflowing_window_panics_instead_of_clamping() {
+        let _ = window_ending(SimDate::ymd(1, 3), 10);
+    }
+
+    #[test]
+    fn anchored_passes_survive_extension() {
+        let old = base();
+        let new = DateRange::new(old.start, old.end + 3);
+        for pass in [
+            "T1", "T2/F12", "C4.4", "F2", "F3", "O5.1", "F4", "F5", "F6", "F7", "F8", "O6.1", "F9",
+            "F10", "O6.2", "X8.1", "ApxA",
+        ] {
+            assert!(
+                !invalidated_by_extension(pass, old, new),
+                "anchored pass {pass} must not rerun on extension"
+            );
+        }
+    }
+
+    #[test]
+    fn end_relative_passes_rerun_on_extension() {
+        let old = base();
+        let new = DateRange::new(old.start, old.end + 1);
+        for pass in ["F1", "F11", "S7.2", "EC1"] {
+            assert!(
+                pass_reads(pass, old).unwrap().end_relative,
+                "{pass} is end-relative"
+            );
+            assert!(
+                invalidated_by_extension(pass, old, new),
+                "end-relative pass {pass} must rerun on extension"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_extension_invalidates_nothing() {
+        let r = base();
+        for pass in ["F1", "T1", "F11", "S7.2", "EC1", "ApxA"] {
+            assert!(!invalidated_by_extension(pass, r, r), "{pass}");
+        }
+    }
+
+    #[test]
+    fn unknown_pass_is_conservatively_invalidated() {
+        assert!(pass_reads("NOPE", base()).is_none());
+        assert!(invalidated_by_extension(
+            "NOPE",
+            base(),
+            DateRange::new(base().start, base().end + 1)
+        ));
+    }
+
+    #[test]
+    fn pair_window_covers_only_its_days() {
+        let reads = pass_reads("F11", base()).unwrap();
+        assert!(reads.covers_any(DateRange::single(SimDate::ymd(4, 16))));
+        assert!(!reads.covers_any(DateRange::single(SimDate::ymd(4, 15))));
+    }
+}

@@ -8,7 +8,7 @@
 //! cargo run --release -p ipv6-study-bench --bin bench_run -- \
 //!     [scale] [--threads N|auto] [--analysis-threads N|auto] [--out PATH] \
 //!     [--households N] [--storage memory|spill[:DIR]] [--segment-rows N] \
-//!     [--disk-budget BYTES]
+//!     [--disk-budget BYTES] [--extend-days N] [--state-dir DIR]
 //! ```
 //!
 //! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
@@ -16,15 +16,20 @@
 //! `tests/run_report.rs` golden test; timing values vary run to run, the
 //! field set does not. The report echoes the storage mode, segment size,
 //! and sampling plan, and carries `sim.peak_store_bytes` — the number
-//! `--storage spill` keeps flat as `--households` grows.
+//! `--storage spill` keeps flat as `--households` grows. With
+//! `--state-dir DIR` the run goes through the incremental engine
+//! (DESIGN.md §14) and the schema-v7 `analysis.incremental` section
+//! reports how many days were reused vs computed and the extension wall
+//! (`extend_wall_secs`) — the number `bench_diff --max-extend-secs` gates.
 
 use ipv6_study_bench::cli::{usage_exit, CommonArgs};
 use ipv6_study_core::experiments::run_all;
-use ipv6_study_core::{Study, StudyError};
+use ipv6_study_core::{incremental, Study, StudyError};
 
 const USAGE: &str = "usage: bench_run [tiny|test|default|full] [--threads N|auto] \
      [--analysis-threads N|auto] [--out PATH] [--households N] \
-     [--storage memory|spill[:DIR]] [--segment-rows N] [--disk-budget BYTES]";
+     [--storage memory|spill[:DIR]] [--segment-rows N] [--disk-budget BYTES] \
+     [--extend-days N] [--state-dir DIR]";
 
 fn main() {
     let args = CommonArgs::parse(std::env::args().skip(1), USAGE);
@@ -46,26 +51,57 @@ fn main() {
     let mut config = args.config(USAGE);
     config.instrument = true;
 
-    let mut study = match Study::run(config) {
-        Ok(s) => s,
-        Err(e @ StudyError::Config(_)) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-        Err(StudyError::ShardsFailed(report)) => {
-            eprint!("{}", report.render());
-            eprintln!("run failed: shard failures exceeded the failure policy");
-            std::process::exit(1);
-        }
-        Err(e @ StudyError::Spill(_)) => {
-            eprintln!("run failed: {e}");
-            std::process::exit(1);
+    let study = match args.state_dir {
+        // Incremental route: the engine runs sim + analyses itself and
+        // fills the v7 `analysis.incremental` section of the report.
+        Some(ref dir) => match incremental::run(config, dir) {
+            Ok(run) => {
+                eprintln!(
+                    "incremental: {} day(s) reused, {} computed in {:.3}s",
+                    run.stats.days_reused,
+                    run.stats.days_computed,
+                    run.stats.extend_wall.as_secs_f64(),
+                );
+                run.study
+            }
+            Err(e @ StudyError::Config(_)) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            Err(StudyError::ShardsFailed(report)) => {
+                eprint!("{}", report.render());
+                eprintln!("run failed: shard failures exceeded the failure policy");
+                std::process::exit(1);
+            }
+            Err(e @ StudyError::Spill(_)) => {
+                eprintln!("run failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let mut study = match Study::run(config) {
+                Ok(s) => s,
+                Err(e @ StudyError::Config(_)) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+                Err(StudyError::ShardsFailed(report)) => {
+                    eprint!("{}", report.render());
+                    eprintln!("run failed: shard failures exceeded the failure policy");
+                    std::process::exit(1);
+                }
+                Err(e @ StudyError::Spill(_)) => {
+                    eprintln!("run failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let _results = run_all(&mut study);
+            study
         }
     };
     if !study.faults().is_clean() {
         eprint!("{}", study.faults().render());
     }
-    let _results = run_all(&mut study);
     eprint!("{}", study.report().render());
 
     match std::fs::write(&out_path, study.report().to_json_string()) {

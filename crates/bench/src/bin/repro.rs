@@ -7,7 +7,7 @@
 //! cargo run --release -p ipv6-study-bench --bin repro -- \
 //!     [scale] [output.md] [--threads N|auto] [--analysis-threads N|auto] \
 //!     [--households N] [--storage memory|spill[:DIR]] [--segment-rows N] \
-//!     [--disk-budget BYTES] [--extended]
+//!     [--disk-budget BYTES] [--extend-days N] [--state-dir DIR] [--extended]
 //! ```
 //!
 //! `scale` is one of `tiny`, `test`, `default` (the default) or `full`.
@@ -22,17 +22,44 @@
 //! beyond-paper registry (the entropy-clustered blocklisting experiment)
 //! and writes it to a sibling `*_extended.md` — the default outputs are
 //! unchanged by the flag.
+//!
+//! `--extend-days N` simulates N days past the preset's base window;
+//! with `--state-dir DIR` the run becomes a standing service: frozen day
+//! deltas persist in DIR, a warm directory simulates only the
+//! not-yet-covered days and re-runs only the passes whose read windows
+//! reach them, and the written EXPERIMENTS.md is byte-identical to a
+//! from-scratch run of the same range (DESIGN.md §14).
 
 use std::time::Instant;
 
 use ipv6_study_bench::cli::{usage_exit, CommonArgs};
 use ipv6_study_core::experiments::{run_all, run_extended};
 use ipv6_study_core::report::{render_markdown, render_summary};
-use ipv6_study_core::{Study, StudyError};
+use ipv6_study_core::{incremental, Study, StudyError};
 
 const USAGE: &str = "usage: repro [tiny|test|default|full] [output.md] [--threads N|auto] \
      [--analysis-threads N|auto] [--households N] [--storage memory|spill[:DIR]] \
-     [--segment-rows N] [--disk-budget BYTES] [--extended]";
+     [--segment-rows N] [--disk-budget BYTES] [--extend-days N] [--state-dir DIR] \
+     [--extended]";
+
+/// Renders a study error and exits with the conventional status.
+fn run_failed(e: StudyError) -> ! {
+    match e {
+        e @ StudyError::Config(_) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        StudyError::ShardsFailed(report) => {
+            eprint!("{}", report.render());
+            eprintln!("run failed: shard failures exceeded the failure policy");
+            std::process::exit(1);
+        }
+        e @ StudyError::Spill(_) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args = CommonArgs::parse(std::env::args().skip(1), USAGE);
@@ -51,31 +78,48 @@ fn main() {
     let config = args.config(USAGE);
 
     eprintln!(
-        "running study: {} households, {} campaigns, {}..{}, {} thread(s), {} storage",
+        "running study: {} households, {} campaigns, {}..{} (+{} days), {} thread(s), {} storage",
         config.households,
         config.campaigns,
         config.full_range.start,
         config.full_range.end,
+        config.extend_days,
         config.threads,
         config.storage.label(),
     );
-    let mut study = match Study::run(config) {
-        Ok(s) => s,
-        Err(e @ StudyError::Config(_)) => {
-            eprintln!("{e}");
-            std::process::exit(2);
+
+    // With a state dir, the incremental engine owns the whole run: it
+    // decides what to simulate and which passes to recompute, and hands
+    // back the spliced documents.
+    let (study, summary, md) = match args.state_dir {
+        Some(ref dir) => {
+            let run = match incremental::run(config, dir) {
+                Ok(r) => r,
+                Err(e) => run_failed(e),
+            };
+            eprintln!(
+                "incremental: {} day(s) reused, {} computed in {:.3}s (state: {})",
+                run.stats.days_reused,
+                run.stats.days_computed,
+                run.stats.extend_wall.as_secs_f64(),
+                dir.display(),
+            );
+            (run.study, run.summary, run.markdown)
         }
-        Err(StudyError::ShardsFailed(report)) => {
-            eprint!("{}", report.render());
-            eprintln!("run failed: shard failures exceeded the failure policy");
-            std::process::exit(1);
-        }
-        Err(e @ StudyError::Spill(_)) => {
-            eprintln!("run failed: {e}");
-            std::process::exit(1);
+        None => {
+            let mut study = match Study::run(config) {
+                Ok(s) => s,
+                Err(e) => run_failed(e),
+            };
+            eprint!("{}", study.metrics().render());
+            let t1 = Instant::now();
+            let results = run_all(&mut study);
+            eprintln!("analyses done in {:.1?}", t1.elapsed());
+            let summary = render_summary(&results);
+            let md = render_markdown(&results);
+            (study, summary, md)
         }
     };
-    eprint!("{}", study.metrics().render());
     if !study.faults().is_clean() {
         eprint!("{}", study.faults().render());
     }
@@ -86,13 +130,8 @@ fn main() {
         study.labels().len()
     );
 
-    let t1 = Instant::now();
-    let results = run_all(&mut study);
-    eprintln!("analyses done in {:.1?}", t1.elapsed());
+    print!("{summary}");
 
-    print!("{}", render_summary(&results));
-
-    let md = render_markdown(&results);
     match std::fs::write(&output, &md) {
         Ok(()) => eprintln!("wrote {output}"),
         Err(e) => {

@@ -16,6 +16,14 @@
 //!                                 fails the offending shard with a typed
 //!                                 budget error, handled per the failure
 //!                                 policy
+//! --extend-days N                 simulate N days past the preset's base
+//!                                 window (the incremental engine's
+//!                                 extension knob; output is byte-identical
+//!                                 to a preset whose range is N days longer)
+//! --state-dir DIR                 persist/resume frozen day deltas in DIR:
+//!                                 a warm dir simulates only not-yet-covered
+//!                                 days and re-runs only the passes whose
+//!                                 windows reach them (see DESIGN.md §14)
 //! ```
 //!
 //! Binary-specific arguments (`repro`'s output path, `bench_run`'s
@@ -48,6 +56,11 @@ pub struct CommonArgs {
     pub storage: StorageMode,
     /// Spill disk budget in bytes (`--disk-budget`); `None` is unlimited.
     pub disk_budget_bytes: Option<u64>,
+    /// Days simulated past the preset's base window (`--extend-days`).
+    pub extend_days: u16,
+    /// Incremental-engine state directory (`--state-dir`); `None` runs
+    /// the plain batch pipeline.
+    pub state_dir: Option<PathBuf>,
     /// Arguments this module did not consume, in original order.
     pub rest: Vec<String>,
 }
@@ -100,6 +113,8 @@ impl CommonArgs {
             households: None,
             storage: StorageMode::InMemory,
             disk_budget_bytes: None,
+            extend_days: 0,
+            state_dir: None,
             rest: Vec::new(),
         };
         let mut segment_rows: Option<usize> = None;
@@ -145,6 +160,18 @@ impl CommonArgs {
                     Ok(n) if n > 0 => out.disk_budget_bytes = Some(n),
                     _ => usage_exit(usage, &format!("bad disk budget `{v}` (bytes, at least 1)")),
                 }
+            } else if arg == "--extend-days" || arg.starts_with("--extend-days=") {
+                let v = take_value(&mut i, "--extend-days");
+                match v.parse() {
+                    Ok(n) => out.extend_days = n,
+                    Err(_) => usage_exit(usage, &format!("bad extend-days `{v}` (days, 0-365)")),
+                }
+            } else if arg == "--state-dir" || arg.starts_with("--state-dir=") {
+                let v = take_value(&mut i, "--state-dir");
+                if v.is_empty() {
+                    usage_exit(usage, "--state-dir needs a directory path");
+                }
+                out.state_dir = Some(PathBuf::from(v));
             } else if !arg.starts_with('-') && out.scale.is_none() && out.rest.is_empty() {
                 out.scale = Some(arg);
             } else {
@@ -193,6 +220,7 @@ impl CommonArgs {
         config.analysis_threads = self.analysis_threads;
         config.storage = self.storage.clone();
         config.disk_budget_bytes = self.disk_budget_bytes;
+        config.extend_days = self.extend_days;
         if let Some(hh) = self.households {
             config.households = hh;
         }
@@ -277,6 +305,18 @@ mod tests {
         assert_eq!(cfg.households, 999);
         assert!(cfg.storage.is_spill());
         assert_eq!(cfg.disk_budget_bytes, Some(1 << 20));
+    }
+
+    #[test]
+    fn extend_days_and_state_dir_parse_and_apply() {
+        let a = parse(&["tiny", "--extend-days", "3", "--state-dir=/tmp/state"]);
+        assert_eq!(a.extend_days, 3);
+        assert_eq!(a.state_dir, Some(PathBuf::from("/tmp/state")));
+        let cfg = a.config("usage");
+        assert_eq!(cfg.extend_days, 3);
+        let b = parse(&["--extend-days=0"]);
+        assert_eq!(b.extend_days, 0);
+        assert_eq!(b.state_dir, None);
     }
 
     #[test]

@@ -35,6 +35,16 @@
 //! exceeds `S` seconds. Either flag against a document missing its field
 //! (pre-v6) is a hard failure — a lane that asks for a target must be
 //! able to measure it.
+//!
+//! Schema v7 adds the incremental-engine gate: `--max-extend-secs S`
+//! fails when `analysis.incremental.extend_wall_secs` — the wall of a
+//! whole `--state-dir` resume (delta rebuild + suffix sim + selective
+//! re-analysis + checkpoint refresh) — exceeds `S` seconds. Like the
+//! other absolute targets it gates the current document alone with no
+//! noise floor, and is a hard failure against a document missing the
+//! field (pre-v7 schema). The day-reuse split
+//! (`days_reused`/`days_computed`) is printed alongside whenever the
+//! section is present.
 //! Exit 2 means bad usage or an unreadable document.
 //! Timing comparisons only make sense between runs of the same scale and
 //! machine class; CI diffs a fresh run against the committed baseline.
@@ -50,7 +60,7 @@ fn usage_exit(msg: &str) -> ! {
         "usage: bench_diff <baseline.json> <current.json> \
          [--max-regression PCT] [--max-memory-regression PCT] \
          [--max-peak-regression PCT] [--min-records-per-sec N] \
-         [--max-analysis-total-secs S]"
+         [--max-analysis-total-secs S] [--max-extend-secs S]"
     );
     std::process::exit(2);
 }
@@ -117,6 +127,7 @@ fn main() {
     let mut max_peak_regression_pct: Option<f64> = None;
     let mut min_records_per_sec: Option<f64> = None;
     let mut max_analysis_total_secs: Option<f64> = None;
+    let mut max_extend_secs: Option<f64> = None;
     let parse_pct = |v: &str| -> f64 {
         v.parse()
             .unwrap_or_else(|_| usage_exit(&format!("bad percentage `{v}`")))
@@ -158,6 +169,13 @@ fn main() {
             max_analysis_total_secs = Some(parse_pct(&v));
         } else if let Some(v) = arg.strip_prefix("--max-analysis-total-secs=") {
             max_analysis_total_secs = Some(parse_pct(v));
+        } else if arg == "--max-extend-secs" {
+            let Some(v) = args.next() else {
+                usage_exit("--max-extend-secs needs a value")
+            };
+            max_extend_secs = Some(parse_pct(&v));
+        } else if let Some(v) = arg.strip_prefix("--max-extend-secs=") {
+            max_extend_secs = Some(parse_pct(v));
         } else {
             paths.push(arg);
         }
@@ -371,6 +389,40 @@ fn main() {
                 eprintln!(
                     "FAIL: --max-analysis-total-secs given but {current_path} has \
                      no analysis.phases.total"
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Incremental-engine gate (schema v7): the wall of a whole state-dir
+    // resume. Absolute target on the current document, no noise floor —
+    // the lane's chosen ceiling encodes the margin. The reuse split is
+    // printed whenever the section exists, gated or not.
+    {
+        let reused = number_at(&current, "analysis.incremental.days_reused");
+        let computed = number_at(&current, "analysis.incremental.days_computed");
+        if let (Some(reused), Some(computed)) = (reused, computed) {
+            println!("incremental days: {reused:.0} reused, {computed:.0} computed");
+        }
+    }
+    if let Some(ceiling) = max_extend_secs {
+        match number_at(&current, "analysis.incremental.extend_wall_secs") {
+            Some(wall) => {
+                println!("incremental extend wall: {wall:.4}s (ceiling {ceiling:.4}s)");
+                if wall > ceiling {
+                    eprintln!(
+                        "FAIL: analysis.incremental.extend_wall_secs {wall:.4}s \
+                         exceeds the {ceiling:.4}s ceiling"
+                    );
+                    failed = true;
+                }
+            }
+            None => {
+                eprintln!(
+                    "FAIL: --max-extend-secs given but {current_path} has no \
+                     analysis.incremental.extend_wall_secs (pre-v7 schema or \
+                     uninstrumented)"
                 );
                 failed = true;
             }

@@ -65,6 +65,15 @@ pub enum ConfigError {
     /// The world's network portfolio cannot be materialized from this
     /// configuration (an address-assignment invariant would be violated).
     Network(String),
+    /// `extend_days` pushes the simulated end past Dec 31 2020 — the
+    /// calendar model covers one year, so an extension must stay inside
+    /// it.
+    ExtensionPastCalendar {
+        /// The configured extension.
+        extend_days: u16,
+        /// The base window's last day.
+        base_end: SimDate,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -120,6 +129,14 @@ impl fmt::Display for ConfigError {
                  sampled user"
             ),
             ConfigError::Network(msg) => write!(f, "network portfolio invalid: {msg}"),
+            ConfigError::ExtensionPastCalendar {
+                extend_days,
+                base_end,
+            } => write!(
+                f,
+                "extend_days {extend_days} pushes the window past Dec 31 2020 \
+                 (base window ends {base_end})"
+            ),
         }
     }
 }
@@ -267,6 +284,18 @@ pub struct StudyConfig {
     /// How the §3.1 sampler rates are derived from the configured
     /// population (resolved once, at run time).
     pub sampling: SamplingPlan,
+    /// Days simulated *past* `full_range.end` by the incremental engine
+    /// (0 = the classic batch run). The base window stays the anchor for
+    /// everything config-derived — shard plan, samplers, campaign
+    /// placement, the calendar-anchored analysis windows — so a run at
+    /// `extend_days = n` emits byte-identical rows for the base days as
+    /// a run at `extend_days = 0`, which is what lets
+    /// [`crate::incremental`] reuse frozen day deltas instead of
+    /// re-simulating them. Only the end-relative read sets (the Figure
+    /// 11 pair window, the §7.2/EC1 day pairs, Figure 1's prevalence
+    /// span, and the driver's pair routing) follow the extended end; see
+    /// [`ipv6_study_analysis::windows`].
+    pub extend_days: u16,
 }
 
 impl StudyConfig {
@@ -318,7 +347,28 @@ impl StudyConfig {
             storage: StorageMode::InMemory,
             disk_budget_bytes: None,
             sampling: SamplingPlan::Scaled,
+            extend_days: 0,
         }
+    }
+
+    /// The last *simulated* day: `full_range.end` plus `extend_days`.
+    pub fn sim_end(&self) -> SimDate {
+        self.full_range.end + self.extend_days
+    }
+
+    /// The full simulated window: the base `full_range` plus any
+    /// extension days appended by the incremental engine.
+    pub fn sim_range(&self) -> DateRange {
+        DateRange::new(self.full_range.start, self.sim_end())
+    }
+
+    /// Whether `day` is simulated densely (all users, not just the
+    /// panel). The dense window is the suffix of the base range, and
+    /// extension days — which are always appended after it — stay dense:
+    /// density is monotone along the timeline, so a day's rows never
+    /// depend on how far the run eventually extends.
+    pub fn is_dense(&self, day: SimDate) -> bool {
+        self.dense_range.contains(day) || day > self.full_range.end
     }
 
     /// The approximate user population this config simulates — the number
@@ -339,6 +389,12 @@ impl StudyConfig {
             return Err(ConfigError::DenseWindowNotSuffix {
                 dense: self.dense_range,
                 full: self.full_range,
+            });
+        }
+        if usize::from(self.full_range.end.index()) + usize::from(self.extend_days) > 365 {
+            return Err(ConfigError::ExtensionPastCalendar {
+                extend_days: self.extend_days,
+                base_end: self.full_range.end,
             });
         }
         if self.prefix_lengths.is_empty() {
@@ -449,7 +505,15 @@ impl StudyBuilder {
         cfg.storage = self.config.storage;
         cfg.disk_budget_bytes = self.config.disk_budget_bytes;
         cfg.sampling = self.config.sampling;
+        cfg.extend_days = self.config.extend_days;
         Self { config: cfg }
+    }
+
+    /// Sets the extension-day count (days simulated past the base
+    /// window's end by the incremental engine).
+    pub fn extend_days(mut self, days: u16) -> Self {
+        self.config.extend_days = days;
+        self
     }
 
     /// Sets the household count and rescales the campaign count with it

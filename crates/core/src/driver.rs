@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use ipv6_study_analysis::windows;
 use ipv6_study_behavior::abuse::AbuseSim;
 use ipv6_study_behavior::emit::emit_user_day;
 use ipv6_study_behavior::population::Population;
@@ -54,9 +55,9 @@ use ipv6_study_obs::report::rate_per_sec;
 use ipv6_study_obs::timer::{time_phase, PhaseStat};
 use ipv6_study_telemetry::spill::{merge_into_frozen, KeyCollector};
 use ipv6_study_telemetry::{
-    EntityTables, FamilyPayload, FrozenDatasets, FrozenStore, MemGauge, RequestSink, RequestStore,
-    RunManifest, Samplers, ShardPayload, ShardSink, SimDate, SinkStorage, SpillError, SpillSession,
-    SpillStats, StorageMode, StudyDatasets,
+    DateRange, EntityTables, FamilyPayload, FrozenDatasets, FrozenStore, MemGauge, RequestSink,
+    RequestStore, RunManifest, Samplers, ShardPayload, ShardSink, SimDate, SinkStorage, SpillError,
+    SpillSession, SpillStats, StorageMode, StudyDatasets,
 };
 
 use crate::config::StudyConfig;
@@ -262,6 +263,11 @@ struct ShardEnv<'a> {
     pop: &'a Population<'a>,
     abuse: &'a AbuseSim<'a>,
     samplers: &'a Samplers,
+    /// The days this run actually simulates — the full `sim_range()` on
+    /// a batch run, only the appended suffix on an incremental extension
+    /// (every day's emission is a pure function of `(config, day)`, so a
+    /// suffix run reproduces exactly the rows a full run emits there).
+    days: DateRange,
     pair_start: SimDate,
     /// The run's spill session when `config.storage` is `Spill`.
     spill: Option<&'a SpillSession>,
@@ -318,14 +324,14 @@ fn run_shard(
     let mut users_sampled = 0u64;
     let mut days_done = 0u16;
 
-    for day in env.config.full_range.days() {
+    for day in env.days.days() {
         if fault.panic_after_days == Some(days_done) {
             // The injected failure: mid-shard, with partially filled
             // local buffers on the stack — exactly what a real panic in
             // the emitters would leave behind for the unwind to discard.
             panic!("injected fault: shard {shard} attempt {attempt} after {days_done} day(s)");
         }
-        let dense = env.config.dense_range.contains(day);
+        let dense = env.config.is_dense(day);
         let first_day = day == env.config.full_range.start;
         sink.set_pair_routing(day >= env.pair_start);
         match work {
@@ -523,8 +529,36 @@ pub(crate) fn execute(
     samplers: &Samplers,
     spill: Option<&SpillSession>,
 ) -> Result<DriverOutput, StudyError> {
-    // Figure 11's full-population day pairs: the last four days.
-    let pair_start = config.full_range.end - 3;
+    execute_days(
+        config,
+        world,
+        pop,
+        abuse,
+        samplers,
+        spill,
+        config.sim_range(),
+    )
+}
+
+/// [`execute`] restricted to a contiguous day range — the incremental
+/// engine's entry point: it simulates only the days a checkpoint does
+/// not already cover. The shard plan, samplers, and campaign placement
+/// are unchanged (config-derived), so for any day the restricted run
+/// emits exactly the rows the full run would.
+pub(crate) fn execute_days(
+    config: &StudyConfig,
+    world: &World,
+    pop: &Population<'_>,
+    abuse: &AbuseSim<'_>,
+    samplers: &Samplers,
+    spill: Option<&SpillSession>,
+    days: DateRange,
+) -> Result<DriverOutput, StudyError> {
+    // Figure 11's full-population day pairs: the last four *effective*
+    // days. Routing is anchored on the run's final end — not on the
+    // restricted `days` — so a suffix run routes each day exactly like
+    // the full run does.
+    let pair_start = windows::pair_window(config.sim_end()).start;
     let mut phases: Vec<PhaseStat> = Vec::new();
     let plan = time_phase(&mut phases, "plan", || plan_shards(config));
     let workers = config.threads.min(plan.len()).max(1);
@@ -546,6 +580,7 @@ pub(crate) fn execute(
         pop,
         abuse,
         samplers,
+        days,
         pair_start,
         spill,
         segment_rows,

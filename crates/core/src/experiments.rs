@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use ipv6_study_analysis::characterize::{
@@ -33,6 +33,7 @@ use ipv6_study_analysis::similarity::most_similar;
 use ipv6_study_analysis::user_centric::{
     address_lifespans, addrs_per_user, prefix_lifespans, prefixes_per_user,
 };
+use ipv6_study_analysis::windows;
 use ipv6_study_analysis::{CdfSeries, DatasetIndex, FigureReport, IndexMode, TableReport};
 use ipv6_study_obs::timer::PhaseStat;
 use ipv6_study_obs::{ActioningStat, SweepStat};
@@ -47,52 +48,108 @@ use ipv6_study_secapp::threat_exchange::{half_life, value_decay};
 use ipv6_study_stats::Ecdf;
 use ipv6_study_telemetry::kernels::{mask_from, scratch_reset};
 use ipv6_study_telemetry::time::{focus_day_ip, focus_day_user, focus_week};
-use ipv6_study_telemetry::{ColumnSlice, DateRange, SimDate, UserId};
+use ipv6_study_telemetry::{ColumnSlice, SimDate, UserId};
 
 use crate::study::Study;
 
 /// The shared, immutable input of every experiment: the study plus the
-/// [`DatasetIndex`]es of the windows most passes group over, built once so
-/// parallel passes share them instead of re-grouping per pass.
+/// [`DatasetIndex`]es of the windows most passes group over, built lazily
+/// and shared so parallel passes re-use them instead of re-grouping per
+/// pass.
 ///
-/// The pre-built windows cover the focus day/week of the user and IP
-/// samples, the 28-day lifespan lookback, and the abuse store's focus week;
-/// passes with one-off windows build them through [`AnalysisCtx::index`]
-/// (which honors the configured [`IndexMode`]).
+/// The shared windows cover the focus day/week of the user and IP
+/// samples, the 28-day lifespan lookback, and the abuse store's focus
+/// week; passes with one-off windows build them through
+/// [`AnalysisCtx::index`] (which honors the configured [`IndexMode`]).
+///
+/// Each shared window lives in a [`OnceLock`] and is built on first
+/// access: a full [`run_all`] forces all six up front (so the engine's
+/// `index` phase wall still means what it always meant), while the
+/// incremental engine's [`run_selected`] re-run of a few invalidated
+/// passes only pays for the windows those passes actually touch — this
+/// is what "no re-indexing of prior days" means in practice, since the
+/// anchored windows' outputs are carried forward instead of rebuilt.
 pub struct AnalysisCtx<'a> {
     /// The completed study this analysis reads.
     pub study: &'a Study,
     mode: IndexMode,
-    user_week: DatasetIndex,
-    user_day: DatasetIndex,
-    user_lookback: DatasetIndex,
-    ip_day: DatasetIndex,
-    ip_week: DatasetIndex,
-    abuse_week: DatasetIndex,
+    user_week: OnceLock<DatasetIndex>,
+    user_day: OnceLock<DatasetIndex>,
+    user_lookback: OnceLock<DatasetIndex>,
+    ip_day: OnceLock<DatasetIndex>,
+    ip_week: OnceLock<DatasetIndex>,
+    abuse_week: OnceLock<DatasetIndex>,
 }
 
 impl<'a> AnalysisCtx<'a> {
-    /// Builds the shared indexes with the production grouping mode.
+    /// Wraps a study with the production grouping mode.
     pub fn new(study: &'a Study) -> Self {
         Self::with_mode(study, IndexMode::Sorted)
     }
 
-    /// Builds the shared indexes with an explicit grouping mode (the naive
-    /// path exists for the equivalence suite).
+    /// Wraps a study with an explicit grouping mode (the naive path
+    /// exists for the equivalence suite). Windows build on first access.
     pub fn with_mode(study: &'a Study, mode: IndexMode) -> Self {
-        let focus = focus_day_user();
-        let lookback = DateRange::new(focus - 27, focus);
-        let idx = |cols: ColumnSlice<'_>| DatasetIndex::with_mode(cols, mode);
         Self {
-            mode,
-            user_week: idx(study.datasets.user_sample.in_range(focus_week())),
-            user_day: idx(study.datasets.user_sample.on_day(focus)),
-            user_lookback: idx(study.datasets.user_sample.in_range(lookback)),
-            ip_day: idx(study.datasets.ip_sample.on_day(focus_day_ip())),
-            ip_week: idx(study.datasets.ip_sample.in_range(focus_week())),
-            abuse_week: idx(study.abuse_store.in_range(focus_week())),
             study,
+            mode,
+            user_week: OnceLock::new(),
+            user_day: OnceLock::new(),
+            user_lookback: OnceLock::new(),
+            ip_day: OnceLock::new(),
+            ip_week: OnceLock::new(),
+            abuse_week: OnceLock::new(),
         }
+    }
+
+    /// The user sample over the Apr 13–19 focus week.
+    pub fn user_week(&self) -> &DatasetIndex {
+        self.user_week
+            .get_or_init(|| self.index(self.study.datasets.user_sample.in_range(focus_week())))
+    }
+
+    /// The user sample on the Apr 19 focus day.
+    pub fn user_day(&self) -> &DatasetIndex {
+        self.user_day
+            .get_or_init(|| self.index(self.study.datasets.user_sample.on_day(focus_day_user())))
+    }
+
+    /// The user sample over the 28-day lifespan lookback behind Apr 19.
+    pub fn user_lookback(&self) -> &DatasetIndex {
+        self.user_lookback.get_or_init(|| {
+            let lookback = windows::lookback_window(focus_day_user());
+            self.index(self.study.datasets.user_sample.in_range(lookback))
+        })
+    }
+
+    /// The IP sample on the Apr 13 focus day.
+    pub fn ip_day(&self) -> &DatasetIndex {
+        self.ip_day
+            .get_or_init(|| self.index(self.study.datasets.ip_sample.on_day(focus_day_ip())))
+    }
+
+    /// The IP sample over the focus week.
+    pub fn ip_week(&self) -> &DatasetIndex {
+        self.ip_week
+            .get_or_init(|| self.index(self.study.datasets.ip_sample.in_range(focus_week())))
+    }
+
+    /// The abuse stream over the focus week.
+    pub fn abuse_week(&self) -> &DatasetIndex {
+        self.abuse_week
+            .get_or_init(|| self.index(self.study.abuse_store.in_range(focus_week())))
+    }
+
+    /// Forces every shared window, so a full registry run pays the whole
+    /// index cost inside the engine's `index` phase (not attributed to
+    /// whichever pass happens to touch a window first).
+    pub fn build_all(&self) {
+        self.user_week();
+        self.user_day();
+        self.user_lookback();
+        self.ip_day();
+        self.ip_week();
+        self.abuse_week();
     }
 
     /// Indexes a one-off window with this context's grouping mode.
@@ -100,28 +157,38 @@ impl<'a> AnalysisCtx<'a> {
         DatasetIndex::with_mode(records, self.mode)
     }
 
-    /// Total heap bytes across the shared per-window indexes (reported as
-    /// the `analysis.index_bytes` gauge when instrumented).
-    fn index_bytes(&self) -> usize {
-        self.user_week.bytes()
-            + self.user_day.bytes()
-            + self.user_lookback.bytes()
-            + self.ip_day.bytes()
-            + self.ip_week.bytes()
-            + self.abuse_week.bytes()
+    fn built(&self) -> impl Iterator<Item = &DatasetIndex> {
+        [
+            self.user_week.get(),
+            self.user_day.get(),
+            self.user_lookback.get(),
+            self.ip_day.get(),
+            self.ip_week.get(),
+            self.abuse_week.get(),
+        ]
+        .into_iter()
+        .flatten()
     }
 
-    /// Total records across the shared per-window indexes — the input
+    /// How many of the six shared windows have been built — the
+    /// incremental suite asserts a selected re-run builds only what its
+    /// passes read.
+    pub fn windows_built(&self) -> usize {
+        self.built().count()
+    }
+
+    /// Total heap bytes across the built shared windows (reported as
+    /// the `analysis.index_bytes` gauge when instrumented).
+    fn index_bytes(&self) -> usize {
+        self.built().map(DatasetIndex::bytes).sum()
+    }
+
+    /// Total records across the built shared windows — the input
     /// cardinality of the engine's index phase, reported as
     /// `analysis.index_records` so the CI throughput floors can derive
     /// an index-build rate.
     fn index_records(&self) -> u64 {
-        (self.user_week.len()
-            + self.user_day.len()
-            + self.user_lookback.len()
-            + self.ip_day.len()
-            + self.ip_week.len()
-            + self.abuse_week.len()) as u64
+        self.built().map(|i| i.len() as u64).sum()
     }
 }
 
@@ -165,7 +232,7 @@ impl ExperimentOutput {
 /// Figure 1 — daily IPv6 share of users and of requests.
 pub fn fig1_prevalence(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
-    let range = study.config.full_range;
+    let range = study.config.sim_range();
     let user = study.datasets.user_sample.in_range(range);
     let req = study.datasets.request_sample.in_range(range);
     let pts = prevalence_series(user, req, range);
@@ -238,7 +305,7 @@ pub fn tab1_asns(ctx: &AnalysisCtx) -> ExperimentOutput {
     // The paper requires ≥1k users per ASN, i.e. ~0.04% of its 2.6M
     // sampled users; scale that floor to our sampled-user count. The
     // distinct-user table is memoized on the shared focus-week index.
-    let distinct_users = ctx.user_week.distinct_users().len();
+    let distinct_users = ctx.user_week().distinct_users().len();
     let min_users = ((distinct_users as f64) * 0.004).ceil().max(12.0) as u64;
     let rows = asn_ratio_table(recs, min_users);
     let mut out = ExperimentOutput::default();
@@ -272,10 +339,10 @@ pub fn tab1_asns(ctx: &AnalysisCtx) -> ExperimentOutput {
 /// Table 2 + Figure 12 — top countries by IPv6 user ratio, Jan vs Apr.
 pub fn tab2_countries(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
-    let jan = DateRange::new(SimDate::ymd(1, 23), SimDate::ymd(1, 29));
+    let jan = windows::comparison_week_jan();
     let jan_recs = study.datasets.user_sample.in_range(jan);
     let apr_recs = study.datasets.user_sample.in_range(focus_week());
-    let distinct_users = ctx.user_week.distinct_users().len();
+    let distinct_users = ctx.user_week().distinct_users().len();
     let min_users = ((distinct_users as f64) * 0.004).ceil().max(12.0) as u64;
     let jan_rows = country_ratio_table(jan_recs, min_users);
     let apr_rows = country_ratio_table(apr_recs, min_users);
@@ -343,9 +410,9 @@ pub fn tab2_countries(ctx: &AnalysisCtx) -> ExperimentOutput {
 
 /// §4.4 — client IPv6 address patterns.
 pub fn c44_client_patterns(ctx: &AnalysisCtx) -> ExperimentOutput {
-    let p = client_patterns(&ctx.user_week);
+    let p = client_patterns(ctx.user_week());
     let mut out = ExperimentOutput::default();
-    out.record_input(ctx.user_week.len());
+    out.record_input(ctx.user_week().len());
     out.stat("c44.v6_users", p.v6_users as f64);
     out.stat("c44.transition_share", p.transition_share);
     out.stat("c44.mac_embedded_share", p.mac_embedded_share);
@@ -362,10 +429,10 @@ fn cdf_series(label: &str, e: &Ecdf, max_x: u64) -> CdfSeries {
 pub fn fig2_addrs_per_user(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
     let filter = |u: UserId| !study.labels.is_abusive(u);
-    let day = addrs_per_user(&ctx.user_day, filter);
-    let week = addrs_per_user(&ctx.user_week, filter);
+    let day = addrs_per_user(ctx.user_day(), filter);
+    let week = addrs_per_user(ctx.user_week(), filter);
     let mut out = ExperimentOutput::default();
-    out.record_input(ctx.user_day.len() + ctx.user_week.len());
+    out.record_input(ctx.user_day().len() + ctx.user_week().len());
     out.figures.push(
         FigureReport::new("Figure 2", "CDFs of addresses per user, 1 day and 7 days")
             .with(cdf_series("IPv4: 1 Day", &day.v4, 30))
@@ -406,8 +473,8 @@ pub fn fig3_aa_addrs(ctx: &AnalysisCtx) -> ExperimentOutput {
 pub fn o51_user_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
     let filter = |u: UserId| !study.labels.is_abusive(u);
-    let week = addrs_per_user(&ctx.user_week, filter);
-    let aa_week = addrs_per_user(&ctx.abuse_week, |_| true);
+    let week = addrs_per_user(ctx.user_week(), filter);
+    let aa_week = addrs_per_user(ctx.abuse_week(), |_| true);
 
     let thresholds = [100u64, 300, 1000];
     let v4 = tail_stats(&week.v4_counts, &thresholds);
@@ -416,7 +483,7 @@ pub fn o51_user_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
     let aa6 = tail_stats(&aa_week.v6_counts, &thresholds);
 
     let mut out = ExperimentOutput::default();
-    out.record_input(ctx.user_week.len() + ctx.abuse_week.len());
+    out.record_input(ctx.user_week().len() + ctx.abuse_week().len());
     let mut t = TableReport::new(
         "§5.1.3",
         "outlier users by weekly address count",
@@ -455,8 +522,8 @@ pub fn fig4_prefix_span(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
     let lengths: Vec<u8> = vec![32, 36, 40, 44, 48, 52, 56, 60, 64, 68, 72, 80, 96, 112, 128];
     let filter = |u: UserId| !study.labels.is_abusive(u);
-    let users = prefixes_per_user(&ctx.user_week, &lengths, filter);
-    let aas = prefixes_per_user(&ctx.abuse_week, &lengths, |_| true);
+    let users = prefixes_per_user(ctx.user_week(), &lengths, filter);
+    let aas = prefixes_per_user(ctx.abuse_week(), &lengths, |_| true);
 
     let to_fig =
         |id: &str, caption: &str, rows: &[ipv6_study_analysis::user_centric::PrefixSpanRow]| {
@@ -475,7 +542,7 @@ pub fn fig4_prefix_span(ctx: &AnalysisCtx) -> ExperimentOutput {
                 ))
         };
     let mut out = ExperimentOutput::default();
-    out.record_input(ctx.user_week.len() + ctx.abuse_week.len());
+    out.record_input(ctx.user_week().len() + ctx.abuse_week().len());
     out.figures.push(to_fig(
         "Figure 4a",
         "% of users whose v6 addresses span <=k prefixes",
@@ -504,9 +571,9 @@ pub fn fig5_lifespans(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
     let focus = focus_day_user();
     let filter = |u: UserId| !study.labels.is_abusive(u);
-    let l = address_lifespans(&ctx.user_lookback, focus, filter);
+    let l = address_lifespans(ctx.user_lookback(), focus, filter);
     let mut out = ExperimentOutput::default();
-    out.record_input(ctx.user_lookback.len());
+    out.record_input(ctx.user_lookback().len());
     out.figures.push(
         FigureReport::new("Figure 5", "CDFs of address life spans for users (days)")
             .with(cdf_series("Across v6s", &l.v6_pairs, 27))
@@ -527,7 +594,7 @@ pub fn fig5_lifespans(ctx: &AnalysisCtx) -> ExperimentOutput {
 pub fn fig6_prefix_lifespans(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
     let focus = focus_day_user();
-    let lookback = DateRange::new(focus - 27, focus);
+    let lookback = windows::lookback_window(focus);
     let aa_recs = study.abuse_store.in_range(lookback);
     let aa_history = ctx.index(aa_recs);
     let v6_lengths: Vec<u8> = vec![16, 24, 32, 40, 48, 56, 64, 72, 80, 96, 112, 128];
@@ -535,11 +602,11 @@ pub fn fig6_prefix_lifespans(ctx: &AnalysisCtx) -> ExperimentOutput {
     let filter = |u: UserId| !study.labels.is_abusive(u);
 
     let mut out = ExperimentOutput::default();
-    out.record_input(ctx.user_lookback.len() + aa_history.len());
+    out.record_input(ctx.user_lookback().len() + aa_history.len());
     let always = |_: UserId| true;
     type Case<'a> = (&'a str, &'a DatasetIndex, &'a dyn Fn(UserId) -> bool);
     let cases: [Case; 2] = [
-        ("Figure 6a", &ctx.user_lookback, &filter),
+        ("Figure 6a", ctx.user_lookback(), &filter),
         ("Figure 6b", &aa_history, &always),
     ];
     for (id, history, f) in cases {
@@ -587,10 +654,10 @@ pub fn fig6_prefix_lifespans(ctx: &AnalysisCtx) -> ExperimentOutput {
 
 /// Figure 7 — users per address, day and week.
 pub fn fig7_users_per_ip(ctx: &AnalysisCtx) -> ExperimentOutput {
-    let day = users_per_ip(&ctx.ip_day);
-    let week = users_per_ip(&ctx.ip_week);
+    let day = users_per_ip(ctx.ip_day());
+    let week = users_per_ip(ctx.ip_week());
     let mut out = ExperimentOutput::default();
-    out.record_input(ctx.ip_day.len() + ctx.ip_week.len());
+    out.record_input(ctx.ip_day().len() + ctx.ip_week().len());
     out.figures.push(
         FigureReport::new("Figure 7", "CDFs of users per IP address")
             .with(cdf_series("IPv6: 1 day", &day.v6, 10))
@@ -611,10 +678,10 @@ pub fn fig7_users_per_ip(ctx: &AnalysisCtx) -> ExperimentOutput {
 /// Figure 8 — abusive accounts and benign users per address-with-abuse.
 pub fn fig8_aa_per_ip(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
-    let day = abuse_per_ip(&ctx.ip_day, &study.labels);
-    let week = abuse_per_ip(&ctx.ip_week, &study.labels);
+    let day = abuse_per_ip(ctx.ip_day(), &study.labels);
+    let week = abuse_per_ip(ctx.ip_week(), &study.labels);
     let mut out = ExperimentOutput::default();
-    out.record_input(ctx.ip_day.len() + ctx.ip_week.len());
+    out.record_input(ctx.ip_day().len() + ctx.ip_week().len());
     out.figures.push(
         FigureReport::new(
             "Figure 8",
@@ -639,7 +706,7 @@ pub fn fig8_aa_per_ip(ctx: &AnalysisCtx) -> ExperimentOutput {
 /// §6.1.3 — heavy addresses: tails, ASN concentration, predictability.
 pub fn o61_ip_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
-    let week = users_per_ip(&ctx.ip_week);
+    let week = users_per_ip(ctx.ip_week());
     // Thresholds scaled to the simulation: a "heavy" address hosts >X
     // users; the paper's 1k/200k translate down with population size.
     // Scale-aware: a "heavy" address hosts more users than ~1/1500th of
@@ -657,12 +724,12 @@ pub fn o61_ip_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
     }
     let v4 = tail_stats(&v4_counts, &[heavy, mega]);
     let v6 = tail_stats(&v6_counts, &[heavy, mega]);
-    let conc_v6 = heavy_ip_asn_concentration(&ctx.ip_week, &week.counts, heavy, true);
-    let conc_v4 = heavy_ip_asn_concentration(&ctx.ip_week, &week.counts, heavy, false);
+    let conc_v6 = heavy_ip_asn_concentration(ctx.ip_week(), &week.counts, heavy, true);
+    let conc_v4 = heavy_ip_asn_concentration(ctx.ip_week(), &week.counts, heavy, false);
     let sig = signature_predictability(&week.counts, heavy);
 
     let mut out = ExperimentOutput::default();
-    out.record_input(ctx.ip_week.len());
+    out.record_input(ctx.ip_week().len());
     let mut t = TableReport::new(
         "§6.1.3",
         "heavy addresses (users/week)",
@@ -709,7 +776,7 @@ pub fn o61_ip_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
     // address's ASN comes from its run head — the first record of the
     // address in timestamp order, exactly what the slice walk found.
     let mut asn_of = HashMap::new();
-    for (ip, group) in ctx.ip_week.ip_groups() {
+    for (ip, group) in ctx.ip_week().ip_groups() {
         asn_of.insert(ip, group.asns()[0]);
     }
     let predictor = HeavyAddressPredictor::learn(&week.counts, &asn_of, heavy);
@@ -736,8 +803,8 @@ pub fn fig9_users_per_prefix(ctx: &AnalysisCtx) -> ExperimentOutput {
         fig = fig.with(cdf_series(&format!("/{len}"), &upp.ecdf, 10));
         candidates.push((len, upp.ecdf));
     }
-    out.record_input(ctx.ip_week.len());
-    let v4 = users_per_v4_addr(&ctx.ip_week);
+    out.record_input(ctx.ip_week().len());
+    let v4 = users_per_v4_addr(ctx.ip_week());
     fig = fig.with(cdf_series("IPv4", &v4, 10));
     out.figures.push(fig);
     for (len, s) in &singles {
@@ -767,8 +834,8 @@ pub fn fig10_aa_per_prefix(ctx: &AnalysisCtx) -> ExperimentOutput {
         fig_a = fig_a.with(cdf_series(&format!("/{len}"), &app.aa, 10));
         aa_candidates.push((len, app.aa));
     }
-    out.record_input(ctx.ip_week.len());
-    let v4_view = abuse_per_ip(&ctx.ip_week, &study.labels);
+    out.record_input(ctx.ip_week().len());
+    let v4_view = abuse_per_ip(ctx.ip_week(), &study.labels);
     fig_a = fig_a.with(cdf_series("IPv4", &v4_view.aa_v4, 10));
     out.figures.push(fig_a);
 
@@ -833,7 +900,7 @@ pub fn o62_prefix_outliers(ctx: &AnalysisCtx) -> ExperimentOutput {
     out.record_input(recs.len());
     let mut per_len = HashMap::new();
     for len in [112u8, 64, 48] {
-        let upp = users_per_prefix(&ctx.user_week, len);
+        let upp = users_per_prefix(ctx.user_week(), len);
         let stats = tail_stats(&upp.counts, &[heavy_sampled]);
         out.stat(
             &format!("o62.heavy_p{len}_count"),
@@ -889,20 +956,17 @@ pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
     ];
     // Full-population day pairs: the paper's scenario without sampling
     // noise (abusive units are rare; samples would starve the curves).
-    // Day j holds `last - 3 + j`; pair k scores day `last-(k+1)` against
-    // outcomes on day `last-k`.
-    let last = focus_day_user();
-    let day_recs: Vec<ColumnSlice<'_>> = (0..4u16)
-        .map(|j| study.pair_store.on_day(last - 3 + j))
-        .collect();
+    // The window is end-relative — the last four *simulated* days — so
+    // an extended run scores the appended days, not the base focus week.
+    // Day j holds `pair.start + j`; pair k scores day `last-(k+1)`
+    // against outcomes on day `last-k`.
+    let pair = windows::pair_window(study.config.sim_end());
+    let day_recs: Vec<ColumnSlice<'_>> = pair.days().map(|d| study.pair_store.on_day(d)).collect();
     for w in day_recs.windows(2) {
         out.record_input(w[0].len() + w[1].len());
     }
     let t_build = Instant::now();
-    let day_counts: Vec<DayCounts> = day_recs
-        .iter()
-        .map(|&recs| DayCounts::build(recs, &study.labels))
-        .collect();
+    let day_counts: Vec<Arc<DayCounts>> = pair.days().map(|d| study.day_counts(d)).collect();
     let build_wall = t_build.elapsed();
     let mut read_wall = std::time::Duration::ZERO;
     for gran in grans {
@@ -958,7 +1022,7 @@ pub fn fig11_roc(ctx: &AnalysisCtx) -> ExperimentOutput {
 pub fn s72_defenses(ctx: &AnalysisCtx) -> ExperimentOutput {
     let study = ctx.study;
     let mut out = ExperimentOutput::default();
-    let list_day = SimDate::ymd(4, 13);
+    let list_day = windows::blocklist_window().start;
 
     // Blocklist decay at three granularities.
     for (gran, name) in [
@@ -1029,8 +1093,8 @@ pub fn s72_defenses(ctx: &AnalysisCtx) -> ExperimentOutput {
 
     // Rate-limit recommendations from users-per-key distributions.
     let week = focus_week();
-    out.record_input(ctx.ip_week.len());
-    let per_ip = users_per_ip(&ctx.ip_week);
+    out.record_input(ctx.ip_week().len());
+    let per_ip = users_per_ip(ctx.ip_week());
     let per_p64 = {
         let recs = study.datasets.prefix_sample(64).in_range(week);
         out.record_input(recs.len());
@@ -1050,9 +1114,9 @@ pub fn s72_defenses(ctx: &AnalysisCtx) -> ExperimentOutput {
     );
 
     // ML transfer: train/test within and across protocols, on the
-    // full-population day pair.
-    let d0 = focus_day_user() - 1;
-    let d1 = focus_day_user();
+    // full-population day pair (end-relative: the last two simulated
+    // days, so an extension re-scores the fresh pair).
+    let (d0, d1) = windows::ml_pair_days(study.config.sim_end());
     let day = study.pair_store.on_day(d0);
     let next = study.pair_store.on_day(d1);
     out.record_input(day.len() + next.len());
@@ -1081,7 +1145,7 @@ pub fn x81_network_breakdown(ctx: &AnalysisCtx) -> ExperimentOutput {
     let day_recs = study.datasets.ip_sample.on_day(focus_day_ip());
     let user_day = study.datasets.user_sample.on_day(focus_day_user());
     let focus = focus_day_user();
-    let lookback = DateRange::new(focus - 27, focus);
+    let lookback = windows::lookback_window(focus);
     let history = study.datasets.user_sample.in_range(lookback);
     out.record_input(day_recs.len() + user_day.len() + history.len());
 
@@ -1155,9 +1219,9 @@ pub fn apx_pandemic_compare(ctx: &AnalysisCtx) -> ExperimentOutput {
     // Addresses per user, pre-pandemic week vs focus week (A.3).
     let pre_week = ipv6_study_telemetry::time::prepandemic_week();
     let pre_recs = study.datasets.user_sample.in_range(pre_week);
-    out.record_input(pre_recs.len() + ctx.user_week.len());
+    out.record_input(pre_recs.len() + ctx.user_week().len());
     let pre = addrs_per_user(&ctx.index(pre_recs), filter);
-    let apr = addrs_per_user(&ctx.user_week, filter);
+    let apr = addrs_per_user(ctx.user_week(), filter);
     out.stat("apx.v6_week_mean_feb", pre.v6.mean().unwrap_or(0.0));
     out.stat("apx.v6_week_mean_apr", apr.v6.mean().unwrap_or(0.0));
     out.stat("apx.v4_week_mean_feb", pre.v4.mean().unwrap_or(0.0));
@@ -1172,13 +1236,13 @@ pub fn apx_pandemic_compare(ctx: &AnalysisCtx) -> ExperimentOutput {
     let feb_hist = study
         .datasets
         .user_sample
-        .in_range(DateRange::new(feb_focus - 26, feb_focus));
+        .in_range(windows::apx_lookback(feb_focus));
     let feb_life = address_lifespans(&ctx.index(feb_hist), feb_focus, filter);
     let apr_focus = focus_day_user();
     let apr_hist = study
         .datasets
         .user_sample
-        .in_range(DateRange::new(apr_focus - 26, apr_focus));
+        .in_range(windows::apx_lookback(apr_focus));
     out.record_input(feb_hist.len() + apr_hist.len());
     let apr_life = address_lifespans(&ctx.index(apr_hist), apr_focus, filter);
     out.stat("apx.v6_newborn_feb", feb_life.v6_pairs.fraction_le(0));
@@ -1235,12 +1299,15 @@ pub fn ec_entropy_blocklist(ctx: &AnalysisCtx) -> ExperimentOutput {
 
     let study = ctx.study;
     let mut out = ExperimentOutput::default();
-    let last = focus_day_user();
-    let day_n = study.pair_store.on_day(last - 1);
-    let day_n1 = study.pair_store.on_day(last);
+    let (d0, d1) = windows::ml_pair_days(study.config.sim_end());
+    let day_n = study.pair_store.on_day(d0);
+    let day_n1 = study.pair_store.on_day(d1);
     out.record_input(day_n.len() + day_n1.len());
-    let scores = DayCounts::build(day_n, &study.labels);
-    let outcomes = DayCounts::build(day_n1, &study.labels);
+    // Shared with Figure 11 through the study's per-day trie cache: the
+    // two ML-pair days are the tail of the four-day pair window, so an
+    // incremental re-run builds each day's tries exactly once.
+    let scores = study.day_counts(d0);
+    let outcomes = study.day_counts(d1);
     let ratio = |num: u64, den: u64| {
         if den == 0 {
             0.0
@@ -1412,9 +1479,12 @@ pub fn run_all_with(
 ) -> Vec<(&'static str, ExperimentOutput)> {
     let t_total = Instant::now();
 
-    // Index phase: build the shared per-window indexes once.
+    // Index phase: build the shared per-window indexes once. The windows
+    // are lazy, but a full registry run touches all six, so force them
+    // here to keep the whole index cost inside this phase's wall.
     let t_index = Instant::now();
     let ctx = AnalysisCtx::with_mode(study, mode);
+    ctx.build_all();
     let index_wall = t_index.elapsed();
 
     // Passes phase: the worker pool. Claim order cannot affect output —
@@ -1500,6 +1570,51 @@ pub fn run_extended_with(
         .collect()
 }
 
+/// Registry ids in paper order — the section order of EXPERIMENTS.md and
+/// the id universe of the incremental engine's pass-invalidation
+/// manifest.
+pub fn experiment_ids() -> impl Iterator<Item = &'static str> {
+    EXPERIMENTS.iter().map(|&(id, _)| id)
+}
+
+/// Extended-registry ids (the `repro --extended` passes).
+pub fn extended_experiment_ids() -> impl Iterator<Item = &'static str> {
+    EXTENDED_EXPERIMENTS.iter().map(|&(id, _)| id)
+}
+
+/// Runs only the default-registry passes whose ids are in `ids`, in
+/// registry order, plus how many of the six shared windows the re-run
+/// had to build — the incremental engine's re-run of the passes
+/// invalidated by a timeline extension. Never writes to `study.report`
+/// (the caller owns incremental bookkeeping). Unknown ids are ignored;
+/// the invalidation registry is pinned to the experiment registry by
+/// test, so an unknown id here is a caller bug, not silent drift.
+pub fn run_selected(
+    study: &Study,
+    ids: &[&str],
+    workers: usize,
+) -> (Vec<(&'static str, ExperimentOutput)>, usize) {
+    let registry: Vec<Experiment> = EXPERIMENTS
+        .iter()
+        .filter(|(id, _)| ids.contains(id))
+        .copied()
+        .collect();
+    if registry.is_empty() {
+        return (Vec::new(), 0);
+    }
+    let ctx = AnalysisCtx::with_mode(study, IndexMode::Sorted);
+    let outs = run_pool(&registry, &ctx, workers);
+    let built = ctx.windows_built();
+    (
+        registry
+            .iter()
+            .zip(outs)
+            .map(|(&(id, _), (out, _))| (id, out))
+            .collect(),
+        built,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1541,6 +1656,44 @@ mod tests {
             .analysis_phases
             .iter()
             .all(|p| p.wall <= total.wall));
+    }
+
+    /// Every registered pass must be known to the windows registry —
+    /// otherwise the incremental engine would silently treat it as
+    /// always-invalidated (or worse, the registries would drift apart).
+    #[test]
+    fn every_pass_is_known_to_the_windows_registry() {
+        let range = StudyConfig::tiny().full_range;
+        for (id, _) in EXPERIMENTS.iter().chain(EXTENDED_EXPERIMENTS.iter()) {
+            assert!(
+                windows::pass_reads(id, range).is_some(),
+                "pass {id} is missing from analysis::windows::pass_reads"
+            );
+        }
+    }
+
+    /// The windows registry and a selected re-run agree: after a one-day
+    /// extension exactly the four end-relative passes rerun, and the
+    /// re-run builds only the one shared window (§7.2's ip_week) those
+    /// passes touch.
+    #[test]
+    fn selected_rerun_builds_only_the_windows_it_reads() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.instrument = false;
+        let old = cfg.full_range;
+        cfg.extend_days = 1;
+        let new = cfg.sim_range();
+        let invalidated: Vec<&str> = experiment_ids()
+            .filter(|id| windows::invalidated_by_extension(id, old, new))
+            .collect();
+        assert_eq!(invalidated, ["F1", "F11", "S7.2"]);
+        let study = Study::run(cfg).unwrap();
+        let (outs, built) = run_selected(&study, &invalidated, 2);
+        assert_eq!(
+            outs.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            invalidated
+        );
+        assert_eq!(built, 1, "only S7.2's ip_week window is shared");
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod config;
 pub mod driver;
 pub mod experiments;
 pub mod faults;
+pub mod incremental;
 pub mod paper;
 pub mod report;
 pub mod study;
@@ -59,6 +60,7 @@ pub use faults::{
     FailurePolicy, FaultInjector, FaultKind, FaultReport, IoFaultSpec, ShardFailure, StudyError,
     StudyOutcome,
 };
-pub use ipv6_study_obs::RunReport;
+pub use incremental::IncrementalRun;
+pub use ipv6_study_obs::{IncrementalStat, RunReport};
 pub use ipv6_study_telemetry::{SpillError, StorageMode, DEFAULT_SEGMENT_ROWS};
 pub use study::Study;

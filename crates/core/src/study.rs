@@ -1,14 +1,18 @@
 //! The simulation entry point: world + population + attacker setup, then
 //! the sharded driver (see [`crate::driver`]).
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ipv6_study_behavior::abuse::AbuseSim;
 use ipv6_study_behavior::population::Population;
 use ipv6_study_netmodel::World;
 use ipv6_study_obs::{FaultStat, Json, RunReport, ShardStat};
+use ipv6_study_secapp::actioning::DayCounts;
 use ipv6_study_telemetry::{
-    AbuseLabels, DateRange, FrozenDatasets, FrozenStore, SpillPolicy, SpillSession, StorageMode,
+    AbuseLabels, DateRange, FrozenDatasets, FrozenStore, SimDate, SpillPolicy, SpillSession,
+    StorageMode,
 };
 
 use crate::config::{ConfigError, StudyBuilder, StudyConfig};
@@ -59,6 +63,29 @@ pub struct Study {
     /// run. Serialized to `BENCH_run.json` by `repro` and `bench_run`.
     /// Empty (but schema-complete) when `config.instrument` is off.
     pub(crate) report: RunReport,
+    /// Per-day aggregation-trie cache over the pair store: each of the
+    /// pair window's days is folded into its [`DayCounts`] trie pair at
+    /// most once, shared between the Figure 11 sweep, the §7.2 ML pair
+    /// and the EC1 entropy blocklist — and carried across
+    /// [`Study::extend_days`] for days still inside the sliding window.
+    pub(crate) day_counts: DayCountsCache,
+}
+
+/// Interior-mutable per-day [`DayCounts`] cache (see
+/// [`Study::day_counts`]). A newtype so `Study` can keep deriving
+/// `Debug` without requiring it of the trie internals.
+#[derive(Default)]
+pub(crate) struct DayCountsCache(Mutex<BTreeMap<SimDate, Arc<DayCounts>>>);
+
+impl std::fmt::Debug for DayCountsCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let days: Vec<SimDate> = self
+            .0
+            .lock()
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        f.debug_tuple("DayCountsCache").field(&days).finish()
+    }
 }
 
 impl Study {
@@ -87,26 +114,8 @@ impl Study {
 
         // The spill session (when configured) lives for the whole sim +
         // merge: the driver's k-way merge streams the segment files into
-        // frozen columns, after which the directory is deleted. The
-        // session's storage policy carries the run's disk budget and any
-        // injected I/O fault plan.
-        let spill = match &config.storage {
-            StorageMode::Spill { dir, .. } => {
-                let policy = SpillPolicy {
-                    disk_budget_bytes: config.disk_budget_bytes,
-                    faults: config
-                        .faults
-                        .as_ref()
-                        .and_then(|inj| inj.spill_fault_plan(config.seed)),
-                    ..SpillPolicy::default()
-                };
-                Some(
-                    SpillSession::create_with(dir.as_deref(), policy)
-                        .map_err(|e| StudyError::Config(ConfigError::Storage(e.to_string())))?,
-                )
-            }
-            StorageMode::InMemory => None,
-        };
+        // frozen columns, after which the directory is deleted.
+        let spill = open_spill(&config)?;
 
         // Attackers operate over the whole window (their creation dates
         // are spread across it).
@@ -141,7 +150,30 @@ impl Study {
             metrics: out.metrics,
             faults: out.faults,
             report,
+            day_counts: DayCountsCache::default(),
         })
+    }
+
+    /// Extends the simulated timeline by `n` days without re-simulating
+    /// any day this study already covers — the incremental engine's core
+    /// operation (see [`crate::incremental`] for the mechanism and the
+    /// byte-equality argument).
+    ///
+    /// Consumes the study and returns the extended one plus what was
+    /// reused vs. computed. The result is byte-identical — datasets,
+    /// EXPERIMENTS.md, figure digests — to a from-scratch
+    /// [`Study::run`] whose config carries the summed `extend_days`, at
+    /// any thread count and either [`StorageMode`]; the equivalence
+    /// suite (`tests/incremental.rs`) pins this. Errors if the extension
+    /// leaves the calendar ([`ConfigError::ExtensionPastCalendar`]) or
+    /// the suffix simulation fails.
+    ///
+    /// [`ConfigError::ExtensionPastCalendar`]: crate::config::ConfigError::ExtensionPastCalendar
+    pub fn extend_days(
+        self,
+        n: u16,
+    ) -> Result<(Study, ipv6_study_obs::IncrementalStat), StudyError> {
+        crate::incremental::extend(self, n)
     }
 
     /// The configuration that produced this run.
@@ -202,6 +234,66 @@ impl Study {
         &mut self.report
     }
 
+    /// The [`DayCounts`] aggregation-trie pair for one pair-window day,
+    /// built on first request and cached for the study's lifetime.
+    ///
+    /// `DayCounts::build` reads only raw entity keys and labels (never
+    /// dense intern ids), so a cached day survives the re-encoding that
+    /// [`Study::extend_days`] performs — which is why the cache can be
+    /// carried across extensions for days still inside the sliding pair
+    /// window instead of being rebuilt.
+    pub fn day_counts(&self, day: SimDate) -> Arc<DayCounts> {
+        let mut cache = self
+            .day_counts
+            .0
+            .lock()
+            .expect("day-counts cache not poisoned");
+        if let Some(c) = cache.get(&day) {
+            return Arc::clone(c);
+        }
+        let built = Arc::new(DayCounts::build(self.pair_store.on_day(day), &self.labels));
+        cache.insert(day, Arc::clone(&built));
+        built
+    }
+
+    /// Days currently held by the per-day trie cache (diagnostic; the
+    /// incremental suite asserts carried days are not rebuilt).
+    pub fn cached_day_counts(&self) -> Vec<SimDate> {
+        self.day_counts
+            .0
+            .lock()
+            .expect("day-counts cache not poisoned")
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Moves the cached per-day tries for `days` out of this study (used
+    /// by [`Study::extend_days`] to carry still-valid days into the
+    /// extended study while dropping days that left the pair window).
+    pub(crate) fn take_day_counts(&self, days: DateRange) -> BTreeMap<SimDate, Arc<DayCounts>> {
+        let mut cache = self
+            .day_counts
+            .0
+            .lock()
+            .expect("day-counts cache not poisoned");
+        std::mem::take(&mut *cache)
+            .into_iter()
+            .filter(|&(day, _)| days.contains(day))
+            .collect()
+    }
+
+    /// Seeds the per-day trie cache (the carry half of
+    /// [`Study::take_day_counts`]).
+    pub(crate) fn seed_day_counts(&self, seeded: BTreeMap<SimDate, Arc<DayCounts>>) {
+        let mut cache = self
+            .day_counts
+            .0
+            .lock()
+            .expect("day-counts cache not poisoned");
+        *cache = seeded;
+    }
+
     /// The *realized* user-sample inclusion rate: sampled users over
     /// distinct users enumerated on the first study day. This is the rate
     /// extrapolation must divide by — on small populations the hash
@@ -217,11 +309,39 @@ impl Study {
     }
 }
 
+/// Opens the run's spill session when `config.storage` is `Spill` —
+/// shared by [`Study::run`] and the incremental extension path. The
+/// session's storage policy carries the run's disk budget and any
+/// injected I/O fault plan.
+pub(crate) fn open_spill(config: &StudyConfig) -> Result<Option<SpillSession>, StudyError> {
+    match &config.storage {
+        StorageMode::Spill { dir, .. } => {
+            let policy = SpillPolicy {
+                disk_budget_bytes: config.disk_budget_bytes,
+                faults: config
+                    .faults
+                    .as_ref()
+                    .and_then(|inj| inj.spill_fault_plan(config.seed)),
+                ..SpillPolicy::default()
+            };
+            Ok(Some(
+                SpillSession::create_with(dir.as_deref(), policy)
+                    .map_err(|e| StudyError::Config(ConfigError::Storage(e.to_string())))?,
+            ))
+        }
+        StorageMode::InMemory => Ok(None),
+    }
+}
+
 /// Converts the driver's output into the run's [`RunReport`]: phase
 /// walls, per-shard stats, fault and storage stats, a config echo, and
 /// registry aggregates. Returns an empty (disabled) report when
 /// instrumentation is off.
-fn build_report(config: &StudyConfig, approx_users: u64, out: &DriverOutput) -> RunReport {
+pub(crate) fn build_report(
+    config: &StudyConfig,
+    approx_users: u64,
+    out: &DriverOutput,
+) -> RunReport {
     let metrics = &out.metrics;
     let faults = &out.faults;
     let retained = out.datasets.retained();
@@ -238,6 +358,9 @@ fn build_report(config: &StudyConfig, approx_users: u64, out: &DriverOutput) -> 
         return report;
     }
     report.threads = metrics.threads as u64;
+    // Batch accounting: every simulated day was computed this run. The
+    // incremental paths overwrite this with their reuse split.
+    report.incremental.days_computed = u64::from(config.sim_range().num_days());
     report.set_config("seed", Json::UInt(config.seed));
     report.set_config("households", Json::UInt(config.households));
     report.set_config("campaigns", Json::UInt(u64::from(config.campaigns)));
@@ -281,6 +404,7 @@ fn build_report(config: &StudyConfig, approx_users: u64, out: &DriverOutput) -> 
             config.dense_range.start, config.dense_range.end
         )),
     );
+    report.set_config("extend_days", Json::UInt(u64::from(config.extend_days)));
     report.phases = metrics.phases();
     report.shards = metrics
         .shards

@@ -37,5 +37,7 @@ pub mod timer;
 
 pub use json::Json;
 pub use metrics::{Counter, DurationHisto, Gauge, Registry, ValueHisto};
-pub use report::{ActioningStat, FaultStat, FigureStat, RunReport, ShardStat, SweepStat};
+pub use report::{
+    ActioningStat, FaultStat, FigureStat, IncrementalStat, RunReport, ShardStat, SweepStat,
+};
 pub use timer::{PhaseGuard, PhaseStat};

@@ -25,8 +25,12 @@ use crate::timer::PhaseStat;
 /// `faults.failed_shards[].kind`, and `sim.spill_bytes_verified`. v6
 /// added the analysis-throughput fields the CI throughput floors gate:
 /// `analysis.scanned_records`, `analysis.records_per_sec`,
-/// `analysis.index_records`, and `analysis.index_records_per_sec`.
-pub const SCHEMA_VERSION: u64 = 6;
+/// `analysis.index_records`, and `analysis.index_records_per_sec`. v7
+/// added the incremental-engine section `analysis.incremental.{
+/// days_reused, days_computed, extend_wall_secs}` — always present: a
+/// from-scratch run reports every simulated day as computed and none
+/// reused.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Throughput over a wall-clock window, `0.0` for an empty window.
 ///
@@ -136,6 +140,22 @@ impl SweepStat {
     }
 }
 
+/// What the incremental engine reused versus recomputed on one run —
+/// the `analysis.incremental` section of the v7 schema. Always
+/// serialized: a from-scratch run reports every simulated day as
+/// computed (`days_reused == 0`), and `extend_wall` is the wall clock of
+/// the extension path alone (zero on batch runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStat {
+    /// Simulated days reconstructed from frozen deltas (not re-run).
+    pub days_reused: u64,
+    /// Simulated days actually executed by the driver this run.
+    pub days_computed: u64,
+    /// Wall clock of the timeline-extension path (suffix simulation plus
+    /// union re-freeze plus selective pass re-run).
+    pub extend_wall: Duration,
+}
+
 /// The aggregated observability output of one study run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
@@ -202,6 +222,9 @@ pub struct RunReport {
     /// `analysis.index_records` in the JSON). Zero until the analyses
     /// run.
     pub index_records: u64,
+    /// Incremental-engine accounting (`analysis.incremental` in the
+    /// JSON); a from-scratch run reports all days computed, none reused.
+    pub incremental: IncrementalStat,
     /// Free-form counters/gauges/histograms recorded along the way.
     pub registry: Registry,
 }
@@ -409,6 +432,16 @@ impl RunReport {
                     .with(
                         "index_records_per_sec",
                         Json::num(self.index_records_per_sec()),
+                    )
+                    .with(
+                        "incremental",
+                        Json::obj()
+                            .with("days_reused", Json::UInt(self.incremental.days_reused))
+                            .with("days_computed", Json::UInt(self.incremental.days_computed))
+                            .with(
+                                "extend_wall_secs",
+                                Json::num(self.incremental.extend_wall.as_secs_f64()),
+                            ),
                     ),
             )
             .with("actioning", actioning)
@@ -675,6 +708,10 @@ mod tests {
             "\"scanned_records\"",
             "\"index_records\"",
             "\"index_records_per_sec\"",
+            "\"incremental\"",
+            "\"days_reused\"",
+            "\"days_computed\"",
+            "\"extend_wall_secs\"",
             "\"actioning\"",
             "\"units_scored\"",
             "\"actioning_sweep\"",

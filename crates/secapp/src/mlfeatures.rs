@@ -232,20 +232,19 @@ pub fn training_set(
 ) -> Vec<(FeatureVector, bool)> {
     let features = extract_features(day);
     let positives = next_day_labels(next_day, labels);
-    let mut out: Vec<(FeatureVector, bool)> = features
+    let mut rows: Vec<(IpAddr, FeatureVector)> = features
         .into_iter()
         .filter(|(ip, _)| only_v6.is_none_or(|v6| matches!(ip, IpAddr::V6(_)) == v6))
-        .map(|(ip, fv)| (fv, positives.contains(&ip)))
         .collect();
-    // Deterministic order for reproducible training.
-    out.sort_by(|a, b| {
-        a.0.log_requests
-            .partial_cmp(&b.0.log_requests)
-            .expect("finite")
-            .then(a.0.log_users.partial_cmp(&b.0.log_users).expect("finite"))
-            .then(a.1.cmp(&b.1))
-    });
-    out
+    // Deterministic order for reproducible training: sort on the unit's
+    // address, a *total* key. Sorting on feature values ties for distinct
+    // addresses, which lets the accumulator map's per-instance iteration
+    // order leak into the gradient summation order — and 200 epochs of
+    // descent amplify that rounding noise into visibly different AUCs.
+    rows.sort_unstable_by_key(|&(ip, _)| ip);
+    rows.into_iter()
+        .map(|(ip, fv)| (fv, positives.contains(&ip)))
+        .collect()
 }
 
 /// Convenience: the focus day pair for ML experiments.

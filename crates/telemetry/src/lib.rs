@@ -71,8 +71,9 @@ pub use sink::{
     CountingSink, FamilyPayload, FnSink, RequestSink, ShardPayload, ShardSink, SinkStorage, Tee,
 };
 pub use spill::{
-    IoOp, MemGauge, RunManifest, SpillError, SpillFaultPlan, SpillPolicy, SpillSession, SpillStats,
-    StorageMode, DEFAULT_IO_RETRIES, DEFAULT_SEGMENT_ROWS,
+    read_checkpoint_segment, write_checkpoint_segment, IoOp, MemGauge, RunManifest, SpillError,
+    SpillFaultPlan, SpillPolicy, SpillSession, SpillStats, StorageMode, DEFAULT_IO_RETRIES,
+    DEFAULT_SEGMENT_ROWS,
 };
 pub use store::{FrozenStore, RequestStore};
 pub use time::{DateRange, SimDate, Timestamp};

@@ -1293,6 +1293,100 @@ pub fn merge_into_frozen(
     ))
 }
 
+/// Writes `rows` to `path` as a single checksummed run frame — the
+/// incremental engine's frozen day-delta format.
+///
+/// Unlike [`SegmentWriter`] this writes rows in exactly the given order
+/// (the caller persists the canonical merged day slice, already sorted)
+/// and the whole file is one frame, so a checkpoint day file is
+/// self-describing: magic + row count + chain checksum, then the rows.
+pub fn write_checkpoint_segment(path: &Path, rows: &[RequestRecord]) -> Result<(), SpillError> {
+    let mut frame = Vec::with_capacity(RUN_HEADER_BYTES + rows.len() * SPILL_ROW_BYTES);
+    frame.extend_from_slice(&RUN_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&[0u8; 8]); // checksum patched below
+    let mut buf = [0u8; SPILL_ROW_BYTES];
+    let mut checksum = CHECKSUM_SEED;
+    for r in rows {
+        encode_row(r, &mut buf);
+        checksum = stable_hash64(checksum, &buf);
+        frame.extend_from_slice(&buf);
+    }
+    frame[12..20].copy_from_slice(&checksum.to_le_bytes());
+    let mut f = File::create(path).map_err(|e| SpillError::io(path, IoOp::Create, &e))?;
+    f.write_all(&frame)
+        .map_err(|e| SpillError::io(path, IoOp::Write, &e))?;
+    f.sync_all()
+        .map_err(|e| SpillError::io(path, IoOp::Flush, &e))?;
+    Ok(())
+}
+
+/// Reads one checkpoint day file written by [`write_checkpoint_segment`],
+/// verifying the length framing and chain checksum. Torn, truncated or
+/// padded files surface as [`SpillError::Corrupt`], never as silently
+/// wrong rows.
+pub fn read_checkpoint_segment(path: &Path) -> Result<Vec<RequestRecord>, SpillError> {
+    let corrupt = |offset: u64, reason: String| SpillError::Corrupt {
+        path: path.to_path_buf(),
+        run: 0,
+        offset,
+        reason,
+    };
+    let file = File::open(path).map_err(|e| SpillError::io(path, IoOp::Open, &e))?;
+    let file_len = file
+        .metadata()
+        .map_err(|e| SpillError::io(path, IoOp::Open, &e))?
+        .len();
+    let mut reader = BufReader::new(file);
+    let read_err = |e: std::io::Error, offset: u64| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            corrupt(offset, "unexpected end of file (torn write?)".into())
+        } else {
+            SpillError::io(path, IoOp::Read, &e)
+        }
+    };
+    let mut hdr = [0u8; RUN_HEADER_BYTES];
+    reader.read_exact(&mut hdr).map_err(|e| read_err(e, 0))?;
+    let magic = le_u32(&hdr[0..4]);
+    if magic != RUN_MAGIC {
+        return Err(corrupt(0, format!("bad run magic {magic:#010x}")));
+    }
+    let rows = le_u64(&hdr[4..12]);
+    let expected_checksum = le_u64(&hdr[12..20]);
+    // Validate the framed length against the file before trusting the
+    // header's row count with an allocation.
+    let framed_len = RUN_HEADER_BYTES as u128 + rows as u128 * SPILL_ROW_BYTES as u128;
+    if framed_len != u128::from(file_len) {
+        return Err(corrupt(
+            4,
+            format!("header claims {rows} rows ({framed_len} bytes) but file is {file_len} bytes"),
+        ));
+    }
+    let mut out = Vec::with_capacity(rows as usize);
+    let mut buf = [0u8; SPILL_ROW_BYTES];
+    let mut checksum = CHECKSUM_SEED;
+    for row in 0..rows {
+        let row_offset = RUN_HEADER_BYTES as u64 + row * SPILL_ROW_BYTES as u64;
+        reader
+            .read_exact(&mut buf)
+            .map_err(|e| read_err(e, row_offset))?;
+        checksum = stable_hash64(checksum, &buf);
+        let rec = decode_row(&buf)
+            .map_err(|tag| corrupt(row_offset + 12, format!("unknown family tag {tag}")))?;
+        out.push(rec);
+    }
+    if checksum != expected_checksum {
+        return Err(corrupt(
+            0,
+            format!(
+                "run checksum mismatch: computed {checksum:#018x}, expected \
+                 {expected_checksum:#018x}"
+            ),
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1328,6 +1422,71 @@ mod tests {
         encode_row(&rec(1, 0, "10.0.0.1"), &mut buf);
         buf[12] = 9;
         assert_eq!(decode_row(&buf), Err(9));
+    }
+
+    #[test]
+    fn checkpoint_segment_round_trips_in_order() {
+        let dir = std::env::temp_dir().join(format!("ipv6-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("day-roundtrip.seg");
+        // Deliberately NOT timestamp-sorted: the checkpoint codec must
+        // preserve the caller's order exactly.
+        let rows = vec![
+            rec(3, 9, "2001:db8::3"),
+            rec(1, 0, "10.0.0.1"),
+            rec(2, 9, "2001:db8::2"),
+        ];
+        write_checkpoint_segment(&path, &rows).unwrap();
+        assert_eq!(read_checkpoint_segment(&path).unwrap(), rows);
+
+        write_checkpoint_segment(&path, &[]).unwrap();
+        assert_eq!(read_checkpoint_segment(&path).unwrap(), Vec::new());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_segment_detects_corruption_truncation_and_padding() {
+        let dir = std::env::temp_dir().join(format!("ipv6-ckpt-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("day-corrupt.seg");
+        let rows = vec![rec(1, 0, "10.0.0.1"), rec(2, 1, "2001:db8::2")];
+        write_checkpoint_segment(&path, &rows).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flipped payload byte -> checksum mismatch.
+        let mut bad = good.clone();
+        bad[RUN_HEADER_BYTES + 3] ^= 0xA5;
+        std::fs::write(&path, &bad).unwrap();
+        match read_checkpoint_segment(&path).unwrap_err() {
+            SpillError::Corrupt { reason, .. } => assert!(reason.contains("checksum mismatch")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // Torn write -> length framing failure, not an allocation guess.
+        std::fs::write(&path, &good[..good.len() - 7]).unwrap();
+        match read_checkpoint_segment(&path).unwrap_err() {
+            SpillError::Corrupt { reason, .. } => assert!(reason.contains("but file is")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // Trailing garbage is also a framing failure.
+        let mut padded = good.clone();
+        padded.extend_from_slice(&[0u8; 5]);
+        std::fs::write(&path, &padded).unwrap();
+        assert!(matches!(
+            read_checkpoint_segment(&path).unwrap_err(),
+            SpillError::Corrupt { .. }
+        ));
+
+        // Bad magic.
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        std::fs::write(&path, &bad_magic).unwrap();
+        match read_checkpoint_segment(&path).unwrap_err() {
+            SpillError::Corrupt { reason, .. } => assert!(reason.contains("bad run magic")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// An on-disk bad tag reports path + run index + byte offset through

@@ -116,8 +116,32 @@ impl SimDate {
 
     /// Days between two dates (`self - earlier`), saturating at 0 when
     /// `earlier` is later.
+    ///
+    /// Saturation is a bug trap on long timelines — a clamped distance
+    /// silently shrinks lookback windows — so debug builds assert that
+    /// `earlier <= self`. Use [`SimDate::checked_days_since`] when the
+    /// ordering is genuinely unknown.
     pub fn days_since(self, earlier: SimDate) -> u16 {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "days_since saturated: {earlier} is after {self}"
+        );
         self.0.saturating_sub(earlier.0)
+    }
+
+    /// Days between two dates (`self - earlier`), or `None` when
+    /// `earlier` is later than `self`. The non-clamping form of
+    /// [`SimDate::days_since`]: window builders use it so an
+    /// out-of-range lookback is an explicit decision, never a silent
+    /// truncation.
+    pub fn checked_days_since(self, earlier: SimDate) -> Option<u16> {
+        self.0.checked_sub(earlier.0)
+    }
+
+    /// The date `days` before `self`, or `None` when that would land
+    /// before Jan 1 2020. The non-clamping form of `self - days`.
+    pub fn checked_sub_days(self, days: u16) -> Option<SimDate> {
+        self.0.checked_sub(days).map(SimDate)
     }
 }
 
@@ -130,7 +154,14 @@ impl Add<u16> for SimDate {
 
 impl Sub<u16> for SimDate {
     type Output = SimDate;
+    /// Like [`SimDate::days_since`], the saturating path is asserted in
+    /// debug builds; reach for [`SimDate::checked_sub_days`] instead of
+    /// relying on the clamp.
     fn sub(self, days: u16) -> SimDate {
+        debug_assert!(
+            days <= self.0,
+            "SimDate subtraction saturated: {self} - {days} days"
+        );
         SimDate(self.0.saturating_sub(days))
     }
 }
@@ -327,12 +358,48 @@ mod tests {
         assert_eq!(d - 6, SimDate::ymd(4, 13));
         assert_eq!(SimDate::ymd(4, 13) + 6, d);
         assert_eq!(d.days_since(SimDate::ymd(4, 13)), 6);
-        assert_eq!(SimDate::ymd(4, 13).days_since(d), 0, "saturates");
+    }
+
+    #[test]
+    fn checked_arithmetic_at_boundaries() {
+        let epoch = SimDate::from_index(0);
+        let year_end = SimDate::from_index(365);
+
+        // Day 0: zero distance is fine, any reach past Jan 1 is None.
+        assert_eq!(epoch.checked_days_since(epoch), Some(0));
+        assert_eq!(epoch.checked_sub_days(0), Some(epoch));
+        assert_eq!(epoch.checked_sub_days(1), None);
+        assert_eq!(epoch.checked_days_since(SimDate::ymd(1, 2)), None);
+
+        // Year end: the full year span is representable, one more is not.
+        assert_eq!(year_end.checked_days_since(epoch), Some(365));
+        assert_eq!(year_end.checked_sub_days(365), Some(epoch));
+        assert_eq!(year_end.checked_sub_days(366), None);
         assert_eq!(
-            SimDate::ymd(1, 3) - 10,
-            SimDate::ymd(1, 1),
-            "saturates at epoch"
+            SimDate::ymd(4, 19).checked_days_since(SimDate::ymd(4, 13)),
+            Some(6)
         );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "days_since saturated")]
+    fn days_since_asserts_on_saturation_in_debug() {
+        let _ = SimDate::ymd(4, 13).days_since(SimDate::ymd(4, 19));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "subtraction saturated")]
+    fn sub_asserts_on_saturation_in_debug() {
+        let _ = SimDate::ymd(1, 3) - 10;
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn saturating_paths_clamp_in_release() {
+        assert_eq!(SimDate::ymd(4, 13).days_since(SimDate::ymd(4, 19)), 0);
+        assert_eq!(SimDate::ymd(1, 3) - 10, SimDate::ymd(1, 1));
     }
 
     #[test]

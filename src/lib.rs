@@ -29,9 +29,10 @@
 #![warn(missing_docs)]
 
 pub use ipv6_study_core::{
-    experiments, paper, report, ConfigError, FailurePolicy, FaultInjector, FaultKind, FaultReport,
-    IoFaultSpec, RunMetrics, RunReport, SamplingPlan, ShardFailure, ShardMetrics, SpillError,
-    StorageMode, Study, StudyBuilder, StudyConfig, StudyError, StudyOutcome, DEFAULT_SEGMENT_ROWS,
+    experiments, incremental, paper, report, ConfigError, FailurePolicy, FaultInjector, FaultKind,
+    FaultReport, IncrementalRun, IncrementalStat, IoFaultSpec, RunMetrics, RunReport, SamplingPlan,
+    ShardFailure, ShardMetrics, SpillError, StorageMode, Study, StudyBuilder, StudyConfig,
+    StudyError, StudyOutcome, DEFAULT_SEGMENT_ROWS,
 };
 
 /// Statistical substrate: ECDFs, ROC curves, hashing, extrapolation.

@@ -55,6 +55,9 @@ const REQUIRED_PATHS: &[&str] = &[
     "$.analysis.records_per_sec",
     "$.analysis.index_records",
     "$.analysis.index_records_per_sec",
+    "$.analysis.incremental.days_reused",
+    "$.analysis.incremental.days_computed",
+    "$.analysis.incremental.extend_wall_secs",
     "$.config.analysis_threads",
     "$.actioning[].granularity",
     "$.actioning[].wall_secs",
